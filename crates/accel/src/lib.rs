@@ -1,0 +1,27 @@
+//! # smappic-accel — the GNG and MAPLE accelerators
+//!
+//! The paper's accelerator case studies (§4.2, §4.3), rebuilt as TRI
+//! engines that occupy tiles:
+//!
+//! - [`Gng`] — the OpenCores Gaussian Noise Generator: a combined
+//!   Tausworthe uniform generator feeding a central-limit Gaussian stage,
+//!   fetched by cores through non-cacheable loads. The fetch-combining
+//!   optimization (1, 2, or 4 sixteen-bit samples per load, §4.2) falls out
+//!   of the access size.
+//! - [`Maple`] — a latency-tolerance engine for Decoupled Access/Execute
+//!   programs (Orenes-Vera et al., ISCA'22): software programs an access
+//!   pattern into its register file; the engine prefetches asynchronously
+//!   through its own TRI port and feeds a hardware queue the consumer core
+//!   pops with non-cacheable loads.
+//!
+//! Register maps are exposed as constants so guest programs and workload
+//! builders stay in sync with the hardware.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gng;
+mod maple;
+
+pub use gng::{gng_reference, Gng, Tausworthe, GNG_FETCH_OFFSET};
+pub use maple::{Maple, MapleMode, MAPLE_REG_BASE_A, MAPLE_REG_BASE_B, MAPLE_REG_COUNT, MAPLE_REG_MODE, MAPLE_REG_QUEUE, MAPLE_REG_START, MAPLE_REG_STATUS, MAPLE_REG_STRIDE};

@@ -1,0 +1,247 @@
+//! The AWS F1 Hard Shell model: the fixed partition between Custom Logic
+//! and the outside world.
+
+use smappic_sim::{Fifo, Stats};
+
+use crate::txn::{AxiReq, AxiResp};
+
+/// Where the Hard Shell steers an outbound request.
+///
+/// §2.1: *"Depending on the target address, the outbound AXI4 request is
+/// routed to one of the FPGAs connected to the host or to the host
+/// itself."*
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShellRoute {
+    /// Peer FPGA `i` in the same F1 instance (0-based global FPGA index).
+    Fpga(usize),
+    /// The host CPU's PCIe address space.
+    Host,
+}
+
+/// The Hard Shell of one FPGA.
+///
+/// The shell owns the PCIe address map: each FPGA in the instance gets a
+/// window ([`HardShell::fpga_window`]); everything else is host space.
+/// Custom Logic pushes outbound requests ([`HardShell::cl_push_outbound`])
+/// and the platform drains them ([`HardShell::pop_outbound`]) into PCIe
+/// links; traffic arriving from links is pushed inbound and the CL drains
+/// it. Response paths mirror the request paths.
+#[derive(Debug)]
+pub struct HardShell {
+    fpga_index: usize,
+    outbound_req: Fifo<AxiReq>,
+    outbound_resp: Fifo<(usize, AxiResp)>,
+    inbound_req: Fifo<AxiReq>,
+    inbound_resp: Fifo<AxiResp>,
+    /// Inbound-request ID remap: shell id → (source peer, original id).
+    /// Two peers may use colliding IDs; the shell, like the real XDMA
+    /// bridge, keeps per-source context to route completions back.
+    inbound_ids: std::collections::HashMap<u16, (usize, u16)>,
+    next_inbound_id: u16,
+    stats: Stats,
+}
+
+/// Size of each FPGA's PCIe window (64 GiB, matching F1's per-card DRAM).
+pub const FPGA_WINDOW_SIZE: u64 = 1 << 36;
+
+/// Base of the FPGA windows in the PCIe address map.
+pub const FPGA_WINDOW_BASE: u64 = 0x8000_0000_0000;
+
+impl HardShell {
+    /// Creates the shell for global FPGA index `fpga_index`.
+    pub fn new(fpga_index: usize) -> Self {
+        Self {
+            fpga_index,
+            outbound_req: Fifo::new(32),
+            outbound_resp: Fifo::new(32),
+            inbound_req: Fifo::new(32),
+            inbound_resp: Fifo::new(32),
+            inbound_ids: std::collections::HashMap::new(),
+            next_inbound_id: 0,
+            stats: Stats::new(),
+        }
+    }
+
+    /// The PCIe window base address of FPGA `f`.
+    pub fn fpga_window(f: usize) -> u64 {
+        FPGA_WINDOW_BASE + (f as u64) * FPGA_WINDOW_SIZE
+    }
+
+    /// Translates an address within FPGA `f`'s window back to a local
+    /// address, if it falls in that window.
+    pub fn window_offset(f: usize, addr: u64) -> Option<u64> {
+        let base = Self::fpga_window(f);
+        (addr >= base && addr < base + FPGA_WINDOW_SIZE).then(|| addr - base)
+    }
+
+    /// Routing decision for an outbound address.
+    pub fn route(&self, addr: u64) -> ShellRoute {
+        if addr >= FPGA_WINDOW_BASE {
+            let f = ((addr - FPGA_WINDOW_BASE) / FPGA_WINDOW_SIZE) as usize;
+            if f < 8 && f != self.fpga_index {
+                return ShellRoute::Fpga(f);
+            }
+        }
+        ShellRoute::Host
+    }
+
+    /// This shell's global FPGA index.
+    pub fn fpga_index(&self) -> usize {
+        self.fpga_index
+    }
+
+    /// Custom Logic submits an outbound request.
+    pub fn cl_push_outbound(&mut self, req: AxiReq) -> Result<(), AxiReq> {
+        self.outbound_req.push(req)
+    }
+
+    /// True when the CL may push an outbound request.
+    pub fn cl_can_push(&self) -> bool {
+        !self.outbound_req.is_full()
+    }
+
+    /// True when a response can be accepted this cycle.
+    pub fn cl_can_push_resp(&self) -> bool {
+        !self.outbound_resp.is_full()
+    }
+
+    /// Custom Logic submits a response to an inbound request; the shell
+    /// restores the peer's original ID and remembers which link to answer.
+    pub fn cl_push_resp(&mut self, resp: AxiResp) -> Result<(), AxiResp> {
+        let Some(&(peer, orig)) = self.inbound_ids.get(&resp.id()) else {
+            return Err(resp); // response to an unknown inbound request
+        };
+        self.inbound_ids.remove(&resp.id());
+        self.outbound_resp.push((peer, resp.with_id(orig))).map_err(|(_, r)| r)
+    }
+
+    /// Custom Logic collects the next inbound request.
+    pub fn cl_pop_inbound(&mut self) -> Option<AxiReq> {
+        self.inbound_req.pop()
+    }
+
+    /// Custom Logic collects the next response to its outbound requests.
+    pub fn cl_pop_resp(&mut self) -> Option<AxiResp> {
+        self.inbound_resp.pop()
+    }
+
+    /// Platform drains the next outbound request with its routing decision.
+    pub fn pop_outbound(&mut self) -> Option<(ShellRoute, AxiReq)> {
+        let req = self.outbound_req.pop()?;
+        let route = self.route(req.addr());
+        self.stats.incr("shell.out_req");
+        Some((route, req))
+    }
+
+    /// Platform drains the next outbound response (answering a peer's
+    /// inbound request), tagged with the peer FPGA to send it to.
+    pub fn pop_outbound_resp(&mut self) -> Option<(usize, AxiResp)> {
+        self.outbound_resp.pop()
+    }
+
+    /// Platform delivers a request arriving over PCIe from peer FPGA
+    /// `from`. The shell remaps the transaction ID so concurrent peers
+    /// cannot collide.
+    pub fn push_inbound(&mut self, from: usize, req: AxiReq) -> Result<(), AxiReq> {
+        if self.inbound_req.is_full() {
+            return Err(req);
+        }
+        let orig = req.id();
+        let id = loop {
+            let id = self.next_inbound_id;
+            self.next_inbound_id = self.next_inbound_id.wrapping_add(1);
+            if !self.inbound_ids.contains_key(&id) {
+                break id;
+            }
+        };
+        self.inbound_ids.insert(id, (from, orig));
+        self.stats.incr("shell.in_req");
+        self.inbound_req.push(req.with_id(id)).map_err(|r| {
+            self.inbound_ids.remove(&id);
+            r.with_id(orig)
+        })
+    }
+
+    /// Platform delivers a response arriving over PCIe.
+    pub fn push_inbound_resp(&mut self, resp: AxiResp) -> Result<(), AxiResp> {
+        self.inbound_resp.push(resp)
+    }
+
+    /// Counters (`shell.out_req`, `shell.in_req`).
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// True when all queues are empty and no inbound request awaits its
+    /// response.
+    pub fn is_idle(&self) -> bool {
+        self.outbound_req.is_empty()
+            && self.outbound_resp.is_empty()
+            && self.inbound_req.is_empty()
+            && self.inbound_resp.is_empty()
+            && self.inbound_ids.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::txn::AxiRead;
+
+    #[test]
+    fn windows_do_not_overlap() {
+        for f in 0..8 {
+            let base = HardShell::fpga_window(f);
+            assert_eq!(HardShell::window_offset(f, base), Some(0));
+            assert_eq!(HardShell::window_offset(f, base + FPGA_WINDOW_SIZE - 1), Some(FPGA_WINDOW_SIZE - 1));
+            if f > 0 {
+                assert_eq!(HardShell::window_offset(f, base - 1), None);
+            }
+        }
+    }
+
+    #[test]
+    fn routes_by_window() {
+        let shell = HardShell::new(1);
+        assert_eq!(shell.route(HardShell::fpga_window(0) + 0x40), ShellRoute::Fpga(0));
+        assert_eq!(shell.route(HardShell::fpga_window(3)), ShellRoute::Fpga(3));
+        // Addresses below the FPGA windows go to the host.
+        assert_eq!(shell.route(0x1000), ShellRoute::Host);
+        // The shell's own window also resolves to Host (loopback is not a
+        // thing on F1; a request to yourself is a software bug surfaced to
+        // the host).
+        assert_eq!(shell.route(HardShell::fpga_window(1)), ShellRoute::Host);
+    }
+
+    #[test]
+    fn outbound_flow() {
+        let mut shell = HardShell::new(0);
+        shell
+            .cl_push_outbound(AxiReq::Read(AxiRead::new(HardShell::fpga_window(2) + 8, 8, 1)))
+            .unwrap();
+        let (route, req) = shell.pop_outbound().unwrap();
+        assert_eq!(route, ShellRoute::Fpga(2));
+        assert_eq!(req.id(), 1);
+        assert!(shell.is_idle());
+    }
+
+    #[test]
+    fn inbound_requests_are_remapped_and_answered_to_their_link() {
+        use crate::txn::AxiReadResp;
+        let mut shell = HardShell::new(0);
+        // Two peers use the same transaction ID 9.
+        shell.push_inbound(2, AxiReq::Read(AxiRead::new(0x40, 8, 9))).unwrap();
+        shell.push_inbound(3, AxiReq::Read(AxiRead::new(0x80, 8, 9))).unwrap();
+        let a = shell.cl_pop_inbound().unwrap();
+        let b = shell.cl_pop_inbound().unwrap();
+        assert_ne!(a.id(), b.id(), "shell must de-collide peer IDs");
+        // Answer in reverse order; responses carry the right peer + ID.
+        shell.cl_push_resp(AxiResp::Read(AxiReadResp { id: b.id(), data: vec![2] })).unwrap();
+        shell.cl_push_resp(AxiResp::Read(AxiReadResp { id: a.id(), data: vec![1] })).unwrap();
+        let (to_b, rb) = shell.pop_outbound_resp().unwrap();
+        let (to_a, ra) = shell.pop_outbound_resp().unwrap();
+        assert_eq!((to_b, rb.id()), (3, 9));
+        assert_eq!((to_a, ra.id()), (2, 9));
+        assert!(shell.is_idle());
+    }
+}

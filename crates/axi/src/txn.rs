@@ -1,0 +1,211 @@
+//! AXI4 and AXI-Lite transaction types.
+
+/// An AXI4 write burst (aw + w channels collapsed into one transaction).
+///
+/// The inter-node bridge encodes NoC traffic into these: the address carries
+/// destination/source node IDs and flit-valid bits, the data carries NoC
+/// flits (§3.1, Fig 4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AxiWrite {
+    /// Target address (aw channel).
+    pub addr: u64,
+    /// Write payload (w channel beats).
+    pub data: Vec<u8>,
+    /// Transaction ID for response matching.
+    pub id: u16,
+}
+
+impl AxiWrite {
+    /// Creates a write burst.
+    pub fn new(addr: u64, data: Vec<u8>, id: u16) -> Self {
+        Self { addr, data, id }
+    }
+}
+
+/// An AXI4 read burst request (ar channel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AxiRead {
+    /// Target address.
+    pub addr: u64,
+    /// Number of bytes to read.
+    pub len: u32,
+    /// Transaction ID for response matching.
+    pub id: u16,
+}
+
+impl AxiRead {
+    /// Creates a read request.
+    pub fn new(addr: u64, len: u32, id: u16) -> Self {
+        Self { addr, len, id }
+    }
+}
+
+/// Write acknowledgement (b channel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AxiWriteResp {
+    /// ID of the acknowledged write.
+    pub id: u16,
+    /// SLVERR/DECERR collapse into `false`.
+    pub ok: bool,
+}
+
+/// Read data return (r channel).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AxiReadResp {
+    /// ID of the originating read.
+    pub id: u16,
+    /// The data beats.
+    pub data: Vec<u8>,
+}
+
+/// Any AXI4 request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AxiReq {
+    /// A write burst.
+    Write(AxiWrite),
+    /// A read burst.
+    Read(AxiRead),
+}
+
+impl AxiReq {
+    /// The target address of the request.
+    pub fn addr(&self) -> u64 {
+        match self {
+            AxiReq::Write(w) => w.addr,
+            AxiReq::Read(r) => r.addr,
+        }
+    }
+
+    /// The transaction ID.
+    pub fn id(&self) -> u16 {
+        match self {
+            AxiReq::Write(w) => w.id,
+            AxiReq::Read(r) => r.id,
+        }
+    }
+
+    /// Replaces the transaction ID (used by ID-remapping interconnect).
+    pub fn with_id(mut self, id: u16) -> Self {
+        match &mut self {
+            AxiReq::Write(w) => w.id = id,
+            AxiReq::Read(r) => r.id = id,
+        }
+        self
+    }
+
+    /// Bytes this request occupies on a link (address beat + data).
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            AxiReq::Write(w) => 8 + w.data.len() as u64,
+            AxiReq::Read(_) => 8,
+        }
+    }
+}
+
+/// Any AXI4 response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AxiResp {
+    /// A write acknowledgement.
+    Write(AxiWriteResp),
+    /// A read data return.
+    Read(AxiReadResp),
+}
+
+impl AxiResp {
+    /// The transaction ID the response answers.
+    pub fn id(&self) -> u16 {
+        match self {
+            AxiResp::Write(w) => w.id,
+            AxiResp::Read(r) => r.id,
+        }
+    }
+
+    /// Replaces the transaction ID.
+    pub fn with_id(mut self, id: u16) -> Self {
+        match &mut self {
+            AxiResp::Write(w) => w.id = id,
+            AxiResp::Read(r) => r.id = id,
+        }
+        self
+    }
+
+    /// Bytes this response occupies on a link.
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            AxiResp::Write(_) => 8,
+            AxiResp::Read(r) => 8 + r.data.len() as u64,
+        }
+    }
+}
+
+/// A single-beat AXI-Lite request (32-bit data).
+///
+/// F1 provides three AXI-Lite interfaces for management; SMAPPIC tunnels
+/// UART register accesses through one of them (§3.4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LiteReq {
+    /// 32-bit register read.
+    Read {
+        /// Register address.
+        addr: u64,
+    },
+    /// 32-bit register write.
+    Write {
+        /// Register address.
+        addr: u64,
+        /// Data to write.
+        data: u32,
+    },
+}
+
+impl LiteReq {
+    /// The register address targeted.
+    pub fn addr(&self) -> u64 {
+        match self {
+            LiteReq::Read { addr } | LiteReq::Write { addr, .. } => *addr,
+        }
+    }
+}
+
+/// A single-beat AXI-Lite response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LiteResp {
+    /// Data for a read.
+    Read {
+        /// Register contents.
+        data: u32,
+    },
+    /// Ack for a write.
+    Write,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn req_id_remap() {
+        let r = AxiReq::Read(AxiRead::new(0x100, 64, 3)).with_id(9);
+        assert_eq!(r.id(), 9);
+        assert_eq!(r.addr(), 0x100);
+        let w = AxiReq::Write(AxiWrite::new(0x200, vec![0; 24], 1)).with_id(4);
+        assert_eq!(w.id(), 4);
+    }
+
+    #[test]
+    fn wire_bytes_account_for_payload() {
+        assert_eq!(AxiReq::Read(AxiRead::new(0, 64, 0)).wire_bytes(), 8);
+        assert_eq!(AxiReq::Write(AxiWrite::new(0, vec![0; 24], 0)).wire_bytes(), 32);
+        assert_eq!(AxiResp::Write(AxiWriteResp { id: 0, ok: true }).wire_bytes(), 8);
+        assert_eq!(
+            AxiResp::Read(AxiReadResp { id: 0, data: vec![0; 64] }).wire_bytes(),
+            72
+        );
+    }
+
+    #[test]
+    fn lite_req_addr() {
+        assert_eq!(LiteReq::Read { addr: 0x10 }.addr(), 0x10);
+        assert_eq!(LiteReq::Write { addr: 0x20, data: 5 }.addr(), 0x20);
+    }
+}

@@ -1,0 +1,73 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! homing policy and inter-node link latency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use smappic_coherence::HomingMode;
+use smappic_core::{Config, Platform, DRAM_BASE};
+use smappic_tile::{TraceCore, TraceOp};
+
+/// Runs a fixed mixed read/write working set on node 0 of a 2-node system
+/// and returns the cycle count.
+fn run_working_set(cfg: Config) -> u64 {
+    let mut p = Platform::new(cfg);
+    let mut ops = Vec::new();
+    for i in 0..256u64 {
+        ops.push(TraceOp::Store(DRAM_BASE + i * 64));
+        ops.push(TraceOp::Load(DRAM_BASE + ((i * 37) % 256) * 64));
+    }
+    p.set_engine(0, 0, Box::new(TraceCore::new("ws", ops)));
+    let done = |p: &Platform| {
+        p.node(0)
+            .tile(0)
+            .engine()
+            .as_any()
+            .downcast_ref::<TraceCore>()
+            .is_some_and(|c| c.finished_at().is_some())
+    };
+    assert!(p.run_until(5_000_000, done), "working set hung");
+    p.now()
+}
+
+/// Homing ablation: SMAPPIC's partitioned homing vs line-striping vs
+/// BYOC-style node-local homing, same workload.
+fn bench_homing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_homing");
+    g.sample_size(10);
+    for (name, mode) in [
+        ("partitioned", None),
+        ("striped", Some(HomingMode::StripeAllNodes)),
+        ("node_local", Some(HomingMode::NodeLocal)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cfg = Config::new(2, 1, 2);
+                cfg.homing = mode;
+                black_box(run_working_set(cfg))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Link-latency ablation: the §3.5 traffic shaper modeling slower target
+/// interconnects (e.g. Ampere Altra, §4.1).
+fn bench_link_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_link_latency");
+    g.sample_size(10);
+    for extra in [0u64, 100, 400] {
+        g.bench_function(format!("extra_{extra}_cycles"), |b| {
+            b.iter(|| {
+                let mut cfg = Config::new(2, 1, 2);
+                cfg.homing = Some(HomingMode::StripeAllNodes); // force remote traffic
+                cfg.params.bridge_extra_latency = extra;
+                black_box(run_working_set(cfg))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_homing, bench_link_latency);
+criterion_main!(benches);

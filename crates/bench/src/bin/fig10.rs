@@ -1,0 +1,7 @@
+//! Regenerates Fig 10: GNG accelerator speedups.
+//!
+//! Flags: --samples N (default 512; the paper generated 64 MB of noise).
+fn main() {
+    let samples = smappic_bench::arg_usize("--samples", 512);
+    print!("{}", smappic_bench::fig10(samples));
+}

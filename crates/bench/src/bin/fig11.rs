@@ -1,0 +1,7 @@
+//! Regenerates Fig 11: MAPLE engine speedups.
+//!
+//! Flags: --elements N (default 256).
+fn main() {
+    let elements = smappic_bench::arg_usize("--elements", 256);
+    print!("{}", smappic_bench::fig11(elements));
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig 13: modeling costs per tool, plus the §4.5
+//! hello-world Verilator comparison (pass --hello).
+fn main() {
+    if std::env::args().any(|a| a == "--hello") {
+        print!("{}", smappic_bench::fig13_hello());
+    } else {
+        print!("{}", smappic_bench::fig13_render());
+        println!();
+        print!("{}", smappic_bench::fig13_hello());
+    }
+}

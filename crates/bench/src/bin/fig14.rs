@@ -1,0 +1,4 @@
+//! Regenerates Fig 14: cloud vs on-premises cost.
+fn main() {
+    print!("{}", smappic_bench::fig14_render());
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig 7: the inter-core latency heatmap.
+//!
+//! Flags: --fpgas A (default 4), --tiles C (default 12), --iters N (20).
+fn main() {
+    let fpgas = smappic_bench::arg_usize("--fpgas", 4);
+    let tiles = smappic_bench::arg_usize("--tiles", 12);
+    let iters = smappic_bench::arg_usize("--iters", 20) as u64;
+    print!("{}", smappic_bench::fig7(fpgas, tiles, iters));
+}

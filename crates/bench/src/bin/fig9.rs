@@ -1,0 +1,8 @@
+//! Regenerates Fig 9: thread-pinning effects across 1..4 nodes.
+//!
+//! Flags: --keys N (default 4800).
+use smappic_core::Config;
+fn main() {
+    let keys = smappic_bench::arg_usize("--keys", 4800);
+    print!("{}", smappic_bench::fig9(Config::new(4, 1, 12), keys));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 1.
+fn main() {
+    print!("{}", smappic_bench::table1());
+}

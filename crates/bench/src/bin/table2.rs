@@ -1,0 +1,4 @@
+//! Regenerates Table 2.
+fn main() {
+    print!("{}", smappic_bench::table2());
+}

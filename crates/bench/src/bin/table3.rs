@@ -1,0 +1,4 @@
+//! Regenerates Table 3.
+fn main() {
+    print!("{}", smappic_bench::table3());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 4.
+fn main() {
+    print!("{}", smappic_bench::table4());
+}

@@ -1,0 +1,159 @@
+//! Cache-line homing: which node and LLC slice own a line.
+
+use smappic_noc::{Addr, Gid, NodeId, TileId};
+
+/// The homing policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HomingMode {
+    /// NUMA-style homing: the physical address space is partitioned into
+    /// one contiguous region per node (this is what the prototype's device
+    /// tree exposes to Linux as NUMA nodes, §4.1). An address is homed at
+    /// the node owning its region, so page placement controls locality.
+    Partitioned {
+        /// Base of the memory address space (below it, region 0 applies).
+        dram_base: u64,
+        /// Bytes of the space owned by each node.
+        bytes_per_node: u64,
+    },
+    /// SMAPPIC's out-of-the-box unified-memory policy (§3.1 stage 1):
+    /// lines are striped across **all nodes** at cache-line granularity.
+    /// Uniform but locality-blind; kept for the homing ablation bench.
+    StripeAllNodes,
+    /// BYOC's original behaviour: every line is homed in the requester's
+    /// own node (multi-chip sharing then needs Coherence Domain Restriction
+    /// in software). Kept for the homing ablation bench.
+    NodeLocal,
+}
+
+/// Maps cache lines to their home node and LLC slice.
+///
+/// ```
+/// use smappic_coherence::{Homing, HomingMode};
+/// use smappic_noc::NodeId;
+///
+/// let h = Homing::new(HomingMode::StripeAllNodes, 4, 12);
+/// // Consecutive lines land on consecutive nodes.
+/// assert_eq!(h.home_node(0x000, NodeId(0)), NodeId(0));
+/// assert_eq!(h.home_node(0x040, NodeId(0)), NodeId(1));
+/// assert_eq!(h.home_node(0x100, NodeId(0)), NodeId(0));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Homing {
+    mode: HomingMode,
+    nodes: u16,
+    tiles_per_node: u16,
+}
+
+impl Homing {
+    /// Creates the homing function for a system of `nodes` nodes with
+    /// `tiles_per_node` LLC slices each (one slice per tile in BYOC).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn new(mode: HomingMode, nodes: u16, tiles_per_node: u16) -> Self {
+        assert!(nodes > 0 && tiles_per_node > 0, "degenerate system shape");
+        Self { mode, nodes, tiles_per_node }
+    }
+
+    /// The active policy.
+    pub fn mode(&self) -> HomingMode {
+        self.mode
+    }
+
+    /// Home node of `line` when requested from `local` node.
+    pub fn home_node(&self, line: Addr, local: NodeId) -> NodeId {
+        match self.mode {
+            HomingMode::Partitioned { dram_base, bytes_per_node } => {
+                let off = line.saturating_sub(dram_base);
+                NodeId(((off / bytes_per_node) % u64::from(self.nodes)) as u16)
+            }
+            HomingMode::StripeAllNodes => NodeId(((line >> 6) % u64::from(self.nodes)) as u16),
+            HomingMode::NodeLocal => local,
+        }
+    }
+
+    /// Home LLC slice (tile index) of `line` within its home node.
+    pub fn home_slice(&self, line: Addr) -> TileId {
+        let idx = line >> 6;
+        match self.mode {
+            HomingMode::Partitioned { .. } | HomingMode::NodeLocal => {
+                (idx % u64::from(self.tiles_per_node)) as TileId
+            }
+            // Within a node, stripe the per-node line stream over slices.
+            HomingMode::StripeAllNodes => {
+                ((idx / u64::from(self.nodes)) % u64::from(self.tiles_per_node)) as TileId
+            }
+        }
+    }
+
+    /// Full home Gid of `line` for a requester on node `local`.
+    pub fn home(&self, line: Addr, local: NodeId) -> Gid {
+        Gid::tile(self.home_node(line, local), self.home_slice(line))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripe_covers_all_nodes_evenly() {
+        let h = Homing::new(HomingMode::StripeAllNodes, 4, 12);
+        let mut counts = [0u32; 4];
+        for i in 0..4000u64 {
+            counts[h.home_node(i * 64, NodeId(0)).0 as usize] += 1;
+        }
+        assert_eq!(counts, [1000; 4]);
+    }
+
+    #[test]
+    fn stripe_covers_all_slices() {
+        let h = Homing::new(HomingMode::StripeAllNodes, 4, 12);
+        let mut seen = vec![false; 12];
+        for i in 0..48u64 {
+            seen[h.home_slice(i * 64) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn node_local_homes_at_requester() {
+        let h = Homing::new(HomingMode::NodeLocal, 4, 2);
+        for n in 0..4 {
+            assert_eq!(h.home_node(0xABC0, NodeId(n)), NodeId(n));
+        }
+    }
+
+    #[test]
+    fn home_is_deterministic_per_line() {
+        let h = Homing::new(HomingMode::StripeAllNodes, 3, 5);
+        for i in 0..100u64 {
+            let line = i * 64;
+            assert_eq!(h.home(line, NodeId(0)), h.home(line, NodeId(2)));
+        }
+    }
+
+    #[test]
+    fn partitioned_homes_by_region() {
+        let h = Homing::new(
+            HomingMode::Partitioned { dram_base: 0x8000_0000, bytes_per_node: 0x1000_0000 },
+            4,
+            12,
+        );
+        assert_eq!(h.home_node(0x8000_0040, NodeId(2)), NodeId(0));
+        assert_eq!(h.home_node(0x9000_0000, NodeId(2)), NodeId(1));
+        assert_eq!(h.home_node(0xA000_0000, NodeId(2)), NodeId(2));
+        assert_eq!(h.home_node(0xB000_0000, NodeId(2)), NodeId(3));
+        // Wraps beyond the last region rather than panicking.
+        assert_eq!(h.home_node(0xC000_0000, NodeId(2)), NodeId(0));
+    }
+
+    #[test]
+    fn sub_line_addresses_share_a_home() {
+        let h = Homing::new(HomingMode::StripeAllNodes, 4, 12);
+        // home_node takes line-aligned addresses; offsets within a line
+        // are stripped by the caller (BPC), so alignment is the contract.
+        assert_eq!(h.home_node(0x40, NodeId(0)), h.home_node(0x40, NodeId(3)));
+    }
+}

@@ -1,0 +1,105 @@
+//! # smappic-coherence — BPC private caches and the directory-MESI LLC
+//!
+//! BYOC isolates cores from the coherence protocol with the **BYOC Private
+//! Cache (BPC)** behind the Transaction-Response Interface, and scales
+//! shared memory with **distributed last-level cache (LLC) slices** holding
+//! the coherence directory (§2.2 of the paper). SMAPPIC changes one thing:
+//! the *homing* mechanism distributes cache lines across **all nodes** in
+//! the system so multi-node shared memory works out of the box, without
+//! Coherence Domain Restriction software support (§3.1 stage 1).
+//!
+//! This crate implements that stack:
+//!
+//! - [`Homing`] — maps a line to its home node and LLC slice
+//!   ([`HomingMode::StripeAllNodes`] is the SMAPPIC policy;
+//!   [`HomingMode::NodeLocal`] reproduces the BYOC-style single-node policy
+//!   for the ablation study),
+//! - [`Bpc`] — a set-associative private cache with MSHRs, MESI states, and
+//!   a core-side request interface ([`CoreReq`]/[`CoreResp`]),
+//! - [`LlcSlice`] — a set-associative LLC slice with a full directory
+//!   (sharers/owner tracking, recalls, invalidations) and a memory-side
+//!   interface toward the node's NoC-AXI4 memory controller.
+//!
+//! The protocol is a MESI variant with these properties, enforced by tests:
+//!
+//! - single-writer / multiple-reader per line,
+//! - near-directory atomics: AMOs execute at the home LLC slice after all
+//!   cached copies are revoked, making them globally ordered even across
+//!   nodes,
+//! - writeback/recall races resolved by VN3 point-to-point ordering plus
+//!   [`Msg::RecallNack`](smappic_noc::Msg::RecallNack).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bpc;
+mod homing;
+mod llc;
+
+pub use bpc::{Bpc, BpcConfig, CoreReq, CoreResp, MemOp};
+pub use homing::{Homing, HomingMode};
+pub use llc::{LlcConfig, LlcSlice};
+
+/// Cache geometry shared by BPC and LLC configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Total capacity in bytes.
+    pub capacity: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+}
+
+impl Geometry {
+    /// Creates a geometry; capacity must be a multiple of `ways × 64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the geometry does not divide into whole sets.
+    pub fn new(capacity: usize, ways: usize) -> Self {
+        assert!(ways > 0 && capacity > 0, "degenerate cache geometry");
+        assert_eq!(
+            capacity % (ways * smappic_noc::LINE_BYTES),
+            0,
+            "capacity must be a whole number of sets"
+        );
+        Self { capacity, ways }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.capacity / (self.ways * smappic_noc::LINE_BYTES)
+    }
+
+    /// Set index for a line address.
+    pub fn set_of(&self, line: u64) -> usize {
+        ((line >> 6) as usize) % self.sets()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_sets() {
+        // Table 2: BPC is 8 KB 4-way → 32 sets of 4×64 B.
+        let g = Geometry::new(8 * 1024, 4);
+        assert_eq!(g.sets(), 32);
+        // LLC slice: 64 KB 4-way → 256 sets.
+        assert_eq!(Geometry::new(64 * 1024, 4).sets(), 256);
+    }
+
+    #[test]
+    fn set_of_uses_line_index() {
+        let g = Geometry::new(8 * 1024, 4);
+        assert_eq!(g.set_of(0), 0);
+        assert_eq!(g.set_of(64), 1);
+        assert_eq!(g.set_of(64 * 32), 0); // wraps at 32 sets
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of sets")]
+    fn ragged_geometry_panics() {
+        Geometry::new(1000, 3);
+    }
+}

@@ -1,0 +1,595 @@
+//! The node chipset: memory controller, UARTs, CLINT, virtual SD card,
+//! interrupt packetizer, and the inter-node bridge attachment.
+
+use std::collections::{HashMap, VecDeque};
+
+use smappic_mem::MemController;
+use smappic_noc::{Gid, Msg, NodeId, Packet, TileId};
+use smappic_sim::{Cycle, Stats};
+
+use crate::bridge::InterNodeBridge;
+use crate::config::{CLINT_BASE, PLIC_BASE, SD_CTL_BASE, SD_DATA_BASE, UART0_BASE, UART1_BASE};
+use crate::plic::{Plic, PLIC_SRC_UART0, PLIC_SRC_UART1};
+use crate::uart::Uart16550;
+
+/// The RISC-V core-local interruptor: software (IPI) and timer interrupts
+/// for every hart in the node. Its output wires feed the interrupt
+/// packetizer (§3.3) instead of running across the die.
+#[derive(Debug)]
+pub struct Clint {
+    msip: Vec<bool>,
+    mtimecmp: Vec<u64>,
+    mtime: u64,
+}
+
+/// MTIMECMP registers: 8 bytes per hart at offset 0x4000 (MSIP registers
+/// occupy 4 bytes per hart from offset 0).
+const CLINT_MTIMECMP: u64 = 0x4000;
+/// MTIME register at offset 0xBFF8.
+const CLINT_MTIME: u64 = 0xBFF8;
+
+impl Clint {
+    /// Creates a CLINT for `harts` harts. `mtimecmp` resets to the maximum
+    /// value so no timer fires before software programs it.
+    pub fn new(harts: usize) -> Self {
+        Self { msip: vec![false; harts], mtimecmp: vec![u64::MAX; harts], mtime: 0 }
+    }
+
+    /// Advances mtime (we tick it every cycle; the divider is the
+    /// platform's choice and the guest reads the same clock).
+    pub fn tick(&mut self) {
+        self.mtime += 1;
+    }
+
+    /// Guest MMIO read.
+    pub fn read(&self, offset: u64) -> u64 {
+        if offset >= CLINT_MTIME {
+            return self.mtime;
+        }
+        if offset >= CLINT_MTIMECMP {
+            let hart = ((offset - CLINT_MTIMECMP) / 8) as usize;
+            return self.mtimecmp.get(hart).copied().unwrap_or(u64::MAX);
+        }
+        let hart = (offset / 4) as usize;
+        u64::from(self.msip.get(hart).copied().unwrap_or(false))
+    }
+
+    /// Guest MMIO write.
+    pub fn write(&mut self, offset: u64, data: u64) {
+        if offset >= CLINT_MTIME {
+            self.mtime = data;
+        } else if offset >= CLINT_MTIMECMP {
+            let hart = ((offset - CLINT_MTIMECMP) / 8) as usize;
+            if let Some(c) = self.mtimecmp.get_mut(hart) {
+                *c = data;
+            }
+        } else {
+            let hart = (offset / 4) as usize;
+            if let Some(m) = self.msip.get_mut(hart) {
+                *m = data & 1 != 0;
+            }
+        }
+    }
+
+    /// Timer-interrupt wire level for `hart` (mip.MTIP, bit 7).
+    pub fn timer_level(&self, hart: usize) -> bool {
+        self.mtime >= self.mtimecmp[hart]
+    }
+
+    /// Software-interrupt wire level for `hart` (mip.MSIP, bit 3).
+    pub fn soft_level(&self, hart: usize) -> bool {
+        self.msip[hart]
+    }
+
+    /// Number of harts served.
+    pub fn harts(&self) -> usize {
+        self.msip.len()
+    }
+}
+
+/// SD controller register offsets.
+const SD_REG_LBA: u64 = 0x0;
+const SD_REG_BUF: u64 = 0x8;
+const SD_REG_START: u64 = 0x10;
+const SD_REG_STATUS: u64 = 0x18;
+/// Bytes per SD block.
+const SD_BLOCK: u64 = 512;
+
+/// The virtual SD controller (§3.4.2).
+///
+/// F1 has no SD slot, so the card is *virtual*: its contents live in the
+/// top half of the node's DRAM ([`SD_DATA_BASE`]) where the host's driver
+/// injects the disk image. A block read shuttles 512 bytes from the SD
+/// region into the guest's buffer through the memory controller — only
+/// functionality, not device timing, exactly as the paper scopes virtual
+/// devices.
+#[derive(Debug, Default)]
+struct SdController {
+    lba: u64,
+    buf: u64,
+    /// Bytes copied so far in the active transfer; None when idle.
+    progress: Option<u64>,
+    /// Value loaded from the SD region awaiting the store leg.
+    loaded: Option<u64>,
+    waiting: bool,
+}
+
+impl SdController {
+    fn read(&self, offset: u64) -> u64 {
+        match offset & 0x18 {
+            SD_REG_LBA => self.lba,
+            SD_REG_BUF => self.buf,
+            SD_REG_STATUS => u64::from(self.progress.is_some()),
+            _ => 0,
+        }
+    }
+
+    fn write(&mut self, offset: u64, data: u64) {
+        match offset & 0x18 {
+            SD_REG_LBA => self.lba = data,
+            SD_REG_BUF => self.buf = data,
+            SD_REG_START => {
+                if data != 0 && self.progress.is_none() {
+                    self.progress = Some(0);
+                    self.loaded = None;
+                    self.waiting = false;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The chipset of one node.
+///
+/// Packets leaving the mesh through tile 0's north edge land here and are
+/// routed by destination and address: remote-node traffic into the
+/// [`InterNodeBridge`], device accesses into the UARTs/CLINT/SD, and
+/// everything else into the NoC-AXI4 memory controller. The interrupt
+/// packetizer watches the CLINT and UART wires and converts level changes
+/// into [`Msg::Irq`] packets (§3.3, Fig 6).
+#[derive(Debug)]
+pub struct Chipset {
+    node: NodeId,
+    tiles: usize,
+    memctl: MemController,
+    /// Console UART (115200 baud).
+    pub uart0: Uart16550,
+    /// Data UART (~1 Mbit/s, the prototype's network link).
+    pub uart1: Uart16550,
+    clint: Clint,
+    sd: SdController,
+    plic: Plic,
+    bridge: InterNodeBridge,
+    irq_prev: HashMap<(TileId, u16), bool>,
+    /// Per-virtual-network egress toward the mesh (deadlock freedom).
+    to_mesh: [VecDeque<Packet>; 3],
+    memctl_retry: VecDeque<Packet>,
+    stats: Stats,
+}
+
+impl Chipset {
+    /// Assembles a chipset.
+    pub fn new(node: NodeId, tiles: usize, memctl: MemController, bridge: InterNodeBridge) -> Self {
+        Self {
+            node,
+            tiles,
+            memctl,
+            uart0: Uart16550::console(),
+            uart1: Uart16550::data(),
+            clint: Clint::new(tiles),
+            sd: SdController::default(),
+            plic: Plic::new(tiles),
+            bridge,
+            irq_prev: HashMap::new(),
+            to_mesh: Default::default(),
+            memctl_retry: VecDeque::new(),
+            stats: Stats::new(),
+        }
+    }
+
+    /// The memory controller (host backdoor goes through here).
+    pub fn memctl_mut(&mut self) -> &mut MemController {
+        &mut self.memctl
+    }
+
+    /// Read-only memory controller access.
+    pub fn memctl(&self) -> &MemController {
+        &self.memctl
+    }
+
+    /// The inter-node bridge (the FPGA pumps its AXI side).
+    pub fn bridge_mut(&mut self) -> &mut InterNodeBridge {
+        &mut self.bridge
+    }
+
+    /// The CLINT (tests drive timers directly).
+    pub fn clint_mut(&mut self) -> &mut Clint {
+        &mut self.clint
+    }
+
+    /// The PLIC (tests drive sources directly).
+    pub fn plic_mut(&mut self) -> &mut Plic {
+        &mut self.plic
+    }
+
+    /// The inter-node bridge's counters.
+    pub fn bridge_stats(&self) -> &Stats {
+        self.bridge.stats()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    fn me(&self) -> Gid {
+        Gid::chipset(self.node)
+    }
+
+    /// A packet arriving from the mesh edge.
+    pub fn push_from_mesh(&mut self, now: Cycle, pkt: Packet) {
+        if pkt.dst.node != self.node {
+            self.bridge.send(now, pkt);
+            return;
+        }
+        self.handle_local(now, pkt);
+    }
+
+    fn handle_local(&mut self, now: Cycle, pkt: Packet) {
+        debug_assert_eq!(pkt.dst, self.me(), "chipset handles only its own Gid");
+        match &pkt.msg {
+            Msg::NcLoad { addr, size } => {
+                let (addr, size, src) = (*addr, *size, pkt.src);
+                match self.device_read(now, addr) {
+                    Some(data) => {
+                        let msg = Msg::NcData { addr, data };
+                        self.push_to_mesh(Packet::on_canonical_vn(src, self.me(), msg));
+                    }
+                    None => {
+                        // DRAM (incl. the SD data region): memory controller.
+                        let fwd = Packet::on_canonical_vn(self.me(), src, Msg::NcLoad { addr, size });
+                        self.push_memctl(fwd);
+                    }
+                }
+            }
+            Msg::NcStore { addr, size, data } => {
+                let (addr, size, data, src) = (*addr, *size, *data, pkt.src);
+                if self.device_write(now, addr, data) {
+                    let msg = Msg::NcAck { addr };
+                    self.push_to_mesh(Packet::on_canonical_vn(src, self.me(), msg));
+                } else {
+                    let fwd =
+                        Packet::on_canonical_vn(self.me(), src, Msg::NcStore { addr, size, data });
+                    self.push_memctl(fwd);
+                }
+            }
+            Msg::MemRd { .. } | Msg::MemWr { .. } => {
+                self.push_memctl(pkt);
+            }
+            other => panic!("chipset received unexpected message {other:?}"),
+        }
+    }
+
+    fn push_memctl(&mut self, pkt: Packet) {
+        // Staged through an elastic queue so controller back-pressure never
+        // forces the chipset to drop or reorder traffic; `tick` drains it
+        // as buffer slots free up.
+        self.memctl_retry.push_back(pkt);
+    }
+
+    /// Reads a device register; `None` when the address is DRAM.
+    fn device_read(&mut self, _now: Cycle, addr: u64) -> Option<u64> {
+        match addr {
+            a if (UART0_BASE..UART0_BASE + 0x1000).contains(&a) => Some(self.uart0.read(a - UART0_BASE)),
+            a if (UART1_BASE..UART1_BASE + 0x1000).contains(&a) => Some(self.uart1.read(a - UART1_BASE)),
+            a if (CLINT_BASE..CLINT_BASE + 0x10000).contains(&a) => Some(self.clint.read(a - CLINT_BASE)),
+            a if (SD_CTL_BASE..SD_CTL_BASE + 0x1000).contains(&a) => Some(self.sd.read(a - SD_CTL_BASE)),
+            a if (PLIC_BASE..PLIC_BASE + 0x40_0000).contains(&a) => Some(self.plic.read(a - PLIC_BASE)),
+            _ => None,
+        }
+    }
+
+    /// Writes a device register; false when the address is DRAM.
+    fn device_write(&mut self, now: Cycle, addr: u64, data: u64) -> bool {
+        match addr {
+            a if (UART0_BASE..UART0_BASE + 0x1000).contains(&a) => {
+                self.uart0.write(now, a - UART0_BASE, data);
+                true
+            }
+            a if (UART1_BASE..UART1_BASE + 0x1000).contains(&a) => {
+                self.uart1.write(now, a - UART1_BASE, data);
+                true
+            }
+            a if (CLINT_BASE..CLINT_BASE + 0x10000).contains(&a) => {
+                self.clint.write(a - CLINT_BASE, data);
+                true
+            }
+            a if (SD_CTL_BASE..SD_CTL_BASE + 0x1000).contains(&a) => {
+                self.sd.write(a - SD_CTL_BASE, data);
+                true
+            }
+            a if (PLIC_BASE..PLIC_BASE + 0x40_0000).contains(&a) => {
+                self.plic.write(a - PLIC_BASE, data);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn push_to_mesh(&mut self, pkt: Packet) {
+        self.to_mesh[pkt.vn.index()].push_back(pkt);
+    }
+
+    /// Debug: depths of the per-VN mesh egress queues and the memory
+    /// controller staging queue.
+    pub fn queue_depths(&self) -> ([usize; 3], usize) {
+        (
+            [self.to_mesh[0].len(), self.to_mesh[1].len(), self.to_mesh[2].len()],
+            self.memctl_retry.len(),
+        )
+    }
+
+    /// Next packet to inject into the mesh edge (any virtual network).
+    pub fn pop_to_mesh(&mut self) -> Option<Packet> {
+        self.to_mesh.iter_mut().find_map(VecDeque::pop_front)
+    }
+
+    /// Next packet to inject on one virtual network.
+    pub fn pop_to_mesh_vn(&mut self, vn: usize) -> Option<Packet> {
+        self.to_mesh[vn].pop_front()
+    }
+
+    /// Returns a packet the mesh refused this cycle.
+    pub fn unpop_to_mesh(&mut self, pkt: Packet) {
+        self.to_mesh[pkt.vn.index()].push_front(pkt);
+    }
+
+    /// Advances the chipset one cycle.
+    pub fn tick(&mut self, now: Cycle) {
+        self.uart0.tick(now);
+        self.uart1.tick(now);
+        self.clint.tick();
+        // Drain staged memory traffic into the controller as space frees.
+        while self.memctl.can_push() {
+            let Some(pkt) = self.memctl_retry.pop_front() else { break };
+            self.memctl.push_noc(pkt).expect("can_push checked");
+        }
+        self.memctl.tick(now);
+        self.sd_tick(now);
+
+        // Memory controller responses: back into the mesh, except the SD
+        // controller's own transfers (addressed to the chipset).
+        while let Some(pkt) = self.memctl.pop_noc() {
+            if pkt.dst == self.me() {
+                self.sd_complete(pkt);
+            } else {
+                self.push_to_mesh(pkt);
+            }
+        }
+
+        // Bridge deliveries from remote nodes.
+        while let Some(pkt) = self.bridge.recv() {
+            if pkt.dst.node == self.node && pkt.dst.elem == smappic_noc::Elem::Chipset {
+                self.handle_local(now, pkt);
+            } else {
+                self.push_to_mesh(pkt);
+            }
+        }
+
+        // Interrupt packetizer: diff wire levels, emit packets on change.
+        self.packetize_irqs();
+    }
+
+    /// The SD state machine: alternating 8-byte load (SD region) and store
+    /// (guest buffer) legs through the memory controller.
+    fn sd_tick(&mut self, _now: Cycle) {
+        let Some(done) = self.sd.progress else { return };
+        if self.sd.waiting {
+            return; // a leg is in flight
+        }
+        if done >= SD_BLOCK {
+            self.sd.progress = None;
+            self.stats.incr("sd.blocks_read");
+            return;
+        }
+        let me = self.me();
+        match self.sd.loaded.take() {
+            None => {
+                let addr = SD_DATA_BASE + self.sd.lba * SD_BLOCK + done;
+                let req = Packet::on_canonical_vn(me, me, Msg::NcLoad { addr, size: 8 });
+                self.sd.waiting = true;
+                self.push_memctl(req);
+            }
+            Some(v) => {
+                let addr = self.sd.buf + done;
+                let req = Packet::on_canonical_vn(me, me, Msg::NcStore { addr, size: 8, data: v });
+                self.sd.waiting = true;
+                self.push_memctl(req);
+            }
+        }
+    }
+
+    fn sd_complete(&mut self, pkt: Packet) {
+        match pkt.msg {
+            Msg::NcData { data, .. } => {
+                self.sd.loaded = Some(data);
+                self.sd.waiting = false;
+            }
+            Msg::NcAck { .. } => {
+                self.sd.waiting = false;
+                if let Some(p) = self.sd.progress.as_mut() {
+                    *p += 8;
+                }
+            }
+            other => panic!("SD controller got unexpected completion {other:?}"),
+        }
+    }
+
+    fn packetize_irqs(&mut self) {
+        // Device wires feed the PLIC; the PLIC's per-hart outputs and the
+        // CLINT's wires are what the packetizer watches.
+        self.plic.set_source_level(PLIC_SRC_UART0, self.uart0.rx_irq_level());
+        self.plic.set_source_level(PLIC_SRC_UART1, self.uart1.rx_irq_level());
+        let me = self.me();
+        for hart in 0..self.tiles {
+            let tile = hart as TileId;
+            let wires = [
+                (7u16, self.clint.timer_level(hart)),
+                (3u16, self.clint.soft_level(hart)),
+                (11u16, self.plic.ext_level(hart)),
+            ];
+            for (line_no, level) in wires {
+                let prev = self.irq_prev.get(&(tile, line_no)).copied().unwrap_or(false);
+                if prev != level {
+                    self.irq_prev.insert((tile, line_no), level);
+                    let msg = Msg::Irq { line_no, level };
+                    self.push_to_mesh(Packet::on_canonical_vn(Gid::tile(self.node, tile), me, msg));
+                    self.stats.incr("irq.packets");
+                }
+            }
+        }
+    }
+
+    /// True when the chipset has no work in flight (SD idle, queues empty,
+    /// memory controller drained).
+    pub fn is_idle(&self) -> bool {
+        self.to_mesh.iter().all(VecDeque::is_empty)
+            && self.memctl_retry.is_empty()
+            && self.memctl.is_idle()
+            && self.sd.progress.is_none()
+            && self.bridge.is_idle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smappic_mem::{Dram, MemControllerConfig};
+
+    fn chipset(tiles: usize) -> Chipset {
+        let node = NodeId(0);
+        let memctl = MemController::new(MemControllerConfig::new(Gid::chipset(node)), Dram::default());
+        let bridge = InterNodeBridge::new(node, 0, 64);
+        Chipset::new(node, tiles, memctl, bridge)
+    }
+
+    fn nc_store(addr: u64, data: u64) -> Packet {
+        Packet::on_canonical_vn(
+            Gid::chipset(NodeId(0)),
+            Gid::tile(NodeId(0), 0),
+            Msg::NcStore { addr, size: 4, data },
+        )
+    }
+
+    fn nc_load(addr: u64) -> Packet {
+        Packet::on_canonical_vn(
+            Gid::chipset(NodeId(0)),
+            Gid::tile(NodeId(0), 0),
+            Msg::NcLoad { addr, size: 4 },
+        )
+    }
+
+    #[test]
+    fn uart_write_reaches_host_console() {
+        let mut c = chipset(2);
+        c.push_from_mesh(0, nc_store(UART0_BASE, u64::from(b'A')));
+        let mut out = Vec::new();
+        for now in 0..20_000 {
+            c.tick(now);
+            out.extend(c.uart0.host_mut().take_output());
+        }
+        assert_eq!(out, b"A");
+        // The guest got its ack.
+        let acked = std::iter::from_fn(|| c.pop_to_mesh())
+            .any(|p| matches!(p.msg, Msg::NcAck { .. }));
+        assert!(acked);
+    }
+
+    #[test]
+    fn clint_timer_interrupt_is_packetized() {
+        let mut c = chipset(2);
+        // Program hart 1's mtimecmp to fire almost immediately.
+        c.push_from_mesh(0, nc_store(CLINT_BASE + CLINT_MTIMECMP + 8, 5));
+        let mut irqs = Vec::new();
+        for now in 0..100 {
+            c.tick(now);
+            while let Some(p) = c.pop_to_mesh() {
+                if let Msg::Irq { line_no, level } = p.msg {
+                    irqs.push((p.dst, line_no, level));
+                }
+            }
+        }
+        assert!(
+            irqs.contains(&(Gid::tile(NodeId(0), 1), 7, true)),
+            "timer irq packet for tile 1 missing: {irqs:?}"
+        );
+    }
+
+    #[test]
+    fn msip_write_sends_ipi_packet() {
+        let mut c = chipset(4);
+        c.push_from_mesh(0, nc_store(CLINT_BASE + 4 * 3, 1));
+        let mut got = false;
+        for now in 0..100 {
+            c.tick(now);
+            while let Some(p) = c.pop_to_mesh() {
+                if matches!(p.msg, Msg::Irq { line_no: 3, level: true }) {
+                    assert_eq!(p.dst, Gid::tile(NodeId(0), 3));
+                    got = true;
+                }
+            }
+        }
+        assert!(got, "IPI packet must be sent");
+    }
+
+    #[test]
+    fn sd_block_read_copies_from_image_to_buffer() {
+        let mut c = chipset(1);
+        // Host injects a disk image: block 3 holds a pattern.
+        let img: Vec<u8> = (0..512u32).map(|i| (i % 251) as u8).collect();
+        c.memctl_mut().dram_mut().write_bytes(SD_DATA_BASE + 3 * SD_BLOCK, &img);
+        // Guest programs a read of LBA 3 into buffer 0x9000_0000.
+        c.push_from_mesh(0, nc_store(SD_CTL_BASE + SD_REG_LBA, 3));
+        c.push_from_mesh(0, nc_store(SD_CTL_BASE + SD_REG_BUF, 0x9000_0000));
+        c.push_from_mesh(0, nc_store(SD_CTL_BASE + SD_REG_START, 1));
+        for now in 0..200_000 {
+            c.tick(now);
+            while c.pop_to_mesh().is_some() {}
+            if c.stats().get("sd.blocks_read") == 1 {
+                break;
+            }
+        }
+        assert_eq!(c.stats().get("sd.blocks_read"), 1, "transfer must finish");
+        assert_eq!(c.memctl().dram().read_bytes(0x9000_0000, 512), img);
+        // Status reads back idle.
+        c.push_from_mesh(0, nc_load(SD_CTL_BASE + SD_REG_STATUS));
+        c.tick(999_999);
+        let status = std::iter::from_fn(|| c.pop_to_mesh()).find_map(|p| match p.msg {
+            Msg::NcData { data, .. } => Some(data),
+            _ => None,
+        });
+        assert_eq!(status, Some(0));
+    }
+
+    #[test]
+    fn remote_traffic_goes_to_the_bridge() {
+        let mut c = chipset(1);
+        let remote = Packet::on_canonical_vn(
+            Gid::tile(NodeId(2), 0),
+            Gid::tile(NodeId(0), 0),
+            Msg::ReqS { line: 0x40 },
+        );
+        c.push_from_mesh(0, remote);
+        let mut found = false;
+        for now in 0..50 {
+            c.tick(now);
+            if let Some(req) = c.bridge_mut().axi_pop_req(now) {
+                assert_eq!(crate::bridge::addr_dst(req.addr()), NodeId(2));
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "bridge must emit the encapsulated AXI write");
+    }
+}

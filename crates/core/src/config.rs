@@ -1,0 +1,224 @@
+//! Platform configuration: AxBxC shape, Table 2 parameters, address map.
+
+use smappic_coherence::HomingMode;
+use smappic_sim::Cycle;
+
+/// Base of cacheable DRAM in the guest physical address space.
+pub const DRAM_BASE: u64 = 0x8000_0000;
+
+/// Console UART (16550, 115200 baud) MMIO base, per node.
+pub const UART0_BASE: u64 = 0x6000_0000;
+
+/// Data UART ("overclocked" ~1 Mbit/s, §3.4.1) MMIO base, per node.
+pub const UART1_BASE: u64 = 0x6001_0000;
+
+/// CLINT (timer + software interrupts) MMIO base, per node.
+pub const CLINT_BASE: u64 = 0x6100_0000;
+
+/// Virtual SD controller MMIO base, per node (§3.4.2).
+pub const SD_CTL_BASE: u64 = 0x6200_0000;
+
+/// Platform-level interrupt controller MMIO base, per node.
+pub const PLIC_BASE: u64 = 0x6400_0000;
+
+/// Start of the SD-card data region: the "top half" of the node's DRAM
+/// where the host's SD driver injects the disk image.
+pub const SD_DATA_BASE: u64 = 0x2_0000_0000;
+
+/// MMIO window of a GNG accelerator occupying a tile (per-tile windows of
+/// 4 KiB starting here, indexed by tile).
+pub const GNG_MMIO_BASE: u64 = 0x7000_0000;
+
+/// MMIO window base for MAPLE engines (per-tile 4 KiB windows).
+pub const MAPLE_MMIO_BASE: u64 = 0x7100_0000;
+
+/// Table 2: the prototyped system parameters.
+#[derive(Debug, Clone)]
+pub struct SystemParams {
+    /// Fabric frequency in MHz (Table 2: 100 MHz).
+    pub frequency_mhz: u32,
+    /// L1I capacity in bytes (16 KB).
+    pub l1i_bytes: usize,
+    /// BPC capacity in bytes (8 KB, 4 ways).
+    pub bpc_bytes: usize,
+    /// BPC associativity.
+    pub bpc_ways: usize,
+    /// LLC slice capacity in bytes (64 KB, 4 ways).
+    pub llc_slice_bytes: usize,
+    /// LLC associativity.
+    pub llc_ways: usize,
+    /// DRAM latency in cycles (80).
+    pub dram_latency: Cycle,
+    /// One-way PCIe latency in cycles (62 ⇒ ~125-cycle round trip).
+    pub pcie_one_way_latency: Cycle,
+    /// PCIe bandwidth in bytes per cycle.
+    pub pcie_bytes_per_cycle: u64,
+    /// Extra traffic-shaper latency in the inter-node bridge (models
+    /// slower interconnects like Ampere Altra, §4.1).
+    pub bridge_extra_latency: Cycle,
+    /// Bridge bandwidth in bytes per cycle.
+    pub bridge_bytes_per_cycle: u64,
+    /// Per-node DRAM bytes (defines the NUMA regions of partitioned
+    /// homing; 256 MiB keeps the simulation light).
+    pub bytes_per_node: u64,
+    /// BPC miss-status-holding registers.
+    pub bpc_mshrs: usize,
+    /// BPC hit latency (cycles).
+    pub bpc_hit_latency: Cycle,
+    /// LLC pipeline latency (cycles).
+    pub llc_latency: Cycle,
+    /// Mesh hop latency (cycles).
+    pub hop_latency: Cycle,
+}
+
+impl Default for SystemParams {
+    fn default() -> Self {
+        Self {
+            frequency_mhz: 100,
+            l1i_bytes: 16 * 1024,
+            bpc_bytes: 8 * 1024,
+            bpc_ways: 4,
+            llc_slice_bytes: 64 * 1024,
+            llc_ways: 4,
+            dram_latency: 80,
+            pcie_one_way_latency: 62,
+            pcie_bytes_per_cycle: 160,
+            bridge_extra_latency: 0,
+            // The traffic shaper models the *target* inter-socket link
+            // (§3.5), not raw PCIe: 8 B/cycle ≈ 6.4 GB/s per direction at
+            // 100 MHz, an inter-socket-class per-link bandwidth. This is
+            // what makes inter-node congestion visible at high thread
+            // counts (Fig 8).
+            bridge_bytes_per_cycle: 8,
+            bytes_per_node: 256 << 20,
+            bpc_mshrs: 4,
+            bpc_hit_latency: 2,
+            llc_latency: 4,
+            hop_latency: 1,
+        }
+    }
+}
+
+/// An AxBxC prototype configuration.
+///
+/// ```
+/// use smappic_core::Config;
+/// let c = Config::new(4, 1, 12); // the 48-core flagship (Fig 1c)
+/// assert_eq!(c.total_nodes(), 4);
+/// assert_eq!(c.total_tiles(), 48);
+/// assert_eq!(c.notation(), "4x1x12");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of FPGAs (A). At most 4 — only four FPGAs in an F1 instance
+    /// are connected with low-latency PCIe links (§4.8).
+    pub fpgas: usize,
+    /// Nodes per FPGA (B). At most 4 — one DDR4 controller per node.
+    pub nodes_per_fpga: usize,
+    /// Tiles per node (C).
+    pub tiles_per_node: usize,
+    /// Table 2 parameters.
+    pub params: SystemParams,
+    /// Homing policy; `None` selects partitioned homing over
+    /// `params.bytes_per_node` (the multi-node default).
+    pub homing: Option<HomingMode>,
+    /// When false, nodes are independent prototypes with no inter-node
+    /// interconnect (the cost-efficient 1x4x2 of §4.5).
+    pub unified_memory: bool,
+}
+
+impl Config {
+    /// Creates an AxBxC configuration with default parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the shape violates the F1 limits of §4.8 (A ≤ 4,
+    /// B ≤ 4, C ≥ 1).
+    pub fn new(fpgas: usize, nodes_per_fpga: usize, tiles_per_node: usize) -> Self {
+        assert!((1..=4).contains(&fpgas), "one SMAPPIC prototype spans at most 4 FPGAs");
+        assert!(
+            (1..=4).contains(&nodes_per_fpga),
+            "at most four nodes per FPGA (four DDR4 controllers)"
+        );
+        assert!(tiles_per_node >= 1, "a node needs at least one tile");
+        Self {
+            fpgas,
+            nodes_per_fpga,
+            tiles_per_node,
+            params: SystemParams::default(),
+            homing: None,
+            unified_memory: true,
+        }
+    }
+
+    /// Total nodes in the prototype.
+    pub fn total_nodes(&self) -> usize {
+        self.fpgas * self.nodes_per_fpga
+    }
+
+    /// Total tiles.
+    pub fn total_tiles(&self) -> usize {
+        self.total_nodes() * self.tiles_per_node
+    }
+
+    /// The paper's AxBxC notation string.
+    pub fn notation(&self) -> String {
+        format!("{}x{}x{}", self.fpgas, self.nodes_per_fpga, self.tiles_per_node)
+    }
+
+    /// The effective homing mode. Without unified memory (§4.5's
+    /// cost-efficient multi-prototype packing) every node homes its own
+    /// lines — the nodes are fully independent systems.
+    pub fn homing_mode(&self) -> HomingMode {
+        if !self.unified_memory {
+            return HomingMode::NodeLocal;
+        }
+        self.homing.unwrap_or(HomingMode::Partitioned {
+            dram_base: DRAM_BASE,
+            bytes_per_node: self.params.bytes_per_node,
+        })
+    }
+
+    /// Marks the prototype as independent nodes (no inter-node
+    /// interconnect): the 1x4x2 configuration of §4.5 that packs four
+    /// prototypes into one FPGA for cost efficiency.
+    pub fn independent_nodes(mut self) -> Self {
+        self.unified_memory = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn notation_matches_paper() {
+        assert_eq!(Config::new(1, 4, 2).notation(), "1x4x2");
+        assert_eq!(Config::new(4, 4, 2).total_tiles(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "4 FPGAs")]
+    fn more_than_four_fpgas_rejected() {
+        Config::new(5, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "DDR4")]
+    fn more_than_four_nodes_per_fpga_rejected() {
+        Config::new(1, 5, 1);
+    }
+
+    #[test]
+    fn default_homing_is_partitioned() {
+        let c = Config::new(2, 1, 2);
+        match c.homing_mode() {
+            HomingMode::Partitioned { dram_base, bytes_per_node } => {
+                assert_eq!(dram_base, DRAM_BASE);
+                assert_eq!(bytes_per_node, c.params.bytes_per_node);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! One F1 FPGA: up to four nodes, an AXI crossbar binding them, and the
+//! AWS Hard Shell.
+
+use smappic_axi::{Crossbar, HardShell};
+use smappic_coherence::Homing;
+use smappic_noc::NodeId;
+use smappic_sim::Cycle;
+
+use crate::bridge::NODE_WINDOW;
+use crate::config::Config;
+use crate::node::Node;
+
+/// One FPGA of the prototype.
+///
+/// The crossbar has one master+slave port pair per local node bridge plus
+/// one pair for the Hard Shell: same-FPGA inter-node traffic turns around
+/// inside the crossbar (§3.1: *"connecting nodes on the same FPGA using
+/// the AXI4 crossbar"*); everything else leaves via the shell and PCIe.
+#[derive(Debug)]
+pub struct Fpga {
+    index: usize,
+    nodes: Vec<Node>,
+    xbar: Crossbar,
+    shell: HardShell,
+    first_global_node: usize,
+    total_nodes: usize,
+}
+
+impl Fpga {
+    /// Builds FPGA `index` of the prototype described by `cfg`.
+    pub fn new(cfg: &Config, index: usize, homing: Homing) -> Self {
+        let b = cfg.nodes_per_fpga;
+        let first_global_node = index * b;
+        let nodes = (0..b)
+            .map(|i| Node::new(cfg, NodeId((first_global_node + i) as u16), homing))
+            .collect();
+        // Masters/slaves: b node bridges + 1 shell port.
+        let mut xbar = Crossbar::new(b + 1, b + 1);
+        let total_nodes = cfg.total_nodes();
+        for g in 0..total_nodes {
+            let base = g as u64 * NODE_WINDOW;
+            let slave = if (first_global_node..first_global_node + b).contains(&g) {
+                g - first_global_node
+            } else {
+                b // shell-outbound port
+            };
+            xbar.map_range(base, NODE_WINDOW, slave);
+        }
+        Self { index, nodes, xbar, shell: HardShell::new(index), first_global_node, total_nodes }
+    }
+
+    /// Global FPGA index.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The nodes on this FPGA.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Mutable node access by local index.
+    pub fn node_mut(&mut self, local: usize) -> &mut Node {
+        &mut self.nodes[local]
+    }
+
+    /// The Hard Shell (the platform pumps its PCIe side).
+    pub fn shell_mut(&mut self) -> &mut HardShell {
+        &mut self.shell
+    }
+
+    /// Everything on this FPGA is quiescent.
+    pub fn is_idle(&self) -> bool {
+        self.nodes.iter().all(Node::is_idle) && self.xbar.is_idle() && self.shell.is_idle()
+    }
+
+    /// Which global node a bridge address targets.
+    fn addr_node(addr: u64) -> usize {
+        (addr / NODE_WINDOW) as usize
+    }
+
+    /// Advances one cycle: nodes, then the AXI plumbing between bridges,
+    /// the crossbar, and the shell.
+    pub fn tick(&mut self, now: Cycle) {
+        for n in &mut self.nodes {
+            n.tick(now);
+        }
+        let b = self.nodes.len();
+
+        // Node bridges → crossbar masters; responses back.
+        for i in 0..b {
+            let bridge = self.nodes[i].chipset_mut().bridge_mut();
+            while self.xbar.master_can_push(i) {
+                let Some(req) = bridge.axi_pop_req(now) else { break };
+                self.xbar.master_push(i, req).expect("capacity checked");
+            }
+            while let Some(resp) = self.xbar.master_pop(i) {
+                self.nodes[i].chipset_mut().bridge_mut().axi_push_resp(now, resp);
+            }
+        }
+
+        // Shell inbound (requests from peer FPGAs) → crossbar master b.
+        while self.xbar.master_can_push(b) {
+            let Some(req) = self.shell.cl_pop_inbound() else { break };
+            self.xbar.master_push(b, req).expect("capacity checked");
+        }
+        while self.shell.cl_can_push_resp() {
+            let Some(resp) = self.xbar.master_pop(b) else { break };
+            self.shell.cl_push_resp(resp).expect("cl_can_push_resp checked");
+        }
+
+        self.xbar.tick(now);
+
+        // Crossbar slaves: local node bridges receive; shell transmits.
+        for i in 0..b {
+            while let Some(req) = self.xbar.slave_pop(i) {
+                self.nodes[i].chipset_mut().bridge_mut().axi_push_req(now, req);
+            }
+            while self.xbar.slave_can_push(i) {
+                let bridge = self.nodes[i].chipset_mut().bridge_mut();
+                let Some((_peer, resp)) = bridge.axi_pop_resp_for_peer() else { break };
+                self.xbar.slave_push(i, resp).expect("slave_can_push checked");
+            }
+        }
+        // Shell-outbound slave: add the PCIe window for the target FPGA.
+        while self.shell.cl_can_push() {
+            let Some(req) = self.xbar.slave_pop(b) else { break };
+            let g = Self::addr_node(req.addr());
+            debug_assert!(g < self.total_nodes, "bridge address beyond prototype");
+            let dst_fpga = g / self.nodes.len();
+            let window = HardShell::fpga_window(dst_fpga);
+            let rewritten = match req {
+                smappic_axi::AxiReq::Write(mut w) => {
+                    w.addr += window;
+                    smappic_axi::AxiReq::Write(w)
+                }
+                smappic_axi::AxiReq::Read(mut r) => {
+                    r.addr += window;
+                    smappic_axi::AxiReq::Read(r)
+                }
+            };
+            self.shell.cl_push_outbound(rewritten).expect("cl_can_push checked");
+        }
+        while self.xbar.slave_can_push(b) {
+            let Some(resp) = self.shell.cl_pop_resp() else { break };
+            self.xbar.slave_push(b, resp).expect("slave_can_push checked");
+        }
+    }
+
+    /// The first global node index hosted here.
+    pub fn first_global_node(&self) -> usize {
+        self.first_global_node
+    }
+}

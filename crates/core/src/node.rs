@@ -1,0 +1,151 @@
+//! One node: a BYOC instance — tiles, mesh, and chipset.
+
+use smappic_coherence::{Bpc, BpcConfig, Geometry, Homing, LlcConfig, LlcSlice};
+use smappic_mem::{Dram, DramConfig, MemController, MemControllerConfig};
+use smappic_noc::{Gid, Mesh, MeshConfig, NodeId, TileId};
+use smappic_sim::Cycle;
+use smappic_tile::{Engine, IdleEngine, Tile};
+
+use crate::bridge::InterNodeBridge;
+use crate::chipset::Chipset;
+use crate::config::Config;
+
+/// One node of the prototype (one chip/die of the target system).
+#[derive(Debug)]
+pub struct Node {
+    id: NodeId,
+    mesh: Mesh,
+    tiles: Vec<Tile>,
+    chipset: Chipset,
+}
+
+impl Node {
+    /// Builds a node for `cfg` with idle engines in every tile; the
+    /// platform installs cores/accelerators afterwards.
+    pub fn new(cfg: &Config, id: NodeId, homing: Homing) -> Self {
+        let tiles_n = cfg.tiles_per_node;
+        let p = &cfg.params;
+        let mesh = Mesh::new(MeshConfig::new(id, tiles_n).with_hop_latency(p.hop_latency));
+        let tiles = (0..tiles_n as TileId)
+            .map(|t| {
+                let gid = Gid::tile(id, t);
+                let mut bpc_cfg = BpcConfig::new(gid, homing);
+                bpc_cfg.geometry = Geometry::new(p.bpc_bytes, p.bpc_ways);
+                bpc_cfg.mshrs = p.bpc_mshrs;
+                bpc_cfg.hit_latency = p.bpc_hit_latency;
+                let mut llc_cfg = LlcConfig::new(gid);
+                llc_cfg.geometry = Geometry::new(p.llc_slice_bytes, p.llc_ways);
+                llc_cfg.latency = p.llc_latency;
+                Tile::new(gid, Bpc::new(bpc_cfg), LlcSlice::new(llc_cfg), Box::new(IdleEngine))
+            })
+            .collect();
+        let dram = Dram::new(DramConfig {
+            latency: p.dram_latency,
+            // DDR4-2133 behind a 100 MHz fabric: ~17 GB/s ≈ 170 B/cycle;
+            // 128 keeps the channel from becoming a false bottleneck when
+            // many threads share one node (Fig 9's single-node case).
+            bytes_per_cycle: 128,
+            capacity: 16 << 30,
+        });
+        let memctl = MemController::new(MemControllerConfig::new(Gid::chipset(id)), dram);
+        let bridge = InterNodeBridge::new(id, p.bridge_extra_latency, p.bridge_bytes_per_cycle);
+        let chipset = Chipset::new(id, tiles_n, memctl, bridge);
+        Self { id, mesh, tiles, chipset }
+    }
+
+    /// The node's ID.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Number of tiles.
+    pub fn tile_count(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Installs a compute engine into tile `t`.
+    pub fn set_engine(&mut self, t: TileId, engine: Box<dyn Engine>) {
+        self.tiles[t as usize].set_engine(engine);
+    }
+
+    /// Direct tile access.
+    pub fn tile(&self, t: TileId) -> &Tile {
+        &self.tiles[t as usize]
+    }
+
+    /// Mutable tile access (engine installation, result inspection).
+    pub fn tile_mut(&mut self, t: TileId) -> &mut Tile {
+        &mut self.tiles[t as usize]
+    }
+
+    /// The chipset.
+    pub fn chipset(&self) -> &Chipset {
+        &self.chipset
+    }
+
+    /// One mesh counter (diagnostics).
+    pub fn mesh_stats(&self, key: &str) -> u64 {
+        self.mesh.stats().get(key)
+    }
+
+    /// All mesh counters (merged into platform-wide stats).
+    pub fn mesh_stats_all(&self) -> &smappic_sim::Stats {
+        self.mesh.stats()
+    }
+
+    /// Mutable chipset access (UART consoles, memory backdoor, bridge).
+    pub fn chipset_mut(&mut self) -> &mut Chipset {
+        &mut self.chipset
+    }
+
+    /// All tiles' engines finished and every queue in the node drained.
+    pub fn is_idle(&self) -> bool {
+        self.tiles.iter().all(Tile::is_idle) && self.mesh.is_idle() && self.chipset.is_idle()
+    }
+
+    /// Advances the node one cycle.
+    pub fn tick(&mut self, now: Cycle) {
+        for t in &mut self.tiles {
+            t.tick(now);
+        }
+        self.mesh.tick(now);
+
+        // Tiles ↔ mesh. Injection is pumped per virtual network so a
+        // congested request network never blocks response traffic
+        // (deadlock freedom).
+        for (i, tile) in self.tiles.iter_mut().enumerate() {
+            let ti = i as TileId;
+            while let Some(p) = self.mesh.eject(ti) {
+                tile.push_noc(now, p);
+            }
+            for vn in 0..3 {
+                while let Some(p) = tile.pop_noc_vn(vn) {
+                    match self.mesh.inject(ti, p) {
+                        Ok(()) => {}
+                        Err(p) => {
+                            tile.unpop_noc(p);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Edge ↔ chipset, also per virtual network.
+        while let Some(p) = self.mesh.eject_edge() {
+            self.chipset.push_from_mesh(now, p);
+        }
+        self.chipset.tick(now);
+        for vn in 0..3 {
+            while let Some(p) = self.chipset.pop_to_mesh_vn(vn) {
+                match self.mesh.inject_edge(p) {
+                    Ok(()) => {}
+                    Err(p) => {
+                        self.chipset.unpop_to_mesh(p);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! The full prototype: FPGAs, PCIe fabric, and the host machine.
+
+use smappic_axi::{AxiReq, HardShell, PcieItem, PcieLink, ShellRoute};
+use smappic_coherence::Homing;
+use smappic_isa::Image;
+use smappic_noc::{line_of, Gid, NodeId, TileId};
+use smappic_sim::{Cycle, Stats};
+use smappic_tile::{AddrMap, Engine};
+
+use crate::config::{Config, CLINT_BASE, PLIC_BASE, SD_CTL_BASE, UART0_BASE, UART1_BASE};
+use crate::fpga::Fpga;
+use crate::node::Node;
+use crate::uart::HostSerial;
+
+/// The assembled SMAPPIC prototype plus its host machine.
+///
+/// The host side models what the paper's host programs do: create virtual
+/// serial devices for the UART tunnels, load programs and disk images into
+/// FPGA DRAM over PCIe, and start/stop runs. The loader uses a functional
+/// backdoor (it does not consume simulated cycles), mirroring how the real
+/// flow loads memory before releasing reset.
+#[derive(Debug)]
+pub struct Platform {
+    cfg: Config,
+    homing: Homing,
+    fpgas: Vec<Fpga>,
+    /// links[i][j] for i < j.
+    links: Vec<((usize, usize), PcieLink)>,
+    now: Cycle,
+}
+
+impl Platform {
+    /// Builds the prototype described by `cfg`, with idle engines in every
+    /// tile; install cores with [`Platform::set_engine`] (the workload
+    /// layer provides builders that do this for whole experiments).
+    pub fn new(cfg: Config) -> Self {
+        let homing = Homing::new(
+            cfg.homing_mode(),
+            cfg.total_nodes() as u16,
+            cfg.tiles_per_node as u16,
+        );
+        let fpgas: Vec<Fpga> = (0..cfg.fpgas).map(|i| Fpga::new(&cfg, i, homing)).collect();
+        let p = &cfg.params;
+        let mut links = Vec::new();
+        for i in 0..cfg.fpgas {
+            for j in (i + 1)..cfg.fpgas {
+                links.push((
+                    (i, j),
+                    PcieLink::new(p.pcie_one_way_latency, p.pcie_bytes_per_cycle),
+                ));
+            }
+        }
+        Self { cfg, homing, fpgas, links, now: 0 }
+    }
+
+    /// The configuration this platform was built from.
+    pub fn config(&self) -> &Config {
+        &self.cfg
+    }
+
+    /// The homing function (workload builders use it for placement).
+    pub fn homing(&self) -> Homing {
+        self.homing
+    }
+
+    /// Current simulation time in cycles.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Wall-clock seconds the modeled prototype would have taken.
+    pub fn modeled_seconds(&self) -> f64 {
+        self.now as f64 / (f64::from(self.cfg.params.frequency_mhz) * 1e6)
+    }
+
+    fn locate(&self, node: usize) -> (usize, usize) {
+        (node / self.cfg.nodes_per_fpga, node % self.cfg.nodes_per_fpga)
+    }
+
+    /// Access node `g` (global index).
+    pub fn node(&self, g: usize) -> &Node {
+        let (f, l) = self.locate(g);
+        &self.fpgas[f].nodes()[l]
+    }
+
+    /// Mutable access to node `g`.
+    pub fn node_mut(&mut self, g: usize) -> &mut Node {
+        let (f, l) = self.locate(g);
+        self.fpgas[f].node_mut(l)
+    }
+
+    /// Installs an engine into tile `t` of node `g`.
+    pub fn set_engine(&mut self, g: usize, t: TileId, engine: Box<dyn Engine>) {
+        self.node_mut(g).set_engine(t, engine);
+    }
+
+    /// The standard address map for a core on node `g`: UARTs, CLINT, and
+    /// the SD controller of its own chipset. Accelerator windows are added
+    /// by the caller with [`AddrMap::add_device`].
+    pub fn addr_map(&self, g: usize) -> AddrMap {
+        let chipset = Gid::chipset(NodeId(g as u16));
+        let mut m = AddrMap::new();
+        m.add_device(UART0_BASE, 0x1000, chipset);
+        m.add_device(UART1_BASE, 0x1000, chipset);
+        m.add_device(CLINT_BASE, 0x10000, chipset);
+        m.add_device(SD_CTL_BASE, 0x1000, chipset);
+        m.add_device(PLIC_BASE, 0x40_0000, chipset);
+        m
+    }
+
+    /// Host backdoor: writes bytes into the prototype's unified memory,
+    /// scattering each cache line into its home node's DRAM.
+    pub fn write_mem(&mut self, addr: u64, bytes: &[u8]) {
+        let mut off = 0usize;
+        while off < bytes.len() {
+            let a = addr + off as u64;
+            let line_end = line_of(a) + 64;
+            let chunk = ((line_end - a) as usize).min(bytes.len() - off);
+            let home = self.homing.home_node(line_of(a), NodeId(0));
+            self.node_mut(home.0 as usize)
+                .chipset_mut()
+                .memctl_mut()
+                .dram_mut()
+                .write_bytes(a, &bytes[off..off + chunk]);
+            off += chunk;
+        }
+    }
+
+    /// Host backdoor: reads bytes from unified memory (gathering across
+    /// home nodes). Only meaningful when caches are clean/quiescent.
+    pub fn read_mem(&self, addr: u64, len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        let mut off = 0usize;
+        while off < len {
+            let a = addr + off as u64;
+            let line_end = line_of(a) + 64;
+            let chunk = ((line_end - a) as usize).min(len - off);
+            let home = self.homing.home_node(line_of(a), NodeId(0));
+            out.extend(self.node(home.0 as usize).chipset().memctl().dram().read_bytes(a, chunk));
+            off += chunk;
+        }
+        out
+    }
+
+    /// Loads an assembled image at its base address.
+    pub fn load_image(&mut self, img: &Image) {
+        self.write_mem(img.base, &img.bytes);
+    }
+
+    /// Host backdoor for independent-node prototypes (§4.5's 1x4x2): writes
+    /// into one specific node's DRAM, since without unified memory each
+    /// node is a separate system with its own address space.
+    pub fn write_mem_node(&mut self, g: usize, addr: u64, bytes: &[u8]) {
+        self.node_mut(g).chipset_mut().memctl_mut().dram_mut().write_bytes(addr, bytes);
+    }
+
+    /// Loads an image into one node of an independent-node prototype.
+    pub fn load_image_node(&mut self, g: usize, img: &Image) {
+        self.write_mem_node(g, img.base, &img.bytes);
+    }
+
+    /// Host SD driver: injects a disk image into node `g`'s SD data region
+    /// (the top half of that node's DRAM, §3.4.2).
+    pub fn load_disk(&mut self, g: usize, image: &[u8]) {
+        self.node_mut(g)
+            .chipset_mut()
+            .memctl_mut()
+            .dram_mut()
+            .write_bytes(crate::config::SD_DATA_BASE, image);
+    }
+
+    /// The host's virtual serial device for node `g`'s console UART.
+    pub fn console_mut(&mut self, g: usize) -> &mut HostSerial {
+        self.node_mut(g).chipset_mut().uart0.host_mut()
+    }
+
+    /// The host's virtual serial device for node `g`'s data UART (the
+    /// prototype's network link).
+    pub fn serial_mut(&mut self, g: usize) -> &mut HostSerial {
+        self.node_mut(g).chipset_mut().uart1.host_mut()
+    }
+
+    /// Runs for `cycles` cycles.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    /// Runs until `pred` returns true, up to `max` cycles. Returns true
+    /// when the predicate fired.
+    pub fn run_until(&mut self, max: u64, mut pred: impl FnMut(&Platform) -> bool) -> bool {
+        for _ in 0..max {
+            if pred(self) {
+                return true;
+            }
+            self.step();
+        }
+        pred(self)
+    }
+
+    /// Runs until every engine finished and all machinery drained, up to
+    /// `max` cycles. Returns true on quiescence.
+    pub fn run_until_idle(&mut self, max: u64) -> bool {
+        // Cheap idle check every few cycles keeps the hot loop tight.
+        for _ in 0..max {
+            self.step();
+            if self.now % 64 == 0 && self.is_idle() {
+                return true;
+            }
+        }
+        self.is_idle()
+    }
+
+    /// True when every FPGA and link is quiescent.
+    pub fn is_idle(&self) -> bool {
+        self.fpgas.iter().all(Fpga::is_idle) && self.links.iter().all(|(_, l)| l.is_idle())
+    }
+
+    /// Advances the platform one cycle.
+    pub fn step(&mut self) {
+        let now = self.now;
+        for f in &mut self.fpgas {
+            f.tick(now);
+        }
+        self.pump_pcie(now);
+        self.now += 1;
+    }
+
+    /// Moves traffic between Hard Shells over the PCIe links.
+    fn pump_pcie(&mut self, now: Cycle) {
+        // Outbound requests and responses onto links.
+        for fi in 0..self.fpgas.len() {
+            loop {
+                let Some((route, req)) = self.fpgas[fi].shell_mut().pop_outbound() else { break };
+                match route {
+                    ShellRoute::Fpga(peer) => {
+                        // Strip the window so the peer sees bridge offsets.
+                        let stripped = match req {
+                            AxiReq::Write(mut w) => {
+                                w.addr = HardShell::window_offset(peer, w.addr)
+                                    .expect("shell routed by window");
+                                AxiReq::Write(w)
+                            }
+                            AxiReq::Read(mut r) => {
+                                r.addr = HardShell::window_offset(peer, r.addr)
+                                    .expect("shell routed by window");
+                                AxiReq::Read(r)
+                            }
+                        };
+                        self.link_send(now, fi, peer, PcieItem::Req(stripped));
+                    }
+                    ShellRoute::Host => {
+                        // Host-directed writes (management) are absorbed.
+                    }
+                }
+            }
+            loop {
+                let Some((peer, resp)) = self.fpgas[fi].shell_mut().pop_outbound_resp() else {
+                    break;
+                };
+                self.link_send(now, fi, peer, PcieItem::Resp(resp));
+            }
+        }
+        // Deliveries off links.
+        for li in 0..self.links.len() {
+            let ((a, b), _) = self.links[li];
+            loop {
+                let item = {
+                    let (_, link) = &mut self.links[li];
+                    link.recv_at_b(now)
+                };
+                match item {
+                    Some(PcieItem::Req(req)) => {
+                        let _ = self.fpgas[b].shell_mut().push_inbound(a, req);
+                    }
+                    Some(PcieItem::Resp(resp)) => {
+                        let _ = self.fpgas[b].shell_mut().push_inbound_resp(resp);
+                    }
+                    None => break,
+                }
+            }
+            loop {
+                let item = {
+                    let (_, link) = &mut self.links[li];
+                    link.recv_at_a(now)
+                };
+                match item {
+                    Some(PcieItem::Req(req)) => {
+                        let _ = self.fpgas[a].shell_mut().push_inbound(b, req);
+                    }
+                    Some(PcieItem::Resp(resp)) => {
+                        let _ = self.fpgas[a].shell_mut().push_inbound_resp(resp);
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+
+    fn link_send(&mut self, now: Cycle, from: usize, to: usize, item: PcieItem) {
+        let (lo, hi) = if from < to { (from, to) } else { (to, from) };
+        let (_, link) = self
+            .links
+            .iter_mut()
+            .find(|((a, b), _)| (*a, *b) == (lo, hi))
+            .expect("links form a full mesh over the FPGAs");
+        if from == lo {
+            link.send_from_a(now, item);
+        } else {
+            link.send_from_b(now, item);
+        }
+    }
+
+    /// Aggregated statistics across the whole platform.
+    pub fn stats(&self) -> Stats {
+        let mut s = Stats::new();
+        for f in &self.fpgas {
+            for n in f.nodes() {
+                s.merge(n.chipset().stats());
+                s.merge(n.chipset().memctl().stats());
+                s.merge(n.chipset().bridge_stats());
+                s.merge(n.mesh_stats_all());
+                for t in 0..n.tile_count() {
+                    s.merge(n.tile(t as TileId).bpc().stats());
+                    s.merge(n.tile(t as TileId).llc().stats());
+                }
+            }
+        }
+        s
+    }
+}

@@ -1,0 +1,206 @@
+//! UART16550 model, tunneled to a host virtual serial device.
+//!
+//! §3.4.1: F1 has no physical UART, so SMAPPIC wraps a Xilinx UART16550 in
+//! AXI-Lite and tunnels the bytes over PCIe into a host program that
+//! exposes a virtual serial device. Each node instantiates two: a 115200-
+//! baud console and an "overclocked" ~1 Mbit/s data UART that carries a
+//! pppd network link (§4.4 uses it to put Nginx on the prototype).
+
+use std::collections::VecDeque;
+
+use smappic_sim::{Cycle, TrafficShaper};
+
+/// Guest-visible 16550 register offsets (4-byte register stride).
+const REG_DATA: u64 = 0x00; // RBR (read) / THR (write)
+const REG_IER: u64 = 0x04;
+const REG_LSR: u64 = 0x14;
+
+const LSR_RX_READY: u64 = 1 << 0;
+const LSR_THR_EMPTY: u64 = 1 << 5;
+
+/// The host end of a UART: what the virtual serial device shows.
+#[derive(Debug, Default)]
+pub struct HostSerial {
+    /// Bytes the guest transmitted (drained by the host application).
+    pub output: VecDeque<u8>,
+    /// Bytes the host queued for the guest to receive.
+    pub input: VecDeque<u8>,
+}
+
+impl HostSerial {
+    /// Reads everything the guest printed so far.
+    pub fn take_output(&mut self) -> Vec<u8> {
+        self.output.drain(..).collect()
+    }
+
+    /// Queues bytes for the guest.
+    pub fn send(&mut self, bytes: &[u8]) {
+        self.input.extend(bytes);
+    }
+}
+
+/// One UART16550 with baud-rate-accurate byte timing.
+#[derive(Debug)]
+pub struct Uart16550 {
+    /// Cycles per byte on the wire (≈ frequency / (baud / 10)).
+    tx: TrafficShaper<u8>,
+    rx: TrafficShaper<u8>,
+    /// Bytes ready for the guest's RBR.
+    rx_ready: VecDeque<u8>,
+    host: HostSerial,
+    ier: u32,
+    bytes_tx: u64,
+    bytes_rx: u64,
+}
+
+impl Uart16550 {
+    /// Creates a UART. `cycles_per_byte` models the baud rate: at 100 MHz,
+    /// 115200 baud ≈ 8680 cycles/byte; the overclocked 1 Mbit/s data UART
+    /// ≈ 1000 cycles/byte.
+    pub fn new(cycles_per_byte: u64) -> Self {
+        Self {
+            tx: TrafficShaper::new(1, cycles_per_byte.max(1), 0),
+            rx: TrafficShaper::new(1, cycles_per_byte.max(1), 0),
+            rx_ready: VecDeque::new(),
+            host: HostSerial::default(),
+            ier: 0,
+            bytes_tx: 0,
+            bytes_rx: 0,
+        }
+    }
+
+    /// The console UART of Table 2 prototypes (115200 baud at 100 MHz).
+    pub fn console() -> Self {
+        Self::new(8680)
+    }
+
+    /// The overclocked data UART (§3.4.1, ~1 Mbit/s).
+    pub fn data() -> Self {
+        Self::new(1000)
+    }
+
+    /// Host-side access (virtual serial device).
+    pub fn host_mut(&mut self) -> &mut HostSerial {
+        &mut self.host
+    }
+
+    /// Host-side read access.
+    pub fn host(&self) -> &HostSerial {
+        &self.host
+    }
+
+    /// Guest MMIO read.
+    pub fn read(&mut self, offset: u64) -> u64 {
+        match offset & 0x1C {
+            REG_DATA => self.rx_ready.pop_front().map_or(0, u64::from),
+            REG_LSR => {
+                let mut v = LSR_THR_EMPTY; // tx never blocks the guest
+                if !self.rx_ready.is_empty() {
+                    v |= LSR_RX_READY;
+                }
+                v
+            }
+            REG_IER => u64::from(self.ier),
+            _ => 0,
+        }
+    }
+
+    /// Guest MMIO write.
+    pub fn write(&mut self, now: Cycle, offset: u64, data: u64) {
+        match offset & 0x1C {
+            REG_DATA => {
+                self.tx.push(now, 1, data as u8);
+                self.bytes_tx += 1;
+            }
+            REG_IER => self.ier = data as u32,
+            _ => {}
+        }
+    }
+
+    /// True when the guest has unread input (drives the RX interrupt wire
+    /// through the packetizer when IER bit 0 is set).
+    pub fn rx_irq_level(&self) -> bool {
+        self.ier & 1 != 0 && !self.rx_ready.is_empty()
+    }
+
+    /// Advances the wire: matured TX bytes surface at the host, pending
+    /// host input trickles into the guest's RX FIFO at the baud rate.
+    pub fn tick(&mut self, now: Cycle) {
+        while let Some(b) = self.tx.pop_ready(now) {
+            self.host.output.push_back(b);
+        }
+        // Start serializing the next host byte when the link is free.
+        if let Some(b) = self.host.input.pop_front() {
+            self.rx.push(now, 1, b);
+            self.bytes_rx += 1;
+        }
+        while let Some(b) = self.rx.pop_ready(now) {
+            self.rx_ready.push_back(b);
+        }
+    }
+
+    /// Total bytes transmitted by the guest.
+    pub fn bytes_transmitted(&self) -> u64 {
+        self.bytes_tx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guest_print_reaches_host_at_baud_rate() {
+        let mut u = Uart16550::new(100);
+        for (i, b) in b"hey".iter().enumerate() {
+            u.write(i as u64, REG_DATA, u64::from(*b));
+        }
+        let mut seen = Vec::new();
+        for now in 0..1_000 {
+            u.tick(now);
+            seen.extend(u.host_mut().take_output());
+        }
+        assert_eq!(seen, b"hey");
+        assert_eq!(u.bytes_transmitted(), 3);
+        // 3 bytes at 100 cycles each cannot land before ~300 cycles: check
+        // via a fresh UART that nothing arrives early.
+        let mut u2 = Uart16550::new(100);
+        u2.write(0, REG_DATA, b'x'.into());
+        u2.tick(50);
+        assert!(u2.host_mut().take_output().is_empty(), "byte arrived before baud delay");
+    }
+
+    #[test]
+    fn host_input_raises_rx_ready() {
+        let mut u = Uart16550::new(10);
+        u.host_mut().send(b"ok");
+        assert_eq!(u.read(REG_LSR) & LSR_RX_READY, 0);
+        for now in 0..100 {
+            u.tick(now);
+        }
+        assert_ne!(u.read(REG_LSR) & LSR_RX_READY, 0);
+        assert_eq!(u.read(REG_DATA), u64::from(b'o'));
+        assert_eq!(u.read(REG_DATA), u64::from(b'k'));
+        assert_eq!(u.read(REG_LSR) & LSR_RX_READY, 0);
+    }
+
+    #[test]
+    fn rx_irq_follows_ier() {
+        let mut u = Uart16550::new(1);
+        u.host_mut().send(b"!");
+        for now in 0..10 {
+            u.tick(now);
+        }
+        assert!(!u.rx_irq_level(), "IER bit 0 clear: no interrupt");
+        u.write(10, REG_IER, 1);
+        assert!(u.rx_irq_level());
+        let _ = u.read(REG_DATA);
+        assert!(!u.rx_irq_level(), "drained FIFO drops the level");
+    }
+
+    #[test]
+    fn thr_empty_is_always_set() {
+        let mut u = Uart16550::console();
+        assert_ne!(u.read(REG_LSR) & LSR_THR_EMPTY, 0);
+    }
+}

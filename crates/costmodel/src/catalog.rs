@@ -1,0 +1,135 @@
+//! The EC2 instance catalog (Tables 1 and 3 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// One EC2 instance offering.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instance {
+    /// Instance name (e.g. "f1.2xlarge").
+    pub name: &'static str,
+    /// vCPUs.
+    pub vcpus: u32,
+    /// Host memory in GB.
+    pub memory_gb: u32,
+    /// Attached FPGAs.
+    pub fpgas: u32,
+    /// FPGA-attached DRAM in GB.
+    pub fpga_memory_gb: u32,
+    /// Instance storage in GB.
+    pub storage_gb: u32,
+    /// On-demand price in $/hour.
+    pub price_per_hour: f64,
+    /// Estimated price of equivalent on-premises hardware, $ (Table 1).
+    pub hardware_price: f64,
+}
+
+/// Table 1: the F1 family.
+pub const F1: [Instance; 3] = [
+    Instance {
+        name: "f1.2xlarge",
+        vcpus: 8,
+        memory_gb: 122,
+        fpgas: 1,
+        fpga_memory_gb: 64,
+        storage_gb: 470,
+        price_per_hour: 1.65,
+        hardware_price: 8_000.0,
+    },
+    Instance {
+        name: "f1.4xlarge",
+        vcpus: 16,
+        memory_gb: 244,
+        fpgas: 2,
+        fpga_memory_gb: 128,
+        storage_gb: 940,
+        price_per_hour: 3.30,
+        hardware_price: 16_000.0,
+    },
+    Instance {
+        name: "f1.16xlarge",
+        vcpus: 64,
+        memory_gb: 976,
+        fpgas: 8,
+        fpga_memory_gb: 512,
+        storage_gb: 3760,
+        price_per_hour: 13.20,
+        hardware_price: 64_000.0,
+    },
+];
+
+/// The software-host instances of Table 3.
+pub const HOSTS: [Instance; 3] = [
+    Instance {
+        name: "t3.medium",
+        vcpus: 2,
+        memory_gb: 8,
+        fpgas: 0,
+        fpga_memory_gb: 0,
+        storage_gb: 0,
+        price_per_hour: 0.04,
+        hardware_price: 1_000.0,
+    },
+    Instance {
+        name: "r5.2xlarge",
+        vcpus: 8,
+        memory_gb: 64,
+        fpgas: 0,
+        fpga_memory_gb: 0,
+        storage_gb: 0,
+        price_per_hour: 0.45,
+        hardware_price: 4_000.0,
+    },
+    Instance {
+        name: "r5.12xlarge",
+        vcpus: 48,
+        memory_gb: 384,
+        fpgas: 0,
+        fpga_memory_gb: 0,
+        storage_gb: 0,
+        price_per_hour: 2.70,
+        hardware_price: 15_000.0,
+    },
+];
+
+/// Picks the cheapest instance satisfying the given requirements
+/// (Table 3's selection rule).
+pub fn cheapest_instance(vcpus: u32, memory_gb: u32, fpgas: u32) -> Option<&'static Instance> {
+    F1.iter()
+        .chain(HOSTS.iter())
+        .filter(|i| i.vcpus >= vcpus && i.memory_gb >= memory_gb && i.fpgas >= fpgas)
+        .min_by(|a, b| a.price_per_hour.total_cmp(&b.price_per_hour))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_prices_match_the_paper() {
+        assert_eq!(F1[0].price_per_hour, 1.65);
+        assert_eq!(F1[1].price_per_hour, 3.30);
+        assert_eq!(F1[2].price_per_hour, 13.20);
+        // $1.65 per FPGA-hour across the family.
+        for i in &F1 {
+            let per_fpga = i.price_per_hour / f64::from(i.fpgas);
+            assert!((per_fpga - 1.65).abs() < 1e-9, "{}", i.name);
+        }
+    }
+
+    #[test]
+    fn table3_selection() {
+        // Sniper: 2 vCPU, 8 GB → t3.medium.
+        assert_eq!(cheapest_instance(2, 8, 0).unwrap().name, "t3.medium");
+        // gem5: 64 GB → r5.2xlarge.
+        assert_eq!(cheapest_instance(1, 64, 0).unwrap().name, "r5.2xlarge");
+        // Verilator: 8 GB → t3.medium.
+        assert_eq!(cheapest_instance(1, 8, 0).unwrap().name, "t3.medium");
+        // SMAPPIC/FireSim: 1 FPGA → f1.2xlarge.
+        assert_eq!(cheapest_instance(1, 8, 1).unwrap().name, "f1.2xlarge");
+    }
+
+    #[test]
+    fn impossible_requirements_yield_none() {
+        assert!(cheapest_instance(1, 8, 16).is_none());
+    }
+}

@@ -1,0 +1,194 @@
+//! Data generators for Fig 13, Fig 14, and the §4.5 Verilator comparison.
+
+use serde::{Deserialize, Serialize};
+
+use crate::catalog::F1;
+use crate::spec::{SpecBenchmark, SPECINT2017};
+use crate::tools::{model, tool_models, Tool, ToolModel};
+
+/// One cell of Fig 13: the cost of modeling one benchmark with one tool.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig13Cell {
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// Tool name.
+    pub tool: &'static str,
+    /// Modeling cost in dollars (None when the tool cannot run it).
+    pub cost: Option<f64>,
+}
+
+/// Generates the Fig 13 matrix (including the SPECint total row). gem5 is
+/// included in the data even though the paper's chart omits it for scale.
+pub fn fig13() -> Vec<Fig13Cell> {
+    let tools: Vec<ToolModel> = tool_models()
+        .into_iter()
+        .filter(|m| !matches!(m.tool, Tool::Verilator))
+        .collect();
+    let mut cells = Vec::new();
+    let mut totals: Vec<(usize, f64)> = tools.iter().enumerate().map(|(i, _)| (i, 0.0)).collect();
+    for b in &SPECINT2017 {
+        for (i, t) in tools.iter().enumerate() {
+            let cost = benchmark_cost(t, b);
+            if let Some(c) = cost {
+                totals[i].1 += c;
+            }
+            cells.push(Fig13Cell { benchmark: b.name, tool: t.name, cost });
+        }
+    }
+    for (i, total) in totals {
+        cells.push(Fig13Cell { benchmark: "SPECint 2017", tool: tools[i].name, cost: Some(total) });
+    }
+    cells
+}
+
+fn benchmark_cost(t: &ToolModel, b: &SpecBenchmark) -> Option<f64> {
+    if matches!(t.tool, Tool::Sniper) && !b.sniper_can_run {
+        return None;
+    }
+    Some(t.modeling_cost(b.native_seconds))
+}
+
+/// One point of Fig 14.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Fig14Point {
+    /// Continuous modeling time in days.
+    pub days: f64,
+    /// Cumulative cloud cost in dollars (renting one f1.2xlarge).
+    pub cloud: f64,
+    /// On-premises cost (hardware purchase, then small upkeep).
+    pub on_premises: f64,
+}
+
+/// Cloud-vs-on-premises cost over `max_days` of continuous modeling.
+///
+/// Cloud: $1.65/hr rental. On-premises: the ~$8000 Table 1 hardware
+/// estimate up front plus power/hosting upkeep.
+pub fn fig14(max_days: u32, step: u32) -> Vec<Fig14Point> {
+    let f1 = &F1[0];
+    const UPKEEP_PER_DAY: f64 = 1.2; // ~500 W server + hosting
+    (0..=max_days)
+        .step_by(step as usize)
+        .map(|d| {
+            let days = f64::from(d);
+            Fig14Point {
+                days,
+                cloud: days * 24.0 * f1.price_per_hour,
+                on_premises: f1.hardware_price + days * UPKEEP_PER_DAY,
+            }
+        })
+        .collect()
+}
+
+/// The day at which buying hardware becomes cheaper than renting.
+pub fn fig14_crossover_days() -> f64 {
+    let f1 = &F1[0];
+    const UPKEEP_PER_DAY: f64 = 1.2;
+    f1.hardware_price / (24.0 * f1.price_per_hour - UPKEEP_PER_DAY)
+}
+
+/// The §4.5 hello-world comparison.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct VerilatorComparison {
+    /// Verilator wall-clock seconds (the paper measured 65 s).
+    pub verilator_seconds: f64,
+    /// SMAPPIC wall-clock seconds (the paper measured 4 ms).
+    pub smappic_seconds: f64,
+    /// Cost-efficiency advantage of SMAPPIC (the paper derives ~1600×).
+    pub cost_efficiency_ratio: f64,
+}
+
+/// Computes the comparison for a hello-world that takes `smappic_cycles`
+/// at `frequency_mhz` on the prototype.
+pub fn verilator_comparison(smappic_cycles: u64, frequency_mhz: u32) -> VerilatorComparison {
+    let smappic_seconds = smappic_cycles as f64 / (f64::from(frequency_mhz) * 1e6);
+    // Verilator simulates the same cycles at its RTL-simulation rate:
+    // slowdown is expressed vs the 1.2 GHz silicon baseline, so convert.
+    let v = model(Tool::Verilator);
+    let native_seconds = smappic_cycles as f64 / 1.2e9;
+    let verilator_seconds = native_seconds * v.slowdown;
+    let s = model(Tool::Smappic);
+    let cost_v = verilator_seconds / 3600.0 * v.host().price_per_hour;
+    let cost_s = smappic_seconds / 3600.0 * s.host().price_per_hour
+        / f64::from(s.instances_per_host);
+    VerilatorComparison {
+        verilator_seconds,
+        smappic_seconds,
+        cost_efficiency_ratio: cost_v / cost_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig13_smappic_wins_every_benchmark() {
+        let cells = fig13();
+        for b in &SPECINT2017 {
+            let row: Vec<&Fig13Cell> = cells.iter().filter(|c| c.benchmark == b.name).collect();
+            let smappic = row.iter().find(|c| c.tool == "SMAPPIC").unwrap().cost.unwrap();
+            for c in &row {
+                if let Some(cost) = c.cost {
+                    assert!(
+                        cost >= smappic,
+                        "{}: {} (${cost:.3}) beat SMAPPIC (${smappic:.3})",
+                        b.name,
+                        c.tool
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig13_sniper_skips_perlbench() {
+        let cells = fig13();
+        let cell = cells
+            .iter()
+            .find(|c| c.benchmark == "perlbench" && c.tool == "Sniper")
+            .unwrap();
+        assert!(cell.cost.is_none());
+    }
+
+    #[test]
+    fn fig13_gem5_dwarfs_everything() {
+        let cells = fig13();
+        let total = |tool: &str| -> f64 {
+            cells
+                .iter()
+                .find(|c| c.benchmark == "SPECint 2017" && c.tool == tool)
+                .unwrap()
+                .cost
+                .unwrap()
+        };
+        let orders = (total("gem5") / total("SMAPPIC")).log10();
+        assert!((3.5..=5.5).contains(&orders), "gem5 at 10^{orders:.1}");
+    }
+
+    #[test]
+    fn fig14_crossover_near_200_days() {
+        let d = fig14_crossover_days();
+        assert!(
+            (180.0..=230.0).contains(&d),
+            "crossover at {d:.0} days; the paper reports >200"
+        );
+        // The series reflect it.
+        let pts = fig14(350, 10);
+        let before = pts.iter().find(|p| p.days == 100.0).unwrap();
+        assert!(before.cloud < before.on_premises);
+        let after = pts.iter().find(|p| p.days == 300.0).unwrap();
+        assert!(after.cloud > after.on_premises);
+    }
+
+    #[test]
+    fn verilator_ratio_is_three_orders() {
+        // The paper's hello-world: 4 ms at 100 MHz ⇒ 400k cycles.
+        let c = verilator_comparison(400_000, 100);
+        assert!((c.smappic_seconds - 0.004).abs() < 1e-9);
+        assert!(
+            (800.0..=3000.0).contains(&c.cost_efficiency_ratio),
+            "≈1600× expected, got {:.0}×",
+            c.cost_efficiency_ratio
+        );
+    }
+}

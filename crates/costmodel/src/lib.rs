@@ -1,0 +1,26 @@
+//! # smappic-costmodel — cloud cost and cost-efficiency models
+//!
+//! The paper's §4.5 compares the *cost* of modeling the same RISC-V system
+//! with different tools in the cloud (Fig 13), and cloud-FPGA rental
+//! against buying hardware (Fig 14, Table 1). Those results are arithmetic
+//! over instance prices, tool slowdowns, and benchmark runtimes; this
+//! crate reproduces the arithmetic with calibrated inputs:
+//!
+//! - [`catalog`] — the EC2 instance catalog (Table 1's F1 family and the
+//!   Table 3 hosts) with on-demand prices and hardware-price estimates,
+//! - [`tools`] — the modeling tools (Sniper, gem5, Verilator, FireSim in
+//!   single-node and supernode configurations, SMAPPIC) with host
+//!   requirements, effective slowdowns versus native silicon, and how many
+//!   independent prototypes share one host,
+//! - [`spec`] — SPECint 2017 "test"-input runtime profiles on the SiFive
+//!   U740 baseline (calibrated estimates; the paper measured real silicon),
+//! - [`figures`] — the Fig 13 / Fig 14 data generators and the §4.5
+//!   Verilator hello-world comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod figures;
+pub mod spec;
+pub mod tools;

@@ -1,0 +1,72 @@
+//! SPECint 2017 ("test" input) runtime profiles on the baseline silicon.
+//!
+//! The paper measured these on a SiFive HiFive Unmatched (U740, 1.2 GHz).
+//! Without the board, we ship calibrated estimates of the test-input
+//! runtimes (documented substitution; the *relative* tool costs in Fig 13
+//! are insensitive to the exact values because every tool models the same
+//! benchmark seconds).
+
+use serde::{Deserialize, Serialize};
+
+/// One SPECint 2017 benchmark profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpecBenchmark {
+    /// Benchmark name (SPEC suffixes dropped, as in the figure).
+    pub name: &'static str,
+    /// Wall-clock seconds of the "test" input on the U740 baseline.
+    pub native_seconds: f64,
+    /// True when Sniper can run it (perlbench forks; §4.5 notes Sniper
+    /// cannot execute it).
+    pub sniper_can_run: bool,
+}
+
+/// The SPECint 2017 suite with "test" inputs.
+pub const SPECINT2017: [SpecBenchmark; 10] = [
+    SpecBenchmark { name: "deepsjeng", native_seconds: 30.0, sniper_can_run: true },
+    SpecBenchmark { name: "exchange2", native_seconds: 150.0, sniper_can_run: true },
+    SpecBenchmark { name: "gcc", native_seconds: 25.0, sniper_can_run: true },
+    SpecBenchmark { name: "leela", native_seconds: 90.0, sniper_can_run: true },
+    SpecBenchmark { name: "mcf", native_seconds: 45.0, sniper_can_run: true },
+    SpecBenchmark { name: "omnetpp", native_seconds: 60.0, sniper_can_run: true },
+    SpecBenchmark { name: "perlbench", native_seconds: 35.0, sniper_can_run: false },
+    SpecBenchmark { name: "x264", native_seconds: 80.0, sniper_can_run: true },
+    SpecBenchmark { name: "xalancbmk", native_seconds: 55.0, sniper_can_run: true },
+    SpecBenchmark { name: "xz", native_seconds: 40.0, sniper_can_run: true },
+];
+
+/// Total suite runtime on native silicon.
+pub fn suite_native_seconds() -> f64 {
+    SPECINT2017.iter().map(|b| b.native_seconds).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_ten_benchmarks() {
+        assert_eq!(SPECINT2017.len(), 10);
+        let names: std::collections::HashSet<_> = SPECINT2017.iter().map(|b| b.name).collect();
+        assert_eq!(names.len(), 10, "names must be unique");
+    }
+
+    #[test]
+    fn only_perlbench_is_excluded_from_sniper() {
+        let excluded: Vec<_> =
+            SPECINT2017.iter().filter(|b| !b.sniper_can_run).map(|b| b.name).collect();
+        assert_eq!(excluded, vec!["perlbench"]);
+    }
+
+    #[test]
+    fn runtimes_are_test_input_scale() {
+        for b in &SPECINT2017 {
+            assert!(
+                (5.0..=600.0).contains(&b.native_seconds),
+                "{} runtime {}s is not test-input scale",
+                b.name,
+                b.native_seconds
+            );
+        }
+        assert!(suite_native_seconds() > 100.0);
+    }
+}

@@ -1,0 +1,759 @@
+//! A two-pass RV64IMA assembler for guest programs.
+//!
+//! Supports the instruction subset the interpreter executes, the usual
+//! pseudo-instructions (`li`, `la`, `mv`, `j`, `call`, `ret`, `beqz`, ...),
+//! labels, and data directives (`.org`, `.align`, `.word`, `.dword`,
+//! `.byte`, `.ascii`, `.zero`). Comments start with `#` or `//`.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An assembled binary image.
+#[derive(Debug, Clone)]
+pub struct Image {
+    /// Load address of `bytes[0]`.
+    pub base: u64,
+    /// The raw bytes.
+    pub bytes: Vec<u8>,
+    /// Label → address map (useful for entry points and data symbols).
+    pub symbols: HashMap<String, u64>,
+}
+
+impl Image {
+    /// Address of `label`.
+    pub fn symbol(&self, label: &str) -> Option<u64> {
+        self.symbols.get(label).copied()
+    }
+}
+
+/// Assembly failure with line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError { line, msg: msg.into() })
+}
+
+/// Assembles `source` at load address `base`.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] naming the offending line for syntax errors,
+/// unknown mnemonics/registers, and out-of-range immediates.
+///
+/// ```
+/// use smappic_isa::assemble;
+/// let img = assemble("li a0, 1\nret", 0x1000)?;
+/// assert_eq!(img.base, 0x1000);
+/// assert_eq!(img.bytes.len() % 4, 0);
+/// # Ok::<(), smappic_isa::AsmError>(())
+/// ```
+pub fn assemble(source: &str, base: u64) -> Result<Image, AsmError> {
+    // Pass 1: measure sizes, collect labels.
+    let mut symbols = HashMap::new();
+    let mut pc = base;
+    let lines: Vec<(usize, String)> = source
+        .lines()
+        .enumerate()
+        .map(|(i, l)| {
+            let l = l.split('#').next().unwrap_or("");
+            let l = l.split("//").next().unwrap_or("");
+            (i + 1, l.trim().to_owned())
+        })
+        .filter(|(_, l)| !l.is_empty())
+        .collect();
+
+    let mut items: Vec<(usize, u64, String)> = Vec::new(); // (line, addr, stmt)
+    for (ln, line) in &lines {
+        let mut rest = line.as_str();
+        while let Some(colon) = rest.find(':') {
+            let (label, tail) = rest.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || !label.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '.') {
+                break;
+            }
+            if symbols.insert(label.to_owned(), pc).is_some() {
+                return err(*ln, format!("duplicate label `{label}`"));
+            }
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        let size = stmt_size(*ln, rest, pc)?;
+        if let Some(new_pc) = stmt_org(rest) {
+            if new_pc < pc {
+                return err(*ln, ".org cannot move backwards");
+            }
+            items.push((*ln, pc, rest.to_owned()));
+            pc = new_pc;
+            continue;
+        }
+        items.push((*ln, pc, rest.to_owned()));
+        pc += size;
+    }
+
+    // Pass 2: encode.
+    let total = (pc - base) as usize;
+    let mut bytes = vec![0u8; total];
+    for (ln, addr, stmt) in &items {
+        let off = (*addr - base) as usize;
+        let out = encode_stmt(*ln, stmt, *addr, &symbols)?;
+        bytes[off..off + out.len()].copy_from_slice(&out);
+    }
+    Ok(Image { base, bytes, symbols })
+}
+
+fn stmt_org(stmt: &str) -> Option<u64> {
+    let mut parts = stmt.split_whitespace();
+    if parts.next()? != ".org" {
+        return None;
+    }
+    parse_u64(parts.next()?).ok()
+}
+
+fn parse_u64(s: &str) -> Result<u64, ()> {
+    let s = s.trim();
+    let (neg, s) = if let Some(stripped) = s.strip_prefix('-') { (true, stripped) } else { (false, s) };
+    let v = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).map_err(|_| ())?
+    } else if let Some(bin) = s.strip_prefix("0b") {
+        u64::from_str_radix(bin, 2).map_err(|_| ())?
+    } else {
+        s.parse::<u64>().map_err(|_| ())?
+    };
+    Ok(if neg { v.wrapping_neg() } else { v })
+}
+
+/// Size in bytes a statement occupies.
+fn stmt_size(ln: usize, stmt: &str, pc: u64) -> Result<u64, AsmError> {
+    let (mn, args) = split_stmt(stmt);
+    Ok(match mn {
+        ".org" => 0,
+        ".align" => {
+            let a: u64 = parse_u64(args.first().map(|s| s.as_str()).unwrap_or("4"))
+                .map_err(|_| AsmError { line: ln, msg: "bad .align".into() })?;
+            let align = 1u64 << a;
+            (align - (pc % align)) % align
+        }
+        ".byte" => args.len() as u64,
+        ".half" => 2 * args.len() as u64,
+        ".word" => 4 * args.len() as u64,
+        ".dword" | ".quad" => 8 * args.len() as u64,
+        ".zero" => parse_u64(args.first().map(|s| s.as_str()).unwrap_or("0"))
+            .map_err(|_| AsmError { line: ln, msg: "bad .zero".into() })?,
+        ".ascii" | ".asciz" => {
+            let s = parse_string(ln, stmt)?;
+            (s.len() + usize::from(mn == ".asciz")) as u64
+        }
+        "li" => 4 * li_len(parse_imm_opt(args.get(1)).unwrap_or(0)) as u64,
+        "la" => 8, // auipc + addi
+        "call" | "tail" => 4,
+        _ => 4,
+    })
+}
+
+fn parse_string(ln: usize, stmt: &str) -> Result<Vec<u8>, AsmError> {
+    let Some(start) = stmt.find('"') else {
+        return err(ln, "expected string literal");
+    };
+    let Some(end) = stmt.rfind('"') else {
+        return err(ln, "unterminated string");
+    };
+    if end <= start {
+        return err(ln, "unterminated string");
+    }
+    let raw = &stmt[start + 1..end];
+    let mut out = Vec::new();
+    let mut chars = raw.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push(b'\n'),
+                Some('t') => out.push(b'\t'),
+                Some('0') => out.push(0),
+                Some('\\') => out.push(b'\\'),
+                Some('"') => out.push(b'"'),
+                other => return err(ln, format!("bad escape {other:?}")),
+            }
+        } else {
+            let mut buf = [0u8; 4];
+            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+        }
+    }
+    Ok(out)
+}
+
+fn split_stmt(stmt: &str) -> (&str, Vec<String>) {
+    let stmt = stmt.trim();
+    let (mn, rest) = match stmt.find(char::is_whitespace) {
+        Some(i) => (&stmt[..i], &stmt[i..]),
+        None => (stmt, ""),
+    };
+    // Split args on commas, then normalize `off(reg)` into two tokens.
+    let args: Vec<String> = rest
+        .split(',')
+        .map(|a| a.trim().to_owned())
+        .filter(|a| !a.is_empty())
+        .collect();
+    (mn, args)
+}
+
+fn parse_imm_opt(arg: Option<&String>) -> Option<i64> {
+    arg.and_then(|a| parse_u64(a).ok()).map(|v| v as i64)
+}
+
+/// Number of instructions `li rd, imm` expands into.
+fn li_len(imm: i64) -> usize {
+    if (-2048..2048).contains(&imm) {
+        1
+    } else if imm == (imm as i32 as i64) {
+        2 // lui + addiw
+    } else {
+        17 // zero + 4 × (slli 5, addi hi5, slli 11, addi lo11)
+    }
+}
+
+struct Ctx<'a> {
+    ln: usize,
+    symbols: &'a HashMap<String, u64>,
+}
+
+impl Ctx<'_> {
+    fn reg(&self, name: &str) -> Result<u32, AsmError> {
+        reg_num(name).ok_or_else(|| AsmError {
+            line: self.ln,
+            msg: format!("unknown register `{name}`"),
+        })
+    }
+
+    fn imm(&self, s: &str) -> Result<i64, AsmError> {
+        if let Ok(v) = parse_u64(s) {
+            return Ok(v as i64);
+        }
+        // label or label+offset / label-offset
+        for (i, c) in s.char_indices().skip(1) {
+            if c == '+' || c == '-' {
+                let (l, r) = s.split_at(i);
+                let base = self.imm(l.trim())?;
+                let off = parse_u64(r[1..].trim())
+                    .map_err(|_| AsmError { line: self.ln, msg: format!("bad offset `{r}`") })?
+                    as i64;
+                return Ok(if c == '+' { base + off } else { base - off });
+            }
+        }
+        self.symbols
+            .get(s.trim())
+            .map(|v| *v as i64)
+            .ok_or_else(|| AsmError { line: self.ln, msg: format!("unknown symbol `{s}`") })
+    }
+}
+
+fn reg_num(name: &str) -> Option<u32> {
+    let name = name.trim();
+    if let Some(n) = name.strip_prefix('x') {
+        if let Ok(v) = n.parse::<u32>() {
+            if v < 32 {
+                return Some(v);
+            }
+        }
+    }
+    Some(match name {
+        "zero" => 0,
+        "ra" => 1,
+        "sp" => 2,
+        "gp" => 3,
+        "tp" => 4,
+        "t0" => 5,
+        "t1" => 6,
+        "t2" => 7,
+        "s0" | "fp" => 8,
+        "s1" => 9,
+        "a0" => 10,
+        "a1" => 11,
+        "a2" => 12,
+        "a3" => 13,
+        "a4" => 14,
+        "a5" => 15,
+        "a6" => 16,
+        "a7" => 17,
+        "s2" => 18,
+        "s3" => 19,
+        "s4" => 20,
+        "s5" => 21,
+        "s6" => 22,
+        "s7" => 23,
+        "s8" => 24,
+        "s9" => 25,
+        "s10" => 26,
+        "s11" => 27,
+        "t3" => 28,
+        "t4" => 29,
+        "t5" => 30,
+        "t6" => 31,
+        _ => return None,
+    })
+}
+
+fn csr_addr(name: &str) -> Option<u32> {
+    Some(match name {
+        "mstatus" => 0x300,
+        "mie" => 0x304,
+        "mtvec" => 0x305,
+        "mscratch" => 0x340,
+        "mepc" => 0x341,
+        "mcause" => 0x342,
+        "mtval" => 0x343,
+        "mip" => 0x344,
+        "mhartid" => 0xF14,
+        "mcycle" => 0xB00,
+        "minstret" => 0xB02,
+        _ => return None,
+    })
+}
+
+/// Splits `imm(reg)` into (imm-str, reg-str).
+fn mem_operand(arg: &str) -> Option<(&str, &str)> {
+    let open = arg.find('(')?;
+    let close = arg.rfind(')')?;
+    Some((arg[..open].trim(), arg[open + 1..close].trim()))
+}
+
+// Encoders for each format.
+fn enc_r(f7: u32, rs2: u32, rs1: u32, f3: u32, rd: u32, op: u32) -> u32 {
+    (f7 << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) | op
+}
+
+fn enc_i(imm: i64, rs1: u32, f3: u32, rd: u32, op: u32) -> u32 {
+    ((imm as u32 & 0xFFF) << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) | op
+}
+
+fn enc_s(imm: i64, rs2: u32, rs1: u32, f3: u32, op: u32) -> u32 {
+    let imm = imm as u32;
+    ((imm >> 5 & 0x7F) << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) | ((imm & 0x1F) << 7) | op
+}
+
+fn enc_b(imm: i64, rs2: u32, rs1: u32, f3: u32, op: u32) -> u32 {
+    let imm = imm as u32;
+    ((imm >> 12 & 1) << 31)
+        | ((imm >> 5 & 0x3F) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (f3 << 12)
+        | ((imm >> 1 & 0xF) << 8)
+        | ((imm >> 11 & 1) << 7)
+        | op
+}
+
+fn enc_u(imm: i64, rd: u32, op: u32) -> u32 {
+    ((imm as u32) & 0xFFFF_F000) | (rd << 7) | op
+}
+
+fn enc_j(imm: i64, rd: u32, op: u32) -> u32 {
+    let imm = imm as u32;
+    ((imm >> 20 & 1) << 31)
+        | ((imm >> 1 & 0x3FF) << 21)
+        | ((imm >> 11 & 1) << 20)
+        | ((imm >> 12 & 0xFF) << 12)
+        | (rd << 7)
+        | op
+}
+
+fn push32(out: &mut Vec<u8>, instr: u32) {
+    out.extend_from_slice(&instr.to_le_bytes());
+}
+
+/// Expands `li rd, imm` into a fixed-length sequence (pass-1 sized).
+fn emit_li(out: &mut Vec<u8>, rd: u32, imm: i64) {
+    match li_len(imm) {
+        1 => push32(out, enc_i(imm, 0, 0, rd, 0x13)), // addi rd, x0, imm
+        2 => {
+            // lui + addiw handles the full 32-bit signed range.
+            let hi = ((imm as u32).wrapping_add(0x800) & 0xFFFF_F000) as i32 as i64;
+            let lo = imm - hi;
+            push32(out, enc_u(hi, rd, 0x37));
+            push32(out, enc_i(lo, rd, 0, rd, 0x1B)); // addiw
+        }
+        _ => {
+            // Full 64-bit constant, built big-endian in 16-bit chunks.
+            // Each chunk c: rd = ((rd << 5) + (c >> 11)) << 11 | lo via adds;
+            // every addend is non-negative and ≤ 2047, so addi is safe.
+            push32(out, enc_i(0, 0, 0, rd, 0x13)); // li rd, 0
+            let v = imm as u64;
+            for k in (0..4).rev() {
+                let c = (v >> (16 * k)) & 0xFFFF;
+                push32(out, enc_i(5, rd, 1, rd, 0x13)); // slli rd, rd, 5
+                push32(out, enc_i((c >> 11) as i64, rd, 0, rd, 0x13)); // addi ≤ 31
+                push32(out, enc_i(11, rd, 1, rd, 0x13)); // slli rd, rd, 11
+                push32(out, enc_i((c & 0x7FF) as i64, rd, 0, rd, 0x13)); // addi ≤ 2047
+            }
+        }
+    }
+}
+
+fn encode_stmt(
+    ln: usize,
+    stmt: &str,
+    pc: u64,
+    symbols: &HashMap<String, u64>,
+) -> Result<Vec<u8>, AsmError> {
+    let ctx = Ctx { ln, symbols };
+    let (mn, args) = split_stmt(stmt);
+    let mut out = Vec::new();
+    let arg = |i: usize| -> Result<&str, AsmError> {
+        args.get(i)
+            .map(|s| s.as_str())
+            .ok_or_else(|| AsmError { line: ln, msg: format!("`{mn}` missing operand {i}") })
+    };
+
+    match mn {
+        // ---- directives ----
+        ".org" => {}
+        ".align" => {
+            let a: u64 = parse_u64(arg(0).unwrap_or("4")).unwrap_or(4);
+            let align = 1u64 << a;
+            let pad = ((align - (pc % align)) % align) as usize;
+            out.resize(pad, 0);
+        }
+        ".byte" => {
+            for a in &args {
+                out.push(ctx.imm(a)? as u8);
+            }
+        }
+        ".half" => {
+            for a in &args {
+                out.extend_from_slice(&(ctx.imm(a)? as u16).to_le_bytes());
+            }
+        }
+        ".word" => {
+            for a in &args {
+                out.extend_from_slice(&(ctx.imm(a)? as u32).to_le_bytes());
+            }
+        }
+        ".dword" | ".quad" => {
+            for a in &args {
+                out.extend_from_slice(&(ctx.imm(a)? as u64).to_le_bytes());
+            }
+        }
+        ".zero" => {
+            let n = parse_u64(arg(0)?).map_err(|_| AsmError { line: ln, msg: "bad .zero".into() })? as usize;
+            out.resize(n, 0);
+        }
+        ".ascii" => out = parse_string(ln, stmt)?,
+        ".asciz" => {
+            out = parse_string(ln, stmt)?;
+            out.push(0);
+        }
+
+        // ---- pseudo-instructions ----
+        "nop" => push32(&mut out, enc_i(0, 0, 0, 0, 0x13)),
+        "mv" => push32(&mut out, enc_i(0, ctx.reg(arg(1)?)?, 0, ctx.reg(arg(0)?)?, 0x13)),
+        "not" => push32(&mut out, enc_i(-1, ctx.reg(arg(1)?)?, 4, ctx.reg(arg(0)?)?, 0x13)),
+        "neg" => push32(&mut out, enc_r(0x20, ctx.reg(arg(1)?)?, 0, 0, ctx.reg(arg(0)?)?, 0x33)),
+        "seqz" => push32(&mut out, enc_i(1, ctx.reg(arg(1)?)?, 3, ctx.reg(arg(0)?)?, 0x13)),
+        "snez" => push32(&mut out, enc_r(0, ctx.reg(arg(1)?)?, 0, 3, ctx.reg(arg(0)?)?, 0x33)),
+        "li" => {
+            let rd = ctx.reg(arg(0)?)?;
+            let imm = ctx.imm(arg(1)?)?;
+            emit_li(&mut out, rd, imm);
+        }
+        "la" => {
+            let rd = ctx.reg(arg(0)?)?;
+            let target = ctx.imm(arg(1)?)?;
+            let rel = target - pc as i64;
+            let hi = (rel + 0x800) >> 12 << 12;
+            let lo = rel - hi;
+            push32(&mut out, enc_u(hi, rd, 0x17)); // auipc
+            push32(&mut out, enc_i(lo, rd, 0, rd, 0x13));
+        }
+        "j" => push32(&mut out, enc_j(ctx.imm(arg(0)?)? - pc as i64, 0, 0x6F)),
+        "jal" if args.len() == 1 => {
+            push32(&mut out, enc_j(ctx.imm(arg(0)?)? - pc as i64, 1, 0x6F));
+        }
+        "call" => push32(&mut out, enc_j(ctx.imm(arg(0)?)? - pc as i64, 1, 0x6F)),
+        "tail" => push32(&mut out, enc_j(ctx.imm(arg(0)?)? - pc as i64, 0, 0x6F)),
+        "jr" => push32(&mut out, enc_i(0, ctx.reg(arg(0)?)?, 0, 0, 0x67)),
+        "ret" => push32(&mut out, enc_i(0, 1, 0, 0, 0x67)),
+        "beqz" => push32(&mut out, enc_b(ctx.imm(arg(1)?)? - pc as i64, 0, ctx.reg(arg(0)?)?, 0, 0x63)),
+        "bnez" => push32(&mut out, enc_b(ctx.imm(arg(1)?)? - pc as i64, 0, ctx.reg(arg(0)?)?, 1, 0x63)),
+        "blez" => push32(&mut out, enc_b(ctx.imm(arg(1)?)? - pc as i64, ctx.reg(arg(0)?)?, 0, 5, 0x63)),
+        "bgez" => push32(&mut out, enc_b(ctx.imm(arg(1)?)? - pc as i64, 0, ctx.reg(arg(0)?)?, 5, 0x63)),
+        "bltz" => push32(&mut out, enc_b(ctx.imm(arg(1)?)? - pc as i64, 0, ctx.reg(arg(0)?)?, 4, 0x63)),
+        "bgtz" => push32(&mut out, enc_b(ctx.imm(arg(1)?)? - pc as i64, ctx.reg(arg(0)?)?, 0, 4, 0x63)),
+        "bgt" => push32(&mut out, enc_b(ctx.imm(arg(2)?)? - pc as i64, ctx.reg(arg(0)?)?, ctx.reg(arg(1)?)?, 4, 0x63)),
+        "ble" => push32(&mut out, enc_b(ctx.imm(arg(2)?)? - pc as i64, ctx.reg(arg(0)?)?, ctx.reg(arg(1)?)?, 5, 0x63)),
+        "csrr" => {
+            let csr = csr_addr(arg(1)?).ok_or_else(|| AsmError { line: ln, msg: format!("unknown CSR `{}`", args[1]) })?;
+            push32(&mut out, enc_i(csr as i64, 0, 2, ctx.reg(arg(0)?)?, 0x73));
+        }
+        "csrw" => {
+            let csr = csr_addr(arg(0)?).ok_or_else(|| AsmError { line: ln, msg: format!("unknown CSR `{}`", args[0]) })?;
+            push32(&mut out, enc_i(csr as i64, ctx.reg(arg(1)?)?, 1, 0, 0x73));
+        }
+        "csrs" => {
+            let csr = csr_addr(arg(0)?).ok_or_else(|| AsmError { line: ln, msg: format!("unknown CSR `{}`", args[0]) })?;
+            push32(&mut out, enc_i(csr as i64, ctx.reg(arg(1)?)?, 2, 0, 0x73));
+        }
+        "csrc" => {
+            let csr = csr_addr(arg(0)?).ok_or_else(|| AsmError { line: ln, msg: format!("unknown CSR `{}`", args[0]) })?;
+            push32(&mut out, enc_i(csr as i64, ctx.reg(arg(1)?)?, 3, 0, 0x73));
+        }
+        "ecall" => push32(&mut out, 0x0000_0073),
+        "ebreak" => push32(&mut out, 0x0010_0073),
+        "mret" => push32(&mut out, 0x3020_0073),
+        "wfi" => push32(&mut out, 0x1050_0073),
+        "fence" | "fence.i" => push32(&mut out, 0x0000_000F),
+
+        // ---- U/J-type ----
+        "lui" => push32(&mut out, enc_u(ctx.imm(arg(1)?)? << 12, ctx.reg(arg(0)?)?, 0x37)),
+        "auipc" => push32(&mut out, enc_u(ctx.imm(arg(1)?)? << 12, ctx.reg(arg(0)?)?, 0x17)),
+        "jal" => {
+            push32(&mut out, enc_j(ctx.imm(arg(1)?)? - pc as i64, ctx.reg(arg(0)?)?, 0x6F));
+        }
+        "jalr" => {
+            let (imm, rs1) = match mem_operand(arg(1)?) {
+                Some((i, r)) => (if i.is_empty() { 0 } else { ctx.imm(i)? }, ctx.reg(r)?),
+                None => (0, ctx.reg(arg(1)?)?),
+            };
+            push32(&mut out, enc_i(imm, rs1, 0, ctx.reg(arg(0)?)?, 0x67));
+        }
+
+        // ---- branches ----
+        "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" => {
+            let f3 = match mn {
+                "beq" => 0,
+                "bne" => 1,
+                "blt" => 4,
+                "bge" => 5,
+                "bltu" => 6,
+                _ => 7,
+            };
+            let rel = ctx.imm(arg(2)?)? - pc as i64;
+            push32(&mut out, enc_b(rel, ctx.reg(arg(1)?)?, ctx.reg(arg(0)?)?, f3, 0x63));
+        }
+
+        // ---- loads/stores ----
+        "lb" | "lh" | "lw" | "ld" | "lbu" | "lhu" | "lwu" => {
+            let f3 = match mn {
+                "lb" => 0,
+                "lh" => 1,
+                "lw" => 2,
+                "ld" => 3,
+                "lbu" => 4,
+                "lhu" => 5,
+                _ => 6,
+            };
+            let (imm, rs1) = mem_operand(arg(1)?)
+                .ok_or_else(|| AsmError { line: ln, msg: "expected off(reg)".into() })?;
+            let imm = if imm.is_empty() { 0 } else { ctx.imm(imm)? };
+            push32(&mut out, enc_i(imm, ctx.reg(rs1)?, f3, ctx.reg(arg(0)?)?, 0x03));
+        }
+        "sb" | "sh" | "sw" | "sd" => {
+            let f3 = match mn {
+                "sb" => 0,
+                "sh" => 1,
+                "sw" => 2,
+                _ => 3,
+            };
+            let (imm, rs1) = mem_operand(arg(1)?)
+                .ok_or_else(|| AsmError { line: ln, msg: "expected off(reg)".into() })?;
+            let imm = if imm.is_empty() { 0 } else { ctx.imm(imm)? };
+            push32(&mut out, enc_s(imm, ctx.reg(arg(0)?)?, ctx.reg(rs1)?, f3, 0x23));
+        }
+
+        // ---- OP-IMM ----
+        "addi" | "slti" | "sltiu" | "xori" | "ori" | "andi" | "slli" | "srli" | "srai"
+        | "addiw" | "slliw" | "srliw" | "sraiw" => {
+            let rd = ctx.reg(arg(0)?)?;
+            let rs1 = ctx.reg(arg(1)?)?;
+            let imm = ctx.imm(arg(2)?)?;
+            let instr = match mn {
+                "addi" => enc_i(imm, rs1, 0, rd, 0x13),
+                "slti" => enc_i(imm, rs1, 2, rd, 0x13),
+                "sltiu" => enc_i(imm, rs1, 3, rd, 0x13),
+                "xori" => enc_i(imm, rs1, 4, rd, 0x13),
+                "ori" => enc_i(imm, rs1, 6, rd, 0x13),
+                "andi" => enc_i(imm, rs1, 7, rd, 0x13),
+                "slli" => enc_i(imm & 0x3F, rs1, 1, rd, 0x13),
+                "srli" => enc_i(imm & 0x3F, rs1, 5, rd, 0x13),
+                "srai" => enc_i((imm & 0x3F) | 0x400, rs1, 5, rd, 0x13),
+                "addiw" => enc_i(imm, rs1, 0, rd, 0x1B),
+                "slliw" => enc_i(imm & 0x1F, rs1, 1, rd, 0x1B),
+                "srliw" => enc_i(imm & 0x1F, rs1, 5, rd, 0x1B),
+                _ => enc_i((imm & 0x1F) | 0x400, rs1, 5, rd, 0x1B),
+            };
+            push32(&mut out, instr);
+        }
+
+        // ---- OP / OP-32 / M ----
+        "add" | "sub" | "sll" | "slt" | "sltu" | "xor" | "srl" | "sra" | "or" | "and" | "mul"
+        | "mulh" | "mulhsu" | "mulhu" | "div" | "divu" | "rem" | "remu" | "addw" | "subw"
+        | "sllw" | "srlw" | "sraw" | "mulw" | "divw" | "divuw" | "remw" | "remuw" => {
+            let rd = ctx.reg(arg(0)?)?;
+            let rs1 = ctx.reg(arg(1)?)?;
+            let rs2 = ctx.reg(arg(2)?)?;
+            let (f7, f3, op) = match mn {
+                "add" => (0x00, 0, 0x33),
+                "sub" => (0x20, 0, 0x33),
+                "sll" => (0x00, 1, 0x33),
+                "slt" => (0x00, 2, 0x33),
+                "sltu" => (0x00, 3, 0x33),
+                "xor" => (0x00, 4, 0x33),
+                "srl" => (0x00, 5, 0x33),
+                "sra" => (0x20, 5, 0x33),
+                "or" => (0x00, 6, 0x33),
+                "and" => (0x00, 7, 0x33),
+                "mul" => (0x01, 0, 0x33),
+                "mulh" => (0x01, 1, 0x33),
+                "mulhsu" => (0x01, 2, 0x33),
+                "mulhu" => (0x01, 3, 0x33),
+                "div" => (0x01, 4, 0x33),
+                "divu" => (0x01, 5, 0x33),
+                "rem" => (0x01, 6, 0x33),
+                "remu" => (0x01, 7, 0x33),
+                "addw" => (0x00, 0, 0x3B),
+                "subw" => (0x20, 0, 0x3B),
+                "sllw" => (0x00, 1, 0x3B),
+                "srlw" => (0x00, 5, 0x3B),
+                "sraw" => (0x20, 5, 0x3B),
+                "mulw" => (0x01, 0, 0x3B),
+                "divw" => (0x01, 4, 0x3B),
+                "divuw" => (0x01, 5, 0x3B),
+                "remw" => (0x01, 6, 0x3B),
+                _ => (0x01, 7, 0x3B),
+            };
+            push32(&mut out, enc_r(f7, rs2, rs1, f3, rd, op));
+        }
+
+        // ---- A extension ----
+        "lr.w" | "lr.d" => {
+            let f3 = if mn.ends_with('w') { 2 } else { 3 };
+            let (_, rs1) = mem_operand(arg(1)?).unwrap_or(("", arg(1)?));
+            push32(&mut out, enc_r(0x02 << 2, 0, ctx.reg(rs1)?, f3, ctx.reg(arg(0)?)?, 0x2F));
+        }
+        "sc.w" | "sc.d" => {
+            let f3 = if mn.ends_with('w') { 2 } else { 3 };
+            let (_, rs1) = mem_operand(arg(2)?).unwrap_or(("", arg(2)?));
+            push32(
+                &mut out,
+                enc_r(0x03 << 2, ctx.reg(arg(1)?)?, ctx.reg(rs1)?, f3, ctx.reg(arg(0)?)?, 0x2F),
+            );
+        }
+        _ if mn.starts_with("amo") => {
+            let (name, width) = mn
+                .rsplit_once('.')
+                .ok_or_else(|| AsmError { line: ln, msg: format!("bad AMO `{mn}`") })?;
+            let f3 = match width {
+                "w" => 2,
+                "d" => 3,
+                _ => return err(ln, format!("bad AMO width `{width}`")),
+            };
+            let funct5 = match name {
+                "amoswap" => 0x01,
+                "amoadd" => 0x00,
+                "amoxor" => 0x04,
+                "amoand" => 0x0C,
+                "amoor" => 0x08,
+                "amomin" => 0x10,
+                "amomax" => 0x14,
+                "amominu" => 0x18,
+                "amomaxu" => 0x1C,
+                _ => return err(ln, format!("unknown AMO `{name}`")),
+            };
+            let (_, rs1) = mem_operand(arg(2)?).unwrap_or(("", arg(2)?));
+            push32(
+                &mut out,
+                enc_r(funct5 << 2, ctx.reg(arg(1)?)?, ctx.reg(rs1)?, f3, ctx.reg(arg(0)?)?, 0x2F),
+            );
+        }
+        _ => return err(ln, format!("unknown mnemonic `{mn}`")),
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_branches_resolve() {
+        let img = assemble(
+            r#"
+            start:
+                li   t0, 0
+            loop:
+                addi t0, t0, 1
+                li   t1, 10
+                blt  t0, t1, loop
+                j    done
+            done:
+                ret
+            "#,
+            0x1000,
+        )
+        .unwrap();
+        assert_eq!(img.symbol("start"), Some(0x1000));
+        assert!(img.symbol("loop").unwrap() > 0x1000);
+        assert_eq!(img.bytes.len() % 4, 0);
+    }
+
+    #[test]
+    fn duplicate_label_errors() {
+        let e = assemble("a:\na:\nnop", 0).unwrap_err();
+        assert!(e.msg.contains("duplicate"));
+    }
+
+    #[test]
+    fn unknown_mnemonic_errors_with_line() {
+        let e = assemble("nop\nfrobnicate x1", 0).unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn data_directives() {
+        let img = assemble(
+            r#"
+            .byte 1, 2, 3
+            .align 2
+            .word 0xDEADBEEF
+            .dword 0x1122334455667788
+            msg: .asciz "hi"
+            "#,
+            0,
+        )
+        .unwrap();
+        assert_eq!(&img.bytes[0..3], &[1, 2, 3]);
+        assert_eq!(&img.bytes[4..8], &0xDEAD_BEEFu32.to_le_bytes());
+        assert_eq!(&img.bytes[8..16], &0x1122_3344_5566_7788u64.to_le_bytes());
+        assert_eq!(&img.bytes[16..19], b"hi\0");
+    }
+
+    #[test]
+    fn org_moves_forward() {
+        let img = assemble(".org 0x100\nentry: nop", 0).unwrap();
+        assert_eq!(img.symbol("entry"), Some(0x100));
+        assert_eq!(img.bytes.len(), 0x104);
+    }
+
+    #[test]
+    fn mem_operands_parse() {
+        let img = assemble("lw a0, 8(sp)\nsd a1, -16(s0)", 0).unwrap();
+        assert_eq!(img.bytes.len(), 8);
+        let i0 = u32::from_le_bytes(img.bytes[0..4].try_into().unwrap());
+        assert_eq!(i0 & 0x7F, 0x03);
+        assert_eq!((i0 >> 20) & 0xFFF, 8);
+    }
+}

@@ -1,0 +1,827 @@
+//! The RV64IMA_Zicsr architectural state machine.
+
+use crate::csr::{Csr, CsrFile};
+
+/// Atomic operations surfaced to the memory system (mirrors the NoC's
+/// near-directory AMO set; the tile layer maps between the two).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum MemAmoOp {
+    Swap,
+    Add,
+    Xor,
+    And,
+    Or,
+    Min,
+    Max,
+    MinU,
+    MaxU,
+    /// Compare-and-swap, used to implement SC.
+    Cas,
+}
+
+/// Synchronous exceptions the interpreter can raise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trap {
+    /// Unknown or unsupported encoding (the raw instruction is attached).
+    IllegalInstruction(u32),
+    /// Load address not naturally aligned.
+    LoadMisaligned(u64),
+    /// Store/AMO address not naturally aligned.
+    StoreMisaligned(u64),
+}
+
+impl Trap {
+    /// The mcause exception code.
+    pub fn cause(self) -> u64 {
+        match self {
+            Trap::IllegalInstruction(_) => 2,
+            Trap::LoadMisaligned(_) => 4,
+            Trap::StoreMisaligned(_) => 6,
+        }
+    }
+
+    /// The mtval value.
+    pub fn tval(self) -> u64 {
+        match self {
+            Trap::IllegalInstruction(i) => u64::from(i),
+            Trap::LoadMisaligned(a) | Trap::StoreMisaligned(a) => a,
+        }
+    }
+}
+
+/// What an instruction needs from the outside world.
+///
+/// `Retired` means the instruction fully completed (pc already advanced).
+/// Memory outcomes leave a writeback pending; the wrapper performs the
+/// access and calls the matching `finish_*` method before executing the
+/// next instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Instruction completed; fetch the next one.
+    Retired,
+    /// A load is required.
+    Load {
+        /// Byte address.
+        addr: u64,
+        /// Access width (1/2/4/8).
+        size: u8,
+        /// Sign-extend the loaded value into rd.
+        signed: bool,
+        /// Destination register.
+        rd: u8,
+        /// This is an LR: record a reservation on completion.
+        reserve: bool,
+    },
+    /// A store is required (no writeback).
+    Store {
+        /// Byte address.
+        addr: u64,
+        /// Access width.
+        size: u8,
+        /// Data in the low `size` bytes.
+        data: u64,
+    },
+    /// An atomic read-modify-write is required.
+    Amo {
+        /// Byte address.
+        addr: u64,
+        /// Access width (4/8).
+        size: u8,
+        /// Operation.
+        op: MemAmoOp,
+        /// Operand value.
+        val: u64,
+        /// Expected value (CAS only; used by SC).
+        expected: u64,
+        /// Destination register.
+        rd: u8,
+        /// True when this AMO implements SC (rd gets 0/1, not the old
+        /// value).
+        is_sc: bool,
+    },
+    /// WFI: stall until an interrupt is pending.
+    Wfi,
+    /// ECALL at the current pc (not yet advanced); the wrapper decides
+    /// between a host call and an architectural trap.
+    Ecall,
+    /// EBREAK at the current pc.
+    Ebreak,
+    /// A synchronous exception; the wrapper calls [`Hart::raise`].
+    Exception(Trap),
+}
+
+/// One RV64IMA_Zicsr hart: registers, pc, CSRs, and an LR/SC reservation.
+///
+/// See the crate docs for the split-transaction driving protocol.
+#[derive(Debug, Clone)]
+pub struct Hart {
+    regs: [u64; 32],
+    pc: u64,
+    csrs: CsrFile,
+    /// LR reservation: (address, value observed). SC succeeds iff memory
+    /// still holds the observed value (CAS; ABA-tolerant, documented).
+    reservation: Option<(u64, u64)>,
+}
+
+impl Hart {
+    /// Creates a hart with the given ID and reset pc.
+    pub fn new(hartid: u64, reset_pc: u64) -> Self {
+        Self { regs: [0; 32], pc: reset_pc, csrs: CsrFile::new(hartid), reservation: None }
+    }
+
+    /// Current program counter (the next fetch address).
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// Overrides the pc (used by loaders).
+    pub fn set_pc(&mut self, pc: u64) {
+        self.pc = pc;
+    }
+
+    /// Reads register `x{i}`.
+    pub fn reg(&self, i: usize) -> u64 {
+        self.regs[i]
+    }
+
+    /// Writes register `x{i}` (x0 stays zero).
+    pub fn set_reg(&mut self, i: usize, v: u64) {
+        if i != 0 {
+            self.regs[i] = v;
+        }
+    }
+
+    /// The CSR file (for interrupt wires and counters).
+    pub fn csrs_mut(&mut self) -> &mut CsrFile {
+        &mut self.csrs
+    }
+
+    /// Read-only CSR access.
+    pub fn csrs(&self) -> &CsrFile {
+        &self.csrs
+    }
+
+    /// Takes the highest-priority pending interrupt if one is deliverable,
+    /// redirecting the pc to the trap vector. Returns the cause taken.
+    pub fn take_interrupt(&mut self) -> Option<u64> {
+        let cause = self.csrs.pending_interrupt()?;
+        self.pc = self.csrs.enter_trap(self.pc, cause, true, 0);
+        Some(cause)
+    }
+
+    /// Raises a synchronous exception at the current pc.
+    pub fn raise(&mut self, trap: Trap) {
+        self.pc = self.csrs.enter_trap(self.pc, trap.cause(), false, trap.tval());
+    }
+
+    /// Raises an environment call exception (when the wrapper routes ECALL
+    /// architecturally instead of treating it as a host call).
+    pub fn raise_ecall(&mut self) {
+        self.pc = self.csrs.enter_trap(self.pc, 11, false, 0);
+    }
+
+    /// Skips the current instruction (used by host-call conventions to
+    /// step past an ECALL).
+    pub fn skip_instruction(&mut self) {
+        self.pc += 4;
+    }
+
+    /// Completes a pending [`Outcome::Load`].
+    pub fn finish_load(&mut self, rd: u8, raw: u64, size: u8, signed: bool, reserve: bool, addr: u64) {
+        let v = extend(raw, size, signed);
+        self.set_reg(rd as usize, v);
+        if reserve {
+            self.reservation = Some((addr, raw & mask(size)));
+        }
+        self.csrs.minstret += 1;
+    }
+
+    /// Completes a pending [`Outcome::Store`].
+    pub fn finish_store(&mut self) {
+        self.csrs.minstret += 1;
+    }
+
+    /// Completes a pending [`Outcome::Amo`]: `old` is the prior memory
+    /// value (masked to the access width).
+    pub fn finish_amo(&mut self, rd: u8, old: u64, size: u8, is_sc: bool, expected: u64) {
+        if is_sc {
+            let success = (old & mask(size)) == (expected & mask(size));
+            self.set_reg(rd as usize, u64::from(!success));
+        } else {
+            self.set_reg(rd as usize, extend(old, size, true));
+        }
+        self.csrs.minstret += 1;
+    }
+
+    /// Decodes and executes one instruction. The pc advances for
+    /// everything except exceptions, ECALL, EBREAK, and WFI.
+    pub fn execute(&mut self, instr: u32) -> Outcome {
+        let op = instr & 0x7F;
+        let rd = ((instr >> 7) & 0x1F) as u8;
+        let rs1 = ((instr >> 15) & 0x1F) as usize;
+        let rs2 = ((instr >> 20) & 0x1F) as usize;
+        let f3 = (instr >> 12) & 0x7;
+        let f7 = instr >> 25;
+        let x1 = self.regs[rs1];
+        let x2 = self.regs[rs2];
+
+        macro_rules! retire {
+            ($e:expr) => {{
+                self.set_reg(rd as usize, $e);
+                self.pc += 4;
+                self.csrs.minstret += 1;
+                Outcome::Retired
+            }};
+        }
+
+        match op {
+            0x37 => retire!(imm_u(instr)),                       // LUI
+            0x17 => retire!(self.pc.wrapping_add(imm_u(instr))), // AUIPC
+            0x6F => {
+                // JAL
+                let target = self.pc.wrapping_add(imm_j(instr));
+                let link = self.pc + 4;
+                self.set_reg(rd as usize, link);
+                self.pc = target;
+                self.csrs.minstret += 1;
+                Outcome::Retired
+            }
+            0x67 => {
+                // JALR
+                let target = x1.wrapping_add(imm_i(instr)) & !1;
+                let link = self.pc + 4;
+                self.set_reg(rd as usize, link);
+                self.pc = target;
+                self.csrs.minstret += 1;
+                Outcome::Retired
+            }
+            0x63 => {
+                // Branches
+                let taken = match f3 {
+                    0 => x1 == x2,
+                    1 => x1 != x2,
+                    4 => (x1 as i64) < (x2 as i64),
+                    5 => (x1 as i64) >= (x2 as i64),
+                    6 => x1 < x2,
+                    7 => x1 >= x2,
+                    _ => return Outcome::Exception(Trap::IllegalInstruction(instr)),
+                };
+                self.pc = if taken { self.pc.wrapping_add(imm_b(instr)) } else { self.pc + 4 };
+                self.csrs.minstret += 1;
+                Outcome::Retired
+            }
+            0x03 => {
+                // Loads
+                let addr = x1.wrapping_add(imm_i(instr));
+                let (size, signed) = match f3 {
+                    0 => (1, true),
+                    1 => (2, true),
+                    2 => (4, true),
+                    3 => (8, true),
+                    4 => (1, false),
+                    5 => (2, false),
+                    6 => (4, false),
+                    _ => return Outcome::Exception(Trap::IllegalInstruction(instr)),
+                };
+                if addr % u64::from(size) != 0 {
+                    return Outcome::Exception(Trap::LoadMisaligned(addr));
+                }
+                self.pc += 4;
+                Outcome::Load { addr, size, signed, rd, reserve: false }
+            }
+            0x23 => {
+                // Stores
+                let addr = x1.wrapping_add(imm_s(instr));
+                let size = match f3 {
+                    0 => 1,
+                    1 => 2,
+                    2 => 4,
+                    3 => 8,
+                    _ => return Outcome::Exception(Trap::IllegalInstruction(instr)),
+                };
+                if addr % u64::from(size) != 0 {
+                    return Outcome::Exception(Trap::StoreMisaligned(addr));
+                }
+                self.pc += 4;
+                Outcome::Store { addr, size, data: x2 & mask(size) }
+            }
+            0x13 => {
+                // OP-IMM
+                let imm = imm_i(instr);
+                let shamt = (instr >> 20) & 0x3F;
+                let v = match f3 {
+                    0 => x1.wrapping_add(imm),
+                    1 if f7 >> 1 == 0 => x1 << shamt,
+                    2 => u64::from((x1 as i64) < (imm as i64)),
+                    3 => u64::from(x1 < imm),
+                    4 => x1 ^ imm,
+                    5 if instr >> 26 == 0 => x1 >> shamt,
+                    5 if instr >> 26 == 0x10 => ((x1 as i64) >> shamt) as u64,
+                    6 => x1 | imm,
+                    7 => x1 & imm,
+                    _ => return Outcome::Exception(Trap::IllegalInstruction(instr)),
+                };
+                retire!(v)
+            }
+            0x1B => {
+                // OP-IMM-32
+                let imm = imm_i(instr);
+                let shamt = (instr >> 20) & 0x1F;
+                let w = x1 as u32;
+                let v32 = match (f3, f7) {
+                    (0, _) => w.wrapping_add(imm as u32),
+                    (1, 0) => w << shamt,
+                    (5, 0) => w >> shamt,
+                    (5, 0x20) => ((w as i32) >> shamt) as u32,
+                    _ => return Outcome::Exception(Trap::IllegalInstruction(instr)),
+                };
+                retire!(v32 as i32 as i64 as u64)
+            }
+            0x33 => {
+                // OP
+                let v = match (f3, f7) {
+                    (0, 0x00) => x1.wrapping_add(x2),
+                    (0, 0x20) => x1.wrapping_sub(x2),
+                    (0, 0x01) => x1.wrapping_mul(x2), // MUL
+                    (1, 0x00) => x1 << (x2 & 0x3F),
+                    (1, 0x01) => (((x1 as i64 as i128) * (x2 as i64 as i128)) >> 64) as u64, // MULH
+                    (2, 0x00) => u64::from((x1 as i64) < (x2 as i64)),
+                    (2, 0x01) => (((x1 as i64 as i128) * (x2 as i128)) >> 64) as u64, // MULHSU
+                    (3, 0x00) => u64::from(x1 < x2),
+                    (3, 0x01) => ((u128::from(x1) * u128::from(x2)) >> 64) as u64, // MULHU
+                    (4, 0x00) => x1 ^ x2,
+                    (4, 0x01) => div_s(x1 as i64, x2 as i64) as u64, // DIV
+                    (5, 0x00) => x1 >> (x2 & 0x3F),
+                    (5, 0x20) => ((x1 as i64) >> (x2 & 0x3F)) as u64,
+                    (5, 0x01) => {
+                        if x2 == 0 {
+                            u64::MAX
+                        } else {
+                            x1 / x2
+                        }
+                    } // DIVU
+                    (6, 0x00) => x1 | x2,
+                    (6, 0x01) => rem_s(x1 as i64, x2 as i64) as u64, // REM
+                    (7, 0x00) => x1 & x2,
+                    (7, 0x01) => {
+                        if x2 == 0 {
+                            x1
+                        } else {
+                            x1 % x2
+                        }
+                    } // REMU
+                    _ => return Outcome::Exception(Trap::IllegalInstruction(instr)),
+                };
+                retire!(v)
+            }
+            0x3B => {
+                // OP-32
+                let w1 = x1 as u32;
+                let w2 = x2 as u32;
+                let v32: u32 = match (f3, f7) {
+                    (0, 0x00) => w1.wrapping_add(w2),
+                    (0, 0x20) => w1.wrapping_sub(w2),
+                    (0, 0x01) => w1.wrapping_mul(w2), // MULW
+                    (1, 0x00) => w1 << (w2 & 0x1F),
+                    (4, 0x01) => div_s32(w1 as i32, w2 as i32) as u32, // DIVW
+                    (5, 0x00) => w1 >> (w2 & 0x1F),
+                    (5, 0x20) => ((w1 as i32) >> (w2 & 0x1F)) as u32,
+                    (5, 0x01) => {
+                        if w2 == 0 {
+                            u32::MAX
+                        } else {
+                            w1 / w2
+                        }
+                    } // DIVUW
+                    (6, 0x01) => rem_s32(w1 as i32, w2 as i32) as u32, // REMW
+                    (7, 0x01) => {
+                        if w2 == 0 {
+                            w1
+                        } else {
+                            w1 % w2
+                        }
+                    } // REMUW
+                    _ => return Outcome::Exception(Trap::IllegalInstruction(instr)),
+                };
+                retire!(v32 as i32 as i64 as u64)
+            }
+            0x0F => {
+                // FENCE / FENCE.I: our per-hart memory pipeline is in-order
+                // and blocking, so fences are architectural no-ops.
+                self.pc += 4;
+                self.csrs.minstret += 1;
+                Outcome::Retired
+            }
+            0x2F => self.amo(instr, rd, x1, x2, f3, f7),
+            0x73 => self.system(instr, rd, rs1, x1, f3),
+            _ => Outcome::Exception(Trap::IllegalInstruction(instr)),
+        }
+    }
+
+    fn amo(&mut self, instr: u32, rd: u8, x1: u64, x2: u64, f3: u32, f7: u32) -> Outcome {
+        let size = match f3 {
+            2 => 4u8,
+            3 => 8u8,
+            _ => return Outcome::Exception(Trap::IllegalInstruction(instr)),
+        };
+        let addr = x1;
+        if addr % u64::from(size) != 0 {
+            return Outcome::Exception(Trap::StoreMisaligned(addr));
+        }
+        let funct5 = f7 >> 2;
+        match funct5 {
+            0x02 => {
+                // LR
+                self.pc += 4;
+                Outcome::Load { addr, size, signed: true, rd, reserve: true }
+            }
+            0x03 => {
+                // SC
+                self.pc += 4;
+                match self.reservation.take() {
+                    Some((raddr, rval)) if raddr == addr => Outcome::Amo {
+                        addr,
+                        size,
+                        op: MemAmoOp::Cas,
+                        val: x2 & mask(size),
+                        expected: rval,
+                        rd,
+                        is_sc: true,
+                    },
+                    _ => {
+                        // No valid reservation: fail without touching memory.
+                        self.set_reg(rd as usize, 1);
+                        self.csrs.minstret += 1;
+                        Outcome::Retired
+                    }
+                }
+            }
+            _ => {
+                let op = match funct5 {
+                    0x01 => MemAmoOp::Swap,
+                    0x00 => MemAmoOp::Add,
+                    0x04 => MemAmoOp::Xor,
+                    0x0C => MemAmoOp::And,
+                    0x08 => MemAmoOp::Or,
+                    0x10 => MemAmoOp::Min,
+                    0x14 => MemAmoOp::Max,
+                    0x18 => MemAmoOp::MinU,
+                    0x1C => MemAmoOp::MaxU,
+                    _ => return Outcome::Exception(Trap::IllegalInstruction(instr)),
+                };
+                self.pc += 4;
+                Outcome::Amo { addr, size, op, val: x2 & mask(size), expected: 0, rd, is_sc: false }
+            }
+        }
+    }
+
+    fn system(&mut self, instr: u32, rd: u8, rs1: usize, x1: u64, f3: u32) -> Outcome {
+        match f3 {
+            0 => match instr {
+                0x0000_0073 => Outcome::Ecall,
+                0x0010_0073 => Outcome::Ebreak,
+                0x3020_0073 => {
+                    // MRET
+                    self.pc = self.csrs.mret();
+                    self.csrs.minstret += 1;
+                    Outcome::Retired
+                }
+                0x1050_0073 => {
+                    // WFI: pc advances; the wrapper idles.
+                    self.pc += 4;
+                    self.csrs.minstret += 1;
+                    Outcome::Wfi
+                }
+                _ => Outcome::Exception(Trap::IllegalInstruction(instr)),
+            },
+            1..=3 | 5..=7 => {
+                // Zicsr
+                let Some(csr) = Csr::from_addr(instr >> 20) else {
+                    return Outcome::Exception(Trap::IllegalInstruction(instr));
+                };
+                let old = self.csrs.read(csr);
+                let src = if f3 >= 5 { rs1 as u64 } else { x1 };
+                let new = match f3 & 3 {
+                    1 => Some(src),                            // CSRRW(I)
+                    2 => (src != 0).then(|| old | src),        // CSRRS(I)
+                    3 => (src != 0).then(|| old & !src),       // CSRRC(I)
+                    _ => unreachable!(),
+                };
+                if let Some(v) = new {
+                    self.csrs.write(csr, v);
+                }
+                self.set_reg(rd as usize, old);
+                self.pc += 4;
+                self.csrs.minstret += 1;
+                Outcome::Retired
+            }
+            _ => Outcome::Exception(Trap::IllegalInstruction(instr)),
+        }
+    }
+}
+
+fn mask(size: u8) -> u64 {
+    match size {
+        8 => u64::MAX,
+        _ => (1u64 << (8 * size)) - 1,
+    }
+}
+
+fn extend(raw: u64, size: u8, signed: bool) -> u64 {
+    let raw = raw & mask(size);
+    if !signed || size == 8 {
+        return raw;
+    }
+    let shift = 64 - 8 * u32::from(size);
+    (((raw << shift) as i64) >> shift) as u64
+}
+
+fn div_s(a: i64, b: i64) -> i64 {
+    if b == 0 {
+        -1
+    } else if a == i64::MIN && b == -1 {
+        i64::MIN
+    } else {
+        a / b
+    }
+}
+
+fn rem_s(a: i64, b: i64) -> i64 {
+    if b == 0 {
+        a
+    } else if a == i64::MIN && b == -1 {
+        0
+    } else {
+        a % b
+    }
+}
+
+fn div_s32(a: i32, b: i32) -> i32 {
+    if b == 0 {
+        -1
+    } else if a == i32::MIN && b == -1 {
+        i32::MIN
+    } else {
+        a / b
+    }
+}
+
+fn rem_s32(a: i32, b: i32) -> i32 {
+    if b == 0 {
+        a
+    } else if a == i32::MIN && b == -1 {
+        0
+    } else {
+        a % b
+    }
+}
+
+fn imm_i(instr: u32) -> u64 {
+    ((instr as i32) >> 20) as i64 as u64
+}
+
+fn imm_s(instr: u32) -> u64 {
+    let v = (((instr >> 25) << 5) | ((instr >> 7) & 0x1F)) as i32;
+    ((v << 20) >> 20) as i64 as u64
+}
+
+fn imm_b(instr: u32) -> u64 {
+    let v = (((instr >> 31) & 1) << 12)
+        | (((instr >> 7) & 1) << 11)
+        | (((instr >> 25) & 0x3F) << 5)
+        | (((instr >> 8) & 0xF) << 1);
+    (((v as i32) << 19) >> 19) as i64 as u64
+}
+
+fn imm_u(instr: u32) -> u64 {
+    (instr & 0xFFFF_F000) as i32 as i64 as u64
+}
+
+fn imm_j(instr: u32) -> u64 {
+    let v = (((instr >> 31) & 1) << 20)
+        | (((instr >> 12) & 0xFF) << 12)
+        | (((instr >> 20) & 1) << 11)
+        | (((instr >> 21) & 0x3FF) << 1);
+    (((v as i32) << 11) >> 11) as i64 as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn immediates_sign_extend() {
+        // addi x1, x0, -1 = 0xFFF00093
+        assert_eq!(imm_i(0xFFF0_0093), u64::MAX);
+        // lui x1, 0xFFFFF (negative upper immediate)
+        assert_eq!(imm_u(0xFFFF_F0B7), 0xFFFF_FFFF_FFFF_F000);
+    }
+
+    #[test]
+    fn x0_is_hardwired() {
+        let mut h = Hart::new(0, 0);
+        // addi x0, x0, 5
+        h.execute(0x0050_0013);
+        assert_eq!(h.reg(0), 0);
+    }
+
+    #[test]
+    fn add_sub_work() {
+        let mut h = Hart::new(0, 0);
+        h.set_reg(1, 10);
+        h.set_reg(2, 3);
+        // add x3, x1, x2
+        assert_eq!(h.execute(0x0020_81B3), Outcome::Retired);
+        assert_eq!(h.reg(3), 13);
+        // sub x4, x1, x2
+        h.execute(0x4020_8233);
+        assert_eq!(h.reg(4), 7);
+    }
+
+    #[test]
+    fn load_yields_split_transaction() {
+        let mut h = Hart::new(0, 0x100);
+        h.set_reg(1, 0x2000);
+        // lw x5, 4(x1)
+        let o = h.execute(0x0040_A283);
+        assert_eq!(o, Outcome::Load { addr: 0x2004, size: 4, signed: true, rd: 5, reserve: false });
+        assert_eq!(h.pc(), 0x104, "pc advances past the load");
+        h.finish_load(5, 0xFFFF_FFFF, 4, true, false, 0x2004);
+        assert_eq!(h.reg(5), u64::MAX, "lw sign-extends");
+    }
+
+    #[test]
+    fn misaligned_load_traps() {
+        let mut h = Hart::new(0, 0x100);
+        h.set_reg(1, 0x2001);
+        // lw x5, 0(x1)
+        let o = h.execute(0x0000_A283);
+        assert_eq!(o, Outcome::Exception(Trap::LoadMisaligned(0x2001)));
+        assert_eq!(h.pc(), 0x100, "pc unchanged on exception");
+    }
+
+    #[test]
+    fn division_edge_cases() {
+        let mut h = Hart::new(0, 0);
+        h.set_reg(1, 7);
+        h.set_reg(2, 0);
+        // div x3, x1, x2 → -1
+        h.execute(0x0220_C1B3);
+        assert_eq!(h.reg(3) as i64, -1);
+        // rem x4, x1, x2 → 7
+        h.execute(0x0220_E233);
+        assert_eq!(h.reg(4), 7);
+        // i64::MIN / -1 → i64::MIN
+        h.set_reg(1, i64::MIN as u64);
+        h.set_reg(2, u64::MAX);
+        h.execute(0x0220_C1B3);
+        assert_eq!(h.reg(3), i64::MIN as u64);
+    }
+
+    #[test]
+    fn mulh_variants() {
+        let mut h = Hart::new(0, 0);
+        h.set_reg(1, u64::MAX); // -1 signed
+        h.set_reg(2, u64::MAX);
+        // mulhu x3, x1, x2: (2^64-1)^2 >> 64 = 2^64 - 2
+        h.execute(0x0220_B1B3);
+        assert_eq!(h.reg(3), u64::MAX - 1);
+        // mulh x4, x1, x2: (-1)*(-1) >> 64 = 0
+        h.execute(0x0220_9233);
+        assert_eq!(h.reg(4), 0);
+    }
+
+    #[test]
+    fn word_ops_sign_extend_results() {
+        let mut h = Hart::new(0, 0);
+        h.set_reg(1, 0x7FFF_FFFF);
+        h.set_reg(2, 1);
+        // addw x3, x1, x2 → 0x80000000 sign-extended
+        h.execute(0x0020_81BB);
+        assert_eq!(h.reg(3), 0xFFFF_FFFF_8000_0000);
+    }
+
+    #[test]
+    fn branch_taken_and_not_taken() {
+        let mut h = Hart::new(0, 0x100);
+        h.set_reg(1, 5);
+        h.set_reg(2, 5);
+        // beq x1, x2, +16
+        h.execute(0x0020_8863);
+        assert_eq!(h.pc(), 0x110);
+        // bne x1, x2, +16 (not taken)
+        h.execute(0x0020_9863);
+        assert_eq!(h.pc(), 0x114);
+    }
+
+    #[test]
+    fn jal_and_jalr_link() {
+        let mut h = Hart::new(0, 0x100);
+        // jal x1, +0x20
+        h.execute(0x020000EF);
+        assert_eq!(h.pc(), 0x120);
+        assert_eq!(h.reg(1), 0x104);
+        // jalr x0, 0(x1) — return
+        h.execute(0x0000_8067);
+        assert_eq!(h.pc(), 0x104);
+    }
+
+    #[test]
+    fn lr_sc_success_and_failure() {
+        let mut h = Hart::new(0, 0x100);
+        h.set_reg(1, 0x1000);
+        h.set_reg(2, 99);
+        // lr.d x3, (x1)
+        let o = h.execute(0x1000_B1AF);
+        assert!(matches!(o, Outcome::Load { reserve: true, .. }));
+        h.finish_load(3, 7, 8, true, true, 0x1000);
+        // sc.d x4, x2, (x1)
+        let o = h.execute(0x1820_B22F);
+        match o {
+            Outcome::Amo { op: MemAmoOp::Cas, expected: 7, val: 99, is_sc: true, rd: 4, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        h.finish_amo(4, 7, 8, true, 7);
+        assert_eq!(h.reg(4), 0, "sc success writes 0");
+        // A second SC without a reservation fails immediately.
+        let o = h.execute(0x1820_B22F);
+        assert_eq!(o, Outcome::Retired);
+        assert_eq!(h.reg(4), 1, "sc without reservation writes 1");
+    }
+
+    #[test]
+    fn amoadd_returns_old_value() {
+        let mut h = Hart::new(0, 0x100);
+        h.set_reg(1, 0x1000);
+        h.set_reg(2, 5);
+        // amoadd.d x3, x2, (x1)
+        let o = h.execute(0x0020_B1AF);
+        match o {
+            Outcome::Amo { op: MemAmoOp::Add, val: 5, is_sc: false, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        h.finish_amo(3, 37, 8, false, 0);
+        assert_eq!(h.reg(3), 37);
+    }
+
+    #[test]
+    fn amow_sign_extends_old_value() {
+        let mut h = Hart::new(0, 0x100);
+        h.set_reg(1, 0x1000);
+        h.set_reg(2, 1);
+        // amoadd.w x3, x2, (x1)
+        h.execute(0x0020_A1AF);
+        h.finish_amo(3, 0xFFFF_FFFF, 4, false, 0);
+        assert_eq!(h.reg(3), u64::MAX);
+    }
+
+    #[test]
+    fn csr_read_write_set_clear() {
+        let mut h = Hart::new(3, 0);
+        // csrr x5, mhartid = csrrs x5, mhartid, x0
+        h.execute(0xF140_22F3);
+        assert_eq!(h.reg(5), 3);
+        // csrrw x0, mscratch, x5
+        h.execute(0x3402_9073);
+        assert_eq!(h.csrs().read(Csr::Mscratch), 3);
+        // csrrsi x0, mscratch, 4
+        h.execute(0x3402_6073);
+        assert_eq!(h.csrs().read(Csr::Mscratch), 7);
+        // csrrci x0, mscratch, 1
+        h.execute(0x3400_F073);
+        assert_eq!(h.csrs().read(Csr::Mscratch), 6);
+    }
+
+    #[test]
+    fn interrupt_entry_and_mret() {
+        let mut h = Hart::new(0, 0x400);
+        h.csrs_mut().write(Csr::Mtvec, 0x80);
+        h.csrs_mut().write(Csr::Mie, 1 << 7);
+        h.csrs_mut().write(Csr::Mstatus, crate::csr::MSTATUS_MIE);
+        h.csrs_mut().set_mip_bit(7, true);
+        assert_eq!(h.take_interrupt(), Some(7));
+        assert_eq!(h.pc(), 0x80);
+        // MRET returns to the interrupted pc.
+        h.execute(0x3020_0073);
+        assert_eq!(h.pc(), 0x400);
+        assert_eq!(h.take_interrupt(), Some(7), "still pending after mret");
+    }
+
+    #[test]
+    fn illegal_instruction_detected() {
+        let mut h = Hart::new(0, 0);
+        assert!(matches!(h.execute(0xFFFF_FFFF), Outcome::Exception(Trap::IllegalInstruction(_))));
+    }
+
+    #[test]
+    fn wfi_and_ecall_surface() {
+        let mut h = Hart::new(0, 0x100);
+        assert_eq!(h.execute(0x1050_0073), Outcome::Wfi);
+        assert_eq!(h.pc(), 0x104);
+        assert_eq!(h.execute(0x0000_0073), Outcome::Ecall);
+        assert_eq!(h.pc(), 0x104, "ecall leaves pc for mepc");
+        h.skip_instruction();
+        assert_eq!(h.pc(), 0x108);
+    }
+}

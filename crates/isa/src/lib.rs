@@ -1,0 +1,44 @@
+//! # smappic-isa — RV64IMA_Zicsr functional interpreter and assembler
+//!
+//! SMAPPIC's flagship prototypes run 64-bit RISC-V (Ariane) cores. This
+//! crate provides the architectural half of that core: an
+//! instruction-accurate RV64IMA_Zicsr interpreter ([`Hart`]) designed to be
+//! driven by a cycle-level wrapper, plus a small two-pass assembler
+//! ([`assemble`]) so examples and tests can run real guest programs.
+//!
+//! The [`Hart`] is a pure state machine with **split memory transactions**:
+//! `execute` returns an [`Outcome`] describing any memory access the
+//! instruction needs, the wrapper performs it against the simulated cache
+//! hierarchy (stalling as long as the BPC needs), and then calls the
+//! matching `finish_*` method. This is what lets one interpreter serve both
+//! the fast functional runner in this crate's tests and the timing-accurate
+//! `ArianeCore` in `smappic-tile`.
+//!
+//! ```
+//! use smappic_isa::{assemble, Hart, Outcome, VecBus, run_functional};
+//!
+//! let img = assemble(r#"
+//!     li   a0, 6
+//!     li   a1, 7
+//!     mul  a0, a0, a1
+//!     ecall            # host call: stop
+//! "#, 0x1000).unwrap();
+//! let mut bus = VecBus::new(64 * 1024);
+//! bus.load_image(&img);
+//! let mut hart = Hart::new(0, 0x1000);
+//! run_functional(&mut hart, &mut bus, 1_000).unwrap();
+//! assert_eq!(hart.reg(10), 42); // a0
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asm;
+mod csr;
+mod hart;
+mod runner;
+
+pub use asm::{assemble, AsmError, Image};
+pub use csr::{Csr, CsrFile};
+pub use hart::{Hart, MemAmoOp, Outcome, Trap};
+pub use runner::{run_functional, Bus, RunError, VecBus};

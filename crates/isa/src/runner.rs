@@ -1,0 +1,369 @@
+//! A functional (untimed) runner: drive a [`Hart`] against a flat memory.
+//!
+//! Used by this crate's own tests and anywhere instruction-accurate
+//! execution without timing is enough (e.g. the cost model's retired-
+//! instruction counts). The timing-accurate path lives in `smappic-tile`.
+
+use std::fmt;
+
+use crate::asm::Image;
+use crate::hart::{Hart, MemAmoOp, Outcome};
+
+/// A simple synchronous memory interface for functional execution.
+pub trait Bus {
+    /// Loads `size` bytes (little-endian) from `addr`.
+    fn load(&mut self, addr: u64, size: u8) -> u64;
+    /// Stores the low `size` bytes of `data` at `addr`.
+    fn store(&mut self, addr: u64, size: u8, data: u64);
+}
+
+/// A flat, bounds-checked byte memory.
+#[derive(Debug, Clone)]
+pub struct VecBus {
+    mem: Vec<u8>,
+}
+
+impl VecBus {
+    /// Creates `size` bytes of zeroed memory.
+    pub fn new(size: usize) -> Self {
+        Self { mem: vec![0; size] }
+    }
+
+    /// Copies an assembled image to its load address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image does not fit.
+    pub fn load_image(&mut self, img: &Image) {
+        let base = img.base as usize;
+        self.mem[base..base + img.bytes.len()].copy_from_slice(&img.bytes);
+    }
+
+    /// Direct byte access for assertions.
+    pub fn bytes(&self) -> &[u8] {
+        &self.mem
+    }
+}
+
+impl Bus for VecBus {
+    fn load(&mut self, addr: u64, size: u8) -> u64 {
+        let a = addr as usize;
+        let mut v = 0u64;
+        for i in (0..size as usize).rev() {
+            v = (v << 8) | u64::from(self.mem[a + i]);
+        }
+        v
+    }
+
+    fn store(&mut self, addr: u64, size: u8, data: u64) {
+        let a = addr as usize;
+        for i in 0..size as usize {
+            self.mem[a + i] = (data >> (8 * i)) as u8;
+        }
+    }
+}
+
+/// Why a functional run stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The instruction budget ran out before an `ecall`.
+    OutOfFuel,
+    /// The hart raised a synchronous exception with no handler installed
+    /// (mtvec == 0).
+    UnhandledTrap(crate::hart::Trap),
+    /// WFI executed with interrupts that can never arrive in this runner.
+    WfiForever,
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::OutOfFuel => write!(f, "instruction budget exhausted"),
+            RunError::UnhandledTrap(t) => write!(f, "unhandled trap {t:?}"),
+            RunError::WfiForever => write!(f, "wfi with no interrupt source"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Runs until `ecall` (which stops the run, leaving registers intact), an
+/// unhandled trap, or `fuel` retired instructions.
+///
+/// # Errors
+///
+/// See [`RunError`].
+pub fn run_functional(hart: &mut Hart, bus: &mut impl Bus, fuel: u64) -> Result<(), RunError> {
+    for _ in 0..fuel {
+        let instr = bus.load(hart.pc(), 4) as u32;
+        match hart.execute(instr) {
+            Outcome::Retired => {}
+            Outcome::Load { addr, size, signed, rd, reserve } => {
+                let raw = bus.load(addr, size);
+                hart.finish_load(rd, raw, size, signed, reserve, addr);
+            }
+            Outcome::Store { addr, size, data } => {
+                bus.store(addr, size, data);
+                hart.finish_store();
+            }
+            Outcome::Amo { addr, size, op, val, expected, rd, is_sc } => {
+                let old = bus.load(addr, size);
+                let new = apply_amo(op, old, val, expected, size);
+                if !is_sc || old == expected {
+                    bus.store(addr, size, new);
+                }
+                hart.finish_amo(rd, old, size, is_sc, expected);
+            }
+            Outcome::Ecall => return Ok(()),
+            Outcome::Ebreak => return Ok(()),
+            Outcome::Wfi => {
+                if hart.take_interrupt().is_none() {
+                    return Err(RunError::WfiForever);
+                }
+            }
+            Outcome::Exception(t) => {
+                if hart.csrs().read(crate::csr::Csr::Mtvec) == 0 {
+                    return Err(RunError::UnhandledTrap(t));
+                }
+                hart.raise(t);
+            }
+        }
+    }
+    Err(RunError::OutOfFuel)
+}
+
+/// Applies an AMO to a memory value (mirrors the LLC's near-memory unit).
+pub fn apply_amo(op: MemAmoOp, old: u64, val: u64, expected: u64, size: u8) -> u64 {
+    let sx = |v: u64| -> i64 {
+        if size == 4 {
+            v as u32 as i32 as i64
+        } else {
+            v as i64
+        }
+    };
+    let trunc = |v: u64| -> u64 {
+        if size == 4 {
+            v & 0xFFFF_FFFF
+        } else {
+            v
+        }
+    };
+    trunc(match op {
+        MemAmoOp::Swap => val,
+        MemAmoOp::Add => old.wrapping_add(val),
+        MemAmoOp::Xor => old ^ val,
+        MemAmoOp::And => old & val,
+        MemAmoOp::Or => old | val,
+        MemAmoOp::Min => {
+            if sx(old) <= sx(val) {
+                old
+            } else {
+                val
+            }
+        }
+        MemAmoOp::Max => {
+            if sx(old) >= sx(val) {
+                old
+            } else {
+                val
+            }
+        }
+        MemAmoOp::MinU => {
+            if trunc(old) <= trunc(val) {
+                old
+            } else {
+                val
+            }
+        }
+        MemAmoOp::MaxU => {
+            if trunc(old) >= trunc(val) {
+                old
+            } else {
+                val
+            }
+        }
+        MemAmoOp::Cas => {
+            if trunc(old) == trunc(expected) {
+                val
+            } else {
+                old
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn run(src: &str) -> Hart {
+        let img = assemble(src, 0x1000).expect("assembles");
+        let mut bus = VecBus::new(1 << 20);
+        bus.load_image(&img);
+        let mut hart = Hart::new(0, 0x1000);
+        hart.set_reg(2, 0xF000); // sp
+        run_functional(&mut hart, &mut bus, 1_000_000).expect("runs");
+        hart
+    }
+
+    #[test]
+    fn fibonacci() {
+        let h = run(r#"
+            li   a0, 10
+            li   t0, 0      # fib(0)
+            li   t1, 1      # fib(1)
+        loop:
+            beqz a0, done
+            add  t2, t0, t1
+            mv   t0, t1
+            mv   t1, t2
+            addi a0, a0, -1
+            j    loop
+        done:
+            mv   a0, t0
+            ecall
+        "#);
+        assert_eq!(h.reg(10), 55);
+    }
+
+    #[test]
+    fn memory_and_data_sections() {
+        let h = run(r#"
+            la   t0, data
+            ld   a0, 0(t0)
+            lw   a1, 8(t0)
+            lbu  a2, 12(t0)
+            sd   a0, 16(t0)
+            ld   a3, 16(t0)
+            ecall
+        .align 3
+        data:
+            .dword 0x1122334455667788
+            .word  0xCAFEBABE
+            .byte  0x7F
+            .zero  16
+        "#);
+        assert_eq!(h.reg(10), 0x1122_3344_5566_7788);
+        assert_eq!(h.reg(11), 0xFFFF_FFFF_CAFE_BABE); // lw sign-extends
+        assert_eq!(h.reg(12), 0x7F);
+        assert_eq!(h.reg(13), 0x1122_3344_5566_7788);
+    }
+
+    #[test]
+    fn function_calls_with_stack() {
+        let h = run(r#"
+            li   a0, 5
+            call square
+            ecall
+        square:
+            addi sp, sp, -16
+            sd   ra, 8(sp)
+            mul  a0, a0, a0
+            ld   ra, 8(sp)
+            addi sp, sp, 16
+            ret
+        "#);
+        assert_eq!(h.reg(10), 25);
+    }
+
+    #[test]
+    fn li_covers_64_bit_constants() {
+        let h = run(r#"
+            li a0, 0xDEADBEEFCAFE1234
+            li a1, -559038737
+            li a2, 2047
+            li a3, -2048
+            li a4, 0x7FFFFFFFFFFFFFFF
+            ecall
+        "#);
+        assert_eq!(h.reg(10), 0xDEAD_BEEF_CAFE_1234);
+        assert_eq!(h.reg(11) as i64, -559_038_737);
+        assert_eq!(h.reg(12), 2047);
+        assert_eq!(h.reg(13) as i64, -2048);
+        assert_eq!(h.reg(14), 0x7FFF_FFFF_FFFF_FFFF);
+    }
+
+    #[test]
+    fn amo_sequence() {
+        let h = run(r#"
+            la   t0, counter
+            li   t1, 1
+            amoadd.d a0, t1, (t0)   # old = 0
+            amoadd.d a1, t1, (t0)   # old = 1
+            amoswap.d a2, zero, (t0) # old = 2
+            ld   a3, 0(t0)          # now 0
+            ecall
+        .align 3
+        counter: .dword 0
+        "#);
+        assert_eq!(h.reg(10), 0);
+        assert_eq!(h.reg(11), 1);
+        assert_eq!(h.reg(12), 2);
+        assert_eq!(h.reg(13), 0);
+    }
+
+    #[test]
+    fn lr_sc_loop_increments() {
+        let h = run(r#"
+            la   t0, cell
+        retry:
+            lr.d t1, (t0)
+            addi t1, t1, 1
+            sc.d t2, t1, (t0)
+            bnez t2, retry
+            ld   a0, 0(t0)
+            ecall
+        .align 3
+        cell: .dword 41
+        "#);
+        assert_eq!(h.reg(10), 42);
+    }
+
+    #[test]
+    fn trap_handler_catches_illegal() {
+        let h = run(r#"
+            la   t0, handler
+            csrw mtvec, t0
+            .word 0xFFFFFFFF    # illegal
+            j    never
+        never:
+            li   a0, 0
+            ecall
+        handler:
+            csrr a1, mcause
+            li   a0, 99
+            ecall
+        "#);
+        assert_eq!(h.reg(10), 99);
+        assert_eq!(h.reg(11), 2, "mcause = illegal instruction");
+    }
+
+    #[test]
+    fn out_of_fuel_reported() {
+        let img = assemble("spin: j spin", 0x1000).unwrap();
+        let mut bus = VecBus::new(1 << 16);
+        bus.load_image(&img);
+        let mut hart = Hart::new(0, 0x1000);
+        assert_eq!(run_functional(&mut hart, &mut bus, 100), Err(RunError::OutOfFuel));
+    }
+
+    #[test]
+    fn comparison_and_shift_smoke() {
+        let h = run(r#"
+            li  t0, -5
+            li  t1, 3
+            slt a0, t0, t1      # 1
+            sltu a1, t0, t1     # 0 (big unsigned)
+            sra a2, t0, t1      # -1
+            srl a3, t0, t1      # huge
+            sll a4, t1, t1      # 24
+            ecall
+        "#);
+        assert_eq!(h.reg(10), 1);
+        assert_eq!(h.reg(11), 0);
+        assert_eq!(h.reg(12) as i64, -1);
+        assert_eq!(h.reg(13), (-5i64 as u64) >> 3);
+        assert_eq!(h.reg(14), 24);
+    }
+}

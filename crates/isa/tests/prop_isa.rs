@@ -1,0 +1,115 @@
+//! Property tests: the interpreter's arithmetic agrees with the host's
+//! two's-complement semantics, and the assembler round-trips through it.
+
+use proptest::prelude::*;
+use smappic_isa::{assemble, run_functional, Hart, VecBus};
+
+/// Runs `body` (which may use a0/a1 as inputs in x10/x11 and must leave
+/// the result in a0) and returns a0.
+fn eval(body: &str, a0: u64, a1: u64) -> u64 {
+    let img = assemble(&format!("{body}\necall"), 0x1000).expect("assembles");
+    let mut bus = VecBus::new(1 << 16);
+    bus.load_image(&img);
+    let mut hart = Hart::new(0, 0x1000);
+    hart.set_reg(10, a0);
+    hart.set_reg(11, a1);
+    run_functional(&mut hart, &mut bus, 10_000).expect("runs");
+    hart.reg(10)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn add_sub_match_wrapping_semantics(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(eval("add a0, a0, a1", a, b), a.wrapping_add(b));
+        prop_assert_eq!(eval("sub a0, a0, a1", a, b), a.wrapping_sub(b));
+    }
+
+    #[test]
+    fn logic_ops_match(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(eval("xor a0, a0, a1", a, b), a ^ b);
+        prop_assert_eq!(eval("or a0, a0, a1", a, b), a | b);
+        prop_assert_eq!(eval("and a0, a0, a1", a, b), a & b);
+    }
+
+    #[test]
+    fn shifts_use_low_six_bits(a in any::<u64>(), s in 0u32..64) {
+        prop_assert_eq!(eval("sll a0, a0, a1", a, u64::from(s)), a << s);
+        prop_assert_eq!(eval("srl a0, a0, a1", a, u64::from(s)), a >> s);
+        prop_assert_eq!(eval("sra a0, a0, a1", a, u64::from(s)), ((a as i64) >> s) as u64);
+    }
+
+    #[test]
+    fn comparisons_match(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(eval("slt a0, a0, a1", a, b), u64::from((a as i64) < (b as i64)));
+        prop_assert_eq!(eval("sltu a0, a0, a1", a, b), u64::from(a < b));
+    }
+
+    #[test]
+    fn mul_div_match(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(eval("mul a0, a0, a1", a, b), a.wrapping_mul(b));
+        let expected_divu = if b == 0 { u64::MAX } else { a / b };
+        prop_assert_eq!(eval("divu a0, a0, a1", a, b), expected_divu);
+        let expected_remu = if b == 0 { a } else { a % b };
+        prop_assert_eq!(eval("remu a0, a0, a1", a, b), expected_remu);
+        let (ai, bi) = (a as i64, b as i64);
+        let expected_div = if bi == 0 { -1 } else if ai == i64::MIN && bi == -1 { i64::MIN } else { ai / bi };
+        prop_assert_eq!(eval("div a0, a0, a1", a, b) as i64, expected_div);
+    }
+
+    #[test]
+    fn word_ops_sign_extend(a in any::<u64>(), b in any::<u64>()) {
+        let expected = (a as u32).wrapping_add(b as u32) as i32 as i64 as u64;
+        prop_assert_eq!(eval("addw a0, a0, a1", a, b), expected);
+        let expected_mul = (a as u32).wrapping_mul(b as u32) as i32 as i64 as u64;
+        prop_assert_eq!(eval("mulw a0, a0, a1", a, b), expected_mul);
+    }
+
+    #[test]
+    fn mulh_variants_match_wide_host_math(a in any::<u64>(), b in any::<u64>()) {
+        let h = ((u128::from(a) * u128::from(b)) >> 64) as u64;
+        prop_assert_eq!(eval("mulhu a0, a0, a1", a, b), h);
+        let hs = (((a as i64 as i128) * (b as i64 as i128)) >> 64) as u64;
+        prop_assert_eq!(eval("mulh a0, a0, a1", a, b), hs);
+    }
+
+    #[test]
+    fn li_materializes_any_constant(v in any::<i64>()) {
+        prop_assert_eq!(eval(&format!("li a0, {v}"), 0, 0), v as u64);
+    }
+
+    #[test]
+    fn memory_roundtrips_all_widths(v in any::<u64>(), off in 0u64..8) {
+        let addr = 0x8000 + off * 8;
+        let got = eval(
+            &format!("li t0, {addr:#x}\nsd a0, 0(t0)\nld a0, 0(t0)"),
+            v,
+            0,
+        );
+        prop_assert_eq!(got, v);
+        let got32 = eval(
+            &format!("li t0, {addr:#x}\nsw a0, 0(t0)\nlwu a0, 0(t0)"),
+            v,
+            0,
+        );
+        prop_assert_eq!(got32, v & 0xFFFF_FFFF);
+    }
+
+    #[test]
+    fn amo_add_returns_old_and_stores_sum(init in any::<u64>(), add in any::<u64>()) {
+        let img = assemble(
+            &format!(
+                "li t0, 0x8000\nli t1, {init}\nsd t1, 0(t0)\namoadd.d a0, a1, (t0)\nld a2, 0(t0)\necall"
+            ),
+            0x1000,
+        ).unwrap();
+        let mut bus = VecBus::new(1 << 16);
+        bus.load_image(&img);
+        let mut hart = Hart::new(0, 0x1000);
+        hart.set_reg(11, add);
+        run_functional(&mut hart, &mut bus, 100_000).unwrap();
+        prop_assert_eq!(hart.reg(10), init);
+        prop_assert_eq!(hart.reg(12), init.wrapping_add(add));
+    }
+}

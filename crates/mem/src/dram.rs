@@ -1,0 +1,230 @@
+//! Sparse DRAM with a latency + bandwidth performance model.
+
+use std::collections::HashMap;
+
+use smappic_axi::{AxiReadResp, AxiReq, AxiResp, AxiWriteResp};
+use smappic_sim::{Cycle, Stats, TrafficShaper};
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// Timing parameters of one DRAM channel.
+#[derive(Debug, Clone)]
+pub struct DramConfig {
+    /// Fixed access latency in cycles (Table 2 default: 80).
+    pub latency: Cycle,
+    /// Bandwidth in bytes per cycle (DDR4-2400 at a 100 MHz fabric clock is
+    /// generously above this; 32 B/cycle keeps the shaper meaningful).
+    pub bytes_per_cycle: u64,
+    /// Capacity in bytes (F1 cards carry 64 GiB across 4 channels; one
+    /// channel default is 16 GiB).
+    pub capacity: u64,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        Self { latency: 80, bytes_per_cycle: 32, capacity: 16 << 30 }
+    }
+}
+
+/// One DRAM channel: a sparse byte store behind an AXI4 slave interface.
+///
+/// Pages are allocated on first touch and read back as zeroes before that,
+/// like freshly trained DDR. The functional backdoor
+/// ([`Dram::write_bytes`]/[`Dram::read_bytes`]) is used by the host model to
+/// load programs and disk images without consuming simulated time.
+///
+/// ```
+/// use smappic_mem::Dram;
+/// let mut d = Dram::default();
+/// d.write_bytes(0x1000, &[1, 2, 3]);
+/// assert_eq!(d.read_bytes(0x0FFF, 5), vec![0, 1, 2, 3, 0]);
+/// ```
+#[derive(Debug)]
+pub struct Dram {
+    cfg: DramConfig,
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    pending: TrafficShaper<AxiReq>,
+    responses: Vec<AxiResp>,
+    stats: Stats,
+}
+
+impl Dram {
+    /// Creates a DRAM channel with the given timing.
+    pub fn new(cfg: DramConfig) -> Self {
+        let pending = TrafficShaper::new(cfg.bytes_per_cycle, 1, cfg.latency);
+        Self { cfg, pages: HashMap::new(), pending, responses: Vec::new(), stats: Stats::new() }
+    }
+
+    /// The configured timing parameters.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// Functional write, bypassing timing (host/backdoor use).
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            let a = addr + i as u64;
+            let page = self.pages.entry(a >> PAGE_SHIFT).or_insert_with(|| Box::new([0; PAGE_SIZE]));
+            page[(a & (PAGE_SIZE as u64 - 1)) as usize] = b;
+        }
+    }
+
+    /// Functional read, bypassing timing. Untouched bytes read as zero.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|i| {
+                let a = addr + i as u64;
+                self.pages
+                    .get(&(a >> PAGE_SHIFT))
+                    .map_or(0, |p| p[(a & (PAGE_SIZE as u64 - 1)) as usize])
+            })
+            .collect()
+    }
+
+    /// Submits an AXI request; the response appears after the modeled
+    /// latency and serialization delay.
+    ///
+    /// Requests beyond the configured capacity complete with an error
+    /// response (`ok == false` / empty data) and are counted in
+    /// `dram.oob`.
+    pub fn push_req(&mut self, now: Cycle, req: AxiReq) {
+        let bytes = match &req {
+            AxiReq::Read(r) => u64::from(r.len),
+            AxiReq::Write(w) => w.data.len() as u64,
+        };
+        self.stats.incr("dram.req");
+        self.stats.add("dram.bytes", bytes);
+        self.pending.push(now, bytes.max(8), req);
+    }
+
+    /// Collects the next completed response, if any.
+    pub fn pop_resp(&mut self, now: Cycle) -> Option<AxiResp> {
+        if let Some(req) = self.pending.pop_ready(now) {
+            let resp = self.complete(req);
+            self.responses.push(resp);
+        }
+        if self.responses.is_empty() {
+            None
+        } else {
+            Some(self.responses.remove(0))
+        }
+    }
+
+    fn complete(&mut self, req: AxiReq) -> AxiResp {
+        match req {
+            AxiReq::Read(r) => {
+                if u64::from(r.len) + r.addr > self.cfg.capacity {
+                    self.stats.incr("dram.oob");
+                    return AxiResp::Read(AxiReadResp { id: r.id, data: vec![] });
+                }
+                let data = self.read_bytes(r.addr, r.len as usize);
+                AxiResp::Read(AxiReadResp { id: r.id, data })
+            }
+            AxiReq::Write(w) => {
+                if w.data.len() as u64 + w.addr > self.cfg.capacity {
+                    self.stats.incr("dram.oob");
+                    return AxiResp::Write(AxiWriteResp { id: w.id, ok: false });
+                }
+                self.write_bytes(w.addr, &w.data);
+                AxiResp::Write(AxiWriteResp { id: w.id, ok: true })
+            }
+        }
+    }
+
+    /// Counters (`dram.req`, `dram.bytes`, `dram.oob`).
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// True when no request is in flight.
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_empty() && self.responses.is_empty()
+    }
+
+    /// Number of 4 KiB pages materialized so far.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Debug: (pending count, ready time of the oldest pending request,
+    /// completed-but-unpopped responses).
+    pub fn queue_state(&self) -> (usize, Option<u64>, usize) {
+        (self.pending.len(), self.pending.front_ready_at(), self.responses.len())
+    }
+}
+
+impl Default for Dram {
+    fn default() -> Self {
+        Self::new(DramConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smappic_axi::{AxiRead, AxiWrite};
+
+    #[test]
+    fn backdoor_roundtrip_across_pages() {
+        let mut d = Dram::default();
+        let data: Vec<u8> = (0..=255).collect();
+        d.write_bytes(PAGE_SIZE as u64 - 128, &data);
+        assert_eq!(d.read_bytes(PAGE_SIZE as u64 - 128, 256), data);
+        assert_eq!(d.resident_pages(), 2);
+    }
+
+    #[test]
+    fn timed_read_respects_latency() {
+        let mut d = Dram::new(DramConfig { latency: 80, ..Default::default() });
+        d.write_bytes(0x40, &[7; 64]);
+        d.push_req(0, AxiReq::Read(AxiRead::new(0x40, 64, 1)));
+        for now in 0..80 {
+            assert!(d.pop_resp(now).is_none(), "response arrived early at {now}");
+        }
+        // 64 bytes at 32 B/cycle = 2 cycles serialization + 80 latency.
+        let resp = d.pop_resp(82).expect("response due");
+        match resp {
+            AxiResp::Read(r) => assert_eq!(r.data, vec![7; 64]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timed_write_then_read_observes_data() {
+        let mut d = Dram::default();
+        d.push_req(0, AxiReq::Write(AxiWrite::new(0x100, vec![9; 64], 2)));
+        let mut now = 0;
+        loop {
+            if let Some(AxiResp::Write(w)) = d.pop_resp(now) {
+                assert!(w.ok);
+                break;
+            }
+            now += 1;
+            assert!(now < 1_000);
+        }
+        assert_eq!(d.read_bytes(0x100, 64), vec![9; 64]);
+    }
+
+    #[test]
+    fn out_of_bounds_access_errors() {
+        let mut d = Dram::new(DramConfig { capacity: 0x1000, ..Default::default() });
+        d.push_req(0, AxiReq::Write(AxiWrite::new(0xFFF, vec![1, 2], 3)));
+        let mut now = 0;
+        loop {
+            if let Some(AxiResp::Write(w)) = d.pop_resp(now) {
+                assert!(!w.ok);
+                break;
+            }
+            now += 1;
+            assert!(now < 1_000);
+        }
+        assert_eq!(d.stats().get("dram.oob"), 1);
+    }
+
+    #[test]
+    fn untouched_memory_reads_zero() {
+        let d = Dram::default();
+        assert_eq!(d.read_bytes(0xDEAD_0000, 8), vec![0; 8]);
+    }
+}

@@ -1,0 +1,59 @@
+//! # smappic-noc — BYOC/OpenPiton-style Network-on-Chip
+//!
+//! SMAPPIC's nodes are BYOC instances: a 2-D mesh of tiles connected by
+//! credit-based wormhole NoCs carrying the coherence, memory, MMIO, and
+//! interrupt traffic of the chip. This crate provides:
+//!
+//! - the global addressing scheme ([`Gid`], [`NodeId`], [`TileId`]),
+//! - the NoC message protocol ([`Msg`]) — the lingua franca between private
+//!   caches, LLC slices, the memory controller, devices, and the inter-node
+//!   bridge,
+//! - [`Packet`] with flit accounting (64-bit flits, as in OpenPiton),
+//! - a 5-port XY-routed [`Router`] and a [`Mesh`] that wires routers into a
+//!   node-level network with an *edge port* at tile 0 where traffic leaves
+//!   the node toward the chipset and the inter-node bridge (§3.1 of the
+//!   paper: *"NoC routers are programmed to route inter-node packets into
+//!   tile 0, then in the northbound direction"*).
+//!
+//! OpenPiton uses three physical NoCs; we model them as three virtual
+//! networks ([`VirtNet`]) over one mesh with per-VN buffering, preserving the
+//! ordering and deadlock-avoidance structure (documented deviation #1 in
+//! DESIGN.md).
+//!
+//! ```
+//! use smappic_noc::{Mesh, MeshConfig, Packet, Msg, Gid, NodeId, VirtNet};
+//!
+//! let mut mesh = Mesh::new(MeshConfig::new(NodeId(0), 4));
+//! let pkt = Packet::new(
+//!     Gid::tile(NodeId(0), 3),
+//!     Gid::tile(NodeId(0), 0),
+//!     VirtNet::Req,
+//!     Msg::ReqS { line: 0x1000 },
+//! );
+//! mesh.inject(0, pkt).unwrap();
+//! let mut now = 0;
+//! loop {
+//!     mesh.tick(now);
+//!     if let Some(p) = mesh.eject(3) {
+//!         assert_eq!(p.src, Gid::tile(NodeId(0), 0));
+//!         break;
+//!     }
+//!     now += 1;
+//!     assert!(now < 100, "packet should arrive quickly");
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod mesh;
+mod packet;
+mod protocol;
+mod router;
+mod types;
+
+pub use mesh::{Mesh, MeshConfig};
+pub use packet::Packet;
+pub use protocol::{AmoOp, Msg};
+pub use router::{Port, Router};
+pub use types::{line_of, line_offset, Addr, Elem, Gid, LineData, NodeId, TileId, VirtNet, LINE_BYTES};

@@ -1,0 +1,495 @@
+//! The node-level mesh: routers, buffers, arbitration, and the edge port.
+
+use std::collections::VecDeque;
+
+use smappic_sim::{Cycle, Stats};
+
+use crate::packet::Packet;
+use crate::router::{Port, Router};
+use crate::types::{NodeId, TileId, VirtNet};
+
+/// Geometry and timing of one node's mesh.
+#[derive(Debug, Clone)]
+pub struct MeshConfig {
+    /// The node this mesh belongs to.
+    pub node: NodeId,
+    /// Number of tiles.
+    pub tiles: usize,
+    /// Mesh width in columns (defaults to ⌈√tiles⌉).
+    pub width: u16,
+    /// Link traversal latency per hop, in cycles (router pipeline + wire).
+    pub hop_latency: Cycle,
+    /// Capacity of each (input port, virtual network) buffer, in packets.
+    pub input_buffer_capacity: usize,
+    /// Capacity of the edge-out queue toward the chipset, in packets.
+    pub edge_capacity: usize,
+}
+
+impl MeshConfig {
+    /// A mesh for `tiles` tiles with default timing (1-cycle hops, 4-packet
+    /// buffers) — the defaults used by the SMAPPIC platform crate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tiles` is zero.
+    pub fn new(node: NodeId, tiles: usize) -> Self {
+        assert!(tiles > 0, "a node needs at least one tile");
+        let width = (tiles as f64).sqrt().ceil() as u16;
+        Self {
+            node,
+            tiles,
+            width: width.max(1),
+            hop_latency: 1,
+            input_buffer_capacity: 4,
+            edge_capacity: 64,
+        }
+    }
+
+    /// Sets the per-hop latency.
+    pub fn with_hop_latency(mut self, hop_latency: Cycle) -> Self {
+        assert!(hop_latency >= 1, "hop latency below 1 would let packets teleport within a tick");
+        self.hop_latency = hop_latency;
+        self
+    }
+}
+
+/// One (input-port, virtual-network) buffer: packets with arrival times.
+#[derive(Debug, Clone, Default)]
+struct InBuf {
+    q: VecDeque<(Cycle, Packet)>,
+}
+
+impl InBuf {
+    fn head_ready(&self, now: Cycle) -> Option<&Packet> {
+        self.q.front().filter(|(t, _)| *t <= now).map(|(_, p)| p)
+    }
+}
+
+/// Per-router state: 5 input ports × 3 VNs of buffering, output link
+/// occupancy, and a round-robin arbitration pointer per output.
+#[derive(Debug, Clone)]
+struct RouterState {
+    bufs: [[InBuf; 3]; 5],
+    busy_until: [Cycle; 5],
+    rr: [usize; 5],
+    /// Total packets buffered across all ports/VNs; lets the tick loop
+    /// skip idle routers (the common case in large meshes).
+    occupancy: usize,
+}
+
+impl RouterState {
+    fn new() -> Self {
+        Self { bufs: Default::default(), busy_until: [0; 5], rr: [0; 5], occupancy: 0 }
+    }
+}
+
+/// A 2-D mesh of routers forming one node's NoC.
+///
+/// Tiles inject with [`Mesh::inject`] and drain with [`Mesh::eject`]; the
+/// chipset attaches at the *edge port* ([`Mesh::inject_edge`] /
+/// [`Mesh::eject_edge`]), which is the north edge of router (0,0).
+///
+/// Call [`Mesh::tick`] once per cycle. Determinism: arbitration is
+/// round-robin with fixed tie-breaking, so identical inputs yield identical
+/// schedules.
+#[derive(Debug, Clone)]
+pub struct Mesh {
+    cfg: MeshConfig,
+    routers: Vec<RouterState>,
+    route_fns: Vec<Router>,
+    eject_q: Vec<[VecDeque<Packet>; 3]>,
+    eject_rr: Vec<usize>,
+    edge_out: VecDeque<Packet>,
+    stats: Stats,
+}
+
+impl Mesh {
+    /// Builds the mesh for `cfg`.
+    pub fn new(cfg: MeshConfig) -> Self {
+        let n = cfg.tiles;
+        let route_fns = (0..n as u16)
+            .map(|t| {
+                let (x, y) = Router::coords_of(t, cfg.width);
+                Router::new(x, y, cfg.width, cfg.tiles as u16, cfg.node)
+            })
+            .collect();
+        Self {
+            routers: (0..n).map(|_| RouterState::new()).collect(),
+            route_fns,
+            eject_q: (0..n).map(|_| Default::default()).collect(),
+            eject_rr: vec![0; n],
+            edge_out: VecDeque::new(),
+            cfg,
+            stats: Stats::new(),
+        }
+    }
+
+    /// The mesh configuration.
+    pub fn config(&self) -> &MeshConfig {
+        &self.cfg
+    }
+
+    /// Injects a packet from tile `tile`'s local port. Fails with the packet
+    /// when the local input buffer is full (back-pressure to the tile).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile` is out of range.
+    pub fn inject(&mut self, tile: TileId, pkt: Packet) -> Result<(), Packet> {
+        let r = &mut self.routers[tile as usize];
+        let buf = &mut r.bufs[Port::Local.index()][pkt.vn.index()];
+        if buf.q.len() >= self.cfg.input_buffer_capacity {
+            return Err(pkt);
+        }
+        // Local injection is immediately visible to the router.
+        buf.q.push_back((0, pkt));
+        r.occupancy += 1;
+        self.stats.incr("noc.injected");
+        Ok(())
+    }
+
+    /// True when tile `tile` can inject on `vn` this cycle.
+    pub fn can_inject(&self, tile: TileId, vn: VirtNet) -> bool {
+        self.routers[tile as usize].bufs[Port::Local.index()][vn.index()].q.len()
+            < self.cfg.input_buffer_capacity
+    }
+
+    /// Removes the next packet delivered to tile `tile`, round-robining over
+    /// virtual networks.
+    pub fn eject(&mut self, tile: TileId) -> Option<Packet> {
+        let t = tile as usize;
+        for i in 0..3 {
+            let vn = (self.eject_rr[t] + i) % 3;
+            if let Some(p) = self.eject_q[t][vn].pop_front() {
+                self.eject_rr[t] = (vn + 1) % 3;
+                return Some(p);
+            }
+        }
+        None
+    }
+
+    /// Injects a packet arriving from the chipset through the edge port.
+    /// Fails with the packet when the edge input buffer is full.
+    pub fn inject_edge(&mut self, pkt: Packet) -> Result<(), Packet> {
+        let r = &mut self.routers[0];
+        let buf = &mut r.bufs[Port::North.index()][pkt.vn.index()];
+        if buf.q.len() >= self.cfg.input_buffer_capacity {
+            return Err(pkt);
+        }
+        buf.q.push_back((0, pkt));
+        r.occupancy += 1;
+        self.stats.incr("noc.edge_in");
+        Ok(())
+    }
+
+    /// True when the chipset can inject on `vn` through the edge port.
+    pub fn can_inject_edge(&self, vn: VirtNet) -> bool {
+        self.routers[0].bufs[Port::North.index()][vn.index()].q.len()
+            < self.cfg.input_buffer_capacity
+    }
+
+    /// Removes the next packet leaving the node through the edge port.
+    pub fn eject_edge(&mut self) -> Option<Packet> {
+        self.edge_out.pop_front()
+    }
+
+    /// Counters collected so far (`noc.injected`, `noc.delivered`,
+    /// `noc.flits`, `noc.edge_in`, `noc.edge_out`).
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// True when no packet is buffered anywhere in the mesh.
+    pub fn is_idle(&self) -> bool {
+        self.edge_out.is_empty()
+            && self.eject_q.iter().all(|qs| qs.iter().all(|q| q.is_empty()))
+            && self
+                .routers
+                .iter()
+                .all(|r| r.bufs.iter().all(|pb| pb.iter().all(|b| b.q.is_empty())))
+    }
+
+    fn neighbor(&self, tile: usize, port: Port) -> Option<usize> {
+        let w = self.cfg.width as usize;
+        let (x, y) = (tile % w, tile / w);
+        let n = self.cfg.tiles;
+        match port {
+            Port::North => (y > 0).then(|| tile - w),
+            Port::South => (tile + w < n).then(|| tile + w),
+            Port::East => {
+                let nx = x + 1;
+                (nx < w && tile + 1 < n).then(|| tile + 1)
+            }
+            Port::West => (x > 0).then(|| tile - 1),
+            Port::Local => None,
+        }
+    }
+
+    /// Advances the mesh by one cycle: every router moves at most one packet
+    /// per output port, subject to link occupancy (flit serialization) and
+    /// downstream buffer space.
+    pub fn tick(&mut self, now: Cycle) {
+        let n = self.cfg.tiles;
+        for r in 0..n {
+            if self.routers[r].occupancy == 0 {
+                continue;
+            }
+            for &out in &Port::ALL {
+                self.try_forward(now, r, out);
+            }
+        }
+    }
+
+    /// Attempts to forward one packet out of router `r` through `out`.
+    fn try_forward(&mut self, now: Cycle, r: usize, out: Port) {
+        let oi = out.index();
+        if now < self.routers[r].busy_until[oi] {
+            return;
+        }
+        let edge_exit = r == 0 && out == Port::North;
+        // Pre-compute downstream capacity for non-local moves.
+        let neigh = self.neighbor(r, out);
+        if !edge_exit && out != Port::Local && neigh.is_none() {
+            return; // no link on this side of the chip
+        }
+
+        let start = self.routers[r].rr[oi];
+        // 15 candidate (input port, VN) pairs, round-robin.
+        for k in 0..15 {
+            let c = (start + k) % 15;
+            let (inp, vn) = (c / 3, c % 3);
+            // A packet never turns back out the port it came in on (except
+            // Local, and the edge where in/out share the North port).
+            let routed = {
+                let buf = &self.routers[r].bufs[inp][vn];
+                match buf.head_ready(now) {
+                    Some(pkt) => self.route_fns[r].route(pkt.dst) == out,
+                    None => false,
+                }
+            };
+            if !routed {
+                continue;
+            }
+            // Check downstream space.
+            let ok = if edge_exit {
+                self.edge_out.len() < self.cfg.edge_capacity
+            } else if out == Port::Local {
+                true // eject queues are drained by the tile every cycle
+            } else {
+                let nb = neigh.expect("checked above");
+                let inport = out.opposite().index();
+                self.routers[nb].bufs[inport][vn].q.len() < self.cfg.input_buffer_capacity
+            };
+            if !ok {
+                continue; // this candidate blocked; try others (adaptive VC arbitration)
+            }
+            let (_, pkt) = self.routers[r].bufs[inp][vn].q.pop_front().expect("head checked");
+            self.routers[r].occupancy -= 1;
+            let flits = pkt.flits();
+            self.routers[r].busy_until[oi] = now + Cycle::from(flits);
+            self.routers[r].rr[oi] = (c + 1) % 15;
+            self.stats.add("noc.flits", u64::from(flits));
+            if edge_exit {
+                self.edge_out.push_back(pkt);
+                self.stats.incr("noc.edge_out");
+            } else if out == Port::Local {
+                self.eject_q[r][vn].push_back(pkt);
+                self.stats.incr("noc.delivered");
+            } else {
+                let nb = neigh.expect("checked above");
+                let inport = out.opposite().index();
+                self.routers[nb].bufs[inport][vn]
+                    .q
+                    .push_back((now + self.cfg.hop_latency, pkt));
+                self.routers[nb].occupancy += 1;
+            }
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Msg;
+    use crate::types::{Gid, LineData};
+
+    fn mesh(tiles: usize) -> Mesh {
+        Mesh::new(MeshConfig::new(NodeId(0), tiles))
+    }
+
+    fn req(dst: Gid, src: Gid, line: u64) -> Packet {
+        Packet::on_canonical_vn(dst, src, Msg::ReqS { line })
+    }
+
+    /// Runs the mesh until `tile` ejects a packet, returning (packet, cycles).
+    fn run_until_eject(m: &mut Mesh, tile: TileId, max: Cycle) -> (Packet, Cycle) {
+        for now in 0..max {
+            m.tick(now);
+            if let Some(p) = m.eject(tile) {
+                return (p, now);
+            }
+        }
+        panic!("packet not delivered within {max} cycles");
+    }
+
+    #[test]
+    fn single_hop_delivery() {
+        let mut m = mesh(4);
+        m.inject(0, req(Gid::tile(NodeId(0), 1), Gid::tile(NodeId(0), 0), 0x40)).unwrap();
+        let (p, t) = run_until_eject(&mut m, 1, 50);
+        assert_eq!(p.msg, Msg::ReqS { line: 0x40 });
+        assert!(t <= 5, "one hop should take a handful of cycles, took {t}");
+    }
+
+    #[test]
+    fn corner_to_corner_in_12_tile_mesh() {
+        // 12 tiles → 4-wide, 3 rows. Tile 0 = (0,0), tile 11 = (3,2).
+        let mut m = mesh(12);
+        m.inject(0, req(Gid::tile(NodeId(0), 11), Gid::tile(NodeId(0), 0), 0x80)).unwrap();
+        let (_, t) = run_until_eject(&mut m, 11, 100);
+        // 5 hops; each hop ~1 cycle latency + arbitration.
+        assert!((5..=20).contains(&t), "corner-to-corner took {t} cycles");
+    }
+
+    #[test]
+    fn self_delivery_works() {
+        let mut m = mesh(4);
+        m.inject(2, req(Gid::tile(NodeId(0), 2), Gid::tile(NodeId(0), 2), 0)).unwrap();
+        let (p, _) = run_until_eject(&mut m, 2, 20);
+        assert_eq!(p.dst, Gid::tile(NodeId(0), 2));
+    }
+
+    #[test]
+    fn chipset_traffic_leaves_through_edge() {
+        let mut m = mesh(12);
+        m.inject(7, req(Gid::chipset(NodeId(0)), Gid::tile(NodeId(0), 7), 0xC0)).unwrap();
+        let mut got = None;
+        for now in 0..100 {
+            m.tick(now);
+            if let Some(p) = m.eject_edge() {
+                got = Some(p);
+                break;
+            }
+        }
+        assert_eq!(got.expect("edge packet").dst, Gid::chipset(NodeId(0)));
+    }
+
+    #[test]
+    fn off_node_traffic_leaves_through_edge() {
+        let mut m = mesh(4);
+        m.inject(3, req(Gid::tile(NodeId(2), 0), Gid::tile(NodeId(0), 3), 0)).unwrap();
+        let mut got = false;
+        for now in 0..100 {
+            m.tick(now);
+            if m.eject_edge().is_some() {
+                got = true;
+                break;
+            }
+        }
+        assert!(got);
+    }
+
+    #[test]
+    fn edge_injection_reaches_tile() {
+        let mut m = mesh(12);
+        let pkt = Packet::on_canonical_vn(
+            Gid::tile(NodeId(0), 10),
+            Gid::chipset(NodeId(0)),
+            Msg::Data { line: 0, data: LineData::zeroed(), excl: false },
+        );
+        m.inject_edge(pkt).unwrap();
+        let (p, _) = run_until_eject(&mut m, 10, 100);
+        assert!(matches!(p.msg, Msg::Data { .. }));
+    }
+
+    #[test]
+    fn back_pressure_on_full_local_buffer() {
+        let mut m = mesh(4);
+        let cap = m.config().input_buffer_capacity;
+        for i in 0..cap {
+            m.inject(0, req(Gid::tile(NodeId(0), 3), Gid::tile(NodeId(0), 0), i as u64 * 64))
+                .unwrap();
+        }
+        assert!(!m.can_inject(0, VirtNet::Req));
+        let extra = req(Gid::tile(NodeId(0), 3), Gid::tile(NodeId(0), 0), 0x999);
+        assert!(m.inject(0, extra).is_err());
+    }
+
+    #[test]
+    fn per_pair_ordering_is_preserved() {
+        let mut m = mesh(9);
+        let dst = Gid::tile(NodeId(0), 8);
+        let src = Gid::tile(NodeId(0), 0);
+        let mut sent = 0u64;
+        let mut received = Vec::new();
+        let mut now = 0;
+        while received.len() < 20 {
+            if sent < 20 && m.can_inject(0, VirtNet::Req) {
+                m.inject(0, req(dst, src, sent * 64)).unwrap();
+                sent += 1;
+            }
+            m.tick(now);
+            while let Some(p) = m.eject(8) {
+                if let Msg::ReqS { line } = p.msg {
+                    received.push(line / 64);
+                }
+            }
+            now += 1;
+            assert!(now < 10_000, "packets stuck");
+        }
+        assert_eq!(received, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn big_packets_occupy_links_longer() {
+        // Send two 9-flit packets; second is serialized behind the first.
+        let mut m = mesh(2);
+        let dst = Gid::tile(NodeId(0), 1);
+        let src = Gid::tile(NodeId(0), 0);
+        let data = Msg::Data { line: 0, data: LineData::zeroed(), excl: false };
+        m.inject(0, Packet::on_canonical_vn(dst, src, data.clone())).unwrap();
+        m.inject(0, Packet::on_canonical_vn(dst, src, data)).unwrap();
+        let mut arrivals = Vec::new();
+        for now in 0..100 {
+            m.tick(now);
+            while m.eject(1).is_some() {
+                arrivals.push(now);
+            }
+            if arrivals.len() == 2 {
+                break;
+            }
+        }
+        assert_eq!(arrivals.len(), 2);
+        assert!(
+            arrivals[1] - arrivals[0] >= 8,
+            "9-flit serialization gap missing: {arrivals:?}"
+        );
+    }
+
+    #[test]
+    fn is_idle_reflects_buffered_state() {
+        let mut m = mesh(4);
+        assert!(m.is_idle());
+        m.inject(0, req(Gid::tile(NodeId(0), 3), Gid::tile(NodeId(0), 0), 0)).unwrap();
+        assert!(!m.is_idle());
+        for now in 0..50 {
+            m.tick(now);
+            m.eject(3);
+        }
+        assert!(m.is_idle());
+    }
+
+    #[test]
+    fn stats_count_traffic() {
+        let mut m = mesh(4);
+        m.inject(0, req(Gid::tile(NodeId(0), 1), Gid::tile(NodeId(0), 0), 0)).unwrap();
+        for now in 0..20 {
+            m.tick(now);
+            m.eject(1);
+        }
+        assert_eq!(m.stats().get("noc.injected"), 1);
+        assert_eq!(m.stats().get("noc.delivered"), 1);
+        assert!(m.stats().get("noc.flits") >= 1);
+    }
+}

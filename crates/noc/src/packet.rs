@@ -1,0 +1,80 @@
+//! NoC packets with flit accounting.
+
+use crate::protocol::Msg;
+use crate::types::{Gid, VirtNet};
+
+/// One NoC packet: a header flit plus zero or more 64-bit payload flits.
+///
+/// Packets carry their virtual-network assignment explicitly so the mesh can
+/// buffer them separately; [`Packet::new`] takes it from the caller (usually
+/// `msg.virt_net()`) because a handful of paths — e.g. the inter-node bridge
+/// re-injecting traffic — must preserve the original assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packet {
+    /// Destination element.
+    pub dst: Gid,
+    /// Source element (used for directory bookkeeping and responses).
+    pub src: Gid,
+    /// Virtual network the packet travels on.
+    pub vn: VirtNet,
+    /// Protocol payload.
+    pub msg: Msg,
+}
+
+impl Packet {
+    /// Creates a packet.
+    pub fn new(dst: Gid, src: Gid, vn: VirtNet, msg: Msg) -> Self {
+        Self { dst, src, vn, msg }
+    }
+
+    /// Creates a packet on the message's canonical virtual network.
+    pub fn on_canonical_vn(dst: Gid, src: Gid, msg: Msg) -> Self {
+        let vn = msg.virt_net();
+        Self { dst, src, vn, msg }
+    }
+
+    /// Total flits on the wire: one header flit plus payload flits.
+    pub fn flits(&self) -> u32 {
+        1 + self.msg.payload_flits()
+    }
+
+    /// Size in bytes when serialized onto an off-chip link (8 bytes/flit).
+    pub fn wire_bytes(&self) -> u64 {
+        u64::from(self.flits()) * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{LineData, NodeId};
+
+    #[test]
+    fn flit_accounting() {
+        let p = Packet::on_canonical_vn(
+            Gid::tile(NodeId(0), 1),
+            Gid::tile(NodeId(0), 0),
+            Msg::ReqS { line: 0x40 },
+        );
+        assert_eq!(p.flits(), 1);
+        assert_eq!(p.wire_bytes(), 8);
+
+        let d = Packet::on_canonical_vn(
+            Gid::tile(NodeId(0), 0),
+            Gid::chipset(NodeId(0)),
+            Msg::Data { line: 0x40, data: LineData::zeroed(), excl: true },
+        );
+        assert_eq!(d.flits(), 9);
+        assert_eq!(d.wire_bytes(), 72);
+    }
+
+    #[test]
+    fn canonical_vn_matches_message() {
+        let p = Packet::on_canonical_vn(
+            Gid::chipset(NodeId(0)),
+            Gid::tile(NodeId(0), 0),
+            Msg::MemRd { line: 0 },
+        );
+        assert_eq!(p.vn, VirtNet::Mem);
+    }
+}

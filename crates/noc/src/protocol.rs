@@ -1,0 +1,374 @@
+//! The NoC message protocol: coherence, memory, MMIO, atomics, interrupts.
+//!
+//! This enum is the BYOC NoC packet vocabulary of the simulated platform.
+//! Private caches (BPC), LLC slices, the NoC-AXI4 memory controller, MMIO
+//! devices, accelerators, the interrupt packetizer, and the inter-node
+//! bridge all speak it. The inter-node bridge encapsulates these messages
+//! into AXI4 write bursts without inspecting them (§3.1: *"The encapsulation
+//! does not change the traffic and does not significantly rely on packet
+//! structure"*).
+
+use crate::types::{Addr, LineData};
+
+/// Atomic read-modify-write operations executed at the home LLC slice.
+///
+/// BYOC performs atomics near the directory so they are globally ordered
+/// even across nodes; the RISC-V `A` extension maps onto these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AmoOp {
+    /// Exchange: returns old value, stores operand.
+    Swap,
+    /// Two's-complement addition.
+    Add,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Signed maximum.
+    Max,
+    /// Signed minimum.
+    Min,
+    /// Unsigned maximum.
+    MaxU,
+    /// Unsigned minimum.
+    MinU,
+    /// Compare-and-swap: stores operand only if old == expected.
+    Cas,
+}
+
+impl AmoOp {
+    /// Applies the operation, returning the new memory value.
+    ///
+    /// `old` is the current memory value, `val` the operand, and `expected`
+    /// is consulted only by [`AmoOp::Cas`]. Values are interpreted at width
+    /// `size` bytes (4 or 8).
+    pub fn apply(self, old: u64, val: u64, expected: u64, size: usize) -> u64 {
+        let sx = |v: u64| -> i64 {
+            match size {
+                4 => v as u32 as i32 as i64,
+                _ => v as i64,
+            }
+        };
+        let trunc = |v: u64| -> u64 {
+            match size {
+                4 => v & 0xFFFF_FFFF,
+                _ => v,
+            }
+        };
+        let new = match self {
+            AmoOp::Swap => val,
+            AmoOp::Add => old.wrapping_add(val),
+            AmoOp::And => old & val,
+            AmoOp::Or => old | val,
+            AmoOp::Xor => old ^ val,
+            AmoOp::Max => {
+                if sx(old) >= sx(val) {
+                    old
+                } else {
+                    val
+                }
+            }
+            AmoOp::Min => {
+                if sx(old) <= sx(val) {
+                    old
+                } else {
+                    val
+                }
+            }
+            AmoOp::MaxU => {
+                if trunc(old) >= trunc(val) {
+                    old
+                } else {
+                    val
+                }
+            }
+            AmoOp::MinU => {
+                if trunc(old) <= trunc(val) {
+                    old
+                } else {
+                    val
+                }
+            }
+            AmoOp::Cas => {
+                if trunc(old) == trunc(expected) {
+                    val
+                } else {
+                    old
+                }
+            }
+        };
+        trunc(new)
+    }
+}
+
+/// One NoC protocol message.
+///
+/// Variants are grouped by the virtual network they travel on; the
+/// [`Msg::virt_net`] method returns the canonical assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    // ---- VN1 (Req): private cache / device → home LLC slice ----
+    /// Read-shared request: requester wants the line in S state.
+    ReqS {
+        /// Line-aligned address.
+        line: Addr,
+    },
+    /// Read-exclusive / upgrade request: requester wants M state.
+    ReqM {
+        /// Line-aligned address.
+        line: Addr,
+    },
+    /// Atomic read-modify-write executed at the home LLC slice.
+    Amo {
+        /// Target address (need not be line-aligned).
+        addr: Addr,
+        /// Access width in bytes (4 or 8).
+        size: u8,
+        /// The operation.
+        op: AmoOp,
+        /// Operand value.
+        val: u64,
+        /// Expected value (for CAS; ignored otherwise).
+        expected: u64,
+    },
+    /// Non-cacheable load (MMIO, accelerator fetch, uncached data).
+    NcLoad {
+        /// Target address.
+        addr: Addr,
+        /// Access width in bytes (1, 2, 4, or 8).
+        size: u8,
+    },
+    /// Non-cacheable store.
+    NcStore {
+        /// Target address.
+        addr: Addr,
+        /// Access width in bytes (1, 2, 4, or 8).
+        size: u8,
+        /// Store data (little-endian in the low `size` bytes).
+        data: u64,
+    },
+
+    // ---- VN2 (Resp): home LLC slice → private cache / device ----
+    /// Line fill carrying data; `excl` grants E/M rather than S.
+    Data {
+        /// Line-aligned address.
+        line: Addr,
+        /// The 64 bytes of the line.
+        data: LineData,
+        /// True when the requester may take the line exclusively.
+        excl: bool,
+    },
+    /// Upgrade grant without data (requester already held S).
+    UpgradeAck {
+        /// Line-aligned address.
+        line: Addr,
+    },
+    /// Directory asks a sharer to invalidate a line.
+    Inv {
+        /// Line-aligned address.
+        line: Addr,
+    },
+    /// Directory recalls a (possibly dirty) line from its exclusive owner,
+    /// invalidating the owner's copy (used for writes, atomics, evictions).
+    Recall {
+        /// Line-aligned address.
+        line: Addr,
+    },
+    /// Directory downgrades the exclusive owner to Shared, pulling back any
+    /// dirty data but letting the owner keep a readable copy (used to serve
+    /// read-shared requests without losing the owner's locality).
+    Downgrade {
+        /// Line-aligned address.
+        line: Addr,
+    },
+    /// Response to an atomic: the old memory value.
+    AmoResp {
+        /// Target address of the original AMO.
+        addr: Addr,
+        /// Value read before the modification.
+        old: u64,
+    },
+    /// Non-cacheable load response.
+    NcData {
+        /// Address of the original load.
+        addr: Addr,
+        /// Loaded data (little-endian in the low bytes).
+        data: u64,
+    },
+    /// Non-cacheable store acknowledgement.
+    NcAck {
+        /// Address of the original store.
+        addr: Addr,
+    },
+    /// Interrupt delivery: the packetized form of an interrupt wire change
+    /// (§3.3, Fig 6).
+    Irq {
+        /// Which interrupt line (maps onto the core's mip bits).
+        line_no: u16,
+        /// New level of the wire.
+        level: bool,
+    },
+
+    // ---- VN3 (Mem): acks/writebacks → LLC, LLC ↔ memory controller ----
+    /// Dirty eviction from a private cache.
+    WbData {
+        /// Line-aligned address.
+        line: Addr,
+        /// The dirty line contents.
+        data: LineData,
+    },
+    /// Clean eviction notification (keeps the directory precise).
+    WbClean {
+        /// Line-aligned address.
+        line: Addr,
+    },
+    /// Acknowledgement of an [`Msg::Inv`].
+    InvAck {
+        /// Line-aligned address.
+        line: Addr,
+    },
+    /// Owner's reply to a [`Msg::Recall`] when it no longer holds the line
+    /// (its writeback is already in flight on the same virtual network and
+    /// is therefore ordered ahead of this nack).
+    RecallNack {
+        /// Line-aligned address.
+        line: Addr,
+    },
+    /// Owner's reply to a [`Msg::Recall`], carrying the line back.
+    RecallData {
+        /// Line-aligned address.
+        line: Addr,
+        /// Line contents at the owner.
+        data: LineData,
+        /// True if the owner had modified the line.
+        dirty: bool,
+    },
+    /// LLC miss: fetch a line from the memory controller.
+    MemRd {
+        /// Line-aligned address.
+        line: Addr,
+    },
+    /// LLC eviction: write a line back to memory.
+    MemWr {
+        /// Line-aligned address.
+        line: Addr,
+        /// Line contents.
+        data: LineData,
+    },
+    /// Memory controller's reply to a [`Msg::MemRd`].
+    MemData {
+        /// Line-aligned address.
+        line: Addr,
+        /// Line contents read from DRAM.
+        data: LineData,
+    },
+}
+
+impl Msg {
+    /// The canonical virtual network this message travels on.
+    pub fn virt_net(&self) -> crate::types::VirtNet {
+        use crate::types::VirtNet::*;
+        match self {
+            Msg::ReqS { .. }
+            | Msg::ReqM { .. }
+            | Msg::Amo { .. }
+            | Msg::NcLoad { .. }
+            | Msg::NcStore { .. } => Req,
+            Msg::Data { .. }
+            | Msg::UpgradeAck { .. }
+            | Msg::Inv { .. }
+            | Msg::Recall { .. }
+            | Msg::Downgrade { .. }
+            | Msg::AmoResp { .. }
+            | Msg::NcData { .. }
+            | Msg::NcAck { .. }
+            | Msg::Irq { .. } => Resp,
+            Msg::WbData { .. }
+            | Msg::WbClean { .. }
+            | Msg::InvAck { .. }
+            | Msg::RecallNack { .. }
+            | Msg::RecallData { .. }
+            | Msg::MemRd { .. }
+            | Msg::MemWr { .. }
+            | Msg::MemData { .. } => Mem,
+        }
+    }
+
+    /// Number of 64-bit payload flits this message occupies after the header
+    /// flit (OpenPiton-style: a 64-byte data payload is eight flits).
+    pub fn payload_flits(&self) -> u32 {
+        match self {
+            Msg::Data { .. }
+            | Msg::WbData { .. }
+            | Msg::RecallData { .. }
+            | Msg::MemWr { .. }
+            | Msg::MemData { .. } => 8,
+            Msg::Amo { .. } => 2,
+            Msg::NcStore { .. } | Msg::NcData { .. } | Msg::AmoResp { .. } => 1,
+            _ => 0,
+        }
+    }
+
+    /// True for messages that carry a full cache line.
+    pub fn carries_line(&self) -> bool {
+        self.payload_flits() == 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::VirtNet;
+
+    #[test]
+    fn amo_arithmetic() {
+        assert_eq!(AmoOp::Add.apply(5, 3, 0, 8), 8);
+        assert_eq!(AmoOp::Swap.apply(5, 3, 0, 8), 3);
+        assert_eq!(AmoOp::And.apply(0b1100, 0b1010, 0, 8), 0b1000);
+        assert_eq!(AmoOp::Or.apply(0b1100, 0b1010, 0, 8), 0b1110);
+        assert_eq!(AmoOp::Xor.apply(0b1100, 0b1010, 0, 8), 0b0110);
+    }
+
+    #[test]
+    fn amo_signed_minmax_32bit() {
+        let neg1_32 = 0xFFFF_FFFFu64; // -1 as u32
+        assert_eq!(AmoOp::Max.apply(neg1_32, 1, 0, 4), 1);
+        assert_eq!(AmoOp::Min.apply(neg1_32, 1, 0, 4), neg1_32);
+        assert_eq!(AmoOp::MaxU.apply(neg1_32, 1, 0, 4), neg1_32);
+        assert_eq!(AmoOp::MinU.apply(neg1_32, 1, 0, 4), 1);
+    }
+
+    #[test]
+    fn amo_add_wraps_at_width() {
+        assert_eq!(AmoOp::Add.apply(0xFFFF_FFFF, 1, 0, 4), 0);
+        assert_eq!(AmoOp::Add.apply(u64::MAX, 1, 0, 8), 0);
+    }
+
+    #[test]
+    fn amo_cas_semantics() {
+        assert_eq!(AmoOp::Cas.apply(7, 99, 7, 8), 99); // matches: stored
+        assert_eq!(AmoOp::Cas.apply(7, 99, 8, 8), 7); // mismatch: unchanged
+    }
+
+    #[test]
+    fn virt_net_assignment_is_consistent() {
+        assert_eq!(Msg::ReqS { line: 0 }.virt_net(), VirtNet::Req);
+        assert_eq!(
+            Msg::Data { line: 0, data: LineData::zeroed(), excl: false }.virt_net(),
+            VirtNet::Resp
+        );
+        assert_eq!(Msg::MemRd { line: 0 }.virt_net(), VirtNet::Mem);
+        assert_eq!(Msg::InvAck { line: 0 }.virt_net(), VirtNet::Mem);
+        assert_eq!(Msg::Irq { line_no: 0, level: true }.virt_net(), VirtNet::Resp);
+    }
+
+    #[test]
+    fn line_messages_are_nine_flits_total() {
+        let m = Msg::Data { line: 0, data: LineData::zeroed(), excl: false };
+        assert!(m.carries_line());
+        assert_eq!(m.payload_flits(), 8);
+        assert!(!Msg::ReqS { line: 0 }.carries_line());
+    }
+}

@@ -1,0 +1,188 @@
+//! 5-port mesh router with dimension-ordered (XY) routing.
+
+use crate::types::{Elem, Gid, NodeId};
+
+/// A router port. `Local` attaches the tile; on router (0,0) the `North`
+/// port is the *edge port* where traffic leaves the node toward the chipset
+/// (§3.1: inter-node packets are routed into tile 0, then northbound).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Port {
+    /// Toward decreasing y (row 0 is the chip's north edge).
+    North,
+    /// Toward increasing y.
+    South,
+    /// Toward increasing x.
+    East,
+    /// Toward decreasing x.
+    West,
+    /// The tile attached to this router.
+    Local,
+}
+
+impl Port {
+    /// All ports in arbitration order.
+    pub const ALL: [Port; 5] = [Port::North, Port::South, Port::East, Port::West, Port::Local];
+
+    /// Dense index (0..5).
+    pub fn index(self) -> usize {
+        match self {
+            Port::North => 0,
+            Port::South => 1,
+            Port::East => 2,
+            Port::West => 3,
+            Port::Local => 4,
+        }
+    }
+
+    /// The port on the neighboring router that receives what this port
+    /// sends (e.g. my East feeds the neighbor's West).
+    pub fn opposite(self) -> Port {
+        match self {
+            Port::North => Port::South,
+            Port::South => Port::North,
+            Port::East => Port::West,
+            Port::West => Port::East,
+            Port::Local => Port::Local,
+        }
+    }
+}
+
+/// Pure XY routing decision for a router at `(x, y)` in a `width`-column
+/// mesh belonging to `node`.
+///
+/// Packets destined for another node or for the chipset are routed to the
+/// edge: toward router (0,0), then out its North port. Packets for a local
+/// tile take X first, then Y, then eject at `Local`.
+///
+/// Returns the output port the packet must take from this router.
+#[derive(Debug, Clone)]
+pub struct Router {
+    /// This router's x coordinate (column).
+    pub x: u16,
+    /// This router's y coordinate (row).
+    pub y: u16,
+    /// Mesh width in columns.
+    pub width: u16,
+    /// Total tiles in the mesh (the last row may be ragged).
+    pub tiles: u16,
+    /// The node this mesh belongs to.
+    pub node: NodeId,
+}
+
+impl Router {
+    /// Creates the routing function for position `(x, y)` in a mesh of
+    /// `tiles` tiles.
+    pub fn new(x: u16, y: u16, width: u16, tiles: u16, node: NodeId) -> Self {
+        Self { x, y, width, tiles, node }
+    }
+
+    /// True when the router one hop East of this one exists (the last row
+    /// of a non-rectangular tile count is shorter).
+    fn east_exists(&self) -> bool {
+        self.x + 1 < self.width && self.y * self.width + self.x + 1 < self.tiles
+    }
+
+    /// Coordinates of tile `t` in this mesh geometry.
+    pub fn coords_of(t: u16, width: u16) -> (u16, u16) {
+        (t % width, t / width)
+    }
+
+    /// Decides the output port for a packet addressed to `dst`.
+    pub fn route(&self, dst: Gid) -> Port {
+        let (tx, ty, exit_edge) = if dst.node != self.node || dst.elem == Elem::Chipset {
+            // Off-node or chipset traffic funnels through tile 0's north edge.
+            (0, 0, true)
+        } else {
+            let t = match dst.elem {
+                Elem::Tile(t) => t,
+                Elem::Chipset => unreachable!(),
+            };
+            let (x, y) = Self::coords_of(t, self.width);
+            (x, y, false)
+        };
+        if tx != self.x {
+            if tx > self.x {
+                // Ragged last row: when the eastward hop does not exist,
+                // detour North first (rows above are always full, so the
+                // detour strictly approaches the target and terminates).
+                if self.east_exists() {
+                    Port::East
+                } else {
+                    Port::North
+                }
+            } else {
+                Port::West
+            }
+        } else if ty != self.y {
+            if ty > self.y {
+                Port::South
+            } else {
+                Port::North
+            }
+        } else if exit_edge {
+            Port::North
+        } else {
+            Port::Local
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gid_tile(t: u16) -> Gid {
+        Gid::tile(NodeId(0), t)
+    }
+
+    #[test]
+    fn xy_routing_goes_x_first() {
+        // 4-wide mesh; router at tile 5 = (1,1); dst tile 3 = (3,0).
+        let r = Router::new(1, 1, 4, 12, NodeId(0));
+        assert_eq!(r.route(gid_tile(3)), Port::East);
+        // dst tile 4 = (0,1): same row, go west.
+        assert_eq!(r.route(gid_tile(4)), Port::West);
+        // dst tile 9 = (1,2): same column, go south.
+        assert_eq!(r.route(gid_tile(9)), Port::South);
+        // dst tile 1 = (1,0): go north.
+        assert_eq!(r.route(gid_tile(1)), Port::North);
+        // dst self: eject.
+        assert_eq!(r.route(gid_tile(5)), Port::Local);
+    }
+
+    #[test]
+    fn chipset_traffic_funnels_to_tile0_north() {
+        let chipset = Gid::chipset(NodeId(0));
+        // From (2,1): west first.
+        assert_eq!(Router::new(2, 1, 4, 12, NodeId(0)).route(chipset), Port::West);
+        // From (0,1): north.
+        assert_eq!(Router::new(0, 1, 4, 12, NodeId(0)).route(chipset), Port::North);
+        // At (0,0): exit via the edge (north).
+        assert_eq!(Router::new(0, 0, 4, 12, NodeId(0)).route(chipset), Port::North);
+    }
+
+    #[test]
+    fn off_node_traffic_also_exits_at_edge() {
+        let remote = Gid::tile(NodeId(3), 7);
+        assert_eq!(Router::new(0, 0, 4, 12, NodeId(0)).route(remote), Port::North);
+        assert_eq!(Router::new(1, 0, 4, 12, NodeId(0)).route(remote), Port::West);
+    }
+
+    #[test]
+    fn ragged_mesh_detours_north_instead_of_falling_off() {
+        // 3 tiles on a 2-wide grid: (0,0), (1,0), (0,1). Router (0,1) has
+        // no East neighbor; traffic for tile 1 must detour North.
+        let r = Router::new(0, 1, 2, 3, NodeId(0));
+        assert_eq!(r.route(gid_tile(1)), Port::North);
+        // After the detour, (0,0) goes East normally.
+        let r0 = Router::new(0, 0, 2, 3, NodeId(0));
+        assert_eq!(r0.route(gid_tile(1)), Port::East);
+    }
+
+    #[test]
+    fn opposite_ports_pair_up() {
+        assert_eq!(Port::East.opposite(), Port::West);
+        assert_eq!(Port::North.opposite(), Port::South);
+        assert_eq!(Port::Local.opposite(), Port::Local);
+    }
+}

@@ -1,0 +1,226 @@
+//! Identifiers, addresses, and cache-line data shared across the platform.
+
+use std::fmt;
+
+/// A physical memory address in the prototype's unified address space.
+pub type Addr = u64;
+
+/// Cache line size in bytes (BYOC uses 64-byte lines).
+pub const LINE_BYTES: usize = 64;
+
+/// Identifies one node (one chip/die of the target system).
+///
+/// A node maps to one BYOC instance; nodes are distributed across FPGAs in
+/// AxBxC configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u16);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifies one tile within a node (linear index into the mesh).
+pub type TileId = u16;
+
+/// The element within a node a packet is addressed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Elem {
+    /// A tile in the node's mesh (core or accelerator plus caches).
+    Tile(TileId),
+    /// The node's chipset: memory controller, I/O devices, inter-node bridge.
+    Chipset,
+}
+
+/// A global identifier: which node, and which element within it.
+///
+/// ```
+/// use smappic_noc::{Gid, NodeId, Elem};
+/// let g = Gid::tile(NodeId(2), 5);
+/// assert_eq!(g.node, NodeId(2));
+/// assert_eq!(g.elem, Elem::Tile(5));
+/// assert_eq!(Gid::chipset(NodeId(0)).elem, Elem::Chipset);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Gid {
+    /// The node (chip/die) this element belongs to.
+    pub node: NodeId,
+    /// The element within the node.
+    pub elem: Elem,
+}
+
+impl Gid {
+    /// Address of tile `tile` on node `node`.
+    pub fn tile(node: NodeId, tile: TileId) -> Self {
+        Self { node, elem: Elem::Tile(tile) }
+    }
+
+    /// Address of the chipset of `node`.
+    pub fn chipset(node: NodeId) -> Self {
+        Self { node, elem: Elem::Chipset }
+    }
+
+    /// Returns the tile index if this addresses a tile.
+    pub fn tile_id(&self) -> Option<TileId> {
+        match self.elem {
+            Elem::Tile(t) => Some(t),
+            Elem::Chipset => None,
+        }
+    }
+}
+
+impl fmt::Display for Gid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.elem {
+            Elem::Tile(t) => write!(f, "{}.t{}", self.node, t),
+            Elem::Chipset => write!(f, "{}.chipset", self.node),
+        }
+    }
+}
+
+/// The three virtual networks (OpenPiton's NoC1/NoC2/NoC3).
+///
+/// Requests, responses, and writeback/memory traffic travel on separate
+/// networks so the coherence protocol cannot deadlock on shared buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum VirtNet {
+    /// NoC1: requests from private caches toward LLC/devices.
+    Req,
+    /// NoC2: responses and LLC-initiated probes toward private caches.
+    Resp,
+    /// NoC3: writebacks, acks, and LLC↔memory traffic.
+    Mem,
+}
+
+impl VirtNet {
+    /// All virtual networks, in fixed priority order.
+    pub const ALL: [VirtNet; 3] = [VirtNet::Req, VirtNet::Resp, VirtNet::Mem];
+
+    /// Dense index (0..3) for table lookups.
+    pub fn index(self) -> usize {
+        match self {
+            VirtNet::Req => 0,
+            VirtNet::Resp => 1,
+            VirtNet::Mem => 2,
+        }
+    }
+}
+
+/// The payload of one cache line moving through the system.
+///
+/// Functional fidelity matters: real bytes move between DRAM, LLC slices,
+/// private caches and cores, so the RISC-V interpreter observes a coherent
+/// memory image produced by the protocol itself.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LineData(pub [u8; LINE_BYTES]);
+
+impl LineData {
+    /// An all-zero line.
+    pub fn zeroed() -> Self {
+        Self([0; LINE_BYTES])
+    }
+
+    /// Reads `size` bytes (1, 2, 4, or 8) at byte `offset` as a
+    /// little-endian integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + size` exceeds the line or `size` is unsupported.
+    pub fn read(&self, offset: usize, size: usize) -> u64 {
+        assert!(matches!(size, 1 | 2 | 4 | 8), "unsupported access size {size}");
+        assert!(offset + size <= LINE_BYTES, "access crosses line boundary");
+        let mut v = 0u64;
+        for i in (0..size).rev() {
+            v = (v << 8) | u64::from(self.0[offset + i]);
+        }
+        v
+    }
+
+    /// Writes `size` bytes of `value` (little-endian) at byte `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + size` exceeds the line or `size` is unsupported.
+    pub fn write(&mut self, offset: usize, size: usize, value: u64) {
+        assert!(matches!(size, 1 | 2 | 4 | 8), "unsupported access size {size}");
+        assert!(offset + size <= LINE_BYTES, "access crosses line boundary");
+        for i in 0..size {
+            self.0[offset + i] = (value >> (8 * i)) as u8;
+        }
+    }
+}
+
+impl Default for LineData {
+    fn default() -> Self {
+        Self::zeroed()
+    }
+}
+
+impl fmt::Debug for LineData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Summarize: full 64-byte dumps drown debug logs.
+        write!(f, "LineData[{:02x}{:02x}{:02x}{:02x}..]", self.0[0], self.0[1], self.0[2], self.0[3])
+    }
+}
+
+/// Returns the line-aligned base address containing `addr`.
+pub fn line_of(addr: Addr) -> Addr {
+    addr & !(LINE_BYTES as Addr - 1)
+}
+
+/// Returns the byte offset of `addr` within its cache line.
+pub fn line_offset(addr: Addr) -> usize {
+    (addr & (LINE_BYTES as Addr - 1)) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_read_write_roundtrip() {
+        let mut l = LineData::zeroed();
+        l.write(8, 8, 0x1122_3344_5566_7788);
+        assert_eq!(l.read(8, 8), 0x1122_3344_5566_7788);
+        assert_eq!(l.read(8, 4), 0x5566_7788);
+        assert_eq!(l.read(12, 4), 0x1122_3344);
+        assert_eq!(l.read(8, 1), 0x88);
+        l.write(0, 2, 0xABCD);
+        assert_eq!(l.read(0, 2), 0xABCD);
+        assert_eq!(l.read(0, 1), 0xCD);
+        assert_eq!(l.read(1, 1), 0xAB);
+    }
+
+    #[test]
+    #[should_panic(expected = "crosses line boundary")]
+    fn line_write_out_of_bounds_panics() {
+        LineData::zeroed().write(60, 8, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported access size")]
+    fn line_read_bad_size_panics() {
+        LineData::zeroed().read(0, 3);
+    }
+
+    #[test]
+    fn line_helpers() {
+        assert_eq!(line_of(0x1234), 0x1200);
+        assert_eq!(line_offset(0x1234), 0x34);
+        assert_eq!(line_of(0x1240), 0x1240);
+    }
+
+    #[test]
+    fn gid_display() {
+        assert_eq!(Gid::tile(NodeId(1), 4).to_string(), "n1.t4");
+        assert_eq!(Gid::chipset(NodeId(3)).to_string(), "n3.chipset");
+    }
+
+    #[test]
+    fn virtnet_indices_are_dense() {
+        for (i, vn) in VirtNet::ALL.iter().enumerate() {
+            assert_eq!(vn.index(), i);
+        }
+    }
+}

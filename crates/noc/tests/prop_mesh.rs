@@ -1,0 +1,127 @@
+//! Property tests: the mesh delivers every packet exactly once, in
+//! per-(src,dst,VN) order, for arbitrary traffic on arbitrary geometries.
+
+use proptest::prelude::*;
+use smappic_noc::{Gid, Mesh, MeshConfig, Msg, NodeId, Packet};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+struct Traffic {
+    tiles: usize,
+    // (src tile, dst tile) pairs; the payload line encodes a sequence id.
+    flows: Vec<(u16, u16)>,
+}
+
+fn traffic_strategy() -> impl Strategy<Value = Traffic> {
+    (2usize..=12)
+        .prop_flat_map(|tiles| {
+            let pairs = prop::collection::vec(
+                (0..tiles as u16, 0..tiles as u16),
+                1..120,
+            );
+            (Just(tiles), pairs)
+        })
+        .prop_map(|(tiles, flows)| Traffic { tiles, flows })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_packet_delivered_exactly_once_and_in_order(t in traffic_strategy()) {
+        let mut mesh = Mesh::new(MeshConfig::new(NodeId(0), t.tiles));
+        let total = t.flows.len();
+        let mut pending = t.flows.clone();
+        let mut seq = 0u64;
+        // received[(src,dst)] = sequence ids in arrival order
+        let mut received: HashMap<(u16, u16), Vec<u64>> = HashMap::new();
+        let mut sent: HashMap<(u16, u16), Vec<u64>> = HashMap::new();
+        let mut delivered = 0usize;
+        let mut now = 0u64;
+        while delivered < total {
+            // Inject as many as the network accepts this cycle.
+            pending.retain(|&(src, dst)| {
+                let pkt = Packet::on_canonical_vn(
+                    Gid::tile(NodeId(0), dst),
+                    Gid::tile(NodeId(0), src),
+                    Msg::ReqS { line: seq * 64 },
+                );
+                match mesh.inject(src, pkt) {
+                    Ok(()) => {
+                        sent.entry((src, dst)).or_default().push(seq);
+                        seq += 1;
+                        false
+                    }
+                    Err(_) => true,
+                }
+            });
+            mesh.tick(now);
+            for tile in 0..t.tiles as u16 {
+                while let Some(p) = mesh.eject(tile) {
+                    let src = p.src.tile_id().unwrap();
+                    prop_assert_eq!(p.dst.tile_id().unwrap(), tile, "misrouted packet");
+                    if let Msg::ReqS { line } = p.msg {
+                        received.entry((src, tile)).or_default().push(line / 64);
+                    }
+                    delivered += 1;
+                }
+            }
+            now += 1;
+            prop_assert!(now < 500_000, "livelock: {delivered}/{total} delivered");
+        }
+        prop_assert!(mesh.is_idle(), "mesh must drain completely");
+        // Exactly-once, in-order per flow.
+        for (flow, ids) in &sent {
+            prop_assert_eq!(received.get(flow), Some(ids), "flow {:?}", flow);
+        }
+    }
+
+    #[test]
+    fn edge_traffic_round_trips(tiles in 1usize..=12, n in 1usize..40) {
+        // Tiles send to the chipset; the "chipset" echoes back.
+        let mut mesh = Mesh::new(MeshConfig::new(NodeId(0), tiles));
+        let mut injected = 0usize;
+        let mut echoed = 0usize;
+        let mut returned = 0usize;
+        let mut now = 0u64;
+        while returned < n {
+            if injected < n {
+                let src = (injected % tiles) as u16;
+                let pkt = Packet::on_canonical_vn(
+                    Gid::chipset(NodeId(0)),
+                    Gid::tile(NodeId(0), src),
+                    Msg::MemRd { line: injected as u64 * 64 },
+                );
+                if mesh.inject(src, pkt).is_ok() {
+                    injected += 1;
+                }
+            }
+            mesh.tick(now);
+            while let Some(p) = mesh.eject_edge() {
+                // Echo a response back to the source tile.
+                let reply = Packet::on_canonical_vn(
+                    p.src,
+                    Gid::chipset(NodeId(0)),
+                    Msg::NcAck { addr: 0 },
+                );
+                // Edge injection may back-pressure; retry by re-queuing.
+                let mut r = Some(reply);
+                while let Some(x) = r.take() {
+                    if let Err(x) = mesh.inject_edge(x) {
+                        mesh.tick(now);
+                        r = Some(x);
+                    }
+                }
+                echoed += 1;
+            }
+            for tile in 0..tiles as u16 {
+                while mesh.eject(tile).is_some() {
+                    returned += 1;
+                }
+            }
+            now += 1;
+            prop_assert!(now < 500_000, "stuck: {injected} in, {echoed} echoed, {returned} back");
+        }
+        prop_assert_eq!(returned, n);
+    }
+}

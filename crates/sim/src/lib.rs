@@ -1,0 +1,47 @@
+//! # smappic-sim — deterministic cycle-level simulation kernel
+//!
+//! This crate is the foundation every other SMAPPIC crate builds on. It
+//! provides the handful of primitives a cycle-driven hardware model needs:
+//!
+//! - [`Fifo`] — a bounded queue modeling an RTL FIFO with back-pressure,
+//! - [`DelayLine`] — a fixed-latency pipe (wires/pipeline stages/links),
+//! - [`TrafficShaper`] — a latency + bandwidth model used by SMAPPIC for
+//!   everything that leaves the FPGA (inter-node links, DRAM interfaces),
+//! - [`SimRng`] — a tiny, deterministic xorshift RNG so whole-platform runs
+//!   are reproducible bit-for-bit,
+//! - [`Stats`]/[`Histogram`] — counters and latency histograms used by the
+//!   benchmark harnesses.
+//!
+//! Everything is single-threaded and allocation-light; the platform crate
+//! ticks components in a fixed order each cycle.
+//!
+//! ```
+//! use smappic_sim::{Fifo, DelayLine};
+//!
+//! let mut f: Fifo<u32> = Fifo::new(2);
+//! assert!(f.push(1).is_ok());
+//! assert!(f.push(2).is_ok());
+//! assert!(f.push(3).is_err()); // full: back-pressure
+//! assert_eq!(f.pop(), Some(1));
+//!
+//! let mut d: DelayLine<&str> = DelayLine::new(3);
+//! d.push(0, "hello");
+//! assert_eq!(d.pop_ready(2), None);      // not yet visible
+//! assert_eq!(d.pop_ready(3), Some("hello"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod queue;
+mod rng;
+mod shaper;
+mod stats;
+
+pub use queue::{DelayLine, Fifo};
+pub use rng::SimRng;
+pub use shaper::TrafficShaper;
+pub use stats::{Histogram, Stats};
+
+/// A simulation timestamp in clock cycles of the component's own clock domain.
+pub type Cycle = u64;

@@ -1,0 +1,234 @@
+//! Bounded FIFOs and fixed-latency delay lines.
+
+use std::collections::VecDeque;
+
+use crate::Cycle;
+
+/// A bounded first-in/first-out queue modeling an RTL FIFO with back-pressure.
+///
+/// `push` fails (returning the rejected element) when the FIFO is full, which
+/// is how upstream components observe back-pressure. A capacity of zero is
+/// rejected at construction because a zero-entry FIFO can never transfer data.
+///
+/// ```
+/// use smappic_sim::Fifo;
+/// let mut f = Fifo::new(1);
+/// f.push('a').unwrap();
+/// assert_eq!(f.push('b'), Err('b'));
+/// assert_eq!(f.pop(), Some('a'));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fifo<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T> Fifo<T> {
+    /// Creates a FIFO holding at most `capacity` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a zero-capacity FIFO cannot transfer data");
+        Self { items: VecDeque::with_capacity(capacity.min(64)), capacity }
+    }
+
+    /// Appends `item`, or returns it back if the FIFO is full.
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.items.len() >= self.capacity {
+            Err(item)
+        } else {
+            self.items.push_back(item);
+            Ok(())
+        }
+    }
+
+    /// Removes and returns the oldest element.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Returns a reference to the oldest element without removing it.
+    pub fn peek(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Number of elements currently queued.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no elements are queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// True when a `push` would be rejected.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Number of additional elements the FIFO can accept.
+    pub fn free_slots(&self) -> usize {
+        self.capacity - self.items.len()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterates over queued elements from oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+}
+
+/// A fixed-latency pipe: elements pushed at cycle `t` become visible at
+/// `t + latency`.
+///
+/// Models wires, pipeline stages, and links whose latency does not depend on
+/// load. Ordering is preserved. A latency of zero yields same-cycle
+/// visibility, which is occasionally useful for combinational paths.
+///
+/// ```
+/// use smappic_sim::DelayLine;
+/// let mut d = DelayLine::new(2);
+/// d.push(10, 'x');
+/// assert_eq!(d.pop_ready(11), None);
+/// assert_eq!(d.pop_ready(12), Some('x'));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DelayLine<T> {
+    latency: Cycle,
+    // (cycle at which the element becomes visible, element)
+    inflight: VecDeque<(Cycle, T)>,
+}
+
+impl<T> DelayLine<T> {
+    /// Creates a delay line with the given latency in cycles.
+    pub fn new(latency: Cycle) -> Self {
+        Self { latency, inflight: VecDeque::new() }
+    }
+
+    /// Inserts `item` at cycle `now`; it becomes visible at `now + latency`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if pushes go backwards in time, which would
+    /// violate the ordering invariant.
+    pub fn push(&mut self, now: Cycle, item: T) {
+        let ready = now + self.latency;
+        debug_assert!(
+            self.inflight.back().map_or(true, |(r, _)| *r <= ready),
+            "DelayLine pushes must be monotone in time"
+        );
+        self.inflight.push_back((ready, item));
+    }
+
+    /// Removes and returns the oldest element whose delay has elapsed.
+    pub fn pop_ready(&mut self, now: Cycle) -> Option<T> {
+        if self.inflight.front().is_some_and(|(ready, _)| *ready <= now) {
+            self.inflight.pop_front().map(|(_, item)| item)
+        } else {
+            None
+        }
+    }
+
+    /// Returns the oldest ready element without removing it.
+    pub fn peek_ready(&self, now: Cycle) -> Option<&T> {
+        self.inflight
+            .front()
+            .filter(|(ready, _)| *ready <= now)
+            .map(|(_, item)| item)
+    }
+
+    /// Total number of elements in flight (ready or not).
+    pub fn len(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// True when nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.inflight.is_empty()
+    }
+
+    /// The configured latency in cycles.
+    pub fn latency(&self) -> Cycle {
+        self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_push_pop_order() {
+        let mut f = Fifo::new(3);
+        for i in 0..3 {
+            f.push(i).unwrap();
+        }
+        assert!(f.is_full());
+        assert_eq!(f.free_slots(), 0);
+        assert_eq!(f.pop(), Some(0));
+        assert_eq!(f.pop(), Some(1));
+        assert_eq!(f.free_slots(), 2);
+        f.push(9).unwrap();
+        assert_eq!(f.pop(), Some(2));
+        assert_eq!(f.pop(), Some(9));
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn fifo_rejects_when_full() {
+        let mut f = Fifo::new(1);
+        f.push("a").unwrap();
+        assert_eq!(f.push("b"), Err("b"));
+        assert_eq!(f.peek(), Some(&"a"));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity")]
+    fn fifo_zero_capacity_panics() {
+        let _ = Fifo::<u8>::new(0);
+    }
+
+    #[test]
+    fn delay_line_respects_latency() {
+        let mut d = DelayLine::new(5);
+        d.push(100, 1u32);
+        d.push(101, 2u32);
+        assert_eq!(d.pop_ready(104), None);
+        assert_eq!(d.pop_ready(105), Some(1));
+        assert_eq!(d.pop_ready(105), None);
+        assert_eq!(d.pop_ready(106), Some(2));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn delay_line_zero_latency_is_same_cycle() {
+        let mut d = DelayLine::new(0);
+        d.push(7, 'z');
+        assert_eq!(d.peek_ready(7), Some(&'z'));
+        assert_eq!(d.pop_ready(7), Some('z'));
+    }
+
+    #[test]
+    fn delay_line_preserves_order() {
+        let mut d = DelayLine::new(2);
+        for i in 0..10u32 {
+            d.push(i as u64, i);
+        }
+        let mut out = Vec::new();
+        let mut now = 0;
+        while out.len() < 10 {
+            while let Some(v) = d.pop_ready(now) {
+                out.push(v);
+            }
+            now += 1;
+        }
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+    }
+}

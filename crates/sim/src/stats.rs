@@ -1,0 +1,218 @@
+//! Counters and histograms for instrumentation.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A named set of monotonically increasing counters.
+///
+/// Components register events by name; harnesses read them back to print the
+/// paper's tables. `BTreeMap` keeps output deterministic and sorted.
+///
+/// ```
+/// use smappic_sim::Stats;
+/// let mut s = Stats::new();
+/// s.add("noc.flits", 3);
+/// s.incr("noc.flits");
+/// assert_eq!(s.get("noc.flits"), 4);
+/// assert_eq!(s.get("unknown"), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    counters: BTreeMap<String, u64>,
+}
+
+impl Stats {
+    /// Creates an empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to counter `name`, creating it at zero if absent.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += delta;
+        } else {
+            self.counters.insert(name.to_owned(), delta);
+        }
+    }
+
+    /// Increments counter `name` by one.
+    pub fn incr(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Reads counter `name`, returning zero if it was never touched.
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `(name, value)` pairs in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Merges another counter set into this one (summing shared names).
+    pub fn merge(&mut self, other: &Stats) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+
+    /// Removes all counters.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.counters {
+            writeln!(f, "{k:<40} {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A simple sample accumulator with min/max/mean and fixed log2 buckets.
+///
+/// Used by the latency-probe harness (Fig 7) and memory controller to
+/// characterize request latencies.
+///
+/// ```
+/// use smappic_sim::Histogram;
+/// let mut h = Histogram::new();
+/// for v in [100, 110, 250] { h.record(v); }
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.min(), 100);
+/// assert_eq!(h.max(), 250);
+/// assert!((h.mean() - 153.33).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+    /// buckets\[i\] counts samples with floor(log2(v)) == i (v=0 goes to 0).
+    buckets: [u64; 64],
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self { count: 0, sum: 0, min: u64::MAX, max: 0, buckets: [0; 64] }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        let b = if value == 0 { 0 } else { 63 - value.leading_zeros() as usize };
+        self.buckets[b] += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no samples were recorded.
+    pub fn min(&self) -> u64 {
+        assert!(self.count > 0, "histogram is empty");
+        self.min
+    }
+
+    /// Largest recorded sample (zero when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of samples (zero when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Count of samples whose floor(log2) equals `bucket`.
+    pub fn bucket(&self, bucket: usize) -> u64 {
+        self.buckets[bucket]
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_merge() {
+        let mut a = Stats::new();
+        a.add("x", 2);
+        a.incr("x");
+        let mut b = Stats::new();
+        b.add("x", 10);
+        b.add("y", 1);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 13);
+        assert_eq!(a.get("y"), 1);
+    }
+
+    #[test]
+    fn stats_display_is_sorted() {
+        let mut s = Stats::new();
+        s.add("zeta", 1);
+        s.add("alpha", 2);
+        let out = s.to_string();
+        assert!(out.find("alpha").unwrap() < out.find("zeta").unwrap());
+    }
+
+    #[test]
+    fn histogram_basic_moments() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let mut h = Histogram::new();
+        h.record(0); // bucket 0
+        h.record(1); // bucket 0
+        h.record(2); // bucket 1
+        h.record(3); // bucket 1
+        h.record(1024); // bucket 10
+        assert_eq!(h.bucket(0), 2);
+        assert_eq!(h.bucket(1), 2);
+        assert_eq!(h.bucket(10), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn histogram_min_of_empty_panics() {
+        Histogram::new().min();
+    }
+}

@@ -1,0 +1,80 @@
+//! The physical address map: cacheable memory vs MMIO devices.
+
+use smappic_noc::{Addr, Gid};
+
+/// Maps physical addresses to the NoC endpoint that serves them
+/// non-cacheably; everything unmapped is cacheable DRAM handled by the
+/// coherence protocol and homing function.
+///
+/// The platform builds one map per node: UARTs, CLINT, the virtual SD
+/// controller (all in the chipset) and any accelerator tiles (GNG, MAPLE).
+///
+/// ```
+/// use smappic_tile::AddrMap;
+/// use smappic_noc::{Gid, NodeId};
+///
+/// let mut m = AddrMap::new();
+/// m.add_device(0xF000_0000, 0x1000, Gid::chipset(NodeId(0)));
+/// assert_eq!(m.device_for(0xF000_0010), Some(Gid::chipset(NodeId(0))));
+/// assert_eq!(m.device_for(0x8000_0000), None); // plain memory
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AddrMap {
+    ranges: Vec<(Addr, u64, Gid)>,
+}
+
+impl AddrMap {
+    /// An empty map (everything cacheable).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `[base, base+size)` as MMIO served by `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-size or overlapping range.
+    pub fn add_device(&mut self, base: Addr, size: u64, dst: Gid) {
+        assert!(size > 0, "empty MMIO range");
+        for &(b, s, _) in &self.ranges {
+            assert!(
+                base >= b + s || b >= base + size,
+                "MMIO range {base:#x}+{size:#x} overlaps {b:#x}+{s:#x}"
+            );
+        }
+        self.ranges.push((base, size, dst));
+    }
+
+    /// The device serving `addr`, or `None` when the address is cacheable
+    /// memory.
+    pub fn device_for(&self, addr: Addr) -> Option<Gid> {
+        self.ranges
+            .iter()
+            .find(|(b, s, _)| addr >= *b && addr < b + s)
+            .map(|&(_, _, d)| d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smappic_noc::NodeId;
+
+    #[test]
+    fn lookup_boundaries() {
+        let mut m = AddrMap::new();
+        m.add_device(0x1000, 0x100, Gid::tile(NodeId(0), 1));
+        assert_eq!(m.device_for(0x0FFF), None);
+        assert!(m.device_for(0x1000).is_some());
+        assert!(m.device_for(0x10FF).is_some());
+        assert_eq!(m.device_for(0x1100), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlap_panics() {
+        let mut m = AddrMap::new();
+        m.add_device(0x1000, 0x100, Gid::tile(NodeId(0), 1));
+        m.add_device(0x10FF, 0x10, Gid::tile(NodeId(0), 2));
+    }
+}

@@ -1,0 +1,601 @@
+//! The Ariane core model: the RV64 interpreter behind a timing pipeline.
+
+use smappic_coherence::{CoreReq, CoreResp, MemOp};
+use smappic_isa::{Hart, MemAmoOp, Outcome};
+use smappic_noc::{Addr, AmoOp};
+use smappic_sim::Cycle;
+
+use crate::addrmap::AddrMap;
+use crate::tri::{Engine, Tri};
+
+/// Timing parameters of the Ariane model.
+///
+/// Table 2 of the paper: in-order, 6-stage, single-issue pipeline. We model
+/// it as 1 instruction per cycle plus explicit stalls: memory operations
+/// block until the BPC answers, taken control flow pays a redirect penalty
+/// (no BHT modeled — documented deviation #2), and long-latency integer
+/// ops (mul/div) pay fixed penalties.
+#[derive(Debug, Clone)]
+pub struct ArianeConfig {
+    /// Hart ID exposed in `mhartid`.
+    pub hartid: u64,
+    /// Reset program counter.
+    pub reset_pc: u64,
+    /// The node's MMIO address map.
+    pub addr_map: AddrMap,
+    /// Instruction cache capacity in 8-byte doublewords (16 KB default).
+    pub icache_dwords: usize,
+    /// Branch-history-table entries (Table 2: 128; 2-bit counters).
+    /// Zero disables prediction (every taken branch pays the penalty).
+    pub bht_entries: usize,
+    /// Extra cycles on mispredicted branches/jumps (front-end redirect).
+    pub taken_branch_penalty: u64,
+    /// Extra cycles for multiplications.
+    pub mul_penalty: u64,
+    /// Extra cycles for divisions/remainders.
+    pub div_penalty: u64,
+}
+
+impl ArianeConfig {
+    /// Defaults matching Table 2 (16 KB L1I; modest fixed penalties).
+    pub fn new(hartid: u64, reset_pc: u64, addr_map: AddrMap) -> Self {
+        Self {
+            hartid,
+            reset_pc,
+            addr_map,
+            icache_dwords: 2048,
+            bht_entries: 128,
+            taken_branch_penalty: 2,
+            mul_penalty: 1,
+            div_penalty: 10,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Pend {
+    IFetch { dword: Addr },
+    Load { rd: u8, size: u8, signed: bool, reserve: bool, addr: Addr },
+    Store,
+    Amo { rd: u8, size: u8, is_sc: bool, expected: u64 },
+}
+
+#[derive(Debug)]
+enum State {
+    /// Ready to fetch/execute.
+    Run,
+    /// A memory transaction could not be issued yet (BPC busy); retry.
+    Issue(CoreReq, Pend),
+    /// Waiting for a response with this token.
+    Wait(u64, Pend),
+    /// Waiting for an interrupt.
+    Wfi,
+    /// Stopped (exit ecall, ebreak, or unhandled trap).
+    Halted,
+}
+
+/// The Ariane core model.
+///
+/// Drives a [`Hart`] one instruction at a time through the TRI. Guest
+/// programs stop with the SMAPPIC bare-metal convention:
+/// `a7 = 93, ecall` halts the core with `a0` as the exit code, and
+/// `a7 = 1, ecall` appends the low byte of `a0` to the core's debug
+/// console (examples normally use the real UART instead).
+#[derive(Debug)]
+pub struct ArianeCore {
+    cfg: ArianeConfig,
+    label: String,
+    hart: Hart,
+    icache: Vec<Option<(Addr, u64)>>,
+    /// 2-bit saturating counters, indexed by pc (Table 2's 128-entry BHT).
+    bht: Vec<u8>,
+    state: State,
+    stall: u64,
+    next_token: u64,
+    console: Vec<u8>,
+    exit_code: Option<u64>,
+    retired_loads: u64,
+    branches: u64,
+    mispredicts: u64,
+}
+
+impl ArianeCore {
+    /// Creates a core.
+    pub fn new(cfg: ArianeConfig) -> Self {
+        let hart = Hart::new(cfg.hartid, cfg.reset_pc);
+        let icache = vec![None; cfg.icache_dwords];
+        let bht = vec![1u8; cfg.bht_entries.max(1)]; // weakly not-taken
+        Self {
+            label: format!("ariane{}", cfg.hartid),
+            cfg,
+            hart,
+            icache,
+            bht,
+            state: State::Run,
+            stall: 0,
+            next_token: 0,
+            console: Vec::new(),
+            exit_code: None,
+            retired_loads: 0,
+            branches: 0,
+            mispredicts: 0,
+        }
+    }
+
+    /// Architectural state access (registers, CSRs, pc).
+    pub fn hart(&self) -> &Hart {
+        &self.hart
+    }
+
+    /// Mutable architectural state (loaders set sp/argv here).
+    pub fn hart_mut(&mut self) -> &mut Hart {
+        &mut self.hart
+    }
+
+    /// The exit code passed to the halt ecall, if the program ended.
+    pub fn exit_code(&self) -> Option<u64> {
+        self.exit_code
+    }
+
+    /// Bytes printed through the debug-console ecall.
+    pub fn console(&self) -> &[u8] {
+        &self.console
+    }
+
+    /// Loads retired (for IPC diagnostics).
+    pub fn retired_loads(&self) -> u64 {
+        self.retired_loads
+    }
+
+    /// (conditional branches retired, mispredictions) — BHT diagnostics.
+    pub fn branch_stats(&self) -> (u64, u64) {
+        (self.branches, self.mispredicts)
+    }
+
+    fn token(&mut self) -> u64 {
+        self.next_token += 1;
+        self.next_token
+    }
+
+    fn icache_slot(&self, dword: Addr) -> usize {
+        ((dword >> 3) as usize) % self.cfg.icache_dwords
+    }
+
+    fn icache_lookup(&self, dword: Addr) -> Option<u64> {
+        match self.icache[self.icache_slot(dword)] {
+            Some((a, bits)) if a == dword => Some(bits),
+            _ => None,
+        }
+    }
+
+    fn mem_req(&mut self, op: MemOp, pend: Pend) -> (CoreReq, Pend) {
+        let token = self.token();
+        (CoreReq { token, op }, pend)
+    }
+
+    /// Builds the memory request for an instruction outcome.
+    fn outcome_to_req(&mut self, outcome: Outcome) -> Option<(CoreReq, Pend)> {
+        match outcome {
+            Outcome::Load { addr, size, signed, rd, reserve } => {
+                let pend = Pend::Load { rd, size, signed, reserve, addr };
+                let op = match self.cfg.addr_map.device_for(addr) {
+                    Some(dst) => MemOp::NcLoad { addr, size, dst },
+                    None => MemOp::Load { addr, size },
+                };
+                Some(self.mem_req(op, pend))
+            }
+            Outcome::Store { addr, size, data } => {
+                let op = match self.cfg.addr_map.device_for(addr) {
+                    Some(dst) => MemOp::NcStore { addr, size, data, dst },
+                    None => MemOp::Store { addr, size, data },
+                };
+                Some(self.mem_req(op, Pend::Store))
+            }
+            Outcome::Amo { addr, size, op, val, expected, rd, is_sc } => {
+                let noc_op = match op {
+                    MemAmoOp::Swap => AmoOp::Swap,
+                    MemAmoOp::Add => AmoOp::Add,
+                    MemAmoOp::Xor => AmoOp::Xor,
+                    MemAmoOp::And => AmoOp::And,
+                    MemAmoOp::Or => AmoOp::Or,
+                    MemAmoOp::Min => AmoOp::Min,
+                    MemAmoOp::Max => AmoOp::Max,
+                    MemAmoOp::MinU => AmoOp::MinU,
+                    MemAmoOp::MaxU => AmoOp::MaxU,
+                    MemAmoOp::Cas => AmoOp::Cas,
+                };
+                let mem = MemOp::Amo { addr, size, op: noc_op, val, expected };
+                Some(self.mem_req(mem, Pend::Amo { rd, size, is_sc, expected }))
+            }
+            _ => None,
+        }
+    }
+
+    fn complete(&mut self, pend: Pend, data: u64) {
+        match pend {
+            Pend::IFetch { dword } => {
+                let slot = self.icache_slot(dword);
+                self.icache[slot] = Some((dword, data));
+            }
+            Pend::Load { rd, size, signed, reserve, addr } => {
+                self.hart.finish_load(rd, data, size, signed, reserve, addr);
+                self.retired_loads += 1;
+            }
+            Pend::Store => self.hart.finish_store(),
+            Pend::Amo { rd, size, is_sc, expected } => {
+                self.hart.finish_amo(rd, data, size, is_sc, expected);
+            }
+        }
+    }
+
+    fn run_one(&mut self, now: Cycle, tri: &mut dyn Tri) {
+        // Deliverable interrupts preempt between instructions.
+        if self.hart.take_interrupt().is_some() {
+            self.stall += self.cfg.taken_branch_penalty;
+            return;
+        }
+        let pc = self.hart.pc();
+        let dword = pc & !7;
+        let Some(bits) = self.icache_lookup(dword) else {
+            // L1I miss: fetch the doubleword through the BPC.
+            let (req, pend) = self.mem_req(MemOp::Load { addr: dword, size: 8 }, Pend::IFetch { dword });
+            self.state = match tri.try_request(now, req) {
+                Ok(()) => State::Wait(self.next_token, pend),
+                Err(req) => State::Issue(req, pend),
+            };
+            return;
+        };
+        let instr = if pc & 4 == 0 { bits as u32 } else { (bits >> 32) as u32 };
+        let outcome = self.hart.execute(instr);
+        match outcome {
+            Outcome::Retired => {
+                let op = instr & 0x7F;
+                let taken = self.hart.pc() != pc + 4;
+                if op == 0x63 {
+                    // Conditional branch: consult and train the BHT; only
+                    // mispredictions pay the front-end redirect.
+                    self.branches += 1;
+                    let slot = ((pc >> 2) as usize) % self.bht.len();
+                    let predict_taken = self.cfg.bht_entries > 0 && self.bht[slot] >= 2;
+                    if predict_taken != taken {
+                        self.mispredicts += 1;
+                        self.stall += self.cfg.taken_branch_penalty;
+                    }
+                    let c = &mut self.bht[slot];
+                    *c = if taken { (*c + 1).min(3) } else { c.saturating_sub(1) };
+                } else if taken {
+                    // Jumps and other redirects always pay (no BTB modeled).
+                    self.stall += self.cfg.taken_branch_penalty;
+                }
+                // Long-latency integer ops.
+                let f7 = instr >> 25;
+                let f3 = (instr >> 12) & 7;
+                if (op == 0x33 || op == 0x3B) && f7 == 1 {
+                    self.stall += if f3 >= 4 { self.cfg.div_penalty } else { self.cfg.mul_penalty };
+                }
+            }
+            Outcome::Wfi => self.state = State::Wfi,
+            Outcome::Ecall => {
+                let a7 = self.hart.reg(17);
+                let a0 = self.hart.reg(10);
+                match a7 {
+                    93 => {
+                        self.exit_code = Some(a0);
+                        self.state = State::Halted;
+                    }
+                    1 => {
+                        self.console.push(a0 as u8);
+                        self.hart.skip_instruction();
+                    }
+                    _ => {
+                        if self.hart.csrs().read(smappic_isa::Csr::Mtvec) != 0 {
+                            self.hart.raise_ecall();
+                        } else {
+                            self.exit_code = Some(u64::MAX);
+                            self.state = State::Halted;
+                        }
+                    }
+                }
+            }
+            Outcome::Ebreak => {
+                self.exit_code = Some(u64::MAX - 1);
+                self.state = State::Halted;
+            }
+            Outcome::Exception(t) => {
+                if self.hart.csrs().read(smappic_isa::Csr::Mtvec) != 0 {
+                    self.hart.raise(t);
+                    self.stall += self.cfg.taken_branch_penalty;
+                } else {
+                    self.exit_code = Some(u64::MAX - 2);
+                    self.state = State::Halted;
+                }
+            }
+            mem => {
+                if let Some((req, pend)) = self.outcome_to_req(mem) {
+                    self.state = match tri.try_request(now, req) {
+                        Ok(()) => State::Wait(self.next_token, pend),
+                        Err(req) => State::Issue(req, pend),
+                    };
+                }
+            }
+        }
+    }
+}
+
+impl Engine for ArianeCore {
+    fn tick(&mut self, now: Cycle, tri: &mut dyn Tri) {
+        if matches!(self.state, State::Halted) {
+            return;
+        }
+        self.hart.csrs_mut().mcycle += 1;
+        if self.stall > 0 {
+            self.stall -= 1;
+            return;
+        }
+        match std::mem::replace(&mut self.state, State::Run) {
+            State::Run => self.run_one(now, tri),
+            State::Issue(req, pend) => {
+                self.state = match tri.try_request(now, req) {
+                    Ok(()) => State::Wait(self.next_token, pend),
+                    Err(req) => State::Issue(req, pend),
+                };
+            }
+            State::Wait(token, pend) => match tri.pop_resp() {
+                Some(CoreResp { token: t, data }) => {
+                    debug_assert_eq!(t, token, "single outstanding transaction");
+                    self.complete(pend, data);
+                    self.state = State::Run;
+                }
+                None => self.state = State::Wait(token, pend),
+            },
+            State::Wfi => {
+                if self.hart.take_interrupt().is_some() {
+                    self.state = State::Run;
+                } else {
+                    self.state = State::Wfi;
+                }
+            }
+            State::Halted => unreachable!("checked above"),
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        matches!(self.state, State::Halted)
+    }
+
+    fn set_irq(&mut self, line: u16, level: bool) {
+        self.hart.csrs_mut().set_mip_bit(u32::from(line), level);
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::Rig;
+    use smappic_isa::assemble;
+    use smappic_noc::{Gid, NodeId};
+
+    fn boot(src: &str) -> (ArianeCore, Rig) {
+        let img = assemble(src, 0x1_0000).expect("assembles");
+        let mut rig = Rig::new();
+        rig.load_bytes(img.base, &img.bytes);
+        let cfg = ArianeConfig::new(0, 0x1_0000, AddrMap::new());
+        let mut core = ArianeCore::new(cfg);
+        core.hart_mut().set_reg(2, 0x8_0000); // sp
+        (core, rig)
+    }
+
+    fn run(core: &mut ArianeCore, rig: &mut Rig, max: Cycle) -> Cycle {
+        for now in 0..max {
+            core.tick(now, rig);
+            rig.pump(now);
+            if core.is_done() {
+                return now;
+            }
+        }
+        panic!("program did not halt within {max} cycles (pc={:#x})", core.hart().pc());
+    }
+
+    #[test]
+    fn computes_through_the_cache_hierarchy() {
+        let (mut core, mut rig) = boot(r#"
+            li   a0, 0
+            li   t0, 1
+        loop:
+            add  a0, a0, t0
+            addi t0, t0, 1
+            li   t1, 101
+            blt  t0, t1, loop
+            li   a7, 93
+            ecall
+        "#);
+        run(&mut core, &mut rig, 100_000);
+        assert_eq!(core.exit_code(), Some(5050));
+    }
+
+    #[test]
+    fn loads_and_stores_hit_memory() {
+        let (mut core, mut rig) = boot(r#"
+            li   t0, 0x2000
+            li   t1, 0xABCD
+            sd   t1, 0(t0)
+            ld   a0, 0(t0)
+            li   a7, 93
+            ecall
+        "#);
+        run(&mut core, &mut rig, 100_000);
+        assert_eq!(core.exit_code(), Some(0xABCD));
+        // The value eventually lands in backing store via writeback...
+        // or stays dirty in the BPC; the architectural result is what counts.
+    }
+
+    #[test]
+    fn debug_console_ecall() {
+        let (mut core, mut rig) = boot(r#"
+            li a0, 72      # 'H'
+            li a7, 1
+            ecall
+            li a0, 105     # 'i'
+            ecall
+            li a7, 93
+            li a0, 0
+            ecall
+        "#);
+        run(&mut core, &mut rig, 100_000);
+        assert_eq!(core.console(), b"Hi");
+    }
+
+    #[test]
+    fn mmio_loads_route_to_devices() {
+        let img = assemble(r#"
+            li   t0, 0xF0000000
+            ld   a0, 0(t0)
+            li   a7, 93
+            ecall
+        "#, 0x1_0000).unwrap();
+        let mut rig = Rig::new();
+        rig.load_bytes(img.base, &img.bytes);
+        let mut map = AddrMap::new();
+        map.add_device(0xF000_0000, 0x1000, Gid::tile(NodeId(0), 1));
+        let mut core = ArianeCore::new(ArianeConfig::new(0, 0x1_0000, map));
+        let t = {
+            let mut done = None;
+            for now in 0..100_000 {
+                core.tick(now, &mut rig);
+                rig.pump(now);
+                if core.is_done() {
+                    done = Some(now);
+                    break;
+                }
+            }
+            done.expect("halts")
+        };
+        let _ = t;
+        assert_eq!(core.exit_code(), Some(0x5151), "rig answers NC loads with 0x5151");
+        assert_eq!(rig.nc_log.len(), 1);
+        assert!(!rig.nc_log[0].0, "it was a load");
+        assert_eq!(rig.nc_log[0].1, 0xF000_0000);
+    }
+
+    #[test]
+    fn wfi_wakes_on_interrupt() {
+        let (mut core, mut rig) = boot(r#"
+            la   t0, handler
+            csrw mtvec, t0
+            li   t0, 0x80      # MTI enable
+            csrw mie, t0
+            li   t0, 8         # mstatus.MIE
+            csrs mstatus, t0
+            wfi
+            li   a7, 93        # falls through only if no interrupt taken
+            li   a0, 111
+            ecall
+        handler:
+            li   a7, 93
+            li   a0, 222
+            ecall
+        "#);
+        let mut fired = false;
+        for now in 0..200_000 {
+            core.tick(now, &mut rig);
+            rig.pump(now);
+            if now == 5_000 && !fired {
+                // The interrupt depacketizer asserts the timer wire.
+                core.set_irq(7, true);
+                fired = true;
+            }
+            if core.is_done() {
+                assert_eq!(core.exit_code(), Some(222), "interrupt handler must run");
+                return;
+            }
+        }
+        panic!("core never halted");
+    }
+
+    #[test]
+    fn bht_learns_a_hot_loop() {
+        let (mut core, mut rig) = boot(r#"
+            li t0, 0
+            li t1, 200
+        loop:
+            addi t0, t0, 1
+            blt  t0, t1, loop
+            li a7, 93
+            ecall
+        "#);
+        run(&mut core, &mut rig, 200_000);
+        let (branches, miss) = core.branch_stats();
+        assert_eq!(branches, 200);
+        // A 2-bit counter mispredicts the first couple and the exit; a hot
+        // loop must be overwhelmingly predicted.
+        assert!(miss <= 5, "BHT should learn the loop: {miss}/{branches} mispredicted");
+    }
+
+    #[test]
+    fn disabling_the_bht_costs_cycles() {
+        let src = r#"
+            li t0, 0
+            li t1, 300
+        loop:
+            addi t0, t0, 1
+            blt  t0, t1, loop
+            li a7, 93
+            ecall
+        "#;
+        let run_with = |bht: usize| -> u64 {
+            let img = assemble(src, 0x1_0000).unwrap();
+            let mut rig = Rig::new();
+            rig.load_bytes(img.base, &img.bytes);
+            let mut cfg = ArianeConfig::new(0, 0x1_0000, AddrMap::new());
+            cfg.bht_entries = bht;
+            let mut core = ArianeCore::new(cfg);
+            run(&mut core, &mut rig, 200_000)
+        };
+        let with = run_with(128);
+        let without = run_with(0);
+        assert!(
+            without > with + 300,
+            "no-BHT ({without}) must pay ~2 cycles per taken branch over BHT ({with})"
+        );
+    }
+
+    #[test]
+    fn ipc_is_near_one_for_arithmetic() {
+        let (mut core, mut rig) = boot(r#"
+            li t0, 0
+            li t1, 0
+            li t2, 0
+            addi t0, t0, 1
+            addi t1, t1, 2
+            addi t2, t2, 3
+            add  t0, t0, t1
+            add  t1, t1, t2
+            add  t2, t2, t0
+            xor  t0, t0, t1
+            or   t1, t1, t2
+            and  t2, t2, t0
+            li a7, 93
+            ecall
+        "#);
+        let cycles = run(&mut core, &mut rig, 100_000);
+        let instret = core.hart().csrs().minstret;
+        // Some cycles go to I-cache miss fills; but the loop body should
+        // retire near 1 IPC: total cycles within 4x instruction count.
+        assert!(
+            cycles < instret * 4,
+            "IPC too low: {instret} instructions in {cycles} cycles"
+        );
+    }
+}

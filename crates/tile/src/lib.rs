@@ -1,0 +1,42 @@
+//! # smappic-tile — the Transaction-Response Interface and core models
+//!
+//! BYOC's **Transaction-Response Interface (TRI)** is the gateway between a
+//! compute element and the memory system (§2.2 of the paper): cores issue
+//! memory transactions and receive responses without knowing anything about
+//! the coherence protocol behind the BPC. That isolation is what makes
+//! integrating new cores and accelerators cheap — the paper integrates the
+//! MAPLE engine in "about a hundred lines of Verilog".
+//!
+//! This crate provides:
+//!
+//! - the [`Tri`] trait (request/response against the tile's BPC) and the
+//!   [`Engine`] trait every compute element implements,
+//! - [`TraceCore`] — an abstract-op core executing [`TraceOp`] programs;
+//!   the workload layer uses it for the NUMA and MAPLE studies where the
+//!   memory access pattern, not the instruction stream, is the experiment,
+//! - [`ArianeCore`] — the timing wrapper around the RV64 interpreter: a
+//!   single-issue in-order pipeline (1 instruction per cycle when nothing
+//!   stalls), an L1 instruction cache, taken-branch and ECALL handling, and
+//!   the interrupt wires driven by the platform's depacketizer,
+//! - [`Tile`] — one mesh endpoint bundling an engine, its BPC, and the
+//!   node's LLC slice, with message-type dispatch for everything the NoC
+//!   delivers,
+//! - [`AddrMap`] — the physical address map that decides which accesses are
+//!   cacheable memory and which are MMIO to a device tile or the chipset.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addrmap;
+mod ariane;
+#[cfg(test)]
+pub(crate) mod testkit;
+mod tile;
+mod trace_core;
+mod tri;
+
+pub use addrmap::AddrMap;
+pub use ariane::{ArianeConfig, ArianeCore};
+pub use tile::Tile;
+pub use trace_core::{TraceCore, TraceOp};
+pub use tri::{Engine, IdleEngine, MmioResp, Tri};

@@ -1,0 +1,103 @@
+//! Test-only rig: a BPC backed by an instantly-responding fake home slice.
+
+use std::collections::HashMap;
+
+use smappic_coherence::{Bpc, BpcConfig, CoreReq, CoreResp, Homing, HomingMode};
+use smappic_noc::{line_of, line_offset, Gid, LineData, Msg, NodeId, Packet};
+use smappic_sim::Cycle;
+
+use crate::tri::Tri;
+
+/// A single-core memory rig with zero-latency protocol turnaround,
+/// exercising the real BPC but faking the home LLC + DRAM.
+pub(crate) struct Rig {
+    pub bpc: Bpc,
+    pub backing: HashMap<u64, LineData>,
+    /// Remembers NC requests so tests can service devices.
+    pub nc_log: Vec<(bool, u64, u8, u64)>,
+}
+
+impl Rig {
+    pub fn new() -> Self {
+        let homing = Homing::new(HomingMode::StripeAllNodes, 1, 4);
+        Self {
+            bpc: Bpc::new(BpcConfig::new(Gid::tile(NodeId(0), 0), homing)),
+            backing: HashMap::new(),
+            nc_log: Vec::new(),
+        }
+    }
+
+    /// Writes bytes into the backing store (like a program loader).
+    pub fn load_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            let a = addr + i as u64;
+            let line = self.backing.entry(line_of(a)).or_default();
+            line.0[line_offset(a)] = b;
+        }
+    }
+
+    /// Reads bytes back (through cached copies is the caller's problem;
+    /// use after quiescence).
+    #[allow(dead_code)]
+    pub fn peek(&self, addr: u64, len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|i| {
+                let a = addr + i as u64;
+                self.backing
+                    .get(&line_of(a))
+                    .map_or(0, |l| l.0[line_offset(a)])
+            })
+            .collect()
+    }
+
+    pub fn pump(&mut self, now: Cycle) {
+        self.bpc.tick(now);
+        while let Some(pkt) = self.bpc.noc_pop() {
+            let reply = match pkt.msg {
+                Msg::ReqS { line } => Some(Msg::Data {
+                    line,
+                    data: *self.backing.entry(line).or_default(),
+                    excl: false,
+                }),
+                Msg::ReqM { line } => Some(Msg::Data {
+                    line,
+                    data: *self.backing.entry(line).or_default(),
+                    excl: true,
+                }),
+                Msg::Amo { addr, size, op, val, expected } => {
+                    let entry = self.backing.entry(line_of(addr)).or_default();
+                    let off = line_offset(addr);
+                    let old = entry.read(off, size as usize);
+                    entry.write(off, size as usize, op.apply(old, val, expected, size as usize));
+                    Some(Msg::AmoResp { addr, old })
+                }
+                Msg::NcLoad { addr, size } => {
+                    self.nc_log.push((false, addr, size, 0));
+                    Some(Msg::NcData { addr, data: 0x5151 })
+                }
+                Msg::NcStore { addr, size, data } => {
+                    self.nc_log.push((true, addr, size, data));
+                    Some(Msg::NcAck { addr })
+                }
+                Msg::WbData { line, data } => {
+                    self.backing.insert(line, data);
+                    None
+                }
+                Msg::WbClean { .. } | Msg::InvAck { .. } => None,
+                other => panic!("rig got unexpected {other:?}"),
+            };
+            if let Some(msg) = reply {
+                self.bpc.noc_push(Packet::on_canonical_vn(pkt.src, pkt.dst, msg));
+            }
+        }
+    }
+}
+
+impl Tri for Rig {
+    fn try_request(&mut self, now: Cycle, req: CoreReq) -> Result<(), CoreReq> {
+        self.bpc.request(now, req)
+    }
+    fn pop_resp(&mut self) -> Option<CoreResp> {
+        self.bpc.pop_resp()
+    }
+}

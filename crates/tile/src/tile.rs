@@ -1,0 +1,335 @@
+//! One tile: an engine, its BPC, and an LLC slice behind a mesh port.
+
+use std::collections::VecDeque;
+
+use smappic_coherence::{Bpc, CoreReq, CoreResp, LlcSlice};
+use smappic_noc::{Gid, Msg, Packet};
+use smappic_sim::Cycle;
+
+use crate::tri::{Engine, MmioResp, Tri};
+
+/// Shim giving the engine TRI access to the tile's BPC.
+struct BpcTri<'a>(&'a mut Bpc);
+
+impl Tri for BpcTri<'_> {
+    fn try_request(&mut self, now: Cycle, req: CoreReq) -> Result<(), CoreReq> {
+        self.0.request(now, req)
+    }
+    fn pop_resp(&mut self) -> Option<CoreResp> {
+        self.0.pop_resp()
+    }
+}
+
+/// A BYOC tile: compute engine + private cache + LLC slice + NoC routers
+/// (the routers live in the node's [`Mesh`](smappic_noc::Mesh); the tile
+/// exposes push/pop endpoints the node wires to its mesh port).
+///
+/// Incoming packets are dispatched by message type: coherence responses go
+/// to the BPC, coherence requests and directory traffic to the LLC slice,
+/// interrupt packets to the engine's wires, and non-cacheable accesses to
+/// the engine's MMIO handler (this is how accelerator tiles expose their
+/// register files, §4.2).
+pub struct Tile {
+    id: Gid,
+    bpc: Bpc,
+    llc: LlcSlice,
+    engine: Box<dyn Engine>,
+    /// MMIO accesses answered `Pending` by the device, retried each tick:
+    /// (requester, is_store, addr, size, data).
+    pending_mmio: VecDeque<(Gid, bool, u64, u8, u64)>,
+    /// Per-virtual-network egress queues: requests blocked by congestion
+    /// must never stall the responses queued behind them (protocol
+    /// deadlock freedom depends on it).
+    out: [VecDeque<Packet>; 3],
+}
+
+impl Tile {
+    /// Assembles a tile.
+    pub fn new(id: Gid, bpc: Bpc, llc: LlcSlice, engine: Box<dyn Engine>) -> Self {
+        Self { id, bpc, llc, engine, pending_mmio: VecDeque::new(), out: Default::default() }
+    }
+
+    /// The tile's NoC identity.
+    pub fn id(&self) -> Gid {
+        self.id
+    }
+
+    /// The compute engine (for result inspection).
+    pub fn engine(&self) -> &dyn Engine {
+        self.engine.as_ref()
+    }
+
+    /// Mutable engine access (program loading, IRQ wires in tests).
+    pub fn engine_mut(&mut self) -> &mut dyn Engine {
+        self.engine.as_mut()
+    }
+
+    /// Replaces the compute engine (cores and accelerators are installed
+    /// into freshly-built nodes before the run starts).
+    pub fn set_engine(&mut self, engine: Box<dyn Engine>) {
+        self.engine = engine;
+    }
+
+    /// The private cache (stats).
+    pub fn bpc(&self) -> &Bpc {
+        &self.bpc
+    }
+
+    /// The LLC slice (stats).
+    pub fn llc(&self) -> &LlcSlice {
+        &self.llc
+    }
+
+    /// True when the engine finished and all cache machinery is quiescent.
+    pub fn is_idle(&self) -> bool {
+        self.engine.is_done()
+            && self.bpc.is_idle()
+            && self.llc.is_idle()
+            && self.pending_mmio.is_empty()
+            && self.out.iter().all(VecDeque::is_empty)
+    }
+
+    /// Advances one cycle.
+    pub fn tick(&mut self, now: Cycle) {
+        self.engine.tick(now, &mut BpcTri(&mut self.bpc));
+        self.bpc.tick(now);
+        self.llc.tick(now);
+
+        // Retry the oldest pending MMIO access.
+        if let Some((src, store, addr, size, data)) = self.pending_mmio.pop_front() {
+            match self.engine.mmio(now, store, addr, size, data) {
+                MmioResp::Pending => self.pending_mmio.push_front((src, store, addr, size, data)),
+                resp => self.answer_mmio(src, store, addr, resp),
+            }
+        }
+
+        // Drain cache outputs into the per-VN egress queues.
+        while let Some(p) = self.bpc.noc_pop() {
+            self.out[p.vn.index()].push_back(p);
+        }
+        while let Some(p) = self.llc.noc_pop() {
+            self.out[p.vn.index()].push_back(p);
+        }
+    }
+
+    fn answer_mmio(&mut self, src: Gid, store: bool, addr: u64, resp: MmioResp) {
+        let msg = match (store, resp) {
+            (false, MmioResp::Data(d)) => Msg::NcData { addr, data: d },
+            (true, _) => Msg::NcAck { addr },
+            (false, MmioResp::Ack) => Msg::NcData { addr, data: 0 },
+            (_, MmioResp::Pending) => unreachable!("caller filters Pending"),
+        };
+        let pkt = Packet::on_canonical_vn(src, self.id, msg);
+        self.out[pkt.vn.index()].push_back(pkt);
+    }
+
+    /// Delivers a packet from the mesh.
+    pub fn push_noc(&mut self, now: Cycle, pkt: Packet) {
+        match &pkt.msg {
+            // Responses and probes for the private cache.
+            Msg::Data { .. }
+            | Msg::UpgradeAck { .. }
+            | Msg::Inv { .. }
+            | Msg::Recall { .. }
+            | Msg::Downgrade { .. }
+            | Msg::AmoResp { .. }
+            | Msg::NcData { .. }
+            | Msg::NcAck { .. } => self.bpc.noc_push(pkt),
+            // Interrupt wires.
+            Msg::Irq { line_no, level } => self.engine.set_irq(*line_no, *level),
+            // Device register file.
+            Msg::NcLoad { addr, size } => {
+                let (addr, size, src) = (*addr, *size, pkt.src);
+                match self.engine.mmio(now, false, addr, size, 0) {
+                    MmioResp::Pending => self.pending_mmio.push_back((src, false, addr, size, 0)),
+                    resp => self.answer_mmio(src, false, addr, resp),
+                }
+            }
+            Msg::NcStore { addr, size, data } => {
+                let (addr, size, data, src) = (*addr, *size, *data, pkt.src);
+                match self.engine.mmio(now, true, addr, size, data) {
+                    MmioResp::Pending => self.pending_mmio.push_back((src, true, addr, size, data)),
+                    resp => self.answer_mmio(src, true, addr, resp),
+                }
+            }
+            // Everything else belongs to the LLC slice / directory.
+            _ => self.llc.noc_push(now, pkt),
+        }
+    }
+
+    /// Collects the next outgoing packet for the mesh, round-robining over
+    /// virtual networks (a blocked VN must not starve the others).
+    pub fn pop_noc(&mut self) -> Option<Packet> {
+        for q in &mut self.out {
+            if let Some(p) = q.pop_front() {
+                return Some(p);
+            }
+        }
+        None
+    }
+
+    /// Collects the next outgoing packet on one virtual network.
+    pub fn pop_noc_vn(&mut self, vn: usize) -> Option<Packet> {
+        self.out[vn].pop_front()
+    }
+
+    /// Returns a popped packet to the head of its egress queue (used when
+    /// the mesh refuses injection this cycle).
+    pub fn unpop_noc(&mut self, pkt: Packet) {
+        self.out[pkt.vn.index()].push_front(pkt);
+    }
+}
+
+impl std::fmt::Debug for Tile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tile")
+            .field("id", &self.id)
+            .field("engine", &self.engine.label())
+            .field("pending_mmio", &self.pending_mmio.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace_core::{TraceCore, TraceOp};
+    use smappic_coherence::{BpcConfig, Homing, HomingMode, LlcConfig};
+    use smappic_noc::{LineData, NodeId};
+
+    fn tile_with(engine: Box<dyn Engine>) -> Tile {
+        let id = Gid::tile(NodeId(0), 0);
+        let homing = Homing::new(HomingMode::StripeAllNodes, 1, 1);
+        let bpc = Bpc::new(BpcConfig::new(id, homing));
+        let llc = LlcSlice::new(LlcConfig::new(id));
+        Tile::new(id, bpc, llc, engine)
+    }
+
+    /// Runs a single-tile "node": packets loop back from the tile to
+    /// itself, with MemRd/MemWr answered like a zero DRAM.
+    fn run_selfcontained(tile: &mut Tile, max: Cycle) {
+        for now in 0..max {
+            tile.tick(now);
+            let mut moved = Vec::new();
+            while let Some(p) = tile.pop_noc() {
+                moved.push(p);
+            }
+            for p in moved {
+                match &p.msg {
+                    Msg::MemRd { line } => {
+                        let reply = Packet::on_canonical_vn(
+                            p.src,
+                            Gid::chipset(NodeId(0)),
+                            Msg::MemData { line: *line, data: LineData::zeroed() },
+                        );
+                        tile.push_noc(now, reply);
+                    }
+                    Msg::MemWr { .. } => {}
+                    _ => tile.push_noc(now, p),
+                }
+            }
+            if tile.engine().is_done() {
+                return;
+            }
+        }
+        panic!("tile program did not finish");
+    }
+
+    #[test]
+    fn trace_core_runs_against_local_slice() {
+        let core = TraceCore::new(
+            "t0",
+            vec![
+                TraceOp::StoreVal(0x40, 123),
+                TraceOp::Load(0x40),
+                TraceOp::Compute(10),
+            ],
+        );
+        let mut tile = tile_with(Box::new(core));
+        run_selfcontained(&mut tile, 50_000);
+        assert!(tile.bpc().stats().get("bpc.miss") >= 1);
+    }
+
+    #[test]
+    fn mmio_pending_is_retried() {
+        struct SlowDevice {
+            countdown: u32,
+        }
+        impl Engine for SlowDevice {
+            fn tick(&mut self, _now: Cycle, _tri: &mut dyn Tri) {
+                self.countdown = self.countdown.saturating_sub(1);
+            }
+            fn mmio(&mut self, _now: Cycle, _s: bool, _a: u64, _sz: u8, _d: u64) -> MmioResp {
+                if self.countdown == 0 {
+                    MmioResp::Data(99)
+                } else {
+                    MmioResp::Pending
+                }
+            }
+            fn label(&self) -> &str {
+                "slow"
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let mut tile = tile_with(Box::new(SlowDevice { countdown: 10 }));
+        let requester = Gid::tile(NodeId(0), 5);
+        tile.push_noc(0, Packet::on_canonical_vn(tile.id(), requester, Msg::NcLoad { addr: 0xF0, size: 8 }));
+        let mut got = None;
+        for now in 0..100 {
+            tile.tick(now);
+            while let Some(p) = tile.pop_noc() {
+                if let Msg::NcData { data, .. } = p.msg {
+                    assert_eq!(p.dst, requester);
+                    got = Some((now, data));
+                }
+            }
+            if got.is_some() {
+                break;
+            }
+        }
+        let (t, data) = got.expect("mmio answered");
+        assert_eq!(data, 99);
+        assert!(t >= 9, "Pending must delay the answer, answered at {t}");
+    }
+
+    #[test]
+    fn irq_packets_reach_the_engine() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        struct IrqProbe {
+            seen: Rc<Cell<Option<(u16, bool)>>>,
+        }
+        impl Engine for IrqProbe {
+            fn tick(&mut self, _now: Cycle, _tri: &mut dyn Tri) {}
+            fn set_irq(&mut self, line: u16, level: bool) {
+                self.seen.set(Some((line, level)));
+            }
+            fn label(&self) -> &str {
+                "probe"
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let seen = Rc::new(Cell::new(None));
+        let mut tile = tile_with(Box::new(IrqProbe { seen: Rc::clone(&seen) }));
+        tile.push_noc(
+            0,
+            Packet::on_canonical_vn(
+                tile.id(),
+                Gid::chipset(NodeId(0)),
+                Msg::Irq { line_no: 11, level: true },
+            ),
+        );
+        tile.tick(0);
+        assert_eq!(seen.get(), Some((11, true)));
+    }
+}

@@ -1,0 +1,98 @@
+//! The TRI and Engine traits.
+
+use smappic_coherence::{CoreReq, CoreResp};
+use smappic_noc::Addr;
+use smappic_sim::Cycle;
+
+/// The Transaction-Response Interface a compute element sees.
+///
+/// Backed by the tile's BPC; requests may be rejected under back-pressure
+/// (MSHRs full), in which case the engine retries next cycle.
+pub trait Tri {
+    /// Submits a memory request; returns it back when the cache cannot
+    /// accept it this cycle.
+    fn try_request(&mut self, now: Cycle, req: CoreReq) -> Result<(), CoreReq>;
+
+    /// Collects the next completed response.
+    fn pop_resp(&mut self) -> Option<CoreResp>;
+}
+
+/// Result of an MMIO access to a tile-resident device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmioResp {
+    /// Loaded data (or ignored for stores that want a generic ack).
+    Data(u64),
+    /// Store acknowledged.
+    Ack,
+    /// Not ready; the tile retries the access next cycle (this is how the
+    /// MAPLE queue makes consumers wait for data).
+    Pending,
+}
+
+/// A compute element occupying a tile: a core model or an accelerator.
+pub trait Engine {
+    /// Advances one cycle; memory transactions go through `tri`.
+    fn tick(&mut self, now: Cycle, tri: &mut dyn Tri);
+
+    /// True when the engine has run to completion (used by harnesses to
+    /// detect quiescence; long-running cores simply return false).
+    fn is_done(&self) -> bool {
+        false
+    }
+
+    /// Drives an interrupt wire (from the interrupt depacketizer, §3.3).
+    fn set_irq(&mut self, _line: u16, _level: bool) {}
+
+    /// Handles a non-cacheable access addressed to this tile (accelerator
+    /// register files, queues). Core tiles have no device registers and
+    /// answer zero.
+    fn mmio(&mut self, _now: Cycle, _store: bool, _addr: Addr, _size: u8, _data: u64) -> MmioResp {
+        MmioResp::Data(0)
+    }
+
+    /// A short label for diagnostics.
+    fn label(&self) -> &str;
+
+    /// Downcasting support so harnesses can inspect concrete engines
+    /// (exit codes, completion times) behind the trait object.
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Mutable downcasting support.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// An engine that does nothing: the placeholder occupying tiles before the
+/// user installs cores/accelerators, and the natural model for disabled
+/// tiles in partially-populated prototypes.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct IdleEngine;
+
+impl Engine for IdleEngine {
+    fn tick(&mut self, _now: Cycle, _tri: &mut dyn Tri) {}
+    fn is_done(&self) -> bool {
+        true
+    }
+    fn label(&self) -> &str {
+        "idle"
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_engine_behaviour() {
+        let mut e = IdleEngine;
+        assert!(e.is_done());
+        assert_eq!(e.mmio(0, false, 0x100, 8, 0), MmioResp::Data(0));
+        e.set_irq(7, true); // no-op by default
+        assert_eq!(e.label(), "idle");
+    }
+}

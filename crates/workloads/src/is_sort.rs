@@ -1,0 +1,347 @@
+//! NPB Integer Sort (parallel bucket sort) — the workload behind Fig 8
+//! and Fig 9.
+//!
+//! The paper runs NPB IS class C (134 M keys) on full-stack Linux and
+//! flips the kernel's NUMA mode. What NUMA mode changes for this benchmark
+//! is *where pages land*: thread-local slices on the thread's node
+//! (first-touch) versus effectively scattered placement. We reproduce the
+//! mechanism directly: the same bucket-sort memory-access pattern as trace
+//! programs, with a [`Placement`] policy mapping each logical page either
+//! to the owning thread's NUMA region or round-robin across all regions.
+//!
+//! Keys are scaled down (deviation #4); the knee points of Fig 8/9 come
+//! from locality ratios, not absolute key counts.
+
+use smappic_core::{Config, Platform, DRAM_BASE};
+use smappic_sim::SimRng;
+use smappic_tile::{TraceCore, TraceOp};
+
+/// Page size used for placement decisions (4 KiB, like the kernel).
+const PAGE: u64 = 4096;
+
+/// Where the benchmark's pages are allocated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Linux NUMA mode ON: first-touch puts a thread's pages on its node.
+    NumaAware,
+    /// NUMA mode OFF: pages land round-robin across all nodes (the average
+    /// behaviour of a NUMA-oblivious allocator under memory pressure).
+    Interleaved,
+}
+
+/// Parameters of one integer-sort run.
+#[derive(Debug, Clone)]
+pub struct SortParams {
+    /// The platform shape.
+    pub config: Config,
+    /// Total keys to sort.
+    pub keys: usize,
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Page placement policy (the NUMA switch).
+    pub placement: Placement,
+    /// Global tile indices the threads are pinned to (length = threads).
+    pub pinning: Vec<usize>,
+    /// Number of buckets.
+    pub buckets: usize,
+    /// Compute cycles modeled per key per phase (hash + compare work).
+    pub work_per_key: u64,
+}
+
+impl SortParams {
+    /// The Fig 8 setup: `threads` threads spread round-robin over all
+    /// nodes of a 4x1x12 (or given) configuration.
+    pub fn scaling(config: Config, keys: usize, threads: usize, placement: Placement) -> Self {
+        let total = config.total_tiles();
+        assert!(threads <= total, "more threads than cores");
+        let nodes = config.total_nodes();
+        let tpn = config.tiles_per_node;
+        // Spread threads across nodes first (like the kernel scheduler).
+        let mut pinning = Vec::with_capacity(threads);
+        let mut per_node = vec![0usize; nodes];
+        for i in 0..threads {
+            let n = i % nodes;
+            pinning.push(n * tpn + per_node[n]);
+            per_node[n] += 1;
+        }
+        Self {
+            config,
+            keys,
+            threads,
+            placement,
+            pinning,
+            buckets: 64,
+            work_per_key: 2,
+        }
+    }
+
+    /// The Fig 9 setup: exactly 12 threads pinned onto `active_nodes`
+    /// nodes (taskset-style).
+    pub fn pinned(config: Config, keys: usize, active_nodes: usize, placement: Placement) -> Self {
+        let threads = 12;
+        let tpn = config.tiles_per_node;
+        assert!(active_nodes >= 1 && active_nodes <= config.total_nodes());
+        assert!(active_nodes * tpn >= threads, "not enough tiles on the active nodes");
+        let mut pinning = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let n = i % active_nodes;
+            let slot = i / active_nodes;
+            pinning.push(n * tpn + slot);
+        }
+        Self { config, keys, threads, placement, pinning, buckets: 64, work_per_key: 2 }
+    }
+}
+
+/// Result of a sort run.
+#[derive(Debug, Clone)]
+pub struct SortResult {
+    /// Cycles from start to the last thread finishing.
+    pub cycles: u64,
+    /// Seconds on the modeled 100 MHz prototype.
+    pub seconds: f64,
+    /// Total memory operations issued by the workers.
+    pub mem_ops: u64,
+}
+
+/// Address layout of the benchmark's arrays, placement-aware.
+struct Layout {
+    placement: Placement,
+    bytes_per_node: u64,
+    nodes: u64,
+    /// Per-node bump allocators (offsets into each node's region).
+    node_cursor: Vec<u64>,
+    /// Global rotation for interleaved placement, so small allocations
+    /// still spread across nodes like a shared page pool would.
+    interleave_next: u64,
+}
+
+impl Layout {
+    fn new(cfg: &Config) -> Self {
+        let nodes = cfg.total_nodes() as u64;
+        Self {
+            placement: Placement::NumaAware,
+            bytes_per_node: cfg.params.bytes_per_node,
+            nodes,
+            // Leave the first 1 MiB of each region for sync variables.
+            node_cursor: vec![1 << 20; cfg.total_nodes()],
+            interleave_next: 0,
+        }
+    }
+
+    /// Allocates `bytes` with affinity to `node` (NumaAware) or spread
+    /// page-by-page over all nodes (Interleaved). Returns page addresses.
+    fn alloc(&mut self, node: usize, bytes: u64) -> Vec<u64> {
+        let pages = bytes.div_ceil(PAGE);
+        (0..pages)
+            .map(|_| {
+                let owner = match self.placement {
+                    Placement::NumaAware => node,
+                    Placement::Interleaved => {
+                        let o = (self.interleave_next % self.nodes) as usize;
+                        self.interleave_next += 1;
+                        o
+                    }
+                };
+                let addr = DRAM_BASE
+                    + owner as u64 * self.bytes_per_node
+                    + self.node_cursor[owner];
+                self.node_cursor[owner] += PAGE;
+                addr
+            })
+            .collect()
+    }
+}
+
+/// Builds the platform with the sort programs installed; returns it and
+/// the (node, tile) list of the worker cores. Exposed so harnesses can
+/// drive and instrument the run themselves.
+pub fn build_sort(params: &SortParams) -> (Platform, Vec<(usize, u16)>) {
+    let cfg = &params.config;
+    let mut platform = Platform::new(cfg.clone());
+    let tpn = cfg.tiles_per_node;
+    let mut rng = SimRng::new(0x5150_1234);
+
+    let mut layout = Layout::new(cfg);
+    layout.placement = params.placement;
+
+    // Synchronization: a hierarchical (tree) barrier — per-node arrival
+    // counters in each node's own region plus one global counter on node 0
+    // — so barrier cost does not grow with an O(threads²) invalidation
+    // storm on a single line. The global counter advances by `nodes` per
+    // barrier generation.
+    let global_ctr = DRAM_BASE + 0x100;
+    let node_ctr = |node: usize| DRAM_BASE + node as u64 * cfg.params.bytes_per_node + 0x140;
+
+    // Per-thread local histograms, thread-affine like the kernel allocates.
+    let keys_per_thread = params.keys / params.threads;
+    let hist_pages: Vec<Vec<u64>> = params
+        .pinning
+        .iter()
+        .map(|&core| layout.alloc(core / tpn, params.buckets as u64 * 8))
+        .collect();
+
+    // How many threads arrive at each node's counter.
+    let mut node_threads = vec![0u64; cfg.total_nodes()];
+    for &core in &params.pinning {
+        node_threads[core / tpn] += 1;
+    }
+    let nodes_active = node_threads.iter().filter(|&&n| n > 0).count() as u64;
+
+    for (tid, &core) in params.pinning.iter().enumerate() {
+        let node = core / tpn;
+        let is_node_leader = params.pinning.iter().position(|&c| c / tpn == node) == Some(tid);
+        // Thread-affine arrays: key slice and output slice.
+        let in_pages = layout.alloc(node, keys_per_thread as u64 * 8);
+        let out_pages = layout.alloc(node, keys_per_thread as u64 * 8);
+
+        let addr_of = |pages: &[u64], idx: usize| -> u64 {
+            let byte = idx as u64 * 8;
+            pages[(byte / PAGE) as usize] + (byte % PAGE)
+        };
+
+        let tree_barrier = |ops: &mut Vec<TraceOp>, generation: u64| {
+            ops.push(TraceOp::AmoAdd(node_ctr(node), 1));
+            if is_node_leader {
+                ops.push(TraceOp::SpinUntilGe(node_ctr(node), node_threads[node] * generation));
+                ops.push(TraceOp::AmoAdd(global_ctr, 1));
+            }
+            ops.push(TraceOp::SpinUntilGe(global_ctr, nodes_active * generation));
+        };
+
+        let mut ops = Vec::with_capacity(keys_per_thread * 4 + 64);
+        // Phase 1: read keys, build the local histogram (sequential scan,
+        // local stores).
+        for k in 0..keys_per_thread {
+            ops.push(TraceOp::Load(addr_of(&in_pages, k)));
+            ops.push(TraceOp::Store(addr_of(&hist_pages[tid], k % params.buckets)));
+            if params.work_per_key > 0 {
+                ops.push(TraceOp::Compute(params.work_per_key));
+            }
+        }
+        tree_barrier(&mut ops, 1);
+        // Phase 2: parallel histogram merge — each thread sums its bucket
+        // range across every thread's local histogram (cross-node reads).
+        let b_lo = tid * params.buckets / params.threads;
+        let b_hi = (tid + 1) * params.buckets / params.threads;
+        for b in b_lo..b_hi {
+            for other in 0..params.threads {
+                ops.push(TraceOp::Load(addr_of(&hist_pages[other], b)));
+            }
+        }
+        tree_barrier(&mut ops, 2);
+        // Phase 3: move keys into their buckets. NPB IS writes are
+        // *sequential within each bucket's region* (each bucket keeps a
+        // cursor), so stores hit the same cache line ~8 times before
+        // missing — the 1/8 write-miss rate that makes the phase
+        // bandwidth-bound rather than latency-bound. Buckets are chosen
+        // pseudo-randomly per key, like real key values.
+        let seg = (keys_per_thread / params.buckets).max(1);
+        let mut cursor = vec![0usize; params.buckets];
+        for k in 0..keys_per_thread {
+            ops.push(TraceOp::Load(addr_of(&in_pages, k)));
+            let b = rng.gen_range(params.buckets as u64) as usize;
+            let slot = b * seg + (cursor[b] % seg);
+            cursor[b] += 1;
+            ops.push(TraceOp::Store(addr_of(&out_pages, slot.min(keys_per_thread - 1))));
+            if params.work_per_key > 0 {
+                ops.push(TraceOp::Compute(params.work_per_key));
+            }
+        }
+        // No final barrier: the harness takes the max of per-thread finish
+        // times, so an O(threads²) invalidation storm at the very end would
+        // only distort the measurement.
+
+        platform.set_engine(node, (core % tpn) as u16, Box::new(TraceCore::new(format!("is{tid}"), ops)));
+    }
+    let cores = params.pinning.iter().map(|&c| (c / tpn, (c % tpn) as u16)).collect();
+    (platform, cores)
+}
+
+/// Runs the integer sort and reports its runtime.
+///
+/// # Panics
+///
+/// Panics if the run does not complete within a generous cycle budget
+/// (which would indicate a deadlock — worth failing loudly).
+pub fn run_sort(params: &SortParams) -> SortResult {
+    let (mut platform, cores) = build_sort(params);
+    let probe = cores.clone();
+    let all_done = move |p: &Platform| {
+        probe.iter().all(|&(n, t)| {
+            p.node(n)
+                .tile(t)
+                .engine()
+                .as_any()
+                .downcast_ref::<TraceCore>()
+                .is_some_and(|c| c.finished_at().is_some())
+        })
+    };
+    let budget = (params.keys as u64) * 3_000 + 10_000_000;
+    assert!(platform.run_until(budget, all_done), "integer sort deadlocked");
+
+    let mut last = 0;
+    let mut mem_ops = 0;
+    for &(n, t) in &cores {
+        let c = platform
+            .node(n)
+            .tile(t)
+            .engine()
+            .as_any()
+            .downcast_ref::<TraceCore>()
+            .expect("trace core");
+        last = last.max(c.finished_at().expect("done"));
+        mem_ops += c.mem_ops();
+    }
+    SortResult {
+        cycles: last,
+        seconds: last as f64
+            / (f64::from(params.config.params.frequency_mhz) * 1e6),
+        mem_ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> Config {
+        Config::new(2, 1, 2)
+    }
+
+    #[test]
+    fn sort_completes_and_scales_with_threads() {
+        let keys = 512;
+        let t1 = run_sort(&SortParams::scaling(tiny_cfg(), keys, 1, Placement::NumaAware));
+        let t4 = run_sort(&SortParams::scaling(tiny_cfg(), keys, 4, Placement::NumaAware));
+        assert!(
+            t4.cycles < t1.cycles,
+            "4 threads ({}) must beat 1 thread ({})",
+            t4.cycles,
+            t1.cycles
+        );
+    }
+
+    #[test]
+    fn numa_aware_beats_interleaved() {
+        let keys = 1024;
+        let on = run_sort(&SortParams::scaling(tiny_cfg(), keys, 4, Placement::NumaAware));
+        let off = run_sort(&SortParams::scaling(tiny_cfg(), keys, 4, Placement::Interleaved));
+        assert!(
+            off.cycles as f64 > on.cycles as f64 * 1.2,
+            "NUMA-aware ({}) must clearly beat interleaved ({})",
+            on.cycles,
+            off.cycles
+        );
+    }
+
+    #[test]
+    fn pinned_setup_uses_requested_nodes() {
+        let cfg = Config::new(4, 1, 12);
+        let p1 = SortParams::pinned(cfg.clone(), 256, 1, Placement::NumaAware);
+        assert!(p1.pinning.iter().all(|&c| c < 12), "single active node");
+        let p4 = SortParams::pinned(cfg, 256, 4, Placement::NumaAware);
+        let nodes_used: std::collections::HashSet<usize> =
+            p4.pinning.iter().map(|&c| c / 12).collect();
+        assert_eq!(nodes_used.len(), 4);
+    }
+}

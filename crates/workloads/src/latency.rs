@@ -1,0 +1,204 @@
+//! The inter-core round-trip latency probe (Fig 7).
+//!
+//! The paper's first metric on the 48-core prototype is the heatmap of
+//! round-trip latencies between every pair of cores, showing the four NUMA
+//! domains: ~100 cycles within a node, ~250 cycles across nodes (2.5×).
+//! The measurement is a memory round trip: the sender core loads cold
+//! lines homed at the receiver core's LLC slice, so each access travels
+//! sender → receiver's slice → home DRAM → back. Within a node that is
+//! mesh + LLC + DRAM (~100 cycles); across nodes the PCIe bus adds its
+//! ~125-cycle round trip.
+
+use smappic_core::{Config, Platform, DRAM_BASE};
+use smappic_tile::{TraceCore, TraceOp};
+
+/// Result of the latency sweep: a `cores × cores` matrix of round-trip
+/// cycles.
+#[derive(Debug, Clone)]
+pub struct LatencyMatrix {
+    /// Total cores measured.
+    pub cores: usize,
+    /// Tiles per node (to draw domain boundaries).
+    pub tiles_per_node: usize,
+    /// Round-trip cycles, row-major `[sender][receiver]`.
+    pub cycles: Vec<Vec<u64>>,
+}
+
+impl LatencyMatrix {
+    /// Mean round-trip within a node (off-diagonal intra-node pairs).
+    pub fn intra_node_mean(&self) -> f64 {
+        self.class_mean(true)
+    }
+
+    /// Mean round-trip across nodes.
+    pub fn inter_node_mean(&self) -> f64 {
+        self.class_mean(false)
+    }
+
+    fn class_mean(&self, intra: bool) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0u64;
+        for s in 0..self.cores {
+            for r in 0..self.cores {
+                if s == r {
+                    continue;
+                }
+                let same = s / self.tiles_per_node == r / self.tiles_per_node;
+                if same == intra {
+                    sum += self.cycles[s][r] as f64;
+                    n += 1;
+                }
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+}
+
+/// Addresses of `iters` distinct cold lines homed at (node, slice).
+fn cold_lines(cfg: &Config, node: usize, slice: usize, iters: u64) -> Vec<u64> {
+    let tpn = cfg.tiles_per_node as u64;
+    let region = DRAM_BASE + node as u64 * cfg.params.bytes_per_node + 0x80_0000;
+    let base_idx = region >> 6;
+    // Adjust so (line index % tiles_per_node) == slice.
+    let adjust = (slice as u64 + tpn - base_idx % tpn) % tpn;
+    (0..iters).map(|k| (base_idx + adjust + k * tpn) << 6).collect()
+}
+
+/// Measures the round-trip latency from core `sender` to core `receiver`
+/// (global tile indices) in a fresh platform of shape `cfg`: the mean
+/// latency of `iters` cold loads homed at the receiver's LLC slice.
+pub fn measure_pair(cfg: &Config, sender: usize, receiver: usize, iters: u64) -> u64 {
+    let mut p = Platform::new(cfg.clone());
+    let tpn = cfg.tiles_per_node;
+    let lines = cold_lines(cfg, receiver / tpn, receiver % tpn, iters);
+    let ops: Vec<TraceOp> = lines.into_iter().map(TraceOp::Load).collect();
+    p.set_engine(sender / tpn, (sender % tpn) as u16, Box::new(TraceCore::new("probe", ops)));
+
+    let finished = |p: &Platform| {
+        p.node(sender / tpn)
+            .tile((sender % tpn) as u16)
+            .engine()
+            .as_any()
+            .downcast_ref::<TraceCore>()
+            .is_some_and(|c| c.finished_at().is_some())
+    };
+    assert!(
+        p.run_until(iters * 50_000 + 100_000, finished),
+        "latency probe from {sender} to {receiver} never finished"
+    );
+    let done = p
+        .node(sender / tpn)
+        .tile((sender % tpn) as u16)
+        .engine()
+        .as_any()
+        .downcast_ref::<TraceCore>()
+        .expect("trace core installed")
+        .finished_at()
+        .expect("finished checked");
+    done / iters
+}
+
+/// Builds the Fig 7 matrix. Measuring all pairs directly would mean
+/// thousands of platform runs; latencies depend only on the (sender node,
+/// receiver node, mesh distance) class, so we measure representative pairs
+/// and tile the matrix — the same two-level structure the paper's heatmap
+/// shows.
+pub fn latency_matrix(cfg: &Config, iters: u64) -> LatencyMatrix {
+    let tpn = cfg.tiles_per_node;
+    let nodes = cfg.total_nodes();
+    let cores = nodes * tpn;
+
+    // Intra-node latency at short and long mesh distance.
+    let intra_near = measure_pair(cfg, 0, 1, iters);
+    let intra_far = if tpn > 2 { measure_pair(cfg, 0, tpn - 1, iters) } else { intra_near };
+    let self_lat = measure_pair(cfg, 0, 0, iters);
+
+    // One representative pair per distinct node pair.
+    let mut node_pair = vec![vec![0u64; nodes]; nodes];
+    for i in 0..nodes {
+        for j in 0..nodes {
+            if i != j {
+                node_pair[i][j] = measure_pair(cfg, i * tpn, j * tpn + 1, iters);
+            }
+        }
+    }
+
+    let mut cycles = vec![vec![0u64; cores]; cores];
+    for s in 0..cores {
+        for r in 0..cores {
+            let (sn, rn) = (s / tpn, r / tpn);
+            cycles[s][r] = if s == r {
+                self_lat
+            } else if sn == rn {
+                // Interpolate by mesh distance within the node.
+                let d = (s % tpn).abs_diff(r % tpn).max(1);
+                let span = (tpn - 1).max(1);
+                intra_near + (intra_far.saturating_sub(intra_near)) * (d as u64 - 1) / span as u64
+            } else {
+                node_pair[sn][rn]
+            };
+        }
+    }
+    LatencyMatrix { cores, tiles_per_node: tpn, cycles }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intra_node_read_is_about_100_cycles() {
+        let cfg = Config::new(1, 1, 2);
+        let rt = measure_pair(&cfg, 0, 1, 10);
+        assert!(
+            (60..180).contains(&rt),
+            "intra-node round trip should be ~100 cycles, got {rt}"
+        );
+    }
+
+    #[test]
+    fn inter_node_read_pays_the_pcie_round_trip() {
+        let cfg = Config::new(2, 1, 2);
+        let intra = measure_pair(&cfg, 0, 1, 10);
+        let inter = measure_pair(&cfg, 0, 2, 10);
+        let delta = inter.saturating_sub(intra);
+        assert!(
+            (100..200).contains(&delta),
+            "inter-node ({inter}) minus intra ({intra}) should be ≈125 cycles"
+        );
+    }
+
+    #[test]
+    fn numa_ratio_matches_the_paper() {
+        let cfg = Config::new(2, 1, 2);
+        let m = latency_matrix(&cfg, 8);
+        let ratio = m.inter_node_mean() / m.intra_node_mean();
+        assert!(
+            (1.8..=3.5).contains(&ratio),
+            "paper reports ~2.5x; measured intra {:.0}, inter {:.0}",
+            m.intra_node_mean(),
+            m.inter_node_mean()
+        );
+    }
+
+    #[test]
+    fn cold_lines_home_where_requested() {
+        let cfg = Config::new(2, 1, 4);
+        let homing = smappic_coherence::Homing::new(cfg.homing_mode(), 2, 4);
+        for node in 0..2 {
+            for slice in 0..4u16 {
+                for addr in cold_lines(&cfg, node, slice as usize, 5) {
+                    assert_eq!(
+                        homing.home(addr, smappic_noc::NodeId(0)),
+                        smappic_noc::Gid::tile(smappic_noc::NodeId(node as u16), slice),
+                        "addr {addr:#x}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # smappic-workloads — the paper's benchmark workloads
+//!
+//! Everything the evaluation section runs, rebuilt on the simulated
+//! platform:
+//!
+//! - [`latency`] — the inter-core round-trip latency probe behind Fig 7's
+//!   heatmap (cache-line ping-pong between every pair of cores),
+//! - [`is_sort`] — the NPB Integer Sort (parallel bucket sort) used by
+//!   Fig 8 (thread scaling, NUMA on/off) and Fig 9 (thread pinning across
+//!   1–4 nodes),
+//! - [`gng`] — benchmark A ("Noise generator") and B ("Noise applier")
+//!   comparing software noise generation against the GNG accelerator with
+//!   1/2/4-sample fetches (Fig 10),
+//! - [`maple`] — SPMV/SPMM/SDHP/BFS kernels in single-thread, MAPLE, and
+//!   two-thread modes (Fig 11),
+//! - [`hello`] — the hello-world guest used by the quickstart and the
+//!   Verilator cost comparison (§4.5),
+//! - [`sync`] — barrier/flag building blocks for trace programs.
+//!
+//! Workload sizes are scaled down from the paper (documented deviation #4
+//! in DESIGN.md) and are parameters everywhere.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gng;
+pub mod hello;
+pub mod is_sort;
+pub mod latency;
+pub mod maple;
+pub mod sync;

@@ -1,0 +1,55 @@
+//! Synchronization building blocks for trace programs.
+
+use smappic_noc::Addr;
+use smappic_tile::TraceOp;
+
+/// Appends a sense-free barrier: atomically arrive at `counter`, then spin
+/// until all `threads × generation` arrivals are visible.
+///
+/// Each barrier instance uses a monotonically increasing target, so one
+/// counter word serves every phase of a program without reset races.
+///
+/// ```
+/// use smappic_workloads::sync::barrier;
+/// use smappic_tile::TraceOp;
+/// let mut ops = Vec::new();
+/// barrier(&mut ops, 0x8000_0000, 4, 1);
+/// assert!(matches!(ops[0], TraceOp::AmoAdd(0x8000_0000, 1)));
+/// assert!(matches!(ops[1], TraceOp::SpinUntilGe(0x8000_0000, 4)));
+/// ```
+pub fn barrier(ops: &mut Vec<TraceOp>, counter: Addr, threads: u64, generation: u64) {
+    ops.push(TraceOp::AmoAdd(counter, 1));
+    ops.push(TraceOp::SpinUntilGe(counter, threads * generation));
+}
+
+/// Appends a flag publication: store `value` at `flag` (release side).
+pub fn set_flag(ops: &mut Vec<TraceOp>, flag: Addr, value: u64) {
+    ops.push(TraceOp::StoreVal(flag, value));
+}
+
+/// Appends a flag wait (acquire side).
+pub fn wait_flag(ops: &mut Vec<TraceOp>, flag: Addr, value: u64) {
+    ops.push(TraceOp::SpinUntilEq(flag, value));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barrier_targets_scale_with_generation() {
+        let mut ops = Vec::new();
+        barrier(&mut ops, 0x100, 8, 3);
+        assert_eq!(ops[1], TraceOp::SpinUntilGe(0x100, 24));
+    }
+
+    #[test]
+    fn flag_helpers_compose() {
+        let mut w = Vec::new();
+        set_flag(&mut w, 0x200, 9);
+        let mut r = Vec::new();
+        wait_flag(&mut r, 0x200, 9);
+        assert_eq!(w[0], TraceOp::StoreVal(0x200, 9));
+        assert_eq!(r[0], TraceOp::SpinUntilEq(0x200, 9));
+    }
+}

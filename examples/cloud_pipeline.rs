@@ -1,0 +1,129 @@
+//! The §4.4 case study (Fig 12): the prototype as a first-class citizen of
+//! a cloud pipeline.
+//!
+//! The paper routes an HTTP request from AWS Lambda through a Nginx + PHP
+//! stack running *on the prototype*, which fetches data from S3 and
+//! returns it with a timestamp. We reproduce the pipeline with the same
+//! moving parts at model scale:
+//!
+//! - the "Lambda gateway" is host code forwarding the request over the
+//!   prototype's network link (the overclocked data UART, §3.4.1),
+//! - the "web server" is a guest program on the Ariane core that parses
+//!   the request line,
+//! - the "S3 fetch" is a read from the virtual SD card (§3.4.2), whose
+//!   disk image the host injected — out-of-band data storage, like S3,
+//! - the timestamp comes from the CLINT's mtime.
+//!
+//! ```sh
+//! cargo run --release --example cloud_pipeline
+//! ```
+
+use smappic::isa::assemble;
+use smappic::platform::{Config, Platform, CLINT_BASE, DRAM_BASE, SD_CTL_BASE, UART1_BASE};
+use smappic::tile::{ArianeConfig, ArianeCore};
+
+fn main() {
+    println!("== cloud pipeline: Lambda → prototype web server → S3 (Fig 12) ==\n");
+    let mut platform = Platform::new(Config::new(1, 1, 4));
+
+    // "S3": the host stores an object in the prototype's disk image.
+    let mut disk = vec![0u8; 512];
+    let object = b"cloud-object-v1";
+    disk[..object.len()].copy_from_slice(object);
+    platform.load_disk(0, &disk);
+
+    // The web server guest: read a request line from the data UART, fetch
+    // block 0 from the virtual SD card, reply with the object + mtime.
+    let guest = assemble(
+        &format!(
+            r#"
+            li   s0, {uart:#x}       # data UART
+            li   s1, {sd:#x}         # SD controller
+            li   s2, {clint:#x}      # CLINT
+            li   s3, {buf:#x}        # DMA buffer
+
+        # --- read the request until newline ---
+        read_req:
+            lw   t0, 0x14(s0)        # LSR
+            andi t0, t0, 1
+            beqz t0, read_req
+            lw   t1, 0(s0)           # RBR
+            li   t2, 10
+            bne  t1, t2, read_req
+
+        # --- "S3 fetch": read block 0 via the virtual SD card ---
+            sd   zero, 0(s1)         # LBA = 0
+            sd   s3, 8(s1)           # buffer
+            li   t0, 1
+            sd   t0, 16(s1)          # start
+        sd_wait:
+            ld   t0, 24(s1)          # status
+            bnez t0, sd_wait
+
+        # --- respond: "200 OK " + object + " @" + mtime + "\n" ---
+            la   t1, okmsg
+        puts1:
+            lbu  t2, 0(t1)
+            beqz t2, body
+            sw   t2, 0(s0)
+            addi t1, t1, 1
+            j    puts1
+        body:
+            mv   t1, s3
+        puts2:
+            lbu  t2, 0(t1)
+            beqz t2, stamp
+            sw   t2, 0(s0)
+            addi t1, t1, 1
+            j    puts2
+        stamp:
+            li   t2, 64              # '@'
+            sw   t2, 0(s0)
+            li   t6, 0xBFF8          # mtime register offset
+            add  t6, t6, s2
+            ld   t4, 0(t6)
+            # print mtime modulo 10 digits (low digit is enough proof)
+            li   t3, 10
+            remu t5, t4, t3
+            addi t5, t5, 48
+            sw   t5, 0(s0)
+            li   t2, 10              # newline
+            sw   t2, 0(s0)
+
+            li   a7, 93
+            li   a0, 0
+            ecall
+        okmsg:
+            .asciz "HTTP/1.1 200 OK: "
+        "#,
+            uart = UART1_BASE,
+            sd = SD_CTL_BASE,
+            clint = CLINT_BASE,
+            buf = DRAM_BASE + 0x30_0000,
+        ),
+        DRAM_BASE,
+    )
+    .expect("web server assembles");
+    platform.load_image(&guest);
+    let map = platform.addr_map(0);
+    platform.set_engine(0, 0, Box::new(ArianeCore::new(ArianeConfig::new(0, DRAM_BASE, map))));
+
+    // "Lambda": forward the HTTP request into the prototype's network link.
+    println!("lambda> forwarding \"GET /object HTTP/1.1\"");
+    platform.serial_mut(0).send(b"GET /object HTTP/1.1\n");
+
+    // Run the pipeline and collect the response at the gateway.
+    let mut response = Vec::new();
+    for _ in 0..400 {
+        platform.run(25_000);
+        response.extend(platform.serial_mut(0).take_output());
+        if response.ends_with(b"\n") {
+            break;
+        }
+    }
+    let text = String::from_utf8_lossy(&response);
+    println!("prototype> {text}");
+    assert!(text.starts_with("HTTP/1.1 200 OK: cloud-object-v1@"), "unexpected response: {text:?}");
+    println!("lambda> returning response to the client");
+    println!("ok ({} cycles of target time)", platform.now());
+}

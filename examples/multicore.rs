@@ -1,0 +1,120 @@
+//! Multicore RISC-V: four Ariane cores cooperating through the coherent
+//! memory system — an AMO-based barrier and a work-split parallel sum,
+//! all in real RV64IMA guest code.
+//!
+//! ```sh
+//! cargo run --release --example multicore
+//! ```
+
+use smappic::isa::assemble;
+use smappic::platform::{Config, Platform, DRAM_BASE};
+use smappic::tile::{ArianeConfig, ArianeCore};
+
+const CORES: u64 = 4;
+const N: u64 = 4096; // elements to sum
+
+fn main() {
+    println!("== parallel sum on {CORES} Ariane cores (1x1x4) ==\n");
+    let mut platform = Platform::new(Config::new(1, 1, 4));
+
+    // Shared layout.
+    let data = DRAM_BASE + 0x40_0000; // N×8 bytes of inputs
+    let partials = DRAM_BASE + 0x50_0000; // per-core partial sums (one line apart)
+    let arrived = DRAM_BASE + 0x51_0000; // barrier counter
+
+    // The host writes the input array: 1..=N, whose sum is N(N+1)/2.
+    let bytes: Vec<u8> = (1..=N).flat_map(|v| v.to_le_bytes()).collect();
+    platform.write_mem(data, &bytes);
+
+    // Each core sums its slice, publishes a partial, and arrives at the
+    // barrier with an amoadd; core 0 then reduces the partials.
+    for hart in 0..CORES {
+        let base = DRAM_BASE + hart * 0x1_0000;
+        let chunk = N / CORES;
+        let reduce = if hart == 0 {
+            format!(
+                r#"
+            wait_all:
+                ld   t0, 0(s4)
+                li   t1, {cores}
+                blt  t0, t1, wait_all
+                li   a0, 0
+                li   t2, 0
+            reduce:
+                slli t3, t2, 6        # partials are a line apart
+                add  t3, t3, s3
+                ld   t4, 0(t3)
+                add  a0, a0, t4
+                addi t2, t2, 1
+                blt  t2, t1, reduce
+            "#,
+                cores = CORES
+            )
+        } else {
+            "    li a0, 0\n".to_owned()
+        };
+        let src = format!(
+            r#"
+            li   s1, {slice:#x}      # my slice
+            li   s2, {chunk}         # my element count
+            li   s3, {partials:#x}
+            li   s4, {arrived:#x}
+            li   t0, 0               # sum
+        loop:
+            ld   t1, 0(s1)
+            add  t0, t0, t1
+            addi s1, s1, 8
+            addi s2, s2, -1
+            bnez s2, loop
+            # publish my partial (line-aligned slot)
+            li   t2, {hart}
+            slli t2, t2, 6
+            add  t2, t2, s3
+            sd   t0, 0(t2)
+            fence
+            # arrive
+            li   t3, 1
+            amoadd.d zero, t3, (s4)
+            {reduce}
+            li   a7, 93
+            ecall
+            "#,
+            slice = data + hart * (N / CORES) * 8,
+            chunk = chunk,
+            partials = partials,
+            arrived = arrived,
+            hart = hart,
+            reduce = reduce,
+        );
+        let img = assemble(&src, base).expect("worker assembles");
+        platform.load_image(&img);
+        let map = platform.addr_map(0);
+        platform.set_engine(
+            0,
+            hart as u16,
+            Box::new(ArianeCore::new(ArianeConfig::new(hart, base, map))),
+        );
+    }
+
+    let all_halted = |p: &Platform| {
+        (0..CORES).all(|h| {
+            p.node(0)
+                .tile(h as u16)
+                .engine()
+                .as_any()
+                .downcast_ref::<ArianeCore>()
+                .is_some_and(|c| c.exit_code().is_some())
+        })
+    };
+    assert!(platform.run_until(50_000_000, all_halted), "workers never finished");
+
+    let core0 = platform.node(0).tile(0).engine().as_any().downcast_ref::<ArianeCore>().unwrap();
+    let total = core0.exit_code().unwrap();
+    let expected = N * (N + 1) / 2;
+    println!("sum(1..={N}) across {CORES} cores = {total} (expected {expected})");
+    println!("finished in {} cycles ({:.2} ms of 100 MHz target time)", platform.now(), platform.modeled_seconds() * 1e3);
+    let (br, miss) = core0.branch_stats();
+    println!("core 0 branch prediction: {miss}/{br} mispredicted");
+    assert_eq!(total, expected);
+    println!("ok");
+}

@@ -1,0 +1,109 @@
+//! Quickstart: build a 1x1x2 SMAPPIC prototype, run a RISC-V guest on it,
+//! and read its console output from the host's virtual serial device.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use smappic::isa::assemble;
+use smappic::platform::{Config, Platform, DRAM_BASE, UART0_BASE};
+use smappic::tile::{ArianeConfig, ArianeCore};
+
+fn main() {
+    // 1. Describe the prototype in the paper's AxBxC notation:
+    //    1 FPGA × 1 node × 2 tiles.
+    let config = Config::new(1, 1, 2);
+    println!("building a {} prototype ({} cores)...", config.notation(), config.total_tiles());
+    let mut platform = Platform::new(config);
+
+    // 2. Write a guest program. This one computes 10! and prints it in
+    //    decimal over the console UART, then halts.
+    let guest = assemble(
+        &format!(
+            r#"
+            # compute 10!
+            li   a0, 1
+            li   t0, 10
+        fact:
+            mul  a0, a0, t0
+            addi t0, t0, -1
+            bnez t0, fact
+
+            # print "10! = " then a0 in decimal
+            li   s0, {uart:#x}
+            la   t1, prefix
+        puts:
+            lbu  t2, 0(t1)
+            beqz t2, print_num
+            sw   t2, 0(s0)
+            addi t1, t1, 1
+            j    puts
+
+        print_num:
+            # decimal conversion onto the stack
+            li   sp, {stack:#x}
+            li   t3, 10
+            mv   t4, a0
+            li   t5, 0          # digit count
+        digits:
+            remu t6, t4, t3
+            addi t6, t6, 48     # '0'
+            addi sp, sp, -8
+            sd   t6, 0(sp)
+            addi t5, t5, 1
+            divu t4, t4, t3
+            bnez t4, digits
+        emit:
+            ld   t6, 0(sp)
+            addi sp, sp, 8
+            sw   t6, 0(s0)
+            addi t5, t5, -1
+            bnez t5, emit
+            li   t6, 10         # newline
+            sw   t6, 0(s0)
+
+            li   a7, 93
+            li   a0, 0
+            ecall
+        prefix:
+            .asciz "10! = "
+        "#,
+            uart = UART0_BASE,
+            stack = DRAM_BASE + 0x8_0000,
+        ),
+        DRAM_BASE,
+    )
+    .expect("guest assembles");
+
+    // 3. Load it over the host's PCIe backdoor and install an Ariane core.
+    platform.load_image(&guest);
+    let addr_map = platform.addr_map(0);
+    platform.set_engine(0, 0, Box::new(ArianeCore::new(ArianeConfig::new(0, DRAM_BASE, addr_map))));
+
+    // 4. Run until the guest halts, then drain the virtual serial device.
+    let halted = |p: &Platform| {
+        p.node(0)
+            .tile(0)
+            .engine()
+            .as_any()
+            .downcast_ref::<ArianeCore>()
+            .is_some_and(|c| c.exit_code().is_some())
+    };
+    assert!(platform.run_until(10_000_000, halted), "guest did not halt");
+    println!("guest halted after {} cycles ({:.3} ms of 100 MHz target time)",
+        platform.now(),
+        platform.modeled_seconds() * 1e3
+    );
+
+    let mut console = Vec::new();
+    for _ in 0..50 {
+        platform.run(20_000);
+        console.extend(platform.console_mut(0).take_output());
+        if console.ends_with(b"\n") {
+            break;
+        }
+    }
+    print!("console> {}", String::from_utf8_lossy(&console));
+    assert_eq!(String::from_utf8_lossy(&console), "10! = 3628800\n");
+    println!("ok");
+}

@@ -1,0 +1,201 @@
+//! Device-stack integration: UART RX through the PLIC's claim/complete
+//! protocol, guest SD boot flow, and the virtual serial network.
+
+use smappic::isa::assemble;
+use smappic::platform::{Config, Platform, DRAM_BASE, PLIC_BASE, SD_CTL_BASE, UART0_BASE};
+use smappic::tile::{ArianeConfig, ArianeCore};
+
+fn exit_code(p: &Platform, tile: u16) -> Option<u64> {
+    p.node(0)
+        .tile(tile)
+        .engine()
+        .as_any()
+        .downcast_ref::<ArianeCore>()
+        .and_then(|c| c.exit_code())
+}
+
+/// The full interrupt-driven console input path: the host types a byte,
+/// the UART raises its RX wire, the PLIC latches and routes it, the
+/// packetizer delivers mip.MEIP as a NoC packet, the guest's handler
+/// claims the source, reads the byte, completes — and echoes it back.
+#[test]
+fn interrupt_driven_uart_echo_through_the_plic() {
+    let mut p = Platform::new(Config::new(1, 1, 1));
+    let guest = assemble(
+        &format!(
+            r#"
+            li   s0, {uart:#x}
+            li   s1, {plic:#x}
+            # PLIC: priority[1] = 1, enable source 1 for hart 0
+            li   t0, 1
+            sw   t0, 4(s1)
+            li   t1, 0x2000
+            add  t1, t1, s1
+            li   t0, 2              # bit for source 1
+            sw   t0, 0(t1)
+            # UART: enable RX interrupt (IER bit 0)
+            li   t0, 1
+            sw   t0, 4(s0)
+            # take interrupts
+            la   t0, handler
+            csrw mtvec, t0
+            li   t0, 0x800          # MEIE
+            csrw mie, t0
+            li   t0, 8
+            csrs mstatus, t0
+        idle:
+            wfi
+            j    idle
+        handler:
+            # claim
+            li   t2, 0x200004
+            add  t2, t2, s1
+            lw   t3, 0(t2)          # claim register -> source id
+            # read the byte and echo it
+            lw   t4, 0(s0)
+            sw   t4, 0(s0)
+            # complete
+            sw   t3, 0(t2)
+            # if the byte was '!', halt
+            li   t5, 33
+            bne  t4, t5, back
+            li   a7, 93
+            li   a0, 55
+            ecall
+        back:
+            mret
+        "#,
+            uart = UART0_BASE,
+            plic = PLIC_BASE,
+        ),
+        DRAM_BASE,
+    )
+    .expect("assembles");
+    p.load_image(&guest);
+    let map = p.addr_map(0);
+    p.set_engine(0, 0, Box::new(ArianeCore::new(ArianeConfig::new(0, DRAM_BASE, map))));
+
+    // Let the guest set up, then type.
+    p.run(200_000);
+    p.console_mut(0).send(b"hi!");
+    assert!(
+        p.run_until(10_000_000, |p| exit_code(p, 0).is_some()),
+        "guest never saw the '!' byte"
+    );
+    assert_eq!(exit_code(&p, 0), Some(55));
+    // The echo made it back to the host (drain at baud rate).
+    let mut echoed = Vec::new();
+    for _ in 0..60 {
+        p.run(10_000);
+        echoed.extend(p.console_mut(0).take_output());
+        if echoed.len() >= 3 {
+            break;
+        }
+    }
+    assert_eq!(String::from_utf8_lossy(&echoed), "hi!");
+}
+
+/// Boot-from-disk flow: the host injects a disk image whose block 0 holds
+/// a magic string; the guest reads it through the SD controller and
+/// verifies it — the §3.4.2 mechanism Linux's filesystem relies on.
+#[test]
+fn guest_reads_the_host_injected_disk_image() {
+    let mut p = Platform::new(Config::new(1, 1, 2));
+    let mut disk = vec![0u8; 1024];
+    disk[512..520].copy_from_slice(b"SMAPPIC!"); // block 1
+    p.load_disk(0, &disk);
+
+    let buf = DRAM_BASE + 0x10_0000;
+    let guest = assemble(
+        &format!(
+            r#"
+            li   s1, {sd:#x}
+            li   t0, 1
+            sd   t0, 0(s1)          # LBA 1
+            li   t1, {buf:#x}
+            sd   t1, 8(s1)          # buffer
+            li   t0, 1
+            sd   t0, 16(s1)         # start
+        wait:
+            ld   t0, 24(s1)
+            bnez t0, wait
+            li   t1, {buf:#x}
+            ld   a0, 0(t1)          # first 8 bytes of block 1
+            li   a7, 93
+            ecall
+        "#,
+            sd = SD_CTL_BASE,
+            buf = buf,
+        ),
+        DRAM_BASE,
+    )
+    .expect("assembles");
+    p.load_image(&guest);
+    let map = p.addr_map(0);
+    p.set_engine(0, 0, Box::new(ArianeCore::new(ArianeConfig::new(0, DRAM_BASE, map))));
+    assert!(p.run_until(10_000_000, |p| exit_code(p, 0).is_some()));
+    assert_eq!(
+        exit_code(&p, 0),
+        Some(u64::from_le_bytes(*b"SMAPPIC!")),
+        "block contents must round-trip through the virtual SD card"
+    );
+}
+
+/// The overclocked data UART moves bytes ~8x faster than the console — the
+/// property that makes it usable as a network link (§3.4.1).
+#[test]
+fn data_uart_is_faster_than_console_uart() {
+    let mut p = Platform::new(Config::new(1, 1, 1));
+    // Push the same payload out both UARTs from the host side... the guest
+    // transmits; measure drain time per UART via a guest that writes 32
+    // bytes to each and the host timing arrival.
+    let guest = assemble(
+        &format!(
+            r#"
+            li   s0, {u0:#x}
+            li   s1, {u1:#x}
+            li   t0, 32
+        tx:
+            li   t1, 65
+            sw   t1, 0(s0)
+            sw   t1, 0(s1)
+            addi t0, t0, -1
+            bnez t0, tx
+            li   a7, 93
+            li   a0, 0
+            ecall
+        "#,
+            u0 = UART0_BASE,
+            u1 = smappic::platform::UART1_BASE,
+        ),
+        DRAM_BASE,
+    )
+    .unwrap();
+    p.load_image(&guest);
+    let map = p.addr_map(0);
+    p.set_engine(0, 0, Box::new(ArianeCore::new(ArianeConfig::new(0, DRAM_BASE, map))));
+    let mut t_console = None;
+    let mut t_data = None;
+    let mut got0 = 0;
+    let mut got1 = 0;
+    for _ in 0..1_000 {
+        p.run(5_000);
+        got0 += p.console_mut(0).take_output().len();
+        got1 += p.serial_mut(0).take_output().len();
+        if got1 >= 32 && t_data.is_none() {
+            t_data = Some(p.now());
+        }
+        if got0 >= 32 && t_console.is_none() {
+            t_console = Some(p.now());
+        }
+        if t_console.is_some() && t_data.is_some() {
+            break;
+        }
+    }
+    let (tc, td) = (t_console.expect("console drained"), t_data.expect("data drained"));
+    assert!(
+        tc > td * 3,
+        "console (115200 baud, {tc} cycles) must be much slower than the \
+         overclocked data UART ({td} cycles)"
+    );
+}

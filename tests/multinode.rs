@@ -1,0 +1,281 @@
+//! Multi-node integration: the Fig 1 configuration family, independent
+//! nodes (§4.5), interrupts across the packetizer, and multicore RISC-V
+//! synchronization through the coherent hierarchy.
+
+use smappic::isa::assemble;
+use smappic::platform::{Config, Platform, CLINT_BASE, DRAM_BASE};
+use smappic::tile::{ArianeConfig, ArianeCore, TraceCore, TraceOp};
+
+fn trace_done(p: &Platform, node: usize, tile: u16) -> bool {
+    p.node(node)
+        .tile(tile)
+        .engine()
+        .as_any()
+        .downcast_ref::<TraceCore>()
+        .is_some_and(|c| c.finished_at().is_some())
+}
+
+fn ariane_exit(p: &Platform, node: usize, tile: u16) -> Option<u64> {
+    p.node(node)
+        .tile(tile)
+        .engine()
+        .as_any()
+        .downcast_ref::<ArianeCore>()
+        .and_then(|c| c.exit_code())
+}
+
+/// Every configuration of Fig 1 builds and runs a store/load on each node.
+#[test]
+fn fig1_configuration_family_builds_and_runs() {
+    for (a, b, c) in [(1, 1, 12), (1, 4, 2), (4, 1, 12), (4, 4, 2)] {
+        let cfg = Config::new(a, b, c);
+        let nodes = cfg.total_nodes();
+        let mut p = Platform::new(cfg);
+        for g in 0..nodes {
+            let addr = DRAM_BASE + (g as u64) * p.config().params.bytes_per_node + 0x40;
+            p.set_engine(
+                g,
+                0,
+                Box::new(TraceCore::new(
+                    format!("n{g}"),
+                    vec![TraceOp::StoreVal(addr, g as u64 + 1), TraceOp::Load(addr)],
+                )),
+            );
+        }
+        let done = move |p: &Platform| (0..nodes).all(|g| trace_done(p, g, 0));
+        assert!(p.run_until(5_000_000, done), "{a}x{b}x{c} stalled");
+        for g in 0..nodes {
+            let core = p.node(g).tile(0).engine().as_any().downcast_ref::<TraceCore>().unwrap();
+            assert_eq!(core.last_load(), g as u64 + 1, "{a}x{b}x{c} node {g}");
+        }
+    }
+}
+
+/// §4.5: the 1x4x2 independent-node packing — four separate prototypes in
+/// one FPGA, each with its own address space (the same addresses hold
+/// different data per node).
+#[test]
+fn independent_nodes_are_isolated_systems() {
+    let cfg = Config::new(1, 4, 2).independent_nodes();
+    let mut p = Platform::new(cfg);
+    let addr = DRAM_BASE + 0x100;
+    for g in 0..4 {
+        // Every node writes a node-specific value to the SAME address.
+        p.set_engine(
+            g,
+            0,
+            Box::new(TraceCore::new(
+                format!("w{g}"),
+                vec![
+                    TraceOp::StoreVal(addr, 1000 + g as u64),
+                    TraceOp::Compute(500),
+                    TraceOp::Load(addr),
+                ],
+            )),
+        );
+    }
+    let done = |p: &Platform| (0..4).all(|g| trace_done(p, g, 0));
+    assert!(p.run_until(5_000_000, done));
+    for g in 0..4 {
+        let core = p.node(g).tile(0).engine().as_any().downcast_ref::<TraceCore>().unwrap();
+        assert_eq!(
+            core.last_load(),
+            1000 + g as u64,
+            "node {g} must see its own value, not a neighbour's"
+        );
+    }
+}
+
+/// CLINT timer interrupt end-to-end: guest programs mtimecmp, enables the
+/// timer interrupt, WFIs; the packetizer delivers the wire change as a NoC
+/// packet and the depacketizer wakes the core into its handler (§3.3).
+#[test]
+fn clint_timer_interrupt_wakes_wfi_through_the_packetizer() {
+    let mut p = Platform::new(Config::new(1, 1, 2));
+    let img = assemble(
+        &format!(
+            r#"
+            la   t0, handler
+            csrw mtvec, t0
+            # mtimecmp[0] = mtime + 2000
+            li   s0, {clint:#x}
+            li   t1, 0xBFF8
+            add  t1, t1, s0
+            ld   t2, 0(t1)          # mtime
+            li   t3, 2000
+            add  t2, t2, t3
+            li   t4, 0x4000
+            add  t4, t4, s0
+            sd   t2, 0(t4)          # mtimecmp[0]
+            li   t5, 0x80           # MTIE
+            csrw mie, t5
+            li   t5, 8              # mstatus.MIE
+            csrs mstatus, t5
+            wfi
+            li   a7, 93
+            li   a0, 1              # fell through: no interrupt
+            ecall
+        handler:
+            csrr a1, mcause
+            li   a7, 93
+            li   a0, 42
+            ecall
+        "#,
+            clint = CLINT_BASE,
+        ),
+        DRAM_BASE,
+    )
+    .expect("assembles");
+    p.load_image(&img);
+    let map = p.addr_map(0);
+    p.set_engine(0, 0, Box::new(ArianeCore::new(ArianeConfig::new(0, DRAM_BASE, map))));
+    assert!(
+        p.run_until(1_000_000, |p| ariane_exit(p, 0, 0).is_some()),
+        "guest never halted"
+    );
+    assert_eq!(ariane_exit(&p, 0, 0), Some(42), "timer interrupt must reach the handler");
+    let core = p.node(0).tile(0).engine().as_any().downcast_ref::<ArianeCore>().unwrap();
+    assert_eq!(
+        core.hart().reg(11),
+        7 | (1 << 63),
+        "mcause must be machine timer interrupt"
+    );
+}
+
+/// Software interrupts (IPIs) via the CLINT's MSIP registers: hart 0 kicks
+/// hart 1 out of WFI.
+#[test]
+fn msip_ipi_crosses_the_node() {
+    let mut p = Platform::new(Config::new(1, 1, 2));
+    // Hart 1: enable MSI, wfi, report.
+    let receiver = assemble(
+        r#"
+        recv:
+            la   t0, handler
+            csrw mtvec, t0
+            li   t1, 8              # MSIE
+            csrw mie, t1
+            li   t1, 8
+            csrs mstatus, t1
+            wfi
+            li   a7, 93
+            li   a0, 1
+            ecall
+        handler:
+            li   a7, 93
+            li   a0, 77
+            ecall
+        "#,
+        DRAM_BASE + 0x1_0000,
+    )
+    .unwrap();
+    // Hart 0: wait a while, then write MSIP[1].
+    let sender = assemble(
+        &format!(
+            r#"
+            li   t0, 3000
+        spinwait:
+            addi t0, t0, -1
+            bnez t0, spinwait
+            li   t1, {clint:#x}
+            li   t2, 1
+            sw   t2, 4(t1)          # MSIP[hart 1]
+            li   a7, 93
+            li   a0, 0
+            ecall
+        "#,
+            clint = CLINT_BASE,
+        ),
+        DRAM_BASE,
+    )
+    .unwrap();
+    p.load_image(&sender);
+    p.load_image(&receiver);
+    let map0 = p.addr_map(0);
+    let map1 = p.addr_map(0);
+    p.set_engine(0, 0, Box::new(ArianeCore::new(ArianeConfig::new(0, DRAM_BASE, map0))));
+    p.set_engine(0, 1, Box::new(ArianeCore::new(ArianeConfig::new(1, DRAM_BASE + 0x1_0000, map1))));
+    assert!(
+        p.run_until(2_000_000, |p| ariane_exit(p, 0, 1).is_some()),
+        "receiver never halted"
+    );
+    assert_eq!(ariane_exit(&p, 0, 1), Some(77), "IPI must wake the receiver into its handler");
+}
+
+/// Two Ariane cores increment a shared counter under an LR/SC spinlock —
+/// real RV64A code through the full coherent hierarchy.
+#[test]
+fn lr_sc_spinlock_across_two_ariane_cores() {
+    let mut p = Platform::new(Config::new(1, 1, 2));
+    let lock = DRAM_BASE + 0x20_0000;
+    let counter = lock + 64;
+    let done0 = counter + 64;
+    let worker = |hart: u64, base: u64, done_flag: u64| {
+        assemble(
+            &format!(
+                r#"
+                li   s0, {lock:#x}
+                li   s1, {counter:#x}
+                li   s2, 100         # iterations
+            outer:
+            acquire:
+                lr.d t0, (s0)
+                bnez t0, acquire     # held: retry
+                li   t1, 1
+                sc.d t2, t1, (s0)
+                bnez t2, acquire     # lost the race: retry
+                # critical section: counter += 1 (plain ld/sd!)
+                ld   t3, 0(s1)
+                addi t3, t3, 1
+                sd   t3, 0(s1)
+                # release
+                sd   zero, 0(s0)
+                addi s2, s2, -1
+                bnez s2, outer
+                li   t4, {done:#x}
+                li   t5, 1
+                sd   t5, 0(t4)
+                li   a7, 93
+                li   a0, {hart}
+                ecall
+            "#,
+                lock = lock,
+                counter = counter,
+                done = done_flag,
+                hart = hart,
+            ),
+            base,
+        )
+        .unwrap()
+    };
+    let img0 = worker(0, DRAM_BASE, done0);
+    let img1 = worker(1, DRAM_BASE + 0x1_0000, done0 + 8);
+    p.load_image(&img0);
+    p.load_image(&img1);
+    let m0 = p.addr_map(0);
+    let m1 = p.addr_map(0);
+    p.set_engine(0, 0, Box::new(ArianeCore::new(ArianeConfig::new(0, DRAM_BASE, m0))));
+    p.set_engine(0, 1, Box::new(ArianeCore::new(ArianeConfig::new(1, DRAM_BASE + 0x1_0000, m1))));
+    assert!(
+        p.run_until(20_000_000, |p| {
+            ariane_exit(p, 0, 0).is_some() && ariane_exit(p, 0, 1).is_some()
+        }),
+        "spinlock workers never finished"
+    );
+    // Both finished; the counter must be exactly 200 — no lost updates
+    // through the LR/SC + plain-store critical section.
+    p.run_until_idle(1_000_000);
+    let mut probe = Platform::new(Config::new(1, 1, 1));
+    let _ = &mut probe; // (the counter lives in dirty cache lines; read it
+                        // architecturally through a third guest instead)
+    let reader = assemble(
+        &format!("li t0, {counter:#x}\nld a0, 0(t0)\nli a7, 93\necall"),
+        DRAM_BASE + 0x2_0000,
+    )
+    .unwrap();
+    p.load_image(&reader);
+    let m = p.addr_map(0);
+    p.set_engine(0, 0, Box::new(ArianeCore::new(ArianeConfig::new(0, DRAM_BASE + 0x2_0000, m))));
+    assert!(p.run_until(5_000_000, |p| ariane_exit(p, 0, 0).is_some()));
+    assert_eq!(ariane_exit(&p, 0, 0), Some(200), "lost updates under the spinlock");
+}

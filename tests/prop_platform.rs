@@ -1,0 +1,131 @@
+//! Property tests over the whole platform: coherence invariants under
+//! randomized multi-core workloads and arbitrary prototype shapes.
+
+use proptest::prelude::*;
+use smappic::platform::{Config, Platform, DRAM_BASE};
+use smappic::sim::SimRng;
+use smappic::tile::{TraceCore, TraceOp};
+
+fn all_done(p: &Platform, cores: &[(usize, u16)]) -> bool {
+    cores.iter().all(|&(n, t)| {
+        p.node(n)
+            .tile(t)
+            .engine()
+            .as_any()
+            .downcast_ref::<TraceCore>()
+            .is_some_and(|c| c.finished_at().is_some())
+    })
+}
+
+proptest! {
+    // Whole-platform cases are expensive; keep the case count moderate.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Atomic increments from every core are never lost, whatever the
+    /// shape of the prototype and the contention pattern.
+    #[test]
+    fn amo_increments_are_never_lost(
+        fpgas in 1usize..=2,
+        tiles in 1usize..=4,
+        incs in 1u64..40,
+        seed in any::<u64>(),
+    ) {
+        let cfg = Config::new(fpgas, 1, tiles);
+        let total_cores = cfg.total_tiles();
+        let counter = DRAM_BASE + 0x9000;
+        let done_ctr = DRAM_BASE + 0x9040;
+        let mut p = Platform::new(cfg);
+        let mut rng = SimRng::new(seed);
+        let mut cores = Vec::new();
+        for g in 0..total_cores {
+            let (node, tile) = (g / tiles, (g % tiles) as u16);
+            let mut ops = Vec::new();
+            for _ in 0..incs {
+                // Random pauses vary the interleavings.
+                if rng.chance(0.3) {
+                    ops.push(TraceOp::Compute(rng.gen_range(40) + 1));
+                }
+                ops.push(TraceOp::AmoAdd(counter, 1));
+            }
+            ops.push(TraceOp::AmoAdd(done_ctr, 1));
+            if g == 0 {
+                ops.push(TraceOp::SpinUntilGe(done_ctr, total_cores as u64));
+                ops.push(TraceOp::Load(counter));
+            }
+            cores.push((node, tile));
+            p.set_engine(node, tile, Box::new(TraceCore::new(format!("c{g}"), ops)));
+        }
+        let cores2 = cores.clone();
+        let finished = p.run_until(40_000_000, move |p| all_done(p, &cores2));
+        prop_assert!(finished, "deadlock under random contention");
+        let reader = p.node(0).tile(0).engine().as_any().downcast_ref::<TraceCore>().unwrap();
+        prop_assert_eq!(reader.last_load(), total_cores as u64 * incs);
+    }
+
+    /// Per-core private data written through the coherent hierarchy reads
+    /// back intact, even when address sets of different cores share lines'
+    /// homes and evict each other from the LLC.
+    #[test]
+    fn private_data_survives_contention(
+        tiles in 2usize..=4,
+        words in 1usize..64,
+        seed in any::<u64>(),
+    ) {
+        let cfg = Config::new(1, 1, tiles);
+        let mut p = Platform::new(cfg);
+        let mut rng = SimRng::new(seed | 1);
+        let mut cores = Vec::new();
+        let mut expected = Vec::new();
+        for t in 0..tiles {
+            // Strided region per core; strides collide in LLC sets.
+            let base = DRAM_BASE + 0x10_0000 + (t as u64) * 8 * 1024;
+            let vals: Vec<u64> = (0..words).map(|_| rng.next_u64()).collect();
+            let mut ops = Vec::new();
+            for (i, &v) in vals.iter().enumerate() {
+                ops.push(TraceOp::StoreVal(base + i as u64 * 1024, v));
+            }
+            // Read everything back after touching a conflicting range.
+            for i in 0..words {
+                ops.push(TraceOp::Load(base + i as u64 * 1024));
+            }
+            expected.push((base, vals));
+            cores.push((0usize, t as u16));
+            p.set_engine(0, t as u16, Box::new(TraceCore::new(format!("w{t}"), ops)));
+        }
+        let cores2 = cores.clone();
+        prop_assert!(p.run_until(40_000_000, move |p| all_done(p, &cores2)), "hang");
+        // The last load of each core must be its own last value.
+        for (t, (_, vals)) in expected.iter().enumerate() {
+            let c = p.node(0).tile(t as u16).engine().as_any().downcast_ref::<TraceCore>().unwrap();
+            prop_assert_eq!(c.last_load(), *vals.last().unwrap(), "core {}", t);
+        }
+    }
+
+    /// Release/acquire through a flag always publishes the payload, at any
+    /// inter-node distance.
+    #[test]
+    fn message_passing_is_causal(
+        fpgas in 1usize..=2,
+        payload in any::<u64>(),
+        delay in 0u64..200,
+    ) {
+        let cfg = Config::new(fpgas, 1, 2);
+        let mut p = Platform::new(cfg);
+        let flag = DRAM_BASE + 0xA000;
+        let data = DRAM_BASE + 0xA040;
+        p.set_engine(0, 0, Box::new(TraceCore::new("w", vec![
+            TraceOp::Compute(delay + 1),
+            TraceOp::StoreVal(data, payload),
+            TraceOp::StoreVal(flag, 1),
+        ])));
+        let reader_node = fpgas - 1; // farthest node
+        p.set_engine(reader_node, 1, Box::new(TraceCore::new("r", vec![
+            TraceOp::SpinUntilEq(flag, 1),
+            TraceOp::Load(data),
+        ])));
+        let done = move |p: &Platform| all_done(p, &[(reader_node, 1)]);
+        prop_assert!(p.run_until(20_000_000, done), "reader never saw the flag");
+        let r = p.node(reader_node).tile(1).engine().as_any().downcast_ref::<TraceCore>().unwrap();
+        prop_assert_eq!(r.last_load(), payload);
+    }
+}
