@@ -24,4 +24,7 @@ mod gng;
 mod maple;
 
 pub use gng::{gng_reference, Gng, Tausworthe, GNG_FETCH_OFFSET};
-pub use maple::{Maple, MapleMode, MAPLE_REG_BASE_A, MAPLE_REG_BASE_B, MAPLE_REG_COUNT, MAPLE_REG_MODE, MAPLE_REG_QUEUE, MAPLE_REG_START, MAPLE_REG_STATUS, MAPLE_REG_STRIDE};
+pub use maple::{
+    Maple, MapleMode, MAPLE_REG_BASE_A, MAPLE_REG_BASE_B, MAPLE_REG_COUNT, MAPLE_REG_MODE,
+    MAPLE_REG_QUEUE, MAPLE_REG_START, MAPLE_REG_STATUS, MAPLE_REG_STRIDE,
+};

@@ -211,17 +211,15 @@ impl Engine for Maple {
                 MAPLE_REG_BASE_B => self.base_b = data,
                 MAPLE_REG_COUNT => self.count = data,
                 MAPLE_REG_STRIDE => self.stride = data.max(1),
-                MAPLE_REG_START => {
-                    if data != 0 {
-                        self.running = true;
-                        self.next_slot = 0;
-                        self.next_release = 0;
-                        self.popped = 0;
-                        self.inflight.clear();
-                        self.retry.clear();
-                        self.done.clear();
-                        self.queue.clear();
-                    }
+                MAPLE_REG_START if data != 0 => {
+                    self.running = true;
+                    self.next_slot = 0;
+                    self.next_release = 0;
+                    self.popped = 0;
+                    self.inflight.clear();
+                    self.retry.clear();
+                    self.done.clear();
+                    self.queue.clear();
                 }
                 _ => {}
             }

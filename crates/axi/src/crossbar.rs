@@ -76,10 +76,7 @@ impl Crossbar {
 
     /// Decodes `addr` to a slave index.
     pub fn decode(&self, addr: u64) -> Option<usize> {
-        self.ranges
-            .iter()
-            .find(|(b, s, _)| addr >= *b && addr < b + s)
-            .map(|&(_, _, slave)| slave)
+        self.ranges.iter().find(|(b, s, _)| addr >= *b && addr < b + s).map(|&(_, _, slave)| slave)
     }
 
     /// Master `m` submits a request. Errors with the request when the input

@@ -81,6 +81,50 @@ impl PcieLink {
         self.b_to_a.pop_ready(now)
     }
 
+    /// The configured one-way propagation latency in cycles.
+    ///
+    /// This is the link's *lookahead*: an item entering the link at cycle
+    /// `t` cannot emerge before `t + one_way_latency()`, so two FPGAs joined
+    /// by this link can be simulated independently for that many cycles.
+    pub fn one_way_latency(&self) -> Cycle {
+        self.a_to_b.latency()
+    }
+
+    /// The earliest cycle at which either direction delivers its oldest
+    /// in-flight item, or [`None`] when the link is empty. Part of the
+    /// platform's idle-skip scan.
+    pub fn next_delivery_at(&self) -> Option<Cycle> {
+        match (self.a_to_b.front_ready_at(), self.b_to_a.front_ready_at()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Drains every item headed for B that matures strictly before
+    /// `horizon`, with its exact delivery cycle, oldest first.
+    ///
+    /// Epoch extraction for the parallel stepper: at an epoch barrier the
+    /// platform pulls out everything the next epoch will deliver so the
+    /// receiving FPGA's worker can replay the deliveries cycle-accurately
+    /// without touching the (shared) link.
+    pub fn take_to_b_before(&mut self, horizon: Cycle) -> Vec<(Cycle, PcieItem)> {
+        let mut out = Vec::new();
+        while let Some(entry) = self.a_to_b.pop_before(horizon) {
+            out.push(entry);
+        }
+        out
+    }
+
+    /// Drains every item headed for A maturing strictly before `horizon`;
+    /// see [`PcieLink::take_to_b_before`].
+    pub fn take_to_a_before(&mut self, horizon: Cycle) -> Vec<(Cycle, PcieItem)> {
+        let mut out = Vec::new();
+        while let Some(entry) = self.b_to_a.pop_before(horizon) {
+            out.push(entry);
+        }
+        out
+    }
+
     /// True when nothing is in flight in either direction.
     pub fn is_idle(&self) -> bool {
         self.a_to_b.is_empty() && self.b_to_a.is_empty()

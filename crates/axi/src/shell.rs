@@ -193,7 +193,10 @@ mod tests {
         for f in 0..8 {
             let base = HardShell::fpga_window(f);
             assert_eq!(HardShell::window_offset(f, base), Some(0));
-            assert_eq!(HardShell::window_offset(f, base + FPGA_WINDOW_SIZE - 1), Some(FPGA_WINDOW_SIZE - 1));
+            assert_eq!(
+                HardShell::window_offset(f, base + FPGA_WINDOW_SIZE - 1),
+                Some(FPGA_WINDOW_SIZE - 1)
+            );
             if f > 0 {
                 assert_eq!(HardShell::window_offset(f, base - 1), None);
             }

@@ -197,10 +197,7 @@ mod tests {
         assert_eq!(AxiReq::Read(AxiRead::new(0, 64, 0)).wire_bytes(), 8);
         assert_eq!(AxiReq::Write(AxiWrite::new(0, vec![0; 24], 0)).wire_bytes(), 32);
         assert_eq!(AxiResp::Write(AxiWriteResp { id: 0, ok: true }).wire_bytes(), 8);
-        assert_eq!(
-            AxiResp::Read(AxiReadResp { id: 0, data: vec![0; 64] }).wire_bytes(),
-            72
-        );
+        assert_eq!(AxiResp::Read(AxiReadResp { id: 0, data: vec![0; 64] }).wire_bytes(), 72);
     }
 
     #[test]

@@ -1,9 +1,7 @@
 //! Ablation benches for the design choices DESIGN.md calls out:
 //! homing policy and inter-node link latency.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
+use smappic_bench::microbench::Runner;
 use smappic_coherence::HomingMode;
 use smappic_core::{Config, Platform, DRAM_BASE};
 use smappic_tile::{TraceCore, TraceOp};
@@ -32,42 +30,36 @@ fn run_working_set(cfg: Config) -> u64 {
 
 /// Homing ablation: SMAPPIC's partitioned homing vs line-striping vs
 /// BYOC-style node-local homing, same workload.
-fn bench_homing(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_homing");
-    g.sample_size(10);
+fn bench_homing(r: &mut Runner) {
     for (name, mode) in [
         ("partitioned", None),
         ("striped", Some(HomingMode::StripeAllNodes)),
         ("node_local", Some(HomingMode::NodeLocal)),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let mut cfg = Config::new(2, 1, 2);
-                cfg.homing = mode;
-                black_box(run_working_set(cfg))
-            })
+        r.bench(&format!("ablation_homing/{name}"), || {
+            let mut cfg = Config::new(2, 1, 2);
+            cfg.homing = mode;
+            run_working_set(cfg)
         });
     }
-    g.finish();
 }
 
 /// Link-latency ablation: the §3.5 traffic shaper modeling slower target
 /// interconnects (e.g. Ampere Altra, §4.1).
-fn bench_link_latency(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_link_latency");
-    g.sample_size(10);
+fn bench_link_latency(r: &mut Runner) {
     for extra in [0u64, 100, 400] {
-        g.bench_function(format!("extra_{extra}_cycles"), |b| {
-            b.iter(|| {
-                let mut cfg = Config::new(2, 1, 2);
-                cfg.homing = Some(HomingMode::StripeAllNodes); // force remote traffic
-                cfg.params.bridge_extra_latency = extra;
-                black_box(run_working_set(cfg))
-            })
+        r.bench(&format!("ablation_link_latency/extra_{extra}_cycles"), || {
+            let mut cfg = Config::new(2, 1, 2);
+            cfg.homing = Some(HomingMode::StripeAllNodes); // force remote traffic
+            cfg.params.bridge_extra_latency = extra;
+            run_working_set(cfg)
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_homing, bench_link_latency);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::from_args();
+    bench_homing(&mut r);
+    bench_link_latency(&mut r);
+    r.finish();
+}

@@ -1,13 +1,11 @@
-//! Criterion benches: one per table/figure, at reduced scale.
+//! Per-table/figure benches, at reduced scale.
 //!
 //! These run the same experiment machinery as the `tableN`/`figN` binaries
 //! but sized to finish in milliseconds-to-seconds per iteration, acting as
 //! performance regressions for the simulator. The full-scale artifacts
 //! come from the binaries (see DESIGN.md's experiment index).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
+use smappic_bench::microbench::Runner;
 use smappic_core::Config;
 use smappic_workloads::gng::{run_gng, GngBenchmark, GngMode};
 use smappic_workloads::hello::run_hello;
@@ -15,88 +13,67 @@ use smappic_workloads::is_sort::{run_sort, Placement, SortParams};
 use smappic_workloads::latency::measure_pair;
 use smappic_workloads::maple::{run_maple, Kernel, MapleMode};
 
-fn bench_tables(c: &mut Criterion) {
-    c.bench_function("table1_render", |b| b.iter(|| black_box(smappic_bench::table1())));
-    c.bench_function("table3_render", |b| b.iter(|| black_box(smappic_bench::table3())));
-    c.bench_function("table4_synthesis", |b| {
-        b.iter(|| {
-            for nodes in 1..=4 {
-                for tiles in 1..=12 {
-                    black_box(smappic_core::resources::synthesize(nodes, tiles));
-                }
+fn bench_tables(r: &mut Runner) {
+    r.bench("table1_render", smappic_bench::table1);
+    r.bench("table3_render", smappic_bench::table3);
+    r.bench("table4_synthesis", || {
+        let mut total = 0.0f64;
+        for nodes in 1..=4 {
+            for tiles in 1..=12 {
+                total += smappic_core::resources::synthesize(nodes, tiles).lut_utilization;
             }
-        })
+        }
+        total
     });
 }
 
-fn bench_fig7(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig7_latency_probe");
-    g.sample_size(10);
-    g.bench_function("intra_node", |b| {
+fn bench_fig7(r: &mut Runner) {
+    r.bench("fig7_latency_probe/intra_node", || {
         let cfg = Config::new(1, 1, 2);
-        b.iter(|| black_box(measure_pair(&cfg, 0, 1, 5)))
+        measure_pair(&cfg, 0, 1, 5)
     });
-    g.bench_function("inter_node", |b| {
+    r.bench("fig7_latency_probe/inter_node", || {
         let cfg = Config::new(2, 1, 2);
-        b.iter(|| black_box(measure_pair(&cfg, 0, 2, 5)))
+        measure_pair(&cfg, 0, 2, 5)
     });
-    g.finish();
 }
 
-fn bench_fig8_fig9(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig8_integer_sort");
-    g.sample_size(10);
+fn bench_fig8_fig9(r: &mut Runner) {
     for placement in [Placement::NumaAware, Placement::Interleaved] {
-        g.bench_function(format!("{placement:?}"), |b| {
+        r.bench(&format!("fig8_integer_sort/{placement:?}"), || {
             let cfg = Config::new(2, 1, 2);
-            b.iter(|| black_box(run_sort(&SortParams::scaling(cfg.clone(), 512, 4, placement))))
+            run_sort(&SortParams::scaling(cfg.clone(), 512, 4, placement))
         });
     }
-    g.finish();
 }
 
-fn bench_fig10(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig10_gng");
-    g.sample_size(10);
+fn bench_fig10(r: &mut Runner) {
     for mode in [GngMode::Software, GngMode::Fetch1, GngMode::Fetch4] {
-        g.bench_function(mode.label(), |b| {
-            b.iter(|| black_box(run_gng(GngBenchmark::Generator, mode, 32)))
+        r.bench(&format!("fig10_gng/{}", mode.label()), || {
+            run_gng(GngBenchmark::Generator, mode, 32)
         });
     }
-    g.finish();
 }
 
-fn bench_fig11(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig11_maple");
-    g.sample_size(10);
+fn bench_fig11(r: &mut Runner) {
     for mode in MapleMode::ALL {
-        g.bench_function(mode.label(), |b| {
-            b.iter(|| black_box(run_maple(Kernel::Spmv, mode, 32)))
-        });
+        r.bench(&format!("fig11_maple/{}", mode.label()), || run_maple(Kernel::Spmv, mode, 32));
     }
-    g.finish();
 }
 
-fn bench_fig13_fig14(c: &mut Criterion) {
-    c.bench_function("fig13_cost_matrix", |b| {
-        b.iter(|| black_box(smappic_costmodel::figures::fig13()))
-    });
-    c.bench_function("fig14_series", |b| {
-        b.iter(|| black_box(smappic_costmodel::figures::fig14(350, 10)))
-    });
-    let mut g = c.benchmark_group("fig13_hello_world");
-    g.sample_size(10);
-    g.bench_function("smappic_hello", |b| b.iter(|| black_box(run_hello("hi"))));
-    g.finish();
+fn bench_fig13_fig14(r: &mut Runner) {
+    r.bench("fig13_cost_matrix", smappic_costmodel::figures::fig13);
+    r.bench("fig14_series", || smappic_costmodel::figures::fig14(350, 10));
+    r.bench("fig13_hello_world/smappic_hello", || run_hello("hi"));
 }
 
-criterion_group!(
-    benches,
-    bench_tables,
-    bench_fig7,
-    bench_fig8_fig9,
-    bench_fig10,
-    bench_fig11,
-    bench_fig13_fig14
-);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::from_args();
+    bench_tables(&mut r);
+    bench_fig7(&mut r);
+    bench_fig8_fig9(&mut r);
+    bench_fig10(&mut r);
+    bench_fig11(&mut r);
+    bench_fig13_fig14(&mut r);
+    r.finish();
+}

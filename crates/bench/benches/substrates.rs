@@ -1,14 +1,12 @@
-//! Criterion benches for the substrates: raw simulation throughput of the
-//! NoC, caches, interpreter, and whole-platform tick loop.
+//! Substrate benches: raw simulation throughput of the NoC, caches,
+//! interpreter, and whole-platform tick loop — serial and epoch-parallel.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
+use smappic_bench::microbench::Runner;
 use smappic_core::{Config, Platform, DRAM_BASE};
 use smappic_isa::{assemble, run_functional, Hart, VecBus};
 use smappic_tile::{TraceCore, TraceOp};
 
-fn bench_interpreter(c: &mut Criterion) {
+fn bench_interpreter(r: &mut Runner) {
     // Raw functional execution rate of the RV64 interpreter.
     let img = assemble(
         r#"
@@ -25,62 +23,62 @@ fn bench_interpreter(c: &mut Criterion) {
         0x1000,
     )
     .unwrap();
-    c.bench_function("isa_interpreter_500k_instructions", |b| {
-        b.iter(|| {
-            let mut bus = VecBus::new(1 << 20);
-            bus.load_image(&img);
-            let mut hart = Hart::new(0, 0x1000);
-            run_functional(&mut hart, &mut bus, 1_000_000).unwrap();
-            black_box(hart.reg(5))
-        })
+    r.bench("isa_interpreter_500k_instructions", || {
+        let mut bus = VecBus::new(1 << 20);
+        bus.load_image(&img);
+        let mut hart = Hart::new(0, 0x1000);
+        run_functional(&mut hart, &mut bus, 1_000_000).unwrap();
+        hart.reg(5)
     });
 }
 
-fn bench_platform_tick(c: &mut Criterion) {
-    let mut g = c.benchmark_group("platform_tick_rate");
-    g.sample_size(10);
+fn bench_platform_tick(r: &mut Runner) {
     for (name, cfg) in [
         ("1x1x2", Config::new(1, 1, 2)),
         ("1x1x12", Config::new(1, 1, 12)),
         ("4x1x12", Config::new(4, 1, 12)),
     ] {
-        g.bench_function(format!("idle_10k_cycles_{name}"), |b| {
-            b.iter(|| {
-                let mut p = Platform::new(cfg.clone());
-                p.run(10_000);
-                black_box(p.now())
-            })
+        r.bench(&format!("platform_tick_rate/idle_10k_cycles_{name}"), || {
+            let mut p = Platform::new(cfg.clone());
+            p.run(10_000);
+            p.now()
         });
     }
-    g.finish();
-}
-
-fn bench_memory_system(c: &mut Criterion) {
-    let mut g = c.benchmark_group("memory_system");
-    g.sample_size(10);
-    g.bench_function("coherent_store_load_512ops", |b| {
-        b.iter(|| {
-            let mut p = Platform::new(Config::new(1, 1, 2));
-            let mut ops = Vec::new();
-            for i in 0..256u64 {
-                ops.push(TraceOp::Store(DRAM_BASE + i * 64));
-                ops.push(TraceOp::Load(DRAM_BASE + i * 64));
-            }
-            p.set_engine(0, 0, Box::new(TraceCore::new("m", ops)));
-            let done = |p: &Platform| {
-                p.node(0)
-                    .tile(0)
-                    .engine()
-                    .as_any()
-                    .downcast_ref::<TraceCore>()
-                    .is_some_and(|c| c.finished_at().is_some())
-            };
-            assert!(p.run_until(2_000_000, done));
-            black_box(p.now())
-        })
+    // The epoch-parallel stepper on the same 4-FPGA shape: worker spawn and
+    // barrier overhead shows up here even with idle guests.
+    r.bench("platform_tick_rate/parallel_10k_cycles_4x1x12", || {
+        let mut p = Platform::new(Config::new(4, 1, 12));
+        p.run_parallel(10_000);
+        p.now()
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_interpreter, bench_platform_tick, bench_memory_system);
-criterion_main!(benches);
+fn bench_memory_system(r: &mut Runner) {
+    r.bench("memory_system/coherent_store_load_512ops", || {
+        let mut p = Platform::new(Config::new(1, 1, 2));
+        let mut ops = Vec::new();
+        for i in 0..256u64 {
+            ops.push(TraceOp::Store(DRAM_BASE + i * 64));
+            ops.push(TraceOp::Load(DRAM_BASE + i * 64));
+        }
+        p.set_engine(0, 0, Box::new(TraceCore::new("m", ops)));
+        let done = |p: &Platform| {
+            p.node(0)
+                .tile(0)
+                .engine()
+                .as_any()
+                .downcast_ref::<TraceCore>()
+                .is_some_and(|c| c.finished_at().is_some())
+        };
+        assert!(p.run_until(2_000_000, done));
+        p.now()
+    });
+}
+
+fn main() {
+    let mut r = Runner::from_args();
+    bench_interpreter(&mut r);
+    bench_platform_tick(&mut r);
+    bench_memory_system(&mut r);
+    r.finish();
+}

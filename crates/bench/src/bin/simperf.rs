@@ -1,0 +1,179 @@
+//! Simulator-throughput benchmark: serial reference vs epoch-parallel
+//! stepper, reported as simulated cycles per wall-clock second.
+//!
+//! Two configurations are measured:
+//!
+//! * a 2x2x2 prototype (2 FPGAs, 2 nodes each, 2 tiles per node) running a
+//!   GNG-style mixed compute/memory trace with cross-FPGA atomics, and
+//! * a 4-FPGA full-mesh prototype (4x1x2) under the same kind of load.
+//!
+//! Results land in `BENCH_SIMPERF.json` (hand-rolled JSON; the workspace
+//! has no serde). When the host has at least 4 hardware threads the run
+//! asserts the 4-FPGA parallel config reaches a 2x speedup over serial —
+//! on smaller hosts (CI containers are often 1-2 threads) the numbers are
+//! still recorded but the assertion is skipped, and `speedup_asserted`
+//! says which happened.
+//!
+//! Usage: `cargo run --release -p smappic-bench --bin simperf`
+//! (`--cycles N` overrides the per-run simulated cycle count).
+
+use std::time::Instant;
+
+use smappic_core::{Config, Platform, DRAM_BASE};
+use smappic_sim::SimRng;
+use smappic_tile::{TraceCore, TraceOp};
+
+/// Builds the measurement workload: every tile interleaves compute bursts
+/// with atomic increments on a shared counter homed on node 0 (so remote
+/// tiles generate sustained cross-FPGA PCIe traffic) plus private stores.
+/// Deterministic, so serial and parallel twins are identical.
+fn workload_platform(fpgas: usize, nodes: usize, tiles: usize) -> Platform {
+    let cfg = Config::new(fpgas, nodes, tiles);
+    let total = cfg.total_tiles();
+    let per_node = tiles;
+    let counter = DRAM_BASE + 0xA000;
+    let mut p = Platform::new(cfg);
+    let mut rng = SimRng::new(0x51AB);
+    for g in 0..total {
+        let (node, tile) = (g / per_node, (g % per_node) as u16);
+        let mut ops = Vec::new();
+        let private = DRAM_BASE + 0x40_0000 + g as u64 * 4096;
+        // Long-running: enough work that no engine finishes inside the
+        // measured window, keeping the load steady.
+        for i in 0..50_000u64 {
+            ops.push(TraceOp::Compute(rng.gen_range(20) + 1));
+            ops.push(TraceOp::AmoAdd(counter, 1));
+            if rng.chance(0.5) {
+                ops.push(TraceOp::StoreVal(private + (i % 16) * 64, i));
+            }
+        }
+        p.set_engine(node, tile, Box::new(TraceCore::new(format!("w{g}"), ops)));
+    }
+    p
+}
+
+struct Measurement {
+    label: &'static str,
+    config: String,
+    cycles: u64,
+    serial_secs: f64,
+    parallel_secs: f64,
+}
+
+impl Measurement {
+    fn serial_rate(&self) -> f64 {
+        self.cycles as f64 / self.serial_secs
+    }
+    fn parallel_rate(&self) -> f64 {
+        self.cycles as f64 / self.parallel_secs
+    }
+    fn speedup(&self) -> f64 {
+        self.serial_secs / self.parallel_secs
+    }
+}
+
+fn measure(
+    label: &'static str,
+    (fpgas, nodes, tiles): (usize, usize, usize),
+    cycles: u64,
+) -> Measurement {
+    let mut serial = workload_platform(fpgas, nodes, tiles);
+    let mut parallel = workload_platform(fpgas, nodes, tiles);
+
+    let t = Instant::now();
+    serial.run(cycles);
+    let serial_secs = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    parallel.run_parallel(cycles);
+    let parallel_secs = t.elapsed().as_secs_f64();
+
+    // The benchmark doubles as a differential check: a fast-but-wrong
+    // parallel stepper must not produce a number at all.
+    assert_eq!(serial.now(), parallel.now(), "{label}: cycle counts diverged");
+    assert_eq!(
+        serial.stats().to_string(),
+        parallel.stats().to_string(),
+        "{label}: statistics diverged between serial and parallel"
+    );
+
+    let m = Measurement {
+        label,
+        config: format!("{fpgas}x{nodes}x{tiles}"),
+        cycles,
+        serial_secs,
+        parallel_secs,
+    };
+    println!(
+        "{label:<18} {:>8} cycles | serial {:>12.0} cyc/s | parallel {:>12.0} cyc/s | speedup {:.2}x",
+        m.cycles,
+        m.serial_rate(),
+        m.parallel_rate(),
+        m.speedup()
+    );
+    m
+}
+
+fn json_entry(m: &Measurement) -> String {
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"label\": \"{}\",\n",
+            "      \"config\": \"{}\",\n",
+            "      \"simulated_cycles\": {},\n",
+            "      \"serial_secs\": {:.6},\n",
+            "      \"parallel_secs\": {:.6},\n",
+            "      \"serial_cycles_per_sec\": {:.1},\n",
+            "      \"parallel_cycles_per_sec\": {:.1},\n",
+            "      \"speedup\": {:.4}\n",
+            "    }}"
+        ),
+        m.label,
+        m.config,
+        m.cycles,
+        m.serial_secs,
+        m.parallel_secs,
+        m.serial_rate(),
+        m.parallel_rate(),
+        m.speedup()
+    )
+}
+
+fn main() {
+    let cycles = smappic_bench::arg_usize("--cycles", 400_000) as u64;
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("simperf: {cycles} simulated cycles per run, {host_threads} host threads\n");
+
+    let runs = [
+        measure("gng_style_2x2x2", (2, 2, 2), cycles),
+        measure("full_mesh_4x1x2", (4, 1, 2), cycles),
+    ];
+
+    // The speedup claim needs one hardware thread per FPGA worker; below
+    // that the parallel path is measured but can't beat serial.
+    let speedup_asserted = host_threads >= 4;
+    if speedup_asserted {
+        let s = runs[1].speedup();
+        assert!(s >= 2.0, "expected >= 2x parallel speedup on the 4-FPGA config, measured {s:.2}x");
+        println!("\n4-FPGA speedup {s:.2}x meets the 2x floor");
+    } else {
+        println!("\nhost has {host_threads} thread(s) < 4: speedup floor not asserted");
+    }
+
+    let entries: Vec<String> = runs.iter().map(json_entry).collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"simperf\",\n",
+            "  \"host_threads\": {},\n",
+            "  \"speedup_asserted\": {},\n",
+            "  \"runs\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        host_threads,
+        speedup_asserted,
+        entries.join(",\n")
+    );
+    std::fs::write("BENCH_SIMPERF.json", &json).expect("write BENCH_SIMPERF.json");
+    println!("wrote BENCH_SIMPERF.json");
+}

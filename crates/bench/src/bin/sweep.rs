@@ -9,7 +9,10 @@ use smappic_core::resources::synthesize;
 
 fn main() {
     println!("Design-space sweep over one F1 FPGA ($1.65/hr):");
-    println!("{:<8} {:>6} {:>7} {:>12} {:>16}", "Config", "MHz", "LUT%", "core-MHz", "core-MHz per $/hr");
+    println!(
+        "{:<8} {:>6} {:>7} {:>12} {:>16}",
+        "Config", "MHz", "LUT%", "core-MHz", "core-MHz per $/hr"
+    );
     let mut best: Option<(String, f64)> = None;
     for nodes in 1..=4usize {
         for tiles in 1..=12usize {

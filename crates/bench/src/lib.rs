@@ -6,12 +6,14 @@
 //! calibrated cost models; the DESIGN.md experiment index maps each to its
 //! implementing modules.
 //!
-//! The functions here are shared between the binaries and the Criterion
-//! benches (which run the same experiments at reduced scale as simulator
-//! performance regressions).
+//! The functions here are shared between the binaries and the bench
+//! targets (which run the same experiments at reduced scale, on the
+//! in-tree [`microbench`] harness, as simulator performance regressions).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod microbench;
 
 use smappic_core::{resources, Config, SystemParams};
 use smappic_costmodel::catalog::{F1, HOSTS};
@@ -43,8 +45,14 @@ pub fn table1() -> String {
     for i in &F1 {
         out.push_str(&format!(
             "{:<13} {:>6} {:>7}GB {:>7}GB {:>6} {:>7}GB {:>8.2} {:>9.0}\n",
-            i.name, i.vcpus, i.memory_gb, i.storage_gb, i.fpgas, i.fpga_memory_gb,
-            i.price_per_hour, i.hardware_price
+            i.name,
+            i.vcpus,
+            i.memory_gb,
+            i.storage_gb,
+            i.fpgas,
+            i.fpga_memory_gb,
+            i.price_per_hour,
+            i.hardware_price
         ));
     }
     out
@@ -218,7 +226,9 @@ pub fn fig11(elements: usize) -> String {
             f.speedup[2]
         ));
     }
-    out.push_str("(paper: MAPLE beats the 2nd thread in latency-bound kernels; SPMM is compute-bound)\n");
+    out.push_str(
+        "(paper: MAPLE beats the 2nd thread in latency-bound kernels; SPMM is compute-bound)\n",
+    );
     out
 }
 

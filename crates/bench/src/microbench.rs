@@ -1,0 +1,114 @@
+//! A dependency-free microbenchmark harness.
+//!
+//! `cargo bench` runs each `harness = false` bench target as a plain
+//! binary, passing a `--bench` flag (and any user-supplied filter
+//! strings) on the command line. [`Runner`] ignores dashed flags and
+//! treats bare arguments as case-sensitive substring filters, so
+//! `cargo bench -p smappic-bench gng` runs only the GNG benches.
+//!
+//! Timing protocol: one untimed warmup call sizes the batch so a sample
+//! lasts roughly [`TARGET_SAMPLE`]; [`SAMPLES`] batches are timed and the
+//! fastest is reported (minimum-of-samples rejects scheduler noise, which
+//! only ever adds time). No statistics framework, no allocation in the
+//! timed region beyond what the benchmarked closure itself does.
+
+use std::time::{Duration, Instant};
+
+/// Wall-clock length each timed batch is calibrated to.
+const TARGET_SAMPLE: Duration = Duration::from_millis(120);
+
+/// Timed batches per benchmark; the fastest wins.
+const SAMPLES: u32 = 3;
+
+/// Upper bound on iterations per batch (very fast closures).
+const MAX_ITERS: u64 = 100_000;
+
+/// Collects and reports benchmark timings for one bench target.
+#[derive(Debug, Default)]
+pub struct Runner {
+    filters: Vec<String>,
+    ran: usize,
+    skipped: usize,
+}
+
+impl Runner {
+    /// Builds a runner from the process arguments, tolerating cargo's
+    /// `--bench` flag and treating bare arguments as name filters.
+    pub fn from_args() -> Self {
+        let filters = std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
+        Self { filters, ran: 0, skipped: 0 }
+    }
+
+    fn selected(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f))
+    }
+
+    /// Times `f`, printing nanoseconds per iteration. The closure's
+    /// return value is passed through [`std::hint::black_box`] so the
+    /// optimizer cannot delete the work.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        if !self.selected(name) {
+            self.skipped += 1;
+            return;
+        }
+        self.ran += 1;
+        // Warmup doubles as calibration.
+        let warm = Instant::now();
+        std::hint::black_box(f());
+        let once = warm.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET_SAMPLE.as_nanos() / once.as_nanos()).clamp(1, MAX_ITERS as u128) as u64;
+
+        let mut best = Duration::MAX;
+        for _ in 0..SAMPLES {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            best = best.min(t.elapsed());
+        }
+        let ns = best.as_nanos() as f64 / iters as f64;
+        println!("{name:<44} {:>14} ns/iter  ({iters} iters/sample)", group_digits(ns as u64));
+    }
+
+    /// Prints the closing tally. Call once at the end of `main`.
+    pub fn finish(self) {
+        println!("\n{} benchmarks run, {} filtered out", self.ran, self.skipped);
+    }
+}
+
+/// `1234567` → `"1,234,567"` — keeps the ns/iter column scannable.
+fn group_digits(mut v: u64) -> String {
+    let mut parts = Vec::new();
+    loop {
+        if v < 1000 {
+            parts.push(v.to_string());
+            break;
+        }
+        parts.push(format!("{:03}", v % 1000));
+        v /= 1000;
+    }
+    parts.reverse();
+    parts.join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digit_grouping() {
+        assert_eq!(group_digits(0), "0");
+        assert_eq!(group_digits(999), "999");
+        assert_eq!(group_digits(1_000), "1,000");
+        assert_eq!(group_digits(12_345_678), "12,345,678");
+    }
+
+    #[test]
+    fn filters_select_by_substring() {
+        let r = Runner { filters: vec!["gng".into()], ran: 0, skipped: 0 };
+        assert!(r.selected("fig10_gng_fetch4"));
+        assert!(!r.selected("fig7_latency"));
+        let all = Runner::default();
+        assert!(all.selected("anything"));
+    }
+}

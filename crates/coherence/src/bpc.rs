@@ -3,11 +3,37 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use smappic_noc::{line_of, line_offset, AmoOp, Addr, Gid, LineData, Msg, Packet};
-use smappic_sim::{Cycle, DelayLine, Fifo, Stats};
+use smappic_noc::{line_of, line_offset, Addr, AmoOp, Gid, LineData, Msg, Packet};
+use smappic_sim::{CounterSet, Cycle, DelayLine, Fifo, Stats};
 
 use crate::homing::Homing;
 use crate::Geometry;
+
+// Pre-interned counter slots for the per-access hot path; see `CounterSet`.
+const BPC_KEYS: &[&str] = &[
+    "bpc.nc",
+    "bpc.mshr_merge",
+    "bpc.hit",
+    "bpc.upgrade",
+    "bpc.miss",
+    "bpc.wb",
+    "bpc.amo",
+    "bpc.invalidated",
+    "bpc.recalled",
+    "bpc.recall_nack",
+    "bpc.downgraded",
+];
+const K_NC: usize = 0;
+const K_MSHR_MERGE: usize = 1;
+const K_HIT: usize = 2;
+const K_UPGRADE: usize = 3;
+const K_MISS: usize = 4;
+const K_WB: usize = 5;
+const K_AMO: usize = 6;
+const K_INVALIDATED: usize = 7;
+const K_RECALLED: usize = 8;
+const K_RECALL_NACK: usize = 9;
+const K_DOWNGRADED: usize = 10;
 
 /// A memory operation issued by a core (or accelerator) through the TRI.
 #[derive(Debug, Clone, PartialEq)]
@@ -157,7 +183,7 @@ pub struct Bpc {
     resp_delay: DelayLine<CoreResp>,
     resp_ready: VecDeque<CoreResp>,
     lru_clock: u64,
-    stats: Stats,
+    counters: CounterSet,
 }
 
 impl Bpc {
@@ -175,7 +201,7 @@ impl Bpc {
             resp_delay: DelayLine::new(hit_latency),
             resp_ready: VecDeque::new(),
             lru_clock: 0,
-            stats: Stats::new(),
+            counters: CounterSet::new(BPC_KEYS),
         }
     }
 
@@ -184,9 +210,15 @@ impl Bpc {
         self.cfg.identity
     }
 
-    /// Counters (`bpc.hit`, `bpc.miss`, `bpc.wb`, `bpc.upgrade`, ...).
-    pub fn stats(&self) -> &Stats {
-        &self.stats
+    /// Counters (`bpc.hit`, `bpc.miss`, `bpc.wb`, `bpc.upgrade`, ...),
+    /// materialized from indexed hot-path slots.
+    pub fn stats(&self) -> Stats {
+        self.counters.to_stats()
+    }
+
+    /// Merges this cache's counters into `out` without an intermediate map.
+    pub fn merge_stats_into(&self, out: &mut Stats) {
+        self.counters.merge_into(out);
     }
 
     /// True when nothing is in flight (no MSHRs, queues empty).
@@ -218,13 +250,13 @@ impl Bpc {
             MemOp::NcLoad { addr, size, dst } => {
                 self.nc_pending.push_back((addr, req.token));
                 self.send(dst, Msg::NcLoad { addr, size });
-                self.stats.incr("bpc.nc");
+                self.counters.bump(K_NC);
                 Ok(())
             }
             MemOp::NcStore { addr, size, data, dst } => {
                 self.nc_pending.push_back((addr, req.token));
                 self.send(dst, Msg::NcStore { addr, size, data });
-                self.stats.incr("bpc.nc");
+                self.counters.bump(K_NC);
                 Ok(())
             }
         }
@@ -253,7 +285,7 @@ impl Bpc {
                 return Err(rebuild(store));
             }
             m.pending.push_back(rebuild(store));
-            self.stats.incr("bpc.mshr_merge");
+            self.counters.bump(K_MSHR_MERGE);
             return Ok(());
         }
 
@@ -266,14 +298,14 @@ impl Bpc {
                 (None, _) => {
                     let data = w.data.read(line_offset(addr), size as usize);
                     self.resp_delay.push(now, CoreResp { token, data });
-                    self.stats.incr("bpc.hit");
+                    self.counters.bump(K_HIT);
                     return Ok(());
                 }
                 (Some(data), LineState::Modified | LineState::Exclusive) => {
                     w.data.write(line_offset(addr), size as usize, data);
                     w.state = LineState::Modified;
                     self.resp_delay.push(now, CoreResp { token, data: 0 });
-                    self.stats.incr("bpc.hit");
+                    self.counters.bump(K_HIT);
                     return Ok(());
                 }
                 (Some(data), LineState::Shared) => {
@@ -287,7 +319,7 @@ impl Bpc {
                     self.mshrs.insert(line, Mshr { pending });
                     let home = self.cfg.homing.home(line, self.cfg.identity.node);
                     self.send(home, Msg::ReqM { line });
-                    self.stats.incr("bpc.upgrade");
+                    self.counters.bump(K_UPGRADE);
                     return Ok(());
                 }
             }
@@ -303,10 +335,11 @@ impl Bpc {
         let home = self.cfg.homing.home(line, self.cfg.identity.node);
         let msg = if store.is_some() { Msg::ReqM { line } } else { Msg::ReqS { line } };
         self.send(home, msg);
-        self.stats.incr("bpc.miss");
+        self.counters.bump(K_MISS);
         Ok(())
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn amo(
         &mut self,
         _now: Cycle,
@@ -333,12 +366,12 @@ impl Bpc {
                 Msg::WbClean { line }
             };
             self.send(home, msg);
-            self.stats.incr("bpc.wb");
+            self.counters.bump(K_WB);
         }
         let home = self.cfg.homing.home(line, self.cfg.identity.node);
         self.nc_pending.push_back((addr, token));
         self.send(home, Msg::Amo { addr, size, op, val, expected });
-        self.stats.incr("bpc.amo");
+        self.counters.bump(K_AMO);
         Ok(())
     }
 
@@ -388,18 +421,15 @@ impl Bpc {
     /// Attempts to handle `noc_in[idx]`; returns true when consumed.
     fn try_handle(&mut self, now: Cycle, idx: usize) -> bool {
         let pkt = &self.noc_in[idx];
-        match &pkt.msg {
-            Msg::Data { line, .. } => {
-                // Need an allocatable way.
-                let line = *line;
-                let set = self.cfg.geometry.set_of(line);
-                let full = self.sets[set].len() >= self.cfg.geometry.ways;
-                let has_victim = !full || self.sets[set].iter().any(|w| !w.locked);
-                if !has_victim {
-                    return false;
-                }
+        if let Msg::Data { line, .. } = &pkt.msg {
+            // Need an allocatable way.
+            let line = *line;
+            let set = self.cfg.geometry.set_of(line);
+            let full = self.sets[set].len() >= self.cfg.geometry.ways;
+            let has_victim = !full || self.sets[set].iter().any(|w| !w.locked);
+            if !has_victim {
+                return false;
             }
-            _ => {}
         }
         let pkt = self.noc_in.remove(idx).expect("index in range");
         match pkt.msg {
@@ -416,7 +446,7 @@ impl Bpc {
                 // MSHR; the grant will arrive as full Data later.
                 let home = self.cfg.homing.home(line, self.cfg.identity.node);
                 self.send(home, Msg::InvAck { line });
-                self.stats.incr("bpc.invalidated");
+                self.counters.bump(K_INVALIDATED);
             }
             Msg::Recall { line } => {
                 let set = self.cfg.geometry.set_of(line);
@@ -425,11 +455,11 @@ impl Bpc {
                     let w = self.sets[set].remove(pos);
                     let dirty = w.state == LineState::Modified;
                     self.send(home, Msg::RecallData { line, data: w.data, dirty });
-                    self.stats.incr("bpc.recalled");
+                    self.counters.bump(K_RECALLED);
                 } else {
                     // Our writeback is already in flight ahead of this nack.
                     self.send(home, Msg::RecallNack { line });
-                    self.stats.incr("bpc.recall_nack");
+                    self.counters.bump(K_RECALL_NACK);
                 }
             }
             Msg::Downgrade { line } => {
@@ -440,10 +470,10 @@ impl Bpc {
                     w.state = LineState::Shared;
                     let data = w.data;
                     self.send(home, Msg::RecallData { line, data, dirty });
-                    self.stats.incr("bpc.downgraded");
+                    self.counters.bump(K_DOWNGRADED);
                 } else {
                     self.send(home, Msg::RecallNack { line });
-                    self.stats.incr("bpc.recall_nack");
+                    self.counters.bump(K_RECALL_NACK);
                 }
             }
             Msg::AmoResp { addr, old } => self.nc_complete(now, addr, old),
@@ -495,7 +525,7 @@ impl Bpc {
                 Msg::WbClean { line: w.line }
             };
             self.send(home, msg);
-            self.stats.incr("bpc.wb");
+            self.counters.bump(K_WB);
         }
         self.lru_clock += 1;
         let state = if excl { LineState::Exclusive } else { LineState::Shared };
@@ -505,8 +535,7 @@ impl Bpc {
 
     fn upgrade_ack(&mut self, now: Cycle, line: Addr) {
         let set = self.cfg.geometry.set_of(line);
-        let w = self
-            .sets[set]
+        let w = self.sets[set]
             .iter_mut()
             .find(|w| w.line == line)
             .expect("upgrade ack for a line we no longer hold");
@@ -539,7 +568,7 @@ impl Bpc {
                         mshr.pending.push_front(req);
                         let home = self.cfg.homing.home(line, self.cfg.identity.node);
                         self.send(home, Msg::ReqM { line });
-                        self.stats.incr("bpc.upgrade");
+                        self.counters.bump(K_UPGRADE);
                         self.mshrs.insert(line, mshr);
                         return;
                     }
@@ -567,16 +596,12 @@ mod tests {
         b.tick(*now);
         while let Some(pkt) = b.noc_pop() {
             let reply = match pkt.msg {
-                Msg::ReqS { line } => Some(Msg::Data {
-                    line,
-                    data: *backing.entry(line).or_default(),
-                    excl: false,
-                }),
-                Msg::ReqM { line } => Some(Msg::Data {
-                    line,
-                    data: *backing.entry(line).or_default(),
-                    excl: true,
-                }),
+                Msg::ReqS { line } => {
+                    Some(Msg::Data { line, data: *backing.entry(line).or_default(), excl: false })
+                }
+                Msg::ReqM { line } => {
+                    Some(Msg::Data { line, data: *backing.entry(line).or_default(), excl: true })
+                }
                 Msg::WbData { line, data } => {
                     backing.insert(line, data);
                     None
@@ -591,7 +616,12 @@ mod tests {
         *now += 1;
     }
 
-    fn run_op(b: &mut Bpc, now: &mut Cycle, backing: &mut HashMap<Addr, LineData>, req: CoreReq) -> CoreResp {
+    fn run_op(
+        b: &mut Bpc,
+        now: &mut Cycle,
+        backing: &mut HashMap<Addr, LineData>,
+        req: CoreReq,
+    ) -> CoreResp {
         while b.request(*now, req.clone()).is_err() {
             pump(b, now, backing);
         }
@@ -612,11 +642,21 @@ mod tests {
         line.write(8, 8, 0xCAFE);
         backing.insert(0x1000, line);
         let mut now = 0;
-        let r = run_op(&mut b, &mut now, &mut backing, CoreReq { token: 1, op: MemOp::Load { addr: 0x1008, size: 8 } });
+        let r = run_op(
+            &mut b,
+            &mut now,
+            &mut backing,
+            CoreReq { token: 1, op: MemOp::Load { addr: 0x1008, size: 8 } },
+        );
         assert_eq!(r.data, 0xCAFE);
         assert_eq!(b.stats().get("bpc.miss"), 1);
         // Second access hits.
-        let r2 = run_op(&mut b, &mut now, &mut backing, CoreReq { token: 2, op: MemOp::Load { addr: 0x1008, size: 4 } });
+        let r2 = run_op(
+            &mut b,
+            &mut now,
+            &mut backing,
+            CoreReq { token: 2, op: MemOp::Load { addr: 0x1008, size: 4 } },
+        );
         assert_eq!(r2.data, 0xCAFE);
         assert_eq!(b.stats().get("bpc.hit"), 1);
     }
@@ -626,8 +666,18 @@ mod tests {
         let mut b = bpc();
         let mut backing = HashMap::new();
         let mut now = 0;
-        run_op(&mut b, &mut now, &mut backing, CoreReq { token: 1, op: MemOp::Store { addr: 0x2000, size: 8, data: 0x1234_5678 } });
-        let r = run_op(&mut b, &mut now, &mut backing, CoreReq { token: 2, op: MemOp::Load { addr: 0x2000, size: 8 } });
+        run_op(
+            &mut b,
+            &mut now,
+            &mut backing,
+            CoreReq { token: 1, op: MemOp::Store { addr: 0x2000, size: 8, data: 0x1234_5678 } },
+        );
+        let r = run_op(
+            &mut b,
+            &mut now,
+            &mut backing,
+            CoreReq { token: 2, op: MemOp::Load { addr: 0x2000, size: 8 } },
+        );
         assert_eq!(r.data, 0x1234_5678);
     }
 
@@ -637,8 +687,18 @@ mod tests {
         let mut backing = HashMap::new();
         let mut now = 0;
         // Load first: line arrives Shared (our pump grants S for ReqS).
-        run_op(&mut b, &mut now, &mut backing, CoreReq { token: 1, op: MemOp::Load { addr: 0x3000, size: 8 } });
-        run_op(&mut b, &mut now, &mut backing, CoreReq { token: 2, op: MemOp::Store { addr: 0x3000, size: 8, data: 5 } });
+        run_op(
+            &mut b,
+            &mut now,
+            &mut backing,
+            CoreReq { token: 1, op: MemOp::Load { addr: 0x3000, size: 8 } },
+        );
+        run_op(
+            &mut b,
+            &mut now,
+            &mut backing,
+            CoreReq { token: 2, op: MemOp::Store { addr: 0x3000, size: 8, data: 5 } },
+        );
         assert_eq!(b.stats().get("bpc.upgrade"), 1);
     }
 
@@ -650,14 +710,21 @@ mod tests {
         // 8 KB 4-way, 32 sets: lines 64*32 apart collide in set 0.
         let stride = 64 * 32;
         for i in 0..5u64 {
-            run_op(&mut b, &mut now, &mut backing, CoreReq {
-                token: i,
-                op: MemOp::Store { addr: i * stride, size: 8, data: i + 100 },
-            });
+            run_op(
+                &mut b,
+                &mut now,
+                &mut backing,
+                CoreReq { token: i, op: MemOp::Store { addr: i * stride, size: 8, data: i + 100 } },
+            );
         }
         assert!(b.stats().get("bpc.wb") >= 1, "a dirty line must have been written back");
         // The evicted line's data survived in backing store.
-        let r = run_op(&mut b, &mut now, &mut backing, CoreReq { token: 99, op: MemOp::Load { addr: 0, size: 8 } });
+        let r = run_op(
+            &mut b,
+            &mut now,
+            &mut backing,
+            CoreReq { token: 99, op: MemOp::Load { addr: 0, size: 8 } },
+        );
         assert_eq!(r.data, 100);
     }
 
@@ -666,10 +733,19 @@ mod tests {
         let mut b = bpc();
         let mut backing = HashMap::new();
         let mut now = 0;
-        run_op(&mut b, &mut now, &mut backing, CoreReq { token: 1, op: MemOp::Store { addr: 0x4000, size: 8, data: 77 } });
+        run_op(
+            &mut b,
+            &mut now,
+            &mut backing,
+            CoreReq { token: 1, op: MemOp::Store { addr: 0x4000, size: 8, data: 77 } },
+        );
         // Home recalls the line.
         let home = Gid::tile(NodeId(0), 0);
-        b.noc_push(Packet::on_canonical_vn(Gid::tile(NodeId(0), 0), home, Msg::Recall { line: 0x4000 }));
+        b.noc_push(Packet::on_canonical_vn(
+            Gid::tile(NodeId(0), 0),
+            home,
+            Msg::Recall { line: 0x4000 },
+        ));
         b.tick(now);
         let out = b.noc_pop().expect("recall response");
         match out.msg {
@@ -682,7 +758,12 @@ mod tests {
         }
         // Line is gone: next access misses.
         let before = b.stats().get("bpc.miss");
-        run_op(&mut b, &mut now, &mut backing, CoreReq { token: 2, op: MemOp::Load { addr: 0x4000, size: 8 } });
+        run_op(
+            &mut b,
+            &mut now,
+            &mut backing,
+            CoreReq { token: 2, op: MemOp::Load { addr: 0x4000, size: 8 } },
+        );
         assert_eq!(b.stats().get("bpc.miss"), before + 1);
     }
 
@@ -690,7 +771,11 @@ mod tests {
     fn recall_for_absent_line_nacks() {
         let mut b = bpc();
         let home = Gid::tile(NodeId(0), 0);
-        b.noc_push(Packet::on_canonical_vn(Gid::tile(NodeId(0), 0), home, Msg::Recall { line: 0x9000 }));
+        b.noc_push(Packet::on_canonical_vn(
+            Gid::tile(NodeId(0), 0),
+            home,
+            Msg::Recall { line: 0x9000 },
+        ));
         b.tick(0);
         assert!(matches!(b.noc_pop().map(|p| p.msg), Some(Msg::RecallNack { line: 0x9000 })));
     }
@@ -700,13 +785,27 @@ mod tests {
         let mut b = bpc();
         let mut backing = HashMap::new();
         let mut now = 0;
-        run_op(&mut b, &mut now, &mut backing, CoreReq { token: 1, op: MemOp::Load { addr: 0x5000, size: 8 } });
+        run_op(
+            &mut b,
+            &mut now,
+            &mut backing,
+            CoreReq { token: 1, op: MemOp::Load { addr: 0x5000, size: 8 } },
+        );
         let home = Gid::tile(NodeId(0), 0);
-        b.noc_push(Packet::on_canonical_vn(Gid::tile(NodeId(0), 0), home, Msg::Inv { line: 0x5000 }));
+        b.noc_push(Packet::on_canonical_vn(
+            Gid::tile(NodeId(0), 0),
+            home,
+            Msg::Inv { line: 0x5000 },
+        ));
         b.tick(now);
         assert!(matches!(b.noc_pop().map(|p| p.msg), Some(Msg::InvAck { line: 0x5000 })));
         let before = b.stats().get("bpc.miss");
-        run_op(&mut b, &mut now, &mut backing, CoreReq { token: 2, op: MemOp::Load { addr: 0x5000, size: 8 } });
+        run_op(
+            &mut b,
+            &mut now,
+            &mut backing,
+            CoreReq { token: 2, op: MemOp::Load { addr: 0x5000, size: 8 } },
+        );
         assert_eq!(b.stats().get("bpc.miss"), before + 1);
     }
 
@@ -756,8 +855,11 @@ mod tests {
     fn nc_load_routes_to_device_and_completes() {
         let mut b = bpc();
         let dev = Gid::tile(NodeId(0), 1);
-        b.request(0, CoreReq { token: 5, op: MemOp::NcLoad { addr: 0xF000_0000, size: 4, dst: dev } })
-            .unwrap();
+        b.request(
+            0,
+            CoreReq { token: 5, op: MemOp::NcLoad { addr: 0xF000_0000, size: 4, dst: dev } },
+        )
+        .unwrap();
         let out = b.noc_pop().expect("NC load sent");
         assert_eq!(out.dst, dev);
         b.noc_push(Packet::on_canonical_vn(
@@ -784,11 +886,19 @@ mod tests {
         let mut b = bpc();
         let mut backing = HashMap::new();
         let mut now = 0;
-        run_op(&mut b, &mut now, &mut backing, CoreReq { token: 1, op: MemOp::Store { addr: 0x7000, size: 8, data: 10 } });
-        b.request(now, CoreReq {
-            token: 2,
-            op: MemOp::Amo { addr: 0x7000, size: 8, op: AmoOp::Add, val: 5, expected: 0 },
-        })
+        run_op(
+            &mut b,
+            &mut now,
+            &mut backing,
+            CoreReq { token: 1, op: MemOp::Store { addr: 0x7000, size: 8, data: 10 } },
+        );
+        b.request(
+            now,
+            CoreReq {
+                token: 2,
+                op: MemOp::Amo { addr: 0x7000, size: 8, op: AmoOp::Add, val: 5, expected: 0 },
+            },
+        )
         .unwrap();
         // First a writeback, then the AMO.
         let first = b.noc_pop().expect("wb first");

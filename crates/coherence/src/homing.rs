@@ -110,7 +110,7 @@ mod tests {
     #[test]
     fn stripe_covers_all_slices() {
         let h = Homing::new(HomingMode::StripeAllNodes, 4, 12);
-        let mut seen = vec![false; 12];
+        let mut seen = [false; 12];
         for i in 0..48u64 {
             seen[h.home_slice(i * 64) as usize] = true;
         }

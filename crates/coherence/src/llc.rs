@@ -3,9 +3,39 @@
 use std::collections::VecDeque;
 
 use smappic_noc::{line_of, line_offset, Addr, Gid, LineData, Msg, Packet};
-use smappic_sim::{Cycle, DelayLine, Fifo, Stats};
+use smappic_sim::{CounterSet, Cycle, DelayLine, Fifo, Stats};
 
 use crate::Geometry;
+
+// Pre-interned counter slots for the per-access hot path; see `CounterSet`.
+const LLC_KEYS: &[&str] = &[
+    "llc.recall_nack",
+    "llc.miss",
+    "llc.evict",
+    "llc.evict_inv",
+    "llc.evict_recall",
+    "llc.hit",
+    "llc.downgrade",
+    "llc.recall",
+    "llc.inv",
+    "llc.amo",
+    "llc.stale_wbclean",
+    "llc.wb",
+    "llc.memdata",
+];
+const K_RECALL_NACK: usize = 0;
+const K_MISS: usize = 1;
+const K_EVICT: usize = 2;
+const K_EVICT_INV: usize = 3;
+const K_EVICT_RECALL: usize = 4;
+const K_HIT: usize = 5;
+const K_DOWNGRADE: usize = 6;
+const K_RECALL: usize = 7;
+const K_INV: usize = 8;
+const K_AMO: usize = 9;
+const K_STALE_WBCLEAN: usize = 10;
+const K_WB: usize = 11;
+const K_MEMDATA: usize = 12;
 
 /// Directory state of a line resident in this slice.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,18 +58,13 @@ enum Transient {
     /// Downgrade sent to the exclusive owner; it keeps an S copy.
     Downgrade,
     /// Invalidations outstanding; `pending` acks remain.
-    Inv {
-        pending: u32,
-    },
+    Inv { pending: u32 },
     /// Evicting this line: invalidations/recall outstanding; when done the
     /// way is freed and waiters replay (they will re-miss and allocate).
     /// `via_recall` distinguishes a single-owner recall (a concurrent
     /// writeback doubles as its response) from sharer invalidations (each
     /// sharer still acks, even after its own clean eviction).
-    Evict {
-        pending: u32,
-        via_recall: bool,
-    },
+    Evict { pending: u32, via_recall: bool },
 }
 
 #[derive(Debug, Clone)]
@@ -95,7 +120,7 @@ pub struct LlcSlice {
     replay: VecDeque<(Gid, Msg)>,
     noc_out: Fifo<Packet>,
     lru_clock: u64,
-    stats: Stats,
+    counters: CounterSet,
 }
 
 impl LlcSlice {
@@ -112,7 +137,7 @@ impl LlcSlice {
             // core's parked request (plus invalidation fanout) in one tick.
             noc_out: Fifo::new(1024),
             lru_clock: 0,
-            stats: Stats::new(),
+            counters: CounterSet::new(LLC_KEYS),
         }
     }
 
@@ -121,9 +146,15 @@ impl LlcSlice {
         self.cfg.identity
     }
 
-    /// Counters (`llc.hit`, `llc.miss`, `llc.recall`, `llc.inv`, `llc.amo`).
-    pub fn stats(&self) -> &Stats {
-        &self.stats
+    /// Counters (`llc.hit`, `llc.miss`, `llc.recall`, `llc.inv`, `llc.amo`),
+    /// materialized from indexed hot-path slots.
+    pub fn stats(&self) -> Stats {
+        self.counters.to_stats()
+    }
+
+    /// Merges this slice's counters into `out` without an intermediate map.
+    pub fn merge_stats_into(&self, out: &mut Stats) {
+        self.counters.merge_into(out);
     }
 
     /// Debug: lines currently in a transient state, with their waiter
@@ -218,12 +249,14 @@ impl LlcSlice {
             Msg::WbData { line, data } => self.writeback(src, line, Some(data)),
             Msg::WbClean { line } => self.writeback(src, line, None),
             Msg::InvAck { line } => self.inv_ack(line),
-            Msg::RecallData { line, data, dirty } => self.recall_done(src, line, Some((data, dirty))),
+            Msg::RecallData { line, data, dirty } => {
+                self.recall_done(src, line, Some((data, dirty)))
+            }
             Msg::RecallNack { line } => {
                 // The owner's writeback travels the same VN and arrived
                 // first, clearing the transient; nothing to do.
                 let _ = line;
-                self.stats.incr("llc.recall_nack");
+                self.counters.bump(K_RECALL_NACK);
             }
             Msg::MemData { line, data } => self.mem_data(line, data),
             other => panic!("LLC slice received unexpected message {other:?}"),
@@ -243,7 +276,7 @@ impl LlcSlice {
             return;
         }
         // Miss: allocate a way, possibly evicting.
-        self.stats.incr("llc.miss");
+        self.counters.bump(K_MISS);
         let set = self.cfg.geometry.set_of(line);
         if self.sets[set].len() >= self.cfg.geometry.ways {
             // Pick a non-transient LRU victim.
@@ -297,7 +330,7 @@ impl LlcSlice {
                 if w.dirty {
                     self.send(self.cfg.memctl, Msg::MemWr { line: w.line, data: w.data });
                 }
-                self.stats.incr("llc.evict");
+                self.counters.bump(K_EVICT);
                 Some(park)
             }
             Dir::Shared(sharers) => {
@@ -309,7 +342,7 @@ impl LlcSlice {
                 let w = &mut self.sets[set][vi];
                 w.transient = Some(Transient::Evict { pending: n, via_recall: false });
                 w.waiters.push_back(park);
-                self.stats.incr("llc.evict_inv");
+                self.counters.bump(K_EVICT_INV);
                 None
             }
             Dir::Exclusive(owner) => {
@@ -318,7 +351,7 @@ impl LlcSlice {
                 let w = &mut self.sets[set][vi];
                 w.transient = Some(Transient::Evict { pending: 1, via_recall: true });
                 w.waiters.push_back(park);
-                self.stats.incr("llc.evict_recall");
+                self.counters.bump(K_EVICT_RECALL);
                 None
             }
         }
@@ -333,7 +366,7 @@ impl LlcSlice {
                 let data = self.sets[set][i].data;
                 self.sets[set][i].dir = Dir::Exclusive(src);
                 self.send(src, Msg::Data { line, data, excl: true });
-                self.stats.incr("llc.hit");
+                self.counters.bump(K_HIT);
             }
             (Msg::ReqS { .. }, Dir::Shared(mut sharers)) => {
                 let data = self.sets[set][i].data;
@@ -342,7 +375,7 @@ impl LlcSlice {
                 }
                 self.sets[set][i].dir = Dir::Shared(sharers);
                 self.send(src, Msg::Data { line, data, excl: false });
-                self.stats.incr("llc.hit");
+                self.counters.bump(K_HIT);
             }
             (Msg::ReqS { .. }, Dir::Exclusive(owner)) => {
                 // Downgrade the owner so it keeps a readable copy, pull any
@@ -351,7 +384,7 @@ impl LlcSlice {
                 let w = &mut self.sets[set][i];
                 w.transient = Some(Transient::Downgrade);
                 w.waiters.push_front((src, msg));
-                self.stats.incr("llc.downgrade");
+                self.counters.bump(K_DOWNGRADE);
             }
             (Msg::ReqM { .. }, Dir::Exclusive(owner)) => {
                 // Recall the line through the home, then replay.
@@ -359,14 +392,14 @@ impl LlcSlice {
                 let w = &mut self.sets[set][i];
                 w.transient = Some(Transient::Recall);
                 w.waiters.push_front((src, msg));
-                self.stats.incr("llc.recall");
+                self.counters.bump(K_RECALL);
             }
             // --- ReqM ---
             (Msg::ReqM { .. }, Dir::Uncached) => {
                 let data = self.sets[set][i].data;
                 self.sets[set][i].dir = Dir::Exclusive(src);
                 self.send(src, Msg::Data { line, data, excl: true });
-                self.stats.incr("llc.hit");
+                self.counters.bump(K_HIT);
             }
             (Msg::ReqM { .. }, Dir::Shared(sharers)) => {
                 let others: Vec<Gid> = sharers.iter().copied().filter(|s| *s != src).collect();
@@ -380,7 +413,7 @@ impl LlcSlice {
                         let data = self.sets[set][i].data;
                         self.send(src, Msg::Data { line, data, excl: true });
                     }
-                    self.stats.incr("llc.hit");
+                    self.counters.bump(K_HIT);
                 } else {
                     for s in &others {
                         self.send(*s, Msg::Inv { line });
@@ -388,14 +421,11 @@ impl LlcSlice {
                     let w = &mut self.sets[set][i];
                     // Keep only the requester (if it was a sharer) so the
                     // replay resolves to the grant-in-place path above.
-                    w.dir = if requester_was_sharer {
-                        Dir::Shared(vec![src])
-                    } else {
-                        Dir::Uncached
-                    };
+                    w.dir =
+                        if requester_was_sharer { Dir::Shared(vec![src]) } else { Dir::Uncached };
                     w.transient = Some(Transient::Inv { pending: others.len() as u32 });
                     w.waiters.push_front((src, msg));
-                    self.stats.incr("llc.inv");
+                    self.counters.bump(K_INV);
                 }
             }
             // --- Amo ---
@@ -408,7 +438,7 @@ impl LlcSlice {
                 w.data.write(off, size as usize, new);
                 w.dirty = true;
                 self.send(src, Msg::AmoResp { addr, old });
-                self.stats.incr("llc.amo");
+                self.counters.bump(K_AMO);
             }
             (Msg::Amo { .. }, Dir::Shared(sharers)) => {
                 for s in &sharers {
@@ -418,14 +448,14 @@ impl LlcSlice {
                 w.dir = Dir::Uncached;
                 w.transient = Some(Transient::Inv { pending: sharers.len() as u32 });
                 w.waiters.push_front((src, msg));
-                self.stats.incr("llc.inv");
+                self.counters.bump(K_INV);
             }
             (Msg::Amo { .. }, Dir::Exclusive(owner)) => {
                 self.send(owner, Msg::Recall { line });
                 let w = &mut self.sets[set][i];
                 w.transient = Some(Transient::Recall);
                 w.waiters.push_front((src, msg));
-                self.stats.incr("llc.recall");
+                self.counters.bump(K_RECALL);
             }
             (m, d) => panic!("unhandled resident request {m:?} with dir {d:?}"),
         }
@@ -496,12 +526,12 @@ impl LlcSlice {
                         if data.is_some() {
                             panic!("dirty writeback from {src} but directory is {d:?}");
                         }
-                        self.stats.incr("llc.stale_wbclean");
+                        self.counters.bump(K_STALE_WBCLEAN);
                     }
                 }
             }
         }
-        self.stats.incr("llc.wb");
+        self.counters.bump(K_WB);
     }
 
     fn inv_ack(&mut self, line: Addr) {
@@ -561,7 +591,7 @@ impl LlcSlice {
         let Some((set, i)) = self.find(line) else {
             panic!("MemData for a line the LLC did not request: {line:#x}");
         };
-        self.stats.incr("llc.memdata");
+        self.counters.bump(K_MEMDATA);
         let w = &mut self.sets[set][i];
         assert_eq!(w.transient, Some(Transient::FetchMem), "MemData without FetchMem");
         w.data = data;
@@ -593,7 +623,7 @@ impl LlcSlice {
         if w.dirty {
             self.send(self.cfg.memctl, Msg::MemWr { line: w.line, data: w.data });
         }
-        self.stats.incr("llc.evict");
+        self.counters.bump(K_EVICT);
         for (src, msg) in w.waiters {
             self.handle(src, msg);
         }
@@ -714,11 +744,12 @@ mod tests {
             pump(&mut llc, &mut now, &mut out);
             if let Some(p) = out.iter().find(|p| matches!(p.msg, Msg::Downgrade { .. })) {
                 assert_eq!(p.dst, core(1));
-                push_req(&mut llc, now, core(1), Msg::RecallData {
-                    line: 0x2000,
-                    data: LineData::zeroed(),
-                    dirty: false,
-                });
+                push_req(
+                    &mut llc,
+                    now,
+                    core(1),
+                    Msg::RecallData { line: 0x2000, data: LineData::zeroed(), dirty: false },
+                );
                 break;
             }
             assert!(now < 1_000);
@@ -760,13 +791,18 @@ mod tests {
         let mut now = 0;
         let mut out = Vec::new();
         for k in 0..10u64 {
-            push_req(&mut llc, now, core(1), Msg::Amo {
-                addr: 0x3000,
-                size: 8,
-                op: smappic_noc::AmoOp::Add,
-                val: 1,
-                expected: 0,
-            });
+            push_req(
+                &mut llc,
+                now,
+                core(1),
+                Msg::Amo {
+                    addr: 0x3000,
+                    size: 8,
+                    op: smappic_noc::AmoOp::Add,
+                    val: 1,
+                    expected: 0,
+                },
+            );
             let before = out.len();
             while out.len() == before {
                 pump(&mut llc, &mut now, &mut out);
@@ -829,13 +865,18 @@ mod tests {
         let stride = 64 * 256;
         for k in 0..6u64 {
             // Dirty each line via AMO (executes at home, marks dirty).
-            push_req(&mut llc, now, core(1), Msg::Amo {
-                addr: k * stride,
-                size: 8,
-                op: smappic_noc::AmoOp::Add,
-                val: 1,
-                expected: 0,
-            });
+            push_req(
+                &mut llc,
+                now,
+                core(1),
+                Msg::Amo {
+                    addr: k * stride,
+                    size: 8,
+                    op: smappic_noc::AmoOp::Add,
+                    val: 1,
+                    expected: 0,
+                },
+            );
             let t0 = now;
             loop {
                 llc.tick(now);
@@ -843,11 +884,14 @@ mod tests {
                     match &p.msg {
                         Msg::MemRd { line } => {
                             let line = *line;
-                            llc.noc_push(now, Packet::on_canonical_vn(
-                                llc.identity(),
-                                Gid::chipset(NodeId(0)),
-                                Msg::MemData { line, data: LineData::zeroed() },
-                            ));
+                            llc.noc_push(
+                                now,
+                                Packet::on_canonical_vn(
+                                    llc.identity(),
+                                    Gid::chipset(NodeId(0)),
+                                    Msg::MemData { line, data: LineData::zeroed() },
+                                ),
+                            );
                         }
                         Msg::MemWr { .. } => mem_writes += 1,
                         _ => out.push(p),

@@ -189,7 +189,10 @@ impl InterNodeBridge {
                 let freed = self.freed.insert(src, 0).unwrap_or(0);
                 self.resp_for_peer.push_back((
                     src,
-                    AxiResp::Read(AxiReadResp { id: r.id, data: u64::from(freed).to_le_bytes().to_vec() }),
+                    AxiResp::Read(AxiReadResp {
+                        id: r.id,
+                        data: u64::from(freed).to_le_bytes().to_vec(),
+                    }),
                 ));
                 self.stats.add("bridge.credits_returned", u64::from(freed));
             }
@@ -246,7 +249,11 @@ mod tests {
     use smappic_noc::{Gid, Msg};
 
     fn pkt(dst: u16, src: u16, line: u64) -> Packet {
-        Packet::on_canonical_vn(Gid::tile(NodeId(dst), 0), Gid::tile(NodeId(src), 0), Msg::ReqS { line })
+        Packet::on_canonical_vn(
+            Gid::tile(NodeId(dst), 0),
+            Gid::tile(NodeId(src), 0),
+            Msg::ReqS { line },
+        )
     }
 
     /// Wires two bridges back to back and pumps until quiescent.

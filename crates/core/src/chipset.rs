@@ -41,6 +41,19 @@ impl Clint {
         self.mtime += 1;
     }
 
+    /// Advances mtime by `delta` cycles in one go, as if [`Clint::tick`]
+    /// had run that many times. Used by the idle-skip path: a warped-over
+    /// cycle must still age the guest clock.
+    pub fn advance(&mut self, delta: u64) {
+        self.mtime += delta;
+    }
+
+    /// Rewinds mtime by `delta` cycles, undoing ticks that the parallel
+    /// stepper executed past the platform's true quiescence point.
+    pub fn rewind(&mut self, delta: u64) {
+        self.mtime -= delta;
+    }
+
     /// Guest MMIO read.
     pub fn read(&self, offset: u64) -> u64 {
         if offset >= CLINT_MTIME {
@@ -128,12 +141,10 @@ impl SdController {
         match offset & 0x18 {
             SD_REG_LBA => self.lba = data,
             SD_REG_BUF => self.buf = data,
-            SD_REG_START => {
-                if data != 0 && self.progress.is_none() {
-                    self.progress = Some(0);
-                    self.loaded = None;
-                    self.waiting = false;
-                }
+            SD_REG_START if data != 0 && self.progress.is_none() => {
+                self.progress = Some(0);
+                self.loaded = None;
+                self.waiting = false;
             }
             _ => {}
         }
@@ -248,7 +259,8 @@ impl Chipset {
                     }
                     None => {
                         // DRAM (incl. the SD data region): memory controller.
-                        let fwd = Packet::on_canonical_vn(self.me(), src, Msg::NcLoad { addr, size });
+                        let fwd =
+                            Packet::on_canonical_vn(self.me(), src, Msg::NcLoad { addr, size });
                         self.push_memctl(fwd);
                     }
                 }
@@ -281,11 +293,21 @@ impl Chipset {
     /// Reads a device register; `None` when the address is DRAM.
     fn device_read(&mut self, _now: Cycle, addr: u64) -> Option<u64> {
         match addr {
-            a if (UART0_BASE..UART0_BASE + 0x1000).contains(&a) => Some(self.uart0.read(a - UART0_BASE)),
-            a if (UART1_BASE..UART1_BASE + 0x1000).contains(&a) => Some(self.uart1.read(a - UART1_BASE)),
-            a if (CLINT_BASE..CLINT_BASE + 0x10000).contains(&a) => Some(self.clint.read(a - CLINT_BASE)),
-            a if (SD_CTL_BASE..SD_CTL_BASE + 0x1000).contains(&a) => Some(self.sd.read(a - SD_CTL_BASE)),
-            a if (PLIC_BASE..PLIC_BASE + 0x40_0000).contains(&a) => Some(self.plic.read(a - PLIC_BASE)),
+            a if (UART0_BASE..UART0_BASE + 0x1000).contains(&a) => {
+                Some(self.uart0.read(a - UART0_BASE))
+            }
+            a if (UART1_BASE..UART1_BASE + 0x1000).contains(&a) => {
+                Some(self.uart1.read(a - UART1_BASE))
+            }
+            a if (CLINT_BASE..CLINT_BASE + 0x10000).contains(&a) => {
+                Some(self.clint.read(a - CLINT_BASE))
+            }
+            a if (SD_CTL_BASE..SD_CTL_BASE + 0x1000).contains(&a) => {
+                Some(self.sd.read(a - SD_CTL_BASE))
+            }
+            a if (PLIC_BASE..PLIC_BASE + 0x40_0000).contains(&a) => {
+                Some(self.plic.read(a - PLIC_BASE))
+            }
             _ => None,
         }
     }
@@ -451,6 +473,33 @@ impl Chipset {
         }
     }
 
+    /// Applies `delta` cycles' worth of pure-clock aging without ticking:
+    /// the idle-skip path calls this for every warped-over cycle so the
+    /// guest-visible mtime still advances one-per-cycle.
+    pub fn advance_idle(&mut self, delta: u64) {
+        self.clint.advance(delta);
+    }
+
+    /// Undoes `delta` ticks' worth of clock aging; the parallel stepper
+    /// uses it to roll the guest clock back to the true quiescence cycle
+    /// after a worker over-ran it inside an epoch.
+    pub fn rewind_idle(&mut self, delta: u64) {
+        self.clint.rewind(delta);
+    }
+
+    /// The next cycle after `now` at which ticking an otherwise-idle
+    /// chipset would do observable work (a UART wire event). The CLINT is
+    /// excluded: its per-cycle mtime increment is reproduced by
+    /// [`Chipset::advance_idle`], and a timer interrupt can only matter to
+    /// an engine that is not done — in which case the node is not idle and
+    /// no warp happens.
+    pub fn next_event_after(&self, now: Cycle) -> Option<Cycle> {
+        match (self.uart0.next_event_after(now), self.uart1.next_event_after(now)) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
     /// True when the chipset has no work in flight (SD idle, queues empty,
     /// memory controller drained).
     pub fn is_idle(&self) -> bool {
@@ -469,7 +518,8 @@ mod tests {
 
     fn chipset(tiles: usize) -> Chipset {
         let node = NodeId(0);
-        let memctl = MemController::new(MemControllerConfig::new(Gid::chipset(node)), Dram::default());
+        let memctl =
+            MemController::new(MemControllerConfig::new(Gid::chipset(node)), Dram::default());
         let bridge = InterNodeBridge::new(node, 0, 64);
         Chipset::new(node, tiles, memctl, bridge)
     }
@@ -501,8 +551,8 @@ mod tests {
         }
         assert_eq!(out, b"A");
         // The guest got its ack.
-        let acked = std::iter::from_fn(|| c.pop_to_mesh())
-            .any(|p| matches!(p.msg, Msg::NcAck { .. }));
+        let acked =
+            std::iter::from_fn(|| c.pop_to_mesh()).any(|p| matches!(p.msg, Msg::NcAck { .. }));
         assert!(acked);
     }
 

@@ -69,9 +69,35 @@ impl Fpga {
         &mut self.shell
     }
 
+    /// Read-only Hard Shell access (statistics).
+    pub fn shell(&self) -> &HardShell {
+        &self.shell
+    }
+
     /// Everything on this FPGA is quiescent.
     pub fn is_idle(&self) -> bool {
         self.nodes.iter().all(Node::is_idle) && self.xbar.is_idle() && self.shell.is_idle()
+    }
+
+    /// Ages every node's guest clock across `delta` warped-over idle
+    /// cycles (the idle-skip equivalent of `delta` no-op ticks).
+    pub fn advance_idle(&mut self, delta: u64) {
+        for n in &mut self.nodes {
+            n.advance_idle(delta);
+        }
+    }
+
+    /// Rolls every node's guest clock back over `delta` over-run cycles.
+    pub fn rewind_idle(&mut self, delta: u64) {
+        for n in &mut self.nodes {
+            n.rewind_idle(delta);
+        }
+    }
+
+    /// The next cycle after `now` at which ticking this (idle) FPGA would
+    /// do observable work, folded over all nodes.
+    pub fn next_event_after(&self, now: Cycle) -> Option<Cycle> {
+        self.nodes.iter().filter_map(|n| n.next_event_after(now)).min()
     }
 
     /// Which global node a bridge address targets.

@@ -88,9 +88,9 @@ impl Node {
         self.mesh.stats().get(key)
     }
 
-    /// All mesh counters (merged into platform-wide stats).
-    pub fn mesh_stats_all(&self) -> &smappic_sim::Stats {
-        self.mesh.stats()
+    /// Merges all mesh counters into platform-wide stats.
+    pub fn merge_mesh_stats_into(&self, out: &mut smappic_sim::Stats) {
+        self.mesh.merge_stats_into(out);
     }
 
     /// Mutable chipset access (UART consoles, memory backdoor, bridge).
@@ -101,6 +101,22 @@ impl Node {
     /// All tiles' engines finished and every queue in the node drained.
     pub fn is_idle(&self) -> bool {
         self.tiles.iter().all(Tile::is_idle) && self.mesh.is_idle() && self.chipset.is_idle()
+    }
+
+    /// Ages the guest clock across `delta` warped-over idle cycles.
+    pub fn advance_idle(&mut self, delta: u64) {
+        self.chipset.advance_idle(delta);
+    }
+
+    /// Rolls the guest clock back over `delta` over-run idle cycles.
+    pub fn rewind_idle(&mut self, delta: u64) {
+        self.chipset.rewind_idle(delta);
+    }
+
+    /// The next cycle after `now` at which ticking this (idle) node would
+    /// do observable work; see [`Chipset::next_event_after`].
+    pub fn next_event_after(&self, now: Cycle) -> Option<Cycle> {
+        self.chipset.next_event_after(now)
     }
 
     /// Advances the node one cycle.

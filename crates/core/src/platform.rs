@@ -1,4 +1,28 @@
 //! The full prototype: FPGAs, PCIe fabric, and the host machine.
+//!
+//! # Execution model
+//!
+//! The platform offers two equivalent steppers:
+//!
+//! - **Serial** ([`Platform::step`]/[`Platform::run`]): every cycle ticks
+//!   all FPGAs in index order, then pumps the PCIe fabric.
+//! - **Epoch-parallel** ([`Platform::run_parallel`]/[`Platform::step_epoch`]):
+//!   a conservative parallel-discrete-event scheme that exploits the PCIe
+//!   one-way latency `L` as *lookahead*. Anything an FPGA sends at cycle
+//!   `t` cannot reach a peer before `t + L`, so all FPGAs can be advanced
+//!   `L` cycles completely independently on worker threads; cross-FPGA
+//!   items are buffered with their send timestamps and exchanged at the
+//!   epoch barrier in a fixed `(from, to)` order. The result is
+//!   bit-identical to the serial stepper — same cycle count, same stats,
+//!   same console output.
+//!
+//! Idle stretches are warped over: when every FPGA is quiescent, the
+//! platform jumps straight to the next scheduled event (PCIe delivery or
+//! UART wire edge), aging the guest-visible CLINT clock by the skipped
+//! cycle count so software still observes one mtime tick per cycle.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
 
 use smappic_axi::{AxiReq, HardShell, PcieItem, PcieLink, ShellRoute};
 use smappic_coherence::Homing;
@@ -26,7 +50,148 @@ pub struct Platform {
     fpgas: Vec<Fpga>,
     /// links[i][j] for i < j.
     links: Vec<((usize, usize), PcieLink)>,
+    /// `(from, to) → index into links`, row-major over `fpgas × fpgas`,
+    /// `usize::MAX` on the diagonal. Keeps the per-item send path O(1)
+    /// instead of scanning the link list.
+    link_idx: Vec<usize>,
     now: Cycle,
+}
+
+/// One epoch's worth of work handed to an FPGA worker thread.
+struct EpochJob {
+    /// First cycle of the epoch.
+    start: Cycle,
+    /// Epoch length in cycles (at most the PCIe lookahead).
+    len: u64,
+    /// Pre-extracted inbound deliveries, indexed by sending FPGA: items
+    /// with their exact arrival cycles, oldest first.
+    inbound: Vec<VecDeque<(Cycle, PcieItem)>>,
+    /// Record idle/activity bookkeeping (for `run_until_idle_parallel`).
+    track: bool,
+}
+
+/// What an FPGA worker hands back at the epoch barrier.
+struct EpochOut {
+    worker: usize,
+    /// Cross-FPGA sends buffered during the epoch: `(cycle, to, item)` in
+    /// send order. Replayed into the links at the barrier.
+    sends: Vec<(Cycle, usize, PcieItem)>,
+    /// Last cycle at which this FPGA did observable work (tracked jobs).
+    last_active: Option<Cycle>,
+    /// FPGA was idle after the epoch's final cycle (tracked jobs).
+    idle_at_end: bool,
+}
+
+/// Drains the shell's outbound side exactly like the serial pump: all
+/// requests (with the PCIe window stripped back to bridge offsets), then
+/// all responses. `sink` receives `(destination fpga, item)`.
+fn drain_shell_outbound(fpga: &mut Fpga, mut sink: impl FnMut(usize, PcieItem)) {
+    while let Some((route, req)) = fpga.shell_mut().pop_outbound() {
+        match route {
+            ShellRoute::Fpga(peer) => {
+                let stripped = match req {
+                    AxiReq::Write(mut w) => {
+                        w.addr =
+                            HardShell::window_offset(peer, w.addr).expect("shell routed by window");
+                        AxiReq::Write(w)
+                    }
+                    AxiReq::Read(mut r) => {
+                        r.addr =
+                            HardShell::window_offset(peer, r.addr).expect("shell routed by window");
+                        AxiReq::Read(r)
+                    }
+                };
+                sink(peer, PcieItem::Req(stripped));
+            }
+            ShellRoute::Host => {
+                // Host-directed writes (management) are absorbed.
+            }
+        }
+    }
+    while let Some((peer, resp)) = fpga.shell_mut().pop_outbound_resp() {
+        sink(peer, PcieItem::Resp(resp));
+    }
+}
+
+/// Hands one link delivery to the receiving shell. A full inbound FIFO
+/// drops the item, exactly as the serial pump does (PCIe back-pressure is
+/// modeled at the shell boundary, not the link).
+fn deliver_inbound(fpga: &mut Fpga, from: usize, item: PcieItem) {
+    match item {
+        PcieItem::Req(req) => {
+            let _ = fpga.shell_mut().push_inbound(from, req);
+        }
+        PcieItem::Resp(resp) => {
+            let _ = fpga.shell_mut().push_inbound_resp(resp);
+        }
+    }
+}
+
+/// O(1) link send using the precomputed `(from, to) → link` table.
+fn link_send_indexed(
+    links: &mut [((usize, usize), PcieLink)],
+    link_idx: &[usize],
+    nf: usize,
+    now: Cycle,
+    from: usize,
+    to: usize,
+    item: PcieItem,
+) {
+    let li = link_idx[from * nf + to];
+    debug_assert!(li != usize::MAX, "links form a full mesh over the FPGAs");
+    let ((a, _), link) = &mut links[li];
+    if from == *a {
+        link.send_from_a(now, item);
+    } else {
+        link.send_from_b(now, item);
+    }
+}
+
+/// The body an FPGA worker thread runs for the lifetime of one parallel
+/// region: pull an epoch job, advance the FPGA through it cycle by cycle
+/// (tick, drain outbound into the send buffer, replay scheduled inbound
+/// deliveries at their exact cycles), report at the barrier, repeat until
+/// the job channel closes.
+fn epoch_worker(
+    w: usize,
+    fpga: &mut Fpga,
+    jobs: mpsc::Receiver<EpochJob>,
+    out: mpsc::Sender<EpochOut>,
+) {
+    let mut idle_now = fpga.is_idle();
+    while let Ok(job) = jobs.recv() {
+        let mut inbound = job.inbound;
+        let mut sends: Vec<(Cycle, usize, PcieItem)> = Vec::new();
+        let mut last_active = None;
+        for t in job.start..job.start + job.len {
+            fpga.tick(t);
+            let sent_before = sends.len();
+            drain_shell_outbound(fpga, |to, item| sends.push((t, to, item)));
+            let mut delivered = false;
+            // Ascending peer order matches the serial pump's lexicographic
+            // link order as seen by this receiver.
+            for (peer, q) in inbound.iter_mut().enumerate() {
+                while q.front().is_some_and(|(ready, _)| *ready <= t) {
+                    let (_, item) = q.pop_front().expect("front checked");
+                    deliver_inbound(fpga, peer, item);
+                    delivered = true;
+                }
+            }
+            if job.track {
+                // A cycle is active if the FPGA had work before or after
+                // the tick, or traffic moved. Quiescence is the cycle
+                // after the last active one.
+                let idle_after = fpga.is_idle();
+                if !idle_now || !idle_after || delivered || sends.len() > sent_before {
+                    last_active = Some(t);
+                }
+                idle_now = idle_after;
+            }
+        }
+        if out.send(EpochOut { worker: w, sends, last_active, idle_at_end: idle_now }).is_err() {
+            break;
+        }
+    }
 }
 
 impl Platform {
@@ -34,23 +199,34 @@ impl Platform {
     /// tile; install cores with [`Platform::set_engine`] (the workload
     /// layer provides builders that do this for whole experiments).
     pub fn new(cfg: Config) -> Self {
-        let homing = Homing::new(
-            cfg.homing_mode(),
-            cfg.total_nodes() as u16,
-            cfg.tiles_per_node as u16,
-        );
+        let homing =
+            Homing::new(cfg.homing_mode(), cfg.total_nodes() as u16, cfg.tiles_per_node as u16);
         let fpgas: Vec<Fpga> = (0..cfg.fpgas).map(|i| Fpga::new(&cfg, i, homing)).collect();
         let p = &cfg.params;
         let mut links = Vec::new();
         for i in 0..cfg.fpgas {
             for j in (i + 1)..cfg.fpgas {
-                links.push((
-                    (i, j),
-                    PcieLink::new(p.pcie_one_way_latency, p.pcie_bytes_per_cycle),
-                ));
+                links.push(((i, j), PcieLink::new(p.pcie_one_way_latency, p.pcie_bytes_per_cycle)));
             }
         }
-        Self { cfg, homing, fpgas, links, now: 0 }
+        let mut link_idx = vec![usize::MAX; cfg.fpgas * cfg.fpgas];
+        for (li, ((i, j), _)) in links.iter().enumerate() {
+            link_idx[i * cfg.fpgas + j] = li;
+            link_idx[j * cfg.fpgas + i] = li;
+        }
+        Self { cfg, homing, fpgas, links, link_idx, now: 0 }
+    }
+
+    /// Index into the platform's link list for the pair `(a, b)`, or
+    /// [`None`] when the pair shares no link (`a == b` or out of range).
+    /// The table is symmetric: both orderings return the same link.
+    pub fn link_index(&self, a: usize, b: usize) -> Option<usize> {
+        let nf = self.fpgas.len();
+        if a >= nf || b >= nf || a == b {
+            return None;
+        }
+        let li = self.link_idx[a * nf + b];
+        (li != usize::MAX).then_some(li)
     }
 
     /// The configuration this platform was built from.
@@ -200,14 +376,45 @@ impl Platform {
     }
 
     /// Runs until every engine finished and all machinery drained, up to
-    /// `max` cycles. Returns true on quiescence.
+    /// `max` cycles of simulated time. Returns true on quiescence, with
+    /// [`Platform::now`] at the exact first quiescent cycle.
+    ///
+    /// Dead stretches are skipped: while every FPGA is idle and the only
+    /// pending work sits in PCIe links or UART wires, time warps straight
+    /// to the next scheduled event, aging the guest clocks by the skipped
+    /// cycles (each skipped cycle's tick would have been a no-op apart
+    /// from the mtime increment, which [`Fpga::advance_idle`] reproduces).
     pub fn run_until_idle(&mut self, max: u64) -> bool {
-        // Cheap idle check every few cycles keeps the hot loop tight.
-        for _ in 0..max {
-            self.step();
-            if self.now % 64 == 0 && self.is_idle() {
+        let mut spent = 0u64;
+        while spent < max {
+            if self.is_idle() {
                 return true;
             }
+            if self.fpgas.iter().all(Fpga::is_idle) {
+                let now = self.now;
+                let fpga_ev = self.fpgas.iter().filter_map(|f| f.next_event_after(now)).min();
+                let link_ev = self.links.iter().filter_map(|(_, l)| l.next_delivery_at()).min();
+                let target = match (fpga_ev, link_ev) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+                // Warp to the event cycle; the normal step below executes
+                // it. `target <= now` means a link item matured for this
+                // very cycle's pump — just step.
+                if let Some(target) = target {
+                    if target > now {
+                        let warp = (target - now).min(max - spent);
+                        for f in &mut self.fpgas {
+                            f.advance_idle(warp);
+                        }
+                        self.now += warp;
+                        spent += warp;
+                        continue;
+                    }
+                }
+            }
+            self.step();
+            spent += 1;
         }
         self.is_idle()
     }
@@ -229,101 +436,191 @@ impl Platform {
 
     /// Moves traffic between Hard Shells over the PCIe links.
     fn pump_pcie(&mut self, now: Cycle) {
-        // Outbound requests and responses onto links.
-        for fi in 0..self.fpgas.len() {
-            loop {
-                let Some((route, req)) = self.fpgas[fi].shell_mut().pop_outbound() else { break };
-                match route {
-                    ShellRoute::Fpga(peer) => {
-                        // Strip the window so the peer sees bridge offsets.
-                        let stripped = match req {
-                            AxiReq::Write(mut w) => {
-                                w.addr = HardShell::window_offset(peer, w.addr)
-                                    .expect("shell routed by window");
-                                AxiReq::Write(w)
-                            }
-                            AxiReq::Read(mut r) => {
-                                r.addr = HardShell::window_offset(peer, r.addr)
-                                    .expect("shell routed by window");
-                                AxiReq::Read(r)
-                            }
-                        };
-                        self.link_send(now, fi, peer, PcieItem::Req(stripped));
-                    }
-                    ShellRoute::Host => {
-                        // Host-directed writes (management) are absorbed.
-                    }
-                }
-            }
-            loop {
-                let Some((peer, resp)) = self.fpgas[fi].shell_mut().pop_outbound_resp() else {
-                    break;
-                };
-                self.link_send(now, fi, peer, PcieItem::Resp(resp));
-            }
+        let nf = self.fpgas.len();
+        // Outbound requests and responses onto links, FPGA by FPGA.
+        for fi in 0..nf {
+            let (fpgas, links) = (&mut self.fpgas, &mut self.links);
+            let link_idx = &self.link_idx;
+            drain_shell_outbound(&mut fpgas[fi], |to, item| {
+                link_send_indexed(links, link_idx, nf, now, fi, to, item);
+            });
         }
-        // Deliveries off links.
+        // Deliveries off links, in lexicographic link order (which any
+        // single receiver observes as ascending-peer order).
         for li in 0..self.links.len() {
-            let ((a, b), _) = self.links[li];
-            loop {
-                let item = {
-                    let (_, link) = &mut self.links[li];
-                    link.recv_at_b(now)
-                };
-                match item {
-                    Some(PcieItem::Req(req)) => {
-                        let _ = self.fpgas[b].shell_mut().push_inbound(a, req);
-                    }
-                    Some(PcieItem::Resp(resp)) => {
-                        let _ = self.fpgas[b].shell_mut().push_inbound_resp(resp);
-                    }
-                    None => break,
-                }
+            let (a, b) = self.links[li].0;
+            while let Some(item) = self.links[li].1.recv_at_b(now) {
+                deliver_inbound(&mut self.fpgas[b], a, item);
             }
-            loop {
-                let item = {
-                    let (_, link) = &mut self.links[li];
-                    link.recv_at_a(now)
-                };
-                match item {
-                    Some(PcieItem::Req(req)) => {
-                        let _ = self.fpgas[a].shell_mut().push_inbound(b, req);
-                    }
-                    Some(PcieItem::Resp(resp)) => {
-                        let _ = self.fpgas[a].shell_mut().push_inbound_resp(resp);
-                    }
-                    None => break,
-                }
+            while let Some(item) = self.links[li].1.recv_at_a(now) {
+                deliver_inbound(&mut self.fpgas[a], b, item);
             }
         }
     }
 
-    fn link_send(&mut self, now: Cycle, from: usize, to: usize, item: PcieItem) {
-        let (lo, hi) = if from < to { (from, to) } else { (to, from) };
-        let (_, link) = self
-            .links
-            .iter_mut()
-            .find(|((a, b), _)| (*a, *b) == (lo, hi))
-            .expect("links form a full mesh over the FPGAs");
-        if from == lo {
-            link.send_from_a(now, item);
-        } else {
-            link.send_from_b(now, item);
+    /// The conservative lookahead of the PCIe fabric: the minimum one-way
+    /// link latency, i.e. how many cycles FPGAs can run without observing
+    /// each other. Zero when the platform has no usable lookahead (single
+    /// FPGA, or a zero-latency link configuration).
+    pub fn lookahead(&self) -> u64 {
+        if self.fpgas.len() < 2 {
+            return 0;
         }
+        self.links.iter().map(|(_, l)| l.one_way_latency()).min().unwrap_or(0)
+    }
+
+    /// Runs for `cycles` cycles on worker threads, one per FPGA, advancing
+    /// in epochs of [`Platform::lookahead`] cycles. Falls back to the
+    /// serial stepper when there is no lookahead to exploit.
+    ///
+    /// The execution is bit-identical to [`Platform::run`]: identical
+    /// cycle count, statistics, memory, and console output.
+    pub fn run_parallel(&mut self, cycles: u64) {
+        if self.lookahead() == 0 || cycles == 0 {
+            self.run(cycles);
+            return;
+        }
+        self.run_epochs(cycles, false);
+    }
+
+    /// Advances one epoch (up to [`Platform::lookahead`] cycles) with one
+    /// worker thread per FPGA; returns the number of cycles advanced.
+    /// Without lookahead this degenerates to a single serial step.
+    pub fn step_epoch(&mut self) -> u64 {
+        let l = self.lookahead();
+        if l == 0 {
+            self.step();
+            return 1;
+        }
+        self.run_epochs(l, false);
+        l
+    }
+
+    /// Parallel [`Platform::run_until_idle`]: epoch-stepped on worker
+    /// threads, up to `max` cycles. On quiescence, [`Platform::now`] lands
+    /// on the same cycle the serial path reports and guest clocks are
+    /// rolled back over any epoch overshoot.
+    ///
+    /// Caveat: workers always finish their epoch, so host-side UART output
+    /// that matures *after* quiescence but before the epoch boundary is
+    /// already drained to [`HostSerial`] when this returns (the serial
+    /// path surfaces those bytes on the next run call instead). Guest-
+    /// visible state is unaffected.
+    pub fn run_until_idle_parallel(&mut self, max: u64) -> bool {
+        if self.lookahead() == 0 {
+            return self.run_until_idle(max);
+        }
+        if self.is_idle() {
+            return true;
+        }
+        self.run_epochs(max, true) || self.is_idle()
+    }
+
+    /// The epoch engine shared by the parallel run modes: persistent
+    /// worker threads (one per FPGA) advance lockstep epochs of at most
+    /// the PCIe lookahead; the barrier replays buffered sends into the
+    /// links in `(from, to)` order and pre-extracts the next epoch's
+    /// deliveries. Returns true when `stop_when_idle` observed global
+    /// quiescence (and trimmed `now` back to its exact cycle).
+    fn run_epochs(&mut self, max_cycles: u64, stop_when_idle: bool) -> bool {
+        let nf = self.fpgas.len();
+        let lookahead =
+            self.links.iter().map(|(_, l)| l.one_way_latency()).min().expect("links exist");
+        let start_now = self.now;
+        let fpgas = &mut self.fpgas;
+        let links = &mut self.links;
+        let link_idx = &self.link_idx;
+        let (spent, went_idle, last_active) = std::thread::scope(|s| {
+            let (out_tx, out_rx) = mpsc::channel::<EpochOut>();
+            let mut job_txs = Vec::with_capacity(nf);
+            for (w, fpga) in fpgas.iter_mut().enumerate() {
+                let (tx, rx) = mpsc::channel::<EpochJob>();
+                job_txs.push(tx);
+                let out_tx = out_tx.clone();
+                s.spawn(move || epoch_worker(w, fpga, rx, out_tx));
+            }
+            drop(out_tx);
+            let mut spent = 0u64;
+            let mut went_idle = false;
+            let mut last_active: Option<Cycle> = None;
+            while spent < max_cycles {
+                let len = lookahead.min(max_cycles - spent);
+                let epoch_start = start_now + spent;
+                let horizon = epoch_start + len;
+                // Pull everything the links deliver inside this epoch and
+                // schedule it at the receiving worker, keyed by sender.
+                let mut schedules: Vec<Vec<VecDeque<(Cycle, PcieItem)>>> =
+                    (0..nf).map(|_| (0..nf).map(|_| VecDeque::new()).collect()).collect();
+                for ((a, b), link) in links.iter_mut() {
+                    schedules[*b][*a] = link.take_to_b_before(horizon).into();
+                    schedules[*a][*b] = link.take_to_a_before(horizon).into();
+                }
+                for (w, tx) in job_txs.iter().enumerate() {
+                    let job = EpochJob {
+                        start: epoch_start,
+                        len,
+                        inbound: std::mem::take(&mut schedules[w]),
+                        track: stop_when_idle,
+                    };
+                    tx.send(job).expect("worker alive");
+                }
+                let mut outs: Vec<Option<EpochOut>> = (0..nf).map(|_| None).collect();
+                for _ in 0..nf {
+                    let o = out_rx.recv().expect("worker alive");
+                    let w = o.worker;
+                    outs[w] = Some(o);
+                }
+                // Barrier: replay sends in fixed (from, to) order. Each
+                // link direction has a single sending FPGA, so replaying
+                // one worker's buffer in timestamp order reproduces the
+                // serial shaper state exactly.
+                let mut all_idle = true;
+                for slot in &mut outs {
+                    let o = slot.as_mut().expect("every worker reported");
+                    all_idle &= o.idle_at_end;
+                    if let Some(t) = o.last_active {
+                        last_active = Some(last_active.map_or(t, |p| p.max(t)));
+                    }
+                    for (t, to, item) in o.sends.drain(..) {
+                        link_send_indexed(links, link_idx, nf, t, o.worker, to, item);
+                    }
+                }
+                spent += len;
+                if stop_when_idle && all_idle && links.iter().all(|(_, l)| l.is_idle()) {
+                    went_idle = true;
+                    break;
+                }
+            }
+            (spent, went_idle, last_active)
+        });
+        if went_idle {
+            // Workers ran to the epoch boundary; trim back to the first
+            // quiescent cycle, undoing the overshoot's clock ticks.
+            let epoch_end = start_now + spent;
+            let resume = last_active.map_or(start_now, |t| t + 1);
+            for f in self.fpgas.iter_mut() {
+                f.rewind_idle(epoch_end - resume);
+            }
+            self.now = resume;
+        } else {
+            self.now = start_now + spent;
+        }
+        went_idle
     }
 
     /// Aggregated statistics across the whole platform.
     pub fn stats(&self) -> Stats {
         let mut s = Stats::new();
         for f in &self.fpgas {
+            s.merge(f.shell().stats());
             for n in f.nodes() {
                 s.merge(n.chipset().stats());
                 s.merge(n.chipset().memctl().stats());
                 s.merge(n.chipset().bridge_stats());
-                s.merge(n.mesh_stats_all());
+                n.merge_mesh_stats_into(&mut s);
                 for t in 0..n.tile_count() {
-                    s.merge(n.tile(t as TileId).bpc().stats());
-                    s.merge(n.tile(t as TileId).llc().stats());
+                    n.tile(t as TileId).bpc().merge_stats_into(&mut s);
+                    n.tile(t as TileId).llc().merge_stats_into(&mut s);
                 }
             }
         }

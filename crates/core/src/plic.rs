@@ -77,7 +77,7 @@ impl Plic {
             if prio <= self.threshold[hart] {
                 continue;
             }
-            if best.map_or(true, |(bp, _)| prio > bp) {
+            if best.is_none_or(|(bp, _)| prio > bp) {
                 best = Some((prio, src));
             }
         }

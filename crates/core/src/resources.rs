@@ -18,13 +18,8 @@ pub struct Synthesis {
 }
 
 /// Calibration rows straight from Table 4: (nodes B, tiles C, MHz, LUT%).
-pub const TABLE4: [(usize, usize, u32, f64); 5] = [
-    (1, 12, 75, 97.0),
-    (1, 10, 100, 83.0),
-    (2, 4, 100, 73.0),
-    (2, 5, 75, 88.0),
-    (4, 2, 100, 87.0),
-];
+pub const TABLE4: [(usize, usize, u32, f64); 5] =
+    [(1, 12, 75, 97.0), (1, 10, 100, 83.0), (2, 4, 100, 73.0), (2, 5, 75, 88.0), (4, 2, 100, 87.0)];
 
 /// Analytic LUT model fitted to Table 4: shell ≈ 9 %, each node's
 /// uncore (memory controller, chipset, bridge) ≈ 4 %, each Ariane tile
@@ -37,7 +32,7 @@ fn lut_estimate(nodes: usize, tiles_per_node: usize) -> f64 {
     let per_tile = 7.0;
     // Crossbar ports grow with node count; negligible below 3 nodes.
     let xbar = match nodes {
-        0 | 1 | 2 => 0.0,
+        0..=2 => 0.0,
         3 => 3.0,
         _ => 6.0,
     };
@@ -67,10 +62,7 @@ pub fn synthesize(nodes: usize, tiles_per_node: usize) -> Synthesis {
 /// The largest tile count per node that fits at `nodes` nodes per FPGA
 /// (paper: "F1 FPGAs can fit at most 12 Ariane tiles").
 pub fn max_tiles(nodes: usize) -> usize {
-    (1..=64)
-        .take_while(|&c| synthesize(nodes, c).feasible)
-        .last()
-        .unwrap_or(0)
+    (1..=64).take_while(|&c| synthesize(nodes, c).feasible).last().unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -92,10 +84,7 @@ mod tests {
         // The fit should land within a few percent of the measured rows.
         for &(b, c, _, lut) in &TABLE4 {
             let est = lut_estimate(b, c);
-            assert!(
-                (est - lut).abs() <= 6.0,
-                "{b}x{c}: fit {est:.1}% vs measured {lut:.1}%"
-            );
+            assert!((est - lut).abs() <= 6.0, "{b}x{c}: fit {est:.1}% vs measured {lut:.1}%");
         }
     }
 

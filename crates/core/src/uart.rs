@@ -143,6 +143,21 @@ impl Uart16550 {
     pub fn bytes_transmitted(&self) -> u64 {
         self.bytes_tx
     }
+
+    /// The next cycle after `now` at which ticking this UART would do
+    /// anything: a wire byte maturing in either direction, or — when the
+    /// host has input queued — the very next cycle (one byte enters the RX
+    /// shaper per tick). [`None`] means ticks are pure no-ops until new
+    /// traffic arrives, so the idle-skip scan may warp past this UART.
+    pub fn next_event_after(&self, now: Cycle) -> Option<Cycle> {
+        if !self.host.input.is_empty() {
+            return Some(now + 1);
+        }
+        match (self.tx.next_event_after(now), self.rx.next_event_after(now)) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,105 +1,137 @@
-//! Property tests: the bridge wire codec round-trips every message shape,
+//! Randomized tests: the bridge wire codec round-trips every message shape,
 //! and the bridge pair delivers arbitrary traffic exactly once, in order.
+//!
+//! Cases are drawn from the deterministic [`SimRng`] (fixed seeds) so the
+//! suite needs no external dependencies and failures reproduce exactly.
 
-use proptest::prelude::*;
 use smappic_core::{decode_packet, encode_packet, InterNodeBridge};
 use smappic_noc::{AmoOp, Gid, LineData, Msg, NodeId, Packet};
+use smappic_sim::SimRng;
 
-fn line_data() -> impl Strategy<Value = LineData> {
-    any::<[u8; 32]>().prop_map(|half| {
-        let mut l = LineData::zeroed();
-        l.0[..32].copy_from_slice(&half);
-        l.0[32..].copy_from_slice(&half);
-        l
-    })
+fn random_line_data(rng: &mut SimRng) -> LineData {
+    // Half-mirrored pattern: fills all 64 bytes from 32 random ones, so the
+    // codec can't get away with encoding only a prefix.
+    let mut l = LineData::zeroed();
+    for i in 0..32 {
+        l.0[i] = rng.next_u64() as u8;
+    }
+    let (lo, hi) = l.0.split_at_mut(32);
+    hi.copy_from_slice(lo);
+    l
 }
 
-fn amo_op() -> impl Strategy<Value = AmoOp> {
-    prop_oneof![
-        Just(AmoOp::Swap),
-        Just(AmoOp::Add),
-        Just(AmoOp::And),
-        Just(AmoOp::Or),
-        Just(AmoOp::Xor),
-        Just(AmoOp::Max),
-        Just(AmoOp::Min),
-        Just(AmoOp::MaxU),
-        Just(AmoOp::MinU),
-        Just(AmoOp::Cas),
-    ]
+fn random_amo_op(rng: &mut SimRng) -> AmoOp {
+    const OPS: &[AmoOp] = &[
+        AmoOp::Swap,
+        AmoOp::Add,
+        AmoOp::And,
+        AmoOp::Or,
+        AmoOp::Xor,
+        AmoOp::Max,
+        AmoOp::Min,
+        AmoOp::MaxU,
+        AmoOp::MinU,
+        AmoOp::Cas,
+    ];
+    OPS[rng.gen_range(OPS.len() as u64) as usize]
 }
 
-fn msg() -> impl Strategy<Value = Msg> {
-    let line = any::<u64>().prop_map(|a| a & !63);
-    prop_oneof![
-        line.clone().prop_map(|line| Msg::ReqS { line }),
-        line.clone().prop_map(|line| Msg::ReqM { line }),
-        (any::<u64>(), prop_oneof![Just(4u8), Just(8u8)], amo_op(), any::<u64>(), any::<u64>())
-            .prop_map(|(addr, size, op, val, expected)| Msg::Amo { addr, size, op, val, expected }),
-        (any::<u64>(), prop_oneof![Just(1u8), Just(2), Just(4), Just(8)])
-            .prop_map(|(addr, size)| Msg::NcLoad { addr, size }),
-        (any::<u64>(), prop_oneof![Just(1u8), Just(2), Just(4), Just(8)], any::<u64>())
-            .prop_map(|(addr, size, data)| Msg::NcStore { addr, size, data }),
-        (line.clone(), line_data(), any::<bool>())
-            .prop_map(|(line, data, excl)| Msg::Data { line, data, excl }),
-        line.clone().prop_map(|line| Msg::UpgradeAck { line }),
-        line.clone().prop_map(|line| Msg::Inv { line }),
-        line.clone().prop_map(|line| Msg::Recall { line }),
-        line.clone().prop_map(|line| Msg::Downgrade { line }),
-        (any::<u64>(), any::<u64>()).prop_map(|(addr, old)| Msg::AmoResp { addr, old }),
-        (any::<u64>(), any::<u64>()).prop_map(|(addr, data)| Msg::NcData { addr, data }),
-        any::<u64>().prop_map(|addr| Msg::NcAck { addr }),
-        (any::<u16>(), any::<bool>()).prop_map(|(line_no, level)| Msg::Irq { line_no, level }),
-        (line.clone(), line_data()).prop_map(|(line, data)| Msg::WbData { line, data }),
-        line.clone().prop_map(|line| Msg::WbClean { line }),
-        line.clone().prop_map(|line| Msg::InvAck { line }),
-        line.clone().prop_map(|line| Msg::RecallNack { line }),
-        (line.clone(), line_data(), any::<bool>())
-            .prop_map(|(line, data, dirty)| Msg::RecallData { line, data, dirty }),
-        line.clone().prop_map(|line| Msg::MemRd { line }),
-        (line.clone(), line_data()).prop_map(|(line, data)| Msg::MemWr { line, data }),
-        (line, line_data()).prop_map(|(line, data)| Msg::MemData { line, data }),
-    ]
+/// Draws a message uniformly across every variant the codec must handle.
+fn random_msg(rng: &mut SimRng) -> Msg {
+    let line = rng.next_u64() & !63;
+    let addr = rng.next_u64();
+    match rng.gen_range(22) {
+        0 => Msg::ReqS { line },
+        1 => Msg::ReqM { line },
+        2 => {
+            let size = if rng.chance(0.5) { 4 } else { 8 };
+            Msg::Amo {
+                addr,
+                size,
+                op: random_amo_op(rng),
+                val: rng.next_u64(),
+                expected: rng.next_u64(),
+            }
+        }
+        3 => Msg::NcLoad { addr, size: 1 << rng.gen_range(4) },
+        4 => Msg::NcStore { addr, size: 1 << rng.gen_range(4), data: rng.next_u64() },
+        5 => Msg::Data { line, data: random_line_data(rng), excl: rng.chance(0.5) },
+        6 => Msg::UpgradeAck { line },
+        7 => Msg::Inv { line },
+        8 => Msg::Recall { line },
+        9 => Msg::Downgrade { line },
+        10 => Msg::AmoResp { addr, old: rng.next_u64() },
+        11 => Msg::NcData { addr, data: rng.next_u64() },
+        12 => Msg::NcAck { addr },
+        13 => Msg::Irq { line_no: rng.next_u64() as u16, level: rng.chance(0.5) },
+        14 => Msg::WbData { line, data: random_line_data(rng) },
+        15 => Msg::WbClean { line },
+        16 => Msg::InvAck { line },
+        17 => Msg::RecallNack { line },
+        18 => Msg::RecallData { line, data: random_line_data(rng), dirty: rng.chance(0.5) },
+        19 => Msg::MemRd { line },
+        20 => Msg::MemWr { line, data: random_line_data(rng) },
+        _ => Msg::MemData { line, data: random_line_data(rng) },
+    }
 }
 
-fn gid() -> impl Strategy<Value = Gid> {
-    (0u16..16, prop_oneof![(0u16..64).prop_map(Some), Just(None)]).prop_map(|(n, t)| match t {
-        Some(t) => Gid::tile(NodeId(n), t),
-        None => Gid::chipset(NodeId(n)),
-    })
+fn random_gid(rng: &mut SimRng) -> Gid {
+    let node = NodeId(rng.gen_range(16) as u16);
+    if rng.chance(0.75) {
+        Gid::tile(node, rng.gen_range(64) as u16)
+    } else {
+        Gid::chipset(node)
+    }
 }
 
-fn packet() -> impl Strategy<Value = Packet> {
-    (gid(), gid(), msg()).prop_map(|(dst, src, msg)| Packet::on_canonical_vn(dst, src, msg))
+fn random_packet(rng: &mut SimRng) -> Packet {
+    let dst = random_gid(rng);
+    let src = random_gid(rng);
+    let msg = random_msg(rng);
+    Packet::on_canonical_vn(dst, src, msg)
 }
 
-proptest! {
-    #[test]
-    fn codec_roundtrips_any_packet(pkt in packet()) {
+#[test]
+fn codec_roundtrips_any_packet() {
+    let mut rng = SimRng::new(0xC0DEC01);
+    for _ in 0..2048 {
+        let pkt = random_packet(&mut rng);
         let bytes = encode_packet(&pkt);
         let back = decode_packet(&bytes);
-        prop_assert_eq!(back.as_ref(), Some(&pkt));
+        assert_eq!(back.as_ref(), Some(&pkt));
     }
+}
 
-    #[test]
-    fn truncation_never_panics_or_misdecodes(pkt in packet(), cut in 0usize..64) {
+#[test]
+fn truncation_never_panics_or_misdecodes() {
+    let mut rng = SimRng::new(0xC0DEC02);
+    for _ in 0..1024 {
+        let pkt = random_packet(&mut rng);
         let bytes = encode_packet(&pkt);
+        let cut = rng.gen_range(64) as usize;
         if cut < bytes.len() {
             // A truncated buffer must be rejected, not misread.
-            prop_assert!(decode_packet(&bytes[..cut]).is_none());
+            assert!(decode_packet(&bytes[..cut]).is_none());
         }
     }
+}
 
-    #[test]
-    fn bridge_pair_delivers_everything_in_order(
-        msgs in prop::collection::vec(msg(), 1..40),
-        latency in 0u64..50,
-    ) {
+#[test]
+fn bridge_pair_delivers_everything_in_order() {
+    let mut rng = SimRng::new(0xB41D6E);
+    for case in 0..48 {
+        let n = 1 + rng.gen_range(39) as usize; // 1..40 messages
+        let latency = rng.gen_range(50); // 0..50 cycles
         let mut a = InterNodeBridge::new(NodeId(0), latency, 16);
         let mut b = InterNodeBridge::new(NodeId(1), 0, 16);
-        let sent: Vec<Packet> = msgs
-            .into_iter()
-            .map(|m| Packet::on_canonical_vn(Gid::tile(NodeId(1), 0), Gid::tile(NodeId(0), 0), m))
+        let sent: Vec<Packet> = (0..n)
+            .map(|_| {
+                Packet::on_canonical_vn(
+                    Gid::tile(NodeId(1), 0),
+                    Gid::tile(NodeId(0), 0),
+                    random_msg(&mut rng),
+                )
+            })
             .collect();
         let mut now = 0u64;
         for p in &sent {
@@ -123,8 +155,8 @@ proptest! {
                 got.push(p);
             }
             now += 1;
-            prop_assert!(now < 1_000_000, "bridge stuck after {} of {}", got.len(), sent.len());
+            assert!(now < 1_000_000, "bridge stuck after {} of {} (case {case})", got.len(), n);
         }
-        prop_assert_eq!(got, sent);
+        assert_eq!(got, sent, "case {case}");
     }
 }

@@ -1,9 +1,7 @@
 //! The EC2 instance catalog (Tables 1 and 3 of the paper).
 
-use serde::{Deserialize, Serialize};
-
 /// One EC2 instance offering.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Instance {
     /// Instance name (e.g. "f1.2xlarge").
     pub name: &'static str,

@@ -1,13 +1,11 @@
 //! Data generators for Fig 13, Fig 14, and the §4.5 Verilator comparison.
 
-use serde::{Deserialize, Serialize};
-
 use crate::catalog::F1;
 use crate::spec::{SpecBenchmark, SPECINT2017};
 use crate::tools::{model, tool_models, Tool, ToolModel};
 
 /// One cell of Fig 13: the cost of modeling one benchmark with one tool.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig13Cell {
     /// Benchmark name.
     pub benchmark: &'static str,
@@ -20,10 +18,8 @@ pub struct Fig13Cell {
 /// Generates the Fig 13 matrix (including the SPECint total row). gem5 is
 /// included in the data even though the paper's chart omits it for scale.
 pub fn fig13() -> Vec<Fig13Cell> {
-    let tools: Vec<ToolModel> = tool_models()
-        .into_iter()
-        .filter(|m| !matches!(m.tool, Tool::Verilator))
-        .collect();
+    let tools: Vec<ToolModel> =
+        tool_models().into_iter().filter(|m| !matches!(m.tool, Tool::Verilator)).collect();
     let mut cells = Vec::new();
     let mut totals: Vec<(usize, f64)> = tools.iter().enumerate().map(|(i, _)| (i, 0.0)).collect();
     for b in &SPECINT2017 {
@@ -49,7 +45,7 @@ fn benchmark_cost(t: &ToolModel, b: &SpecBenchmark) -> Option<f64> {
 }
 
 /// One point of Fig 14.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Fig14Point {
     /// Continuous modeling time in days.
     pub days: f64,
@@ -87,7 +83,7 @@ pub fn fig14_crossover_days() -> f64 {
 }
 
 /// The §4.5 hello-world comparison.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct VerilatorComparison {
     /// Verilator wall-clock seconds (the paper measured 65 s).
     pub verilator_seconds: f64,
@@ -108,8 +104,8 @@ pub fn verilator_comparison(smappic_cycles: u64, frequency_mhz: u32) -> Verilato
     let verilator_seconds = native_seconds * v.slowdown;
     let s = model(Tool::Smappic);
     let cost_v = verilator_seconds / 3600.0 * v.host().price_per_hour;
-    let cost_s = smappic_seconds / 3600.0 * s.host().price_per_hour
-        / f64::from(s.instances_per_host);
+    let cost_s =
+        smappic_seconds / 3600.0 * s.host().price_per_hour / f64::from(s.instances_per_host);
     VerilatorComparison {
         verilator_seconds,
         smappic_seconds,
@@ -143,10 +139,7 @@ mod tests {
     #[test]
     fn fig13_sniper_skips_perlbench() {
         let cells = fig13();
-        let cell = cells
-            .iter()
-            .find(|c| c.benchmark == "perlbench" && c.tool == "Sniper")
-            .unwrap();
+        let cell = cells.iter().find(|c| c.benchmark == "perlbench" && c.tool == "Sniper").unwrap();
         assert!(cell.cost.is_none());
     }
 
@@ -168,10 +161,7 @@ mod tests {
     #[test]
     fn fig14_crossover_near_200_days() {
         let d = fig14_crossover_days();
-        assert!(
-            (180.0..=230.0).contains(&d),
-            "crossover at {d:.0} days; the paper reports >200"
-        );
+        assert!((180.0..=230.0).contains(&d), "crossover at {d:.0} days; the paper reports >200");
         // The series reflect it.
         let pts = fig14(350, 10);
         let before = pts.iter().find(|p| p.days == 100.0).unwrap();

@@ -6,10 +6,8 @@
 //! are insensitive to the exact values because every tool models the same
 //! benchmark seconds).
 
-use serde::{Deserialize, Serialize};
-
 /// One SPECint 2017 benchmark profile.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SpecBenchmark {
     /// Benchmark name (SPEC suffixes dropped, as in the figure).
     pub name: &'static str,

@@ -1,11 +1,9 @@
 //! The modeling tools compared in §4.5.
 
-use serde::{Deserialize, Serialize};
-
 use crate::catalog::{cheapest_instance, Instance};
 
 /// A modeling approach compared in Fig 13.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Tool {
     /// SMAPPIC in the cost-efficient 1x4x2 configuration: four independent
     /// prototypes share one FPGA at 100 MHz.
@@ -25,7 +23,7 @@ pub enum Tool {
 }
 
 /// Performance/footprint model of one tool.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ToolModel {
     /// The tool.
     pub tool: Tool,
@@ -183,11 +181,7 @@ mod tests {
         let s = model(Tool::Smappic).modeling_cost(50.0);
         for m in tool_models() {
             if m.tool != Tool::Smappic {
-                assert!(
-                    m.modeling_cost(50.0) > s,
-                    "{} must cost more than SMAPPIC",
-                    m.name
-                );
+                assert!(m.modeling_cost(50.0) > s, "{} must cost more than SMAPPIC", m.name);
             }
         }
     }

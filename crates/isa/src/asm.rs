@@ -82,7 +82,9 @@ pub fn assemble(source: &str, base: u64) -> Result<Image, AsmError> {
         while let Some(colon) = rest.find(':') {
             let (label, tail) = rest.split_at(colon);
             let label = label.trim();
-            if label.is_empty() || !label.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '.') {
+            if label.is_empty()
+                || !label.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '.')
+            {
                 break;
             }
             if symbols.insert(label.to_owned(), pc).is_some() {
@@ -127,7 +129,8 @@ fn stmt_org(stmt: &str) -> Option<u64> {
 
 fn parse_u64(s: &str) -> Result<u64, ()> {
     let s = s.trim();
-    let (neg, s) = if let Some(stripped) = s.strip_prefix('-') { (true, stripped) } else { (false, s) };
+    let (neg, s) =
+        if let Some(stripped) = s.strip_prefix('-') { (true, stripped) } else { (false, s) };
     let v = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
         u64::from_str_radix(hex, 16).map_err(|_| ())?
     } else if let Some(bin) = s.strip_prefix("0b") {
@@ -204,11 +207,8 @@ fn split_stmt(stmt: &str) -> (&str, Vec<String>) {
         None => (stmt, ""),
     };
     // Split args on commas, then normalize `off(reg)` into two tokens.
-    let args: Vec<String> = rest
-        .split(',')
-        .map(|a| a.trim().to_owned())
-        .filter(|a| !a.is_empty())
-        .collect();
+    let args: Vec<String> =
+        rest.split(',').map(|a| a.trim().to_owned()).filter(|a| !a.is_empty()).collect();
     (mn, args)
 }
 
@@ -234,10 +234,8 @@ struct Ctx<'a> {
 
 impl Ctx<'_> {
     fn reg(&self, name: &str) -> Result<u32, AsmError> {
-        reg_num(name).ok_or_else(|| AsmError {
-            line: self.ln,
-            msg: format!("unknown register `{name}`"),
-        })
+        reg_num(name)
+            .ok_or_else(|| AsmError { line: self.ln, msg: format!("unknown register `{name}`") })
     }
 
     fn imm(&self, s: &str) -> Result<i64, AsmError> {
@@ -449,7 +447,9 @@ fn encode_stmt(
             }
         }
         ".zero" => {
-            let n = parse_u64(arg(0)?).map_err(|_| AsmError { line: ln, msg: "bad .zero".into() })? as usize;
+            let n = parse_u64(arg(0)?)
+                .map_err(|_| AsmError { line: ln, msg: "bad .zero".into() })?
+                as usize;
             out.resize(n, 0);
         }
         ".ascii" => out = parse_string(ln, stmt)?,
@@ -487,28 +487,50 @@ fn encode_stmt(
         "tail" => push32(&mut out, enc_j(ctx.imm(arg(0)?)? - pc as i64, 0, 0x6F)),
         "jr" => push32(&mut out, enc_i(0, ctx.reg(arg(0)?)?, 0, 0, 0x67)),
         "ret" => push32(&mut out, enc_i(0, 1, 0, 0, 0x67)),
-        "beqz" => push32(&mut out, enc_b(ctx.imm(arg(1)?)? - pc as i64, 0, ctx.reg(arg(0)?)?, 0, 0x63)),
-        "bnez" => push32(&mut out, enc_b(ctx.imm(arg(1)?)? - pc as i64, 0, ctx.reg(arg(0)?)?, 1, 0x63)),
-        "blez" => push32(&mut out, enc_b(ctx.imm(arg(1)?)? - pc as i64, ctx.reg(arg(0)?)?, 0, 5, 0x63)),
-        "bgez" => push32(&mut out, enc_b(ctx.imm(arg(1)?)? - pc as i64, 0, ctx.reg(arg(0)?)?, 5, 0x63)),
-        "bltz" => push32(&mut out, enc_b(ctx.imm(arg(1)?)? - pc as i64, 0, ctx.reg(arg(0)?)?, 4, 0x63)),
-        "bgtz" => push32(&mut out, enc_b(ctx.imm(arg(1)?)? - pc as i64, ctx.reg(arg(0)?)?, 0, 4, 0x63)),
-        "bgt" => push32(&mut out, enc_b(ctx.imm(arg(2)?)? - pc as i64, ctx.reg(arg(0)?)?, ctx.reg(arg(1)?)?, 4, 0x63)),
-        "ble" => push32(&mut out, enc_b(ctx.imm(arg(2)?)? - pc as i64, ctx.reg(arg(0)?)?, ctx.reg(arg(1)?)?, 5, 0x63)),
+        "beqz" => {
+            push32(&mut out, enc_b(ctx.imm(arg(1)?)? - pc as i64, 0, ctx.reg(arg(0)?)?, 0, 0x63))
+        }
+        "bnez" => {
+            push32(&mut out, enc_b(ctx.imm(arg(1)?)? - pc as i64, 0, ctx.reg(arg(0)?)?, 1, 0x63))
+        }
+        "blez" => {
+            push32(&mut out, enc_b(ctx.imm(arg(1)?)? - pc as i64, ctx.reg(arg(0)?)?, 0, 5, 0x63))
+        }
+        "bgez" => {
+            push32(&mut out, enc_b(ctx.imm(arg(1)?)? - pc as i64, 0, ctx.reg(arg(0)?)?, 5, 0x63))
+        }
+        "bltz" => {
+            push32(&mut out, enc_b(ctx.imm(arg(1)?)? - pc as i64, 0, ctx.reg(arg(0)?)?, 4, 0x63))
+        }
+        "bgtz" => {
+            push32(&mut out, enc_b(ctx.imm(arg(1)?)? - pc as i64, ctx.reg(arg(0)?)?, 0, 4, 0x63))
+        }
+        "bgt" => push32(
+            &mut out,
+            enc_b(ctx.imm(arg(2)?)? - pc as i64, ctx.reg(arg(0)?)?, ctx.reg(arg(1)?)?, 4, 0x63),
+        ),
+        "ble" => push32(
+            &mut out,
+            enc_b(ctx.imm(arg(2)?)? - pc as i64, ctx.reg(arg(0)?)?, ctx.reg(arg(1)?)?, 5, 0x63),
+        ),
         "csrr" => {
-            let csr = csr_addr(arg(1)?).ok_or_else(|| AsmError { line: ln, msg: format!("unknown CSR `{}`", args[1]) })?;
+            let csr = csr_addr(arg(1)?)
+                .ok_or_else(|| AsmError { line: ln, msg: format!("unknown CSR `{}`", args[1]) })?;
             push32(&mut out, enc_i(csr as i64, 0, 2, ctx.reg(arg(0)?)?, 0x73));
         }
         "csrw" => {
-            let csr = csr_addr(arg(0)?).ok_or_else(|| AsmError { line: ln, msg: format!("unknown CSR `{}`", args[0]) })?;
+            let csr = csr_addr(arg(0)?)
+                .ok_or_else(|| AsmError { line: ln, msg: format!("unknown CSR `{}`", args[0]) })?;
             push32(&mut out, enc_i(csr as i64, ctx.reg(arg(1)?)?, 1, 0, 0x73));
         }
         "csrs" => {
-            let csr = csr_addr(arg(0)?).ok_or_else(|| AsmError { line: ln, msg: format!("unknown CSR `{}`", args[0]) })?;
+            let csr = csr_addr(arg(0)?)
+                .ok_or_else(|| AsmError { line: ln, msg: format!("unknown CSR `{}`", args[0]) })?;
             push32(&mut out, enc_i(csr as i64, ctx.reg(arg(1)?)?, 2, 0, 0x73));
         }
         "csrc" => {
-            let csr = csr_addr(arg(0)?).ok_or_else(|| AsmError { line: ln, msg: format!("unknown CSR `{}`", args[0]) })?;
+            let csr = csr_addr(arg(0)?)
+                .ok_or_else(|| AsmError { line: ln, msg: format!("unknown CSR `{}`", args[0]) })?;
             push32(&mut out, enc_i(csr as i64, ctx.reg(arg(1)?)?, 3, 0, 0x73));
         }
         "ecall" => push32(&mut out, 0x0000_0073),

@@ -188,7 +188,15 @@ impl Hart {
     }
 
     /// Completes a pending [`Outcome::Load`].
-    pub fn finish_load(&mut self, rd: u8, raw: u64, size: u8, signed: bool, reserve: bool, addr: u64) {
+    pub fn finish_load(
+        &mut self,
+        rd: u8,
+        raw: u64,
+        size: u8,
+        signed: bool,
+        reserve: bool,
+        addr: u64,
+    ) {
         let v = extend(raw, size, signed);
         self.set_reg(rd as usize, v);
         if reserve {
@@ -284,7 +292,7 @@ impl Hart {
                     6 => (4, false),
                     _ => return Outcome::Exception(Trap::IllegalInstruction(instr)),
                 };
-                if addr % u64::from(size) != 0 {
+                if !addr.is_multiple_of(u64::from(size)) {
                     return Outcome::Exception(Trap::LoadMisaligned(addr));
                 }
                 self.pc += 4;
@@ -300,7 +308,7 @@ impl Hart {
                     3 => 8,
                     _ => return Outcome::Exception(Trap::IllegalInstruction(instr)),
                 };
-                if addr % u64::from(size) != 0 {
+                if !addr.is_multiple_of(u64::from(size)) {
                     return Outcome::Exception(Trap::StoreMisaligned(addr));
                 }
                 self.pc += 4;
@@ -354,13 +362,7 @@ impl Hart {
                     (4, 0x01) => div_s(x1 as i64, x2 as i64) as u64, // DIV
                     (5, 0x00) => x1 >> (x2 & 0x3F),
                     (5, 0x20) => ((x1 as i64) >> (x2 & 0x3F)) as u64,
-                    (5, 0x01) => {
-                        if x2 == 0 {
-                            u64::MAX
-                        } else {
-                            x1 / x2
-                        }
-                    } // DIVU
+                    (5, 0x01) => x1.checked_div(x2).unwrap_or(u64::MAX), // DIVU
                     (6, 0x00) => x1 | x2,
                     (6, 0x01) => rem_s(x1 as i64, x2 as i64) as u64, // REM
                     (7, 0x00) => x1 & x2,
@@ -387,14 +389,8 @@ impl Hart {
                     (4, 0x01) => div_s32(w1 as i32, w2 as i32) as u32, // DIVW
                     (5, 0x00) => w1 >> (w2 & 0x1F),
                     (5, 0x20) => ((w1 as i32) >> (w2 & 0x1F)) as u32,
-                    (5, 0x01) => {
-                        if w2 == 0 {
-                            u32::MAX
-                        } else {
-                            w1 / w2
-                        }
-                    } // DIVUW
-                    (6, 0x01) => rem_s32(w1 as i32, w2 as i32) as u32, // REMW
+                    (5, 0x01) => w1.checked_div(w2).unwrap_or(u32::MAX), // DIVUW
+                    (6, 0x01) => rem_s32(w1 as i32, w2 as i32) as u32,   // REMW
                     (7, 0x01) => {
                         if w2 == 0 {
                             w1
@@ -426,7 +422,7 @@ impl Hart {
             _ => return Outcome::Exception(Trap::IllegalInstruction(instr)),
         };
         let addr = x1;
-        if addr % u64::from(size) != 0 {
+        if !addr.is_multiple_of(u64::from(size)) {
             return Outcome::Exception(Trap::StoreMisaligned(addr));
         }
         let funct5 = f7 >> 2;
@@ -503,9 +499,9 @@ impl Hart {
                 let old = self.csrs.read(csr);
                 let src = if f3 >= 5 { rs1 as u64 } else { x1 };
                 let new = match f3 & 3 {
-                    1 => Some(src),                            // CSRRW(I)
-                    2 => (src != 0).then(|| old | src),        // CSRRS(I)
-                    3 => (src != 0).then(|| old & !src),       // CSRRC(I)
+                    1 => Some(src),                        // CSRRW(I)
+                    2 => (src != 0).then_some(old | src),  // CSRRS(I)
+                    3 => (src != 0).then_some(old & !src), // CSRRC(I)
                     _ => unreachable!(),
                 };
                 if let Some(v) = new {
@@ -739,7 +735,9 @@ mod tests {
         // sc.d x4, x2, (x1)
         let o = h.execute(0x1820_B22F);
         match o {
-            Outcome::Amo { op: MemAmoOp::Cas, expected: 7, val: 99, is_sc: true, rd: 4, .. } => {}
+            Outcome::Amo {
+                op: MemAmoOp::Cas, expected: 7, val: 99, is_sc: true, rd: 4, ..
+            } => {}
             other => panic!("unexpected {other:?}"),
         }
         h.finish_amo(4, 7, 8, true, 7);

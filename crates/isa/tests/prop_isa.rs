@@ -1,8 +1,13 @@
-//! Property tests: the interpreter's arithmetic agrees with the host's
+//! Randomized tests: the interpreter's arithmetic agrees with the host's
 //! two's-complement semantics, and the assembler round-trips through it.
+//!
+//! These were proptest properties in earlier revisions; they now draw their
+//! cases from the workspace's own deterministic [`SimRng`] so the test suite
+//! has no external dependencies and every failure is reproducible from the
+//! fixed seed.
 
-use proptest::prelude::*;
 use smappic_isa::{assemble, run_functional, Hart, VecBus};
+use smappic_sim::SimRng;
 
 /// Runs `body` (which may use a0/a1 as inputs in x10/x11 and must leave
 /// the result in a0) and returns a0.
@@ -17,99 +22,159 @@ fn eval(body: &str, a0: u64, a1: u64) -> u64 {
     hart.reg(10)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// Edge operands every property is exercised against, in addition to the
+/// random draws: the values where wrapping/sign bugs live.
+const EDGES: &[u64] = &[
+    0,
+    1,
+    2,
+    63,
+    64,
+    u64::MAX,
+    u64::MAX - 1,
+    i64::MAX as u64,
+    i64::MIN as u64,
+    0x8000_0000,
+    0xFFFF_FFFF,
+    0x1_0000_0000,
+];
 
-    #[test]
-    fn add_sub_match_wrapping_semantics(a in any::<u64>(), b in any::<u64>()) {
-        prop_assert_eq!(eval("add a0, a0, a1", a, b), a.wrapping_add(b));
-        prop_assert_eq!(eval("sub a0, a0, a1", a, b), a.wrapping_sub(b));
+/// Yields `cases` random pairs plus the full edge-value cross product.
+fn operand_pairs(seed: u64, cases: usize) -> Vec<(u64, u64)> {
+    let mut rng = SimRng::new(seed);
+    let mut out = Vec::new();
+    for &a in EDGES {
+        for &b in EDGES {
+            out.push((a, b));
+        }
     }
-
-    #[test]
-    fn logic_ops_match(a in any::<u64>(), b in any::<u64>()) {
-        prop_assert_eq!(eval("xor a0, a0, a1", a, b), a ^ b);
-        prop_assert_eq!(eval("or a0, a0, a1", a, b), a | b);
-        prop_assert_eq!(eval("and a0, a0, a1", a, b), a & b);
+    for _ in 0..cases {
+        out.push((rng.next_u64(), rng.next_u64()));
     }
+    out
+}
 
-    #[test]
-    fn shifts_use_low_six_bits(a in any::<u64>(), s in 0u32..64) {
-        prop_assert_eq!(eval("sll a0, a0, a1", a, u64::from(s)), a << s);
-        prop_assert_eq!(eval("srl a0, a0, a1", a, u64::from(s)), a >> s);
-        prop_assert_eq!(eval("sra a0, a0, a1", a, u64::from(s)), ((a as i64) >> s) as u64);
+#[test]
+fn add_sub_match_wrapping_semantics() {
+    for (a, b) in operand_pairs(0xADD5_0B01, 64) {
+        assert_eq!(eval("add a0, a0, a1", a, b), a.wrapping_add(b));
+        assert_eq!(eval("sub a0, a0, a1", a, b), a.wrapping_sub(b));
     }
+}
 
-    #[test]
-    fn comparisons_match(a in any::<u64>(), b in any::<u64>()) {
-        prop_assert_eq!(eval("slt a0, a0, a1", a, b), u64::from((a as i64) < (b as i64)));
-        prop_assert_eq!(eval("sltu a0, a0, a1", a, b), u64::from(a < b));
+#[test]
+fn logic_ops_match() {
+    for (a, b) in operand_pairs(0x1061C02, 64) {
+        assert_eq!(eval("xor a0, a0, a1", a, b), a ^ b);
+        assert_eq!(eval("or a0, a0, a1", a, b), a | b);
+        assert_eq!(eval("and a0, a0, a1", a, b), a & b);
     }
+}
 
-    #[test]
-    fn mul_div_match(a in any::<u64>(), b in any::<u64>()) {
-        prop_assert_eq!(eval("mul a0, a0, a1", a, b), a.wrapping_mul(b));
-        let expected_divu = if b == 0 { u64::MAX } else { a / b };
-        prop_assert_eq!(eval("divu a0, a0, a1", a, b), expected_divu);
+#[test]
+fn shifts_use_low_six_bits() {
+    let mut rng = SimRng::new(0x5_111F7);
+    for i in 0..128u32 {
+        let a = rng.next_u64();
+        let s = if i < 64 { i } else { rng.gen_range(64) as u32 };
+        assert_eq!(eval("sll a0, a0, a1", a, u64::from(s)), a << s);
+        assert_eq!(eval("srl a0, a0, a1", a, u64::from(s)), a >> s);
+        assert_eq!(eval("sra a0, a0, a1", a, u64::from(s)), ((a as i64) >> s) as u64);
+    }
+}
+
+#[test]
+fn comparisons_match() {
+    for (a, b) in operand_pairs(0xC09A_9A7E, 64) {
+        assert_eq!(eval("slt a0, a0, a1", a, b), u64::from((a as i64) < (b as i64)));
+        assert_eq!(eval("sltu a0, a0, a1", a, b), u64::from(a < b));
+    }
+}
+
+#[test]
+fn mul_div_match() {
+    for (a, b) in operand_pairs(0xD1_71DE, 48) {
+        assert_eq!(eval("mul a0, a0, a1", a, b), a.wrapping_mul(b));
+        let expected_divu = a.checked_div(b).unwrap_or(u64::MAX);
+        assert_eq!(eval("divu a0, a0, a1", a, b), expected_divu);
         let expected_remu = if b == 0 { a } else { a % b };
-        prop_assert_eq!(eval("remu a0, a0, a1", a, b), expected_remu);
+        assert_eq!(eval("remu a0, a0, a1", a, b), expected_remu);
         let (ai, bi) = (a as i64, b as i64);
-        let expected_div = if bi == 0 { -1 } else if ai == i64::MIN && bi == -1 { i64::MIN } else { ai / bi };
-        prop_assert_eq!(eval("div a0, a0, a1", a, b) as i64, expected_div);
+        let expected_div = if bi == 0 {
+            -1
+        } else if ai == i64::MIN && bi == -1 {
+            i64::MIN
+        } else {
+            ai / bi
+        };
+        assert_eq!(eval("div a0, a0, a1", a, b) as i64, expected_div);
     }
+}
 
-    #[test]
-    fn word_ops_sign_extend(a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn word_ops_sign_extend() {
+    for (a, b) in operand_pairs(0x30D_0B5, 64) {
         let expected = (a as u32).wrapping_add(b as u32) as i32 as i64 as u64;
-        prop_assert_eq!(eval("addw a0, a0, a1", a, b), expected);
+        assert_eq!(eval("addw a0, a0, a1", a, b), expected);
         let expected_mul = (a as u32).wrapping_mul(b as u32) as i32 as i64 as u64;
-        prop_assert_eq!(eval("mulw a0, a0, a1", a, b), expected_mul);
+        assert_eq!(eval("mulw a0, a0, a1", a, b), expected_mul);
     }
+}
 
-    #[test]
-    fn mulh_variants_match_wide_host_math(a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn mulh_variants_match_wide_host_math() {
+    for (a, b) in operand_pairs(0x3011_4A7C, 48) {
         let h = ((u128::from(a) * u128::from(b)) >> 64) as u64;
-        prop_assert_eq!(eval("mulhu a0, a0, a1", a, b), h);
+        assert_eq!(eval("mulhu a0, a0, a1", a, b), h);
         let hs = (((a as i64 as i128) * (b as i64 as i128)) >> 64) as u64;
-        prop_assert_eq!(eval("mulh a0, a0, a1", a, b), hs);
+        assert_eq!(eval("mulh a0, a0, a1", a, b), hs);
     }
+}
 
-    #[test]
-    fn li_materializes_any_constant(v in any::<i64>()) {
-        prop_assert_eq!(eval(&format!("li a0, {v}"), 0, 0), v as u64);
+#[test]
+fn li_materializes_any_constant() {
+    let mut rng = SimRng::new(0x11_C0457);
+    let mut values: Vec<i64> = EDGES.iter().map(|&v| v as i64).collect();
+    for _ in 0..64 {
+        values.push(rng.next_u64() as i64);
     }
+    for v in values {
+        assert_eq!(eval(&format!("li a0, {v}"), 0, 0), v as u64);
+    }
+}
 
-    #[test]
-    fn memory_roundtrips_all_widths(v in any::<u64>(), off in 0u64..8) {
+#[test]
+fn memory_roundtrips_all_widths() {
+    let mut rng = SimRng::new(0x3E3_087);
+    for i in 0..64u64 {
+        let v = rng.next_u64();
+        let off = i % 8;
         let addr = 0x8000 + off * 8;
-        let got = eval(
-            &format!("li t0, {addr:#x}\nsd a0, 0(t0)\nld a0, 0(t0)"),
-            v,
-            0,
-        );
-        prop_assert_eq!(got, v);
-        let got32 = eval(
-            &format!("li t0, {addr:#x}\nsw a0, 0(t0)\nlwu a0, 0(t0)"),
-            v,
-            0,
-        );
-        prop_assert_eq!(got32, v & 0xFFFF_FFFF);
+        let got = eval(&format!("li t0, {addr:#x}\nsd a0, 0(t0)\nld a0, 0(t0)"), v, 0);
+        assert_eq!(got, v);
+        let got32 = eval(&format!("li t0, {addr:#x}\nsw a0, 0(t0)\nlwu a0, 0(t0)"), v, 0);
+        assert_eq!(got32, v & 0xFFFF_FFFF);
     }
+}
 
-    #[test]
-    fn amo_add_returns_old_and_stores_sum(init in any::<u64>(), add in any::<u64>()) {
+#[test]
+fn amo_add_returns_old_and_stores_sum() {
+    let mut rng = SimRng::new(0xA30_ADD);
+    for _ in 0..48 {
+        let (init, add) = (rng.next_u64(), rng.next_u64());
         let img = assemble(
             &format!(
                 "li t0, 0x8000\nli t1, {init}\nsd t1, 0(t0)\namoadd.d a0, a1, (t0)\nld a2, 0(t0)\necall"
             ),
             0x1000,
-        ).unwrap();
+        )
+        .unwrap();
         let mut bus = VecBus::new(1 << 16);
         bus.load_image(&img);
         let mut hart = Hart::new(0, 0x1000);
         hart.set_reg(11, add);
         run_functional(&mut hart, &mut bus, 100_000).unwrap();
-        prop_assert_eq!(hart.reg(10), init);
-        prop_assert_eq!(hart.reg(12), init.wrapping_add(add));
+        assert_eq!(hart.reg(10), init);
+        assert_eq!(hart.reg(12), init.wrapping_add(add));
     }
 }

@@ -193,10 +193,8 @@ impl MemController {
 
     fn complete(&mut self, resp: AxiResp) {
         let id = resp.id();
-        let origin = self
-            .inflight
-            .remove(&id)
-            .expect("DRAM produced a response for an unknown AXI ID");
+        let origin =
+            self.inflight.remove(&id).expect("DRAM produced a response for an unknown AXI ID");
         let me = self.cfg.identity;
         match (origin, resp) {
             (Origin::Line { requester, line }, AxiResp::Read(r)) => {

@@ -65,7 +65,8 @@ impl Dram {
     pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
         for (i, &b) in bytes.iter().enumerate() {
             let a = addr + i as u64;
-            let page = self.pages.entry(a >> PAGE_SHIFT).or_insert_with(|| Box::new([0; PAGE_SIZE]));
+            let page =
+                self.pages.entry(a >> PAGE_SHIFT).or_insert_with(|| Box::new([0; PAGE_SIZE]));
             page[(a & (PAGE_SIZE as u64 - 1)) as usize] = b;
         }
     }

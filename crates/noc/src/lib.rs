@@ -56,4 +56,6 @@ pub use mesh::{Mesh, MeshConfig};
 pub use packet::Packet;
 pub use protocol::{AmoOp, Msg};
 pub use router::{Port, Router};
-pub use types::{line_of, line_offset, Addr, Elem, Gid, LineData, NodeId, TileId, VirtNet, LINE_BYTES};
+pub use types::{
+    line_of, line_offset, Addr, Elem, Gid, LineData, NodeId, TileId, VirtNet, LINE_BYTES,
+};

@@ -2,11 +2,21 @@
 
 use std::collections::VecDeque;
 
-use smappic_sim::{Cycle, Stats};
+use smappic_sim::{CounterSet, Cycle, Stats};
 
 use crate::packet::Packet;
 use crate::router::{Port, Router};
 use crate::types::{NodeId, TileId, VirtNet};
+
+// Pre-interned counter slots: these are bumped on the per-flit hot path, so
+// they use indexed `CounterSet` slots instead of string-keyed `Stats`.
+const NOC_KEYS: &[&str] =
+    &["noc.injected", "noc.edge_in", "noc.flits", "noc.edge_out", "noc.delivered"];
+const K_INJECTED: usize = 0;
+const K_EDGE_IN: usize = 1;
+const K_FLITS: usize = 2;
+const K_EDGE_OUT: usize = 3;
+const K_DELIVERED: usize = 4;
 
 /// Geometry and timing of one node's mesh.
 #[derive(Debug, Clone)]
@@ -100,7 +110,7 @@ pub struct Mesh {
     eject_q: Vec<[VecDeque<Packet>; 3]>,
     eject_rr: Vec<usize>,
     edge_out: VecDeque<Packet>,
-    stats: Stats,
+    counters: CounterSet,
 }
 
 impl Mesh {
@@ -120,7 +130,7 @@ impl Mesh {
             eject_rr: vec![0; n],
             edge_out: VecDeque::new(),
             cfg,
-            stats: Stats::new(),
+            counters: CounterSet::new(NOC_KEYS),
         }
     }
 
@@ -144,7 +154,7 @@ impl Mesh {
         // Local injection is immediately visible to the router.
         buf.q.push_back((0, pkt));
         r.occupancy += 1;
-        self.stats.incr("noc.injected");
+        self.counters.bump(K_INJECTED);
         Ok(())
     }
 
@@ -178,7 +188,7 @@ impl Mesh {
         }
         buf.q.push_back((0, pkt));
         r.occupancy += 1;
-        self.stats.incr("noc.edge_in");
+        self.counters.bump(K_EDGE_IN);
         Ok(())
     }
 
@@ -194,9 +204,17 @@ impl Mesh {
     }
 
     /// Counters collected so far (`noc.injected`, `noc.delivered`,
-    /// `noc.flits`, `noc.edge_in`, `noc.edge_out`).
-    pub fn stats(&self) -> &Stats {
-        &self.stats
+    /// `noc.flits`, `noc.edge_in`, `noc.edge_out`), materialized as string-
+    /// keyed [`Stats`]. The live counters are indexed [`CounterSet`] slots so
+    /// the per-flit hot path never hashes or compares key strings.
+    pub fn stats(&self) -> Stats {
+        self.counters.to_stats()
+    }
+
+    /// Merges this mesh's counters into `out` without materializing an
+    /// intermediate map.
+    pub fn merge_stats_into(&self, out: &mut Stats) {
+        self.counters.merge_into(out);
     }
 
     /// True when no packet is buffered anywhere in the mesh.
@@ -288,19 +306,17 @@ impl Mesh {
             let flits = pkt.flits();
             self.routers[r].busy_until[oi] = now + Cycle::from(flits);
             self.routers[r].rr[oi] = (c + 1) % 15;
-            self.stats.add("noc.flits", u64::from(flits));
+            self.counters.add(K_FLITS, u64::from(flits));
             if edge_exit {
                 self.edge_out.push_back(pkt);
-                self.stats.incr("noc.edge_out");
+                self.counters.bump(K_EDGE_OUT);
             } else if out == Port::Local {
                 self.eject_q[r][vn].push_back(pkt);
-                self.stats.incr("noc.delivered");
+                self.counters.bump(K_DELIVERED);
             } else {
                 let nb = neigh.expect("checked above");
                 let inport = out.opposite().index();
-                self.routers[nb].bufs[inport][vn]
-                    .q
-                    .push_back((now + self.cfg.hop_latency, pkt));
+                self.routers[nb].bufs[inport][vn].q.push_back((now + self.cfg.hop_latency, pkt));
                 self.routers[nb].occupancy += 1;
             }
             return;
@@ -461,10 +477,7 @@ mod tests {
             }
         }
         assert_eq!(arrivals.len(), 2);
-        assert!(
-            arrivals[1] - arrivals[0] >= 8,
-            "9-flit serialization gap missing: {arrivals:?}"
-        );
+        assert!(arrivals[1] - arrivals[0] >= 8, "9-flit serialization gap missing: {arrivals:?}");
     }
 
     #[test]

@@ -160,7 +160,11 @@ impl Default for LineData {
 impl fmt::Debug for LineData {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // Summarize: full 64-byte dumps drown debug logs.
-        write!(f, "LineData[{:02x}{:02x}{:02x}{:02x}..]", self.0[0], self.0[1], self.0[2], self.0[3])
+        write!(
+            f,
+            "LineData[{:02x}{:02x}{:02x}{:02x}..]",
+            self.0[0], self.0[1], self.0[2], self.0[3]
+        )
     }
 }
 

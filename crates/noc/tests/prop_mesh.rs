@@ -1,8 +1,12 @@
-//! Property tests: the mesh delivers every packet exactly once, in
+//! Randomized tests: the mesh delivers every packet exactly once, in
 //! per-(src,dst,VN) order, for arbitrary traffic on arbitrary geometries.
+//!
+//! Traffic shapes are drawn from the workspace's deterministic [`SimRng`]
+//! (fixed seeds, no external test dependencies) so every run exercises the
+//! same reproducible case set.
 
-use proptest::prelude::*;
-use smappic_noc::{Gid, Mesh, MeshConfig, Msg, NodeId, Packet};
+use smappic_noc::{Gid, Mesh, MeshConfig, Msg, NodeId, Packet, VirtNet};
+use smappic_sim::SimRng;
 use std::collections::HashMap;
 
 #[derive(Debug, Clone)]
@@ -12,23 +16,20 @@ struct Traffic {
     flows: Vec<(u16, u16)>,
 }
 
-fn traffic_strategy() -> impl Strategy<Value = Traffic> {
-    (2usize..=12)
-        .prop_flat_map(|tiles| {
-            let pairs = prop::collection::vec(
-                (0..tiles as u16, 0..tiles as u16),
-                1..120,
-            );
-            (Just(tiles), pairs)
-        })
-        .prop_map(|(tiles, flows)| Traffic { tiles, flows })
+fn random_traffic(rng: &mut SimRng) -> Traffic {
+    let tiles = 2 + rng.gen_range(11) as usize; // 2..=12
+    let n = 1 + rng.gen_range(119) as usize; // 1..120 flows
+    let flows = (0..n)
+        .map(|_| (rng.gen_range(tiles as u64) as u16, rng.gen_range(tiles as u64) as u16))
+        .collect();
+    Traffic { tiles, flows }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn every_packet_delivered_exactly_once_and_in_order(t in traffic_strategy()) {
+#[test]
+fn every_packet_delivered_exactly_once_and_in_order() {
+    let mut rng = SimRng::new(0x0E5_00C1);
+    for case in 0..64 {
+        let t = random_traffic(&mut rng);
         let mut mesh = Mesh::new(MeshConfig::new(NodeId(0), t.tiles));
         let total = t.flows.len();
         let mut pending = t.flows.clone();
@@ -59,7 +60,7 @@ proptest! {
             for tile in 0..t.tiles as u16 {
                 while let Some(p) = mesh.eject(tile) {
                     let src = p.src.tile_id().unwrap();
-                    prop_assert_eq!(p.dst.tile_id().unwrap(), tile, "misrouted packet");
+                    assert_eq!(p.dst.tile_id().unwrap(), tile, "misrouted packet (case {case})");
                     if let Msg::ReqS { line } = p.msg {
                         received.entry((src, tile)).or_default().push(line / 64);
                     }
@@ -67,18 +68,23 @@ proptest! {
                 }
             }
             now += 1;
-            prop_assert!(now < 500_000, "livelock: {delivered}/{total} delivered");
+            assert!(now < 500_000, "livelock: {delivered}/{total} delivered (case {case})");
         }
-        prop_assert!(mesh.is_idle(), "mesh must drain completely");
+        assert!(mesh.is_idle(), "mesh must drain completely (case {case})");
         // Exactly-once, in-order per flow.
         for (flow, ids) in &sent {
-            prop_assert_eq!(received.get(flow), Some(ids), "flow {:?}", flow);
+            assert_eq!(received.get(flow), Some(ids), "flow {flow:?} (case {case})");
         }
     }
+}
 
-    #[test]
-    fn edge_traffic_round_trips(tiles in 1usize..=12, n in 1usize..40) {
+#[test]
+fn edge_traffic_round_trips() {
+    let mut rng = SimRng::new(0x0ED6_E3C0);
+    for case in 0..32 {
         // Tiles send to the chipset; the "chipset" echoes back.
+        let tiles = 1 + rng.gen_range(12) as usize; // 1..=12
+        let n = 1 + rng.gen_range(39) as usize; // 1..40
         let mut mesh = Mesh::new(MeshConfig::new(NodeId(0), tiles));
         let mut injected = 0usize;
         let mut echoed = 0usize;
@@ -99,11 +105,8 @@ proptest! {
             mesh.tick(now);
             while let Some(p) = mesh.eject_edge() {
                 // Echo a response back to the source tile.
-                let reply = Packet::on_canonical_vn(
-                    p.src,
-                    Gid::chipset(NodeId(0)),
-                    Msg::NcAck { addr: 0 },
-                );
+                let reply =
+                    Packet::on_canonical_vn(p.src, Gid::chipset(NodeId(0)), Msg::NcAck { addr: 0 });
                 // Edge injection may back-pressure; retry by re-queuing.
                 let mut r = Some(reply);
                 while let Some(x) = r.take() {
@@ -120,8 +123,44 @@ proptest! {
                 }
             }
             now += 1;
-            prop_assert!(now < 500_000, "stuck: {injected} in, {echoed} echoed, {returned} back");
+            assert!(
+                now < 500_000,
+                "stuck: {injected} in, {echoed} echoed, {returned} back (case {case})"
+            );
         }
-        prop_assert_eq!(returned, n);
+        assert_eq!(returned, n);
     }
+}
+
+#[test]
+fn random_vn_mix_never_blocks_responses() {
+    // Saturate the request VN while trickling response-VN traffic through:
+    // responses must keep flowing (protocol deadlock freedom relies on it).
+    let mut rng = SimRng::new(0x3E55_1011);
+    let tiles = 9usize;
+    let mut mesh = Mesh::new(MeshConfig::new(NodeId(0), tiles));
+    let dst = Gid::tile(NodeId(0), 8);
+    let src = Gid::tile(NodeId(0), 0);
+    let mut resp_sent = 0u64;
+    let mut resp_got = 0u64;
+    for now in 0..50_000 {
+        // Flood requests (may be refused; that's the point).
+        let _ = mesh.inject(0, Packet::on_canonical_vn(dst, src, Msg::ReqS { line: now * 64 }));
+        if rng.chance(0.25) && mesh.can_inject(0, VirtNet::Resp) {
+            let pkt = Packet::on_canonical_vn(dst, src, Msg::NcData { addr: resp_sent, data: 0 });
+            assert_eq!(pkt.vn, VirtNet::Resp);
+            mesh.inject(0, pkt).unwrap();
+            resp_sent += 1;
+        }
+        mesh.tick(now);
+        while let Some(p) = mesh.eject(8) {
+            if matches!(p.msg, Msg::NcData { .. }) {
+                resp_got += 1;
+            }
+        }
+        if resp_got >= 64 {
+            break;
+        }
+    }
+    assert!(resp_got >= 64, "responses starved behind requests: {resp_got}/{resp_sent} arrived");
 }

@@ -10,10 +10,14 @@
 //! - [`SimRng`] — a tiny, deterministic xorshift RNG so whole-platform runs
 //!   are reproducible bit-for-bit,
 //! - [`Stats`]/[`Histogram`] — counters and latency histograms used by the
-//!   benchmark harnesses.
+//!   benchmark harnesses,
+//! - [`CounterSet`] — pre-interned fixed-key counters for per-cycle hot
+//!   paths (NoC flits, cache hits) that merge back into [`Stats`] cold.
 //!
-//! Everything is single-threaded and allocation-light; the platform crate
-//! ticks components in a fixed order each cycle.
+//! Everything here is sequential and allocation-light; the platform crate
+//! ticks components in a fixed order each cycle (and, for multi-FPGA
+//! prototypes, may tick whole FPGAs on worker threads — each component is
+//! still only ever touched by one thread at a time).
 //!
 //! ```
 //! use smappic_sim::{Fifo, DelayLine};
@@ -41,7 +45,7 @@ mod stats;
 pub use queue::{DelayLine, Fifo};
 pub use rng::SimRng;
 pub use shaper::TrafficShaper;
-pub use stats::{Histogram, Stats};
+pub use stats::{CounterSet, Histogram, Stats};
 
 /// A simulation timestamp in clock cycles of the component's own clock domain.
 pub type Cycle = u64;

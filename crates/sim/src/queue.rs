@@ -83,6 +83,15 @@ impl<T> Fifo<T> {
     pub fn iter(&self) -> impl Iterator<Item = &T> {
         self.items.iter()
     }
+
+    /// The next cycle after `now` at which this component could newly
+    /// produce work on its own. A FIFO holds no timed state — queued items
+    /// are already poppable — so it never schedules a future event; the
+    /// method exists so containers can fold queues and delay lines through
+    /// one idle-skip scan uniformly.
+    pub fn next_event_after(&self, _now: Cycle) -> Option<Cycle> {
+        None
+    }
 }
 
 /// A fixed-latency pipe: elements pushed at cycle `t` become visible at
@@ -121,7 +130,7 @@ impl<T> DelayLine<T> {
     pub fn push(&mut self, now: Cycle, item: T) {
         let ready = now + self.latency;
         debug_assert!(
-            self.inflight.back().map_or(true, |(r, _)| *r <= ready),
+            self.inflight.back().is_none_or(|(r, _)| *r <= ready),
             "DelayLine pushes must be monotone in time"
         );
         self.inflight.push_back((ready, item));
@@ -138,10 +147,7 @@ impl<T> DelayLine<T> {
 
     /// Returns the oldest ready element without removing it.
     pub fn peek_ready(&self, now: Cycle) -> Option<&T> {
-        self.inflight
-            .front()
-            .filter(|(ready, _)| *ready <= now)
-            .map(|(_, item)| item)
+        self.inflight.front().filter(|(ready, _)| *ready <= now).map(|(_, item)| item)
     }
 
     /// Total number of elements in flight (ready or not).
@@ -157,6 +163,22 @@ impl<T> DelayLine<T> {
     /// The configured latency in cycles.
     pub fn latency(&self) -> Cycle {
         self.latency
+    }
+
+    /// Cycle at which the oldest in-flight element matures, if any.
+    ///
+    /// This is the delay line's contribution to an idle-skip scan: nothing
+    /// observable happens here before the returned cycle, so a quiescent
+    /// platform can warp straight to it ([`None`] means the line is empty
+    /// and contributes no event at all).
+    pub fn next_ready_at(&self) -> Option<Cycle> {
+        self.inflight.front().map(|(r, _)| *r)
+    }
+
+    /// The next cycle strictly after `now` at which a pop could newly
+    /// succeed, or [`None`] when the line is empty.
+    pub fn next_event_after(&self, now: Cycle) -> Option<Cycle> {
+        self.next_ready_at().map(|r| r.max(now + 1))
     }
 }
 

@@ -46,7 +46,14 @@ impl<T> TrafficShaper<T> {
     /// Panics if either bandwidth component is zero.
     pub fn new(bw_num: u64, bw_den: u64, latency: Cycle) -> Self {
         assert!(bw_num > 0 && bw_den > 0, "bandwidth must be positive");
-        Self { bw_num, bw_den, latency, link_free_scaled: 0, inflight: VecDeque::new(), bytes_sent: 0 }
+        Self {
+            bw_num,
+            bw_den,
+            latency,
+            link_free_scaled: 0,
+            inflight: VecDeque::new(),
+            bytes_sent: 0,
+        }
     }
 
     /// A shaper that only applies latency (infinite bandwidth).
@@ -85,12 +92,25 @@ impl<T> TrafficShaper<T> {
         }
     }
 
+    /// Removes the oldest item maturing strictly before `horizon`, returning
+    /// it with its delivery cycle.
+    ///
+    /// This is the epoch-extraction primitive of the parallel stepper: at an
+    /// epoch barrier the platform pulls every item that will arrive inside
+    /// the next epoch out of the link (with its exact timestamp) so a worker
+    /// thread can replay the deliveries cycle-accurately without touching
+    /// shared link state.
+    pub fn pop_before(&mut self, horizon: Cycle) -> Option<(Cycle, T)> {
+        if self.inflight.front().is_some_and(|(ready, _)| *ready < horizon) {
+            self.inflight.pop_front()
+        } else {
+            None
+        }
+    }
+
     /// Returns the oldest ready item without removing it.
     pub fn peek_ready(&self, now: Cycle) -> Option<&T> {
-        self.inflight
-            .front()
-            .filter(|(ready, _)| *ready <= now)
-            .map(|(_, item)| item)
+        self.inflight.front().filter(|(ready, _)| *ready <= now).map(|(_, item)| item)
     }
 
     /// Items currently in flight.
@@ -101,6 +121,16 @@ impl<T> TrafficShaper<T> {
     /// Delivery time of the oldest in-flight item, if any (diagnostics).
     pub fn front_ready_at(&self) -> Option<Cycle> {
         self.inflight.front().map(|(r, _)| *r)
+    }
+
+    /// The next cycle strictly after `now` at which a pop could newly
+    /// succeed, or [`None`] when nothing is in flight.
+    ///
+    /// This is the shaper's contribution to the platform's idle-skip scan:
+    /// between `now` and the returned cycle the shaper emits nothing, so a
+    /// quiescent simulation may warp straight there.
+    pub fn next_event_after(&self, now: Cycle) -> Option<Cycle> {
+        self.front_ready_at().map(|r| r.max(now + 1))
     }
 
     /// True when nothing is in flight.

@@ -73,6 +73,94 @@ impl fmt::Display for Stats {
     }
 }
 
+/// Fixed-key counters for per-cycle hot paths.
+///
+/// [`Stats`] keys counters by string, which costs an `O(log n)` string-keyed
+/// map walk per increment — fine for cold events (shell requests, SD blocks),
+/// but too slow for counters bumped on every NoC flit or cache access. A
+/// `CounterSet` is built once from a *static* key table, pre-interning every
+/// key to a dense index so the hot path is a single array add with no
+/// allocation and no comparisons. The cold path ([`CounterSet::merge_into`])
+/// materializes the counters back into a [`Stats`] under the same names, so
+/// harnesses see no difference.
+///
+/// ```
+/// use smappic_sim::{CounterSet, Stats};
+/// static KEYS: &[&str] = &["noc.flits", "noc.delivered"];
+/// const FLITS: usize = 0;
+/// const DELIVERED: usize = 1;
+/// let mut c = CounterSet::new(KEYS);
+/// c.add(FLITS, 3);
+/// c.bump(DELIVERED);
+/// assert_eq!(c.get(FLITS), 3);
+/// let mut s = Stats::new();
+/// c.merge_into(&mut s);
+/// assert_eq!(s.get("noc.delivered"), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CounterSet {
+    keys: &'static [&'static str],
+    slots: Box<[u64]>,
+}
+
+impl CounterSet {
+    /// Creates a counter set over a static key table; one slot per key,
+    /// all starting at zero.
+    pub fn new(keys: &'static [&'static str]) -> Self {
+        Self { keys, slots: vec![0; keys.len()].into_boxed_slice() }
+    }
+
+    /// Adds `delta` to the counter at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range for the key table.
+    #[inline]
+    pub fn add(&mut self, idx: usize, delta: u64) {
+        self.slots[idx] += delta;
+    }
+
+    /// Increments the counter at `idx` by one.
+    #[inline]
+    pub fn bump(&mut self, idx: usize) {
+        self.slots[idx] += 1;
+    }
+
+    /// Reads the counter at `idx`.
+    pub fn get(&self, idx: usize) -> u64 {
+        self.slots[idx]
+    }
+
+    /// Reads a counter by key name (cold path; linear scan). Returns zero
+    /// for unknown names, mirroring [`Stats::get`].
+    pub fn get_by_name(&self, name: &str) -> u64 {
+        self.keys.iter().position(|k| *k == name).map_or(0, |i| self.slots[i])
+    }
+
+    /// The static key table this set was built over.
+    pub fn keys(&self) -> &'static [&'static str] {
+        self.keys
+    }
+
+    /// Adds every *touched* counter into `stats` under its key name.
+    /// Untouched (zero) counters are skipped so the merged [`Stats`] looks
+    /// exactly like one fed by [`Stats::incr`] calls.
+    pub fn merge_into(&self, stats: &mut Stats) {
+        for (k, v) in self.keys.iter().zip(self.slots.iter()) {
+            if *v != 0 {
+                stats.add(k, *v);
+            }
+        }
+    }
+
+    /// Materializes the touched counters as an owned [`Stats`].
+    pub fn to_stats(&self) -> Stats {
+        let mut s = Stats::new();
+        self.merge_into(&mut s);
+        s
+    }
+}
+
 /// A simple sample accumulator with min/max/mean and fixed log2 buckets.
 ///
 /// Used by the latency-probe harness (Fig 7) and memory controller to
@@ -214,5 +302,22 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn histogram_min_of_empty_panics() {
         Histogram::new().min();
+    }
+
+    #[test]
+    fn counter_set_matches_string_stats() {
+        static KEYS: &[&str] = &["a.x", "a.y", "a.z"];
+        let mut c = CounterSet::new(KEYS);
+        c.bump(0);
+        c.add(0, 4);
+        c.add(2, 7);
+        assert_eq!(c.get(0), 5);
+        assert_eq!(c.get_by_name("a.z"), 7);
+        assert_eq!(c.get_by_name("missing"), 0);
+        // Merging skips untouched keys, like string-keyed Stats would.
+        let mut s = Stats::new();
+        s.add("a.x", 5);
+        s.add("a.z", 7);
+        assert_eq!(c.to_stats().to_string(), s.to_string());
     }
 }

@@ -48,10 +48,7 @@ impl AddrMap {
     /// The device serving `addr`, or `None` when the address is cacheable
     /// memory.
     pub fn device_for(&self, addr: Addr) -> Option<Gid> {
-        self.ranges
-            .iter()
-            .find(|(b, s, _)| addr >= *b && addr < b + s)
-            .map(|&(_, _, d)| d)
+        self.ranges.iter().find(|(b, s, _)| addr >= *b && addr < b + s).map(|&(_, _, d)| d)
     }
 }
 

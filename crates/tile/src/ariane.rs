@@ -238,7 +238,8 @@ impl ArianeCore {
         let dword = pc & !7;
         let Some(bits) = self.icache_lookup(dword) else {
             // L1I miss: fetch the doubleword through the BPC.
-            let (req, pend) = self.mem_req(MemOp::Load { addr: dword, size: 8 }, Pend::IFetch { dword });
+            let (req, pend) =
+                self.mem_req(MemOp::Load { addr: dword, size: 8 }, Pend::IFetch { dword });
             self.state = match tri.try_request(now, req) {
                 Ok(()) => State::Wait(self.next_token, pend),
                 Err(req) => State::Issue(req, pend),
@@ -410,7 +411,8 @@ mod tests {
 
     #[test]
     fn computes_through_the_cache_hierarchy() {
-        let (mut core, mut rig) = boot(r#"
+        let (mut core, mut rig) = boot(
+            r#"
             li   a0, 0
             li   t0, 1
         loop:
@@ -420,21 +422,24 @@ mod tests {
             blt  t0, t1, loop
             li   a7, 93
             ecall
-        "#);
+        "#,
+        );
         run(&mut core, &mut rig, 100_000);
         assert_eq!(core.exit_code(), Some(5050));
     }
 
     #[test]
     fn loads_and_stores_hit_memory() {
-        let (mut core, mut rig) = boot(r#"
+        let (mut core, mut rig) = boot(
+            r#"
             li   t0, 0x2000
             li   t1, 0xABCD
             sd   t1, 0(t0)
             ld   a0, 0(t0)
             li   a7, 93
             ecall
-        "#);
+        "#,
+        );
         run(&mut core, &mut rig, 100_000);
         assert_eq!(core.exit_code(), Some(0xABCD));
         // The value eventually lands in backing store via writeback...
@@ -443,7 +448,8 @@ mod tests {
 
     #[test]
     fn debug_console_ecall() {
-        let (mut core, mut rig) = boot(r#"
+        let (mut core, mut rig) = boot(
+            r#"
             li a0, 72      # 'H'
             li a7, 1
             ecall
@@ -452,19 +458,24 @@ mod tests {
             li a7, 93
             li a0, 0
             ecall
-        "#);
+        "#,
+        );
         run(&mut core, &mut rig, 100_000);
         assert_eq!(core.console(), b"Hi");
     }
 
     #[test]
     fn mmio_loads_route_to_devices() {
-        let img = assemble(r#"
+        let img = assemble(
+            r#"
             li   t0, 0xF0000000
             ld   a0, 0(t0)
             li   a7, 93
             ecall
-        "#, 0x1_0000).unwrap();
+        "#,
+            0x1_0000,
+        )
+        .unwrap();
         let mut rig = Rig::new();
         rig.load_bytes(img.base, &img.bytes);
         let mut map = AddrMap::new();
@@ -491,7 +502,8 @@ mod tests {
 
     #[test]
     fn wfi_wakes_on_interrupt() {
-        let (mut core, mut rig) = boot(r#"
+        let (mut core, mut rig) = boot(
+            r#"
             la   t0, handler
             csrw mtvec, t0
             li   t0, 0x80      # MTI enable
@@ -506,7 +518,8 @@ mod tests {
             li   a7, 93
             li   a0, 222
             ecall
-        "#);
+        "#,
+        );
         let mut fired = false;
         for now in 0..200_000 {
             core.tick(now, &mut rig);
@@ -526,7 +539,8 @@ mod tests {
 
     #[test]
     fn bht_learns_a_hot_loop() {
-        let (mut core, mut rig) = boot(r#"
+        let (mut core, mut rig) = boot(
+            r#"
             li t0, 0
             li t1, 200
         loop:
@@ -534,7 +548,8 @@ mod tests {
             blt  t0, t1, loop
             li a7, 93
             ecall
-        "#);
+        "#,
+        );
         run(&mut core, &mut rig, 200_000);
         let (branches, miss) = core.branch_stats();
         assert_eq!(branches, 200);
@@ -573,7 +588,8 @@ mod tests {
 
     #[test]
     fn ipc_is_near_one_for_arithmetic() {
-        let (mut core, mut rig) = boot(r#"
+        let (mut core, mut rig) = boot(
+            r#"
             li t0, 0
             li t1, 0
             li t2, 0
@@ -588,14 +604,12 @@ mod tests {
             and  t2, t2, t0
             li a7, 93
             ecall
-        "#);
+        "#,
+        );
         let cycles = run(&mut core, &mut rig, 100_000);
         let instret = core.hart().csrs().minstret;
         // Some cycles go to I-cache miss fills; but the loop body should
         // retire near 1 IPC: total cycles within 4x instruction count.
-        assert!(
-            cycles < instret * 4,
-            "IPC too low: {instret} instructions in {cycles} cycles"
-        );
+        assert!(cycles < instret * 4, "IPC too low: {instret} instructions in {cycles} cycles");
     }
 }

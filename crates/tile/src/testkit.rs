@@ -43,9 +43,7 @@ impl Rig {
         (0..len)
             .map(|i| {
                 let a = addr + i as u64;
-                self.backing
-                    .get(&line_of(a))
-                    .map_or(0, |l| l.0[line_offset(a)])
+                self.backing.get(&line_of(a)).map_or(0, |l| l.0[line_offset(a)])
             })
             .collect()
     }

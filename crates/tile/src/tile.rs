@@ -239,11 +239,7 @@ mod tests {
     fn trace_core_runs_against_local_slice() {
         let core = TraceCore::new(
             "t0",
-            vec![
-                TraceOp::StoreVal(0x40, 123),
-                TraceOp::Load(0x40),
-                TraceOp::Compute(10),
-            ],
+            vec![TraceOp::StoreVal(0x40, 123), TraceOp::Load(0x40), TraceOp::Compute(10)],
         );
         let mut tile = tile_with(Box::new(core));
         run_selfcontained(&mut tile, 50_000);
@@ -278,7 +274,10 @@ mod tests {
         }
         let mut tile = tile_with(Box::new(SlowDevice { countdown: 10 }));
         let requester = Gid::tile(NodeId(0), 5);
-        tile.push_noc(0, Packet::on_canonical_vn(tile.id(), requester, Msg::NcLoad { addr: 0xF0, size: 8 }));
+        tile.push_noc(
+            0,
+            Packet::on_canonical_vn(tile.id(), requester, Msg::NcLoad { addr: 0xF0, size: 8 }),
+        );
         let mut got = None;
         for now in 0..100 {
             tile.tick(now);
@@ -299,15 +298,14 @@ mod tests {
 
     #[test]
     fn irq_packets_reach_the_engine() {
-        use std::cell::Cell;
-        use std::rc::Rc;
+        use std::sync::{Arc, Mutex};
         struct IrqProbe {
-            seen: Rc<Cell<Option<(u16, bool)>>>,
+            seen: Arc<Mutex<Option<(u16, bool)>>>,
         }
         impl Engine for IrqProbe {
             fn tick(&mut self, _now: Cycle, _tri: &mut dyn Tri) {}
             fn set_irq(&mut self, line: u16, level: bool) {
-                self.seen.set(Some((line, level)));
+                *self.seen.lock().unwrap() = Some((line, level));
             }
             fn label(&self) -> &str {
                 "probe"
@@ -319,8 +317,8 @@ mod tests {
                 self
             }
         }
-        let seen = Rc::new(Cell::new(None));
-        let mut tile = tile_with(Box::new(IrqProbe { seen: Rc::clone(&seen) }));
+        let seen = Arc::new(Mutex::new(None));
+        let mut tile = tile_with(Box::new(IrqProbe { seen: Arc::clone(&seen) }));
         tile.push_noc(
             0,
             Packet::on_canonical_vn(
@@ -330,6 +328,6 @@ mod tests {
             ),
         );
         tile.tick(0);
-        assert_eq!(seen.get(), Some((11, true)));
+        assert_eq!(*seen.lock().unwrap(), Some((11, true)));
     }
 }

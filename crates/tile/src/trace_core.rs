@@ -130,10 +130,9 @@ impl TraceCore {
             TraceOp::Load(addr) => (MemOp::Load { addr, size: 8 }, false),
             TraceOp::Store(addr) => (MemOp::Store { addr, size: 8, data: 0xD1CE }, false),
             TraceOp::StoreVal(addr, v) => (MemOp::Store { addr, size: 8, data: v }, false),
-            TraceOp::AmoAdd(addr, v) => (
-                MemOp::Amo { addr, size: 8, op: AmoOp::Add, val: v, expected: 0 },
-                false,
-            ),
+            TraceOp::AmoAdd(addr, v) => {
+                (MemOp::Amo { addr, size: 8, op: AmoOp::Add, val: v, expected: 0 }, false)
+            }
             TraceOp::SpinUntilEq(addr, _) | TraceOp::SpinUntilGe(addr, _) => {
                 (MemOp::Load { addr, size: 8 }, true)
             }
@@ -321,7 +320,11 @@ mod tests {
                         let entry = self.backing.entry(line).or_default();
                         let off = smappic_noc::line_offset(addr);
                         let old = entry.read(off, size as usize);
-                        entry.write(off, size as usize, op.apply(old, val, expected, size as usize));
+                        entry.write(
+                            off,
+                            size as usize,
+                            op.apply(old, val, expected, size as usize),
+                        );
                         Some(Msg::AmoResp { addr, old })
                     }
                     Msg::WbData { line, data } => {
@@ -369,10 +372,8 @@ mod tests {
     #[test]
     fn store_then_load_roundtrips() {
         let mut rig = Rig::new();
-        let mut core = TraceCore::new(
-            "t",
-            vec![TraceOp::StoreVal(0x100, 4242), TraceOp::Load(0x100)],
-        );
+        let mut core =
+            TraceCore::new("t", vec![TraceOp::StoreVal(0x100, 4242), TraceOp::Load(0x100)]);
         run(&mut core, &mut rig, 10_000);
         assert_eq!(core.last_load(), 4242);
         assert_eq!(core.mem_ops(), 2);

@@ -30,7 +30,11 @@ pub enum MmioResp {
 }
 
 /// A compute element occupying a tile: a core model or an accelerator.
-pub trait Engine {
+///
+/// Engines are `Send` because the platform's parallel stepper moves whole
+/// FPGAs (tiles included) onto worker threads at epoch boundaries; an engine
+/// is still only ever ticked by one thread at a time.
+pub trait Engine: Send {
     /// Advances one cycle; memory transactions go through `tri`.
     fn tick(&mut self, now: Cycle, tri: &mut dyn Tri);
 

@@ -29,7 +29,8 @@ pub enum GngMode {
 
 impl GngMode {
     /// All modes in the figure's order.
-    pub const ALL: [GngMode; 4] = [GngMode::Software, GngMode::Fetch1, GngMode::Fetch2, GngMode::Fetch4];
+    pub const ALL: [GngMode; 4] =
+        [GngMode::Software, GngMode::Fetch1, GngMode::Fetch2, GngMode::Fetch4];
 
     /// Display label matching the paper ("SW", "1", "2", "4").
     pub fn label(self) -> &'static str {
@@ -211,12 +212,7 @@ pub struct GngFigure {
 pub fn run_gng_figure(bench: GngBenchmark, samples: usize) -> GngFigure {
     let cycles: Vec<u64> = GngMode::ALL.iter().map(|&m| run_gng(bench, m, samples)).collect();
     let sw = cycles[0] as f64;
-    let speedup = [
-        1.0,
-        sw / cycles[1] as f64,
-        sw / cycles[2] as f64,
-        sw / cycles[3] as f64,
-    ];
+    let speedup = [1.0, sw / cycles[1] as f64, sw / cycles[2] as f64, sw / cycles[3] as f64];
     GngFigure { cycles: [cycles[0], cycles[1], cycles[2], cycles[3]], speedup }
 }
 
@@ -228,10 +224,7 @@ mod tests {
     fn hardware_beats_software() {
         let sw = run_gng(GngBenchmark::Generator, GngMode::Software, 64);
         let hw = run_gng(GngBenchmark::Generator, GngMode::Fetch1, 64);
-        assert!(
-            sw > hw * 4,
-            "hardware fetch must be several times faster: sw={sw}, hw={hw}"
-        );
+        assert!(sw > hw * 4, "hardware fetch must be several times faster: sw={sw}, hw={hw}");
     }
 
     #[test]

@@ -64,15 +64,7 @@ impl SortParams {
             pinning.push(n * tpn + per_node[n]);
             per_node[n] += 1;
         }
-        Self {
-            config,
-            keys,
-            threads,
-            placement,
-            pinning,
-            buckets: 64,
-            work_per_key: 2,
-        }
+        Self { config, keys, threads, placement, pinning, buckets: 64, work_per_key: 2 }
     }
 
     /// The Fig 9 setup: exactly 12 threads pinned onto `active_nodes`
@@ -142,9 +134,7 @@ impl Layout {
                         o
                     }
                 };
-                let addr = DRAM_BASE
-                    + owner as u64 * self.bytes_per_node
-                    + self.node_cursor[owner];
+                let addr = DRAM_BASE + owner as u64 * self.bytes_per_node + self.node_cursor[owner];
                 self.node_cursor[owner] += PAGE;
                 addr
             })
@@ -224,8 +214,8 @@ pub fn build_sort(params: &SortParams) -> (Platform, Vec<(usize, u16)>) {
         let b_lo = tid * params.buckets / params.threads;
         let b_hi = (tid + 1) * params.buckets / params.threads;
         for b in b_lo..b_hi {
-            for other in 0..params.threads {
-                ops.push(TraceOp::Load(addr_of(&hist_pages[other], b)));
+            for hist in &hist_pages {
+                ops.push(TraceOp::Load(addr_of(hist, b)));
             }
         }
         tree_barrier(&mut ops, 2);
@@ -251,7 +241,11 @@ pub fn build_sort(params: &SortParams) -> (Platform, Vec<(usize, u16)>) {
         // times, so an O(threads²) invalidation storm at the very end would
         // only distort the measurement.
 
-        platform.set_engine(node, (core % tpn) as u16, Box::new(TraceCore::new(format!("is{tid}"), ops)));
+        platform.set_engine(
+            node,
+            (core % tpn) as u16,
+            Box::new(TraceCore::new(format!("is{tid}"), ops)),
+        );
     }
     let cores = params.pinning.iter().map(|&c| (c / tpn, (c % tpn) as u16)).collect();
     (platform, cores)
@@ -294,8 +288,7 @@ pub fn run_sort(params: &SortParams) -> SortResult {
     }
     SortResult {
         cycles: last,
-        seconds: last as f64
-            / (f64::from(params.config.params.frequency_mhz) * 1e6),
+        seconds: last as f64 / (f64::from(params.config.params.frequency_mhz) * 1e6),
         mem_ops,
     }
 }

@@ -119,19 +119,19 @@ pub fn latency_matrix(cfg: &Config, iters: u64) -> LatencyMatrix {
 
     // One representative pair per distinct node pair.
     let mut node_pair = vec![vec![0u64; nodes]; nodes];
-    for i in 0..nodes {
-        for j in 0..nodes {
+    for (i, row) in node_pair.iter_mut().enumerate() {
+        for (j, pair) in row.iter_mut().enumerate() {
             if i != j {
-                node_pair[i][j] = measure_pair(cfg, i * tpn, j * tpn + 1, iters);
+                *pair = measure_pair(cfg, i * tpn, j * tpn + 1, iters);
             }
         }
     }
 
     let mut cycles = vec![vec![0u64; cores]; cores];
-    for s in 0..cores {
-        for r in 0..cores {
+    for (s, row) in cycles.iter_mut().enumerate() {
+        for (r, cell) in row.iter_mut().enumerate() {
             let (sn, rn) = (s / tpn, r / tpn);
-            cycles[s][r] = if s == r {
+            *cell = if s == r {
                 self_lat
             } else if sn == rn {
                 // Interpolate by mesh distance within the node.
@@ -154,10 +154,7 @@ mod tests {
     fn intra_node_read_is_about_100_cycles() {
         let cfg = Config::new(1, 1, 2);
         let rt = measure_pair(&cfg, 0, 1, 10);
-        assert!(
-            (60..180).contains(&rt),
-            "intra-node round trip should be ~100 cycles, got {rt}"
-        );
+        assert!((60..180).contains(&rt), "intra-node round trip should be ~100 cycles, got {rt}");
     }
 
     #[test]

@@ -9,7 +9,10 @@
 //! separates the latency-bound wins from the compute-bound tie in the
 //! paper's chart.
 
-use smappic_accel::{Maple, MAPLE_REG_BASE_A, MAPLE_REG_BASE_B, MAPLE_REG_COUNT, MAPLE_REG_MODE, MAPLE_REG_QUEUE, MAPLE_REG_START};
+use smappic_accel::{
+    Maple, MAPLE_REG_BASE_A, MAPLE_REG_BASE_B, MAPLE_REG_COUNT, MAPLE_REG_MODE, MAPLE_REG_QUEUE,
+    MAPLE_REG_START,
+};
 use smappic_core::{Config, Platform, DRAM_BASE, MAPLE_MMIO_BASE};
 use smappic_noc::{Gid, NodeId};
 use smappic_sim::SimRng;
@@ -68,7 +71,8 @@ pub enum MapleMode {
 
 impl MapleMode {
     /// All modes in figure order.
-    pub const ALL: [MapleMode; 3] = [MapleMode::SingleThread, MapleMode::Maple, MapleMode::TwoThreads];
+    pub const ALL: [MapleMode; 3] =
+        [MapleMode::SingleThread, MapleMode::Maple, MapleMode::TwoThreads];
 
     /// Paper-style label.
     pub fn label(self) -> &'static str {
@@ -195,8 +199,7 @@ pub struct MapleFigure {
 
 /// Runs all three modes of one kernel.
 pub fn run_maple_figure(kernel: Kernel, elements: usize) -> MapleFigure {
-    let cycles: Vec<u64> =
-        MapleMode::ALL.iter().map(|&m| run_maple(kernel, m, elements)).collect();
+    let cycles: Vec<u64> = MapleMode::ALL.iter().map(|&m| run_maple(kernel, m, elements)).collect();
     let base = cycles[0] as f64;
     MapleFigure {
         cycles: [cycles[0], cycles[1], cycles[2]],
@@ -226,11 +229,7 @@ mod tests {
             "SPMM is compute-bound; MAPLE cannot help much: {:?}",
             f.speedup
         );
-        assert!(
-            f.speedup[2] > 1.4,
-            "a second thread splits the compute: {:?}",
-            f.speedup
-        );
+        assert!(f.speedup[2] > 1.4, "a second thread splits the compute: {:?}", f.speedup);
     }
 
     #[test]

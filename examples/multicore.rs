@@ -112,7 +112,11 @@ fn main() {
     let total = core0.exit_code().unwrap();
     let expected = N * (N + 1) / 2;
     println!("sum(1..={N}) across {CORES} cores = {total} (expected {expected})");
-    println!("finished in {} cycles ({:.2} ms of 100 MHz target time)", platform.now(), platform.modeled_seconds() * 1e3);
+    println!(
+        "finished in {} cycles ({:.2} ms of 100 MHz target time)",
+        platform.now(),
+        platform.modeled_seconds() * 1e3
+    );
     let (br, miss) = core0.branch_stats();
     println!("core 0 branch prediction: {miss}/{br} mispredicted");
     assert_eq!(total, expected);

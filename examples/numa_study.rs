@@ -15,13 +15,22 @@ use smappic::workloads::latency::latency_matrix;
 
 fn main() {
     let cfg = Config::new(2, 1, 4);
-    println!("== {} prototype: {} cores across {} nodes ==\n", cfg.notation(), cfg.total_tiles(), cfg.total_nodes());
+    println!(
+        "== {} prototype: {} cores across {} nodes ==\n",
+        cfg.notation(),
+        cfg.total_tiles(),
+        cfg.total_nodes()
+    );
 
     // Fig 7 in miniature: the NUMA domains are visible in latency.
     println!("measuring inter-core round-trip latencies...");
     let m = latency_matrix(&cfg, 10);
     println!("  intra-node: {:>5.0} cycles", m.intra_node_mean());
-    println!("  inter-node: {:>5.0} cycles ({:.1}x — the PCIe hop)", m.inter_node_mean(), m.inter_node_mean() / m.intra_node_mean());
+    println!(
+        "  inter-node: {:>5.0} cycles ({:.1}x — the PCIe hop)",
+        m.inter_node_mean(),
+        m.inter_node_mean() / m.intra_node_mean()
+    );
     println!("\nheatmap (cycles):");
     for row in &m.cycles {
         print!("  ");

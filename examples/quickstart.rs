@@ -90,7 +90,8 @@ fn main() {
             .is_some_and(|c| c.exit_code().is_some())
     };
     assert!(platform.run_until(10_000_000, halted), "guest did not halt");
-    println!("guest halted after {} cycles ({:.3} ms of 100 MHz target time)",
+    println!(
+        "guest halted after {} cycles ({:.3} ms of 100 MHz target time)",
         platform.now(),
         platform.modeled_seconds() * 1e3
     );

@@ -6,12 +6,7 @@ use smappic::platform::{Config, Platform, DRAM_BASE, PLIC_BASE, SD_CTL_BASE, UAR
 use smappic::tile::{ArianeConfig, ArianeCore};
 
 fn exit_code(p: &Platform, tile: u16) -> Option<u64> {
-    p.node(0)
-        .tile(tile)
-        .engine()
-        .as_any()
-        .downcast_ref::<ArianeCore>()
-        .and_then(|c| c.exit_code())
+    p.node(0).tile(tile).engine().as_any().downcast_ref::<ArianeCore>().and_then(|c| c.exit_code())
 }
 
 /// The full interrupt-driven console input path: the host types a byte,
@@ -78,10 +73,7 @@ fn interrupt_driven_uart_echo_through_the_plic() {
     // Let the guest set up, then type.
     p.run(200_000);
     p.console_mut(0).send(b"hi!");
-    assert!(
-        p.run_until(10_000_000, |p| exit_code(p, 0).is_some()),
-        "guest never saw the '!' byte"
-    );
+    assert!(p.run_until(10_000_000, |p| exit_code(p, 0).is_some()), "guest never saw the '!' byte");
     assert_eq!(exit_code(&p, 0), Some(55));
     // The echo made it back to the host (drain at baud rate).
     let mut echoed = Vec::new();

@@ -129,17 +129,10 @@ fn clint_timer_interrupt_wakes_wfi_through_the_packetizer() {
     p.load_image(&img);
     let map = p.addr_map(0);
     p.set_engine(0, 0, Box::new(ArianeCore::new(ArianeConfig::new(0, DRAM_BASE, map))));
-    assert!(
-        p.run_until(1_000_000, |p| ariane_exit(p, 0, 0).is_some()),
-        "guest never halted"
-    );
+    assert!(p.run_until(1_000_000, |p| ariane_exit(p, 0, 0).is_some()), "guest never halted");
     assert_eq!(ariane_exit(&p, 0, 0), Some(42), "timer interrupt must reach the handler");
     let core = p.node(0).tile(0).engine().as_any().downcast_ref::<ArianeCore>().unwrap();
-    assert_eq!(
-        core.hart().reg(11),
-        7 | (1 << 63),
-        "mcause must be machine timer interrupt"
-    );
+    assert_eq!(core.hart().reg(11), 7 | (1 << 63), "mcause must be machine timer interrupt");
 }
 
 /// Software interrupts (IPIs) via the CLINT's MSIP registers: hart 0 kicks
@@ -195,10 +188,7 @@ fn msip_ipi_crosses_the_node() {
     let map1 = p.addr_map(0);
     p.set_engine(0, 0, Box::new(ArianeCore::new(ArianeConfig::new(0, DRAM_BASE, map0))));
     p.set_engine(0, 1, Box::new(ArianeCore::new(ArianeConfig::new(1, DRAM_BASE + 0x1_0000, map1))));
-    assert!(
-        p.run_until(2_000_000, |p| ariane_exit(p, 0, 1).is_some()),
-        "receiver never halted"
-    );
+    assert!(p.run_until(2_000_000, |p| ariane_exit(p, 0, 1).is_some()), "receiver never halted");
     assert_eq!(ariane_exit(&p, 0, 1), Some(77), "IPI must wake the receiver into its handler");
 }
 

@@ -21,10 +21,7 @@ fn single_node_trace_core_store_load() {
     p.set_engine(
         0,
         0,
-        Box::new(TraceCore::new(
-            "t0",
-            vec![TraceOp::StoreVal(addr, 777), TraceOp::Load(addr)],
-        )),
+        Box::new(TraceCore::new("t0", vec![TraceOp::StoreVal(addr, 777), TraceOp::Load(addr)])),
     );
     assert!(p.run_until(200_000, |p| trace_core_done(p, 0, 0)), "program must finish");
     let core = p.node(0).tile(0).engine().as_any().downcast_ref::<TraceCore>().unwrap();
@@ -108,10 +105,7 @@ fn cross_node_shared_memory_over_pcie() {
             vec![TraceOp::SpinUntilEq(flag, 7), TraceOp::Load(payload)],
         )),
     );
-    assert!(
-        p.run_until(2_000_000, |p| trace_core_done(p, 1, 0)),
-        "cross-node spin must complete"
-    );
+    assert!(p.run_until(2_000_000, |p| trace_core_done(p, 1, 0)), "cross-node spin must complete");
     let reader = p.node(1).tile(0).engine().as_any().downcast_ref::<TraceCore>().unwrap();
     assert_eq!(reader.last_load(), 4242);
 }
@@ -193,7 +187,11 @@ fn homing_modes_change_where_lines_live() {
         cfg.homing = Some(mode);
         let mut p = Platform::new(cfg);
         let addr = DRAM_BASE + 0x40; // line 1: stripes to node 1, local stays at 0
-        p.set_engine(0, 0, Box::new(TraceCore::new("w", vec![TraceOp::StoreVal(addr, 5), TraceOp::Load(addr)])));
+        p.set_engine(
+            0,
+            0,
+            Box::new(TraceCore::new("w", vec![TraceOp::StoreVal(addr, 5), TraceOp::Load(addr)])),
+        );
         assert!(p.run_until(1_000_000, |p| trace_core_done(p, 0, 0)), "mode {mode:?}");
         let c = p.node(0).tile(0).engine().as_any().downcast_ref::<TraceCore>().unwrap();
         assert_eq!(c.last_load(), 5, "mode {mode:?}");

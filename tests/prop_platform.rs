@@ -1,7 +1,9 @@
-//! Property tests over the whole platform: coherence invariants under
+//! Randomized tests over the whole platform: coherence invariants under
 //! randomized multi-core workloads and arbitrary prototype shapes.
+//!
+//! Cases come from the deterministic [`SimRng`] with fixed seeds, so the
+//! suite has no external dependencies and every failure reproduces exactly.
 
-use proptest::prelude::*;
 use smappic::platform::{Config, Platform, DRAM_BASE};
 use smappic::sim::SimRng;
 use smappic::tile::{TraceCore, TraceOp};
@@ -17,19 +19,17 @@ fn all_done(p: &Platform, cores: &[(usize, u16)]) -> bool {
     })
 }
 
-proptest! {
+/// Atomic increments from every core are never lost, whatever the
+/// shape of the prototype and the contention pattern.
+#[test]
+fn amo_increments_are_never_lost() {
     // Whole-platform cases are expensive; keep the case count moderate.
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Atomic increments from every core are never lost, whatever the
-    /// shape of the prototype and the contention pattern.
-    #[test]
-    fn amo_increments_are_never_lost(
-        fpgas in 1usize..=2,
-        tiles in 1usize..=4,
-        incs in 1u64..40,
-        seed in any::<u64>(),
-    ) {
+    let mut meta = SimRng::new(0xA301AC);
+    for case in 0..12 {
+        let fpgas = 1 + meta.gen_range(2) as usize; // 1..=2
+        let tiles = 1 + meta.gen_range(4) as usize; // 1..=4
+        let incs = 1 + meta.gen_range(39); // 1..40
+        let seed = meta.next_u64();
         let cfg = Config::new(fpgas, 1, tiles);
         let total_cores = cfg.total_tiles();
         let counter = DRAM_BASE + 0x9000;
@@ -57,20 +57,22 @@ proptest! {
         }
         let cores2 = cores.clone();
         let finished = p.run_until(40_000_000, move |p| all_done(p, &cores2));
-        prop_assert!(finished, "deadlock under random contention");
+        assert!(finished, "deadlock under random contention (case {case})");
         let reader = p.node(0).tile(0).engine().as_any().downcast_ref::<TraceCore>().unwrap();
-        prop_assert_eq!(reader.last_load(), total_cores as u64 * incs);
+        assert_eq!(reader.last_load(), total_cores as u64 * incs, "case {case}");
     }
+}
 
-    /// Per-core private data written through the coherent hierarchy reads
-    /// back intact, even when address sets of different cores share lines'
-    /// homes and evict each other from the LLC.
-    #[test]
-    fn private_data_survives_contention(
-        tiles in 2usize..=4,
-        words in 1usize..64,
-        seed in any::<u64>(),
-    ) {
+/// Per-core private data written through the coherent hierarchy reads
+/// back intact, even when address sets of different cores share lines'
+/// homes and evict each other from the LLC.
+#[test]
+fn private_data_survives_contention() {
+    let mut meta = SimRng::new(0x5318A7E);
+    for case in 0..8 {
+        let tiles = 2 + meta.gen_range(3) as usize; // 2..=4
+        let words = 1 + meta.gen_range(63) as usize; // 1..64
+        let seed = meta.next_u64();
         let cfg = Config::new(1, 1, tiles);
         let mut p = Platform::new(cfg);
         let mut rng = SimRng::new(seed | 1);
@@ -93,39 +95,49 @@ proptest! {
             p.set_engine(0, t as u16, Box::new(TraceCore::new(format!("w{t}"), ops)));
         }
         let cores2 = cores.clone();
-        prop_assert!(p.run_until(40_000_000, move |p| all_done(p, &cores2)), "hang");
+        assert!(p.run_until(40_000_000, move |p| all_done(p, &cores2)), "hang (case {case})");
         // The last load of each core must be its own last value.
         for (t, (_, vals)) in expected.iter().enumerate() {
             let c = p.node(0).tile(t as u16).engine().as_any().downcast_ref::<TraceCore>().unwrap();
-            prop_assert_eq!(c.last_load(), *vals.last().unwrap(), "core {}", t);
+            assert_eq!(c.last_load(), *vals.last().unwrap(), "core {t} (case {case})");
         }
     }
+}
 
-    /// Release/acquire through a flag always publishes the payload, at any
-    /// inter-node distance.
-    #[test]
-    fn message_passing_is_causal(
-        fpgas in 1usize..=2,
-        payload in any::<u64>(),
-        delay in 0u64..200,
-    ) {
+/// Release/acquire through a flag always publishes the payload, at any
+/// inter-node distance.
+#[test]
+fn message_passing_is_causal() {
+    let mut meta = SimRng::new(0xCA05A1);
+    for case in 0..10 {
+        let fpgas = 1 + meta.gen_range(2) as usize; // 1..=2
+        let payload = meta.next_u64();
+        let delay = meta.gen_range(200);
         let cfg = Config::new(fpgas, 1, 2);
         let mut p = Platform::new(cfg);
         let flag = DRAM_BASE + 0xA000;
         let data = DRAM_BASE + 0xA040;
-        p.set_engine(0, 0, Box::new(TraceCore::new("w", vec![
-            TraceOp::Compute(delay + 1),
-            TraceOp::StoreVal(data, payload),
-            TraceOp::StoreVal(flag, 1),
-        ])));
+        p.set_engine(
+            0,
+            0,
+            Box::new(TraceCore::new(
+                "w",
+                vec![
+                    TraceOp::Compute(delay + 1),
+                    TraceOp::StoreVal(data, payload),
+                    TraceOp::StoreVal(flag, 1),
+                ],
+            )),
+        );
         let reader_node = fpgas - 1; // farthest node
-        p.set_engine(reader_node, 1, Box::new(TraceCore::new("r", vec![
-            TraceOp::SpinUntilEq(flag, 1),
-            TraceOp::Load(data),
-        ])));
+        p.set_engine(
+            reader_node,
+            1,
+            Box::new(TraceCore::new("r", vec![TraceOp::SpinUntilEq(flag, 1), TraceOp::Load(data)])),
+        );
         let done = move |p: &Platform| all_done(p, &[(reader_node, 1)]);
-        prop_assert!(p.run_until(20_000_000, done), "reader never saw the flag");
+        assert!(p.run_until(20_000_000, done), "reader never saw the flag (case {case})");
         let r = p.node(reader_node).tile(1).engine().as_any().downcast_ref::<TraceCore>().unwrap();
-        prop_assert_eq!(r.last_load(), payload);
+        assert_eq!(r.last_load(), payload, "case {case}");
     }
 }
