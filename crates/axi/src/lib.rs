@@ -42,6 +42,6 @@ mod shell;
 mod txn;
 
 pub use crossbar::Crossbar;
-pub use pcie::{PcieItem, PcieLink};
+pub use pcie::{Flight, PcieItem, PcieLink};
 pub use shell::{HardShell, ShellRoute};
 pub use txn::{AxiRead, AxiReadResp, AxiReq, AxiResp, AxiWrite, AxiWriteResp, LiteReq, LiteResp};

@@ -1,6 +1,9 @@
-//! The PCIe link model: latency/bandwidth-shaped AXI transport.
+//! The PCIe link model: latency/bandwidth-shaped AXI transport, with an
+//! optional deterministic timing-fault stage.
 
-use smappic_sim::{Cycle, TrafficShaper};
+use std::collections::BTreeMap;
+
+use smappic_sim::{Cycle, FaultInjector, TrafficShaper};
 
 use crate::txn::{AxiReq, AxiResp};
 
@@ -23,6 +26,131 @@ impl PcieItem {
     }
 }
 
+/// A delivered item tagged with its per-direction sequence number.
+///
+/// Sequence numbers count items in *send* order, so the receiving Hard
+/// Shell can restore the clean delivery order (and drop duplicate copies)
+/// when the fault stage has scrambled timing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Flight {
+    /// Position of this item in the direction's send order (0-based).
+    pub seq: u64,
+    /// The payload, untouched by any fault.
+    pub item: PcieItem,
+}
+
+/// The fault stage of one link direction: in-flight items that have left
+/// the shaper but are being held by injected delays.
+#[derive(Debug)]
+struct DirFaults {
+    inj: FaultInjector,
+    /// Held items keyed by `(release cycle, seq, copy)` — the BTreeMap
+    /// order is the delivery order. `copy` is 0 for the real item, 1 for
+    /// an injected duplicate.
+    jitter: BTreeMap<(Cycle, u64, u8), PcieItem>,
+    delayed: u64,
+    duplicated: u64,
+}
+
+/// One direction of the link: the traffic shaper plus the optional fault
+/// stage and the sequence counter for drained items.
+#[derive(Debug)]
+struct Dir {
+    shaper: TrafficShaper<PcieItem>,
+    /// Items drained from the shaper so far == the next seq to assign.
+    drained: u64,
+    faults: Option<DirFaults>,
+}
+
+impl Dir {
+    fn new(bytes_per_cycle: u64, latency: Cycle) -> Self {
+        Self { shaper: TrafficShaper::new(bytes_per_cycle, 1, latency), drained: 0, faults: None }
+    }
+
+    /// Moves every shaper item maturing strictly before `horizon` into the
+    /// jitter buffer, applying its fault action. Only meaningful with
+    /// faults installed.
+    fn drain_into_jitter(&mut self, horizon: Cycle) {
+        let f = self.faults.as_mut().expect("fault stage installed");
+        while let Some((mature, item)) = self.shaper.pop_before(horizon) {
+            let seq = self.drained;
+            self.drained += 1;
+            let action = f.inj.link_action(seq, mature);
+            if action.delay > 0 {
+                f.delayed += 1;
+            }
+            if let Some(dup_delay) = action.duplicate {
+                f.duplicated += 1;
+                f.jitter.insert((mature + dup_delay, seq, 1), item.clone());
+            }
+            f.jitter.insert((mature + action.delay, seq, 0), item);
+        }
+    }
+
+    fn recv(&mut self, now: Cycle) -> Option<Flight> {
+        if self.faults.is_some() {
+            self.drain_into_jitter(now + 1);
+            let f = self.faults.as_mut().expect("checked");
+            let (&(release, _, _), _) = f.jitter.iter().next()?;
+            if release > now {
+                return None;
+            }
+            let ((_, seq, _), item) = f.jitter.pop_first().expect("front checked");
+            Some(Flight { seq, item })
+        } else {
+            let item = self.shaper.pop_ready(now)?;
+            let seq = self.drained;
+            self.drained += 1;
+            Some(Flight { seq, item })
+        }
+    }
+
+    fn take_before(&mut self, horizon: Cycle) -> Vec<(Cycle, Flight)> {
+        let mut out = Vec::new();
+        if self.faults.is_some() {
+            self.drain_into_jitter(horizon);
+            let f = self.faults.as_mut().expect("checked");
+            while let Some((&(release, _, _), _)) = f.jitter.iter().next() {
+                if release >= horizon {
+                    break;
+                }
+                let ((_, seq, _), item) = f.jitter.pop_first().expect("front checked");
+                out.push((release, Flight { seq, item }));
+            }
+        } else {
+            while let Some((ready, item)) = self.shaper.pop_before(horizon) {
+                let seq = self.drained;
+                self.drained += 1;
+                out.push((ready, Flight { seq, item }));
+            }
+        }
+        out
+    }
+
+    /// A lower bound on the next delivery cycle (exact without faults).
+    /// With faults installed, items still in the shaper report their
+    /// *mature* cycle — their fault action can only push them later, so
+    /// the idle-skip warp never jumps past a delivery; it lands on the
+    /// mature cycle, drains the item into the jitter buffer, and rescans.
+    fn next_delivery_at(&self) -> Option<Cycle> {
+        let shaper_next = self.shaper.front_ready_at();
+        let jitter_next =
+            self.faults.as_ref().and_then(|f| f.jitter.keys().next().map(|&(r, _, _)| r));
+        match (shaper_next, jitter_next) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.shaper.is_empty() && self.faults.as_ref().is_none_or(|f| f.jitter.is_empty())
+    }
+
+    fn in_flight(&self) -> usize {
+        self.shaper.len() + self.faults.as_ref().map_or(0, |f| f.jitter.len())
+    }
+}
+
 /// A bidirectional PCIe connection between two endpoints "A" and "B".
 ///
 /// The paper measures a 1250 ns round trip between FPGAs in an F1 instance;
@@ -33,10 +161,18 @@ impl PcieItem {
 ///
 /// Traffic goes *directly* FPGA-to-FPGA and does not involve the host CPU
 /// (§3.1 stage 4-5), so one link object per FPGA pair is the whole model.
+///
+/// With [`PcieLink::set_faults`] installed, items leaving the shaper pass
+/// through a deterministic fault stage that can delay them further or emit
+/// ghost duplicates — timing faults only; payloads are never corrupted and
+/// every delivery carries its send-order [`Flight::seq`] so the receiver
+/// can undo the scrambling. Injected delays only ever *add* to the clean
+/// delivery time, so the link's one-way latency remains a valid lookahead
+/// for the epoch-parallel stepper.
 #[derive(Debug)]
 pub struct PcieLink {
-    a_to_b: TrafficShaper<PcieItem>,
-    b_to_a: TrafficShaper<PcieItem>,
+    a_to_b: Dir,
+    b_to_a: Dir,
 }
 
 impl PcieLink {
@@ -48,8 +184,8 @@ impl PcieLink {
     /// Panics if `bytes_per_cycle` is zero.
     pub fn new(one_way_latency: Cycle, bytes_per_cycle: u64) -> Self {
         Self {
-            a_to_b: TrafficShaper::new(bytes_per_cycle, 1, one_way_latency),
-            b_to_a: TrafficShaper::new(bytes_per_cycle, 1, one_way_latency),
+            a_to_b: Dir::new(bytes_per_cycle, one_way_latency),
+            b_to_a: Dir::new(bytes_per_cycle, one_way_latency),
         }
     }
 
@@ -59,26 +195,54 @@ impl PcieLink {
         Self::new(62, 160)
     }
 
+    /// Installs the fault stage: `a_to_b` faults items A sends toward B,
+    /// `b_to_a` the reverse direction.
+    pub fn set_faults(&mut self, a_to_b: FaultInjector, b_to_a: FaultInjector) {
+        self.a_to_b.faults =
+            Some(DirFaults { inj: a_to_b, jitter: BTreeMap::new(), delayed: 0, duplicated: 0 });
+        self.b_to_a.faults =
+            Some(DirFaults { inj: b_to_a, jitter: BTreeMap::new(), delayed: 0, duplicated: 0 });
+    }
+
+    /// `(delayed, duplicated)` item counts across both directions since
+    /// construction. Zero without an installed fault stage.
+    pub fn fault_counts(&self) -> (u64, u64) {
+        let fold = |d: &Dir| d.faults.as_ref().map_or((0, 0), |f| (f.delayed, f.duplicated));
+        let (ad, au) = fold(&self.a_to_b);
+        let (bd, bu) = fold(&self.b_to_a);
+        (ad + bd, au + bu)
+    }
+
     /// Endpoint A sends toward B.
     pub fn send_from_a(&mut self, now: Cycle, item: PcieItem) {
         let bytes = item.wire_bytes();
-        self.a_to_b.push(now, bytes, item);
+        self.a_to_b.shaper.push(now, bytes, item);
     }
 
     /// Endpoint B sends toward A.
     pub fn send_from_b(&mut self, now: Cycle, item: PcieItem) {
         let bytes = item.wire_bytes();
-        self.b_to_a.push(now, bytes, item);
+        self.b_to_a.shaper.push(now, bytes, item);
     }
 
     /// Endpoint B receives what A sent, in order, after the link delay.
     pub fn recv_at_b(&mut self, now: Cycle) -> Option<PcieItem> {
-        self.a_to_b.pop_ready(now)
+        self.a_to_b.recv(now).map(|f| f.item)
     }
 
     /// Endpoint A receives what B sent.
     pub fn recv_at_a(&mut self, now: Cycle) -> Option<PcieItem> {
-        self.b_to_a.pop_ready(now)
+        self.b_to_a.recv(now).map(|f| f.item)
+    }
+
+    /// Endpoint B receives the next flight (item + sequence number).
+    pub fn recv_flight_at_b(&mut self, now: Cycle) -> Option<Flight> {
+        self.a_to_b.recv(now)
+    }
+
+    /// Endpoint A receives the next flight.
+    pub fn recv_flight_at_a(&mut self, now: Cycle) -> Option<Flight> {
+        self.b_to_a.recv(now)
     }
 
     /// The configured one-way propagation latency in cycles.
@@ -86,15 +250,18 @@ impl PcieLink {
     /// This is the link's *lookahead*: an item entering the link at cycle
     /// `t` cannot emerge before `t + one_way_latency()`, so two FPGAs joined
     /// by this link can be simulated independently for that many cycles.
+    /// The fault stage only ever adds delay, so this stays valid with
+    /// faults installed.
     pub fn one_way_latency(&self) -> Cycle {
-        self.a_to_b.latency()
+        self.a_to_b.shaper.latency()
     }
 
-    /// The earliest cycle at which either direction delivers its oldest
-    /// in-flight item, or [`None`] when the link is empty. Part of the
-    /// platform's idle-skip scan.
+    /// The earliest cycle at which either direction could deliver, or
+    /// [`None`] when the link is empty. Part of the platform's idle-skip
+    /// scan; see [`Dir::next_delivery_at`] for the fault-stage caveat
+    /// (lower bound, never an overshoot).
     pub fn next_delivery_at(&self) -> Option<Cycle> {
-        match (self.a_to_b.front_ready_at(), self.b_to_a.front_ready_at()) {
+        match (self.a_to_b.next_delivery_at(), self.b_to_a.next_delivery_at()) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         }
@@ -108,31 +275,39 @@ impl PcieLink {
     /// receiving FPGA's worker can replay the deliveries cycle-accurately
     /// without touching the (shared) link.
     pub fn take_to_b_before(&mut self, horizon: Cycle) -> Vec<(Cycle, PcieItem)> {
-        let mut out = Vec::new();
-        while let Some(entry) = self.a_to_b.pop_before(horizon) {
-            out.push(entry);
-        }
-        out
+        self.a_to_b.take_before(horizon).into_iter().map(|(t, f)| (t, f.item)).collect()
     }
 
     /// Drains every item headed for A maturing strictly before `horizon`;
     /// see [`PcieLink::take_to_b_before`].
     pub fn take_to_a_before(&mut self, horizon: Cycle) -> Vec<(Cycle, PcieItem)> {
-        let mut out = Vec::new();
-        while let Some(entry) = self.b_to_a.pop_before(horizon) {
-            out.push(entry);
-        }
-        out
+        self.b_to_a.take_before(horizon).into_iter().map(|(t, f)| (t, f.item)).collect()
     }
 
-    /// True when nothing is in flight in either direction.
+    /// Flight-typed epoch extraction toward B (delivery cycle + seq).
+    pub fn take_flights_to_b_before(&mut self, horizon: Cycle) -> Vec<(Cycle, Flight)> {
+        self.a_to_b.take_before(horizon)
+    }
+
+    /// Flight-typed epoch extraction toward A.
+    pub fn take_flights_to_a_before(&mut self, horizon: Cycle) -> Vec<(Cycle, Flight)> {
+        self.b_to_a.take_before(horizon)
+    }
+
+    /// True when nothing is in flight in either direction (including the
+    /// fault stage's held items).
     pub fn is_idle(&self) -> bool {
         self.a_to_b.is_empty() && self.b_to_a.is_empty()
     }
 
+    /// Items currently in flight in both directions (shaper + fault stage).
+    pub fn in_flight(&self) -> usize {
+        self.a_to_b.in_flight() + self.b_to_a.in_flight()
+    }
+
     /// Total bytes transferred in both directions.
     pub fn bytes_transferred(&self) -> u64 {
-        self.a_to_b.bytes_sent() + self.b_to_a.bytes_sent()
+        self.a_to_b.shaper.bytes_sent() + self.b_to_a.shaper.bytes_sent()
     }
 }
 
@@ -140,6 +315,8 @@ impl PcieLink {
 mod tests {
     use super::*;
     use crate::txn::{AxiRead, AxiReadResp};
+    use smappic_sim::{fault_streams, FaultPlan, FaultProfile};
+    use std::sync::Arc;
 
     #[test]
     fn round_trip_latency_is_twice_one_way() {
@@ -203,5 +380,165 @@ mod tests {
         }
         assert_eq!(got, 10);
         assert!(last >= 110, "drained too fast: {last}");
+    }
+
+    #[test]
+    fn flights_number_items_in_send_order() {
+        let mut link = PcieLink::new(5, 160);
+        for i in 0..4 {
+            link.send_from_a(i, PcieItem::Req(AxiReq::Read(AxiRead::new(i * 8, 8, i as u16))));
+        }
+        let mut seqs = Vec::new();
+        for now in 0..100 {
+            while let Some(f) = link.recv_flight_at_b(now) {
+                seqs.push(f.seq);
+            }
+        }
+        assert_eq!(seqs, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn quiet_fault_stage_preserves_exact_timing() {
+        // Twin links, one with a quiet (no-op) fault stage: every delivery
+        // must happen at the same cycle with the same payload.
+        let mut clean = PcieLink::new(12, 32);
+        let mut faulted = PcieLink::new(12, 32);
+        let plan = Arc::new(FaultPlan::seeded(5, FaultProfile::quiet()));
+        faulted.set_faults(
+            FaultInjector::new(plan.clone(), fault_streams::link(0, 1)),
+            FaultInjector::new(plan, fault_streams::link(1, 0)),
+        );
+        for i in 0..8u64 {
+            let item = PcieItem::Req(AxiReq::Read(AxiRead::new(i * 64, 32, i as u16)));
+            clean.send_from_a(i * 3, item.clone());
+            faulted.send_from_a(i * 3, item);
+        }
+        for now in 0..300 {
+            loop {
+                let (c, f) = (clean.recv_at_b(now), faulted.recv_at_b(now));
+                assert_eq!(c, f, "divergence at cycle {now}");
+                if c.is_none() {
+                    break;
+                }
+            }
+        }
+        assert!(clean.is_idle() && faulted.is_idle());
+    }
+
+    #[test]
+    fn delayed_items_arrive_late_but_intact() {
+        let profile = FaultProfile { delay_prob: 1.0, delay_max: 50, ..FaultProfile::quiet() };
+        let plan = Arc::new(FaultPlan::seeded(77, profile));
+        let mut link = PcieLink::new(10, 160);
+        link.set_faults(
+            FaultInjector::new(plan.clone(), fault_streams::link(0, 1)),
+            FaultInjector::new(plan, fault_streams::link(1, 0)),
+        );
+        let item = PcieItem::Req(AxiReq::Read(AxiRead::new(0x40, 8, 3)));
+        link.send_from_a(0, item.clone());
+        let mut arrived = None;
+        for now in 0..200 {
+            if let Some(f) = link.recv_flight_at_b(now) {
+                assert_eq!(f.item, item, "payload must never be corrupted");
+                arrived = Some(now);
+                break;
+            }
+        }
+        let t = arrived.expect("delayed, not dropped");
+        assert!(t > 10, "delay_prob 1.0 must add at least one cycle, arrived at {t}");
+        assert_eq!(link.fault_counts().0, 1);
+    }
+
+    #[test]
+    fn duplicates_share_a_sequence_number() {
+        let profile = FaultProfile { dup_prob: 1.0, dup_delay_max: 30, ..FaultProfile::quiet() };
+        let plan = Arc::new(FaultPlan::seeded(13, profile));
+        let mut link = PcieLink::new(4, 160);
+        link.set_faults(
+            FaultInjector::new(plan.clone(), fault_streams::link(0, 1)),
+            FaultInjector::new(plan, fault_streams::link(1, 0)),
+        );
+        link.send_from_a(0, PcieItem::Req(AxiReq::Read(AxiRead::new(0, 8, 9))));
+        let mut flights = Vec::new();
+        for now in 0..200 {
+            while let Some(f) = link.recv_flight_at_b(now) {
+                flights.push(f);
+            }
+        }
+        assert_eq!(flights.len(), 2, "original + ghost copy");
+        assert_eq!(flights[0].seq, flights[1].seq);
+        assert_eq!(flights[0].item, flights[1].item);
+        assert!(link.is_idle());
+    }
+
+    #[test]
+    fn epoch_extraction_matches_cycle_stepping_under_faults() {
+        // The faulted take_before path must report the same (cycle, seq,
+        // item) schedule the cycle-stepped recv path observes.
+        let profile = FaultProfile {
+            delay_prob: 0.5,
+            delay_max: 20,
+            dup_prob: 0.3,
+            dup_delay_max: 25,
+            ..FaultProfile::quiet()
+        };
+        let plan = Arc::new(FaultPlan::seeded(99, profile));
+        let mk = |plan: &Arc<FaultPlan>| {
+            let mut l = PcieLink::new(8, 16);
+            l.set_faults(
+                FaultInjector::new(plan.clone(), fault_streams::link(0, 1)),
+                FaultInjector::new(plan.clone(), fault_streams::link(1, 0)),
+            );
+            l
+        };
+        let (mut stepped, mut batched) = (mk(&plan), mk(&plan));
+        for i in 0..12u64 {
+            let item = PcieItem::Req(AxiReq::Read(AxiRead::new(i * 8, 8, i as u16)));
+            stepped.send_from_a(i, item.clone());
+            batched.send_from_a(i, item);
+        }
+        let mut by_step = Vec::new();
+        for now in 0..400 {
+            while let Some(f) = stepped.recv_flight_at_b(now) {
+                by_step.push((now, f));
+            }
+        }
+        let mut by_batch = Vec::new();
+        for epoch in 0..(400 / 40) {
+            by_batch.extend(batched.take_flights_to_b_before((epoch + 1) * 40));
+        }
+        assert_eq!(by_step.len(), by_batch.len());
+        for (s, b) in by_step.iter().zip(by_batch.iter()) {
+            assert_eq!(s.0, b.0, "delivery cycles diverged");
+            assert_eq!(s.1, b.1, "flights diverged");
+        }
+    }
+
+    #[test]
+    fn next_delivery_never_overshoots_with_faults() {
+        let profile = FaultProfile { delay_prob: 1.0, delay_max: 100, ..FaultProfile::quiet() };
+        let plan = Arc::new(FaultPlan::seeded(3, profile));
+        let mut link = PcieLink::new(10, 160);
+        link.set_faults(
+            FaultInjector::new(plan.clone(), fault_streams::link(0, 1)),
+            FaultInjector::new(plan, fault_streams::link(1, 0)),
+        );
+        link.send_from_a(0, PcieItem::Req(AxiReq::Read(AxiRead::new(0, 8, 1))));
+        let mut now = 0;
+        let mut hops = 0;
+        loop {
+            let next = link.next_delivery_at().expect("item in flight");
+            assert!(next >= now, "next_delivery_at went backwards");
+            now = next;
+            if link.recv_at_b(now).is_some() {
+                break;
+            }
+            // No delivery: the scan must make progress (the item moved
+            // from the shaper into the jitter buffer, whose bound is exact).
+            hops += 1;
+            assert!(hops <= 2, "idle-skip scan failed to converge");
+            now += 1;
+        }
+        assert!(link.is_idle());
     }
 }

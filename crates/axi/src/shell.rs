@@ -1,8 +1,11 @@
 //! The AWS F1 Hard Shell model: the fixed partition between Custom Logic
 //! and the outside world.
 
-use smappic_sim::{Fifo, Stats};
+use std::collections::BTreeMap;
 
+use smappic_sim::{Cycle, Fifo, Stats};
+
+use crate::pcie::PcieItem;
 use crate::txn::{AxiReq, AxiResp};
 
 /// Where the Hard Shell steers an outbound request.
@@ -18,6 +21,36 @@ pub enum ShellRoute {
     Host,
 }
 
+/// Retry backoff ceiling for the inbound guard, in cycles. Reaching the
+/// ceiling counts one `shell.guard_timeout` per stall episode; retries
+/// continue (giving up would drop data — livelock is the Watchdog's job
+/// to report).
+const GUARD_BACKOFF_CAP: Cycle = 32;
+
+/// Per-peer state of the inbound fault guard: a reorder buffer keyed by
+/// link sequence number plus the retry/backoff state for deliveries the
+/// full inbound FIFO rejected.
+#[derive(Debug, Default)]
+struct PeerStream {
+    /// Next sequence number to hand to Custom Logic.
+    expected: u64,
+    /// Arrived-but-not-delivered items (out-of-order or FIFO-blocked).
+    pending: BTreeMap<u64, PcieItem>,
+    /// When set, the head item hit a full FIFO; retry at this cycle.
+    retry_at: Option<Cycle>,
+    /// Current backoff; doubles per failed retry up to [`GUARD_BACKOFF_CAP`].
+    backoff: Cycle,
+    /// Whether this stall episode already counted `shell.guard_timeout`.
+    timed_out: bool,
+}
+
+/// The inbound fault guard: per-peer streams, keyed by peer FPGA index.
+/// BTreeMap so pump order is deterministic across runs and steppers.
+#[derive(Debug, Default)]
+struct Guard {
+    streams: BTreeMap<usize, PeerStream>,
+}
+
 /// The Hard Shell of one FPGA.
 ///
 /// The shell owns the PCIe address map: each FPGA in the instance gets a
@@ -26,6 +59,18 @@ pub enum ShellRoute {
 /// and the platform drains them ([`HardShell::pop_outbound`]) into PCIe
 /// links; traffic arriving from links is pushed inbound and the CL drains
 /// it. Response paths mirror the request paths.
+///
+/// # Inbound fault guard
+///
+/// With [`HardShell::enable_guard`] on, PCIe deliveries enter through
+/// [`HardShell::push_sequenced`] instead of the raw push methods. The guard
+/// restores each peer's send order from the [`crate::Flight`] sequence
+/// numbers (undoing fault-injected reordering), drops duplicate copies,
+/// and — where the raw path would drop an item on a full inbound FIFO —
+/// holds it and retries with exponential backoff from
+/// [`HardShell::pump_guard`]. Downstream of the guard, Custom Logic sees
+/// exactly the clean run's traffic: timing faults never become value or
+/// ordering faults.
 #[derive(Debug)]
 pub struct HardShell {
     fpga_index: usize,
@@ -38,6 +83,7 @@ pub struct HardShell {
     /// bridge, keeps per-source context to route completions back.
     inbound_ids: std::collections::HashMap<u16, (usize, u16)>,
     next_inbound_id: u16,
+    guard: Option<Guard>,
     stats: Stats,
 }
 
@@ -58,7 +104,98 @@ impl HardShell {
             inbound_resp: Fifo::new(32),
             inbound_ids: std::collections::HashMap::new(),
             next_inbound_id: 0,
+            guard: None,
             stats: Stats::new(),
+        }
+    }
+
+    /// Turns on the inbound fault guard (idempotent; existing streams are
+    /// kept). Required before [`HardShell::push_sequenced`].
+    pub fn enable_guard(&mut self) {
+        if self.guard.is_none() {
+            self.guard = Some(Guard::default());
+        }
+    }
+
+    /// Whether the inbound fault guard is active.
+    pub fn guard_enabled(&self) -> bool {
+        self.guard.is_some()
+    }
+
+    /// Delivers a PCIe flight from peer `from` through the fault guard.
+    /// Never rejects: duplicates are dropped (`shell.guard_dup`),
+    /// out-of-order arrivals buffered (`shell.guard_ooo`), and FIFO-blocked
+    /// deliveries retried from [`HardShell::pump_guard`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the guard was not enabled.
+    pub fn push_sequenced(&mut self, now: Cycle, from: usize, seq: u64, item: PcieItem) {
+        let mut guard = self.guard.take().expect("push_sequenced requires enable_guard");
+        let stream = guard.streams.entry(from).or_default();
+        if seq < stream.expected || stream.pending.contains_key(&seq) {
+            self.stats.incr("shell.guard_dup");
+        } else {
+            if seq > stream.expected {
+                self.stats.incr("shell.guard_ooo");
+            }
+            stream.pending.insert(seq, item);
+            // Respect an in-progress backoff: pump_guard owns the retry.
+            if stream.retry_at.is_none() {
+                self.deliver_ready(stream, from, now);
+            }
+        }
+        self.guard = Some(guard);
+    }
+
+    /// Retries FIFO-blocked guard deliveries whose backoff has elapsed.
+    /// Call once per cycle (both steppers tick the owning FPGA every
+    /// simulated cycle, so retry timing is identical under each).
+    pub fn pump_guard(&mut self, now: Cycle) {
+        let Some(mut guard) = self.guard.take() else { return };
+        for (&from, stream) in guard.streams.iter_mut() {
+            if stream.retry_at.is_some_and(|t| t <= now) {
+                self.deliver_ready(stream, from, now);
+            }
+        }
+        self.guard = Some(guard);
+    }
+
+    /// Cascades in-order deliveries for one peer stream until the next
+    /// expected item is missing or the inbound FIFO refuses it.
+    fn deliver_ready(&mut self, stream: &mut PeerStream, from: usize, now: Cycle) {
+        loop {
+            let Some(item) = stream.pending.remove(&stream.expected) else {
+                stream.retry_at = None;
+                break;
+            };
+            let rejected = match item {
+                PcieItem::Req(r) => self.push_inbound(from, r).err().map(PcieItem::Req),
+                PcieItem::Resp(r) => self.push_inbound_resp(r).err().map(PcieItem::Resp),
+            };
+            match rejected {
+                None => {
+                    stream.expected += 1;
+                    stream.retry_at = None;
+                    stream.backoff = 0;
+                    stream.timed_out = false;
+                }
+                Some(item) => {
+                    stream.pending.insert(stream.expected, item);
+                    stream.backoff = if stream.backoff == 0 {
+                        1
+                    } else {
+                        (stream.backoff * 2).min(GUARD_BACKOFF_CAP)
+                    };
+                    if stream.backoff == GUARD_BACKOFF_CAP && !stream.timed_out {
+                        stream.timed_out = true;
+                        self.stats.incr("shell.guard_timeout");
+                    }
+                    stream.retry_at = Some(now + stream.backoff);
+                    self.stats.incr("shell.guard_retry");
+                    break;
+                }
+            }
         }
     }
 
@@ -172,14 +309,15 @@ impl HardShell {
         &self.stats
     }
 
-    /// True when all queues are empty and no inbound request awaits its
-    /// response.
+    /// True when all queues are empty, no inbound request awaits its
+    /// response, and the fault guard holds no undelivered items.
     pub fn is_idle(&self) -> bool {
         self.outbound_req.is_empty()
             && self.outbound_resp.is_empty()
             && self.inbound_req.is_empty()
             && self.inbound_resp.is_empty()
             && self.inbound_ids.is_empty()
+            && self.guard.as_ref().is_none_or(|g| g.streams.values().all(|s| s.pending.is_empty()))
     }
 }
 
@@ -246,5 +384,70 @@ mod tests {
         assert_eq!((to_b, rb.id()), (3, 9));
         assert_eq!((to_a, ra.id()), (2, 9));
         assert!(shell.is_idle());
+    }
+
+    fn read_item(addr: u64, id: u16) -> PcieItem {
+        PcieItem::Req(AxiReq::Read(AxiRead::new(addr, 8, id)))
+    }
+
+    #[test]
+    fn guard_restores_send_order_and_drops_duplicates() {
+        let mut shell = HardShell::new(0);
+        shell.enable_guard();
+        // Scrambled arrival: 2, 0, dup 0, 1 — CL must see 0, 1, 2.
+        shell.push_sequenced(10, 1, 2, read_item(0x200, 2));
+        shell.push_sequenced(11, 1, 0, read_item(0x000, 0));
+        shell.push_sequenced(12, 1, 0, read_item(0x000, 0));
+        shell.push_sequenced(13, 1, 1, read_item(0x100, 1));
+        let addrs: Vec<u64> =
+            std::iter::from_fn(|| shell.cl_pop_inbound()).map(|r| r.addr()).collect();
+        assert_eq!(addrs, vec![0x000, 0x100, 0x200]);
+        assert_eq!(shell.stats().get("shell.guard_dup"), 1);
+        assert_eq!(shell.stats().get("shell.guard_ooo"), 1);
+    }
+
+    #[test]
+    fn guard_retries_when_inbound_fifo_is_full() {
+        let mut shell = HardShell::new(0);
+        shell.enable_guard();
+        // Fill the 32-deep inbound FIFO through the guard.
+        for i in 0..33u64 {
+            shell.push_sequenced(0, 1, i, read_item(i * 8, i as u16));
+        }
+        assert!(!shell.is_idle(), "33rd item must be held, not dropped");
+        assert!(shell.stats().get("shell.guard_retry") >= 1);
+        // CL drains one; the held item lands on a later pump.
+        assert!(shell.cl_pop_inbound().is_some());
+        for now in 1..200 {
+            shell.pump_guard(now);
+        }
+        let mut drained = 1;
+        while shell.cl_pop_inbound().is_some() {
+            drained += 1;
+        }
+        assert_eq!(drained, 33, "every item must eventually be delivered");
+    }
+
+    #[test]
+    fn guard_in_order_path_is_transparent() {
+        // In-order, no-fault traffic through the guard must behave exactly
+        // like the raw push path (same-cycle delivery, no counters).
+        let mut guarded = HardShell::new(0);
+        guarded.enable_guard();
+        let mut raw = HardShell::new(0);
+        for i in 0..4u64 {
+            guarded.push_sequenced(i, 2, i, read_item(i * 8, i as u16));
+            let PcieItem::Req(req) = read_item(i * 8, i as u16) else { unreachable!() };
+            raw.push_inbound(2, req).unwrap();
+        }
+        loop {
+            let (g, r) = (guarded.cl_pop_inbound(), raw.cl_pop_inbound());
+            assert_eq!(g, r);
+            if g.is_none() {
+                break;
+            }
+        }
+        assert_eq!(guarded.stats().get("shell.guard_dup"), 0);
+        assert_eq!(guarded.stats().get("shell.guard_retry"), 0);
     }
 }

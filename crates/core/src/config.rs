@@ -1,7 +1,9 @@
 //! Platform configuration: AxBxC shape, Table 2 parameters, address map.
 
+use std::sync::Arc;
+
 use smappic_coherence::HomingMode;
-use smappic_sim::Cycle;
+use smappic_sim::{Cycle, FaultPlan};
 
 /// Base of cacheable DRAM in the guest physical address space.
 pub const DRAM_BASE: u64 = 0x8000_0000;
@@ -99,6 +101,39 @@ impl Default for SystemParams {
     }
 }
 
+/// Which transports a [`FaultPlan`] is threaded through.
+///
+/// All injected faults are *timing* faults: they delay, duplicate, or
+/// back-pressure traffic but never corrupt committed values, so a faulted
+/// run terminates with the same architectural state as the clean run (the
+/// invariant the chaos suite in `tests/fault_equivalence.rs` enforces).
+#[derive(Debug, Clone)]
+pub struct FaultSpec {
+    /// The deterministic plan every injector draws from.
+    pub plan: Arc<FaultPlan>,
+    /// Delay/duplicate/blackhole items on the PCIe links, with the Hard
+    /// Shell inbound guard (reorder + dedup + retry) enabled to recover.
+    pub links: bool,
+    /// Transient stalls on NoC mesh router output ports.
+    pub noc: bool,
+    /// Transient stalls on AXI crossbar master ports.
+    pub xbar: bool,
+    /// Latency spikes on DRAM channel requests.
+    pub dram: bool,
+}
+
+impl FaultSpec {
+    /// Faults on every transport.
+    pub fn all(plan: Arc<FaultPlan>) -> Self {
+        Self { plan, links: true, noc: true, xbar: true, dram: true }
+    }
+
+    /// Faults on the PCIe links only (plus the shell guard).
+    pub fn links_only(plan: Arc<FaultPlan>) -> Self {
+        Self { plan, links: true, noc: false, xbar: false, dram: false }
+    }
+}
+
 /// An AxBxC prototype configuration.
 ///
 /// ```
@@ -125,6 +160,9 @@ pub struct Config {
     /// When false, nodes are independent prototypes with no inter-node
     /// interconnect (the cost-efficient 1x4x2 of §4.5).
     pub unified_memory: bool,
+    /// Deterministic timing-fault injection; `None` (the default) builds a
+    /// clean platform with zero fault machinery on any hot path.
+    pub fault: Option<FaultSpec>,
 }
 
 impl Config {
@@ -148,7 +186,14 @@ impl Config {
             params: SystemParams::default(),
             homing: None,
             unified_memory: true,
+            fault: None,
         }
+    }
+
+    /// Threads a fault plan through the selected transports.
+    pub fn with_faults(mut self, spec: FaultSpec) -> Self {
+        self.fault = Some(spec);
+        self
     }
 
     /// Total nodes in the prototype.

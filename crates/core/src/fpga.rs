@@ -74,6 +74,16 @@ impl Fpga {
         &self.shell
     }
 
+    /// Mutable crossbar access (fault-injection wiring, statistics).
+    pub fn xbar_mut(&mut self) -> &mut Crossbar {
+        &mut self.xbar
+    }
+
+    /// Read-only crossbar access.
+    pub fn xbar(&self) -> &Crossbar {
+        &self.xbar
+    }
+
     /// Everything on this FPGA is quiescent.
     pub fn is_idle(&self) -> bool {
         self.nodes.iter().all(Node::is_idle) && self.xbar.is_idle() && self.shell.is_idle()
@@ -108,6 +118,11 @@ impl Fpga {
     /// Advances one cycle: nodes, then the AXI plumbing between bridges,
     /// the crossbar, and the shell.
     pub fn tick(&mut self, now: Cycle) {
+        // Retry guard-held PCIe deliveries first so a delivery that slots
+        // in this cycle is visible to the shell-inbound drain below (no-op
+        // without the fault guard). Both steppers tick every simulated
+        // cycle, so retry timing is identical under each.
+        self.shell.pump_guard(now);
         for n in &mut self.nodes {
             n.tick(now);
         }

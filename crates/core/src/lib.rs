@@ -40,16 +40,18 @@ mod platform;
 mod plic;
 pub mod resources;
 mod uart;
+mod watchdog;
 
 pub use bridge::{addr_dst, addr_src, bridge_addr, InterNodeBridge, NODE_WINDOW};
 pub use chipset::{Chipset, Clint};
 pub use codec::{decode_packet, encode_packet};
 pub use config::{
-    Config, SystemParams, CLINT_BASE, DRAM_BASE, GNG_MMIO_BASE, MAPLE_MMIO_BASE, PLIC_BASE,
-    SD_CTL_BASE, SD_DATA_BASE, UART0_BASE, UART1_BASE,
+    Config, FaultSpec, SystemParams, CLINT_BASE, DRAM_BASE, GNG_MMIO_BASE, MAPLE_MMIO_BASE,
+    PLIC_BASE, SD_CTL_BASE, SD_DATA_BASE, UART0_BASE, UART1_BASE,
 };
 pub use fpga::Fpga;
 pub use node::Node;
 pub use platform::Platform;
 pub use plic::{Plic, PLIC_SRC_UART0, PLIC_SRC_UART1};
 pub use uart::{HostSerial, Uart16550};
+pub use watchdog::{FaultReport, Watchdog, WatchdogConfig};

@@ -93,6 +93,11 @@ impl Node {
         self.mesh.merge_stats_into(out);
     }
 
+    /// Mutable mesh access (fault-injection wiring).
+    pub fn mesh_mut(&mut self) -> &mut Mesh {
+        &mut self.mesh
+    }
+
     /// Mutable chipset access (UART consoles, memory backdoor, bridge).
     pub fn chipset_mut(&mut self) -> &mut Chipset {
         &mut self.chipset

@@ -24,17 +24,18 @@
 use std::collections::VecDeque;
 use std::sync::mpsc;
 
-use smappic_axi::{AxiReq, HardShell, PcieItem, PcieLink, ShellRoute};
+use smappic_axi::{AxiReq, Flight, HardShell, PcieItem, PcieLink, ShellRoute};
 use smappic_coherence::Homing;
 use smappic_isa::Image;
 use smappic_noc::{line_of, Gid, NodeId, TileId};
-use smappic_sim::{Cycle, Stats};
+use smappic_sim::{fault_streams, Cycle, FaultInjector, Stats};
 use smappic_tile::{AddrMap, Engine};
 
 use crate::config::{Config, CLINT_BASE, PLIC_BASE, SD_CTL_BASE, UART0_BASE, UART1_BASE};
 use crate::fpga::Fpga;
 use crate::node::Node;
 use crate::uart::HostSerial;
+use crate::watchdog::{FaultReport, Watchdog, WatchdogConfig};
 
 /// The assembled SMAPPIC prototype plus its host machine.
 ///
@@ -63,9 +64,9 @@ struct EpochJob {
     start: Cycle,
     /// Epoch length in cycles (at most the PCIe lookahead).
     len: u64,
-    /// Pre-extracted inbound deliveries, indexed by sending FPGA: items
+    /// Pre-extracted inbound deliveries, indexed by sending FPGA: flights
     /// with their exact arrival cycles, oldest first.
-    inbound: Vec<VecDeque<(Cycle, PcieItem)>>,
+    inbound: Vec<VecDeque<(Cycle, Flight)>>,
     /// Record idle/activity bookkeeping (for `run_until_idle_parallel`).
     track: bool,
 }
@@ -113,16 +114,26 @@ fn drain_shell_outbound(fpga: &mut Fpga, mut sink: impl FnMut(usize, PcieItem)) 
     }
 }
 
-/// Hands one link delivery to the receiving shell. A full inbound FIFO
-/// drops the item, exactly as the serial pump does (PCIe back-pressure is
-/// modeled at the shell boundary, not the link).
-fn deliver_inbound(fpga: &mut Fpga, from: usize, item: PcieItem) {
-    match item {
+/// Hands one link delivery to the receiving shell.
+///
+/// Clean path (no guard): direct FIFO pushes; a full inbound FIFO drops
+/// the item (PCIe back-pressure is modeled at the shell boundary, not the
+/// link). Fault path (guard enabled): the shell's sequenced entry point
+/// restores send order, drops duplicate copies, and retries instead of
+/// dropping. Both steppers route every delivery through this one function,
+/// so the choice is identical under each.
+fn deliver_flight(fpga: &mut Fpga, now: Cycle, from: usize, flight: Flight) {
+    let shell = fpga.shell_mut();
+    if shell.guard_enabled() {
+        shell.push_sequenced(now, from, flight.seq, flight.item);
+        return;
+    }
+    match flight.item {
         PcieItem::Req(req) => {
-            let _ = fpga.shell_mut().push_inbound(from, req);
+            let _ = shell.push_inbound(from, req);
         }
         PcieItem::Resp(resp) => {
-            let _ = fpga.shell_mut().push_inbound_resp(resp);
+            let _ = shell.push_inbound_resp(resp);
         }
     }
 }
@@ -172,8 +183,8 @@ fn epoch_worker(
             // link order as seen by this receiver.
             for (peer, q) in inbound.iter_mut().enumerate() {
                 while q.front().is_some_and(|(ready, _)| *ready <= t) {
-                    let (_, item) = q.pop_front().expect("front checked");
-                    deliver_inbound(fpga, peer, item);
+                    let (_, flight) = q.pop_front().expect("front checked");
+                    deliver_flight(fpga, t, peer, flight);
                     delivered = true;
                 }
             }
@@ -201,7 +212,7 @@ impl Platform {
     pub fn new(cfg: Config) -> Self {
         let homing =
             Homing::new(cfg.homing_mode(), cfg.total_nodes() as u16, cfg.tiles_per_node as u16);
-        let fpgas: Vec<Fpga> = (0..cfg.fpgas).map(|i| Fpga::new(&cfg, i, homing)).collect();
+        let mut fpgas: Vec<Fpga> = (0..cfg.fpgas).map(|i| Fpga::new(&cfg, i, homing)).collect();
         let p = &cfg.params;
         let mut links = Vec::new();
         for i in 0..cfg.fpgas {
@@ -213,6 +224,46 @@ impl Platform {
         for (li, ((i, j), _)) in links.iter().enumerate() {
             link_idx[i * cfg.fpgas + j] = li;
             link_idx[j * cfg.fpgas + i] = li;
+        }
+        if let Some(spec) = &cfg.fault {
+            // Every injector draws from the shared plan on its own stream,
+            // so each fault decision is a pure function of (seed, stream,
+            // seq) — identical under the serial and epoch-parallel
+            // steppers regardless of evaluation order.
+            let plan = &spec.plan;
+            if spec.links {
+                for ((i, j), link) in &mut links {
+                    link.set_faults(
+                        FaultInjector::new(plan.clone(), fault_streams::link(*i, *j)),
+                        FaultInjector::new(plan.clone(), fault_streams::link(*j, *i)),
+                    );
+                }
+                // The recovery side: scrambled/duplicated deliveries are
+                // straightened back out at the receiving shell.
+                for f in &mut fpgas {
+                    f.shell_mut().enable_guard();
+                }
+            }
+            for (fi, f) in fpgas.iter_mut().enumerate() {
+                if spec.xbar {
+                    f.xbar_mut()
+                        .set_faults(FaultInjector::new(plan.clone(), fault_streams::xbar(fi)));
+                }
+                for li in 0..f.nodes().len() {
+                    let g = fi * cfg.nodes_per_fpga + li;
+                    let node = f.node_mut(li);
+                    if spec.noc {
+                        node.mesh_mut()
+                            .set_faults(FaultInjector::new(plan.clone(), fault_streams::noc(g)));
+                    }
+                    if spec.dram {
+                        node.chipset_mut()
+                            .memctl_mut()
+                            .dram_mut()
+                            .set_faults(FaultInjector::new(plan.clone(), fault_streams::dram(g)));
+                    }
+                }
+            }
         }
         Self { cfg, homing, fpgas, links, link_idx, now: 0 }
     }
@@ -449,11 +500,11 @@ impl Platform {
         // single receiver observes as ascending-peer order).
         for li in 0..self.links.len() {
             let (a, b) = self.links[li].0;
-            while let Some(item) = self.links[li].1.recv_at_b(now) {
-                deliver_inbound(&mut self.fpgas[b], a, item);
+            while let Some(flight) = self.links[li].1.recv_flight_at_b(now) {
+                deliver_flight(&mut self.fpgas[b], now, a, flight);
             }
-            while let Some(item) = self.links[li].1.recv_at_a(now) {
-                deliver_inbound(&mut self.fpgas[a], b, item);
+            while let Some(flight) = self.links[li].1.recv_flight_at_a(now) {
+                deliver_flight(&mut self.fpgas[a], now, b, flight);
             }
         }
     }
@@ -549,11 +600,11 @@ impl Platform {
                 let horizon = epoch_start + len;
                 // Pull everything the links deliver inside this epoch and
                 // schedule it at the receiving worker, keyed by sender.
-                let mut schedules: Vec<Vec<VecDeque<(Cycle, PcieItem)>>> =
+                let mut schedules: Vec<Vec<VecDeque<(Cycle, Flight)>>> =
                     (0..nf).map(|_| (0..nf).map(|_| VecDeque::new()).collect()).collect();
                 for ((a, b), link) in links.iter_mut() {
-                    schedules[*b][*a] = link.take_to_b_before(horizon).into();
-                    schedules[*a][*b] = link.take_to_a_before(horizon).into();
+                    schedules[*b][*a] = link.take_flights_to_b_before(horizon).into();
+                    schedules[*a][*b] = link.take_flights_to_a_before(horizon).into();
                 }
                 for (w, tx) in job_txs.iter().enumerate() {
                     let job = EpochJob {
@@ -613,6 +664,7 @@ impl Platform {
         let mut s = Stats::new();
         for f in &self.fpgas {
             s.merge(f.shell().stats());
+            s.merge(f.xbar().stats());
             for n in f.nodes() {
                 s.merge(n.chipset().stats());
                 s.merge(n.chipset().memctl().stats());
@@ -624,6 +676,98 @@ impl Platform {
                 }
             }
         }
+        if self.cfg.fault.as_ref().is_some_and(|spec| spec.links) {
+            let (delayed, duplicated) = self.links.iter().fold((0, 0), |(d, u), (_, l)| {
+                let (ld, lu) = l.fault_counts();
+                (d + ld, u + lu)
+            });
+            s.add("fault.link_delayed", delayed);
+            s.add("fault.link_duplicated", duplicated);
+        }
         s
+    }
+
+    /// Items currently in flight across all PCIe links (shapers plus
+    /// fault-stage jitter buffers).
+    pub fn links_in_flight(&self) -> usize {
+        self.links.iter().map(|(_, l)| l.in_flight()).sum()
+    }
+
+    /// A hash of every monotone architectural-progress indicator: engine
+    /// retirement and completion, shell traffic counts, NoC deliveries,
+    /// and link byte/occupancy state. Two samples with equal signatures
+    /// mean no observable forward progress happened between them — the
+    /// Watchdog's livelock criterion. (Equal signatures on *different*
+    /// states would need an FNV collision on top of frozen counters;
+    /// acceptable for a diagnostic.)
+    pub fn progress_signature(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let fold = |h: u64, v: u64| (h ^ v).wrapping_mul(FNV_PRIME);
+        let mut h = FNV_OFFSET;
+        for f in &self.fpgas {
+            h = fold(h, f.shell().stats().get("shell.in_req"));
+            h = fold(h, f.shell().stats().get("shell.out_req"));
+            for n in f.nodes() {
+                h = fold(h, n.mesh_stats("noc.delivered"));
+                for t in 0..n.tile_count() {
+                    let tile = n.tile(t as TileId);
+                    h = fold(h, tile.engine().progress());
+                    h = fold(h, u64::from(tile.engine().is_done()));
+                }
+            }
+        }
+        for (_, l) in &self.links {
+            h = fold(h, l.bytes_transferred());
+            h = fold(h, l.in_flight() as u64);
+        }
+        h
+    }
+
+    /// [`Platform::run_until_idle`] under Watchdog supervision: runs in
+    /// `check_interval` chunks (serial or epoch-parallel stepper per
+    /// `parallel`), sampling the progress signature between chunks.
+    ///
+    /// Returns `Ok(true)` on quiescence, `Ok(false)` when `max` ran out
+    /// while still making progress, and `Err(report)` when the signature
+    /// froze for `stall_limit` cycles — a livelock (e.g. a core spinning
+    /// on a flag stuck behind a blackholed link) converted into a
+    /// structured [`FaultReport`] instead of a hang.
+    pub fn run_until_idle_watched(
+        &mut self,
+        max: u64,
+        wcfg: &WatchdogConfig,
+        parallel: bool,
+    ) -> Result<bool, Box<FaultReport>> {
+        let mut wd = Watchdog::new(wcfg.clone());
+        wd.observe(self.now, self.progress_signature());
+        let mut spent = 0u64;
+        while spent < max {
+            let chunk = wcfg.check_interval.max(1).min(max - spent);
+            let before = self.now;
+            let done = if parallel {
+                self.run_until_idle_parallel(chunk)
+            } else {
+                self.run_until_idle(chunk)
+            };
+            if done {
+                return Ok(true);
+            }
+            // Guarantee termination even if a stepper made no visible
+            // cycle progress (cannot happen today; belt and braces).
+            spent += (self.now - before).max(1);
+            if let Some(stalled_since) = wd.observe(self.now, self.progress_signature()) {
+                return Err(Box::new(FaultReport {
+                    detected_at: self.now,
+                    stalled_since,
+                    stalled_for: self.now - stalled_since,
+                    signature: self.progress_signature(),
+                    fpga_idle: self.fpgas.iter().map(Fpga::is_idle).collect(),
+                    links_in_flight: self.links_in_flight(),
+                    stats: self.stats().to_string(),
+                }));
+            }
+        }
+        Ok(self.is_idle())
     }
 }

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 use smappic_axi::{AxiReadResp, AxiReq, AxiResp, AxiWriteResp};
-use smappic_sim::{Cycle, Stats, TrafficShaper};
+use smappic_sim::{Cycle, FaultInjector, Stats, TrafficShaper};
 
 const PAGE_SHIFT: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
@@ -46,6 +46,10 @@ pub struct Dram {
     pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
     pending: TrafficShaper<AxiReq>,
     responses: Vec<AxiResp>,
+    faults: Option<FaultInjector>,
+    /// Requests accepted so far; the per-request sequence number feeding
+    /// the fault injector's spike decision.
+    req_seq: u64,
     stats: Stats,
 }
 
@@ -53,7 +57,24 @@ impl Dram {
     /// Creates a DRAM channel with the given timing.
     pub fn new(cfg: DramConfig) -> Self {
         let pending = TrafficShaper::new(cfg.bytes_per_cycle, 1, cfg.latency);
-        Self { cfg, pages: HashMap::new(), pending, responses: Vec::new(), stats: Stats::new() }
+        Self {
+            cfg,
+            pages: HashMap::new(),
+            pending,
+            responses: Vec::new(),
+            faults: None,
+            req_seq: 0,
+            stats: Stats::new(),
+        }
+    }
+
+    /// Installs a fault injector that adds latency spikes (e.g. a refresh
+    /// storm or a row-buffer pathological pattern) to individual requests.
+    /// The channel stays FIFO, so a spiked request also delays its
+    /// followers — a pure timing fault. Spiked requests count as
+    /// `dram.spike`.
+    pub fn set_faults(&mut self, inj: FaultInjector) {
+        self.faults = Some(inj);
     }
 
     /// The configured timing parameters.
@@ -96,7 +117,20 @@ impl Dram {
         };
         self.stats.incr("dram.req");
         self.stats.add("dram.bytes", bytes);
-        self.pending.push(now, bytes.max(8), req);
+        let seq = self.req_seq;
+        self.req_seq += 1;
+        let mut at = now;
+        if let Some(inj) = &self.faults {
+            let extra = inj.extra_latency(seq);
+            if extra > 0 {
+                self.stats.incr("dram.spike");
+                // Pushing at an inflated `now` delays this request by
+                // `extra`; the shaper's monotone link-free time keeps the
+                // channel FIFO, so later requests queue behind the spike.
+                at += extra;
+            }
+        }
+        self.pending.push(at, bytes.max(8), req);
     }
 
     /// Collects the next completed response, if any.
@@ -227,5 +261,29 @@ mod tests {
     fn untouched_memory_reads_zero() {
         let d = Dram::default();
         assert_eq!(d.read_bytes(0xDEAD_0000, 8), vec![0; 8]);
+    }
+
+    #[test]
+    fn latency_spikes_delay_but_preserve_data() {
+        use smappic_sim::{FaultPlan, FaultProfile};
+        use std::sync::Arc;
+
+        let profile = FaultProfile { spike_prob: 1.0, spike_max: 200, ..FaultProfile::quiet() };
+        let plan = Arc::new(FaultPlan::seeded(4, profile));
+        let mut d = Dram::new(DramConfig { latency: 80, ..Default::default() });
+        d.set_faults(FaultInjector::new(plan, 0x400));
+        d.write_bytes(0x40, &[5; 64]);
+        d.push_req(0, AxiReq::Read(AxiRead::new(0x40, 64, 1)));
+        let mut got_at = None;
+        for now in 0..1_000 {
+            if let Some(AxiResp::Read(r)) = d.pop_resp(now) {
+                assert_eq!(r.data, vec![5; 64], "spikes must never corrupt data");
+                got_at = Some(now);
+                break;
+            }
+        }
+        let t = got_at.expect("spiked request still completes");
+        assert!(t > 82, "spike_prob 1.0 must push past the clean 82-cycle time, got {t}");
+        assert_eq!(d.stats().get("dram.spike"), 1);
     }
 }

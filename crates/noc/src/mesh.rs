@@ -2,7 +2,7 @@
 
 use std::collections::VecDeque;
 
-use smappic_sim::{CounterSet, Cycle, Stats};
+use smappic_sim::{CounterSet, Cycle, FaultInjector, Stats};
 
 use crate::packet::Packet;
 use crate::router::{Port, Router};
@@ -10,13 +10,20 @@ use crate::types::{NodeId, TileId, VirtNet};
 
 // Pre-interned counter slots: these are bumped on the per-flit hot path, so
 // they use indexed `CounterSet` slots instead of string-keyed `Stats`.
-const NOC_KEYS: &[&str] =
-    &["noc.injected", "noc.edge_in", "noc.flits", "noc.edge_out", "noc.delivered"];
+const NOC_KEYS: &[&str] = &[
+    "noc.injected",
+    "noc.edge_in",
+    "noc.flits",
+    "noc.edge_out",
+    "noc.delivered",
+    "noc.fault_stall",
+];
 const K_INJECTED: usize = 0;
 const K_EDGE_IN: usize = 1;
 const K_FLITS: usize = 2;
 const K_EDGE_OUT: usize = 3;
 const K_DELIVERED: usize = 4;
+const K_FAULT_STALL: usize = 5;
 
 /// Geometry and timing of one node's mesh.
 #[derive(Debug, Clone)]
@@ -111,6 +118,7 @@ pub struct Mesh {
     eject_rr: Vec<usize>,
     edge_out: VecDeque<Packet>,
     counters: CounterSet,
+    faults: Option<FaultInjector>,
 }
 
 impl Mesh {
@@ -131,7 +139,16 @@ impl Mesh {
             edge_out: VecDeque::new(),
             cfg,
             counters: CounterSet::new(NOC_KEYS),
+            faults: None,
         }
+    }
+
+    /// Installs a fault injector that transiently freezes router output
+    /// ports: while a port's stall window hits, that link forwards nothing
+    /// (pure back-pressure into the input buffers — no loss, no reorder).
+    /// Stalls at routers holding traffic count as `noc.fault_stall`.
+    pub fn set_faults(&mut self, inj: FaultInjector) {
+        self.faults = Some(inj);
     }
 
     /// The mesh configuration.
@@ -263,6 +280,15 @@ impl Mesh {
         let oi = out.index();
         if now < self.routers[r].busy_until[oi] {
             return;
+        }
+        if let Some(inj) = &self.faults {
+            // Lane = flattened (router, output port); the tick loop only
+            // reaches routers with buffered traffic, so every counted stall
+            // is a cycle where the fault could actually hold something up.
+            if inj.stalled((r * 5 + oi) as u64, now) {
+                self.counters.bump(K_FAULT_STALL);
+                return;
+            }
         }
         let edge_exit = r == 0 && out == Port::North;
         // Pre-compute downstream capacity for non-local moves.

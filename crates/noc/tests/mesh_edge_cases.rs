@@ -1,0 +1,206 @@
+//! Directed edge-case tests for the mesh: degenerate 1-tile geometry,
+//! round-robin fairness under full-buffer back-pressure, and X-Y routing
+//! on non-square (and ragged) meshes. Complements the randomized
+//! exactly-once properties in `prop_mesh.rs`.
+
+use smappic_noc::{Gid, Mesh, MeshConfig, Msg, NodeId, Packet};
+use std::collections::HashMap;
+
+fn tile_pkt(src: u16, dst: u16, line: u64) -> Packet {
+    Packet::on_canonical_vn(
+        Gid::tile(NodeId(0), dst),
+        Gid::tile(NodeId(0), src),
+        Msg::ReqS { line: line * 64 },
+    )
+}
+
+#[test]
+fn single_tile_mesh_delivers_self_and_edge_traffic() {
+    // tiles = 1 ⇒ width 1, one router: self-sends turn straight around,
+    // and the chipset edge port still attaches at (0,0).
+    let mut mesh = Mesh::new(MeshConfig::new(NodeId(0), 1));
+    assert_eq!(mesh.config().width, 1);
+    mesh.inject(0, tile_pkt(0, 0, 1)).expect("self-send accepted");
+    mesh.inject(
+        0,
+        Packet::on_canonical_vn(
+            Gid::chipset(NodeId(0)),
+            Gid::tile(NodeId(0), 0),
+            Msg::MemRd { line: 128 },
+        ),
+    )
+    .expect("edge-bound accepted");
+    let mut got_self = false;
+    let mut got_edge = false;
+    for now in 0..100 {
+        mesh.tick(now);
+        if let Some(p) = mesh.eject(0) {
+            assert!(matches!(p.msg, Msg::ReqS { line: 64 }));
+            got_self = true;
+        }
+        if let Some(p) = mesh.eject_edge() {
+            assert!(matches!(p.msg, Msg::MemRd { line: 128 }));
+            got_edge = true;
+        }
+    }
+    assert!(got_self, "self-send never delivered on a 1-tile mesh");
+    assert!(got_edge, "edge-bound packet never reached the chipset port");
+    assert!(mesh.is_idle());
+
+    // And the reverse direction: chipset → the only tile.
+    mesh.inject_edge(Packet::on_canonical_vn(
+        Gid::tile(NodeId(0), 0),
+        Gid::chipset(NodeId(0)),
+        Msg::NcAck { addr: 0 },
+    ))
+    .expect("edge injection accepted");
+    let mut back = false;
+    for now in 100..200 {
+        mesh.tick(now);
+        if mesh.eject(0).is_some() {
+            back = true;
+        }
+    }
+    assert!(back, "chipset→tile packet lost on a 1-tile mesh");
+}
+
+#[test]
+fn full_buffers_back_pressure_without_loss() {
+    // Keep injecting into tile 0's port without ever ticking: the input
+    // buffer must fill, then refuse — and everything accepted must later
+    // come out exactly once.
+    let mut mesh = Mesh::new(MeshConfig::new(NodeId(0), 4));
+    let mut accepted = 0u64;
+    while mesh.inject(0, tile_pkt(0, 3, accepted)).is_ok() {
+        accepted += 1;
+        assert!(accepted < 10_000, "input buffer never back-pressured");
+    }
+    assert!(accepted > 0, "a fresh mesh must accept at least one packet");
+    let mut lines = Vec::new();
+    for now in 0..10_000 {
+        mesh.tick(now);
+        while let Some(p) = mesh.eject(3) {
+            if let Msg::ReqS { line } = p.msg {
+                lines.push(line / 64);
+            }
+        }
+        if lines.len() as u64 == accepted {
+            break;
+        }
+    }
+    assert_eq!(lines, (0..accepted).collect::<Vec<_>>(), "loss or reorder under back-pressure");
+    assert!(mesh.is_idle());
+}
+
+#[test]
+fn round_robin_arbitration_is_fair_under_saturation() {
+    // Three tiles of a 2x2 mesh flood the fourth. With every contended
+    // output arbitrated round-robin, no source may starve, and over a
+    // long window the per-source delivery counts must be close.
+    let tiles = 4usize;
+    let hot = 0u16;
+    let mut mesh = Mesh::new(MeshConfig::new(NodeId(0), tiles));
+    let mut sent: HashMap<u16, u64> = HashMap::new();
+    let mut got: HashMap<u16, u64> = HashMap::new();
+    for now in 0..30_000u64 {
+        for src in 1..tiles as u16 {
+            // Offer a packet every cycle; refusal is the back-pressure
+            // under test, not an error.
+            if mesh.inject(src, tile_pkt(src, hot, now)).is_ok() {
+                *sent.entry(src).or_default() += 1;
+            }
+        }
+        mesh.tick(now);
+        while let Some(p) = mesh.eject(hot) {
+            *got.entry(p.src.tile_id().unwrap()).or_default() += 1;
+        }
+    }
+    let counts: Vec<u64> = (1..tiles as u16).map(|s| got.get(&s).copied().unwrap_or(0)).collect();
+    let (min, max) = (*counts.iter().min().unwrap(), *counts.iter().max().unwrap());
+    assert!(min > 0, "a source starved under round-robin: {counts:?}");
+    // Positional asymmetry (path lengths differ) is allowed; starvation
+    // or gross bias is not.
+    assert!(max <= min * 2, "round-robin arbitration is unfair: {counts:?}");
+    // Saturation sanity: the hot port was genuinely contended.
+    assert!(counts.iter().sum::<u64>() > 10_000, "workload never saturated the mesh");
+}
+
+/// All-pairs exactly-once delivery on one geometry.
+fn all_pairs_exactly_once(tiles: usize) {
+    let mut mesh = Mesh::new(MeshConfig::new(NodeId(0), tiles));
+    let mut pending: Vec<(u16, u16, u64)> = Vec::new();
+    let mut id = 0u64;
+    for s in 0..tiles as u16 {
+        for d in 0..tiles as u16 {
+            pending.push((s, d, id));
+            id += 1;
+        }
+    }
+    let total = pending.len();
+    let mut seen: HashMap<u64, (u16, u16)> = HashMap::new();
+    let mut delivered = 0usize;
+    let mut now = 0u64;
+    while delivered < total {
+        pending.retain(|&(s, d, i)| mesh.inject(s, tile_pkt(s, d, i)).is_err());
+        mesh.tick(now);
+        for t in 0..tiles as u16 {
+            while let Some(p) = mesh.eject(t) {
+                let Msg::ReqS { line } = p.msg else { panic!("unexpected message") };
+                let i = line / 64;
+                let src = p.src.tile_id().unwrap();
+                assert_eq!(p.dst.tile_id().unwrap(), t, "misrouted: id {i} ended at tile {t}");
+                assert_eq!(i % tiles as u64, t as u64, "payload/destination mismatch");
+                assert!(seen.insert(i, (src, t)).is_none(), "id {i} delivered twice");
+                delivered += 1;
+            }
+        }
+        now += 1;
+        assert!(now < 200_000, "{tiles}-tile mesh stuck at {delivered}/{total}");
+    }
+    assert!(mesh.is_idle(), "{tiles}-tile mesh failed to drain");
+    assert_eq!(mesh.stats().get("noc.delivered"), total as u64);
+}
+
+#[test]
+fn xy_routing_covers_non_square_meshes() {
+    // width = ⌈√tiles⌉ makes 6 a 3x2 grid, 7 a ragged 3x3 (last row of
+    // one), 12 a 4x3 — X-Y routing must cover every pair on each, with a
+    // prime and a one-column degenerate shape for good measure.
+    for tiles in [2usize, 3, 5, 6, 7, 11, 12] {
+        all_pairs_exactly_once(tiles);
+    }
+}
+
+#[test]
+fn ragged_last_row_reaches_the_far_corner() {
+    // 7 tiles on width 3: tile 6 sits alone on row 2. The (0,0)-attached
+    // edge port must still reach it and hear back from it.
+    let mut mesh = Mesh::new(MeshConfig::new(NodeId(0), 7));
+    assert_eq!(mesh.config().width, 3);
+    mesh.inject_edge(Packet::on_canonical_vn(
+        Gid::tile(NodeId(0), 6),
+        Gid::chipset(NodeId(0)),
+        Msg::NcAck { addr: 7 },
+    ))
+    .expect("edge injects");
+    mesh.inject(
+        6,
+        Packet::on_canonical_vn(
+            Gid::chipset(NodeId(0)),
+            Gid::tile(NodeId(0), 6),
+            Msg::MemRd { line: 6 * 64 },
+        ),
+    )
+    .expect("tile injects");
+    let (mut down, mut up) = (false, false);
+    for now in 0..200 {
+        mesh.tick(now);
+        if mesh.eject(6).is_some() {
+            down = true;
+        }
+        if mesh.eject_edge().is_some() {
+            up = true;
+        }
+    }
+    assert!(down && up, "corner tile unreachable on ragged mesh (down={down}, up={up})");
+}

@@ -12,7 +12,11 @@
 //! - [`Stats`]/[`Histogram`] — counters and latency histograms used by the
 //!   benchmark harnesses,
 //! - [`CounterSet`] — pre-interned fixed-key counters for per-cycle hot
-//!   paths (NoC flits, cache hits) that merge back into [`Stats`] cold.
+//!   paths (NoC flits, cache hits) that merge back into [`Stats`] cold,
+//! - [`FaultPlan`]/[`FaultInjector`] — deterministic, seed-driven *timing*
+//!   fault injection (delays, duplicates, stalls, latency spikes) whose
+//!   decisions are pure functions of `(seed, stream, seq)`, identical
+//!   under the serial and epoch-parallel steppers.
 //!
 //! Everything here is sequential and allocation-light; the platform crate
 //! ticks components in a fixed order each cycle (and, for multi-FPGA
@@ -37,11 +41,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fault;
 mod queue;
 mod rng;
 mod shaper;
 mod stats;
 
+pub use fault::{
+    fault_streams, FaultAction, FaultInjector, FaultPlan, FaultProfile, ScheduleEntry,
+    BLACKHOLE_DELAY,
+};
 pub use queue::{DelayLine, Fifo};
 pub use rng::SimRng;
 pub use shaper::TrafficShaper;

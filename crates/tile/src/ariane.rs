@@ -364,6 +364,14 @@ impl Engine for ArianeCore {
         matches!(self.state, State::Halted)
     }
 
+    fn progress(&self) -> u64 {
+        // Retired instructions. Note: a software spin loop retires
+        // instructions each iteration, so an Ariane core busy-polling reads
+        // as "making progress" — livelock detection for RISC-V workloads
+        // relies on the rest of the platform signature going quiet.
+        self.hart.csrs().minstret
+    }
+
     fn set_irq(&mut self, line: u16, level: bool) {
         self.hart.csrs_mut().set_mip_bit(u32::from(line), level);
     }

@@ -40,6 +40,13 @@ pub enum TraceOp {
     NcLoad(Addr),
     /// Non-cacheable store to a device.
     NcStore(Addr, u64),
+    /// Cacheable 8-byte *blocking* load folded into the core's running
+    /// checksum ([`TraceCore::checksum`]). Because the value travels
+    /// through the coherence protocol (not a DRAM backdoor), checksums
+    /// observe dirty cache lines — the tool the differential fault suite
+    /// uses to compare architectural state between runs whose cache/timing
+    /// behaviour differs. Fences posted stores like other sync ops.
+    Checksum(Addr),
 }
 
 /// State of the in-flight operation.
@@ -71,8 +78,15 @@ pub struct TraceCore {
     posted: Vec<u64>,
     finished_at: Option<Cycle>,
     mem_ops: u64,
+    /// Program ops retired (spin re-polls do not count) — the engine's
+    /// architectural-progress counter for the platform Watchdog.
+    retired: u64,
     /// Last loaded value (inspectable by tests).
     last_load: u64,
+    /// Order-sensitive fold of every [`TraceOp::Checksum`] load.
+    checksum: u64,
+    /// The blocking op in flight is a Checksum load.
+    checksum_pending: bool,
     /// Device map for NC operations.
     addr_map: AddrMap,
 }
@@ -99,7 +113,10 @@ impl TraceCore {
             posted: Vec::new(),
             finished_at: None,
             mem_ops: 0,
+            retired: 0,
             last_load: 0,
+            checksum: 0,
+            checksum_pending: false,
             addr_map,
         }
     }
@@ -119,6 +136,13 @@ impl TraceCore {
         self.last_load
     }
 
+    /// The running fold of every [`TraceOp::Checksum`] load, in program
+    /// order. Two runs that observed the same values in the same order have
+    /// equal checksums.
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
     fn token(&mut self) -> u64 {
         self.next_token += 1;
         self.next_token
@@ -136,6 +160,7 @@ impl TraceCore {
             TraceOp::SpinUntilEq(addr, _) | TraceOp::SpinUntilGe(addr, _) => {
                 (MemOp::Load { addr, size: 8 }, true)
             }
+            TraceOp::Checksum(addr) => (MemOp::Load { addr, size: 8 }, false),
             TraceOp::NcLoad(addr) => match self.addr_map.device_for(addr) {
                 Some(dst) => (MemOp::NcLoad { addr, size: 8, dst }, false),
                 None => (MemOp::Load { addr, size: 8 }, false),
@@ -149,6 +174,7 @@ impl TraceCore {
         match tri.try_request(now, CoreReq { token, op: req }) {
             Ok(()) => {
                 self.mem_ops += 1;
+                self.checksum_pending = matches!(op, TraceOp::Checksum(_));
                 self.wait = if spin { Wait::Spin(token) } else { Wait::Mem(token) };
                 true
             }
@@ -173,6 +199,13 @@ impl Engine for TraceCore {
                 Wait::Mem(expect) => {
                     debug_assert_eq!(token, expect, "single outstanding blocking op");
                     self.last_load = data;
+                    if self.checksum_pending {
+                        self.checksum = self
+                            .checksum
+                            .rotate_left(7)
+                            .wrapping_add(data.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                        self.checksum_pending = false;
+                    }
                     self.wait = Wait::None;
                 }
                 Wait::Spin(expect) => {
@@ -223,6 +256,7 @@ impl Engine for TraceCore {
                 | TraceOp::SpinUntilGe(..)
                 | TraceOp::NcLoad(..)
                 | TraceOp::NcStore(..)
+                | TraceOp::Checksum(..)
         );
         if is_sync && !self.posted.is_empty() {
             return; // fence: wait for the store buffer to drain
@@ -230,11 +264,16 @@ impl Engine for TraceCore {
         match op {
             TraceOp::Compute(n) => {
                 self.program.pop_front();
+                self.retired += 1;
                 self.compute_left = n.saturating_sub(1); // this tick counts
             }
             TraceOp::SpinUntilEq(..) | TraceOp::SpinUntilGe(..) => {
                 if self.issue(now, tri, &op) {
                     self.program.pop_front();
+                    // Retires once on issue; the re-polls a never-satisfied
+                    // spin keeps sending do NOT count as progress, so a
+                    // livelocked spin freezes this counter for the Watchdog.
+                    self.retired += 1;
                     self.spinning = Some(op);
                 }
             }
@@ -250,6 +289,7 @@ impl Engine for TraceCore {
                     self.mem_ops += 1;
                     self.posted.push(token);
                     self.program.pop_front();
+                    self.retired += 1;
                 } else {
                     self.next_token -= 1;
                 }
@@ -257,6 +297,7 @@ impl Engine for TraceCore {
             _ => {
                 if self.issue(now, tri, &op) {
                     self.program.pop_front();
+                    self.retired += 1;
                 }
             }
         }
@@ -264,6 +305,10 @@ impl Engine for TraceCore {
 
     fn is_done(&self) -> bool {
         self.finished_at.is_some()
+    }
+
+    fn progress(&self) -> u64 {
+        self.retired
     }
 
     fn label(&self) -> &str {
@@ -408,6 +453,45 @@ mod tests {
             }
         }
         panic!("spin never satisfied");
+    }
+
+    #[test]
+    fn checksum_folds_loaded_values_in_order() {
+        let run_program = |vals: &[u64]| {
+            let mut rig = Rig::new();
+            let mut prog = Vec::new();
+            for (i, &v) in vals.iter().enumerate() {
+                prog.push(TraceOp::StoreVal(0x400 + i as u64 * 8, v));
+            }
+            for i in 0..vals.len() {
+                prog.push(TraceOp::Checksum(0x400 + i as u64 * 8));
+            }
+            let mut core = TraceCore::new("t", prog);
+            run(&mut core, &mut rig, 100_000);
+            core.checksum()
+        };
+        let a = run_program(&[1, 2, 3]);
+        assert_eq!(a, run_program(&[1, 2, 3]), "checksum must be deterministic");
+        assert_ne!(a, run_program(&[3, 2, 1]), "checksum must be order-sensitive");
+        assert_ne!(a, run_program(&[1, 2, 4]), "checksum must be value-sensitive");
+    }
+
+    #[test]
+    fn spin_polls_do_not_advance_progress() {
+        let mut rig = Rig::new();
+        let mut core =
+            TraceCore::new("t", vec![TraceOp::Compute(1), TraceOp::SpinUntilEq(0x200, 7)]);
+        for now in 0..2_000 {
+            core.tick(now, &mut rig);
+            rig.pump(now);
+        }
+        let frozen = core.progress();
+        assert_eq!(frozen, 2, "compute + spin issue retire exactly once each");
+        for now in 2_000..4_000 {
+            core.tick(now, &mut rig);
+            rig.pump(now);
+        }
+        assert_eq!(core.progress(), frozen, "unsatisfied spin must not count as progress");
     }
 
     #[test]

@@ -44,6 +44,16 @@ pub trait Engine: Send {
         false
     }
 
+    /// A monotone counter of *architectural* progress — retired operations,
+    /// committed instructions — that the platform Watchdog folds into its
+    /// progress signature for livelock detection. Spin-wait polls must NOT
+    /// advance it (a core stuck polling a value that never changes is
+    /// exactly the livelock the Watchdog exists to catch). Engines without
+    /// a meaningful notion of retirement report a constant.
+    fn progress(&self) -> u64 {
+        0
+    }
+
     /// Drives an interrupt wire (from the interrupt depacketizer, §3.3).
     fn set_irq(&mut self, _line: u16, _level: bool) {}
 
