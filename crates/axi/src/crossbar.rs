@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use smappic_sim::{Cycle, FaultInjector, Fifo, Stats};
+use smappic_sim::{Cycle, FaultInjector, Fifo, Stats, TraceBuf, TraceEventKind};
 
 use crate::txn::{AxiReq, AxiResp};
 
@@ -34,6 +34,7 @@ pub struct Crossbar {
     rr_master: usize,
     faults: Option<FaultInjector>,
     stats: Stats,
+    trace: TraceBuf,
 }
 
 impl Crossbar {
@@ -57,7 +58,13 @@ impl Crossbar {
             rr_master: 0,
             faults: None,
             stats: Stats::new(),
+            trace: TraceBuf::new(4096),
         }
+    }
+
+    /// The crossbar's trace lane (grant events).
+    pub fn trace_mut(&mut self) -> &mut TraceBuf {
+        &mut self.trace
     }
 
     /// Installs a fault injector that transiently stalls master ports:
@@ -168,6 +175,10 @@ impl Crossbar {
                     self.inflight.insert(tag, (m, orig));
                     self.s_req_out[s].push(req.with_id(tag)).expect("checked space");
                     self.stats.incr("xbar.req");
+                    self.trace.record(now, || TraceEventKind::XbarGrant {
+                        master: m as u8,
+                        slave: s as u8,
+                    });
                 }
                 Some(_) => {} // blocked, retry next cycle
                 None => {

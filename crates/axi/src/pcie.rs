@@ -1,11 +1,14 @@
 //! The PCIe link model: latency/bandwidth-shaped AXI transport, with an
 //! optional deterministic timing-fault stage.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
-use smappic_sim::{Cycle, FaultInjector, TrafficShaper};
+use smappic_sim::{Cycle, FaultInjector, Histogram, TraceBuf, TraceEventKind, TrafficShaper};
 
 use crate::txn::{AxiReq, AxiResp};
+
+/// Ring-buffer capacity of the per-link trace lane.
+const LINK_TRACE_CAP: usize = 8192;
 
 /// One item crossing the link in either direction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,8 +49,9 @@ struct DirFaults {
     inj: FaultInjector,
     /// Held items keyed by `(release cycle, seq, copy)` — the BTreeMap
     /// order is the delivery order. `copy` is 0 for the real item, 1 for
-    /// an injected duplicate.
-    jitter: BTreeMap<(Cycle, u64, u8), PcieItem>,
+    /// an injected duplicate. The value carries the item's original send
+    /// cycle so delivery latency stays measurable through the jitter.
+    jitter: BTreeMap<(Cycle, u64, u8), (PcieItem, Cycle)>,
     delayed: u64,
     duplicated: u64,
 }
@@ -59,12 +63,26 @@ struct Dir {
     shaper: TrafficShaper<PcieItem>,
     /// Items drained from the shaper so far == the next seq to assign.
     drained: u64,
+    /// Send cycles of the items still in the shaper, in send (== drain)
+    /// order, so every delivery knows its wire latency.
+    sent_at: VecDeque<Cycle>,
     faults: Option<DirFaults>,
 }
 
 impl Dir {
     fn new(bytes_per_cycle: u64, latency: Cycle) -> Self {
-        Self { shaper: TrafficShaper::new(bytes_per_cycle, 1, latency), drained: 0, faults: None }
+        Self {
+            shaper: TrafficShaper::new(bytes_per_cycle, 1, latency),
+            drained: 0,
+            sent_at: VecDeque::new(),
+            faults: None,
+        }
+    }
+
+    fn send(&mut self, now: Cycle, item: PcieItem) {
+        let bytes = item.wire_bytes();
+        self.sent_at.push_back(now);
+        self.shaper.push(now, bytes, item);
     }
 
     /// Moves every shaper item maturing strictly before `horizon` into the
@@ -75,19 +93,23 @@ impl Dir {
         while let Some((mature, item)) = self.shaper.pop_before(horizon) {
             let seq = self.drained;
             self.drained += 1;
+            let sent = self.sent_at.pop_front().unwrap_or(mature);
             let action = f.inj.link_action(seq, mature);
             if action.delay > 0 {
                 f.delayed += 1;
             }
             if let Some(dup_delay) = action.duplicate {
                 f.duplicated += 1;
-                f.jitter.insert((mature + dup_delay, seq, 1), item.clone());
+                f.jitter.insert((mature + dup_delay, seq, 1), (item.clone(), sent));
             }
-            f.jitter.insert((mature + action.delay, seq, 0), item);
+            f.jitter.insert((mature + action.delay, seq, 0), (item, sent));
         }
     }
 
-    fn recv(&mut self, now: Cycle) -> Option<Flight> {
+    /// Pops the next deliverable flight, reporting `(flight, arrived,
+    /// latency)` where `arrived` is the exact wire-delivery cycle (≤
+    /// `now` after an idle warp) and `latency = arrived − send cycle`.
+    fn recv(&mut self, now: Cycle) -> Option<(Flight, Cycle, Cycle)> {
         if self.faults.is_some() {
             self.drain_into_jitter(now + 1);
             let f = self.faults.as_mut().expect("checked");
@@ -95,17 +117,19 @@ impl Dir {
             if release > now {
                 return None;
             }
-            let ((_, seq, _), item) = f.jitter.pop_first().expect("front checked");
-            Some(Flight { seq, item })
+            let ((_, seq, _), (item, sent)) = f.jitter.pop_first().expect("front checked");
+            Some((Flight { seq, item }, release, release.saturating_sub(sent)))
         } else {
+            let ready = self.shaper.front_ready_at()?;
             let item = self.shaper.pop_ready(now)?;
             let seq = self.drained;
             self.drained += 1;
-            Some(Flight { seq, item })
+            let sent = self.sent_at.pop_front().unwrap_or(ready);
+            Some((Flight { seq, item }, ready, ready.saturating_sub(sent)))
         }
     }
 
-    fn take_before(&mut self, horizon: Cycle) -> Vec<(Cycle, Flight)> {
+    fn take_before(&mut self, horizon: Cycle) -> Vec<(Cycle, Flight, Cycle)> {
         let mut out = Vec::new();
         if self.faults.is_some() {
             self.drain_into_jitter(horizon);
@@ -114,14 +138,15 @@ impl Dir {
                 if release >= horizon {
                     break;
                 }
-                let ((_, seq, _), item) = f.jitter.pop_first().expect("front checked");
-                out.push((release, Flight { seq, item }));
+                let ((_, seq, _), (item, sent)) = f.jitter.pop_first().expect("front checked");
+                out.push((release, Flight { seq, item }, release.saturating_sub(sent)));
             }
         } else {
             while let Some((ready, item)) = self.shaper.pop_before(horizon) {
                 let seq = self.drained;
                 self.drained += 1;
-                out.push((ready, Flight { seq, item }));
+                let sent = self.sent_at.pop_front().unwrap_or(ready);
+                out.push((ready, Flight { seq, item }, ready.saturating_sub(sent)));
             }
         }
         out
@@ -173,7 +198,31 @@ impl Dir {
 pub struct PcieLink {
     a_to_b: Dir,
     b_to_a: Dir,
+    /// Global FPGA indices of endpoints A and B, for trace labelling.
+    endpoints: (u8, u8),
+    /// Round-trip latencies: one-way latency of each delivered request,
+    /// matched FIFO per AXI id against the response coming back the other
+    /// way. Deterministic under both steppers because each direction
+    /// delivers in release-cycle order and a response is always drained
+    /// at a later barrier than its request. Fault-injected duplicates can
+    /// leave an unmatched entry behind (the guard drops the ghost before
+    /// it is answered), skewing *which* pair a later same-id RTT reports
+    /// — still deterministic, and faulted runs only ever compare against
+    /// equally-faulted runs.
+    rtt: Histogram,
+    /// Outstanding request deliveries, oldest first: a response matches
+    /// the oldest entry with its id. Scan length is bounded by the
+    /// in-flight count (and [`RTT_PENDING_CAP`] under blackhole faults),
+    /// not the id space — bridge ids wrap through all of `u16`.
+    pending_req_ab: VecDeque<(u16, Cycle)>,
+    pending_req_ba: VecDeque<(u16, Cycle)>,
+    trace: TraceBuf,
 }
+
+/// Cap on unanswered RTT entries per direction: a blackholed link never
+/// answers, and the tracker must not grow without bound. Dropping the
+/// oldest entry forfeits (deterministically) that sample's RTT.
+const RTT_PENDING_CAP: usize = 4096;
 
 impl PcieLink {
     /// Creates a link with `one_way_latency` cycles of propagation delay and
@@ -186,7 +235,65 @@ impl PcieLink {
         Self {
             a_to_b: Dir::new(bytes_per_cycle, one_way_latency),
             b_to_a: Dir::new(bytes_per_cycle, one_way_latency),
+            endpoints: (0, 1),
+            rtt: Histogram::new(),
+            pending_req_ab: VecDeque::new(),
+            pending_req_ba: VecDeque::new(),
+            trace: TraceBuf::new(LINK_TRACE_CAP),
         }
+    }
+
+    /// Labels the two endpoints with their global FPGA indices (trace
+    /// events carry these as `from`/`to`). Defaults to `(0, 1)`.
+    pub fn set_endpoints(&mut self, a: u8, b: u8) {
+        self.endpoints = (a, b);
+    }
+
+    /// Round-trip latency histogram: one sample per request answered over
+    /// this link, in cycles of wire time (both one-way trips, including
+    /// serialization; endpoint processing excluded).
+    pub fn rtt(&self) -> &Histogram {
+        &self.rtt
+    }
+
+    /// The link's trace lane (PCIe send/deliver events).
+    pub fn trace_mut(&mut self) -> &mut TraceBuf {
+        &mut self.trace
+    }
+
+    /// Matches a delivered item against the RTT tracker and records the
+    /// delivery trace event. `a_to_b` names the direction of travel.
+    fn note_delivery(&mut self, a_to_b: bool, item: &PcieItem, arrived: Cycle, lat: Cycle) {
+        let (pending_same, pending_opposite) = if a_to_b {
+            (&mut self.pending_req_ab, &mut self.pending_req_ba)
+        } else {
+            (&mut self.pending_req_ba, &mut self.pending_req_ab)
+        };
+        let is_req = match item {
+            PcieItem::Req(r) => {
+                if pending_same.len() == RTT_PENDING_CAP {
+                    pending_same.pop_front();
+                }
+                pending_same.push_back((r.id(), lat));
+                true
+            }
+            PcieItem::Resp(r) => {
+                let id = r.id();
+                if let Some(pos) = pending_opposite.iter().position(|&(i, _)| i == id) {
+                    let (_, l_req) = pending_opposite.remove(pos).expect("position is in range");
+                    self.rtt.record(l_req + lat);
+                }
+                false
+            }
+        };
+        let (a, b) = self.endpoints;
+        let (from, to) = if a_to_b { (a, b) } else { (b, a) };
+        self.trace.record(arrived, || TraceEventKind::PcieDeliver {
+            from,
+            to,
+            sent_at: arrived.saturating_sub(lat),
+            is_req,
+        });
     }
 
     /// The F1 defaults: 62 cycles one way (~620 ns at 100 MHz; the observed
@@ -215,34 +322,46 @@ impl PcieLink {
 
     /// Endpoint A sends toward B.
     pub fn send_from_a(&mut self, now: Cycle, item: PcieItem) {
-        let bytes = item.wire_bytes();
-        self.a_to_b.shaper.push(now, bytes, item);
+        if self.trace.is_enabled() {
+            let (a, b) = self.endpoints;
+            let (bytes, is_req) = (item.wire_bytes() as u32, matches!(item, PcieItem::Req(_)));
+            self.trace.record(now, || TraceEventKind::PcieSend { from: a, to: b, bytes, is_req });
+        }
+        self.a_to_b.send(now, item);
     }
 
     /// Endpoint B sends toward A.
     pub fn send_from_b(&mut self, now: Cycle, item: PcieItem) {
-        let bytes = item.wire_bytes();
-        self.b_to_a.shaper.push(now, bytes, item);
+        if self.trace.is_enabled() {
+            let (a, b) = self.endpoints;
+            let (bytes, is_req) = (item.wire_bytes() as u32, matches!(item, PcieItem::Req(_)));
+            self.trace.record(now, || TraceEventKind::PcieSend { from: b, to: a, bytes, is_req });
+        }
+        self.b_to_a.send(now, item);
     }
 
     /// Endpoint B receives what A sent, in order, after the link delay.
     pub fn recv_at_b(&mut self, now: Cycle) -> Option<PcieItem> {
-        self.a_to_b.recv(now).map(|f| f.item)
+        self.recv_flight_at_b(now).map(|f| f.item)
     }
 
     /// Endpoint A receives what B sent.
     pub fn recv_at_a(&mut self, now: Cycle) -> Option<PcieItem> {
-        self.b_to_a.recv(now).map(|f| f.item)
+        self.recv_flight_at_a(now).map(|f| f.item)
     }
 
     /// Endpoint B receives the next flight (item + sequence number).
     pub fn recv_flight_at_b(&mut self, now: Cycle) -> Option<Flight> {
-        self.a_to_b.recv(now)
+        let (flight, arrived, lat) = self.a_to_b.recv(now)?;
+        self.note_delivery(true, &flight.item, arrived, lat);
+        Some(flight)
     }
 
     /// Endpoint A receives the next flight.
     pub fn recv_flight_at_a(&mut self, now: Cycle) -> Option<Flight> {
-        self.b_to_a.recv(now)
+        let (flight, arrived, lat) = self.b_to_a.recv(now)?;
+        self.note_delivery(false, &flight.item, arrived, lat);
+        Some(flight)
     }
 
     /// The configured one-way propagation latency in cycles.
@@ -275,23 +394,35 @@ impl PcieLink {
     /// receiving FPGA's worker can replay the deliveries cycle-accurately
     /// without touching the (shared) link.
     pub fn take_to_b_before(&mut self, horizon: Cycle) -> Vec<(Cycle, PcieItem)> {
-        self.a_to_b.take_before(horizon).into_iter().map(|(t, f)| (t, f.item)).collect()
+        self.take_flights_to_b_before(horizon).into_iter().map(|(t, f)| (t, f.item)).collect()
     }
 
     /// Drains every item headed for A maturing strictly before `horizon`;
     /// see [`PcieLink::take_to_b_before`].
     pub fn take_to_a_before(&mut self, horizon: Cycle) -> Vec<(Cycle, PcieItem)> {
-        self.b_to_a.take_before(horizon).into_iter().map(|(t, f)| (t, f.item)).collect()
+        self.take_flights_to_a_before(horizon).into_iter().map(|(t, f)| (t, f.item)).collect()
     }
 
     /// Flight-typed epoch extraction toward B (delivery cycle + seq).
     pub fn take_flights_to_b_before(&mut self, horizon: Cycle) -> Vec<(Cycle, Flight)> {
-        self.a_to_b.take_before(horizon)
+        let drained = self.a_to_b.take_before(horizon);
+        let mut out = Vec::with_capacity(drained.len());
+        for (at, flight, lat) in drained {
+            self.note_delivery(true, &flight.item, at, lat);
+            out.push((at, flight));
+        }
+        out
     }
 
     /// Flight-typed epoch extraction toward A.
     pub fn take_flights_to_a_before(&mut self, horizon: Cycle) -> Vec<(Cycle, Flight)> {
-        self.b_to_a.take_before(horizon)
+        let drained = self.b_to_a.take_before(horizon);
+        let mut out = Vec::with_capacity(drained.len());
+        for (at, flight, lat) in drained {
+            self.note_delivery(false, &flight.item, at, lat);
+            out.push((at, flight));
+        }
+        out
     }
 
     /// True when nothing is in flight in either direction (including the
@@ -344,6 +475,59 @@ mod tests {
         let rt = t_resp.expect("response must arrive");
         // ~125-cycle round trip, matching the paper's measured PCIe latency.
         assert!((120..=135).contains(&rt), "round trip was {rt} cycles");
+        // The link's RTT histogram observed the same trip from wire time
+        // alone (send→deliver both ways, endpoint processing excluded).
+        assert_eq!(link.rtt().count(), 1);
+        let wire = link.rtt().max();
+        assert!((120..=135).contains(&wire), "histogram RTT was {wire} cycles");
+        assert!(wire <= rt, "wire time cannot exceed the end-to-end trip");
+    }
+
+    #[test]
+    fn rtt_histogram_is_identical_under_epoch_extraction() {
+        // The same traffic drained per-cycle and drained at epoch barriers
+        // must produce bit-identical RTT histograms.
+        let run = |batched: bool| {
+            let mut link = PcieLink::new(62, 160);
+            for i in 0..6u64 {
+                link.send_from_a(i * 7, PcieItem::Req(AxiReq::Read(AxiRead::new(i * 64, 8, 2))));
+            }
+            let mut resp_due: Vec<(Cycle, u16)> = Vec::new();
+            for now in 0..600 {
+                if batched && now % 50 == 0 {
+                    for (at, f) in link.take_flights_to_b_before(now + 50) {
+                        if let PcieItem::Req(r) = f.item {
+                            resp_due.push((at, r.id()));
+                        }
+                    }
+                } else if !batched {
+                    while let Some(PcieItem::Req(r)) = link.recv_at_b(now) {
+                        resp_due.push((now, r.id()));
+                    }
+                }
+                resp_due.retain(|&(at, id)| {
+                    if at == now {
+                        link.send_from_b(
+                            now,
+                            PcieItem::Resp(AxiResp::Read(AxiReadResp { id, data: vec![0; 8] })),
+                        );
+                        false
+                    } else {
+                        true
+                    }
+                });
+                if batched && now % 50 == 0 {
+                    link.take_flights_to_a_before(now + 50);
+                } else if !batched {
+                    while link.recv_at_a(now).is_some() {}
+                }
+            }
+            assert!(link.is_idle());
+            link.rtt().clone()
+        };
+        let (serial, epoch) = (run(false), run(true));
+        assert_eq!(serial.count(), 6);
+        assert_eq!(serial, epoch, "RTT histogram diverged across drain styles");
     }
 
     #[test]

@@ -58,6 +58,7 @@ struct Measurement {
     cycles: u64,
     serial_secs: f64,
     parallel_secs: f64,
+    metrics_text: String,
 }
 
 impl Measurement {
@@ -96,6 +97,12 @@ fn measure(
         parallel.stats().to_string(),
         "{label}: statistics diverged between serial and parallel"
     );
+    let arch = serial.metrics().architectural();
+    assert_eq!(
+        arch,
+        parallel.metrics().architectural(),
+        "{label}: architectural metrics diverged between serial and parallel"
+    );
 
     let m = Measurement {
         label,
@@ -103,6 +110,7 @@ fn measure(
         cycles,
         serial_secs,
         parallel_secs,
+        metrics_text: arch.snapshot_text(),
     };
     println!(
         "{label:<18} {:>8} cycles | serial {:>12.0} cyc/s | parallel {:>12.0} cyc/s | speedup {:.2}x",
@@ -176,4 +184,8 @@ fn main() {
     );
     std::fs::write("BENCH_SIMPERF.json", &json).expect("write BENCH_SIMPERF.json");
     println!("wrote BENCH_SIMPERF.json");
+
+    // The observability layer's text exporter, on the first run's metrics
+    // (identical between the serial and parallel twins, asserted above).
+    println!("\nmetrics ({}):\n{}", runs[0].config, runs[0].metrics_text);
 }

@@ -4,7 +4,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use smappic_noc::{line_of, line_offset, Addr, AmoOp, Gid, LineData, Msg, Packet};
-use smappic_sim::{CounterSet, Cycle, DelayLine, Fifo, Stats};
+use smappic_sim::{CounterSet, Cycle, DelayLine, Fifo, Histogram, Stats, TraceBuf, TraceEventKind};
 
 use crate::homing::Homing;
 use crate::Geometry;
@@ -141,6 +141,9 @@ struct Way {
 #[derive(Debug)]
 struct Mshr {
     pending: VecDeque<CoreReq>,
+    /// Cycle the miss (or upgrade) was issued; the miss-latency histogram
+    /// records `drain cycle − since` when the MSHR fully retires.
+    since: Cycle,
 }
 
 /// BPC configuration.
@@ -184,6 +187,12 @@ pub struct Bpc {
     resp_ready: VecDeque<CoreResp>,
     lru_clock: u64,
     counters: CounterSet,
+    /// Issue-to-retire latency of every miss/upgrade MSHR. For a line
+    /// homed on a remote node this spans the full NoC + PCIe round trip,
+    /// so local-vs-remote NUMA structure is readable from this histogram
+    /// alone (the paper-fidelity latency suite relies on it).
+    miss_latency: Histogram,
+    trace: TraceBuf,
 }
 
 impl Bpc {
@@ -202,6 +211,42 @@ impl Bpc {
             resp_ready: VecDeque::new(),
             lru_clock: 0,
             counters: CounterSet::new(BPC_KEYS),
+            miss_latency: Histogram::new(),
+            trace: TraceBuf::new(2048),
+        }
+    }
+
+    /// Miss/upgrade latency histogram (MSHR issue to retire, cycles).
+    pub fn miss_latency(&self) -> &Histogram {
+        &self.miss_latency
+    }
+
+    /// The cache's trace lane (MESI transitions, miss completions).
+    pub fn trace_mut(&mut self) -> &mut TraceBuf {
+        &mut self.trace
+    }
+
+    /// The MESI state this cache holds `line` in: `'S'`, `'E'`, `'M'`, or
+    /// [`None`] for Invalid (absent). A litmus-suite probe — never used
+    /// by the protocol itself.
+    pub fn line_state(&self, line: Addr) -> Option<char> {
+        let set = self.cfg.geometry.set_of(line);
+        self.sets[set].iter().find(|w| w.line == line).map(|w| match w.state {
+            LineState::Shared => 'S',
+            LineState::Exclusive => 'E',
+            LineState::Modified => 'M',
+        })
+    }
+
+    fn tile(&self) -> u16 {
+        self.cfg.identity.tile_id().unwrap_or(0)
+    }
+
+    fn state_byte(s: LineState) -> u8 {
+        match s {
+            LineState::Shared => b'S',
+            LineState::Exclusive => b'E',
+            LineState::Modified => b'M',
         }
     }
 
@@ -316,7 +361,7 @@ impl Bpc {
                     w.locked = true;
                     let mut pending = VecDeque::new();
                     pending.push_back(rebuild(Some(data)));
-                    self.mshrs.insert(line, Mshr { pending });
+                    self.mshrs.insert(line, Mshr { pending, since: now });
                     let home = self.cfg.homing.home(line, self.cfg.identity.node);
                     self.send(home, Msg::ReqM { line });
                     self.counters.bump(K_UPGRADE);
@@ -331,7 +376,7 @@ impl Bpc {
         }
         let mut pending = VecDeque::new();
         pending.push_back(rebuild(store));
-        self.mshrs.insert(line, Mshr { pending });
+        self.mshrs.insert(line, Mshr { pending, since: now });
         let home = self.cfg.homing.home(line, self.cfg.identity.node);
         let msg = if store.is_some() { Msg::ReqM { line } } else { Msg::ReqS { line } };
         self.send(home, msg);
@@ -440,7 +485,14 @@ impl Bpc {
                 if let Some(pos) = self.sets[set].iter().position(|w| w.line == line) {
                     // Directory never invalidates an exclusive owner (it
                     // recalls instead), so the copy here is clean.
-                    self.sets[set].remove(pos);
+                    let w = self.sets[set].remove(pos);
+                    let (tile, from) = (self.tile(), Self::state_byte(w.state));
+                    self.trace.record(now, || TraceEventKind::BpcState {
+                        tile,
+                        line,
+                        from,
+                        to: b'I',
+                    });
                 }
                 // A locked (upgrading) line loses its data but keeps its
                 // MSHR; the grant will arrive as full Data later.
@@ -454,6 +506,13 @@ impl Bpc {
                 if let Some(pos) = self.sets[set].iter().position(|w| w.line == line) {
                     let w = self.sets[set].remove(pos);
                     let dirty = w.state == LineState::Modified;
+                    let (tile, from) = (self.tile(), Self::state_byte(w.state));
+                    self.trace.record(now, || TraceEventKind::BpcState {
+                        tile,
+                        line,
+                        from,
+                        to: b'I',
+                    });
                     self.send(home, Msg::RecallData { line, data: w.data, dirty });
                     self.counters.bump(K_RECALLED);
                 } else {
@@ -467,8 +526,16 @@ impl Bpc {
                 let home = self.cfg.homing.home(line, self.cfg.identity.node);
                 if let Some(w) = self.sets[set].iter_mut().find(|w| w.line == line) {
                     let dirty = w.state == LineState::Modified;
+                    let from = Self::state_byte(w.state);
                     w.state = LineState::Shared;
                     let data = w.data;
+                    let tile = self.tile();
+                    self.trace.record(now, || TraceEventKind::BpcState {
+                        tile,
+                        line,
+                        from,
+                        to: b'S',
+                    });
                     self.send(home, Msg::RecallData { line, data, dirty });
                     self.counters.bump(K_DOWNGRADED);
                 } else {
@@ -503,8 +570,11 @@ impl Bpc {
         if let Some(pos) = self.sets[set].iter().position(|w| w.line == line) {
             let w = &mut self.sets[set][pos];
             w.data = data;
+            let from = Self::state_byte(w.state);
             w.state = if excl { LineState::Exclusive } else { LineState::Shared };
             w.locked = false;
+            let (tile, to) = (self.tile(), if excl { b'E' } else { b'S' });
+            self.trace.record(now, || TraceEventKind::BpcState { tile, line, from, to });
             self.drain_mshr(now, line, set);
             return;
         }
@@ -530,6 +600,8 @@ impl Bpc {
         self.lru_clock += 1;
         let state = if excl { LineState::Exclusive } else { LineState::Shared };
         self.sets[set].push(Way { line, state, data, lru: self.lru_clock, locked: false });
+        let (tile, to) = (self.tile(), Self::state_byte(state));
+        self.trace.record(now, || TraceEventKind::BpcState { tile, line, from: b'I', to });
         self.drain_mshr(now, line, set);
     }
 
@@ -539,8 +611,11 @@ impl Bpc {
             .iter_mut()
             .find(|w| w.line == line)
             .expect("upgrade ack for a line we no longer hold");
+        let from = Self::state_byte(w.state);
         w.state = LineState::Modified;
         w.locked = false;
+        let tile = self.tile();
+        self.trace.record(now, || TraceEventKind::BpcState { tile, line, from, to: b'M' });
         self.drain_mshr(now, line, set);
     }
 
@@ -576,6 +651,13 @@ impl Bpc {
                 other => panic!("non-cacheable op {other:?} in a line MSHR"),
             }
         }
+        // Fully retired (the re-arm path above returns early and keeps the
+        // original `since`, so a store that found S counts once, with the
+        // complete issue-to-M latency).
+        let lat = now.saturating_sub(mshr.since);
+        self.miss_latency.record(lat);
+        let tile = self.tile();
+        self.trace.record(now, || TraceEventKind::BpcMiss { tile, line, lat });
     }
 }
 

@@ -3,7 +3,7 @@
 use std::collections::VecDeque;
 
 use smappic_noc::{line_of, line_offset, Addr, Gid, LineData, Msg, Packet};
-use smappic_sim::{CounterSet, Cycle, DelayLine, Fifo, Stats};
+use smappic_sim::{CounterSet, Cycle, DelayLine, Fifo, Histogram, Stats, TraceBuf, TraceEventKind};
 
 use crate::Geometry;
 
@@ -76,6 +76,8 @@ struct Way {
     transient: Option<Transient>,
     waiters: VecDeque<(Gid, Msg)>,
     lru: u64,
+    /// Cycle the memory fetch for this way was issued (miss latency base).
+    fetch_at: Cycle,
 }
 
 /// LLC slice configuration.
@@ -121,6 +123,12 @@ pub struct LlcSlice {
     noc_out: Fifo<Packet>,
     lru_clock: u64,
     counters: CounterSet,
+    /// Current cycle, stashed by `tick`/`noc_push` so the protocol handlers
+    /// (which are cycle-agnostic) can stamp latency observations.
+    cur: Cycle,
+    /// Memory-fetch latency of LLC misses, issue to `MemData` arrival.
+    miss_latency: Histogram,
+    trace: TraceBuf,
 }
 
 impl LlcSlice {
@@ -138,6 +146,9 @@ impl LlcSlice {
             noc_out: Fifo::new(1024),
             lru_clock: 0,
             counters: CounterSet::new(LLC_KEYS),
+            cur: 0,
+            miss_latency: Histogram::new(),
+            trace: TraceBuf::new(2048),
         }
     }
 
@@ -176,8 +187,24 @@ impl LlcSlice {
         self.replay.len()
     }
 
+    /// Memory-fetch latency histogram for LLC misses (issue to `MemData`).
+    pub fn miss_latency(&self) -> &Histogram {
+        &self.miss_latency
+    }
+
+    /// The slice's trace buffer, for enabling tracing and draining events.
+    pub fn trace_mut(&mut self) -> &mut TraceBuf {
+        &mut self.trace
+    }
+
+    /// This slice's tile index, for trace-event labelling.
+    fn tile(&self) -> u16 {
+        self.cfg.identity.tile_id().unwrap_or(0)
+    }
+
     /// Delivers a packet addressed to this slice.
     pub fn noc_push(&mut self, now: Cycle, pkt: Packet) {
+        self.cur = self.cur.max(now);
         self.in_delay.push(now, pkt);
     }
 
@@ -196,6 +223,7 @@ impl LlcSlice {
 
     /// Advances one cycle.
     pub fn tick(&mut self, now: Cycle) {
+        self.cur = self.cur.max(now);
         // Keep protocol headroom: each handled message can emit a few
         // packets, and a resolve burst can serve every waiter at once
         // (data + invalidation fanout, bounded by core count).
@@ -315,6 +343,7 @@ impl LlcSlice {
             transient: Some(Transient::FetchMem),
             waiters,
             lru: self.lru_clock,
+            fetch_at: self.cur,
         });
         self.send(self.cfg.memctl, Msg::MemRd { line });
     }
@@ -597,6 +626,10 @@ impl LlcSlice {
         w.data = data;
         w.dirty = false;
         w.transient = None;
+        let lat = self.cur.saturating_sub(w.fetch_at);
+        self.miss_latency.record(lat);
+        let (slice, cur) = (self.tile(), self.cur);
+        self.trace.record(cur, || TraceEventKind::LlcMiss { slice, line, lat });
         self.resolve(set, i);
     }
 
@@ -853,6 +886,25 @@ mod tests {
             pump(&mut llc, &mut now, &mut out);
         }
         assert!(llc.is_idle());
+    }
+
+    #[test]
+    fn miss_latency_histogram_counts_each_memory_fetch_once() {
+        let mut llc = slice();
+        let mut now = 0;
+        let mut out = Vec::new();
+        // Two distinct lines miss; a re-read of the first hits.
+        for line in [0x1000u64, 0x9000] {
+            push_req(&mut llc, now, core(1), Msg::ReqS { line });
+            let before = out.len();
+            while out.len() == before {
+                pump(&mut llc, &mut now, &mut out);
+                assert!(now < 1_000);
+            }
+        }
+        assert_eq!(llc.miss_latency().count(), 2, "one sample per memory fetch");
+        // The fetch spans at least the pipeline delay on each side.
+        assert!(llc.miss_latency().min() >= 1, "fetch latency must be nonzero");
     }
 
     #[test]

@@ -93,6 +93,11 @@ impl Node {
         self.mesh.merge_stats_into(out);
     }
 
+    /// The mesh's hop-count histogram (one sample per delivered packet).
+    pub fn mesh_hops(&self) -> &smappic_sim::Histogram {
+        self.mesh.hops()
+    }
+
     /// Mutable mesh access (fault-injection wiring).
     pub fn mesh_mut(&mut self) -> &mut Mesh {
         &mut self.mesh

@@ -28,7 +28,10 @@ use smappic_axi::{AxiReq, Flight, HardShell, PcieItem, PcieLink, ShellRoute};
 use smappic_coherence::Homing;
 use smappic_isa::Image;
 use smappic_noc::{line_of, Gid, NodeId, TileId};
-use smappic_sim::{fault_streams, Cycle, FaultInjector, Stats};
+use smappic_sim::{
+    fault_streams, Cycle, FaultInjector, Histogram, MetricsRegistry, Stats, TraceBuf,
+    TraceEventKind, TraceSink,
+};
 use smappic_tile::{AddrMap, Engine};
 
 use crate::config::{Config, CLINT_BASE, PLIC_BASE, SD_CTL_BASE, UART0_BASE, UART1_BASE};
@@ -56,6 +59,13 @@ pub struct Platform {
     /// instead of scanning the link list.
     link_idx: Vec<usize>,
     now: Cycle,
+    /// Epoch widths chosen by the parallel stepper (host-side metric; not
+    /// part of the architectural state — see [`MetricsRegistry::architectural`]).
+    host_epochs: Histogram,
+    /// Host-side trace lane: epoch boundaries.
+    host_trace: TraceBuf,
+    /// Epochs executed so far (trace-event index).
+    epoch_count: u64,
 }
 
 /// One epoch's worth of work handed to an FPGA worker thread.
@@ -217,7 +227,9 @@ impl Platform {
         let mut links = Vec::new();
         for i in 0..cfg.fpgas {
             for j in (i + 1)..cfg.fpgas {
-                links.push(((i, j), PcieLink::new(p.pcie_one_way_latency, p.pcie_bytes_per_cycle)));
+                let mut link = PcieLink::new(p.pcie_one_way_latency, p.pcie_bytes_per_cycle);
+                link.set_endpoints(i as u8, j as u8);
+                links.push(((i, j), link));
             }
         }
         let mut link_idx = vec![usize::MAX; cfg.fpgas * cfg.fpgas];
@@ -265,7 +277,17 @@ impl Platform {
                 }
             }
         }
-        Self { cfg, homing, fpgas, links, link_idx, now: 0 }
+        Self {
+            cfg,
+            homing,
+            fpgas,
+            links,
+            link_idx,
+            now: 0,
+            host_epochs: Histogram::new(),
+            host_trace: TraceBuf::new(4096),
+            epoch_count: 0,
+        }
     }
 
     /// Index into the platform's link list for the pair `(a, b)`, or
@@ -581,6 +603,9 @@ impl Platform {
         let fpgas = &mut self.fpgas;
         let links = &mut self.links;
         let link_idx = &self.link_idx;
+        let host_epochs = &mut self.host_epochs;
+        let host_trace = &mut self.host_trace;
+        let epoch_count = &mut self.epoch_count;
         let (spent, went_idle, last_active) = std::thread::scope(|s| {
             let (out_tx, out_rx) = mpsc::channel::<EpochOut>();
             let mut job_txs = Vec::with_capacity(nf);
@@ -598,6 +623,10 @@ impl Platform {
                 let len = lookahead.min(max_cycles - spent);
                 let epoch_start = start_now + spent;
                 let horizon = epoch_start + len;
+                host_epochs.record(len);
+                let idx = *epoch_count;
+                *epoch_count += 1;
+                host_trace.record(epoch_start, || TraceEventKind::Epoch { index: idx, width: len });
                 // Pull everything the links deliver inside this epoch and
                 // schedule it at the receiving worker, keyed by sender.
                 let mut schedules: Vec<Vec<VecDeque<(Cycle, Flight)>>> =
@@ -685,6 +714,101 @@ impl Platform {
             s.add("fault.link_duplicated", duplicated);
         }
         s
+    }
+
+    /// Enables or disables cycle-stamped event tracing in every component:
+    /// PCIe links, crossbars, meshes, memory controllers, private caches,
+    /// LLC slices, and the host-side epoch lane.
+    ///
+    /// Tracing defaults to off; with the `trace` feature compiled out of
+    /// `smappic-sim` this call is a no-op and recording costs nothing.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.host_trace.set_enabled(on);
+        for (_, link) in &mut self.links {
+            link.trace_mut().set_enabled(on);
+        }
+        for f in &mut self.fpgas {
+            f.xbar_mut().trace_mut().set_enabled(on);
+            for li in 0..f.nodes().len() {
+                let node = f.node_mut(li);
+                node.mesh_mut().trace_mut().set_enabled(on);
+                node.chipset_mut().memctl_mut().trace_mut().set_enabled(on);
+                for t in 0..node.tile_count() {
+                    let tile = node.tile_mut(t as TileId);
+                    tile.bpc_mut().trace_mut().set_enabled(on);
+                    tile.llc_mut().trace_mut().set_enabled(on);
+                }
+            }
+        }
+    }
+
+    /// Drains every component's trace buffer into one [`TraceSink`],
+    /// labelled `(fpga, lane)`. Lane names are stable across runs:
+    /// `pcie:a-b`, `xbar`, `nodeN.noc`, `nodeN.dram`, `nodeN.tileT.bpc`,
+    /// `nodeN.tileT.llc`, and `host` (epoch boundaries, on FPGA 0).
+    pub fn take_trace(&mut self) -> TraceSink {
+        let mut sink = TraceSink::new();
+        sink.absorb(0, "host", &mut self.host_trace);
+        for ((a, b), link) in &mut self.links {
+            sink.absorb(*a as u32, &format!("pcie:{a}-{b}"), link.trace_mut());
+        }
+        for fi in 0..self.fpgas.len() {
+            let f = &mut self.fpgas[fi];
+            sink.absorb(fi as u32, "xbar", f.xbar_mut().trace_mut());
+            for li in 0..f.nodes().len() {
+                let g = fi * self.cfg.nodes_per_fpga + li;
+                let node = f.node_mut(li);
+                sink.absorb(fi as u32, &format!("node{g}.noc"), node.mesh_mut().trace_mut());
+                sink.absorb(
+                    fi as u32,
+                    &format!("node{g}.dram"),
+                    node.chipset_mut().memctl_mut().trace_mut(),
+                );
+                for t in 0..node.tile_count() {
+                    let tile = node.tile_mut(t as TileId);
+                    sink.absorb(
+                        fi as u32,
+                        &format!("node{g}.tile{t}.bpc"),
+                        tile.bpc_mut().trace_mut(),
+                    );
+                    sink.absorb(
+                        fi as u32,
+                        &format!("node{g}.tile{t}.llc"),
+                        tile.llc_mut().trace_mut(),
+                    );
+                }
+            }
+        }
+        sink
+    }
+
+    /// The platform's unified metrics: every counter from
+    /// [`Platform::stats`] plus the latency/shape histograms, merged in a
+    /// fixed component order so two equivalent runs produce bit-identical
+    /// registries.
+    ///
+    /// Architectural entries (everything except the `host.`-prefixed
+    /// stepper diagnostics) are identical between the serial and
+    /// epoch-parallel steppers; compare with
+    /// [`MetricsRegistry::architectural`].
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        m.merge_counters(&self.stats());
+        for (_, link) in &self.links {
+            m.merge_histogram("pcie.rtt", link.rtt());
+        }
+        for f in &self.fpgas {
+            for n in f.nodes() {
+                m.merge_histogram("noc.hops", n.mesh_hops());
+                m.merge_histogram("dram.latency", n.chipset().memctl().latency());
+                for t in 0..n.tile_count() {
+                    m.merge_histogram("bpc.miss_latency", n.tile(t as TileId).bpc().miss_latency());
+                    m.merge_histogram("llc.miss_latency", n.tile(t as TileId).llc().miss_latency());
+                }
+            }
+        }
+        m.merge_histogram("host.epoch_width", &self.host_epochs);
+        m
     }
 
     /// Items currently in flight across all PCIe links (shapers plus

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 
 use smappic_axi::{AxiRead, AxiReq, AxiResp, AxiWrite};
 use smappic_noc::{line_of, line_offset, Gid, LineData, Msg, Packet, LINE_BYTES};
-use smappic_sim::{Cycle, Fifo, Stats};
+use smappic_sim::{Cycle, Fifo, Histogram, Stats, TraceBuf, TraceEventKind};
 
 use crate::dram::Dram;
 
@@ -38,6 +38,15 @@ enum Origin {
     NcStore { requester: Gid, addr: u64 },
 }
 
+/// An in-flight AXI transaction: its origin plus the observability stamps
+/// needed to report DRAM latency when the response returns.
+#[derive(Debug, Clone)]
+struct Inflight {
+    origin: Origin,
+    started: Cycle,
+    bytes: u32,
+}
+
 /// The SMAPPIC NoC-AXI4 memory controller.
 ///
 /// Implements the Fig 5 pipeline: NoC deserializer → management module
@@ -55,9 +64,12 @@ pub struct MemController {
     dram: Dram,
     noc_in: Fifo<Packet>,
     noc_out: Fifo<Packet>,
-    inflight: HashMap<u16, Origin>,
+    inflight: HashMap<u16, Inflight>,
     next_id: u16,
     stats: Stats,
+    /// Accept-to-response latency of DRAM transactions, in cycles.
+    latency: Histogram,
+    trace: TraceBuf,
 }
 
 impl MemController {
@@ -72,6 +84,8 @@ impl MemController {
             inflight: HashMap::new(),
             next_id: 0,
             stats: Stats::new(),
+            latency: Histogram::new(),
+            trace: TraceBuf::new(2048),
         }
     }
 
@@ -104,6 +118,16 @@ impl MemController {
     /// Counters (`memctl.rd`, `memctl.wr`, `memctl.nc`).
     pub fn stats(&self) -> &Stats {
         &self.stats
+    }
+
+    /// Accept-to-response latency histogram of DRAM transactions.
+    pub fn latency(&self) -> &Histogram {
+        &self.latency
+    }
+
+    /// The controller's trace buffer, for enabling tracing and draining.
+    pub fn trace_mut(&mut self) -> &mut TraceBuf {
+        &mut self.trace
     }
 
     /// Debug: (noc_in, noc_out, inflight, dram in-flight) depths.
@@ -143,7 +167,7 @@ impl MemController {
         // Response path: restore origin, select bytes, serialize to NoC.
         if !self.noc_out.is_full() {
             if let Some(resp) = self.dram.pop_resp(now) {
-                self.complete(resp);
+                self.complete(now, resp);
             }
         }
     }
@@ -154,19 +178,25 @@ impl MemController {
             Msg::MemRd { line } => {
                 self.stats.incr("memctl.rd");
                 let id = self.alloc_id();
-                self.inflight.insert(id, Origin::Line { requester: src, line });
+                let origin = Origin::Line { requester: src, line };
+                self.inflight
+                    .insert(id, Inflight { origin, started: now, bytes: LINE_BYTES as u32 });
                 self.dram.push_req(now, AxiReq::Read(AxiRead::new(line, LINE_BYTES as u32, id)));
             }
             Msg::MemWr { line, data } => {
                 self.stats.incr("memctl.wr");
                 let id = self.alloc_id();
-                self.inflight.insert(id, Origin::LineWb);
+                self.inflight.insert(
+                    id,
+                    Inflight { origin: Origin::LineWb, started: now, bytes: LINE_BYTES as u32 },
+                );
                 self.dram.push_req(now, AxiReq::Write(AxiWrite::new(line, data.0.to_vec(), id)));
             }
             Msg::NcLoad { addr, size } => {
                 self.stats.incr("memctl.nc");
                 let id = self.alloc_id();
-                self.inflight.insert(id, Origin::NcLoad { requester: src, addr, size });
+                let origin = Origin::NcLoad { requester: src, addr, size };
+                self.inflight.insert(id, Inflight { origin, started: now, bytes: size as u32 });
                 // Fig 5: requests are aligned to a 64-byte boundary; the
                 // needed bytes are selected when the response returns.
                 let line = line_of(addr);
@@ -175,7 +205,8 @@ impl MemController {
             Msg::NcStore { addr, size, data } => {
                 self.stats.incr("memctl.nc");
                 let id = self.alloc_id();
-                self.inflight.insert(id, Origin::NcStore { requester: src, addr });
+                let origin = Origin::NcStore { requester: src, addr };
+                self.inflight.insert(id, Inflight { origin, started: now, bytes: size as u32 });
                 // Narrow write: AXI write strobes carry exact bytes.
                 let mut bytes = vec![0u8; size as usize];
                 for (i, b) in bytes.iter_mut().enumerate() {
@@ -191,12 +222,16 @@ impl MemController {
         }
     }
 
-    fn complete(&mut self, resp: AxiResp) {
+    fn complete(&mut self, now: Cycle, resp: AxiResp) {
         let id = resp.id();
-        let origin =
+        let inflight =
             self.inflight.remove(&id).expect("DRAM produced a response for an unknown AXI ID");
+        let lat = now.saturating_sub(inflight.started);
+        self.latency.record(lat);
+        let (node, bytes) = (self.cfg.identity.node.0, inflight.bytes);
+        self.trace.record(now, || TraceEventKind::Dram { node, bytes, lat });
         let me = self.cfg.identity;
-        match (origin, resp) {
+        match (inflight.origin, resp) {
             (Origin::Line { requester, line }, AxiResp::Read(r)) => {
                 let mut data = LineData::zeroed();
                 data.0.copy_from_slice(&r.data);
@@ -365,6 +400,35 @@ mod tests {
             assert!(now < 5_000, "stuck");
         }
         assert_eq!(c.stats().get("memctl.rd"), 8);
+    }
+
+    #[test]
+    fn latency_histogram_records_each_transaction() {
+        let mut c = ctl();
+        c.dram_mut().write_bytes(0x1000, &[1; 64]);
+        c.push_noc(Packet::on_canonical_vn(
+            Gid::chipset(NodeId(0)),
+            requester(),
+            Msg::MemRd { line: 0x1000 },
+        ))
+        .unwrap();
+        let _ = run_until_resp(&mut c, 500);
+        let mut data = LineData::zeroed();
+        data.write(0, 8, 7);
+        c.push_noc(Packet::on_canonical_vn(
+            Gid::chipset(NodeId(0)),
+            requester(),
+            Msg::MemWr { line: 0x2000, data },
+        ))
+        .unwrap();
+        for now in 500..1_000 {
+            c.tick(now);
+            if c.is_idle() {
+                break;
+            }
+        }
+        assert_eq!(c.latency().count(), 2, "read and writeback both sampled");
+        assert!(c.latency().min() > 0, "DRAM latency must be nonzero");
     }
 
     #[test]

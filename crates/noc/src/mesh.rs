@@ -2,7 +2,7 @@
 
 use std::collections::VecDeque;
 
-use smappic_sim::{CounterSet, Cycle, FaultInjector, Stats};
+use smappic_sim::{CounterSet, Cycle, FaultInjector, Histogram, Stats, TraceBuf, TraceEventKind};
 
 use crate::packet::Packet;
 use crate::router::{Port, Router};
@@ -119,6 +119,11 @@ pub struct Mesh {
     edge_out: VecDeque<Packet>,
     counters: CounterSet,
     faults: Option<FaultInjector>,
+    /// Manhattan hop count of every packet leaving the mesh (tile
+    /// delivery or edge exit), measured from its entry router — the XY
+    /// route length, independent of congestion stalls.
+    hops: Histogram,
+    trace: TraceBuf,
 }
 
 impl Mesh {
@@ -140,7 +145,41 @@ impl Mesh {
             cfg,
             counters: CounterSet::new(NOC_KEYS),
             faults: None,
+            hops: Histogram::new(),
+            trace: TraceBuf::new(4096),
         }
+    }
+
+    /// Per-packet hop-count histogram (XY route length at exit).
+    pub fn hops(&self) -> &Histogram {
+        &self.hops
+    }
+
+    /// The mesh's trace lane (delivery events).
+    pub fn trace_mut(&mut self) -> &mut TraceBuf {
+        &mut self.trace
+    }
+
+    /// The router a packet entered the mesh at: its source tile's router
+    /// for local injections, router 0 (the edge port) for everything
+    /// arriving from the chipset or off-node.
+    fn entry_router(&self, pkt: &Packet) -> usize {
+        if pkt.src.node == self.cfg.node {
+            if let Some(t) = pkt.src.tile_id() {
+                if (t as usize) < self.cfg.tiles {
+                    return t as usize;
+                }
+            }
+        }
+        0
+    }
+
+    /// XY route length between two routers (Manhattan distance).
+    fn manhattan(&self, a: usize, b: usize) -> u16 {
+        let w = self.cfg.width as usize;
+        let (ax, ay) = (a % w, a / w);
+        let (bx, by) = (b % w, b / w);
+        (ax.abs_diff(bx) + ay.abs_diff(by)) as u16
     }
 
     /// Installs a fault injector that transiently freezes router output
@@ -334,9 +373,25 @@ impl Mesh {
             self.routers[r].rr[oi] = (c + 1) % 15;
             self.counters.add(K_FLITS, u64::from(flits));
             if edge_exit {
+                let h = self.manhattan(self.entry_router(&pkt), r);
+                self.hops.record(u64::from(h));
+                self.trace.record(now, || TraceEventKind::NocDeliver {
+                    dst: 0,
+                    hops: h,
+                    vn: vn as u8,
+                    edge: true,
+                });
                 self.edge_out.push_back(pkt);
                 self.counters.bump(K_EDGE_OUT);
             } else if out == Port::Local {
+                let h = self.manhattan(self.entry_router(&pkt), r);
+                self.hops.record(u64::from(h));
+                self.trace.record(now, || TraceEventKind::NocDeliver {
+                    dst: r as u16,
+                    hops: h,
+                    vn: vn as u8,
+                    edge: false,
+                });
                 self.eject_q[r][vn].push_back(pkt);
                 self.counters.bump(K_DELIVERED);
             } else {
@@ -392,6 +447,37 @@ mod tests {
         let (_, t) = run_until_eject(&mut m, 11, 100);
         // 5 hops; each hop ~1 cycle latency + arbitration.
         assert!((5..=20).contains(&t), "corner-to-corner took {t} cycles");
+        // Tile 0 = (0,0) to tile 11 = (3,2): Manhattan distance 5.
+        assert_eq!(m.hops().count(), 1);
+        assert_eq!(m.hops().max(), 5, "hop histogram must see the XY route length");
+    }
+
+    #[test]
+    fn hop_histogram_distinguishes_local_and_edge_paths() {
+        let mut m = mesh(4); // 2x2
+                             // Self-delivery: 0 hops.
+        m.inject(2, req(Gid::tile(NodeId(0), 2), Gid::tile(NodeId(0), 2), 0)).unwrap();
+        run_until_eject(&mut m, 2, 20);
+        // Off-node: tile 3 = (1,1) to the edge at router 0 = 2 hops.
+        m.inject(3, req(Gid::tile(NodeId(2), 0), Gid::tile(NodeId(0), 3), 0x40)).unwrap();
+        for now in 0..100 {
+            m.tick(now);
+            if m.eject_edge().is_some() {
+                break;
+            }
+        }
+        // Edge injection toward tile 3: enters at router 0, 2 hops.
+        let pkt = Packet::on_canonical_vn(
+            Gid::tile(NodeId(0), 3),
+            Gid::chipset(NodeId(0)),
+            Msg::Data { line: 0, data: LineData::zeroed(), excl: false },
+        );
+        m.inject_edge(pkt).unwrap();
+        run_until_eject(&mut m, 3, 100);
+        assert_eq!(m.hops().count(), 3);
+        assert_eq!(m.hops().min(), 0, "self-delivery is zero hops");
+        assert_eq!(m.hops().max(), 2);
+        assert_eq!(m.hops().bucket(1), 2, "both cross-mesh trips were 2 hops");
     }
 
     #[test]

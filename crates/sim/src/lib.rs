@@ -16,7 +16,11 @@
 //! - [`FaultPlan`]/[`FaultInjector`] — deterministic, seed-driven *timing*
 //!   fault injection (delays, duplicates, stalls, latency spikes) whose
 //!   decisions are pure functions of `(seed, stream, seq)`, identical
-//!   under the serial and epoch-parallel steppers.
+//!   under the serial and epoch-parallel steppers,
+//! - [`TraceBuf`]/[`TraceSink`]/[`MetricsRegistry`] — the cycle-stamped
+//!   observability layer: per-component ring-buffered trace events with a
+//!   compile-out fast path (`trace` feature), a unified counter +
+//!   histogram registry, and Perfetto/text exporters.
 //!
 //! Everything here is sequential and allocation-light; the platform crate
 //! ticks components in a fixed order each cycle (and, for multi-FPGA
@@ -42,6 +46,7 @@
 #![warn(missing_docs)]
 
 mod fault;
+mod obs;
 mod queue;
 mod rng;
 mod shaper;
@@ -51,6 +56,7 @@ pub use fault::{
     fault_streams, FaultAction, FaultInjector, FaultPlan, FaultProfile, ScheduleEntry,
     BLACKHOLE_DELAY,
 };
+pub use obs::{MetricsRegistry, TraceBuf, TraceEvent, TraceEventKind, TraceSink, TRACE_COMPILED};
 pub use queue::{DelayLine, Fifo};
 pub use rng::SimRng;
 pub use shaper::TrafficShaper;

@@ -16,7 +16,7 @@ use std::fmt;
 /// assert_eq!(s.get("noc.flits"), 4);
 /// assert_eq!(s.get("unknown"), 0);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Stats {
     counters: BTreeMap<String, u64>,
 }
@@ -175,7 +175,7 @@ impl CounterSet {
 /// assert_eq!(h.max(), 250);
 /// assert!((h.mean() - 153.33).abs() < 0.1);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     count: u64,
     sum: u128,
@@ -238,6 +238,62 @@ impl Histogram {
     /// Count of samples whose floor(log2) equals `bucket`.
     pub fn bucket(&self, bucket: usize) -> u64 {
         self.buckets[bucket]
+    }
+
+    /// Merges another histogram into this one.
+    ///
+    /// Counts, sums, and per-bucket tallies add *saturating* — a merge
+    /// never wraps, it pins at the type maximum (`u64::MAX` for counts
+    /// and buckets, `u128::MAX` for the sum) and therefore never panics.
+    /// `min`/`max` take the tighter bound; merging an empty histogram is
+    /// a no-op (the empty side's `u64::MAX` min sentinel cannot leak
+    /// because `min` is monotone under `min()`). Saturating addition is
+    /// commutative and associative, so merge order never changes the
+    /// result — the property the cross-stepper metrics comparison
+    /// relies on.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b = b.saturating_add(*o);
+        }
+    }
+
+    /// An *upper bound* on the `p`-th percentile sample.
+    ///
+    /// Samples are only retained at floor(log2) resolution, so the exact
+    /// order statistic is gone; this returns the inclusive upper edge of
+    /// the bucket holding the sample of rank `ceil(p/100 · count)`
+    /// (rank is clamped to at least 1, `p` to `0.0..=100.0`). Edge
+    /// behaviour, explicitly:
+    ///
+    /// - empty histogram → 0;
+    /// - bucket `i` reports edge `2^(i+1) − 1`; bucket 63's edge
+    ///   saturates at `u64::MAX` instead of overflowing;
+    /// - the result is additionally clamped to [`Histogram::max`], so a
+    ///   histogram whose largest sample is 125 reports `p100 = 125`,
+    ///   not bucket 6's raw edge 127;
+    /// - a value exactly on a bucket edge (a power of two) counts in the
+    ///   *higher* bucket — `record(64)` then `percentile(100.0)` is 64
+    ///   via the max clamp, but with a larger co-resident sample the
+    ///   bound would be 127.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0 * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(*b);
+            if seen >= rank {
+                let edge = if i >= 63 { u64::MAX } else { (1u64 << (i + 1)).saturating_sub(1) };
+                return edge.min(self.max);
+            }
+        }
+        self.max
     }
 }
 
@@ -302,6 +358,116 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn histogram_min_of_empty_panics() {
         Histogram::new().min();
+    }
+
+    #[test]
+    fn histogram_merge_sums_moments_and_buckets() {
+        let mut a = Histogram::new();
+        for v in [4u64, 5, 100] {
+            a.record(v);
+        }
+        let mut b = Histogram::new();
+        for v in [1u64, 1000] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.min(), 1);
+        assert_eq!(a.max(), 1000);
+        assert_eq!(a.sum(), 1110);
+        assert_eq!(a.bucket(0), 1); // 1
+        assert_eq!(a.bucket(2), 2); // 4, 5
+        assert_eq!(a.bucket(6), 1); // 100
+        assert_eq!(a.bucket(9), 1); // 1000
+    }
+
+    #[test]
+    fn histogram_merge_with_empty_is_identity_both_ways() {
+        let mut a = Histogram::new();
+        a.record(42);
+        let before = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a, before, "merging an empty histogram changed something");
+        let mut e = Histogram::new();
+        e.merge(&before);
+        assert_eq!(e, before, "empty.merge(x) must equal x");
+        assert_eq!(e.min(), 42, "empty side's MAX sentinel leaked into min");
+    }
+
+    #[test]
+    fn histogram_merge_is_order_insensitive() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [7u64, 300] {
+            a.record(v);
+        }
+        for v in [2u64, 9000] {
+            b.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn histogram_merge_saturates_instead_of_wrapping() {
+        let mut a = Histogram::new();
+        a.record(u64::MAX); // bucket 63, sum near u64::MAX (held in u128)
+        let mut b = a.clone();
+        // Repeated self-merge doubles every tally; 70 doublings would
+        // overflow u64 buckets without saturation.
+        for _ in 0..70 {
+            let snap = b.clone();
+            b.merge(&snap);
+        }
+        assert_eq!(b.count(), u64::MAX, "count must pin at MAX, not wrap");
+        assert_eq!(b.bucket(63), u64::MAX, "bucket must pin at MAX, not wrap");
+        assert_eq!(b.max(), u64::MAX);
+        a.merge(&b); // merging a saturated histogram also must not panic
+        assert_eq!(a.count(), u64::MAX);
+    }
+
+    #[test]
+    fn percentile_empty_and_clamping() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(50.0), 0, "empty histogram reports 0");
+        let mut h = Histogram::new();
+        h.record(10);
+        // Out-of-range p clamps; rank clamps to at least 1.
+        assert_eq!(h.percentile(-5.0), 10);
+        assert_eq!(h.percentile(0.0), 10);
+        assert_eq!(h.percentile(250.0), 10);
+    }
+
+    #[test]
+    fn percentile_reports_bucket_upper_edges() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // Rank 50 falls in bucket 5 (32..=63): upper edge 63.
+        assert_eq!(h.percentile(50.0), 63);
+        // Rank 100 is the max sample: edge 127 clamps to max() = 100.
+        assert_eq!(h.percentile(100.0), 100);
+        // A lone power-of-two sits on a bucket edge: it counts in the
+        // higher bucket but the max clamp keeps the bound tight.
+        let mut e = Histogram::new();
+        e.record(64);
+        assert_eq!(e.percentile(100.0), 64);
+        e.record(100);
+        assert_eq!(e.percentile(50.0), 100, "co-resident bucket 6 bound clamps to max");
+    }
+
+    #[test]
+    fn percentile_top_bucket_saturates() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.percentile(100.0), u64::MAX, "bucket 63 edge must not overflow");
+        let mut g = Histogram::new();
+        g.record(1u64 << 63);
+        assert_eq!(g.percentile(100.0), 1u64 << 63, "clamped to max below the saturated edge");
     }
 
     #[test]

@@ -75,9 +75,19 @@ impl Tile {
         &self.bpc
     }
 
+    /// Mutable private-cache access (trace enablement and harvest).
+    pub fn bpc_mut(&mut self) -> &mut Bpc {
+        &mut self.bpc
+    }
+
     /// The LLC slice (stats).
     pub fn llc(&self) -> &LlcSlice {
         &self.llc
+    }
+
+    /// Mutable LLC-slice access (trace enablement and harvest).
+    pub fn llc_mut(&mut self) -> &mut LlcSlice {
+        &mut self.llc
     }
 
     /// True when the engine finished and all cache machinery is quiescent.

@@ -169,6 +169,23 @@ fn quiet_plan_is_bitwise_transparent() {
         .join("\n");
     let clean_s = clean.stats().to_string();
     assert_eq!(clean_s.trim_end(), stripped.trim_end(), "quiet plan perturbed a counter");
+    // The latency histograms must be untouched too: a quiet plan may not
+    // shift a single sample in any distribution. (Counters are compared
+    // above — the faulted registry legitimately carries zero-valued
+    // `fault.*` keys the clean build never registers.)
+    let (ch, fh) = (clean.metrics().architectural(), faulted.metrics().architectural());
+    assert_eq!(
+        ch.histograms().map(|(n, _)| n).collect::<Vec<_>>(),
+        fh.histograms().map(|(n, _)| n).collect::<Vec<_>>(),
+        "quiet plan changed the set of recorded histograms"
+    );
+    for (name, h) in ch.histograms() {
+        assert_eq!(
+            Some(h),
+            fh.histogram(name),
+            "quiet plan perturbed the {name} latency histogram"
+        );
+    }
 }
 
 #[test]
@@ -194,6 +211,11 @@ fn faulted_serial_matches_faulted_parallel_bit_for_bit() {
                 arch_state(&mut parallel),
                 "architectural divergence: {fpgas} FPGAs, seed {seed}"
             );
+            // Metrics — counters *and* every latency histogram — must be
+            // bit-identical once the host-side stepper lane is stripped.
+            let (sm, pm) = (serial.metrics().architectural(), parallel.metrics().architectural());
+            assert_eq!(sm, pm, "faulted metrics diverged: {fpgas} FPGAs, seed {seed}");
+            assert_eq!(sm.snapshot_text(), pm.snapshot_text());
         }
     }
 }

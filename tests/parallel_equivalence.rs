@@ -52,6 +52,11 @@ fn assert_equivalent(serial: &Platform, parallel: &Platform, label: &str) {
     assert_eq!(sn, pn, "{label}: cycle counts diverged");
     assert_eq!(ss, ps, "{label}: statistics diverged");
     assert_eq!(sm, pm, "{label}: memory diverged");
+    // The full metrics registry — counters *and* latency histograms — must
+    // be bit-identical once host-side stepper diagnostics are stripped.
+    let (sa, pa) = (serial.metrics().architectural(), parallel.metrics().architectural());
+    assert_eq!(sa, pa, "{label}: architectural metrics diverged");
+    assert_eq!(sa.snapshot_text(), pa.snapshot_text(), "{label}: metrics snapshots diverged");
 }
 
 #[test]
@@ -143,6 +148,30 @@ fn idle_ticks_are_observable_noops() {
     p.run(5_000);
     assert!(p.is_idle(), "an idle platform must stay idle");
     assert_eq!(p.stats().to_string(), before, "idle ticks mutated counters");
+}
+
+#[test]
+fn metrics_histograms_are_populated_and_host_lane_is_stepper_specific() {
+    let mut serial = contention_platform(2, 2, 8, 0x3E7A);
+    let mut parallel = contention_platform(2, 2, 8, 0x3E7A);
+    serial.run(120_000);
+    parallel.run_parallel(120_000);
+
+    // The architectural equality above must not be vacuous: the cross-FPGA
+    // workload has to populate the latency histograms.
+    let m = serial.metrics();
+    for name in ["pcie.rtt", "bpc.miss_latency", "llc.miss_latency", "dram.latency", "noc.hops"] {
+        let h = m.histogram(name).unwrap_or_else(|| panic!("{name} missing"));
+        assert!(h.count() > 0, "{name} recorded no samples");
+    }
+
+    // The epoch-width histogram is a host-side diagnostic: present only
+    // under the parallel stepper, and stripped by `architectural()`.
+    assert_eq!(serial.metrics().histogram("host.epoch_width").map_or(0, |h| h.count()), 0);
+    let pw = parallel.metrics().histogram("host.epoch_width").map_or(0, |h| h.count());
+    assert!(pw > 0, "parallel stepper must record epoch widths");
+    assert!(parallel.metrics().architectural().histogram("host.epoch_width").is_none());
+    assert_eq!(serial.metrics().architectural(), parallel.metrics().architectural());
 }
 
 #[test]
