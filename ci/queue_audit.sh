@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Queue audit: every architectural queue must sit behind the flow-control
+# layer (smappic_sim::{Port, DelayPort, Ring}). Raw `VecDeque` in the
+# architectural crates bypasses credit accounting and the port meters, so
+# new uses are denied unless explicitly allowlisted.
+#
+# The substrate itself (crates/sim) may use VecDeque — Ring wraps it, the
+# traffic shaper and trace buffer are host-side plumbing — so it is not
+# audited. Usage: ci/queue_audit.sh  (run from the repo root; exits 1 on
+# any unallowlisted hit).
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+AUDITED="crates/axi/src crates/noc/src crates/coherence/src crates/tile/src crates/core/src crates/mem/src"
+ALLOWLIST="ci/queue_allowlist.txt"
+
+hits=$(grep -rn "VecDeque" $AUDITED 2>/dev/null || true)
+
+if [[ -n "$hits" ]]; then
+    # Keep only hits not covered by an allowlist entry (file:line prefix or
+    # plain file path; lines starting with '#' are comments).
+    filtered="$hits"
+    if [[ -f "$ALLOWLIST" ]]; then
+        while IFS= read -r entry; do
+            [[ -z "$entry" || "$entry" == \#* ]] && continue
+            filtered=$(printf '%s\n' "$filtered" | grep -vF "$entry" || true)
+        done <"$ALLOWLIST"
+    fi
+    if [[ -n "$filtered" ]]; then
+        echo "queue audit FAILED: raw VecDeque in architectural crates."
+        echo "Use smappic_sim::{Port, DelayPort} (metered) or Ring (micro-"
+        echo "queues), or add a justified entry to $ALLOWLIST."
+        echo
+        printf '%s\n' "$filtered"
+        exit 1
+    fi
+fi
+
+echo "queue audit OK: no unallowlisted VecDeque in architectural crates."

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use smappic_sim::{Cycle, FaultInjector, Fifo, Stats, TraceBuf, TraceEventKind};
+use smappic_sim::{Cycle, FaultInjector, MetricsRegistry, Port, Stats, TraceBuf, TraceEventKind};
 
 use crate::txn::{AxiReq, AxiResp};
 
@@ -24,15 +24,14 @@ use crate::txn::{AxiReq, AxiResp};
 pub struct Crossbar {
     masters: usize,
     ranges: Vec<(u64, u64, usize)>, // base, size, slave
-    m_req_in: Vec<Fifo<AxiReq>>,
-    m_resp_out: Vec<Fifo<AxiResp>>,
-    s_req_out: Vec<Fifo<AxiReq>>,
-    s_resp_in: Vec<Fifo<AxiResp>>,
+    m_req_in: Vec<Port<AxiReq>>,
+    m_resp_out: Vec<Port<AxiResp>>,
+    s_req_out: Vec<Port<AxiReq>>,
+    s_resp_in: Vec<Port<AxiResp>>,
     // remapped id -> (master index, original id)
     inflight: HashMap<u16, (usize, u16)>,
     next_tag: u16,
     rr_master: usize,
-    faults: Option<FaultInjector>,
     stats: Stats,
     trace: TraceBuf,
 }
@@ -49,14 +48,13 @@ impl Crossbar {
         Self {
             masters,
             ranges: Vec::new(),
-            m_req_in: (0..masters).map(|_| Fifo::new(16)).collect(),
-            m_resp_out: (0..masters).map(|_| Fifo::new(16)).collect(),
-            s_req_out: (0..slaves).map(|_| Fifo::new(16)).collect(),
-            s_resp_in: (0..slaves).map(|_| Fifo::new(16)).collect(),
+            m_req_in: (0..masters).map(|m| Port::bounded(format!("m{m}.req_in"), 16)).collect(),
+            m_resp_out: (0..masters).map(|m| Port::bounded(format!("m{m}.resp_out"), 16)).collect(),
+            s_req_out: (0..slaves).map(|s| Port::bounded(format!("s{s}.req_out"), 16)).collect(),
+            s_resp_in: (0..slaves).map(|s| Port::bounded(format!("s{s}.resp_in"), 16)).collect(),
             inflight: HashMap::new(),
             next_tag: 0,
             rr_master: 0,
-            faults: None,
             stats: Stats::new(),
             trace: TraceBuf::new(4096),
         }
@@ -72,8 +70,16 @@ impl Crossbar {
     /// back-pressure — nothing is dropped or reordered per-master, so the
     /// stall is a timing fault only). Stalled-with-traffic cycles count as
     /// `xbar.fault_stall`.
+    ///
+    /// Interposition lives on the ports: each master request port carries a
+    /// clone of the injector keyed by its master index, so the arbiter asks
+    /// the port ([`Port::fault_stalled`]) instead of carrying per-site
+    /// injector plumbing. Decisions stay pure functions of
+    /// `(seed, stream, lane, cycle)` — bit-identical across steppers.
     pub fn set_faults(&mut self, inj: FaultInjector) {
-        self.faults = Some(inj);
+        for (m, port) in self.m_req_in.iter_mut().enumerate() {
+            port.set_faults(inj.clone(), m as u64);
+        }
     }
 
     /// Maps `[base, base + size)` to slave `slave`. Ranges must not overlap.
@@ -100,7 +106,7 @@ impl Crossbar {
     /// Master `m` submits a request. Errors with the request when the input
     /// queue is full.
     pub fn master_push(&mut self, m: usize, req: AxiReq) -> Result<(), AxiReq> {
-        self.m_req_in[m].push(req)
+        self.m_req_in[m].try_push(req)
     }
 
     /// True when master `m` may push a request this cycle.
@@ -120,7 +126,7 @@ impl Crossbar {
 
     /// Slave `s` returns a response. Errors with the response when full.
     pub fn slave_push(&mut self, s: usize, resp: AxiResp) -> Result<(), AxiResp> {
-        self.s_resp_in[s].push(resp)
+        self.s_resp_in[s].try_push(resp)
     }
 
     /// True when slave `s` may push a response this cycle.
@@ -136,10 +142,26 @@ impl Crossbar {
     /// True when no transaction is queued or outstanding.
     pub fn is_idle(&self) -> bool {
         self.inflight.is_empty()
-            && self.m_req_in.iter().all(Fifo::is_empty)
-            && self.m_resp_out.iter().all(Fifo::is_empty)
-            && self.s_req_out.iter().all(Fifo::is_empty)
-            && self.s_resp_in.iter().all(Fifo::is_empty)
+            && self.m_req_in.iter().all(Port::is_empty)
+            && self.m_resp_out.iter().all(Port::is_empty)
+            && self.s_req_out.iter().all(Port::is_empty)
+            && self.s_resp_in.iter().all(Port::is_empty)
+    }
+
+    /// Merges every port meter into `m` under `port.<prefix>.<name>.*`.
+    pub fn merge_port_metrics(&self, prefix: &str, m: &mut MetricsRegistry) {
+        for p in &self.m_req_in {
+            p.meter().merge_into(prefix, m);
+        }
+        for p in &self.m_resp_out {
+            p.meter().merge_into(prefix, m);
+        }
+        for p in &self.s_req_out {
+            p.meter().merge_into(prefix, m);
+        }
+        for p in &self.s_resp_in {
+            p.meter().merge_into(prefix, m);
+        }
     }
 
     fn alloc_tag(&mut self) -> u16 {
@@ -161,11 +183,9 @@ impl Crossbar {
         for i in 0..self.masters {
             let m = (self.rr_master + i) % self.masters;
             let Some(req) = self.m_req_in[m].peek() else { continue };
-            if let Some(inj) = &self.faults {
-                if inj.stalled(m as u64, now) {
-                    self.stats.incr("xbar.fault_stall");
-                    continue;
-                }
+            if self.m_req_in[m].fault_stalled(now) {
+                self.stats.incr("xbar.fault_stall");
+                continue;
             }
             match self.decode(req.addr()) {
                 Some(s) if !self.s_req_out[s].is_full() => {
@@ -173,7 +193,7 @@ impl Crossbar {
                     let orig = req.id();
                     let tag = self.alloc_tag();
                     self.inflight.insert(tag, (m, orig));
-                    self.s_req_out[s].push(req.with_id(tag)).expect("checked space");
+                    self.s_req_out[s].push(req.with_id(tag)); // space checked above
                     self.stats.incr("xbar.req");
                     self.trace.record(now, || TraceEventKind::XbarGrant {
                         master: m as u8,
@@ -182,13 +202,10 @@ impl Crossbar {
                 }
                 Some(_) => {} // blocked, retry next cycle
                 None => {
-                    // Decode error: complete immediately with an error.
+                    // Decode error: complete immediately with an error. A
+                    // full response port drops the error reply (as before);
+                    // the rejection shows up as a port stall.
                     let req = self.m_req_in[m].pop().expect("peeked");
-                    if self.m_resp_out[m].is_full() {
-                        // Re-queue not possible without reordering; stall.
-                        // (Put it back by rebuilding the queue is overkill:
-                        // leave the response for the next cycle.)
-                    }
                     let resp = match req {
                         AxiReq::Write(w) => {
                             AxiResp::Write(crate::txn::AxiWriteResp { id: w.id, ok: false })
@@ -197,7 +214,7 @@ impl Crossbar {
                             AxiResp::Read(crate::txn::AxiReadResp { id: r.id, data: vec![] })
                         }
                     };
-                    let _ = self.m_resp_out[m].push(resp);
+                    let _ = self.m_resp_out[m].try_push_traced(resp, now, &mut self.trace);
                     self.stats.incr("xbar.decerr");
                 }
             }
@@ -218,7 +235,7 @@ impl Crossbar {
             }
             let resp = self.s_resp_in[s].pop().expect("peeked");
             self.inflight.remove(&resp.id());
-            self.m_resp_out[m].push(resp.with_id(orig)).expect("checked space");
+            self.m_resp_out[m].push(resp.with_id(orig)); // space checked above
             self.stats.incr("xbar.resp");
         }
     }

@@ -1,9 +1,9 @@
 //! The PCIe link model: latency/bandwidth-shaped AXI transport, with an
 //! optional deterministic timing-fault stage.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 
-use smappic_sim::{Cycle, FaultInjector, Histogram, TraceBuf, TraceEventKind, TrafficShaper};
+use smappic_sim::{Cycle, FaultInjector, Histogram, Ring, TraceBuf, TraceEventKind, TrafficShaper};
 
 use crate::txn::{AxiReq, AxiResp};
 
@@ -64,8 +64,10 @@ struct Dir {
     /// Items drained from the shaper so far == the next seq to assign.
     drained: u64,
     /// Send cycles of the items still in the shaper, in send (== drain)
-    /// order, so every delivery knows its wire latency.
-    sent_at: VecDeque<Cycle>,
+    /// order, so every delivery knows its wire latency. An unmetered
+    /// [`Ring`]: its occupancy trajectory depends on when epoch barriers
+    /// drain the shaper, so it must not feed stepper-compared metrics.
+    sent_at: Ring<Cycle>,
     faults: Option<DirFaults>,
 }
 
@@ -74,7 +76,7 @@ impl Dir {
         Self {
             shaper: TrafficShaper::new(bytes_per_cycle, 1, latency),
             drained: 0,
-            sent_at: VecDeque::new(),
+            sent_at: Ring::new(),
             faults: None,
         }
     }
@@ -213,9 +215,10 @@ pub struct PcieLink {
     /// Outstanding request deliveries, oldest first: a response matches
     /// the oldest entry with its id. Scan length is bounded by the
     /// in-flight count (and [`RTT_PENDING_CAP`] under blackhole faults),
-    /// not the id space — bridge ids wrap through all of `u16`.
-    pending_req_ab: VecDeque<(u16, Cycle)>,
-    pending_req_ba: VecDeque<(u16, Cycle)>,
+    /// not the id space — bridge ids wrap through all of `u16`. Unmetered
+    /// [`Ring`]s: drain timing differs between steppers at epoch barriers.
+    pending_req_ab: Ring<(u16, Cycle)>,
+    pending_req_ba: Ring<(u16, Cycle)>,
     trace: TraceBuf,
 }
 
@@ -237,8 +240,8 @@ impl PcieLink {
             b_to_a: Dir::new(bytes_per_cycle, one_way_latency),
             endpoints: (0, 1),
             rtt: Histogram::new(),
-            pending_req_ab: VecDeque::new(),
-            pending_req_ba: VecDeque::new(),
+            pending_req_ab: Ring::new(),
+            pending_req_ba: Ring::new(),
             trace: TraceBuf::new(LINK_TRACE_CAP),
         }
     }
@@ -279,7 +282,8 @@ impl PcieLink {
             }
             PcieItem::Resp(r) => {
                 let id = r.id();
-                if let Some(pos) = pending_opposite.iter().position(|&(i, _)| i == id) {
+                let pos = pending_opposite.iter().position(|&(i, _)| i == id);
+                if let Some(pos) = pos {
                     let (_, l_req) = pending_opposite.remove(pos).expect("position is in range");
                     self.rtt.record(l_req + lat);
                 }

@@ -3,7 +3,7 @@
 
 use std::collections::BTreeMap;
 
-use smappic_sim::{Cycle, Fifo, Stats};
+use smappic_sim::{Cycle, MetricsRegistry, Port, Stats};
 
 use crate::pcie::PcieItem;
 use crate::txn::{AxiReq, AxiResp};
@@ -74,10 +74,10 @@ struct Guard {
 #[derive(Debug)]
 pub struct HardShell {
     fpga_index: usize,
-    outbound_req: Fifo<AxiReq>,
-    outbound_resp: Fifo<(usize, AxiResp)>,
-    inbound_req: Fifo<AxiReq>,
-    inbound_resp: Fifo<AxiResp>,
+    outbound_req: Port<AxiReq>,
+    outbound_resp: Port<(usize, AxiResp)>,
+    inbound_req: Port<AxiReq>,
+    inbound_resp: Port<AxiResp>,
     /// Inbound-request ID remap: shell id → (source peer, original id).
     /// Two peers may use colliding IDs; the shell, like the real XDMA
     /// bridge, keeps per-source context to route completions back.
@@ -98,10 +98,10 @@ impl HardShell {
     pub fn new(fpga_index: usize) -> Self {
         Self {
             fpga_index,
-            outbound_req: Fifo::new(32),
-            outbound_resp: Fifo::new(32),
-            inbound_req: Fifo::new(32),
-            inbound_resp: Fifo::new(32),
+            outbound_req: Port::bounded("outbound_req", 32),
+            outbound_resp: Port::bounded("outbound_resp", 32),
+            inbound_req: Port::bounded("inbound_req", 32),
+            inbound_resp: Port::bounded("inbound_resp", 32),
             inbound_ids: std::collections::HashMap::new(),
             next_inbound_id: 0,
             guard: None,
@@ -229,7 +229,7 @@ impl HardShell {
 
     /// Custom Logic submits an outbound request.
     pub fn cl_push_outbound(&mut self, req: AxiReq) -> Result<(), AxiReq> {
-        self.outbound_req.push(req)
+        self.outbound_req.try_push(req)
     }
 
     /// True when the CL may push an outbound request.
@@ -249,7 +249,7 @@ impl HardShell {
             return Err(resp); // response to an unknown inbound request
         };
         self.inbound_ids.remove(&resp.id());
-        self.outbound_resp.push((peer, resp.with_id(orig))).map_err(|(_, r)| r)
+        self.outbound_resp.try_push((peer, resp.with_id(orig))).map_err(|(_, r)| r)
     }
 
     /// Custom Logic collects the next inbound request.
@@ -293,7 +293,7 @@ impl HardShell {
         };
         self.inbound_ids.insert(id, (from, orig));
         self.stats.incr("shell.in_req");
-        self.inbound_req.push(req.with_id(id)).map_err(|r| {
+        self.inbound_req.try_push(req.with_id(id)).map_err(|r| {
             self.inbound_ids.remove(&id);
             r.with_id(orig)
         })
@@ -301,12 +301,20 @@ impl HardShell {
 
     /// Platform delivers a response arriving over PCIe.
     pub fn push_inbound_resp(&mut self, resp: AxiResp) -> Result<(), AxiResp> {
-        self.inbound_resp.push(resp)
+        self.inbound_resp.try_push(resp)
     }
 
     /// Counters (`shell.out_req`, `shell.in_req`).
     pub fn stats(&self) -> &Stats {
         &self.stats
+    }
+
+    /// Merges every port meter into `m` under `port.<prefix>.<name>.*`.
+    pub fn merge_port_metrics(&self, prefix: &str, m: &mut MetricsRegistry) {
+        self.outbound_req.meter().merge_into(prefix, m);
+        self.outbound_resp.meter().merge_into(prefix, m);
+        self.inbound_req.meter().merge_into(prefix, m);
+        self.inbound_resp.meter().merge_into(prefix, m);
     }
 
     /// True when all queues are empty, no inbound request awaits its

@@ -1,10 +1,13 @@
 //! The BYOC Private Cache (BPC): the core-side end of the coherence
 //! protocol, behind the Transaction-Response Interface.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 
 use smappic_noc::{line_of, line_offset, Addr, AmoOp, Gid, LineData, Msg, Packet};
-use smappic_sim::{CounterSet, Cycle, DelayLine, Fifo, Histogram, Stats, TraceBuf, TraceEventKind};
+use smappic_sim::{
+    CounterSet, Cycle, DelayPort, Histogram, MetricsRegistry, Port, Ring, Stats, TraceBuf,
+    TraceEventKind,
+};
 
 use crate::homing::Homing;
 use crate::Geometry;
@@ -140,7 +143,9 @@ struct Way {
 
 #[derive(Debug)]
 struct Mshr {
-    pending: VecDeque<CoreReq>,
+    /// Merged requests for one line; an unmetered micro-list (capped at 16
+    /// by the merge path), not an architectural flow-control queue.
+    pending: Ring<CoreReq>,
     /// Cycle the miss (or upgrade) was issued; the miss-latency histogram
     /// records `drain cycle − since` when the MSHR fully retires.
     since: Cycle,
@@ -180,11 +185,11 @@ pub struct Bpc {
     sets: Vec<Vec<Way>>,
     mshrs: HashMap<Addr, Mshr>,
     /// Outstanding non-cacheable / atomic operations, matched by address.
-    nc_pending: VecDeque<(Addr, u64)>,
-    noc_in: VecDeque<Packet>,
-    noc_out: Fifo<Packet>,
-    resp_delay: DelayLine<CoreResp>,
-    resp_ready: VecDeque<CoreResp>,
+    nc_pending: Port<(Addr, u64)>,
+    noc_in: Port<Packet>,
+    noc_out: Port<Packet>,
+    resp_delay: DelayPort<CoreResp>,
+    resp_ready: Port<CoreResp>,
     lru_clock: u64,
     counters: CounterSet,
     /// Issue-to-retire latency of every miss/upgrade MSHR. For a line
@@ -204,11 +209,11 @@ impl Bpc {
             cfg,
             sets,
             mshrs: HashMap::new(),
-            nc_pending: VecDeque::new(),
-            noc_in: VecDeque::new(),
-            noc_out: Fifo::new(64),
-            resp_delay: DelayLine::new(hit_latency),
-            resp_ready: VecDeque::new(),
+            nc_pending: Port::elastic_with("nc_pending", 8),
+            noc_in: Port::elastic_with("noc_in", 16),
+            noc_out: Port::bounded("noc_out", 64),
+            resp_delay: DelayPort::new("resp_delay", hit_latency),
+            resp_ready: Port::elastic_with("resp_ready", 8),
             lru_clock: 0,
             counters: CounterSet::new(BPC_KEYS),
             miss_latency: Histogram::new(),
@@ -266,6 +271,16 @@ impl Bpc {
         self.counters.merge_into(out);
     }
 
+    /// Merges every port meter (pushes/stalls/peak/occupancy) into `m`
+    /// under `port.{prefix}.{local name}`.
+    pub fn merge_port_metrics(&self, prefix: &str, m: &mut MetricsRegistry) {
+        self.noc_in.meter().merge_into(prefix, m);
+        self.noc_out.meter().merge_into(prefix, m);
+        self.resp_delay.meter().merge_into(prefix, m);
+        self.resp_ready.meter().merge_into(prefix, m);
+        self.nc_pending.meter().merge_into(prefix, m);
+    }
+
     /// True when nothing is in flight (no MSHRs, queues empty).
     pub fn is_idle(&self) -> bool {
         self.mshrs.is_empty()
@@ -293,13 +308,13 @@ impl Bpc {
                 self.amo(now, req.token, addr, size, op, val, expected)
             }
             MemOp::NcLoad { addr, size, dst } => {
-                self.nc_pending.push_back((addr, req.token));
+                self.nc_pending.push((addr, req.token));
                 self.send(dst, Msg::NcLoad { addr, size });
                 self.counters.bump(K_NC);
                 Ok(())
             }
             MemOp::NcStore { addr, size, data, dst } => {
-                self.nc_pending.push_back((addr, req.token));
+                self.nc_pending.push((addr, req.token));
                 self.send(dst, Msg::NcStore { addr, size, data });
                 self.counters.bump(K_NC);
                 Ok(())
@@ -359,7 +374,7 @@ impl Bpc {
                         return Err(rebuild(Some(data)));
                     }
                     w.locked = true;
-                    let mut pending = VecDeque::new();
+                    let mut pending = Ring::new();
                     pending.push_back(rebuild(Some(data)));
                     self.mshrs.insert(line, Mshr { pending, since: now });
                     let home = self.cfg.homing.home(line, self.cfg.identity.node);
@@ -374,7 +389,7 @@ impl Bpc {
         if self.mshrs.len() >= self.cfg.mshrs {
             return Err(rebuild(store));
         }
-        let mut pending = VecDeque::new();
+        let mut pending = Ring::new();
         pending.push_back(rebuild(store));
         self.mshrs.insert(line, Mshr { pending, since: now });
         let home = self.cfg.homing.home(line, self.cfg.identity.node);
@@ -414,7 +429,7 @@ impl Bpc {
             self.counters.bump(K_WB);
         }
         let home = self.cfg.homing.home(line, self.cfg.identity.node);
-        self.nc_pending.push_back((addr, token));
+        self.nc_pending.push((addr, token));
         self.send(home, Msg::Amo { addr, size, op, val, expected });
         self.counters.bump(K_AMO);
         Ok(())
@@ -422,12 +437,14 @@ impl Bpc {
 
     fn send(&mut self, dst: Gid, msg: Msg) {
         let pkt = Packet::on_canonical_vn(dst, self.cfg.identity, msg);
-        self.noc_out.push(pkt).expect("bpc out queue sized for protocol headroom");
+        // `Port::push` panics on a full bounded port; every send site is
+        // guarded by the protocol-headroom checks in `request` and `tick`.
+        self.noc_out.push(pkt);
     }
 
     /// Delivers a NoC packet addressed to this cache.
     pub fn noc_push(&mut self, pkt: Packet) {
-        self.noc_in.push_back(pkt);
+        self.noc_in.push(pkt);
     }
 
     /// Collects the next outgoing NoC packet.
@@ -437,14 +454,14 @@ impl Bpc {
 
     /// Collects the next completed core response.
     pub fn pop_resp(&mut self) -> Option<CoreResp> {
-        self.resp_ready.pop_front()
+        self.resp_ready.pop()
     }
 
     /// Advances one cycle: handles incoming protocol traffic and matures
     /// hit responses.
     pub fn tick(&mut self, now: Cycle) {
         while let Some(r) = self.resp_delay.pop_ready(now) {
-            self.resp_ready.push_back(r);
+            self.resp_ready.push(r);
         }
         // Process incoming packets; a fill that cannot allocate (every way
         // in its set locked by upgrades) is deferred, so scan for the first
@@ -465,7 +482,7 @@ impl Bpc {
 
     /// Attempts to handle `noc_in[idx]`; returns true when consumed.
     fn try_handle(&mut self, now: Cycle, idx: usize) -> bool {
-        let pkt = &self.noc_in[idx];
+        let pkt = self.noc_in.get(idx).expect("index in range");
         if let Msg::Data { line, .. } = &pkt.msg {
             // Need an allocatable way.
             let line = *line;

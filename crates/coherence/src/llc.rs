@@ -1,9 +1,10 @@
 //! A distributed last-level cache slice with the coherence directory.
 
-use std::collections::VecDeque;
-
 use smappic_noc::{line_of, line_offset, Addr, Gid, LineData, Msg, Packet};
-use smappic_sim::{CounterSet, Cycle, DelayLine, Fifo, Histogram, Stats, TraceBuf, TraceEventKind};
+use smappic_sim::{
+    CounterSet, Cycle, DelayPort, Histogram, MetricsRegistry, Port, Ring, Stats, TraceBuf,
+    TraceEventKind,
+};
 
 use crate::Geometry;
 
@@ -74,7 +75,9 @@ struct Way {
     dirty: bool,
     dir: Dir,
     transient: Option<Transient>,
-    waiters: VecDeque<(Gid, Msg)>,
+    /// Requests parked on an in-flight transient; an unmetered micro-list
+    /// private to the way, not an architectural flow-control queue.
+    waiters: Ring<(Gid, Msg)>,
     lru: u64,
     /// Cycle the memory fetch for this way was issued (miss latency base).
     fetch_at: Cycle,
@@ -117,10 +120,10 @@ impl LlcConfig {
 pub struct LlcSlice {
     cfg: LlcConfig,
     sets: Vec<Vec<Way>>,
-    in_delay: DelayLine<Packet>,
+    in_delay: DelayPort<Packet>,
     /// Requests replayed after a transient resolves.
-    replay: VecDeque<(Gid, Msg)>,
-    noc_out: Fifo<Packet>,
+    replay: Port<(Gid, Msg)>,
+    noc_out: Port<Packet>,
     lru_clock: u64,
     counters: CounterSet,
     /// Current cycle, stashed by `tick`/`noc_push` so the protocol handlers
@@ -139,11 +142,11 @@ impl LlcSlice {
         Self {
             cfg,
             sets,
-            in_delay: DelayLine::new(latency),
-            replay: VecDeque::new(),
+            in_delay: DelayPort::new("in_delay", latency),
+            replay: Port::elastic_with("replay", 8),
             // Sized for worst-case waiter bursts: a resolve can serve every
             // core's parked request (plus invalidation fanout) in one tick.
-            noc_out: Fifo::new(1024),
+            noc_out: Port::bounded("noc_out", 1024),
             lru_clock: 0,
             counters: CounterSet::new(LLC_KEYS),
             cur: 0,
@@ -166,6 +169,14 @@ impl LlcSlice {
     /// Merges this slice's counters into `out` without an intermediate map.
     pub fn merge_stats_into(&self, out: &mut Stats) {
         self.counters.merge_into(out);
+    }
+
+    /// Merges every port meter (pushes/stalls/peak/occupancy) into `m`
+    /// under `port.{prefix}.{local name}`.
+    pub fn merge_port_metrics(&self, prefix: &str, m: &mut MetricsRegistry) {
+        self.in_delay.meter().merge_into(prefix, m);
+        self.replay.meter().merge_into(prefix, m);
+        self.noc_out.meter().merge_into(prefix, m);
     }
 
     /// Debug: lines currently in a transient state, with their waiter
@@ -248,7 +259,7 @@ impl LlcSlice {
         // re-stalls (handle() pushes it back) is not retried this cycle.
         let mut rbudget = self.replay.len().min(2);
         while rbudget > 0 {
-            let Some((src, msg)) = self.replay.pop_front() else { break };
+            let Some((src, msg)) = self.replay.pop() else { break };
             self.handle(src, msg);
             rbudget -= 1;
         }
@@ -256,7 +267,9 @@ impl LlcSlice {
 
     fn send(&mut self, dst: Gid, msg: Msg) {
         let pkt = Packet::on_canonical_vn(dst, self.cfg.identity, msg);
-        self.noc_out.push(pkt).expect("llc out headroom checked in tick");
+        // `Port::push` panics on a full bounded port; `tick` guarantees the
+        // 256-slot protocol headroom before any handler runs.
+        self.noc_out.push(pkt);
     }
 
     fn find(&mut self, line: Addr) -> Option<(usize, usize)> {
@@ -316,7 +329,7 @@ impl LlcSlice {
                 .map(|(i, _)| i);
             let Some(vi) = victim else {
                 // Every way mid-transaction: retry when something resolves.
-                self.replay.push_back((src, msg));
+                self.replay.push((src, msg));
                 return;
             };
             match self.evict(set, vi, (src, msg)) {
@@ -333,7 +346,7 @@ impl LlcSlice {
     /// Allocates a fresh way for `line` and fetches it from memory.
     fn allocate(&mut self, set: usize, src: Gid, line: Addr, msg: Msg) {
         self.lru_clock += 1;
-        let mut waiters = VecDeque::new();
+        let mut waiters = Ring::with_prealloc(2);
         waiters.push_back((src, msg));
         self.sets[set].push(Way {
             line,
@@ -643,8 +656,8 @@ impl LlcSlice {
     fn resolve(&mut self, set: usize, i: usize) {
         self.lru_clock += 1;
         self.sets[set][i].lru = self.lru_clock;
-        let waiters = std::mem::take(&mut self.sets[set][i].waiters);
-        for (src, msg) in waiters {
+        let mut waiters = std::mem::take(&mut self.sets[set][i].waiters);
+        for (src, msg) in waiters.drain_all() {
             self.handle(src, msg);
         }
     }
@@ -652,12 +665,12 @@ impl LlcSlice {
     /// Completes an eviction: write back if dirty, free the way, then
     /// serve the parked requests (they re-miss and claim the freed way).
     fn finish_evict(&mut self, set: usize, i: usize) {
-        let w = self.sets[set].remove(i);
+        let mut w = self.sets[set].remove(i);
         if w.dirty {
             self.send(self.cfg.memctl, Msg::MemWr { line: w.line, data: w.data });
         }
         self.counters.bump(K_EVICT);
-        for (src, msg) in w.waiters {
+        for (src, msg) in w.waiters.drain_all() {
             self.handle(src, msg);
         }
     }

@@ -1,11 +1,11 @@
 //! The inter-node bridge: NoC ↔ AXI4 encapsulation with credit-based flow
 //! control (§3.1, Fig 4).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 
 use smappic_axi::{AxiRead, AxiReadResp, AxiReq, AxiResp, AxiWrite, AxiWriteResp};
 use smappic_noc::{NodeId, Packet};
-use smappic_sim::{Cycle, Stats, TrafficShaper};
+use smappic_sim::{Cycle, MetricsRegistry, Port, Ring, Stats, TrafficShaper};
 
 use crate::codec::{decode_packet, encode_packet};
 
@@ -57,15 +57,17 @@ const LOW_WATER: u32 = 12;
 pub struct InterNodeBridge {
     node: NodeId,
     shaper: TrafficShaper<AxiReq>,
-    out_req: VecDeque<AxiReq>,
-    /// Packets blocked on credits, per destination node.
-    blocked: HashMap<u16, VecDeque<Packet>>,
+    out_req: Port<AxiReq>,
+    /// Packets blocked on credits, per destination node — unmetered
+    /// micro-queues (the `bridge.credit_stall` counter already reports
+    /// this congestion).
+    blocked: HashMap<u16, Ring<Packet>>,
     credits: HashMap<u16, u32>,
     credit_req_outstanding: HashMap<u16, bool>,
     /// Freed receive slots per source node, returned on credit reads.
     freed: HashMap<u16, u32>,
-    incoming: VecDeque<Packet>,
-    resp_for_peer: VecDeque<(u16, AxiResp)>,
+    incoming: Port<Packet>,
+    resp_for_peer: Port<(u16, AxiResp)>,
     next_id: u16,
     /// Outstanding credit reads: AXI id → destination node.
     pending_reads: HashMap<u16, u16>,
@@ -79,13 +81,13 @@ impl InterNodeBridge {
         Self {
             node,
             shaper: TrafficShaper::new(bytes_per_cycle.max(1), 1, extra_latency),
-            out_req: VecDeque::new(),
+            out_req: Port::elastic_with("out_req", 8),
             blocked: HashMap::new(),
             credits: HashMap::new(),
             credit_req_outstanding: HashMap::new(),
             freed: HashMap::new(),
-            incoming: VecDeque::new(),
-            resp_for_peer: VecDeque::new(),
+            incoming: Port::elastic_with("incoming", 8),
+            resp_for_peer: Port::elastic_with("resp_for_peer", 8),
             next_id: 0,
             pending_reads: HashMap::new(),
             stats: Stats::new(),
@@ -95,6 +97,14 @@ impl InterNodeBridge {
     /// Counters (`bridge.sent`, `bridge.recv`, `bridge.credit_stall`).
     pub fn stats(&self) -> &Stats {
         &self.stats
+    }
+
+    /// Merges the bridge's port meters (AXI egress, decoded ingress, peer
+    /// responses) into `m` under `port.{prefix}...`.
+    pub fn merge_port_metrics(&self, prefix: &str, m: &mut MetricsRegistry) {
+        self.out_req.meter().merge_into(prefix, m);
+        self.incoming.meter().merge_into(prefix, m);
+        self.resp_for_peer.meter().merge_into(prefix, m);
     }
 
     fn alloc_id(&mut self) -> u16 {
@@ -136,7 +146,7 @@ impl InterNodeBridge {
         let dsts: Vec<u16> = self.credits.keys().copied().collect();
         for dst in dsts {
             let c = self.credits[&dst];
-            let blocked = self.blocked.get(&dst).map_or(0, VecDeque::len);
+            let blocked = self.blocked.get(&dst).map_or(0, Ring::len);
             if (c < LOW_WATER || blocked > 0)
                 && !self.credit_req_outstanding.get(&dst).copied().unwrap_or(false)
             {
@@ -151,7 +161,7 @@ impl InterNodeBridge {
 
     /// Node side: next packet received from a remote node.
     pub fn recv(&mut self) -> Option<Packet> {
-        let pkt = self.incoming.pop_front()?;
+        let pkt = self.incoming.pop()?;
         // Draining frees a receive slot: report it on the next credit read.
         *self.freed.entry(pkt.src.node.0).or_insert(0) += 1;
         Some(pkt)
@@ -162,9 +172,9 @@ impl InterNodeBridge {
     /// window when leaving the chip.
     pub fn axi_pop_req(&mut self, now: Cycle) -> Option<AxiReq> {
         if let Some(req) = self.shaper.pop_ready(now) {
-            self.out_req.push_back(req);
+            self.out_req.push(req);
         }
-        self.out_req.pop_front()
+        self.out_req.pop()
     }
 
     /// AXI side: a request from a peer bridge arrives.
@@ -173,12 +183,12 @@ impl InterNodeBridge {
             AxiReq::Write(w) => {
                 match decode_packet(&w.data) {
                     Some(pkt) => {
-                        self.incoming.push_back(pkt);
+                        self.incoming.push(pkt);
                         self.stats.incr("bridge.recv");
                     }
                     None => self.stats.incr("bridge.decode_error"),
                 }
-                self.resp_for_peer.push_back((
+                self.resp_for_peer.push((
                     addr_src(w.addr).0,
                     AxiResp::Write(AxiWriteResp { id: w.id, ok: true }),
                 ));
@@ -187,7 +197,7 @@ impl InterNodeBridge {
                 // Credit-return request: answer with freed slots.
                 let src = addr_src(r.addr).0;
                 let freed = self.freed.insert(src, 0).unwrap_or(0);
-                self.resp_for_peer.push_back((
+                self.resp_for_peer.push((
                     src,
                     AxiResp::Read(AxiReadResp {
                         id: r.id,
@@ -202,7 +212,7 @@ impl InterNodeBridge {
     /// AXI side: responses this bridge owes to peers (b-channel acks and
     /// r-channel credit returns), tagged with the peer node.
     pub fn axi_pop_resp_for_peer(&mut self) -> Option<(u16, AxiResp)> {
-        self.resp_for_peer.pop_front()
+        self.resp_for_peer.pop()
     }
 
     /// AXI side: a response to one of our own requests arrives.
@@ -239,7 +249,7 @@ impl InterNodeBridge {
             && self.out_req.is_empty()
             && self.incoming.is_empty()
             && self.resp_for_peer.is_empty()
-            && self.blocked.values().all(VecDeque::is_empty)
+            && self.blocked.values().all(Ring::is_empty)
     }
 }
 

@@ -1,11 +1,11 @@
 //! The node chipset: memory controller, UARTs, CLINT, virtual SD card,
 //! interrupt packetizer, and the inter-node bridge attachment.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 
 use smappic_mem::MemController;
 use smappic_noc::{Gid, Msg, NodeId, Packet, TileId};
-use smappic_sim::{Cycle, Stats};
+use smappic_sim::{Cycle, MetricsRegistry, Port, Stats};
 
 use crate::bridge::InterNodeBridge;
 use crate::config::{CLINT_BASE, PLIC_BASE, SD_CTL_BASE, SD_DATA_BASE, UART0_BASE, UART1_BASE};
@@ -174,8 +174,8 @@ pub struct Chipset {
     bridge: InterNodeBridge,
     irq_prev: HashMap<(TileId, u16), bool>,
     /// Per-virtual-network egress toward the mesh (deadlock freedom).
-    to_mesh: [VecDeque<Packet>; 3],
-    memctl_retry: VecDeque<Packet>,
+    to_mesh: [Port<Packet>; 3],
+    memctl_retry: Port<Packet>,
     stats: Stats,
 }
 
@@ -193,8 +193,8 @@ impl Chipset {
             plic: Plic::new(tiles),
             bridge,
             irq_prev: HashMap::new(),
-            to_mesh: Default::default(),
-            memctl_retry: VecDeque::new(),
+            to_mesh: std::array::from_fn(|vn| Port::elastic_with(format!("to_mesh.vn{vn}"), 8)),
+            memctl_retry: Port::elastic_with("memctl_retry", 8),
             stats: Stats::new(),
         }
     }
@@ -232,6 +232,20 @@ impl Chipset {
     /// Counters.
     pub fn stats(&self) -> &Stats {
         &self.stats
+    }
+
+    /// Merges every port meter in the chipset (mesh egress VN queues, the
+    /// memory-controller staging queue, then the controller's and bridge's
+    /// own ports under `.memctl` / `.bridge`) into `m`.
+    pub fn merge_port_metrics(&self, prefix: &str, m: &mut MetricsRegistry) {
+        for q in &self.to_mesh {
+            q.meter().merge_into(prefix, m);
+        }
+        self.memctl_retry.meter().merge_into(prefix, m);
+        self.memctl.merge_port_metrics(&format!("{prefix}.memctl"), m);
+        self.bridge.merge_port_metrics(&format!("{prefix}.bridge"), m);
+        self.uart0.merge_port_metrics(&format!("{prefix}.uart0"), m);
+        self.uart1.merge_port_metrics(&format!("{prefix}.uart1"), m);
     }
 
     fn me(&self) -> Gid {
@@ -287,7 +301,7 @@ impl Chipset {
         // Staged through an elastic queue so controller back-pressure never
         // forces the chipset to drop or reorder traffic; `tick` drains it
         // as buffer slots free up.
-        self.memctl_retry.push_back(pkt);
+        self.memctl_retry.push(pkt);
     }
 
     /// Reads a device register; `None` when the address is DRAM.
@@ -340,7 +354,7 @@ impl Chipset {
     }
 
     fn push_to_mesh(&mut self, pkt: Packet) {
-        self.to_mesh[pkt.vn.index()].push_back(pkt);
+        self.to_mesh[pkt.vn.index()].push(pkt);
     }
 
     /// Debug: depths of the per-VN mesh egress queues and the memory
@@ -354,12 +368,12 @@ impl Chipset {
 
     /// Next packet to inject into the mesh edge (any virtual network).
     pub fn pop_to_mesh(&mut self) -> Option<Packet> {
-        self.to_mesh.iter_mut().find_map(VecDeque::pop_front)
+        self.to_mesh.iter_mut().find_map(Port::pop)
     }
 
     /// Next packet to inject on one virtual network.
     pub fn pop_to_mesh_vn(&mut self, vn: usize) -> Option<Packet> {
-        self.to_mesh[vn].pop_front()
+        self.to_mesh[vn].pop()
     }
 
     /// Returns a packet the mesh refused this cycle.
@@ -374,7 +388,7 @@ impl Chipset {
         self.clint.tick();
         // Drain staged memory traffic into the controller as space frees.
         while self.memctl.can_push() {
-            let Some(pkt) = self.memctl_retry.pop_front() else { break };
+            let Some(pkt) = self.memctl_retry.pop() else { break };
             self.memctl.push_noc(pkt).expect("can_push checked");
         }
         self.memctl.tick(now);
@@ -503,7 +517,7 @@ impl Chipset {
     /// True when the chipset has no work in flight (SD idle, queues empty,
     /// memory controller drained).
     pub fn is_idle(&self) -> bool {
-        self.to_mesh.iter().all(VecDeque::is_empty)
+        self.to_mesh.iter().all(Port::is_empty)
             && self.memctl_retry.is_empty()
             && self.memctl.is_idle()
             && self.sd.progress.is_none()

@@ -21,7 +21,6 @@
 //! UART wire edge), aging the guest-visible CLINT clock by the skipped
 //! cycle count so software still observes one mtime tick per cycle.
 
-use std::collections::VecDeque;
 use std::sync::mpsc;
 
 use smappic_axi::{AxiReq, Flight, HardShell, PcieItem, PcieLink, ShellRoute};
@@ -75,8 +74,10 @@ struct EpochJob {
     /// Epoch length in cycles (at most the PCIe lookahead).
     len: u64,
     /// Pre-extracted inbound deliveries, indexed by sending FPGA: flights
-    /// with their exact arrival cycles, oldest first.
-    inbound: Vec<VecDeque<(Cycle, Flight)>>,
+    /// with their exact arrival cycles, oldest first. The worker consumes
+    /// each list front-to-back exactly once per epoch, so plain `Vec`s
+    /// (reversed, popped from the back) beat a deque here.
+    inbound: Vec<Vec<(Cycle, Flight)>>,
     /// Record idle/activity bookkeeping (for `run_until_idle_parallel`).
     track: bool,
 }
@@ -182,6 +183,11 @@ fn epoch_worker(
     let mut idle_now = fpga.is_idle();
     while let Ok(job) = jobs.recv() {
         let mut inbound = job.inbound;
+        // Oldest-first lists, consumed from the front: flip them once so
+        // each delivery is an O(1) pop from the back.
+        for q in &mut inbound {
+            q.reverse();
+        }
         let mut sends: Vec<(Cycle, usize, PcieItem)> = Vec::new();
         let mut last_active = None;
         for t in job.start..job.start + job.len {
@@ -192,8 +198,8 @@ fn epoch_worker(
             // Ascending peer order matches the serial pump's lexicographic
             // link order as seen by this receiver.
             for (peer, q) in inbound.iter_mut().enumerate() {
-                while q.front().is_some_and(|(ready, _)| *ready <= t) {
-                    let (_, flight) = q.pop_front().expect("front checked");
+                while q.last().is_some_and(|(ready, _)| *ready <= t) {
+                    let (_, flight) = q.pop().expect("last checked");
                     deliver_flight(fpga, t, peer, flight);
                     delivered = true;
                 }
@@ -629,11 +635,11 @@ impl Platform {
                 host_trace.record(epoch_start, || TraceEventKind::Epoch { index: idx, width: len });
                 // Pull everything the links deliver inside this epoch and
                 // schedule it at the receiving worker, keyed by sender.
-                let mut schedules: Vec<Vec<VecDeque<(Cycle, Flight)>>> =
-                    (0..nf).map(|_| (0..nf).map(|_| VecDeque::new()).collect()).collect();
+                let mut schedules: Vec<Vec<Vec<(Cycle, Flight)>>> =
+                    (0..nf).map(|_| (0..nf).map(|_| Vec::new()).collect()).collect();
                 for ((a, b), link) in links.iter_mut() {
-                    schedules[*b][*a] = link.take_flights_to_b_before(horizon).into();
-                    schedules[*a][*b] = link.take_flights_to_a_before(horizon).into();
+                    schedules[*b][*a] = link.take_flights_to_b_before(horizon);
+                    schedules[*a][*b] = link.take_flights_to_a_before(horizon);
                 }
                 for (w, tx) in job_txs.iter().enumerate() {
                     let job = EpochJob {
@@ -697,6 +703,10 @@ impl Platform {
             for n in f.nodes() {
                 s.merge(n.chipset().stats());
                 s.merge(n.chipset().memctl().stats());
+                // The DRAM model's own counters (`dram.req`, `dram.bytes`,
+                // `dram.oob`, fault spikes) were historically dropped here
+                // — only the controller's `memctl.*` made it up.
+                s.merge(n.chipset().memctl().dram().stats());
                 s.merge(n.chipset().bridge_stats());
                 n.merge_mesh_stats_into(&mut s);
                 for t in 0..n.tile_count() {
@@ -808,6 +818,19 @@ impl Platform {
             }
         }
         m.merge_histogram("host.epoch_width", &self.host_epochs);
+        // Flow-control layer: every Port's pushes/stalls/peak counters and
+        // occupancy histogram, under stable dotted names rooted in the
+        // topology (`port.fpga0.shell.in_req.*`, `port.node3.tile1.bpc
+        // .noc_out.*`, ...). Same fixed walk order as the stats merge, so
+        // equivalent runs produce bit-identical registries.
+        for (fi, f) in self.fpgas.iter().enumerate() {
+            f.shell().merge_port_metrics(&format!("fpga{fi}.shell"), &mut m);
+            f.xbar().merge_port_metrics(&format!("fpga{fi}.xbar"), &mut m);
+            for (li, n) in f.nodes().iter().enumerate() {
+                let g = fi * self.cfg.nodes_per_fpga + li;
+                n.merge_port_metrics(&format!("node{g}"), &mut m);
+            }
+        }
         m
     }
 

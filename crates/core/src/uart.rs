@@ -6,9 +6,7 @@
 //! baud console and an "overclocked" ~1 Mbit/s data UART that carries a
 //! pppd network link (§4.4 uses it to put Nginx on the prototype).
 
-use std::collections::VecDeque;
-
-use smappic_sim::{Cycle, TrafficShaper};
+use smappic_sim::{Cycle, MetricsRegistry, Port, Ring, TrafficShaper};
 
 /// Guest-visible 16550 register offsets (4-byte register stride).
 const REG_DATA: u64 = 0x00; // RBR (read) / THR (write)
@@ -22,20 +20,22 @@ const LSR_THR_EMPTY: u64 = 1 << 5;
 #[derive(Debug, Default)]
 pub struct HostSerial {
     /// Bytes the guest transmitted (drained by the host application).
-    pub output: VecDeque<u8>,
+    pub output: Ring<u8>,
     /// Bytes the host queued for the guest to receive.
-    pub input: VecDeque<u8>,
+    pub input: Ring<u8>,
 }
 
 impl HostSerial {
     /// Reads everything the guest printed so far.
     pub fn take_output(&mut self) -> Vec<u8> {
-        self.output.drain(..).collect()
+        self.output.drain_all()
     }
 
     /// Queues bytes for the guest.
     pub fn send(&mut self, bytes: &[u8]) {
-        self.input.extend(bytes);
+        for &b in bytes {
+            self.input.push_back(b);
+        }
     }
 }
 
@@ -46,7 +46,7 @@ pub struct Uart16550 {
     tx: TrafficShaper<u8>,
     rx: TrafficShaper<u8>,
     /// Bytes ready for the guest's RBR.
-    rx_ready: VecDeque<u8>,
+    rx_ready: Port<u8>,
     host: HostSerial,
     ier: u32,
     bytes_tx: u64,
@@ -61,7 +61,7 @@ impl Uart16550 {
         Self {
             tx: TrafficShaper::new(1, cycles_per_byte.max(1), 0),
             rx: TrafficShaper::new(1, cycles_per_byte.max(1), 0),
-            rx_ready: VecDeque::new(),
+            rx_ready: Port::elastic_with("rx_ready", 16),
             host: HostSerial::default(),
             ier: 0,
             bytes_tx: 0,
@@ -92,7 +92,7 @@ impl Uart16550 {
     /// Guest MMIO read.
     pub fn read(&mut self, offset: u64) -> u64 {
         match offset & 0x1C {
-            REG_DATA => self.rx_ready.pop_front().map_or(0, u64::from),
+            REG_DATA => self.rx_ready.pop().map_or(0, u64::from),
             REG_LSR => {
                 let mut v = LSR_THR_EMPTY; // tx never blocks the guest
                 if !self.rx_ready.is_empty() {
@@ -135,8 +135,14 @@ impl Uart16550 {
             self.bytes_rx += 1;
         }
         while let Some(b) = self.rx.pop_ready(now) {
-            self.rx_ready.push_back(b);
+            self.rx_ready.push(b);
         }
+    }
+
+    /// Merges the UART's port meters (the guest-visible RX FIFO) into `m`
+    /// under `port.{prefix}.rx_ready`.
+    pub fn merge_port_metrics(&self, prefix: &str, m: &mut MetricsRegistry) {
+        self.rx_ready.meter().merge_into(prefix, m);
     }
 
     /// Total bytes transmitted by the guest.

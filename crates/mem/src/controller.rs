@@ -4,7 +4,7 @@ use std::collections::HashMap;
 
 use smappic_axi::{AxiRead, AxiReq, AxiResp, AxiWrite};
 use smappic_noc::{line_of, line_offset, Gid, LineData, Msg, Packet, LINE_BYTES};
-use smappic_sim::{Cycle, Fifo, Histogram, Stats, TraceBuf, TraceEventKind};
+use smappic_sim::{Cycle, Histogram, MetricsRegistry, Port, Stats, TraceBuf, TraceEventKind};
 
 use crate::dram::Dram;
 
@@ -62,8 +62,8 @@ struct Inflight {
 pub struct MemController {
     cfg: MemControllerConfig,
     dram: Dram,
-    noc_in: Fifo<Packet>,
-    noc_out: Fifo<Packet>,
+    noc_in: Port<Packet>,
+    noc_out: Port<Packet>,
     inflight: HashMap<u16, Inflight>,
     next_id: u16,
     stats: Stats,
@@ -79,8 +79,8 @@ impl MemController {
         Self {
             cfg,
             dram,
-            noc_in: Fifo::new(depth),
-            noc_out: Fifo::new(depth.max(16)),
+            noc_in: Port::bounded("noc_in", depth),
+            noc_out: Port::bounded("noc_out", depth.max(16)),
             inflight: HashMap::new(),
             next_id: 0,
             stats: Stats::new(),
@@ -102,7 +102,7 @@ impl MemController {
     /// Submits a NoC packet addressed to this controller. Errors with the
     /// packet when the deserializer buffer is full (back-pressure).
     pub fn push_noc(&mut self, pkt: Packet) -> Result<(), Packet> {
-        self.noc_in.push(pkt)
+        self.noc_in.try_push(pkt)
     }
 
     /// True when a packet can be pushed this cycle.
@@ -123,6 +123,13 @@ impl MemController {
     /// Accept-to-response latency histogram of DRAM transactions.
     pub fn latency(&self) -> &Histogram {
         &self.latency
+    }
+
+    /// Merges the controller's port meters (NoC ingress/egress) into `m`
+    /// under `port.{prefix}.{noc_in,noc_out}`.
+    pub fn merge_port_metrics(&self, prefix: &str, m: &mut MetricsRegistry) {
+        self.noc_in.meter().merge_into(prefix, m);
+        self.noc_out.meter().merge_into(prefix, m);
     }
 
     /// The controller's trace buffer, for enabling tracing and draining.
@@ -236,9 +243,7 @@ impl MemController {
                 let mut data = LineData::zeroed();
                 data.0.copy_from_slice(&r.data);
                 let msg = Msg::MemData { line, data };
-                self.noc_out
-                    .push(Packet::on_canonical_vn(requester, me, msg))
-                    .expect("noc_out space reserved in tick");
+                self.noc_out.push(Packet::on_canonical_vn(requester, me, msg));
             }
             (Origin::LineWb, AxiResp::Write(_)) => {
                 // Writebacks complete silently (posted).
@@ -248,14 +253,10 @@ impl MemController {
                 line.0.copy_from_slice(&r.data);
                 let data = line.read(line_offset(addr), size as usize);
                 let msg = Msg::NcData { addr, data };
-                self.noc_out
-                    .push(Packet::on_canonical_vn(requester, me, msg))
-                    .expect("noc_out space reserved in tick");
+                self.noc_out.push(Packet::on_canonical_vn(requester, me, msg));
             }
             (Origin::NcStore { requester, addr }, AxiResp::Write(_)) => {
-                self.noc_out
-                    .push(Packet::on_canonical_vn(requester, me, Msg::NcAck { addr }))
-                    .expect("noc_out space reserved in tick");
+                self.noc_out.push(Packet::on_canonical_vn(requester, me, Msg::NcAck { addr }));
             }
             (origin, resp) => {
                 panic!("mismatched DRAM response {resp:?} for origin {origin:?}");

@@ -1,12 +1,17 @@
 //! The node-level mesh: routers, buffers, arbitration, and the edge port.
 
-use std::collections::VecDeque;
-
-use smappic_sim::{CounterSet, Cycle, FaultInjector, Histogram, Stats, TraceBuf, TraceEventKind};
+use smappic_sim::{
+    CounterSet, Cycle, FaultInjector, Histogram, MetricsRegistry, Port as FlowPort, Stats,
+    TraceBuf, TraceEventKind,
+};
 
 use crate::packet::Packet;
 use crate::router::{Port, Router};
 use crate::types::{NodeId, TileId, VirtNet};
+
+/// Port-name fragments for the five router input directions, indexed by
+/// [`Port::index`].
+const DIR_NAMES: [&str; 5] = ["north", "south", "east", "west", "local"];
 
 // Pre-interned counter slots: these are bumped on the per-flit hot path, so
 // they use indexed `CounterSet` slots instead of string-keyed `Stats`.
@@ -70,15 +75,16 @@ impl MeshConfig {
     }
 }
 
-/// One (input-port, virtual-network) buffer: packets with arrival times.
-#[derive(Debug, Clone, Default)]
+/// One (input-port, virtual-network) buffer: packets with arrival times,
+/// held in a named bounded flow-control port.
+#[derive(Debug, Clone)]
 struct InBuf {
-    q: VecDeque<(Cycle, Packet)>,
+    q: FlowPort<(Cycle, Packet)>,
 }
 
 impl InBuf {
     fn head_ready(&self, now: Cycle) -> Option<&Packet> {
-        self.q.front().filter(|(t, _)| *t <= now).map(|(_, p)| p)
+        self.q.peek().filter(|(t, _)| *t <= now).map(|(_, p)| p)
     }
 }
 
@@ -95,8 +101,13 @@ struct RouterState {
 }
 
 impl RouterState {
-    fn new() -> Self {
-        Self { bufs: Default::default(), busy_until: [0; 5], rr: [0; 5], occupancy: 0 }
+    fn new(router: usize, capacity: usize) -> Self {
+        let bufs = std::array::from_fn(|p| {
+            std::array::from_fn(|vn| InBuf {
+                q: FlowPort::bounded(format!("r{router}.{}.vc{vn}", DIR_NAMES[p]), capacity),
+            })
+        });
+        Self { bufs, busy_until: [0; 5], rr: [0; 5], occupancy: 0 }
     }
 }
 
@@ -114,9 +125,9 @@ pub struct Mesh {
     cfg: MeshConfig,
     routers: Vec<RouterState>,
     route_fns: Vec<Router>,
-    eject_q: Vec<[VecDeque<Packet>; 3]>,
+    eject_q: Vec<[FlowPort<Packet>; 3]>,
     eject_rr: Vec<usize>,
-    edge_out: VecDeque<Packet>,
+    edge_out: FlowPort<Packet>,
     counters: CounterSet,
     faults: Option<FaultInjector>,
     /// Manhattan hop count of every packet leaving the mesh (tile
@@ -137,11 +148,17 @@ impl Mesh {
             })
             .collect();
         Self {
-            routers: (0..n).map(|_| RouterState::new()).collect(),
+            routers: (0..n).map(|r| RouterState::new(r, cfg.input_buffer_capacity)).collect(),
             route_fns,
-            eject_q: (0..n).map(|_| Default::default()).collect(),
+            eject_q: (0..n)
+                .map(|t| {
+                    std::array::from_fn(|vn| {
+                        FlowPort::elastic_with(format!("eject.t{t}.vc{vn}"), 8)
+                    })
+                })
+                .collect(),
             eject_rr: vec![0; n],
-            edge_out: VecDeque::new(),
+            edge_out: FlowPort::bounded("edge_out", cfg.edge_capacity),
             cfg,
             counters: CounterSet::new(NOC_KEYS),
             faults: None,
@@ -204,20 +221,20 @@ impl Mesh {
     pub fn inject(&mut self, tile: TileId, pkt: Packet) -> Result<(), Packet> {
         let r = &mut self.routers[tile as usize];
         let buf = &mut r.bufs[Port::Local.index()][pkt.vn.index()];
-        if buf.q.len() >= self.cfg.input_buffer_capacity {
-            return Err(pkt);
-        }
         // Local injection is immediately visible to the router.
-        buf.q.push_back((0, pkt));
-        r.occupancy += 1;
-        self.counters.bump(K_INJECTED);
-        Ok(())
+        match buf.q.try_push((0, pkt)) {
+            Ok(()) => {
+                r.occupancy += 1;
+                self.counters.bump(K_INJECTED);
+                Ok(())
+            }
+            Err((_, pkt)) => Err(pkt),
+        }
     }
 
     /// True when tile `tile` can inject on `vn` this cycle.
     pub fn can_inject(&self, tile: TileId, vn: VirtNet) -> bool {
-        self.routers[tile as usize].bufs[Port::Local.index()][vn.index()].q.len()
-            < self.cfg.input_buffer_capacity
+        !self.routers[tile as usize].bufs[Port::Local.index()][vn.index()].q.is_full()
     }
 
     /// Removes the next packet delivered to tile `tile`, round-robining over
@@ -226,7 +243,7 @@ impl Mesh {
         let t = tile as usize;
         for i in 0..3 {
             let vn = (self.eject_rr[t] + i) % 3;
-            if let Some(p) = self.eject_q[t][vn].pop_front() {
+            if let Some(p) = self.eject_q[t][vn].pop() {
                 self.eject_rr[t] = (vn + 1) % 3;
                 return Some(p);
             }
@@ -239,24 +256,24 @@ impl Mesh {
     pub fn inject_edge(&mut self, pkt: Packet) -> Result<(), Packet> {
         let r = &mut self.routers[0];
         let buf = &mut r.bufs[Port::North.index()][pkt.vn.index()];
-        if buf.q.len() >= self.cfg.input_buffer_capacity {
-            return Err(pkt);
+        match buf.q.try_push((0, pkt)) {
+            Ok(()) => {
+                r.occupancy += 1;
+                self.counters.bump(K_EDGE_IN);
+                Ok(())
+            }
+            Err((_, pkt)) => Err(pkt),
         }
-        buf.q.push_back((0, pkt));
-        r.occupancy += 1;
-        self.counters.bump(K_EDGE_IN);
-        Ok(())
     }
 
     /// True when the chipset can inject on `vn` through the edge port.
     pub fn can_inject_edge(&self, vn: VirtNet) -> bool {
-        self.routers[0].bufs[Port::North.index()][vn.index()].q.len()
-            < self.cfg.input_buffer_capacity
+        !self.routers[0].bufs[Port::North.index()][vn.index()].q.is_full()
     }
 
     /// Removes the next packet leaving the node through the edge port.
     pub fn eject_edge(&mut self) -> Option<Packet> {
-        self.edge_out.pop_front()
+        self.edge_out.pop()
     }
 
     /// Counters collected so far (`noc.injected`, `noc.delivered`,
@@ -281,6 +298,24 @@ impl Mesh {
                 .routers
                 .iter()
                 .all(|r| r.bufs.iter().all(|pb| pb.iter().all(|b| b.q.is_empty())))
+    }
+
+    /// Merges every port meter into `m` under `port.<prefix>.<name>.*`, in
+    /// a fixed order (router buffers, eject queues, edge-out).
+    pub fn merge_port_metrics(&self, prefix: &str, m: &mut MetricsRegistry) {
+        for r in &self.routers {
+            for pb in &r.bufs {
+                for b in pb {
+                    b.q.meter().merge_into(prefix, m);
+                }
+            }
+        }
+        for qs in &self.eject_q {
+            for q in qs {
+                q.meter().merge_into(prefix, m);
+            }
+        }
+        self.edge_out.meter().merge_into(prefix, m);
     }
 
     fn neighbor(&self, tile: usize, port: Port) -> Option<usize> {
@@ -355,18 +390,18 @@ impl Mesh {
             }
             // Check downstream space.
             let ok = if edge_exit {
-                self.edge_out.len() < self.cfg.edge_capacity
+                !self.edge_out.is_full()
             } else if out == Port::Local {
                 true // eject queues are drained by the tile every cycle
             } else {
                 let nb = neigh.expect("checked above");
                 let inport = out.opposite().index();
-                self.routers[nb].bufs[inport][vn].q.len() < self.cfg.input_buffer_capacity
+                !self.routers[nb].bufs[inport][vn].q.is_full()
             };
             if !ok {
                 continue; // this candidate blocked; try others (adaptive VC arbitration)
             }
-            let (_, pkt) = self.routers[r].bufs[inp][vn].q.pop_front().expect("head checked");
+            let (_, pkt) = self.routers[r].bufs[inp][vn].q.pop().expect("head checked");
             self.routers[r].occupancy -= 1;
             let flits = pkt.flits();
             self.routers[r].busy_until[oi] = now + Cycle::from(flits);
@@ -381,7 +416,7 @@ impl Mesh {
                     vn: vn as u8,
                     edge: true,
                 });
-                self.edge_out.push_back(pkt);
+                self.edge_out.push(pkt); // space checked above
                 self.counters.bump(K_EDGE_OUT);
             } else if out == Port::Local {
                 let h = self.manhattan(self.entry_router(&pkt), r);
@@ -392,12 +427,13 @@ impl Mesh {
                     vn: vn as u8,
                     edge: false,
                 });
-                self.eject_q[r][vn].push_back(pkt);
+                self.eject_q[r][vn].push(pkt);
                 self.counters.bump(K_DELIVERED);
             } else {
                 let nb = neigh.expect("checked above");
                 let inport = out.opposite().index();
-                self.routers[nb].bufs[inport][vn].q.push_back((now + self.cfg.hop_latency, pkt));
+                // Space checked above.
+                self.routers[nb].bufs[inport][vn].q.push((now + self.cfg.hop_latency, pkt));
                 self.routers[nb].occupancy += 1;
             }
             return;

@@ -3,8 +3,14 @@
 //! This crate is the foundation every other SMAPPIC crate builds on. It
 //! provides the handful of primitives a cycle-driven hardware model needs:
 //!
-//! - [`Fifo`] — a bounded queue modeling an RTL FIFO with back-pressure,
-//! - [`DelayLine`] — a fixed-latency pipe (wires/pipeline stages/links),
+//! - [`Port`]/[`DelayPort`]/[`Ring`] — the credit-accounted flow-control
+//!   layer every architectural queue sits behind: named, metered,
+//!   ring-backed bounded queues ([`PortMeter`] publishes per-port stall /
+//!   peak / occupancy metrics) and their fixed-latency variant,
+//! - [`Fifo`] — a bounded queue modeling an RTL FIFO with back-pressure
+//!   (a thin shim over [`Port`]),
+//! - [`DelayLine`] — a fixed-latency pipe (wires/pipeline stages/links; a
+//!   thin shim over [`DelayPort`]),
 //! - [`TrafficShaper`] — a latency + bandwidth model used by SMAPPIC for
 //!   everything that leaves the FPGA (inter-node links, DRAM interfaces),
 //! - [`SimRng`] — a tiny, deterministic xorshift RNG so whole-platform runs
@@ -47,6 +53,7 @@
 
 mod fault;
 mod obs;
+mod port;
 mod queue;
 mod rng;
 mod shaper;
@@ -57,6 +64,7 @@ pub use fault::{
     BLACKHOLE_DELAY,
 };
 pub use obs::{MetricsRegistry, TraceBuf, TraceEvent, TraceEventKind, TraceSink, TRACE_COMPILED};
+pub use port::{DelayPort, Port, PortMeter, Ring, ELASTIC_PREALLOC_CAP};
 pub use queue::{DelayLine, Fifo};
 pub use rng::SimRng;
 pub use shaper::TrafficShaper;

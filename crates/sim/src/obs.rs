@@ -138,6 +138,13 @@ pub enum TraceEventKind {
         /// Cycles advanced in this epoch.
         width: Cycle,
     },
+    /// A flow-control port rejected a push: the upstream producer observed
+    /// back-pressure. The port identity comes from the lane the owning
+    /// component's buffer is absorbed under.
+    PortStall {
+        /// Occupancy at the moment of rejection (the port's capacity).
+        occupancy: u32,
+    },
 }
 
 /// One cycle-stamped event.
@@ -415,6 +422,14 @@ impl TraceSink {
                         lat as f64 * us_per_cycle
                     );
                 }
+                TraceEventKind::PortStall { occupancy } => {
+                    let _ = write!(
+                        s,
+                        "{{\"name\":\"port stall\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{:.3},\
+                         \"pid\":{pid},\"tid\":{tid},\"args\":{{\"occupancy\":{occupancy}}}}}",
+                        ts(ev.cycle)
+                    );
+                }
                 TraceEventKind::Epoch { index, width } => {
                     let _ = write!(
                         s,
@@ -459,6 +474,13 @@ impl MetricsRegistry {
     /// Merges a counter set into the registry (summing shared names).
     pub fn merge_counters(&mut self, stats: &Stats) {
         self.counters.merge(stats);
+    }
+
+    /// Adds `delta` to a single named counter (creating it at zero when
+    /// absent) — the entry point port meters use to publish their stall
+    /// and peak counters.
+    pub fn add_counter(&mut self, name: &str, delta: u64) {
+        self.counters.add(name, delta);
     }
 
     /// Merges a histogram under `name`, creating it when absent. Repeated

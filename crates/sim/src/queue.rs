@@ -1,7 +1,16 @@
 //! Bounded FIFOs and fixed-latency delay lines.
+//!
+//! These are compatibility shims over the credit-accounted flow-control
+//! layer in [`crate::port`]: a [`Fifo`] is a bounded [`Port`] and a
+//! [`DelayLine`] is a [`DelayPort`], minus the metric plumbing. New code
+//! should use the port types directly so the queue gets a stable dotted
+//! name and its back-pressure shows up in `Platform::metrics()`; the shims
+//! exist for call sites where a named meter adds nothing.
+//!
+//! Storage is preallocated exactly at the configured capacity (the port
+//! layer's policy), so a deep FIFO never reallocates mid-run.
 
-use std::collections::VecDeque;
-
+use crate::port::{DelayPort, Port};
 use crate::Cycle;
 
 /// A bounded first-in/first-out queue modeling an RTL FIFO with back-pressure.
@@ -19,69 +28,63 @@ use crate::Cycle;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Fifo<T> {
-    items: VecDeque<T>,
-    capacity: usize,
+    port: Port<T>,
 }
 
 impl<T> Fifo<T> {
-    /// Creates a FIFO holding at most `capacity` elements.
+    /// Creates a FIFO holding at most `capacity` elements, with all storage
+    /// preallocated.
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "a zero-capacity FIFO cannot transfer data");
-        Self { items: VecDeque::with_capacity(capacity.min(64)), capacity }
+        Self { port: Port::bounded("fifo", capacity) }
     }
 
     /// Appends `item`, or returns it back if the FIFO is full.
     pub fn push(&mut self, item: T) -> Result<(), T> {
-        if self.items.len() >= self.capacity {
-            Err(item)
-        } else {
-            self.items.push_back(item);
-            Ok(())
-        }
+        self.port.try_push(item)
     }
 
     /// Removes and returns the oldest element.
     pub fn pop(&mut self) -> Option<T> {
-        self.items.pop_front()
+        self.port.pop()
     }
 
     /// Returns a reference to the oldest element without removing it.
     pub fn peek(&self) -> Option<&T> {
-        self.items.front()
+        self.port.peek()
     }
 
     /// Number of elements currently queued.
     pub fn len(&self) -> usize {
-        self.items.len()
+        self.port.len()
     }
 
     /// True when no elements are queued.
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.port.is_empty()
     }
 
     /// True when a `push` would be rejected.
     pub fn is_full(&self) -> bool {
-        self.items.len() >= self.capacity
+        self.port.is_full()
     }
 
     /// Number of additional elements the FIFO can accept.
     pub fn free_slots(&self) -> usize {
-        self.capacity - self.items.len()
+        self.port.free_slots()
     }
 
     /// The configured capacity.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.port.capacity()
     }
 
     /// Iterates over queued elements from oldest to newest.
     pub fn iter(&self) -> impl Iterator<Item = &T> {
-        self.items.iter()
+        self.port.iter()
     }
 
     /// The next cycle after `now` at which this component could newly
@@ -89,8 +92,8 @@ impl<T> Fifo<T> {
     /// are already poppable — so it never schedules a future event; the
     /// method exists so containers can fold queues and delay lines through
     /// one idle-skip scan uniformly.
-    pub fn next_event_after(&self, _now: Cycle) -> Option<Cycle> {
-        None
+    pub fn next_event_after(&self, now: Cycle) -> Option<Cycle> {
+        self.port.next_event_after(now)
     }
 }
 
@@ -110,15 +113,13 @@ impl<T> Fifo<T> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct DelayLine<T> {
-    latency: Cycle,
-    // (cycle at which the element becomes visible, element)
-    inflight: VecDeque<(Cycle, T)>,
+    port: DelayPort<T>,
 }
 
 impl<T> DelayLine<T> {
     /// Creates a delay line with the given latency in cycles.
     pub fn new(latency: Cycle) -> Self {
-        Self { latency, inflight: VecDeque::new() }
+        Self { port: DelayPort::new("delay", latency) }
     }
 
     /// Inserts `item` at cycle `now`; it becomes visible at `now + latency`.
@@ -128,41 +129,32 @@ impl<T> DelayLine<T> {
     /// Panics (debug builds) if pushes go backwards in time, which would
     /// violate the ordering invariant.
     pub fn push(&mut self, now: Cycle, item: T) {
-        let ready = now + self.latency;
-        debug_assert!(
-            self.inflight.back().is_none_or(|(r, _)| *r <= ready),
-            "DelayLine pushes must be monotone in time"
-        );
-        self.inflight.push_back((ready, item));
+        self.port.push(now, item);
     }
 
     /// Removes and returns the oldest element whose delay has elapsed.
     pub fn pop_ready(&mut self, now: Cycle) -> Option<T> {
-        if self.inflight.front().is_some_and(|(ready, _)| *ready <= now) {
-            self.inflight.pop_front().map(|(_, item)| item)
-        } else {
-            None
-        }
+        self.port.pop_ready(now)
     }
 
     /// Returns the oldest ready element without removing it.
     pub fn peek_ready(&self, now: Cycle) -> Option<&T> {
-        self.inflight.front().filter(|(ready, _)| *ready <= now).map(|(_, item)| item)
+        self.port.peek_ready(now)
     }
 
     /// Total number of elements in flight (ready or not).
     pub fn len(&self) -> usize {
-        self.inflight.len()
+        self.port.len()
     }
 
     /// True when nothing is in flight.
     pub fn is_empty(&self) -> bool {
-        self.inflight.is_empty()
+        self.port.is_empty()
     }
 
     /// The configured latency in cycles.
     pub fn latency(&self) -> Cycle {
-        self.latency
+        self.port.latency()
     }
 
     /// Cycle at which the oldest in-flight element matures, if any.
@@ -172,13 +164,13 @@ impl<T> DelayLine<T> {
     /// platform can warp straight to it ([`None`] means the line is empty
     /// and contributes no event at all).
     pub fn next_ready_at(&self) -> Option<Cycle> {
-        self.inflight.front().map(|(r, _)| *r)
+        self.port.next_ready_at()
     }
 
     /// The next cycle strictly after `now` at which a pop could newly
     /// succeed, or [`None`] when the line is empty.
     pub fn next_event_after(&self, now: Cycle) -> Option<Cycle> {
-        self.next_ready_at().map(|r| r.max(now + 1))
+        self.port.next_event_after(now)
     }
 }
 

@@ -1,10 +1,8 @@
 //! One tile: an engine, its BPC, and an LLC slice behind a mesh port.
 
-use std::collections::VecDeque;
-
 use smappic_coherence::{Bpc, CoreReq, CoreResp, LlcSlice};
 use smappic_noc::{Gid, Msg, Packet};
-use smappic_sim::Cycle;
+use smappic_sim::{Cycle, MetricsRegistry, Port};
 
 use crate::tri::{Engine, MmioResp, Tri};
 
@@ -36,17 +34,18 @@ pub struct Tile {
     engine: Box<dyn Engine>,
     /// MMIO accesses answered `Pending` by the device, retried each tick:
     /// (requester, is_store, addr, size, data).
-    pending_mmio: VecDeque<(Gid, bool, u64, u8, u64)>,
+    pending_mmio: Port<(Gid, bool, u64, u8, u64)>,
     /// Per-virtual-network egress queues: requests blocked by congestion
     /// must never stall the responses queued behind them (protocol
     /// deadlock freedom depends on it).
-    out: [VecDeque<Packet>; 3],
+    out: [Port<Packet>; 3],
 }
 
 impl Tile {
     /// Assembles a tile.
     pub fn new(id: Gid, bpc: Bpc, llc: LlcSlice, engine: Box<dyn Engine>) -> Self {
-        Self { id, bpc, llc, engine, pending_mmio: VecDeque::new(), out: Default::default() }
+        let out = std::array::from_fn(|vn| Port::elastic_with(format!("out.vn{vn}"), 8));
+        Self { id, bpc, llc, engine, pending_mmio: Port::elastic_with("pending_mmio", 4), out }
     }
 
     /// The tile's NoC identity.
@@ -96,7 +95,19 @@ impl Tile {
             && self.bpc.is_idle()
             && self.llc.is_idle()
             && self.pending_mmio.is_empty()
-            && self.out.iter().all(VecDeque::is_empty)
+            && self.out.iter().all(Port::is_empty)
+    }
+
+    /// Merges every port meter in the tile (egress VN queues, MMIO retry
+    /// queue, then the BPC's and LLC slice's ports under `.bpc` / `.llc`)
+    /// into `m` under `port.{prefix}...`.
+    pub fn merge_port_metrics(&self, prefix: &str, m: &mut MetricsRegistry) {
+        for q in &self.out {
+            q.meter().merge_into(prefix, m);
+        }
+        self.pending_mmio.meter().merge_into(prefix, m);
+        self.bpc.merge_port_metrics(&format!("{prefix}.bpc"), m);
+        self.llc.merge_port_metrics(&format!("{prefix}.llc"), m);
     }
 
     /// Advances one cycle.
@@ -106,7 +117,7 @@ impl Tile {
         self.llc.tick(now);
 
         // Retry the oldest pending MMIO access.
-        if let Some((src, store, addr, size, data)) = self.pending_mmio.pop_front() {
+        if let Some((src, store, addr, size, data)) = self.pending_mmio.pop() {
             match self.engine.mmio(now, store, addr, size, data) {
                 MmioResp::Pending => self.pending_mmio.push_front((src, store, addr, size, data)),
                 resp => self.answer_mmio(src, store, addr, resp),
@@ -115,10 +126,10 @@ impl Tile {
 
         // Drain cache outputs into the per-VN egress queues.
         while let Some(p) = self.bpc.noc_pop() {
-            self.out[p.vn.index()].push_back(p);
+            self.out[p.vn.index()].push(p);
         }
         while let Some(p) = self.llc.noc_pop() {
-            self.out[p.vn.index()].push_back(p);
+            self.out[p.vn.index()].push(p);
         }
     }
 
@@ -130,7 +141,7 @@ impl Tile {
             (_, MmioResp::Pending) => unreachable!("caller filters Pending"),
         };
         let pkt = Packet::on_canonical_vn(src, self.id, msg);
-        self.out[pkt.vn.index()].push_back(pkt);
+        self.out[pkt.vn.index()].push(pkt);
     }
 
     /// Delivers a packet from the mesh.
@@ -151,14 +162,14 @@ impl Tile {
             Msg::NcLoad { addr, size } => {
                 let (addr, size, src) = (*addr, *size, pkt.src);
                 match self.engine.mmio(now, false, addr, size, 0) {
-                    MmioResp::Pending => self.pending_mmio.push_back((src, false, addr, size, 0)),
+                    MmioResp::Pending => self.pending_mmio.push((src, false, addr, size, 0)),
                     resp => self.answer_mmio(src, false, addr, resp),
                 }
             }
             Msg::NcStore { addr, size, data } => {
                 let (addr, size, data, src) = (*addr, *size, *data, pkt.src);
                 match self.engine.mmio(now, true, addr, size, data) {
-                    MmioResp::Pending => self.pending_mmio.push_back((src, true, addr, size, data)),
+                    MmioResp::Pending => self.pending_mmio.push((src, true, addr, size, data)),
                     resp => self.answer_mmio(src, true, addr, resp),
                 }
             }
@@ -171,7 +182,7 @@ impl Tile {
     /// virtual networks (a blocked VN must not starve the others).
     pub fn pop_noc(&mut self) -> Option<Packet> {
         for q in &mut self.out {
-            if let Some(p) = q.pop_front() {
+            if let Some(p) = q.pop() {
                 return Some(p);
             }
         }
@@ -180,7 +191,7 @@ impl Tile {
 
     /// Collects the next outgoing packet on one virtual network.
     pub fn pop_noc_vn(&mut self, vn: usize) -> Option<Packet> {
-        self.out[vn].pop_front()
+        self.out[vn].pop()
     }
 
     /// Returns a popped packet to the head of its egress queue (used when

@@ -1,7 +1,5 @@
 //! The abstract-op trace core.
 
-use std::collections::VecDeque;
-
 use smappic_coherence::{CoreReq, CoreResp, MemOp};
 use smappic_noc::{Addr, AmoOp};
 use smappic_sim::Cycle;
@@ -68,7 +66,10 @@ enum Wait {
 #[derive(Debug)]
 pub struct TraceCore {
     label: String,
-    program: VecDeque<TraceOp>,
+    /// The full program; ops before `pc` have retired. A plain Vec with a
+    /// cursor — the program is never mutated, only advanced through.
+    program: Vec<TraceOp>,
+    pc: usize,
     wait: Wait,
     compute_left: u64,
     next_token: u64,
@@ -105,7 +106,8 @@ impl TraceCore {
     ) -> Self {
         Self {
             label: label.into(),
-            program: program.into(),
+            program,
+            pc: 0,
             wait: Wait::None,
             compute_left: 0,
             next_token: 0,
@@ -241,7 +243,7 @@ impl Engine for TraceCore {
         }
 
         // Next program op.
-        let Some(op) = self.program.front().cloned() else {
+        let Some(op) = self.program.get(self.pc).cloned() else {
             if self.posted.is_empty() && self.finished_at.is_none() {
                 self.finished_at = Some(now);
             }
@@ -263,13 +265,13 @@ impl Engine for TraceCore {
         }
         match op {
             TraceOp::Compute(n) => {
-                self.program.pop_front();
+                self.pc += 1;
                 self.retired += 1;
                 self.compute_left = n.saturating_sub(1); // this tick counts
             }
             TraceOp::SpinUntilEq(..) | TraceOp::SpinUntilGe(..) => {
                 if self.issue(now, tri, &op) {
-                    self.program.pop_front();
+                    self.pc += 1;
                     // Retires once on issue; the re-polls a never-satisfied
                     // spin keeps sending do NOT count as progress, so a
                     // livelocked spin freezes this counter for the Watchdog.
@@ -288,7 +290,7 @@ impl Engine for TraceCore {
                 if tri.try_request(now, req).is_ok() {
                     self.mem_ops += 1;
                     self.posted.push(token);
-                    self.program.pop_front();
+                    self.pc += 1;
                     self.retired += 1;
                 } else {
                     self.next_token -= 1;
@@ -296,7 +298,7 @@ impl Engine for TraceCore {
             }
             _ => {
                 if self.issue(now, tri, &op) {
-                    self.program.pop_front();
+                    self.pc += 1;
                     self.retired += 1;
                 }
             }

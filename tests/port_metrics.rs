@@ -1,0 +1,85 @@
+//! The flow-control layer's observable surface: every architectural queue
+//! is a named `Port`, and [`Platform::metrics`] exposes each one's
+//! pushes/stalls/peak counters and occupancy histogram under a stable
+//! dotted name rooted in the topology. These tests pin that contract, the
+//! stats/metrics separation the equivalence suites rely on, and the DRAM
+//! counter plumbing that used to be dropped on the way up.
+
+use smappic::platform::{Config, Platform, DRAM_BASE};
+use smappic::tile::{TraceCore, TraceOp};
+
+/// A two-FPGA run that exercises every queue family: tiles, caches, NoC,
+/// chipset, memory controller, DRAM, crossbar, shell, and PCIe.
+fn run_cross_fpga_workload() -> Platform {
+    let mut p = Platform::new(Config::new(2, 1, 2));
+    let addr = DRAM_BASE + 0x8000;
+    p.set_engine(
+        0,
+        0,
+        Box::new(TraceCore::new("writer", vec![TraceOp::StoreVal(addr, 42), TraceOp::Load(addr)])),
+    );
+    p.set_engine(1, 0, Box::new(TraceCore::new("reader", vec![TraceOp::Load(addr)])));
+    assert!(p.run_until_idle(2_000_000), "workload must quiesce");
+    p
+}
+
+#[test]
+fn port_meters_surface_in_platform_metrics() {
+    let p = run_cross_fpga_workload();
+    let m = p.metrics();
+
+    // Stable dotted names, one per architectural queue, rooted in the
+    // topology walk: fpga-level shell/crossbar ports and node-level
+    // NoC/cache/chipset ports.
+    for key in [
+        "port.fpga0.shell.outbound_req.pushes",
+        "port.fpga1.shell.inbound_req.pushes",
+        "port.fpga0.xbar.m0.req_in.pushes",
+        "port.node0.noc.edge_out.pushes",
+        "port.node0.tile0.bpc.noc_out.pushes",
+        "port.node0.tile0.llc.noc_out.pushes",
+        "port.node0.chipset.memctl.noc_in.pushes",
+    ] {
+        assert!(m.counter(key) > 0, "expected traffic through {key}");
+    }
+
+    // Every port also publishes an occupancy histogram next to its
+    // counters.
+    assert!(
+        m.histogram("port.node0.tile0.bpc.noc_out.occupancy").is_some_and(|h| h.count() > 0),
+        "occupancy histogram missing or empty"
+    );
+
+    // Peak occupancy is a high-watermark: never above the port's bound.
+    assert!(m.counter("port.fpga0.shell.outbound_req.peak") <= 32);
+}
+
+#[test]
+fn port_meters_stay_out_of_platform_stats() {
+    // The equivalence suites assert `stats().to_string()` equality between
+    // steppers; port meters observe intermediate drain order and belong in
+    // `metrics()` only.
+    let p = run_cross_fpga_workload();
+    assert!(
+        p.stats().iter().all(|(k, _)| !k.starts_with("port.")),
+        "port meters leaked into Platform::stats()"
+    );
+}
+
+#[test]
+fn dram_counters_reach_platform_stats() {
+    // Regression: `Dram::stats` (dram.req/dram.bytes/dram.oob) existed but
+    // was never merged into the platform roll-up — only the controller's
+    // `memctl.*` counters made it.
+    let p = run_cross_fpga_workload();
+    let s = p.stats();
+    assert!(s.get("dram.req") > 0, "dram.req dropped from Platform::stats()");
+    assert!(s.get("dram.bytes") > 0, "dram.bytes dropped from Platform::stats()");
+    assert!(s.get("memctl.rd") > 0, "controller counters must still roll up");
+
+    // The roll-up is exactly the sum of the per-node DRAM models.
+    let per_node: u64 = (0..p.config().total_nodes())
+        .map(|g| p.node(g).chipset().memctl().dram().stats().get("dram.req"))
+        .sum();
+    assert_eq!(s.get("dram.req"), per_node);
+}
