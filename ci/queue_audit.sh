@@ -39,3 +39,52 @@ if [[ -n "$hits" ]]; then
 fi
 
 echo "queue audit OK: no unallowlisted VecDeque in architectural crates."
+
+# ---------------------------------------------------------------------------
+# SaveState field-count cross-check: every stateful architectural component
+# (anything with an `impl SaveState`) is registered in ci/savestate_fields.txt
+# with its struct's field count. A field added without updating the manifest
+# fails here — forcing the author to extend the `save`/`restore` pair at the
+# same time, so new mutable state can never silently fall out of snapshots.
+# ---------------------------------------------------------------------------
+
+MANIFEST="ci/savestate_fields.txt"
+
+count_fields() { # count_fields <file> <struct>
+    awk -v name="$2" '
+        $0 ~ "^(pub )?struct " name "( ?\\{|<)" { inside = 1; next }
+        inside && /^\}/ { inside = 0 }
+        inside && /^    (pub(\([a-z]+\))? )?[A-Za-z_][A-Za-z0-9_]*:/ { count++ }
+        END { print count + 0 }' "$1"
+}
+
+fail=0
+for file in $(grep -rloE "impl (smappic_sim::)?SaveState for" $AUDITED); do
+    for name in $(grep -hoE "impl (smappic_sim::)?SaveState for [A-Za-z0-9_]+" "$file" \
+                  | awk '{print $NF}' | sort -u); do
+        actual=$(count_fields "$file" "$name")
+        recorded=$(awk -v f="$file" -v s="$name" '$1 == f && $2 == s { print $3 }' "$MANIFEST")
+        if [[ -z "$recorded" ]]; then
+            echo "savestate audit FAILED: $file $name ($actual fields) is not in $MANIFEST."
+            echo "Register the component so field additions are cross-checked."
+            fail=1
+        elif [[ "$actual" != "$recorded" ]]; then
+            echo "savestate audit FAILED: $file $name has $actual fields, manifest says $recorded."
+            echo "If you added state, extend its save/restore pair, then update $MANIFEST."
+            fail=1
+        fi
+    done
+done
+
+# The reverse direction: a manifest entry whose struct lost its SaveState
+# impl (or moved) is stale and must be updated.
+while read -r file name recorded; do
+    [[ -z "$file" || "$file" == \#* ]] && continue
+    if ! grep -qE "impl (smappic_sim::)?SaveState for $name\b" "$file" 2>/dev/null; then
+        echo "savestate audit FAILED: $MANIFEST lists $file $name but no SaveState impl is there."
+        fail=1
+    fi
+done <"$MANIFEST"
+
+[[ "$fail" -ne 0 ]] && exit 1
+echo "savestate audit OK: all $(grep -cEv '^(#|$)' "$MANIFEST") stateful components match the manifest."

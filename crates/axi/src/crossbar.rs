@@ -2,7 +2,10 @@
 
 use std::collections::HashMap;
 
-use smappic_sim::{Cycle, FaultInjector, MetricsRegistry, Port, Stats, TraceBuf, TraceEventKind};
+use smappic_sim::{
+    Cycle, FaultInjector, MetricsRegistry, Port, SaveState, SnapReader, SnapWriter, Stats,
+    TraceBuf, TraceEventKind,
+};
 
 use crate::txn::{AxiReq, AxiResp};
 
@@ -241,6 +244,70 @@ impl Crossbar {
     }
 }
 
+impl SaveState for Crossbar {
+    fn save(&self, w: &mut SnapWriter) {
+        // Ports in merge_port_metrics order; masters/ranges are config.
+        for p in &self.m_req_in {
+            p.save(w);
+        }
+        for p in &self.m_resp_out {
+            p.save(w);
+        }
+        for p in &self.s_req_out {
+            p.save(w);
+        }
+        for p in &self.s_resp_in {
+            p.save(w);
+        }
+        // HashMap state in sorted key order for deterministic bytes.
+        let mut tags: Vec<u16> = self.inflight.keys().copied().collect();
+        tags.sort_unstable();
+        w.usize(tags.len());
+        for t in tags {
+            let (m, orig) = self.inflight[&t];
+            w.u16(t);
+            w.usize(m);
+            w.u16(orig);
+        }
+        w.u16(self.next_tag);
+        w.usize(self.rr_master);
+        self.stats.save(w);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) {
+        for p in &mut self.m_req_in {
+            p.restore(r);
+        }
+        for p in &mut self.m_resp_out {
+            p.restore(r);
+        }
+        for p in &mut self.s_req_out {
+            p.restore(r);
+        }
+        for p in &mut self.s_resp_in {
+            p.restore(r);
+        }
+        self.inflight.clear();
+        let n = r.usize();
+        for _ in 0..n {
+            if !r.ok() {
+                break;
+            }
+            let t = r.u16();
+            let m = r.usize();
+            let orig = r.u16();
+            if m >= self.masters {
+                r.corrupt("inflight entry names a master this crossbar does not have");
+                break;
+            }
+            self.inflight.insert(t, (m, orig));
+        }
+        self.next_tag = r.u16();
+        self.rr_master = r.usize() % self.masters.max(1);
+        self.stats.restore(r);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -347,6 +414,42 @@ mod tests {
             assert!(now < 5_000, "crossbar stuck at sent={sent} done={done}");
         }
         assert!(x.is_idle());
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_outstanding_transactions() {
+        use smappic_sim::Snapshot;
+
+        let mut original = xbar2x2();
+        original.master_push(0, AxiReq::Read(AxiRead::new(0x0040, 8, 7))).unwrap();
+        original.master_push(1, AxiReq::Write(AxiWrite::new(0x1040, vec![5; 16], 7))).unwrap();
+        original.tick(0);
+        // Both requests are now outstanding at the slaves (inflight map
+        // populated, queues non-empty).
+        let mut w = SnapWriter::new();
+        w.scoped("xbar", |w| original.save(w));
+        let snap = Snapshot::new(1, 1, w);
+
+        let mut restored = xbar2x2();
+        let mut r = SnapReader::new(&snap);
+        r.scoped("xbar", |r| restored.restore(r));
+        r.finish().expect("clean restore");
+
+        // Drive both to completion identically.
+        for x in [&mut original, &mut restored] {
+            while let Some(req) = x.slave_pop(0) {
+                x.slave_push(0, AxiResp::Read(AxiReadResp { id: req.id(), data: vec![1; 8] }))
+                    .unwrap();
+            }
+            while let Some(req) = x.slave_pop(1) {
+                x.slave_push(1, AxiResp::Write(AxiWriteResp { id: req.id(), ok: true })).unwrap();
+            }
+            x.tick(1);
+        }
+        assert_eq!(original.master_pop(0), restored.master_pop(0));
+        assert_eq!(original.master_pop(1), restored.master_pop(1));
+        assert!(original.is_idle() && restored.is_idle());
+        assert_eq!(original.stats().get("xbar.req"), restored.stats().get("xbar.req"));
     }
 
     #[test]

@@ -39,6 +39,7 @@
 mod crossbar;
 mod pcie;
 mod shell;
+mod snap_impls;
 mod txn;
 
 pub use crossbar::Crossbar;

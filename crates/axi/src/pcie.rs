@@ -3,7 +3,10 @@
 
 use std::collections::BTreeMap;
 
-use smappic_sim::{Cycle, FaultInjector, Histogram, Ring, TraceBuf, TraceEventKind, TrafficShaper};
+use smappic_sim::{
+    Cycle, FaultInjector, Histogram, Pack, Ring, SaveState, SnapReader, SnapWriter, TraceBuf,
+    TraceEventKind, TrafficShaper,
+};
 
 use crate::txn::{AxiReq, AxiResp};
 
@@ -446,6 +449,80 @@ impl PcieLink {
     }
 }
 
+impl SaveState for Dir {
+    fn save(&self, w: &mut SnapWriter) {
+        self.shaper.save(w);
+        w.u64(self.drained);
+        self.sent_at.save(w);
+        // The injector itself is a pure function of (seed, stream, seq) and
+        // is reconstructed from configuration; only the held items and the
+        // fault counters are mutable state.
+        match &self.faults {
+            None => w.bool(false),
+            Some(f) => {
+                w.bool(true);
+                w.usize(f.jitter.len());
+                for (&(release, seq, copy), (item, sent)) in &f.jitter {
+                    w.u64(release);
+                    w.u64(seq);
+                    w.u8(copy);
+                    item.pack(w);
+                    w.u64(*sent);
+                }
+                w.u64(f.delayed);
+                w.u64(f.duplicated);
+            }
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) {
+        self.shaper.restore(r);
+        self.drained = r.u64();
+        self.sent_at.restore(r);
+        let has_faults = r.bool();
+        match (&mut self.faults, has_faults) {
+            (Some(f), true) => {
+                f.jitter.clear();
+                let n = r.usize();
+                for _ in 0..n {
+                    if !r.ok() {
+                        break;
+                    }
+                    let release = r.u64();
+                    let seq = r.u64();
+                    let copy = r.u8();
+                    let item = PcieItem::unpack(r);
+                    let sent = r.u64();
+                    f.jitter.insert((release, seq, copy), (item, sent));
+                }
+                f.delayed = r.u64();
+                f.duplicated = r.u64();
+            }
+            (None, false) => {}
+            _ => r.corrupt("fault-stage presence does not match this link's configuration"),
+        }
+    }
+}
+
+impl SaveState for PcieLink {
+    fn save(&self, w: &mut SnapWriter) {
+        w.scoped("a_to_b", |w| self.a_to_b.save(w));
+        w.scoped("b_to_a", |w| self.b_to_a.save(w));
+        self.rtt.save(w);
+        self.pending_req_ab.save(w);
+        self.pending_req_ba.save(w);
+        // endpoints are config; the trace lane is host-side observability.
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) {
+        r.scoped("a_to_b", |r| self.a_to_b.restore(r));
+        r.scoped("b_to_a", |r| self.b_to_a.restore(r));
+        self.rtt.restore(r);
+        self.pending_req_ab.restore(r);
+        self.pending_req_ba.restore(r);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -532,6 +609,42 @@ mod tests {
         let (serial, epoch) = (run(false), run(true));
         assert_eq!(serial.count(), 6);
         assert_eq!(serial, epoch, "RTT histogram diverged across drain styles");
+    }
+
+    #[test]
+    fn rtt_tracker_matches_pairs_across_two_id_wraps() {
+        // Bridge ids wrap through all of u16; the RTT FIFO must keep
+        // matching each response to the oldest same-id request while the id
+        // counter crosses the wrap at least twice. An 8-deep in-flight
+        // window keeps concurrently-outstanding ids distinct, exactly as
+        // the bridge's skip-occupied allocator guarantees.
+        let mut link = PcieLink::new(0, 1_000_000);
+        let mut now: Cycle = 0;
+        let total: u64 = 140_000;
+        const WINDOW: usize = 8;
+        let mut inflight: Ring<u16> = Ring::new();
+        let (mut sent, mut answered) = (0u64, 0u64);
+        while answered < total {
+            while sent < total && inflight.len() < WINDOW {
+                let id = (sent % 65_536) as u16;
+                link.send_from_a(now, PcieItem::Req(AxiReq::Read(AxiRead::new(sent * 64, 8, id))));
+                inflight.push_back(id);
+                sent += 1;
+            }
+            now += 1;
+            while let Some(PcieItem::Req(r)) = link.recv_at_b(now) {
+                link.send_from_b(
+                    now,
+                    PcieItem::Resp(AxiResp::Read(AxiReadResp { id: r.id(), data: vec![0; 8] })),
+                );
+            }
+            while let Some(PcieItem::Resp(r)) = link.recv_at_a(now) {
+                assert_eq!(inflight.pop_front(), Some(r.id()), "response out of send order");
+                answered += 1;
+            }
+        }
+        assert!(link.is_idle());
+        assert_eq!(link.rtt().count(), total, "every pair must record exactly one RTT sample");
     }
 
     #[test]
@@ -700,6 +813,64 @@ mod tests {
             assert_eq!(s.0, b.0, "delivery cycles diverged");
             assert_eq!(s.1, b.1, "flights diverged");
         }
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_in_flight_traffic() {
+        use smappic_sim::Snapshot;
+
+        // Take a snapshot with items mid-flight (some still in the shaper,
+        // some held in the jitter buffer) and restore into a fresh link:
+        // every later delivery must be identical to the uninterrupted run.
+        let profile = FaultProfile {
+            delay_prob: 0.5,
+            delay_max: 20,
+            dup_prob: 0.3,
+            dup_delay_max: 25,
+            ..FaultProfile::quiet()
+        };
+        let plan = Arc::new(FaultPlan::seeded(42, profile));
+        let mk = |plan: &Arc<FaultPlan>| {
+            let mut l = PcieLink::new(8, 16);
+            l.set_faults(
+                FaultInjector::new(plan.clone(), fault_streams::link(0, 1)),
+                FaultInjector::new(plan.clone(), fault_streams::link(1, 0)),
+            );
+            l
+        };
+        let mut original = mk(&plan);
+        for i in 0..10u64 {
+            original
+                .send_from_a(i * 2, PcieItem::Req(AxiReq::Read(AxiRead::new(i * 8, 8, i as u16))));
+        }
+        // Step partway so some items have drained into the jitter buffer.
+        let mut early = Vec::new();
+        for now in 0..30 {
+            while let Some(f) = original.recv_flight_at_b(now) {
+                early.push((now, f));
+            }
+        }
+        let mut w = SnapWriter::new();
+        w.scoped("link", |w| original.save(w));
+        let snap = Snapshot::new(1, 30, w);
+
+        let mut restored = mk(&plan);
+        let mut r = SnapReader::new(&snap);
+        r.scoped("link", |r| restored.restore(r));
+        r.finish().expect("clean restore");
+
+        for now in 30..400 {
+            loop {
+                let (a, b) = (original.recv_flight_at_b(now), restored.recv_flight_at_b(now));
+                assert_eq!(a, b, "restored link diverged at cycle {now}");
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+        assert!(original.is_idle() && restored.is_idle());
+        assert_eq!(original.rtt(), restored.rtt());
+        assert_eq!(original.fault_counts(), restored.fault_counts());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use std::collections::BTreeMap;
 
-use smappic_sim::{Cycle, MetricsRegistry, Port, Stats};
+use smappic_sim::{Cycle, MetricsRegistry, Pack, Port, SaveState, SnapReader, SnapWriter, Stats};
 
 use crate::pcie::PcieItem;
 use crate::txn::{AxiReq, AxiResp};
@@ -329,6 +329,92 @@ impl HardShell {
     }
 }
 
+impl SaveState for HardShell {
+    fn save(&self, w: &mut SnapWriter) {
+        self.outbound_req.save(w);
+        self.outbound_resp.save(w);
+        self.inbound_req.save(w);
+        self.inbound_resp.save(w);
+        // HashMap state in sorted key order for deterministic bytes.
+        let mut ids: Vec<u16> = self.inbound_ids.keys().copied().collect();
+        ids.sort_unstable();
+        w.usize(ids.len());
+        for id in ids {
+            let (peer, orig) = self.inbound_ids[&id];
+            w.u16(id);
+            w.usize(peer);
+            w.u16(orig);
+        }
+        w.u16(self.next_inbound_id);
+        match &self.guard {
+            None => w.bool(false),
+            Some(g) => {
+                w.bool(true);
+                w.usize(g.streams.len());
+                for (&from, s) in &g.streams {
+                    w.usize(from);
+                    w.u64(s.expected);
+                    w.usize(s.pending.len());
+                    for (&seq, item) in &s.pending {
+                        w.u64(seq);
+                        item.pack(w);
+                    }
+                    s.retry_at.pack(w);
+                    w.u64(s.backoff);
+                    w.bool(s.timed_out);
+                }
+            }
+        }
+        self.stats.save(w);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) {
+        self.outbound_req.restore(r);
+        self.outbound_resp.restore(r);
+        self.inbound_req.restore(r);
+        self.inbound_resp.restore(r);
+        self.inbound_ids.clear();
+        let n = r.usize();
+        for _ in 0..n {
+            if !r.ok() {
+                break;
+            }
+            let id = r.u16();
+            let peer = r.usize();
+            let orig = r.u16();
+            self.inbound_ids.insert(id, (peer, orig));
+        }
+        self.next_inbound_id = r.u16();
+        if r.bool() {
+            let mut guard = Guard::default();
+            let n = r.usize();
+            for _ in 0..n {
+                if !r.ok() {
+                    break;
+                }
+                let from = r.usize();
+                let mut s = PeerStream { expected: r.u64(), ..PeerStream::default() };
+                let pending = r.usize();
+                for _ in 0..pending {
+                    if !r.ok() {
+                        break;
+                    }
+                    let seq = r.u64();
+                    s.pending.insert(seq, PcieItem::unpack(r));
+                }
+                s.retry_at = Option::<Cycle>::unpack(r);
+                s.backoff = r.u64();
+                s.timed_out = r.bool();
+                guard.streams.insert(from, s);
+            }
+            self.guard = Some(guard);
+        } else {
+            self.guard = None;
+        }
+        self.stats.restore(r);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -434,6 +520,90 @@ mod tests {
             drained += 1;
         }
         assert_eq!(drained, 33, "every item must eventually be delivered");
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_guard_and_id_state() {
+        use smappic_sim::Snapshot;
+
+        let mut original = HardShell::new(0);
+        original.enable_guard();
+        // Outstanding inbound request (populates inbound_ids) plus an
+        // out-of-order guard arrival (populates a pending stream).
+        original.push_sequenced(0, 1, 0, read_item(0x000, 9));
+        original.push_sequenced(1, 1, 2, read_item(0x200, 2));
+        let mut w = SnapWriter::new();
+        w.scoped("shell", |w| original.save(w));
+        let snap = Snapshot::new(1, 2, w);
+
+        let mut restored = HardShell::new(0);
+        restored.enable_guard();
+        let mut r = SnapReader::new(&snap);
+        r.scoped("shell", |r| restored.restore(r));
+        r.finish().expect("clean restore");
+
+        // The missing seq 1 arrives at both: delivery cascades identically.
+        original.push_sequenced(2, 1, 1, read_item(0x100, 1));
+        restored.push_sequenced(2, 1, 1, read_item(0x100, 1));
+        loop {
+            let (a, b) = (original.cl_pop_inbound(), restored.cl_pop_inbound());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        // Answering the first request routes to the same peer with the
+        // original ID restored in both.
+        use crate::txn::AxiReadResp;
+        let id = 0; // first remapped inbound id
+        original.cl_push_resp(AxiResp::Read(AxiReadResp { id, data: vec![1] })).unwrap();
+        restored.cl_push_resp(AxiResp::Read(AxiReadResp { id, data: vec![1] })).unwrap();
+        assert_eq!(original.pop_outbound_resp(), restored.pop_outbound_resp());
+    }
+
+    #[test]
+    fn inbound_id_remap_survives_two_u16_wraps() {
+        use crate::txn::AxiReadResp;
+        let mut shell = HardShell::new(0);
+        // Park five requests from peer 7 for the whole run: their shell ids
+        // (0..=4) stay live in the remap table, so the allocator must skip
+        // them every time `next_inbound_id` wraps past zero.
+        let mut parked = Vec::new();
+        for i in 0..5u16 {
+            shell
+                .push_inbound(7, AxiReq::Read(AxiRead::new(0x7000 + u64::from(i) * 8, 8, 1000 + i)))
+                .unwrap();
+            parked.push(shell.cl_pop_inbound().unwrap().id());
+        }
+        // 140k iterations x 2 allocations: the id counter crosses the u16
+        // space four times while colliding original ids are in play.
+        for i in 0..140_000u64 {
+            let orig = (i % 65_536) as u16;
+            shell.push_inbound(2, AxiReq::Read(AxiRead::new(0x2000, 8, orig))).unwrap();
+            shell.push_inbound(3, AxiReq::Read(AxiRead::new(0x3000, 8, orig))).unwrap();
+            let a = shell.cl_pop_inbound().unwrap();
+            let b = shell.cl_pop_inbound().unwrap();
+            assert_ne!(a.id(), b.id(), "iteration {i}: remap collided");
+            assert!(
+                !parked.contains(&a.id()) && !parked.contains(&b.id()),
+                "iteration {i}: allocator reused a live id"
+            );
+            // Answer in reverse order; each response must route back to its
+            // own peer with the original id restored.
+            shell.cl_push_resp(AxiResp::Read(AxiReadResp { id: b.id(), data: vec![3] })).unwrap();
+            shell.cl_push_resp(AxiResp::Read(AxiReadResp { id: a.id(), data: vec![2] })).unwrap();
+            let (to_b, rb) = shell.pop_outbound_resp().unwrap();
+            let (to_a, ra) = shell.pop_outbound_resp().unwrap();
+            assert_eq!((to_b, rb.id()), (3, orig), "iteration {i}: misrouted");
+            assert_eq!((to_a, ra.id()), (2, orig), "iteration {i}: misrouted");
+        }
+        // The parked requests still answer correctly after four full wraps.
+        for (i, id) in parked.into_iter().enumerate() {
+            shell.cl_push_resp(AxiResp::Read(AxiReadResp { id, data: vec![9] })).unwrap();
+            let (peer, resp) = shell.pop_outbound_resp().unwrap();
+            assert_eq!((peer, resp.id()), (7, 1000 + i as u16));
+        }
+        assert!(shell.is_idle());
     }
 
     #[test]

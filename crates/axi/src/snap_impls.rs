@@ -1,0 +1,152 @@
+//! [`Pack`] impls for the AXI transaction vocabulary, so queues, shapers,
+//! and links can serialize transactions in flight.
+//!
+//! Enum variants carry explicit stable `u8` tags in declaration order — the
+//! tag is part of the snapshot format, so variants must never be renumbered,
+//! only appended.
+
+use smappic_sim::{Pack, SnapReader, SnapWriter};
+
+use crate::pcie::PcieItem;
+use crate::txn::{AxiRead, AxiReadResp, AxiReq, AxiResp, AxiWrite, AxiWriteResp};
+
+impl Pack for AxiWrite {
+    fn pack(&self, w: &mut SnapWriter) {
+        w.u64(self.addr);
+        w.bytes(&self.data);
+        w.u16(self.id);
+    }
+    fn unpack(r: &mut SnapReader) -> Self {
+        AxiWrite { addr: r.u64(), data: r.bytes(), id: r.u16() }
+    }
+}
+
+impl Pack for AxiRead {
+    fn pack(&self, w: &mut SnapWriter) {
+        w.u64(self.addr);
+        w.u32(self.len);
+        w.u16(self.id);
+    }
+    fn unpack(r: &mut SnapReader) -> Self {
+        AxiRead { addr: r.u64(), len: r.u32(), id: r.u16() }
+    }
+}
+
+impl Pack for AxiWriteResp {
+    fn pack(&self, w: &mut SnapWriter) {
+        w.u16(self.id);
+        w.bool(self.ok);
+    }
+    fn unpack(r: &mut SnapReader) -> Self {
+        AxiWriteResp { id: r.u16(), ok: r.bool() }
+    }
+}
+
+impl Pack for AxiReadResp {
+    fn pack(&self, w: &mut SnapWriter) {
+        w.u16(self.id);
+        w.bytes(&self.data);
+    }
+    fn unpack(r: &mut SnapReader) -> Self {
+        AxiReadResp { id: r.u16(), data: r.bytes() }
+    }
+}
+
+impl Pack for AxiReq {
+    fn pack(&self, w: &mut SnapWriter) {
+        match self {
+            AxiReq::Write(x) => {
+                w.u8(0);
+                x.pack(w);
+            }
+            AxiReq::Read(x) => {
+                w.u8(1);
+                x.pack(w);
+            }
+        }
+    }
+    fn unpack(r: &mut SnapReader) -> Self {
+        match r.u8() {
+            0 => AxiReq::Write(AxiWrite::unpack(r)),
+            1 => AxiReq::Read(AxiRead::unpack(r)),
+            t => {
+                r.corrupt(&format!("unknown AxiReq tag {t}"));
+                AxiReq::Read(AxiRead::new(0, 0, 0))
+            }
+        }
+    }
+}
+
+impl Pack for AxiResp {
+    fn pack(&self, w: &mut SnapWriter) {
+        match self {
+            AxiResp::Write(x) => {
+                w.u8(0);
+                x.pack(w);
+            }
+            AxiResp::Read(x) => {
+                w.u8(1);
+                x.pack(w);
+            }
+        }
+    }
+    fn unpack(r: &mut SnapReader) -> Self {
+        match r.u8() {
+            0 => AxiResp::Write(AxiWriteResp::unpack(r)),
+            1 => AxiResp::Read(AxiReadResp::unpack(r)),
+            t => {
+                r.corrupt(&format!("unknown AxiResp tag {t}"));
+                AxiResp::Write(AxiWriteResp { id: 0, ok: false })
+            }
+        }
+    }
+}
+
+impl Pack for PcieItem {
+    fn pack(&self, w: &mut SnapWriter) {
+        match self {
+            PcieItem::Req(x) => {
+                w.u8(0);
+                x.pack(w);
+            }
+            PcieItem::Resp(x) => {
+                w.u8(1);
+                x.pack(w);
+            }
+        }
+    }
+    fn unpack(r: &mut SnapReader) -> Self {
+        match r.u8() {
+            0 => PcieItem::Req(AxiReq::unpack(r)),
+            1 => PcieItem::Resp(AxiResp::unpack(r)),
+            t => {
+                r.corrupt(&format!("unknown PcieItem tag {t}"));
+                PcieItem::Resp(AxiResp::Write(AxiWriteResp { id: 0, ok: false }))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smappic_sim::Snapshot;
+
+    #[test]
+    fn axi_transactions_round_trip_through_pack() {
+        let items = vec![
+            PcieItem::Req(AxiReq::Write(AxiWrite::new(0x8000_0000_0040, vec![1, 2, 3], 9))),
+            PcieItem::Req(AxiReq::Read(AxiRead::new(0x40, 64, 0xFFFF))),
+            PcieItem::Resp(AxiResp::Write(AxiWriteResp { id: 3, ok: false })),
+            PcieItem::Resp(AxiResp::Read(AxiReadResp { id: 4, data: vec![0xAB; 64] })),
+        ];
+        let mut w = SnapWriter::new();
+        w.scoped("items", |w| items.pack(w));
+        let snap = Snapshot::new(0, 0, w);
+        let mut r = SnapReader::new(&snap);
+        let mut got = Vec::new();
+        r.scoped("items", |r| got = Vec::<PcieItem>::unpack(r));
+        r.finish().expect("clean");
+        assert_eq!(got, items);
+    }
+}

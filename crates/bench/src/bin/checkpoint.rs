@@ -1,0 +1,124 @@
+//! Cross-process checkpoint/restore driver (the CI `checkpoint` job).
+//!
+//! Two invocations of the *same binary* in *separate processes* prove the
+//! snapshot layer end to end — no shared address space, only the wire
+//! format on disk:
+//!
+//! ```sh
+//! checkpoint save  snap.bin ref.txt   # run to the cut, write snapshot,
+//!                                     # finish the run, record the result
+//! checkpoint resume snap.bin ref.txt  # fresh process: rebuild, restore,
+//!                                     # finish, compare against ref.txt
+//! ```
+//!
+//! `save` runs a 2-FPGA contention workload to the cut cycle, serializes
+//! the platform to `snap.bin`, then keeps running to the end and writes
+//! everything observable (cycle, stats, architectural metrics) to
+//! `ref.txt`. `resume` rebuilds the identical platform from scratch,
+//! restores `snap.bin`, runs the remaining cycles under the
+//! *epoch-parallel* stepper (a resumed run may switch steppers), and
+//! exits non-zero unless its observation matches `ref.txt` byte for byte.
+
+use smappic_core::{Config, Platform, DRAM_BASE};
+use smappic_sim::Snapshot;
+use smappic_tile::{TraceCore, TraceOp};
+
+/// Cycle at which `save` checkpoints.
+const CUT: u64 = 15_000;
+/// Total simulated cycles for both the reference and the resumed run.
+const TOTAL: u64 = 40_000;
+
+/// The canonical 2-FPGA workload (2x1x2): every tile hammers one shared
+/// counter homed on node 0, so live traffic crosses the PCIe fabric at
+/// the cut. Deterministic, so both processes build identical platforms.
+fn build() -> Platform {
+    let cfg = Config::new(2, 1, 2);
+    let tiles = cfg.tiles_per_node;
+    let total = cfg.total_tiles();
+    let counter = DRAM_BASE + 0x9000;
+    let mut p = Platform::new(cfg);
+    for g in 0..total {
+        let (node, tile) = (g / tiles, (g % tiles) as u16);
+        let private = DRAM_BASE + 0x20_0000 + g as u64 * 4096;
+        let mut ops = Vec::new();
+        for i in 0..40u64 {
+            ops.push(TraceOp::Compute(2 + (g as u64 % 7)));
+            ops.push(TraceOp::AmoAdd(counter, 1));
+            ops.push(TraceOp::StoreVal(private + (i % 8) * 64, g as u64 ^ i));
+        }
+        p.set_engine(node, tile, Box::new(TraceCore::new(format!("t{g}"), ops)));
+    }
+    p
+}
+
+/// Everything observable about a finished run, as comparable text.
+fn observe(p: &Platform) -> String {
+    format!(
+        "cycle {}\n--- stats ---\n{}\n--- metrics ---\n{}",
+        p.now(),
+        p.stats(),
+        p.metrics().architectural().snapshot_text()
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (mode, snap_path, ref_path) = match &args[..] {
+        [_, m, s, r] if m == "save" || m == "resume" => (m.as_str(), s, r),
+        _ => {
+            eprintln!("usage: checkpoint <save|resume> <snapshot-file> <reference-file>");
+            std::process::exit(2);
+        }
+    };
+
+    match mode {
+        "save" => {
+            let mut p = build();
+            p.run(CUT);
+            let snap = p.snapshot();
+            let wire = snap.to_bytes();
+            std::fs::write(snap_path, &wire).expect("write snapshot");
+            println!(
+                "saved {}: cycle {}, {} sections, {} bytes",
+                snap_path,
+                snap.cycle,
+                snap.sections().len(),
+                wire.len()
+            );
+            p.run(TOTAL - CUT);
+            std::fs::write(ref_path, observe(&p)).expect("write reference");
+            println!("reference run finished at cycle {}", p.now());
+        }
+        "resume" => {
+            let wire = std::fs::read(snap_path).expect("read snapshot");
+            let snap = Snapshot::from_bytes(&wire).unwrap_or_else(|e| {
+                eprintln!("snapshot failed to parse: {e}");
+                std::process::exit(1);
+            });
+            let mut p = build();
+            if let Err(e) = p.restore(&snap) {
+                eprintln!("restore failed: {e}");
+                std::process::exit(1);
+            }
+            println!("restored {} at cycle {}", snap_path, p.now());
+            p.run_parallel(TOTAL - p.now());
+            let got = observe(&p);
+            let expected = std::fs::read_to_string(ref_path).expect("read reference");
+            if got != expected {
+                eprintln!("MISMATCH: resumed run diverged from the uninterrupted reference");
+                for (i, (g, e)) in got.lines().zip(expected.lines()).enumerate() {
+                    if g != e {
+                        eprintln!(
+                            "first differing line {}:\n  resumed:   {g}\n  reference: {e}",
+                            i + 1
+                        );
+                        break;
+                    }
+                }
+                std::process::exit(1);
+            }
+            println!("resumed run matches the uninterrupted reference ({} cycles)", TOTAL);
+        }
+        _ => unreachable!(),
+    }
+}

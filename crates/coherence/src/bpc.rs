@@ -5,8 +5,8 @@ use std::collections::HashMap;
 
 use smappic_noc::{line_of, line_offset, Addr, AmoOp, Gid, LineData, Msg, Packet};
 use smappic_sim::{
-    CounterSet, Cycle, DelayPort, Histogram, MetricsRegistry, Port, Ring, Stats, TraceBuf,
-    TraceEventKind,
+    CounterSet, Cycle, DelayPort, Histogram, MetricsRegistry, Pack, Port, Ring, SaveState,
+    SnapReader, SnapWriter, Stats, TraceBuf, TraceEventKind,
 };
 
 use crate::homing::Homing;
@@ -675,6 +675,165 @@ impl Bpc {
         self.miss_latency.record(lat);
         let tile = self.tile();
         self.trace.record(now, || TraceEventKind::BpcMiss { tile, line, lat });
+    }
+}
+
+// Snapshot tags for enums are part of the format: append-only, never
+// renumbered.
+
+impl Pack for MemOp {
+    fn pack(&self, w: &mut SnapWriter) {
+        match self {
+            MemOp::Load { addr, size } => {
+                w.u8(0);
+                w.u64(*addr);
+                w.u8(*size);
+            }
+            MemOp::Store { addr, size, data } => {
+                w.u8(1);
+                w.u64(*addr);
+                w.u8(*size);
+                w.u64(*data);
+            }
+            MemOp::Amo { addr, size, op, val, expected } => {
+                w.u8(2);
+                w.u64(*addr);
+                w.u8(*size);
+                op.pack(w);
+                w.u64(*val);
+                w.u64(*expected);
+            }
+            MemOp::NcLoad { addr, size, dst } => {
+                w.u8(3);
+                w.u64(*addr);
+                w.u8(*size);
+                dst.pack(w);
+            }
+            MemOp::NcStore { addr, size, data, dst } => {
+                w.u8(4);
+                w.u64(*addr);
+                w.u8(*size);
+                w.u64(*data);
+                dst.pack(w);
+            }
+        }
+    }
+    fn unpack(r: &mut SnapReader) -> Self {
+        match r.u8() {
+            0 => MemOp::Load { addr: r.u64(), size: r.u8() },
+            1 => MemOp::Store { addr: r.u64(), size: r.u8(), data: r.u64() },
+            2 => MemOp::Amo {
+                addr: r.u64(),
+                size: r.u8(),
+                op: AmoOp::unpack(r),
+                val: r.u64(),
+                expected: r.u64(),
+            },
+            3 => MemOp::NcLoad { addr: r.u64(), size: r.u8(), dst: Gid::unpack(r) },
+            4 => MemOp::NcStore { addr: r.u64(), size: r.u8(), data: r.u64(), dst: Gid::unpack(r) },
+            t => {
+                r.corrupt(&format!("unknown MemOp tag {t}"));
+                MemOp::Load { addr: 0, size: 8 }
+            }
+        }
+    }
+}
+
+impl Pack for CoreReq {
+    fn pack(&self, w: &mut SnapWriter) {
+        w.u64(self.token);
+        self.op.pack(w);
+    }
+    fn unpack(r: &mut SnapReader) -> Self {
+        CoreReq { token: r.u64(), op: MemOp::unpack(r) }
+    }
+}
+
+impl Pack for CoreResp {
+    fn pack(&self, w: &mut SnapWriter) {
+        w.u64(self.token);
+        w.u64(self.data);
+    }
+    fn unpack(r: &mut SnapReader) -> Self {
+        CoreResp { token: r.u64(), data: r.u64() }
+    }
+}
+
+impl Pack for Way {
+    fn pack(&self, w: &mut SnapWriter) {
+        w.u64(self.line);
+        w.u8(Bpc::state_byte(self.state));
+        self.data.pack(w);
+        w.u64(self.lru);
+        w.bool(self.locked);
+    }
+    fn unpack(r: &mut SnapReader) -> Self {
+        let line = r.u64();
+        let state = match r.u8() {
+            b'S' => LineState::Shared,
+            b'E' => LineState::Exclusive,
+            b'M' => LineState::Modified,
+            t => {
+                r.corrupt(&format!("unknown BPC line state {t}"));
+                LineState::Shared
+            }
+        };
+        Way { line, state, data: LineData::unpack(r), lru: r.u64(), locked: r.bool() }
+    }
+}
+
+impl SaveState for Bpc {
+    fn save(&self, w: &mut SnapWriter) {
+        // Set count and geometry are config; each set's occupancy is state.
+        for set in &self.sets {
+            set.pack(w);
+        }
+        let mut lines: Vec<Addr> = self.mshrs.keys().copied().collect();
+        lines.sort_unstable();
+        w.usize(lines.len());
+        for line in lines {
+            let m = &self.mshrs[&line];
+            w.u64(line);
+            m.pending.save(w);
+            w.u64(m.since);
+        }
+        self.nc_pending.save(w);
+        self.noc_in.save(w);
+        self.noc_out.save(w);
+        self.resp_delay.save(w);
+        self.resp_ready.save(w);
+        w.u64(self.lru_clock);
+        self.counters.save(w);
+        self.miss_latency.save(w);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) {
+        for set in &mut self.sets {
+            *set = Vec::<Way>::unpack(r);
+            if set.len() > self.cfg.geometry.ways {
+                r.corrupt("restored BPC set exceeds its configured associativity");
+            }
+        }
+        self.mshrs.clear();
+        let n = r.usize();
+        for _ in 0..n {
+            if !r.ok() {
+                break;
+            }
+            let line = r.u64();
+            let mut pending = Ring::new();
+            pending.restore(r);
+            let since = r.u64();
+            self.mshrs.insert(line, Mshr { pending, since });
+        }
+        self.nc_pending.restore(r);
+        self.noc_in.restore(r);
+        self.noc_out.restore(r);
+        self.resp_delay.restore(r);
+        self.resp_ready.restore(r);
+        self.lru_clock = r.u64();
+        self.counters.restore(r);
+        self.miss_latency.restore(r);
     }
 }
 

@@ -2,8 +2,8 @@
 
 use smappic_noc::{line_of, line_offset, Addr, Gid, LineData, Msg, Packet};
 use smappic_sim::{
-    CounterSet, Cycle, DelayPort, Histogram, MetricsRegistry, Port, Ring, Stats, TraceBuf,
-    TraceEventKind,
+    CounterSet, Cycle, DelayPort, Histogram, MetricsRegistry, Pack, Port, Ring, SaveState,
+    SnapReader, SnapWriter, Stats, TraceBuf, TraceEventKind,
 };
 
 use crate::Geometry;
@@ -673,6 +673,123 @@ impl LlcSlice {
         for (src, msg) in w.waiters.drain_all() {
             self.handle(src, msg);
         }
+    }
+}
+
+// Snapshot tags for enums are part of the format: append-only, never
+// renumbered.
+
+impl Pack for Dir {
+    fn pack(&self, w: &mut SnapWriter) {
+        match self {
+            Dir::Uncached => w.u8(0),
+            Dir::Shared(sharers) => {
+                w.u8(1);
+                sharers.pack(w);
+            }
+            Dir::Exclusive(owner) => {
+                w.u8(2);
+                owner.pack(w);
+            }
+        }
+    }
+    fn unpack(r: &mut SnapReader) -> Self {
+        match r.u8() {
+            0 => Dir::Uncached,
+            1 => Dir::Shared(Vec::unpack(r)),
+            2 => Dir::Exclusive(Gid::unpack(r)),
+            t => {
+                r.corrupt(&format!("unknown directory tag {t}"));
+                Dir::Uncached
+            }
+        }
+    }
+}
+
+impl Pack for Transient {
+    fn pack(&self, w: &mut SnapWriter) {
+        match self {
+            Transient::FetchMem => w.u8(0),
+            Transient::Recall => w.u8(1),
+            Transient::Downgrade => w.u8(2),
+            Transient::Inv { pending } => {
+                w.u8(3);
+                w.u32(*pending);
+            }
+            Transient::Evict { pending, via_recall } => {
+                w.u8(4);
+                w.u32(*pending);
+                w.bool(*via_recall);
+            }
+        }
+    }
+    fn unpack(r: &mut SnapReader) -> Self {
+        match r.u8() {
+            0 => Transient::FetchMem,
+            1 => Transient::Recall,
+            2 => Transient::Downgrade,
+            3 => Transient::Inv { pending: r.u32() },
+            4 => Transient::Evict { pending: r.u32(), via_recall: r.bool() },
+            t => {
+                r.corrupt(&format!("unknown transient tag {t}"));
+                Transient::FetchMem
+            }
+        }
+    }
+}
+
+impl Pack for Way {
+    fn pack(&self, w: &mut SnapWriter) {
+        w.u64(self.line);
+        self.data.pack(w);
+        w.bool(self.dirty);
+        self.dir.pack(w);
+        self.transient.pack(w);
+        self.waiters.save(w);
+        w.u64(self.lru);
+        w.u64(self.fetch_at);
+    }
+    fn unpack(r: &mut SnapReader) -> Self {
+        let line = r.u64();
+        let data = LineData::unpack(r);
+        let dirty = r.bool();
+        let dir = Dir::unpack(r);
+        let transient = Option::<Transient>::unpack(r);
+        let mut waiters = Ring::new();
+        waiters.restore(r);
+        Way { line, data, dirty, dir, transient, waiters, lru: r.u64(), fetch_at: r.u64() }
+    }
+}
+
+impl SaveState for LlcSlice {
+    fn save(&self, w: &mut SnapWriter) {
+        // Set count and geometry are config; each set's occupancy is state.
+        for set in &self.sets {
+            set.pack(w);
+        }
+        self.in_delay.save(w);
+        self.replay.save(w);
+        self.noc_out.save(w);
+        w.u64(self.lru_clock);
+        self.counters.save(w);
+        w.u64(self.cur);
+        self.miss_latency.save(w);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) {
+        for set in &mut self.sets {
+            *set = Vec::<Way>::unpack(r);
+            if set.len() > self.cfg.geometry.ways {
+                r.corrupt("restored LLC set exceeds its configured associativity");
+            }
+        }
+        self.in_delay.restore(r);
+        self.replay.restore(r);
+        self.noc_out.restore(r);
+        self.lru_clock = r.u64();
+        self.counters.restore(r);
+        self.cur = r.u64();
+        self.miss_latency.restore(r);
     }
 }
 

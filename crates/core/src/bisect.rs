@@ -1,0 +1,170 @@
+//! First-divergence bisector: pinpoint where two supposedly-equivalent
+//! runs first disagree, by epoch, cycle, and component.
+//!
+//! Two platform builds that *should* behave identically — serial vs
+//! epoch-parallel stepper, a refactored component vs its reference, twin
+//! configs that differ in something believed non-architectural — can
+//! silently diverge millions of cycles into a run. Diffing final state
+//! says *that* they diverged; this module says *where*:
+//!
+//! 1. **Checkpoint pass.** Both platforms advance in `interval`-cycle
+//!    strides, snapshotting at every boundary ([`Platform::snapshot`]).
+//! 2. **Binary search.** Simulation is deterministic, so bit-equal states
+//!    have bit-equal futures: "boundary `i` diverged" is monotone in `i`,
+//!    and the first divergent boundary is found in `O(log n)` snapshot
+//!    comparisons instead of `n`.
+//! 3. **Lockstep refinement.** Both platforms restore to the last equal
+//!    boundary and re-execute the divergent stride one cycle at a time,
+//!    snapshotting each cycle. The first differing cycle and the first
+//!    differing *component section* (named by the same topology-rooted
+//!    dotted path the metrics layer uses) are reported.
+//!
+//! Host-side stepper diagnostics (`host.*` sections) are excluded from
+//! every comparison — the two steppers legitimately disagree there.
+
+use smappic_sim::{Cycle, SnapError, Snapshot};
+
+use crate::platform::Platform;
+
+/// Which stepper drives a platform through the bisection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stepper {
+    /// [`Platform::run`]: one cycle at a time, all FPGAs in index order.
+    Serial,
+    /// [`Platform::run_parallel`]: conservative epoch-parallel execution
+    /// (bit-identical to serial by contract — which this bisector is
+    /// built to check).
+    EpochParallel,
+}
+
+impl Stepper {
+    fn advance(self, p: &mut Platform, cycles: u64) {
+        match self {
+            Stepper::Serial => p.run(cycles),
+            Stepper::EpochParallel => p.run_parallel(cycles),
+        }
+    }
+}
+
+/// Where two runs first disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BisectReport {
+    /// Index of the first checkpoint interval whose end-of-stride states
+    /// differ (interval `e` spans cycles `[e*interval, (e+1)*interval)`).
+    pub epoch: u64,
+    /// The first cycle whose *post-tick* state differs: after both
+    /// platforms executed this cycle, their snapshots disagree.
+    pub cycle: Cycle,
+    /// Topology-rooted section name of the first differing component
+    /// (e.g. `fpga0.node1.tile0.bpc`), in snapshot walk order.
+    pub component: String,
+    /// Snapshot comparisons spent by the binary search (diagnostic).
+    pub probes: u64,
+}
+
+impl std::fmt::Display for BisectReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "first divergence in epoch {} at cycle {}: component '{}' ({} probes)",
+            self.epoch, self.cycle, self.component, self.probes
+        )
+    }
+}
+
+/// True when the two snapshots disagree on any architectural section.
+fn differs(a: &Snapshot, b: &Snapshot) -> bool {
+    a.first_divergence(b).is_some()
+}
+
+/// Runs `a` and `b` forward `max_cycles` cycles and reports where their
+/// architectural state first diverges, or [`Ok`]`(None)` when they agree
+/// at every checkpoint boundary.
+///
+/// `interval` is the checkpoint stride: smaller strides cost more
+/// snapshot memory in the forward pass but bound the lockstep
+/// re-execution; `interval = 0` is clamped to 1. Both platforms are left
+/// at the divergent cycle (on divergence) or at `max_cycles` (on
+/// agreement), so the caller can immediately inspect the disagreeing
+/// state.
+///
+/// The monotonicity the binary search relies on — once bit-equal, always
+/// bit-equal forward — holds because both steppers are deterministic
+/// functions of architectural state. A transiently-divergent-then-
+/// reconverged pair (possible only if the divergent state is unobservable
+/// forward) is reported as equal, which is the right answer for "do these
+/// runs behave identically?".
+///
+/// # Errors
+///
+/// Propagates any [`SnapError`] from restoring a checkpoint into its own
+/// platform — impossible unless a component's `save`/`restore` pair is
+/// asymmetric, which is exactly worth surfacing loudly.
+pub fn bisect_first_divergence(
+    a: &mut Platform,
+    sa: Stepper,
+    b: &mut Platform,
+    sb: Stepper,
+    max_cycles: u64,
+    interval: u64,
+) -> Result<Option<BisectReport>, SnapError> {
+    let interval = interval.max(1);
+    let mut probes: u64 = 0;
+
+    // Checkpoint pass: boundary snapshots, index 0 = the starting state.
+    let mut snaps_a = vec![a.snapshot()];
+    let mut snaps_b = vec![b.snapshot()];
+    let mut remaining = max_cycles;
+    while remaining > 0 {
+        let len = interval.min(remaining);
+        sa.advance(a, len);
+        sb.advance(b, len);
+        snaps_a.push(a.snapshot());
+        snaps_b.push(b.snapshot());
+        remaining -= len;
+    }
+    let last = snaps_a.len() - 1;
+
+    probes += 1;
+    if !differs(&snaps_a[last], &snaps_b[last]) {
+        return Ok(None);
+    }
+    probes += 1;
+    if differs(&snaps_a[0], &snaps_b[0]) {
+        // The starting states already disagree; no stride to refine.
+        let component = snaps_a[0].first_divergence(&snaps_b[0]).expect("probed divergent");
+        a.restore(&snaps_a[0])?;
+        b.restore(&snaps_b[0])?;
+        return Ok(Some(BisectReport { epoch: 0, cycle: snaps_a[0].cycle, component, probes }));
+    }
+
+    // Invariant: boundary `lo` equal, boundary `hi` divergent.
+    let (mut lo, mut hi) = (0usize, last);
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        probes += 1;
+        if differs(&snaps_a[mid], &snaps_b[mid]) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+
+    // Lockstep refinement inside the divergent stride.
+    a.restore(&snaps_a[lo])?;
+    b.restore(&snaps_b[lo])?;
+    let stride = snaps_a[hi].cycle - snaps_a[lo].cycle;
+    for _ in 0..stride {
+        sa.advance(a, 1);
+        sb.advance(b, 1);
+        let (x, y) = (a.snapshot(), b.snapshot());
+        if let Some(component) = x.first_divergence(&y) {
+            return Ok(Some(BisectReport { epoch: lo as u64, cycle: x.cycle, component, probes }));
+        }
+    }
+    // The boundary disagreed but no cycle inside the stride did — only
+    // reachable if save/restore is not a fixed point. Fall back to the
+    // boundary-level report rather than papering over it.
+    let component = snaps_a[hi].first_divergence(&snaps_b[hi]).expect("boundary probed divergent");
+    Ok(Some(BisectReport { epoch: lo as u64, cycle: snaps_a[hi].cycle, component, probes }))
+}

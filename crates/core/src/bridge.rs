@@ -5,7 +5,9 @@ use std::collections::HashMap;
 
 use smappic_axi::{AxiRead, AxiReadResp, AxiReq, AxiResp, AxiWrite, AxiWriteResp};
 use smappic_noc::{NodeId, Packet};
-use smappic_sim::{Cycle, MetricsRegistry, Port, Ring, Stats, TrafficShaper};
+use smappic_sim::{
+    Cycle, MetricsRegistry, Port, Ring, SaveState, SnapReader, SnapWriter, Stats, TrafficShaper,
+};
 
 use crate::codec::{decode_packet, encode_packet};
 
@@ -253,6 +255,101 @@ impl InterNodeBridge {
     }
 }
 
+impl SaveState for InterNodeBridge {
+    fn save(&self, w: &mut SnapWriter) {
+        // Every HashMap is serialized in sorted key order for deterministic
+        // snapshot bytes. The node id and shaper timing are configuration.
+        self.shaper.save(w);
+        self.out_req.save(w);
+        let mut dsts: Vec<u16> = self.blocked.keys().copied().collect();
+        dsts.sort_unstable();
+        w.usize(dsts.len());
+        for dst in dsts {
+            w.u16(dst);
+            self.blocked[&dst].save(w);
+        }
+        let sorted_u32_map = |w: &mut SnapWriter, m: &HashMap<u16, u32>| {
+            let mut keys: Vec<u16> = m.keys().copied().collect();
+            keys.sort_unstable();
+            w.usize(keys.len());
+            for k in keys {
+                w.u16(k);
+                w.u32(m[&k]);
+            }
+        };
+        sorted_u32_map(w, &self.credits);
+        let mut keys: Vec<u16> = self.credit_req_outstanding.keys().copied().collect();
+        keys.sort_unstable();
+        w.usize(keys.len());
+        for k in keys {
+            w.u16(k);
+            w.bool(self.credit_req_outstanding[&k]);
+        }
+        sorted_u32_map(w, &self.freed);
+        self.incoming.save(w);
+        self.resp_for_peer.save(w);
+        w.u16(self.next_id);
+        let mut ids: Vec<u16> = self.pending_reads.keys().copied().collect();
+        ids.sort_unstable();
+        w.usize(ids.len());
+        for id in ids {
+            w.u16(id);
+            w.u16(self.pending_reads[&id]);
+        }
+        self.stats.save(w);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) {
+        self.shaper.restore(r);
+        self.out_req.restore(r);
+        self.blocked.clear();
+        for _ in 0..r.usize() {
+            if !r.ok() {
+                break;
+            }
+            let dst = r.u16();
+            let mut ring = Ring::default();
+            ring.restore(r);
+            self.blocked.insert(dst, ring);
+        }
+        let restore_u32_map = |r: &mut SnapReader, m: &mut HashMap<u16, u32>| {
+            m.clear();
+            for _ in 0..r.usize() {
+                if !r.ok() {
+                    break;
+                }
+                let k = r.u16();
+                let v = r.u32();
+                m.insert(k, v);
+            }
+        };
+        restore_u32_map(r, &mut self.credits);
+        self.credit_req_outstanding.clear();
+        for _ in 0..r.usize() {
+            if !r.ok() {
+                break;
+            }
+            let k = r.u16();
+            let v = r.bool();
+            self.credit_req_outstanding.insert(k, v);
+        }
+        restore_u32_map(r, &mut self.freed);
+        self.incoming.restore(r);
+        self.resp_for_peer.restore(r);
+        self.next_id = r.u16();
+        self.pending_reads.clear();
+        for _ in 0..r.usize() {
+            if !r.ok() {
+                break;
+            }
+            let id = r.u16();
+            let dst = r.u16();
+            self.pending_reads.insert(id, dst);
+        }
+        self.stats.restore(r);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -345,6 +442,58 @@ mod tests {
         }
         assert_eq!(got, total, "credit recovery must release blocked packets");
         assert!(a.is_idle());
+    }
+
+    #[test]
+    fn credit_read_ids_survive_two_u16_wraps() {
+        let mut a = InterNodeBridge::new(NodeId(0), 0, 1_000);
+        // Park three credit reads for the whole run: their ids (0..=2) stay
+        // in `pending_reads`, so `alloc_id` must skip them at every wrap.
+        let mut parked = Vec::new();
+        for dst in [10u16, 11, 12] {
+            let id = a.alloc_id();
+            a.pending_reads.insert(id, dst);
+            a.credit_req_outstanding.insert(dst, true);
+            parked.push((id, dst));
+        }
+        // Keep the looping destinations above LOW_WATER so responses don't
+        // trigger fresh credit reads of their own.
+        for dst in 1..=3u16 {
+            a.credits.insert(dst, INITIAL_CREDITS);
+        }
+        // 140k allocations: `next_id` crosses the u16 space twice while
+        // the parked ids remain outstanding.
+        for i in 0..140_000u64 {
+            let dst = 1 + (i % 3) as u16;
+            let id = a.alloc_id();
+            assert!(
+                !parked.iter().any(|&(p, _)| p == id),
+                "iteration {i}: allocator reused a live id"
+            );
+            a.pending_reads.insert(id, dst);
+            a.credit_req_outstanding.insert(dst, true);
+            a.axi_push_resp(
+                i,
+                AxiResp::Read(AxiReadResp { id, data: 2u64.to_le_bytes().to_vec() }),
+            );
+            assert!(!a.pending_reads.contains_key(&id), "iteration {i}: response unmatched");
+            assert!(!a.credit_req_outstanding[&dst], "iteration {i}: wrong destination");
+        }
+        assert_eq!(a.stats().get("bridge.orphan_resp"), 0);
+        // The parked reads, answered after two full wraps, still credit
+        // their own destinations.
+        for (id, dst) in parked {
+            a.axi_push_resp(
+                0,
+                AxiResp::Read(AxiReadResp {
+                    id,
+                    data: u64::from(INITIAL_CREDITS).to_le_bytes().to_vec(),
+                }),
+            );
+            assert!(!a.credit_req_outstanding[&dst]);
+            assert_eq!(a.credits[&dst], INITIAL_CREDITS);
+        }
+        assert!(a.pending_reads.is_empty());
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 
 use smappic_mem::MemController;
 use smappic_noc::{Gid, Msg, NodeId, Packet, TileId};
-use smappic_sim::{Cycle, MetricsRegistry, Port, Stats};
+use smappic_sim::{Cycle, MetricsRegistry, Port, SaveState, SnapReader, SnapWriter, Stats};
 
 use crate::bridge::InterNodeBridge;
 use crate::config::{CLINT_BASE, PLIC_BASE, SD_CTL_BASE, SD_DATA_BASE, UART0_BASE, UART1_BASE};
@@ -100,6 +100,33 @@ impl Clint {
     }
 }
 
+impl SaveState for Clint {
+    fn save(&self, w: &mut SnapWriter) {
+        w.usize(self.msip.len());
+        for m in &self.msip {
+            w.bool(*m);
+        }
+        for c in &self.mtimecmp {
+            w.u64(*c);
+        }
+        w.u64(self.mtime);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) {
+        if r.usize() != self.msip.len() {
+            r.corrupt("CLINT hart count does not match this node's configuration");
+            return;
+        }
+        for m in &mut self.msip {
+            *m = r.bool();
+        }
+        for c in &mut self.mtimecmp {
+            *c = r.u64();
+        }
+        self.mtime = r.u64();
+    }
+}
+
 /// SD controller register offsets.
 const SD_REG_LBA: u64 = 0x0;
 const SD_REG_BUF: u64 = 0x8;
@@ -148,6 +175,24 @@ impl SdController {
             }
             _ => {}
         }
+    }
+}
+
+impl SaveState for SdController {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.lba);
+        w.u64(self.buf);
+        smappic_sim::Pack::pack(&self.progress, w);
+        smappic_sim::Pack::pack(&self.loaded, w);
+        w.bool(self.waiting);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) {
+        self.lba = r.u64();
+        self.buf = r.u64();
+        self.progress = <Option<u64> as smappic_sim::Pack>::unpack(r);
+        self.loaded = <Option<u64> as smappic_sim::Pack>::unpack(r);
+        self.waiting = r.bool();
     }
 }
 
@@ -522,6 +567,57 @@ impl Chipset {
             && self.memctl.is_idle()
             && self.sd.progress.is_none()
             && self.bridge.is_idle()
+    }
+}
+
+impl SaveState for Chipset {
+    fn save(&self, w: &mut SnapWriter) {
+        w.scoped("memctl", |w| self.memctl.save(w));
+        w.scoped("uart0", |w| self.uart0.save(w));
+        w.scoped("uart1", |w| self.uart1.save(w));
+        w.scoped("clint", |w| self.clint.save(w));
+        w.scoped("sd", |w| self.sd.save(w));
+        w.scoped("plic", |w| self.plic.save(w));
+        w.scoped("bridge", |w| self.bridge.save(w));
+        // Packetizer edge-detector state, in sorted key order.
+        let mut keys: Vec<(TileId, u16)> = self.irq_prev.keys().copied().collect();
+        keys.sort_unstable();
+        w.usize(keys.len());
+        for k in keys {
+            w.u16(k.0);
+            w.u16(k.1);
+            w.bool(self.irq_prev[&k]);
+        }
+        for q in &self.to_mesh {
+            q.save(w);
+        }
+        self.memctl_retry.save(w);
+        self.stats.save(w);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) {
+        r.scoped("memctl", |r| self.memctl.restore(r));
+        r.scoped("uart0", |r| self.uart0.restore(r));
+        r.scoped("uart1", |r| self.uart1.restore(r));
+        r.scoped("clint", |r| self.clint.restore(r));
+        r.scoped("sd", |r| self.sd.restore(r));
+        r.scoped("plic", |r| self.plic.restore(r));
+        r.scoped("bridge", |r| self.bridge.restore(r));
+        self.irq_prev.clear();
+        for _ in 0..r.usize() {
+            if !r.ok() {
+                break;
+            }
+            let tile = r.u16();
+            let line = r.u16();
+            let level = r.bool();
+            self.irq_prev.insert((tile, line), level);
+        }
+        for q in &mut self.to_mesh {
+            q.restore(r);
+        }
+        self.memctl_retry.restore(r);
+        self.stats.restore(r);
     }
 }
 

@@ -4,7 +4,7 @@
 use smappic_axi::{Crossbar, HardShell};
 use smappic_coherence::Homing;
 use smappic_noc::NodeId;
-use smappic_sim::Cycle;
+use smappic_sim::{Cycle, SaveState, SnapReader, SnapWriter};
 
 use crate::bridge::NODE_WINDOW;
 use crate::config::Config;
@@ -191,5 +191,26 @@ impl Fpga {
     /// The first global node index hosted here.
     pub fn first_global_node(&self) -> usize {
         self.first_global_node
+    }
+}
+
+impl SaveState for Fpga {
+    fn save(&self, w: &mut SnapWriter) {
+        // Nodes keyed by *global* index, matching the metrics layer's
+        // `node{g}` naming, so divergence reports name the same component
+        // the dashboards do.
+        for (i, n) in self.nodes.iter().enumerate() {
+            w.scoped(&format!("node{}", self.first_global_node + i), |w| n.save(w));
+        }
+        w.scoped("xbar", |w| self.xbar.save(w));
+        w.scoped("shell", |w| self.shell.save(w));
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) {
+        for (i, n) in self.nodes.iter_mut().enumerate() {
+            r.scoped(&format!("node{}", self.first_global_node + i), |r| n.restore(r));
+        }
+        r.scoped("xbar", |r| self.xbar.restore(r));
+        r.scoped("shell", |r| self.shell.restore(r));
     }
 }

@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bisect;
 mod bridge;
 mod chipset;
 mod codec;
@@ -42,6 +43,7 @@ pub mod resources;
 mod uart;
 mod watchdog;
 
+pub use bisect::{bisect_first_divergence, BisectReport, Stepper};
 pub use bridge::{addr_dst, addr_src, bridge_addr, InterNodeBridge, NODE_WINDOW};
 pub use chipset::{Chipset, Clint};
 pub use codec::{decode_packet, encode_packet};

@@ -3,7 +3,7 @@
 use smappic_coherence::{Bpc, BpcConfig, Geometry, Homing, LlcConfig, LlcSlice};
 use smappic_mem::{Dram, DramConfig, MemController, MemControllerConfig};
 use smappic_noc::{Gid, Mesh, MeshConfig, NodeId, TileId};
-use smappic_sim::{Cycle, MetricsRegistry};
+use smappic_sim::{Cycle, MetricsRegistry, SaveState, SnapReader, SnapWriter};
 use smappic_tile::{Engine, IdleEngine, Tile};
 
 use crate::bridge::InterNodeBridge;
@@ -184,5 +184,23 @@ impl Node {
                 }
             }
         }
+    }
+}
+
+impl SaveState for Node {
+    fn save(&self, w: &mut SnapWriter) {
+        w.scoped("mesh", |w| self.mesh.save(w));
+        for (t, tile) in self.tiles.iter().enumerate() {
+            w.scoped(&format!("tile{t}"), |w| tile.save(w));
+        }
+        w.scoped("chipset", |w| self.chipset.save(w));
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) {
+        r.scoped("mesh", |r| self.mesh.restore(r));
+        for (t, tile) in self.tiles.iter_mut().enumerate() {
+            r.scoped(&format!("tile{t}"), |r| tile.restore(r));
+        }
+        r.scoped("chipset", |r| self.chipset.restore(r));
     }
 }

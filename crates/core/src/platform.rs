@@ -28,8 +28,8 @@ use smappic_coherence::Homing;
 use smappic_isa::Image;
 use smappic_noc::{line_of, Gid, NodeId, TileId};
 use smappic_sim::{
-    fault_streams, Cycle, FaultInjector, Histogram, MetricsRegistry, Stats, TraceBuf,
-    TraceEventKind, TraceSink,
+    fault_streams, fnv1a, Cycle, FaultInjector, Histogram, MetricsRegistry, SaveState, SnapError,
+    SnapReader, SnapWriter, Snapshot, Stats, TraceBuf, TraceEventKind, TraceSink,
 };
 use smappic_tile::{AddrMap, Engine};
 
@@ -692,6 +692,81 @@ impl Platform {
             self.now = start_now + spent;
         }
         went_idle
+    }
+
+    /// FNV-1a digest of this platform's configuration, embedded in every
+    /// snapshot. Restore refuses a snapshot whose digest differs: the
+    /// format stores only mutable state, so reading it back into a
+    /// platform with different capacities/topology would misalign.
+    ///
+    /// The digest hashes the `Debug` rendering of [`Config`], which covers
+    /// the shape, every Table 2 parameter, the homing policy, and the
+    /// fault plan.
+    pub fn config_digest(&self) -> u64 {
+        fnv1a(format!("{:?}", self.cfg).as_bytes())
+    }
+
+    /// Captures the platform's complete architectural state at the current
+    /// cycle into a named-section [`Snapshot`].
+    ///
+    /// Sections are keyed by the same topology-rooted dotted names the
+    /// metrics layer uses (`fpga0.node2.tile1.bpc`, `pcie0-1`, ...), so
+    /// two snapshots can be diffed with [`Snapshot::first_divergence`] and
+    /// the first differing component named. Host-side stepper diagnostics
+    /// live under the `host.` prefix, which that comparison skips.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut w = SnapWriter::new();
+        for (fi, f) in self.fpgas.iter().enumerate() {
+            w.scoped(&format!("fpga{fi}"), |w| f.save(w));
+        }
+        for ((a, b), link) in &self.links {
+            w.scoped(&format!("pcie{a}-{b}"), |w| link.save(w));
+        }
+        w.scoped("host.stepper", |w| {
+            self.host_epochs.save(w);
+            w.u64(self.epoch_count);
+        });
+        Snapshot::new(self.config_digest(), self.now, w)
+    }
+
+    /// Restores a snapshot taken from a platform with the same [`Config`],
+    /// leaving this platform bit-identical to the one that saved it: same
+    /// architectural state, same [`Platform::stats`], same
+    /// [`MetricsRegistry::architectural`] metrics, under both steppers.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SnapError`] encountered — config digest
+    /// mismatch, format version skew, a missing/trailing/unknown section,
+    /// or a component-level validation failure. On error the platform's
+    /// state is unspecified (possibly partially restored): rebuild it or
+    /// restore a valid snapshot before further use.
+    pub fn restore(&mut self, snap: &Snapshot) -> Result<(), SnapError> {
+        if snap.version != smappic_sim::SNAP_VERSION {
+            return Err(SnapError::VersionMismatch {
+                found: snap.version,
+                expected: smappic_sim::SNAP_VERSION,
+            });
+        }
+        let expected = self.config_digest();
+        if snap.config_digest != expected {
+            return Err(SnapError::ConfigMismatch { found: snap.config_digest, expected });
+        }
+        let mut r = SnapReader::new(snap);
+        for (fi, f) in self.fpgas.iter_mut().enumerate() {
+            r.scoped(&format!("fpga{fi}"), |r| f.restore(r));
+        }
+        for ((a, b), link) in &mut self.links {
+            r.scoped(&format!("pcie{a}-{b}"), |r| link.restore(r));
+        }
+        let (host_epochs, epoch_count) = (&mut self.host_epochs, &mut self.epoch_count);
+        r.scoped("host.stepper", |r| {
+            host_epochs.restore(r);
+            *epoch_count = r.u64();
+        });
+        r.finish()?;
+        self.now = snap.cycle;
+        Ok(())
     }
 
     /// Aggregated statistics across the whole platform.

@@ -51,6 +51,12 @@ impl Plic {
     /// Drives one source's input wire. A rising edge latches the pending
     /// bit; level-sensitive re-pend happens on completion while high.
     pub fn set_source_level(&mut self, src: u32, high: bool) {
+        // Sources beyond the supported range have no wire: ignore them
+        // rather than shifting out of range (panic in debug, aliasing a
+        // low source in release).
+        if src >= PLIC_SOURCES as u32 {
+            return;
+        }
         let bit = 1u32 << src;
         if high {
             if self.level & bit == 0 {
@@ -166,6 +172,43 @@ impl Plic {
     }
 }
 
+impl smappic_sim::SaveState for Plic {
+    fn save(&self, w: &mut smappic_sim::SnapWriter) {
+        for p in &self.priority {
+            w.u32(*p);
+        }
+        w.u32(self.level);
+        w.u32(self.pending);
+        w.u32(self.claimed);
+        w.usize(self.enable.len());
+        for e in &self.enable {
+            w.u32(*e);
+        }
+        for t in &self.threshold {
+            w.u32(*t);
+        }
+    }
+
+    fn restore(&mut self, r: &mut smappic_sim::SnapReader) {
+        for p in &mut self.priority {
+            *p = r.u32();
+        }
+        self.level = r.u32();
+        self.pending = r.u32();
+        self.claimed = r.u32();
+        if r.usize() != self.enable.len() {
+            r.corrupt("PLIC hart count does not match this node's configuration");
+            return;
+        }
+        for e in &mut self.enable {
+            *e = r.u32();
+        }
+        for t in &mut self.threshold {
+            *t = r.u32();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,5 +288,63 @@ mod tests {
         p.write(REG_ENABLE_BASE, u64::from(u32::MAX));
         p.set_source_level(0, true);
         assert!(!p.ext_level(0));
+    }
+
+    #[test]
+    fn out_of_range_sources_are_ignored() {
+        let mut p = armed_plic();
+        // src == 32 would previously compute `1u32 << 32`: a debug panic,
+        // and in release an alias of source 0. Both must be plain no-ops.
+        p.set_source_level(32, true);
+        p.set_source_level(33, true);
+        p.set_source_level(u32::MAX, true);
+        assert!(!p.ext_level(0), "phantom sources must not pend anything");
+        // The complete path ignores out-of-range ids too.
+        p.write(REG_CONTEXT_BASE + 4, 32);
+        p.write(REG_CONTEXT_BASE + 4, u64::from(u32::MAX));
+        assert!(!p.ext_level(0));
+        // And a real source still works afterwards.
+        p.set_source_level(PLIC_SRC_UART0, true);
+        assert!(p.ext_level(0));
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_claim_state() {
+        use smappic_sim::{SaveState, SnapReader, SnapWriter, Snapshot};
+
+        let mut p = armed_plic();
+        p.set_source_level(PLIC_SRC_UART0, true);
+        p.set_source_level(PLIC_SRC_UART1, true);
+        assert_eq!(p.read(REG_CONTEXT_BASE + 4), u64::from(PLIC_SRC_UART1)); // claim
+
+        let mut w = SnapWriter::new();
+        w.scoped("plic", |w| p.save(w));
+        let snap = Snapshot::new(1, 0, w);
+
+        let mut p2 = Plic::new(2);
+        let mut r = SnapReader::new(&snap);
+        r.scoped("plic", |r| p2.restore(r));
+        r.finish().expect("clean restore");
+
+        // The claimed source stays suppressed; the other stays pending.
+        assert_eq!(p2.read(REG_CONTEXT_BASE + 4), u64::from(PLIC_SRC_UART0));
+        // Completing the claimed source while its level is high re-pends.
+        p2.write(REG_CONTEXT_BASE + 4, u64::from(PLIC_SRC_UART1));
+        assert!(p2.ext_level(0));
+    }
+
+    #[test]
+    fn snapshot_with_wrong_hart_count_is_rejected() {
+        use smappic_sim::{SaveState, SnapReader, SnapWriter, Snapshot};
+
+        let p = Plic::new(2);
+        let mut w = SnapWriter::new();
+        w.scoped("plic", |w| p.save(w));
+        let snap = Snapshot::new(1, 0, w);
+
+        let mut p2 = Plic::new(3);
+        let mut r = SnapReader::new(&snap);
+        r.scoped("plic", |r| p2.restore(r));
+        assert!(r.finish().is_err());
     }
 }

@@ -6,7 +6,9 @@
 //! baud console and an "overclocked" ~1 Mbit/s data UART that carries a
 //! pppd network link (§4.4 uses it to put Nginx on the prototype).
 
-use smappic_sim::{Cycle, MetricsRegistry, Port, Ring, TrafficShaper};
+use smappic_sim::{
+    Cycle, MetricsRegistry, Port, Ring, SaveState, SnapReader, SnapWriter, TrafficShaper,
+};
 
 /// Guest-visible 16550 register offsets (4-byte register stride).
 const REG_DATA: u64 = 0x00; // RBR (read) / THR (write)
@@ -163,6 +165,32 @@ impl Uart16550 {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         }
+    }
+}
+
+impl SaveState for Uart16550 {
+    fn save(&self, w: &mut SnapWriter) {
+        // The baud rate (shaper timing) is configuration; bytes on the
+        // wire, the RX FIFO, and the host-side buffers are state.
+        self.tx.save(w);
+        self.rx.save(w);
+        self.rx_ready.save(w);
+        self.host.output.save(w);
+        self.host.input.save(w);
+        w.u32(self.ier);
+        w.u64(self.bytes_tx);
+        w.u64(self.bytes_rx);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) {
+        self.tx.restore(r);
+        self.rx.restore(r);
+        self.rx_ready.restore(r);
+        self.host.output.restore(r);
+        self.host.input.restore(r);
+        self.ier = r.u32();
+        self.bytes_tx = r.u64();
+        self.bytes_rx = r.u64();
     }
 }
 

@@ -179,6 +179,40 @@ impl CsrFile {
     }
 }
 
+impl smappic_sim::SaveState for CsrFile {
+    fn save(&self, w: &mut smappic_sim::SnapWriter) {
+        w.u64(self.mstatus);
+        w.u64(self.mie);
+        w.u64(self.mtvec);
+        w.u64(self.mscratch);
+        w.u64(self.mepc);
+        w.u64(self.mcause);
+        w.u64(self.mtval);
+        w.u64(self.mip);
+        w.u64(self.mhartid);
+        w.u64(self.mcycle);
+        w.u64(self.minstret);
+    }
+
+    fn restore(&mut self, r: &mut smappic_sim::SnapReader) {
+        self.mstatus = r.u64();
+        self.mie = r.u64();
+        self.mtvec = r.u64();
+        self.mscratch = r.u64();
+        self.mepc = r.u64();
+        self.mcause = r.u64();
+        self.mtval = r.u64();
+        self.mip = r.u64();
+        // mhartid is hardwired at construction; a snapshot taken on a
+        // different hart cannot restore here.
+        if r.u64() != self.mhartid {
+            r.corrupt("snapshot hart id does not match this hart");
+        }
+        self.mcycle = r.u64();
+        self.minstret = r.u64();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

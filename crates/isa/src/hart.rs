@@ -517,6 +517,27 @@ impl Hart {
     }
 }
 
+impl smappic_sim::SaveState for Hart {
+    fn save(&self, w: &mut smappic_sim::SnapWriter) {
+        for reg in &self.regs {
+            w.u64(*reg);
+        }
+        w.u64(self.pc);
+        self.csrs.save(w);
+        smappic_sim::Pack::pack(&self.reservation, w);
+    }
+
+    fn restore(&mut self, r: &mut smappic_sim::SnapReader) {
+        for reg in &mut self.regs {
+            *reg = r.u64();
+        }
+        self.regs[0] = 0; // x0 is hardwired
+        self.pc = r.u64();
+        self.csrs.restore(r);
+        self.reservation = <Option<(u64, u64)> as smappic_sim::Pack>::unpack(r);
+    }
+}
+
 fn mask(size: u8) -> u64 {
     match size {
         8 => u64::MAX,
@@ -821,5 +842,52 @@ mod tests {
         assert_eq!(h.pc(), 0x104, "ecall leaves pc for mepc");
         h.skip_instruction();
         assert_eq!(h.pc(), 0x108);
+    }
+
+    #[test]
+    fn snapshot_round_trips_architectural_state() {
+        use smappic_sim::{SaveState, SnapReader, SnapWriter, Snapshot};
+
+        let mut h = Hart::new(3, 0x1000);
+        for i in 1..32 {
+            h.set_reg(i, (i as u64) * 0x1111);
+        }
+        h.csrs_mut().write(Csr::Mtvec, 0x80);
+        h.csrs_mut().write(Csr::Mie, 1 << 7);
+        h.csrs_mut().mcycle = 555;
+        h.csrs_mut().minstret = 444;
+        h.finish_load(5, 0xAB, 8, false, true, 0x2000); // sets a reservation
+
+        let mut w = SnapWriter::new();
+        w.scoped("hart", |w| h.save(w));
+        let snap = Snapshot::new(1, 1, w);
+
+        let mut h2 = Hart::new(3, 0);
+        let mut r = SnapReader::new(&snap);
+        r.scoped("hart", |r| h2.restore(r));
+        r.finish().expect("clean restore");
+
+        assert_eq!(h2.pc(), h.pc());
+        for i in 0..32 {
+            assert_eq!(h2.reg(i), h.reg(i), "x{i}");
+        }
+        assert_eq!(h2.csrs().read(Csr::Mtvec), 0x80);
+        assert_eq!(h2.csrs().minstret, h.csrs().minstret);
+        assert_eq!(h2.reservation, h.reservation);
+    }
+
+    #[test]
+    fn snapshot_from_other_hart_is_rejected() {
+        use smappic_sim::{SaveState, SnapReader, SnapWriter, Snapshot};
+
+        let h = Hart::new(1, 0);
+        let mut w = SnapWriter::new();
+        w.scoped("hart", |w| h.save(w));
+        let snap = Snapshot::new(1, 1, w);
+
+        let mut other = Hart::new(2, 0);
+        let mut r = SnapReader::new(&snap);
+        r.scoped("hart", |r| other.restore(r));
+        assert!(r.finish().is_err(), "hart id mismatch must be flagged");
     }
 }

@@ -4,7 +4,10 @@ use std::collections::HashMap;
 
 use smappic_axi::{AxiRead, AxiReq, AxiResp, AxiWrite};
 use smappic_noc::{line_of, line_offset, Gid, LineData, Msg, Packet, LINE_BYTES};
-use smappic_sim::{Cycle, Histogram, MetricsRegistry, Port, Stats, TraceBuf, TraceEventKind};
+use smappic_sim::{
+    Cycle, Histogram, MetricsRegistry, Pack, Port, SaveState, SnapReader, SnapWriter, Stats,
+    TraceBuf, TraceEventKind,
+};
 
 use crate::dram::Dram;
 
@@ -262,6 +265,87 @@ impl MemController {
                 panic!("mismatched DRAM response {resp:?} for origin {origin:?}");
             }
         }
+    }
+}
+
+// Snapshot tags for enums are part of the format: append-only, never
+// renumbered.
+
+impl Pack for Origin {
+    fn pack(&self, w: &mut SnapWriter) {
+        match self {
+            Origin::Line { requester, line } => {
+                w.u8(0);
+                requester.pack(w);
+                w.u64(*line);
+            }
+            Origin::LineWb => w.u8(1),
+            Origin::NcLoad { requester, addr, size } => {
+                w.u8(2);
+                requester.pack(w);
+                w.u64(*addr);
+                w.u8(*size);
+            }
+            Origin::NcStore { requester, addr } => {
+                w.u8(3);
+                requester.pack(w);
+                w.u64(*addr);
+            }
+        }
+    }
+    fn unpack(r: &mut SnapReader) -> Self {
+        match r.u8() {
+            0 => Origin::Line { requester: Gid::unpack(r), line: r.u64() },
+            1 => Origin::LineWb,
+            2 => Origin::NcLoad { requester: Gid::unpack(r), addr: r.u64(), size: r.u8() },
+            3 => Origin::NcStore { requester: Gid::unpack(r), addr: r.u64() },
+            t => {
+                r.corrupt(&format!("unknown memctl origin tag {t}"));
+                Origin::LineWb
+            }
+        }
+    }
+}
+
+impl SaveState for MemController {
+    fn save(&self, w: &mut SnapWriter) {
+        w.scoped("dram", |w| self.dram.save(w));
+        self.noc_in.save(w);
+        self.noc_out.save(w);
+        let mut ids: Vec<u16> = self.inflight.keys().copied().collect();
+        ids.sort_unstable();
+        w.usize(ids.len());
+        for id in ids {
+            let f = &self.inflight[&id];
+            w.u16(id);
+            f.origin.pack(w);
+            w.u64(f.started);
+            w.u32(f.bytes);
+        }
+        w.u16(self.next_id);
+        self.stats.save(w);
+        self.latency.save(w);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) {
+        r.scoped("dram", |r| self.dram.restore(r));
+        self.noc_in.restore(r);
+        self.noc_out.restore(r);
+        self.inflight.clear();
+        let n = r.usize();
+        for _ in 0..n {
+            if !r.ok() {
+                break;
+            }
+            let id = r.u16();
+            let origin = Origin::unpack(r);
+            let started = r.u64();
+            let bytes = r.u32();
+            self.inflight.insert(id, Inflight { origin, started, bytes });
+        }
+        self.next_id = r.u16();
+        self.stats.restore(r);
+        self.latency.restore(r);
     }
 }
 

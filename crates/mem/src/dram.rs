@@ -3,7 +3,9 @@
 use std::collections::HashMap;
 
 use smappic_axi::{AxiReadResp, AxiReq, AxiResp, AxiWriteResp};
-use smappic_sim::{Cycle, FaultInjector, Stats, TrafficShaper};
+use smappic_sim::{
+    Cycle, FaultInjector, Pack, SaveState, SnapReader, SnapWriter, Stats, TrafficShaper,
+};
 
 const PAGE_SHIFT: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
@@ -192,6 +194,50 @@ impl Dram {
 impl Default for Dram {
     fn default() -> Self {
         Self::new(DramConfig::default())
+    }
+}
+
+impl SaveState for Dram {
+    fn save(&self, w: &mut SnapWriter) {
+        // Resident pages in sorted index order for deterministic bytes. The
+        // injector is a pure function of (seed, stream, seq) and lives in
+        // configuration; req_seq is the mutable cursor into its stream.
+        let mut idxs: Vec<u64> = self.pages.keys().copied().collect();
+        idxs.sort_unstable();
+        w.usize(idxs.len());
+        for idx in idxs {
+            w.u64(idx);
+            w.bytes(&self.pages[&idx][..]);
+        }
+        self.pending.save(w);
+        self.responses.pack(w);
+        w.u64(self.req_seq);
+        self.stats.save(w);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) {
+        self.pages.clear();
+        let n = r.usize();
+        for _ in 0..n {
+            if !r.ok() {
+                break;
+            }
+            let idx = r.u64();
+            let raw = r.bytes();
+            match <Box<[u8; PAGE_SIZE]>>::try_from(raw.into_boxed_slice()) {
+                Ok(page) => {
+                    self.pages.insert(idx, page);
+                }
+                Err(_) => {
+                    r.corrupt("DRAM page is not 4 KiB");
+                    break;
+                }
+            }
+        }
+        self.pending.restore(r);
+        self.responses = Vec::unpack(r);
+        self.req_seq = r.u64();
+        self.stats.restore(r);
     }
 }
 

@@ -50,6 +50,7 @@ mod mesh;
 mod packet;
 mod protocol;
 mod router;
+mod snap_impls;
 mod types;
 
 pub use mesh::{Mesh, MeshConfig};

@@ -1,8 +1,8 @@
 //! The node-level mesh: routers, buffers, arbitration, and the edge port.
 
 use smappic_sim::{
-    CounterSet, Cycle, FaultInjector, Histogram, MetricsRegistry, Port as FlowPort, Stats,
-    TraceBuf, TraceEventKind,
+    CounterSet, Cycle, FaultInjector, Histogram, MetricsRegistry, Port as FlowPort, SaveState,
+    SnapReader, SnapWriter, Stats, TraceBuf, TraceEventKind,
 };
 
 use crate::packet::Packet;
@@ -437,6 +437,75 @@ impl Mesh {
                 self.routers[nb].occupancy += 1;
             }
             return;
+        }
+    }
+}
+
+impl SaveState for Mesh {
+    fn save(&self, w: &mut SnapWriter) {
+        self.counters.save(w);
+        self.hops.save(w);
+        self.edge_out.save(w);
+        for rr in &self.eject_rr {
+            w.usize(*rr);
+        }
+        for (t, qs) in self.eject_q.iter().enumerate() {
+            w.scoped(&format!("eject{t}"), |w| {
+                for q in qs {
+                    q.save(w);
+                }
+            });
+        }
+        for (ri, r) in self.routers.iter().enumerate() {
+            w.scoped(&format!("r{ri}"), |w| {
+                for pb in &r.bufs {
+                    for b in pb {
+                        b.q.save(w);
+                    }
+                }
+                for busy in &r.busy_until {
+                    w.u64(*busy);
+                }
+                for rr in &r.rr {
+                    w.usize(*rr);
+                }
+            });
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) {
+        self.counters.restore(r);
+        self.hops.restore(r);
+        self.edge_out.restore(r);
+        for rr in &mut self.eject_rr {
+            *rr = r.usize();
+        }
+        for (t, qs) in self.eject_q.iter_mut().enumerate() {
+            r.scoped(&format!("eject{t}"), |r| {
+                for q in qs {
+                    q.restore(r);
+                }
+            });
+        }
+        for (ri, rt) in self.routers.iter_mut().enumerate() {
+            r.scoped(&format!("r{ri}"), |r| {
+                let mut occupancy = 0;
+                for pb in &mut rt.bufs {
+                    for b in pb {
+                        b.q.restore(r);
+                        occupancy += b.q.len();
+                    }
+                }
+                for busy in &mut rt.busy_until {
+                    *busy = r.u64();
+                }
+                for rr in &mut rt.rr {
+                    *rr = r.usize();
+                }
+                // Occupancy is the buffered-packet total, derivable from the
+                // restored queues.
+                rt.occupancy = occupancy;
+            });
         }
     }
 }

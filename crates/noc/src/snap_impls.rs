@@ -1,0 +1,361 @@
+//! [`Pack`] impls for the NoC vocabulary types, so generic queue containers
+//! (`Port`, `Ring`, `TrafficShaper`) can serialize packets in flight.
+//!
+//! Enum variants are tagged with explicit stable `u8` discriminants in
+//! declaration order — the tag is part of the snapshot format, so variants
+//! must never be renumbered, only appended.
+
+use smappic_sim::{Pack, SnapReader, SnapWriter};
+
+use crate::packet::Packet;
+use crate::protocol::{AmoOp, Msg};
+use crate::types::{Elem, Gid, LineData, NodeId, VirtNet, LINE_BYTES};
+
+impl Pack for NodeId {
+    fn pack(&self, w: &mut SnapWriter) {
+        w.u16(self.0);
+    }
+    fn unpack(r: &mut SnapReader) -> Self {
+        NodeId(r.u16())
+    }
+}
+
+impl Pack for Elem {
+    fn pack(&self, w: &mut SnapWriter) {
+        match self {
+            Elem::Tile(t) => {
+                w.u8(0);
+                w.u16(*t);
+            }
+            Elem::Chipset => w.u8(1),
+        }
+    }
+    fn unpack(r: &mut SnapReader) -> Self {
+        match r.u8() {
+            0 => Elem::Tile(r.u16()),
+            1 => Elem::Chipset,
+            t => {
+                r.corrupt(&format!("unknown Elem tag {t}"));
+                Elem::Chipset
+            }
+        }
+    }
+}
+
+impl Pack for Gid {
+    fn pack(&self, w: &mut SnapWriter) {
+        self.node.pack(w);
+        self.elem.pack(w);
+    }
+    fn unpack(r: &mut SnapReader) -> Self {
+        Gid { node: NodeId::unpack(r), elem: Elem::unpack(r) }
+    }
+}
+
+impl Pack for VirtNet {
+    fn pack(&self, w: &mut SnapWriter) {
+        w.u8(self.index() as u8);
+    }
+    fn unpack(r: &mut SnapReader) -> Self {
+        match r.u8() {
+            0 => VirtNet::Req,
+            1 => VirtNet::Resp,
+            2 => VirtNet::Mem,
+            t => {
+                r.corrupt(&format!("unknown VirtNet tag {t}"));
+                VirtNet::Req
+            }
+        }
+    }
+}
+
+impl Pack for LineData {
+    fn pack(&self, w: &mut SnapWriter) {
+        w.bytes(&self.0);
+    }
+    fn unpack(r: &mut SnapReader) -> Self {
+        let raw = r.bytes();
+        match <[u8; LINE_BYTES]>::try_from(raw.as_slice()) {
+            Ok(bytes) => LineData(bytes),
+            Err(_) => {
+                r.corrupt("cache line is not 64 bytes");
+                LineData::zeroed()
+            }
+        }
+    }
+}
+
+impl Pack for AmoOp {
+    fn pack(&self, w: &mut SnapWriter) {
+        let tag: u8 = match self {
+            AmoOp::Swap => 0,
+            AmoOp::Add => 1,
+            AmoOp::And => 2,
+            AmoOp::Or => 3,
+            AmoOp::Xor => 4,
+            AmoOp::Max => 5,
+            AmoOp::Min => 6,
+            AmoOp::MaxU => 7,
+            AmoOp::MinU => 8,
+            AmoOp::Cas => 9,
+        };
+        w.u8(tag);
+    }
+    fn unpack(r: &mut SnapReader) -> Self {
+        match r.u8() {
+            0 => AmoOp::Swap,
+            1 => AmoOp::Add,
+            2 => AmoOp::And,
+            3 => AmoOp::Or,
+            4 => AmoOp::Xor,
+            5 => AmoOp::Max,
+            6 => AmoOp::Min,
+            7 => AmoOp::MaxU,
+            8 => AmoOp::MinU,
+            9 => AmoOp::Cas,
+            t => {
+                r.corrupt(&format!("unknown AmoOp tag {t}"));
+                AmoOp::Swap
+            }
+        }
+    }
+}
+
+impl Pack for Msg {
+    fn pack(&self, w: &mut SnapWriter) {
+        match self {
+            Msg::ReqS { line } => {
+                w.u8(0);
+                w.u64(*line);
+            }
+            Msg::ReqM { line } => {
+                w.u8(1);
+                w.u64(*line);
+            }
+            Msg::Amo { addr, size, op, val, expected } => {
+                w.u8(2);
+                w.u64(*addr);
+                w.u8(*size);
+                op.pack(w);
+                w.u64(*val);
+                w.u64(*expected);
+            }
+            Msg::NcLoad { addr, size } => {
+                w.u8(3);
+                w.u64(*addr);
+                w.u8(*size);
+            }
+            Msg::NcStore { addr, size, data } => {
+                w.u8(4);
+                w.u64(*addr);
+                w.u8(*size);
+                w.u64(*data);
+            }
+            Msg::Data { line, data, excl } => {
+                w.u8(5);
+                w.u64(*line);
+                data.pack(w);
+                w.bool(*excl);
+            }
+            Msg::UpgradeAck { line } => {
+                w.u8(6);
+                w.u64(*line);
+            }
+            Msg::Inv { line } => {
+                w.u8(7);
+                w.u64(*line);
+            }
+            Msg::Recall { line } => {
+                w.u8(8);
+                w.u64(*line);
+            }
+            Msg::Downgrade { line } => {
+                w.u8(9);
+                w.u64(*line);
+            }
+            Msg::AmoResp { addr, old } => {
+                w.u8(10);
+                w.u64(*addr);
+                w.u64(*old);
+            }
+            Msg::NcData { addr, data } => {
+                w.u8(11);
+                w.u64(*addr);
+                w.u64(*data);
+            }
+            Msg::NcAck { addr } => {
+                w.u8(12);
+                w.u64(*addr);
+            }
+            Msg::Irq { line_no, level } => {
+                w.u8(13);
+                w.u16(*line_no);
+                w.bool(*level);
+            }
+            Msg::WbData { line, data } => {
+                w.u8(14);
+                w.u64(*line);
+                data.pack(w);
+            }
+            Msg::WbClean { line } => {
+                w.u8(15);
+                w.u64(*line);
+            }
+            Msg::InvAck { line } => {
+                w.u8(16);
+                w.u64(*line);
+            }
+            Msg::RecallNack { line } => {
+                w.u8(17);
+                w.u64(*line);
+            }
+            Msg::RecallData { line, data, dirty } => {
+                w.u8(18);
+                w.u64(*line);
+                data.pack(w);
+                w.bool(*dirty);
+            }
+            Msg::MemRd { line } => {
+                w.u8(19);
+                w.u64(*line);
+            }
+            Msg::MemWr { line, data } => {
+                w.u8(20);
+                w.u64(*line);
+                data.pack(w);
+            }
+            Msg::MemData { line, data } => {
+                w.u8(21);
+                w.u64(*line);
+                data.pack(w);
+            }
+        }
+    }
+
+    fn unpack(r: &mut SnapReader) -> Self {
+        match r.u8() {
+            0 => Msg::ReqS { line: r.u64() },
+            1 => Msg::ReqM { line: r.u64() },
+            2 => Msg::Amo {
+                addr: r.u64(),
+                size: r.u8(),
+                op: AmoOp::unpack(r),
+                val: r.u64(),
+                expected: r.u64(),
+            },
+            3 => Msg::NcLoad { addr: r.u64(), size: r.u8() },
+            4 => Msg::NcStore { addr: r.u64(), size: r.u8(), data: r.u64() },
+            5 => Msg::Data { line: r.u64(), data: LineData::unpack(r), excl: r.bool() },
+            6 => Msg::UpgradeAck { line: r.u64() },
+            7 => Msg::Inv { line: r.u64() },
+            8 => Msg::Recall { line: r.u64() },
+            9 => Msg::Downgrade { line: r.u64() },
+            10 => Msg::AmoResp { addr: r.u64(), old: r.u64() },
+            11 => Msg::NcData { addr: r.u64(), data: r.u64() },
+            12 => Msg::NcAck { addr: r.u64() },
+            13 => Msg::Irq { line_no: r.u16(), level: r.bool() },
+            14 => Msg::WbData { line: r.u64(), data: LineData::unpack(r) },
+            15 => Msg::WbClean { line: r.u64() },
+            16 => Msg::InvAck { line: r.u64() },
+            17 => Msg::RecallNack { line: r.u64() },
+            18 => Msg::RecallData { line: r.u64(), data: LineData::unpack(r), dirty: r.bool() },
+            19 => Msg::MemRd { line: r.u64() },
+            20 => Msg::MemWr { line: r.u64(), data: LineData::unpack(r) },
+            21 => Msg::MemData { line: r.u64(), data: LineData::unpack(r) },
+            t => {
+                r.corrupt(&format!("unknown Msg tag {t}"));
+                Msg::ReqS { line: 0 }
+            }
+        }
+    }
+}
+
+impl Pack for Packet {
+    fn pack(&self, w: &mut SnapWriter) {
+        self.dst.pack(w);
+        self.src.pack(w);
+        self.vn.pack(w);
+        self.msg.pack(w);
+    }
+    fn unpack(r: &mut SnapReader) -> Self {
+        Packet {
+            dst: Gid::unpack(r),
+            src: Gid::unpack(r),
+            vn: VirtNet::unpack(r),
+            msg: Msg::unpack(r),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smappic_sim::Snapshot;
+
+    #[test]
+    fn packet_round_trips_through_pack() {
+        let pkts = vec![
+            Packet::on_canonical_vn(
+                Gid::tile(NodeId(2), 5),
+                Gid::chipset(NodeId(1)),
+                Msg::Data { line: 0x1234_5640, data: LineData([7; LINE_BYTES]), excl: true },
+            ),
+            Packet::on_canonical_vn(
+                Gid::chipset(NodeId(0)),
+                Gid::tile(NodeId(0), 0),
+                Msg::Amo { addr: 0x99, size: 4, op: AmoOp::Cas, val: 1, expected: 2 },
+            ),
+            Packet::on_canonical_vn(
+                Gid::tile(NodeId(0), 1),
+                Gid::chipset(NodeId(0)),
+                Msg::Irq { line_no: 11, level: true },
+            ),
+        ];
+        let mut w = SnapWriter::new();
+        w.scoped("pkts", |w| pkts.pack(w));
+        let snap = Snapshot::new(0, 0, w);
+        let mut r = SnapReader::new(&snap);
+        let mut got = Vec::new();
+        r.scoped("pkts", |r| got = Vec::<Packet>::unpack(r));
+        r.finish().expect("clean");
+        assert_eq!(got, pkts);
+    }
+
+    #[test]
+    fn every_msg_variant_round_trips() {
+        let line = 0x40u64;
+        let data = LineData([0xAB; LINE_BYTES]);
+        let msgs = vec![
+            Msg::ReqS { line },
+            Msg::ReqM { line },
+            Msg::Amo { addr: 1, size: 8, op: AmoOp::MinU, val: 2, expected: 3 },
+            Msg::NcLoad { addr: 4, size: 2 },
+            Msg::NcStore { addr: 5, size: 1, data: 6 },
+            Msg::Data { line, data, excl: false },
+            Msg::UpgradeAck { line },
+            Msg::Inv { line },
+            Msg::Recall { line },
+            Msg::Downgrade { line },
+            Msg::AmoResp { addr: 7, old: 8 },
+            Msg::NcData { addr: 9, data: 10 },
+            Msg::NcAck { addr: 11 },
+            Msg::Irq { line_no: 3, level: false },
+            Msg::WbData { line, data },
+            Msg::WbClean { line },
+            Msg::InvAck { line },
+            Msg::RecallNack { line },
+            Msg::RecallData { line, data, dirty: true },
+            Msg::MemRd { line },
+            Msg::MemWr { line, data },
+            Msg::MemData { line, data },
+        ];
+        let mut w = SnapWriter::new();
+        w.scoped("msgs", |w| msgs.pack(w));
+        let snap = Snapshot::new(0, 0, w);
+        let mut r = SnapReader::new(&snap);
+        let mut got = Vec::new();
+        r.scoped("msgs", |r| got = Vec::<Msg>::unpack(r));
+        r.finish().expect("clean");
+        assert_eq!(got, msgs);
+    }
+}

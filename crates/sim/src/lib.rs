@@ -57,6 +57,7 @@ mod port;
 mod queue;
 mod rng;
 mod shaper;
+mod snap;
 mod stats;
 
 pub use fault::{
@@ -68,6 +69,10 @@ pub use port::{DelayPort, Port, PortMeter, Ring, ELASTIC_PREALLOC_CAP};
 pub use queue::{DelayLine, Fifo};
 pub use rng::SimRng;
 pub use shaper::TrafficShaper;
+pub use snap::{
+    fnv1a, Pack, SaveState, SnapError, SnapReader, SnapWriter, Snapshot, HOST_SECTION_PREFIX,
+    SNAP_VERSION,
+};
 pub use stats::{CounterSet, Histogram, Stats};
 
 /// A simulation timestamp in clock cycles of the component's own clock domain.

@@ -35,7 +35,10 @@
 //! cap keeps platforms with thousands of ports from paying for depth they
 //! never reach, while growth keeps elastic semantics exact.
 
-use crate::{Cycle, FaultInjector, Histogram, MetricsRegistry, TraceBuf, TraceEventKind};
+use crate::{
+    Cycle, FaultInjector, Histogram, MetricsRegistry, Pack, SaveState, SnapReader, SnapWriter,
+    TraceBuf, TraceEventKind,
+};
 
 /// Preallocation cap for elastic (unbounded-ish) ports and rings.
 ///
@@ -623,6 +626,82 @@ impl<T> DelayPort<T> {
     /// succeed, or [`None`] when the port is empty.
     pub fn next_event_after(&self, now: Cycle) -> Option<Cycle> {
         self.next_ready_at().map(|r| r.max(now + 1))
+    }
+}
+
+impl<T: Pack> SaveState for Ring<T> {
+    fn save(&self, w: &mut SnapWriter) {
+        w.usize(self.len());
+        for item in self.iter() {
+            item.pack(w);
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) {
+        self.buf.clear();
+        let n = r.usize();
+        for _ in 0..n {
+            if !r.ok() {
+                break;
+            }
+            self.buf.push_back(T::unpack(r));
+        }
+    }
+}
+
+impl SaveState for PortMeter {
+    fn save(&self, w: &mut SnapWriter) {
+        // The name is configuration (it comes from the component's
+        // constructor), so only the counters and histogram are state.
+        w.u64(self.pushes);
+        w.u64(self.pops);
+        w.u64(self.stalls);
+        w.u64(self.peak);
+        self.occupancy.save(w);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) {
+        self.pushes = r.u64();
+        self.pops = r.u64();
+        self.stalls = r.u64();
+        self.peak = r.u64();
+        self.occupancy.restore(r);
+    }
+}
+
+impl<T: Pack> SaveState for Port<T> {
+    fn save(&self, w: &mut SnapWriter) {
+        self.ring.save(w);
+        self.meter.save(w);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) {
+        // Capacity is configuration; credits are derived from it by the
+        // `credits + len == capacity` invariant once the ring is restored.
+        let cap = match self.bound {
+            Bound::Credits(c) => Some(c + self.ring.len()),
+            Bound::Elastic => None,
+        };
+        self.ring.restore(r);
+        if let Some(cap) = cap {
+            if self.ring.len() > cap {
+                r.corrupt("restored port exceeds its configured capacity");
+            }
+            self.bound = Bound::Credits(cap.saturating_sub(self.ring.len()));
+        }
+        self.meter.restore(r);
+    }
+}
+
+impl<T: Pack> SaveState for DelayPort<T> {
+    fn save(&self, w: &mut SnapWriter) {
+        self.ring.save(w);
+        self.meter.save(w);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) {
+        self.ring.restore(r);
+        self.meter.restore(r);
     }
 }
 

@@ -80,6 +80,20 @@ impl Default for SimRng {
     }
 }
 
+impl crate::SaveState for SimRng {
+    fn save(&self, w: &mut crate::SnapWriter) {
+        w.u64(self.state);
+    }
+
+    fn restore(&mut self, r: &mut crate::SnapReader) {
+        let s = r.u64();
+        if s == 0 {
+            r.corrupt("RNG state cannot be zero (xorshift fixed point)");
+        }
+        self.state = if s == 0 { 0x9E37_79B9_7F4A_7C15 } else { s };
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

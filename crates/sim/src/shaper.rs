@@ -3,7 +3,7 @@
 
 use std::collections::VecDeque;
 
-use crate::Cycle;
+use crate::{Cycle, Pack, SaveState, SnapReader, SnapWriter};
 
 /// A combined latency + bandwidth model for an off-chip interface.
 ///
@@ -146,6 +146,36 @@ impl<T> TrafficShaper<T> {
     /// The fixed latency component in cycles.
     pub fn latency(&self) -> Cycle {
         self.latency
+    }
+}
+
+impl<T: Pack> SaveState for TrafficShaper<T> {
+    fn save(&self, w: &mut SnapWriter) {
+        // Bandwidth and latency are configuration; the link's drain point,
+        // in-flight items (with exact delivery cycles), and byte counter
+        // are the mutable state.
+        w.u128(self.link_free_scaled);
+        w.u64(self.bytes_sent);
+        w.usize(self.inflight.len());
+        for (ready, item) in &self.inflight {
+            w.u64(*ready);
+            item.pack(w);
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) {
+        self.link_free_scaled = r.u128();
+        self.bytes_sent = r.u64();
+        self.inflight.clear();
+        let n = r.usize();
+        for _ in 0..n {
+            if !r.ok() {
+                break;
+            }
+            let ready = r.u64();
+            let item = T::unpack(r);
+            self.inflight.push_back((ready, item));
+        }
     }
 }
 

@@ -1,0 +1,939 @@
+//! Deterministic snapshot/restore: the `SaveState` contract, the versioned
+//! length-prefixed binary format, and the [`Snapshot`] container.
+//!
+//! SMAPPIC experiments pay minutes of simulated boot per run (§4.1 of the
+//! paper); checkpointing amortizes that across every future workload, and a
+//! pair of snapshots is the unit of comparison for the first-divergence
+//! bisector. The design goals, in order:
+//!
+//! 1. **Bit-exactness.** A restored platform must be indistinguishable from
+//!    one that never stopped: same architectural state, same `stats()`,
+//!    same `architectural()` metrics, under both steppers.
+//! 2. **Attributability.** State is captured into *named sections*, one per
+//!    component, keyed by the same stable topology-rooted dotted names the
+//!    metrics layer uses (`fpga0.node0.tile1.bpc`). Two snapshots can be
+//!    diffed section-by-section and the first differing component named.
+//! 3. **Versioned evolution.** The container carries a format version and a
+//!    config digest; a reader rejects mismatches with a typed
+//!    [`SnapError`], and every section is checked for *exact* consumption
+//!    on scope exit — unknown trailing fields are an error, never UB.
+//!
+//! # The contract
+//!
+//! A component implements [`SaveState`] by writing its **mutable
+//! architectural state** — queue contents, cache lines, cursors, counters —
+//! in a fixed order, and reading it back in the same order. Configuration
+//! (capacities, latencies, topology) is *not* serialized: restore targets a
+//! platform freshly built from the same `Config`, and the config digest in
+//! the container enforces that. Collections with nondeterministic iteration
+//! order (`HashMap`) must be serialized in sorted key order so identical
+//! states produce identical bytes.
+//!
+//! Host-side stepper diagnostics (epoch histograms, trace buffers) either
+//! stay out of the snapshot or live in sections under the `host.` prefix,
+//! which [`Snapshot::first_divergence`] skips — the serial and
+//! epoch-parallel steppers legitimately differ there while agreeing on
+//! every architectural bit.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Current snapshot container format version.
+pub const SNAP_VERSION: u32 = 1;
+
+/// Container magic: the first eight bytes of every serialized snapshot.
+const SNAP_MAGIC: [u8; 8] = *b"SMAPSNAP";
+
+/// Section-name prefix for host-side (non-architectural) stepper state.
+///
+/// Sections under this prefix are restored normally but ignored by
+/// [`Snapshot::first_divergence`]: the serial and epoch-parallel steppers
+/// differ here by construction (epoch widths, epoch counts) while agreeing
+/// on all architectural state.
+pub const HOST_SECTION_PREFIX: &str = "host.";
+
+/// A typed snapshot format error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapError {
+    /// The byte stream does not start with the snapshot magic.
+    BadMagic,
+    /// The container was written by a different format version.
+    VersionMismatch {
+        /// Version found in the container.
+        found: u32,
+        /// Version this build understands.
+        expected: u32,
+    },
+    /// The snapshot was taken from a platform with a different config.
+    ConfigMismatch {
+        /// Digest found in the container.
+        found: u64,
+        /// Digest of the restoring platform's config.
+        expected: u64,
+    },
+    /// A component tried to read a section the snapshot does not contain.
+    MissingSection(String),
+    /// A section held more bytes than the restoring component consumed —
+    /// the format-evolution guard: unknown trailing fields are rejected.
+    TrailingBytes(String),
+    /// A component tried to read past the end of its section.
+    Truncated(String),
+    /// The snapshot contains a section no component consumed.
+    UnexpectedSection(String),
+    /// The byte stream is structurally malformed.
+    Corrupt(String),
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapError::BadMagic => write!(f, "not a SMAPPIC snapshot (bad magic)"),
+            SnapError::VersionMismatch { found, expected } => {
+                write!(f, "snapshot format v{found}, this build reads v{expected}")
+            }
+            SnapError::ConfigMismatch { found, expected } => {
+                write!(f, "snapshot config digest {found:#018x} != platform {expected:#018x}")
+            }
+            SnapError::MissingSection(s) => write!(f, "snapshot missing section '{s}'"),
+            SnapError::TrailingBytes(s) => {
+                write!(f, "section '{s}' has trailing bytes this build does not understand")
+            }
+            SnapError::Truncated(s) => write!(f, "section '{s}' is truncated"),
+            SnapError::UnexpectedSection(s) => {
+                write!(f, "snapshot has unexpected section '{s}'")
+            }
+            SnapError::Corrupt(s) => write!(f, "snapshot is corrupt: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+/// The save/restore contract every stateful architectural component
+/// implements.
+///
+/// `save` writes the component's mutable state into the writer's current
+/// scope; `restore` reads it back in the same order. Both sides use the
+/// same scope structure, so the section layout is self-describing and two
+/// snapshots of the same config are comparable section-by-section.
+pub trait SaveState {
+    /// Serializes mutable architectural state into `w`'s current scope.
+    fn save(&self, w: &mut SnapWriter);
+    /// Restores state from `r`'s current scope, in `save` order.
+    ///
+    /// On format errors the reader records the first error and keeps
+    /// returning defaults, so implementations stay straight-line; callers
+    /// check [`SnapReader::finish`] once at the end.
+    fn restore(&mut self, r: &mut SnapReader);
+}
+
+/// Serialization for *values* (queue payloads, map entries) as opposed to
+/// *components*: packs into the writer's current scope without opening one.
+///
+/// Containers like `Port<T>` and `TrafficShaper<T>` serialize their
+/// contents generically through this trait.
+pub trait Pack: Sized {
+    /// Writes this value into the current scope.
+    fn pack(&self, w: &mut SnapWriter);
+    /// Reads a value back in `pack` order.
+    fn unpack(r: &mut SnapReader) -> Self;
+}
+
+/// Builds the named-section byte buffers of a snapshot.
+///
+/// Scopes nest: [`SnapWriter::scoped`] pushes a path component, and
+/// primitive writes land in the byte buffer of the *innermost* open scope.
+/// Each distinct dotted path owns one section; sections are recorded in
+/// first-open order, which is the platform's deterministic walk order.
+/// Opening a scope registers its section even when nothing is written —
+/// empty sections keep two snapshots structurally comparable.
+#[derive(Debug, Default)]
+pub struct SnapWriter {
+    path: Vec<String>,
+    order: Vec<String>,
+    bufs: HashMap<String, Vec<u8>>,
+}
+
+impl SnapWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn joined(&self) -> String {
+        self.path.join(".")
+    }
+
+    fn ensure_section(&mut self) -> &mut Vec<u8> {
+        let key = self.joined();
+        if !self.bufs.contains_key(&key) {
+            self.order.push(key.clone());
+            self.bufs.insert(key.clone(), Vec::new());
+        }
+        self.bufs.get_mut(&key).expect("section just ensured")
+    }
+
+    /// Runs `f` with `name` pushed onto the scope path. The section for the
+    /// new path is created immediately so it exists even when empty.
+    pub fn scoped(&mut self, name: &str, f: impl FnOnce(&mut Self)) {
+        self.path.push(name.to_owned());
+        self.ensure_section();
+        f(self);
+        self.path.pop();
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.ensure_section().push(v);
+    }
+
+    /// Writes a little-endian u16.
+    pub fn u16(&mut self, v: u16) {
+        self.ensure_section().extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.ensure_section().extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian u64.
+    pub fn u64(&mut self, v: u64) {
+        self.ensure_section().extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian u128.
+    pub fn u128(&mut self, v: u128) {
+        self.ensure_section().extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `usize` as a u64 (platform-independent width).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Writes a bool as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    /// Writes a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) {
+        let len = u32::try_from(v.len()).expect("snapshot byte field exceeds u32::MAX");
+        self.u32(len);
+        self.ensure_section().extend_from_slice(v);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    /// Finishes the writer, returning `(path, bytes)` sections in
+    /// first-open order.
+    pub fn into_sections(mut self) -> Vec<(String, Vec<u8>)> {
+        self.order
+            .drain(..)
+            .map(|k| {
+                let buf = self.bufs.remove(&k).expect("ordered section exists");
+                (k, buf)
+            })
+            .collect()
+    }
+}
+
+/// Reads named sections back in [`SnapWriter`] order.
+///
+/// The reader records the **first** format error it hits and returns
+/// defaults (zero/empty) for every read after that, so `restore`
+/// implementations stay straight-line; the caller checks
+/// [`SnapReader::finish`] once after the full restore walk. On every scope
+/// exit the section must be *exactly* consumed — trailing bytes are a
+/// [`SnapError::TrailingBytes`], which is how unknown future fields are
+/// rejected instead of silently misread.
+#[derive(Debug)]
+pub struct SnapReader<'a> {
+    path: Vec<String>,
+    sections: HashMap<&'a str, &'a [u8]>,
+    cursors: HashMap<String, usize>,
+    error: Option<SnapError>,
+}
+
+impl<'a> SnapReader<'a> {
+    /// Creates a reader over a snapshot's sections.
+    pub fn new(snapshot: &'a Snapshot) -> Self {
+        let mut sections = HashMap::new();
+        for (name, bytes) in &snapshot.sections {
+            sections.insert(name.as_str(), bytes.as_slice());
+        }
+        Self { path: Vec::new(), sections, cursors: HashMap::new(), error: None }
+    }
+
+    fn joined(&self) -> String {
+        self.path.join(".")
+    }
+
+    fn fail(&mut self, e: SnapError) {
+        if self.error.is_none() {
+            self.error = Some(e);
+        }
+    }
+
+    /// True while no format error has been recorded. Restore loops driven
+    /// by a deserialized count should bail when this goes false, so a
+    /// corrupt length cannot spin them.
+    pub fn ok(&self) -> bool {
+        self.error.is_none()
+    }
+
+    /// Records a [`SnapError::Corrupt`] from a component's own validation
+    /// (e.g. a restored queue exceeding its configured capacity).
+    pub fn corrupt(&mut self, msg: &str) {
+        let path = self.joined();
+        self.fail(SnapError::Corrupt(format!("{msg} in '{path}'")));
+    }
+
+    /// Runs `f` with `name` pushed onto the scope path, then verifies the
+    /// section was consumed exactly.
+    pub fn scoped(&mut self, name: &str, f: impl FnOnce(&mut Self)) {
+        self.path.push(name.to_owned());
+        let key = self.joined();
+        match self.sections.get(key.as_str()) {
+            Some(_) => {
+                self.cursors.entry(key.clone()).or_insert(0);
+            }
+            None => self.fail(SnapError::MissingSection(key.clone())),
+        }
+        f(self);
+        if self.error.is_none() {
+            if let (Some(data), Some(cur)) =
+                (self.sections.get(key.as_str()), self.cursors.get(&key))
+            {
+                if *cur != data.len() {
+                    self.fail(SnapError::TrailingBytes(key.clone()));
+                }
+            }
+        }
+        self.path.pop();
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.error.is_some() {
+            return None;
+        }
+        let key = self.joined();
+        let Some(data) = self.sections.get(key.as_str()).copied() else {
+            self.fail(SnapError::MissingSection(key));
+            return None;
+        };
+        let cur = *self.cursors.entry(key.clone()).or_insert(0);
+        if cur + n > data.len() {
+            self.fail(SnapError::Truncated(key));
+            return None;
+        }
+        *self.cursors.get_mut(&key).expect("cursor just ensured") = cur + n;
+        Some(&data[cur..cur + n])
+    }
+
+    /// Reads one byte (0 after an error).
+    pub fn u8(&mut self) -> u8 {
+        self.take(1).map_or(0, |b| b[0])
+    }
+
+    /// Reads a little-endian u16 (0 after an error).
+    pub fn u16(&mut self) -> u16 {
+        self.take(2).map_or(0, |b| u16::from_le_bytes(b.try_into().expect("2 bytes")))
+    }
+
+    /// Reads a little-endian u32 (0 after an error).
+    pub fn u32(&mut self) -> u32 {
+        self.take(4).map_or(0, |b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian u64 (0 after an error).
+    pub fn u64(&mut self) -> u64 {
+        self.take(8).map_or(0, |b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a little-endian u128 (0 after an error).
+    pub fn u128(&mut self) -> u128 {
+        self.take(16).map_or(0, |b| u128::from_le_bytes(b.try_into().expect("16 bytes")))
+    }
+
+    /// Reads a `usize` written by [`SnapWriter::usize`].
+    pub fn usize(&mut self) -> usize {
+        usize::try_from(self.u64()).unwrap_or_else(|_| {
+            self.fail(SnapError::Corrupt(format!("usize overflow in '{}'", self.joined())));
+            0
+        })
+    }
+
+    /// Reads a bool; any byte other than 0/1 is a corruption error.
+    pub fn bool(&mut self) -> bool {
+        match self.u8() {
+            0 => false,
+            1 => true,
+            b => {
+                self.fail(SnapError::Corrupt(format!("bool byte {b:#04x} in '{}'", self.joined())));
+                false
+            }
+        }
+    }
+
+    /// Reads a length-prefixed byte string (empty after an error).
+    pub fn bytes(&mut self) -> Vec<u8> {
+        let len = self.u32() as usize;
+        self.take(len).map_or_else(Vec::new, <[u8]>::to_vec)
+    }
+
+    /// Reads a length-prefixed UTF-8 string (empty after an error).
+    pub fn str(&mut self) -> String {
+        let raw = self.bytes();
+        String::from_utf8(raw).unwrap_or_else(|_| {
+            self.fail(SnapError::Corrupt(format!("non-UTF-8 string in '{}'", self.joined())));
+            String::new()
+        })
+    }
+
+    /// Finishes the restore: the first recorded error, or an
+    /// [`SnapError::UnexpectedSection`] if the snapshot held a section no
+    /// component visited (a structural mismatch the per-scope checks
+    /// cannot see).
+    pub fn finish(self) -> Result<(), SnapError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        let mut unvisited: Vec<&str> =
+            self.sections.keys().copied().filter(|k| !self.cursors.contains_key(*k)).collect();
+        unvisited.sort_unstable();
+        if let Some(first) = unvisited.first() {
+            return Err(SnapError::UnexpectedSection((*first).to_owned()));
+        }
+        Ok(())
+    }
+}
+
+/// A point-in-time capture of a platform's architectural state.
+///
+/// The container is `(version, config digest, cycle, ordered named
+/// sections)`; [`Snapshot::to_bytes`]/[`Snapshot::from_bytes`] give it a
+/// length-prefixed wire form for cross-process checkpointing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Snapshot format version ([`SNAP_VERSION`] when written by this build).
+    pub version: u32,
+    /// FNV-1a digest of the originating platform's configuration.
+    pub config_digest: u64,
+    /// Platform cycle at which the snapshot was taken.
+    pub cycle: u64,
+    sections: Vec<(String, Vec<u8>)>,
+}
+
+impl Snapshot {
+    /// Assembles a snapshot from a finished writer.
+    pub fn new(config_digest: u64, cycle: u64, w: SnapWriter) -> Self {
+        Self { version: SNAP_VERSION, config_digest, cycle, sections: w.into_sections() }
+    }
+
+    /// The named sections in walk order.
+    pub fn sections(&self) -> &[(String, Vec<u8>)] {
+        &self.sections
+    }
+
+    /// The bytes of one section, if present.
+    pub fn section(&self, name: &str) -> Option<&[u8]> {
+        self.sections.iter().find(|(n, _)| n == name).map(|(_, b)| b.as_slice())
+    }
+
+    /// Total payload bytes across all sections.
+    pub fn payload_bytes(&self) -> usize {
+        self.sections.iter().map(|(_, b)| b.len()).sum()
+    }
+
+    /// The name of the first architectural section on which `self` and
+    /// `other` disagree, walking both section lists in order — or [`None`]
+    /// when every architectural section matches bit-for-bit.
+    ///
+    /// Sections under [`HOST_SECTION_PREFIX`] are skipped: host stepper
+    /// diagnostics legitimately differ between the serial and
+    /// epoch-parallel steppers. A section present on one side only is
+    /// itself a divergence (reported by name).
+    pub fn first_divergence(&self, other: &Snapshot) -> Option<String> {
+        let arch = |s: &'_ Snapshot| -> Vec<(String, Vec<u8>)> {
+            s.sections
+                .iter()
+                .filter(|(n, _)| !n.starts_with(HOST_SECTION_PREFIX) && n != "host")
+                .cloned()
+                .collect()
+        };
+        let a = arch(self);
+        let b = arch(other);
+        for i in 0..a.len().max(b.len()) {
+            match (a.get(i), b.get(i)) {
+                (Some((an, ab)), Some((bn, bb))) => {
+                    if an != bn {
+                        return Some(an.clone().min(bn.clone()));
+                    }
+                    if ab != bb {
+                        return Some(an.clone());
+                    }
+                }
+                (Some((an, _)), None) => return Some(an.clone()),
+                (None, Some((bn, _))) => return Some(bn.clone()),
+                (None, None) => unreachable!("loop bounded by max len"),
+            }
+        }
+        None
+    }
+
+    /// Serializes the snapshot to its wire form.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.payload_bytes());
+        out.extend_from_slice(&SNAP_MAGIC);
+        out.extend_from_slice(&self.version.to_le_bytes());
+        out.extend_from_slice(&self.config_digest.to_le_bytes());
+        out.extend_from_slice(&self.cycle.to_le_bytes());
+        let count = u32::try_from(self.sections.len()).expect("section count exceeds u32");
+        out.extend_from_slice(&count.to_le_bytes());
+        for (name, data) in &self.sections {
+            let nlen = u32::try_from(name.len()).expect("section name exceeds u32");
+            out.extend_from_slice(&nlen.to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            let dlen = u32::try_from(data.len()).expect("section data exceeds u32");
+            out.extend_from_slice(&dlen.to_le_bytes());
+            out.extend_from_slice(data);
+        }
+        out
+    }
+
+    /// Parses a snapshot from its wire form, validating magic and version.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapError> {
+        struct Cur<'a> {
+            b: &'a [u8],
+            at: usize,
+        }
+        impl<'a> Cur<'a> {
+            fn take(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+                if self.at + n > self.b.len() {
+                    return Err(SnapError::Corrupt("container truncated".into()));
+                }
+                let s = &self.b[self.at..self.at + n];
+                self.at += n;
+                Ok(s)
+            }
+            fn u32(&mut self) -> Result<u32, SnapError> {
+                Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+            }
+            fn u64(&mut self) -> Result<u64, SnapError> {
+                Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+            }
+        }
+        let mut c = Cur { b: bytes, at: 0 };
+        if c.take(8)? != SNAP_MAGIC {
+            return Err(SnapError::BadMagic);
+        }
+        let version = c.u32()?;
+        if version != SNAP_VERSION {
+            return Err(SnapError::VersionMismatch { found: version, expected: SNAP_VERSION });
+        }
+        let config_digest = c.u64()?;
+        let cycle = c.u64()?;
+        let count = c.u32()? as usize;
+        let mut sections = Vec::with_capacity(count.min(4096));
+        for _ in 0..count {
+            let nlen = c.u32()? as usize;
+            let name = String::from_utf8(c.take(nlen)?.to_vec())
+                .map_err(|_| SnapError::Corrupt("non-UTF-8 section name".into()))?;
+            let dlen = c.u32()? as usize;
+            let data = c.take(dlen)?.to_vec();
+            sections.push((name, data));
+        }
+        if c.at != bytes.len() {
+            return Err(SnapError::Corrupt("trailing container bytes".into()));
+        }
+        Ok(Self { version, config_digest, cycle, sections })
+    }
+}
+
+/// FNV-1a over a byte string; used for the snapshot config digest.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Pack impls for primitives and standard containers.
+// ---------------------------------------------------------------------------
+
+impl Pack for u8 {
+    fn pack(&self, w: &mut SnapWriter) {
+        w.u8(*self);
+    }
+    fn unpack(r: &mut SnapReader) -> Self {
+        r.u8()
+    }
+}
+
+impl Pack for u16 {
+    fn pack(&self, w: &mut SnapWriter) {
+        w.u16(*self);
+    }
+    fn unpack(r: &mut SnapReader) -> Self {
+        r.u16()
+    }
+}
+
+impl Pack for u32 {
+    fn pack(&self, w: &mut SnapWriter) {
+        w.u32(*self);
+    }
+    fn unpack(r: &mut SnapReader) -> Self {
+        r.u32()
+    }
+}
+
+impl Pack for u64 {
+    fn pack(&self, w: &mut SnapWriter) {
+        w.u64(*self);
+    }
+    fn unpack(r: &mut SnapReader) -> Self {
+        r.u64()
+    }
+}
+
+impl Pack for u128 {
+    fn pack(&self, w: &mut SnapWriter) {
+        w.u128(*self);
+    }
+    fn unpack(r: &mut SnapReader) -> Self {
+        r.u128()
+    }
+}
+
+impl Pack for usize {
+    fn pack(&self, w: &mut SnapWriter) {
+        w.usize(*self);
+    }
+    fn unpack(r: &mut SnapReader) -> Self {
+        r.usize()
+    }
+}
+
+impl Pack for bool {
+    fn pack(&self, w: &mut SnapWriter) {
+        w.bool(*self);
+    }
+    fn unpack(r: &mut SnapReader) -> Self {
+        r.bool()
+    }
+}
+
+impl Pack for String {
+    fn pack(&self, w: &mut SnapWriter) {
+        w.str(self);
+    }
+    fn unpack(r: &mut SnapReader) -> Self {
+        r.str()
+    }
+}
+
+impl<T: Pack> Pack for Option<T> {
+    fn pack(&self, w: &mut SnapWriter) {
+        match self {
+            None => w.u8(0),
+            Some(v) => {
+                w.u8(1);
+                v.pack(w);
+            }
+        }
+    }
+    fn unpack(r: &mut SnapReader) -> Self {
+        match r.u8() {
+            0 => None,
+            _ => Some(T::unpack(r)),
+        }
+    }
+}
+
+impl<T: Pack> Pack for Vec<T> {
+    fn pack(&self, w: &mut SnapWriter) {
+        w.usize(self.len());
+        for v in self {
+            v.pack(w);
+        }
+    }
+    fn unpack(r: &mut SnapReader) -> Self {
+        let n = r.usize();
+        // Bound preallocation so a corrupt length cannot OOM, and bail on
+        // the first error so it cannot spin the loop either.
+        let mut out = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            if !r.ok() {
+                break;
+            }
+            out.push(T::unpack(r));
+        }
+        out
+    }
+}
+
+impl<A: Pack, B: Pack> Pack for (A, B) {
+    fn pack(&self, w: &mut SnapWriter) {
+        self.0.pack(w);
+        self.1.pack(w);
+    }
+    fn unpack(r: &mut SnapReader) -> Self {
+        (A::unpack(r), B::unpack(r))
+    }
+}
+
+impl<A: Pack, B: Pack, C: Pack> Pack for (A, B, C) {
+    fn pack(&self, w: &mut SnapWriter) {
+        self.0.pack(w);
+        self.1.pack(w);
+        self.2.pack(w);
+    }
+    fn unpack(r: &mut SnapReader) -> Self {
+        (A::unpack(r), B::unpack(r), C::unpack(r))
+    }
+}
+
+impl<A: Pack, B: Pack, C: Pack, D: Pack> Pack for (A, B, C, D) {
+    fn pack(&self, w: &mut SnapWriter) {
+        self.0.pack(w);
+        self.1.pack(w);
+        self.2.pack(w);
+        self.3.pack(w);
+    }
+    fn unpack(r: &mut SnapReader) -> Self {
+        (A::unpack(r), B::unpack(r), C::unpack(r), D::unpack(r))
+    }
+}
+
+impl<A: Pack, B: Pack, C: Pack, D: Pack, E: Pack> Pack for (A, B, C, D, E) {
+    fn pack(&self, w: &mut SnapWriter) {
+        self.0.pack(w);
+        self.1.pack(w);
+        self.2.pack(w);
+        self.3.pack(w);
+        self.4.pack(w);
+    }
+    fn unpack(r: &mut SnapReader) -> Self {
+        (A::unpack(r), B::unpack(r), C::unpack(r), D::unpack(r), E::unpack(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(build: impl FnOnce(&mut SnapWriter)) -> Snapshot {
+        let mut w = SnapWriter::new();
+        build(&mut w);
+        let snap = Snapshot::new(7, 100, w);
+        Snapshot::from_bytes(&snap.to_bytes()).expect("wire round-trip")
+    }
+
+    #[test]
+    fn primitives_round_trip_through_wire_form() {
+        let snap = roundtrip(|w| {
+            w.scoped("a", |w| {
+                w.u8(1);
+                w.u16(2);
+                w.u32(3);
+                w.u64(4);
+                w.u128(5);
+                w.usize(6);
+                w.bool(true);
+                w.bytes(&[9, 9]);
+                w.str("hi");
+            });
+        });
+        assert_eq!(snap.version, SNAP_VERSION);
+        assert_eq!(snap.config_digest, 7);
+        assert_eq!(snap.cycle, 100);
+        let mut r = SnapReader::new(&snap);
+        r.scoped("a", |r| {
+            assert_eq!(r.u8(), 1);
+            assert_eq!(r.u16(), 2);
+            assert_eq!(r.u32(), 3);
+            assert_eq!(r.u64(), 4);
+            assert_eq!(r.u128(), 5);
+            assert_eq!(r.usize(), 6);
+            assert!(r.bool());
+            assert_eq!(r.bytes(), vec![9, 9]);
+            assert_eq!(r.str(), "hi");
+        });
+        r.finish().expect("clean restore");
+    }
+
+    #[test]
+    fn nested_scopes_get_distinct_sections() {
+        let mut w = SnapWriter::new();
+        w.scoped("fpga0", |w| {
+            w.u8(1);
+            w.scoped("node0", |w| {
+                w.u8(2);
+                w.scoped("tile0", |w| w.u8(3));
+            });
+        });
+        let snap = Snapshot::new(0, 0, w);
+        let names: Vec<&str> = snap.sections().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["fpga0", "fpga0.node0", "fpga0.node0.tile0"]);
+        assert_eq!(snap.section("fpga0.node0"), Some(&[2u8][..]));
+    }
+
+    #[test]
+    fn empty_scopes_still_emit_sections() {
+        let mut w = SnapWriter::new();
+        w.scoped("quiet", |_| {});
+        let snap = Snapshot::new(0, 0, w);
+        assert_eq!(snap.section("quiet"), Some(&[][..]));
+        let mut r = SnapReader::new(&snap);
+        r.scoped("quiet", |_| {});
+        r.finish().expect("empty section restores cleanly");
+    }
+
+    #[test]
+    fn trailing_bytes_are_a_versioned_error() {
+        let mut w = SnapWriter::new();
+        w.scoped("c", |w| {
+            w.u64(1);
+            w.u64(2); // a "future field" this build does not read
+        });
+        let snap = Snapshot::new(0, 0, w);
+        let mut r = SnapReader::new(&snap);
+        r.scoped("c", |r| {
+            let _ = r.u64();
+        });
+        assert_eq!(r.finish(), Err(SnapError::TrailingBytes("c".into())));
+    }
+
+    #[test]
+    fn truncated_section_reports_and_returns_defaults() {
+        let mut w = SnapWriter::new();
+        w.scoped("c", |w| w.u8(5));
+        let snap = Snapshot::new(0, 0, w);
+        let mut r = SnapReader::new(&snap);
+        r.scoped("c", |r| {
+            assert_eq!(r.u8(), 5);
+            assert_eq!(r.u64(), 0, "post-error reads return defaults");
+            assert_eq!(r.str(), "", "post-error reads return defaults");
+        });
+        assert_eq!(r.finish(), Err(SnapError::Truncated("c".into())));
+    }
+
+    #[test]
+    fn missing_and_unexpected_sections_are_errors() {
+        let mut w = SnapWriter::new();
+        w.scoped("present", |w| w.u8(1));
+        let snap = Snapshot::new(0, 0, w);
+
+        let mut r = SnapReader::new(&snap);
+        r.scoped("absent", |_| {});
+        assert_eq!(r.finish(), Err(SnapError::MissingSection("absent".into())));
+
+        let r = SnapReader::new(&snap);
+        // Never visit "present": the snapshot holds state this build has no
+        // component for.
+        assert_eq!(r.finish(), Err(SnapError::UnexpectedSection("present".into())));
+    }
+
+    #[test]
+    fn wire_form_rejects_bad_magic_and_version() {
+        let snap = roundtrip(|w| w.scoped("a", |w| w.u8(1)));
+        let mut bytes = snap.to_bytes();
+        bytes[0] = b'X';
+        assert_eq!(Snapshot::from_bytes(&bytes), Err(SnapError::BadMagic));
+
+        let mut bytes = snap.to_bytes();
+        bytes[8] = 0xFF; // version low byte
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes),
+            Err(SnapError::VersionMismatch { expected: SNAP_VERSION, .. })
+        ));
+    }
+
+    #[test]
+    fn wire_form_rejects_truncation_and_trailing_garbage() {
+        let snap = roundtrip(|w| w.scoped("a", |w| w.u64(42)));
+        let bytes = snap.to_bytes();
+        assert!(Snapshot::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut longer = bytes.clone();
+        longer.push(0);
+        assert!(Snapshot::from_bytes(&longer).is_err());
+    }
+
+    #[test]
+    fn first_divergence_names_the_first_differing_section() {
+        let build = |x: u8| {
+            let mut w = SnapWriter::new();
+            w.scoped("alpha", |w| w.u8(1));
+            w.scoped("beta", |w| w.u8(x));
+            w.scoped("gamma", |w| w.u8(9));
+            Snapshot::new(0, 0, w)
+        };
+        let a = build(2);
+        let b = build(3);
+        assert_eq!(a.first_divergence(&a.clone()), None);
+        assert_eq!(a.first_divergence(&b), Some("beta".into()));
+    }
+
+    #[test]
+    fn first_divergence_skips_host_sections() {
+        let build = |epochs: u64| {
+            let mut w = SnapWriter::new();
+            w.scoped("arch", |w| w.u8(1));
+            w.scoped("host", |w| w.scoped("stepper", |w| w.u64(epochs)));
+            Snapshot::new(0, 0, w)
+        };
+        let serial = build(0);
+        let parallel = build(99);
+        assert_eq!(serial.first_divergence(&parallel), None);
+    }
+
+    #[test]
+    fn first_divergence_reports_structural_mismatch() {
+        let mut w = SnapWriter::new();
+        w.scoped("a", |w| w.u8(1));
+        let short = Snapshot::new(0, 0, w);
+        let mut w = SnapWriter::new();
+        w.scoped("a", |w| w.u8(1));
+        w.scoped("b", |w| w.u8(2));
+        let long = Snapshot::new(0, 0, w);
+        assert_eq!(short.first_divergence(&long), Some("b".into()));
+        assert_eq!(long.first_divergence(&short), Some("b".into()));
+    }
+
+    #[test]
+    fn pack_round_trips_containers() {
+        let mut w = SnapWriter::new();
+        w.scoped("p", |w| {
+            Some(7u64).pack(w);
+            Option::<u64>::None.pack(w);
+            vec![1u32, 2, 3].pack(w);
+            (4u16, true).pack(w);
+            (1u8, 2u64, String::from("x")).pack(w);
+        });
+        let snap = Snapshot::new(0, 0, w);
+        let mut r = SnapReader::new(&snap);
+        r.scoped("p", |r| {
+            assert_eq!(Option::<u64>::unpack(r), Some(7));
+            assert_eq!(Option::<u64>::unpack(r), None);
+            assert_eq!(Vec::<u32>::unpack(r), vec![1, 2, 3]);
+            assert_eq!(<(u16, bool)>::unpack(r), (4, true));
+            assert_eq!(<(u8, u64, String)>::unpack(r), (1, 2, "x".into()));
+        });
+        r.finish().expect("clean");
+    }
+
+    #[test]
+    fn fnv1a_is_stable() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+}

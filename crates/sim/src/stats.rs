@@ -3,6 +3,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use crate::{SaveState, SnapReader, SnapWriter};
+
 /// A named set of monotonically increasing counters.
 ///
 /// Components register events by name; harnesses read them back to print the
@@ -300,6 +302,73 @@ impl Histogram {
 impl Default for Histogram {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl SaveState for Stats {
+    fn save(&self, w: &mut SnapWriter) {
+        // BTreeMap iteration is already sorted, so identical states
+        // serialize to identical bytes.
+        w.usize(self.counters.len());
+        for (k, v) in &self.counters {
+            w.str(k);
+            w.u64(*v);
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) {
+        self.counters.clear();
+        let n = r.usize();
+        for _ in 0..n {
+            if !r.ok() {
+                break;
+            }
+            let k = r.str();
+            let v = r.u64();
+            self.counters.insert(k, v);
+        }
+    }
+}
+
+impl SaveState for CounterSet {
+    fn save(&self, w: &mut SnapWriter) {
+        w.usize(self.slots.len());
+        for v in self.slots.iter() {
+            w.u64(*v);
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) {
+        let n = r.usize();
+        if n != self.slots.len() {
+            r.corrupt("counter-set slot count does not match this build's key table");
+            return;
+        }
+        for v in self.slots.iter_mut() {
+            *v = r.u64();
+        }
+    }
+}
+
+impl SaveState for Histogram {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.count);
+        w.u128(self.sum);
+        w.u64(self.min);
+        w.u64(self.max);
+        for b in &self.buckets {
+            w.u64(*b);
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) {
+        self.count = r.u64();
+        self.sum = r.u128();
+        self.min = r.u64();
+        self.max = r.u64();
+        for b in &mut self.buckets {
+            *b = r.u64();
+        }
     }
 }
 

@@ -3,7 +3,7 @@
 use smappic_coherence::{CoreReq, CoreResp, MemOp};
 use smappic_isa::{Hart, MemAmoOp, Outcome};
 use smappic_noc::{Addr, AmoOp};
-use smappic_sim::Cycle;
+use smappic_sim::{Cycle, Pack, SaveState, SnapReader, SnapWriter};
 
 use crate::addrmap::AddrMap;
 use crate::tri::{Engine, Tri};
@@ -58,6 +58,54 @@ enum Pend {
     Load { rd: u8, size: u8, signed: bool, reserve: bool, addr: Addr },
     Store,
     Amo { rd: u8, size: u8, is_sc: bool, expected: u64 },
+}
+
+// Snapshot tags for enums are part of the format: append-only, never
+// renumbered.
+impl Pack for Pend {
+    fn pack(&self, w: &mut SnapWriter) {
+        match *self {
+            Pend::IFetch { dword } => {
+                w.u8(0);
+                w.u64(dword);
+            }
+            Pend::Load { rd, size, signed, reserve, addr } => {
+                w.u8(1);
+                w.u8(rd);
+                w.u8(size);
+                w.bool(signed);
+                w.bool(reserve);
+                w.u64(addr);
+            }
+            Pend::Store => w.u8(2),
+            Pend::Amo { rd, size, is_sc, expected } => {
+                w.u8(3);
+                w.u8(rd);
+                w.u8(size);
+                w.bool(is_sc);
+                w.u64(expected);
+            }
+        }
+    }
+
+    fn unpack(r: &mut SnapReader) -> Self {
+        match r.u8() {
+            0 => Pend::IFetch { dword: r.u64() },
+            1 => Pend::Load {
+                rd: r.u8(),
+                size: r.u8(),
+                signed: r.bool(),
+                reserve: r.bool(),
+                addr: r.u64(),
+            },
+            2 => Pend::Store,
+            3 => Pend::Amo { rd: r.u8(), size: r.u8(), is_sc: r.bool(), expected: r.u64() },
+            _ => {
+                r.corrupt("unknown Pend tag");
+                Pend::Store
+            }
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -376,6 +424,81 @@ impl Engine for ArianeCore {
         self.hart.csrs_mut().set_mip_bit(u32::from(line), level);
     }
 
+    fn save_state(&self, w: &mut SnapWriter) {
+        self.hart.save(w);
+        self.icache.pack(w);
+        w.usize(self.bht.len());
+        for c in &self.bht {
+            w.u8(*c);
+        }
+        // State tags: 0=Run, 1=Issue, 2=Wait, 3=Wfi, 4=Halted.
+        match &self.state {
+            State::Run => w.u8(0),
+            State::Issue(req, pend) => {
+                w.u8(1);
+                req.pack(w);
+                pend.pack(w);
+            }
+            State::Wait(token, pend) => {
+                w.u8(2);
+                w.u64(*token);
+                pend.pack(w);
+            }
+            State::Wfi => w.u8(3),
+            State::Halted => w.u8(4),
+        }
+        w.u64(self.stall);
+        w.u64(self.next_token);
+        w.bytes(&self.console);
+        self.exit_code.pack(w);
+        w.u64(self.retired_loads);
+        w.u64(self.branches);
+        w.u64(self.mispredicts);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader) {
+        self.hart.restore(r);
+        self.icache = Vec::unpack(r);
+        if self.icache.len() != self.cfg.icache_dwords {
+            r.corrupt("icache size does not match this core's configuration");
+            self.icache = vec![None; self.cfg.icache_dwords];
+        }
+        let bht_len = r.usize();
+        if bht_len != self.bht.len() {
+            r.corrupt("BHT size does not match this core's configuration");
+        } else {
+            for c in &mut self.bht {
+                *c = r.u8();
+            }
+        }
+        self.state = match r.u8() {
+            0 => State::Run,
+            1 => {
+                let req = CoreReq::unpack(r);
+                let pend = Pend::unpack(r);
+                State::Issue(req, pend)
+            }
+            2 => {
+                let token = r.u64();
+                let pend = Pend::unpack(r);
+                State::Wait(token, pend)
+            }
+            3 => State::Wfi,
+            4 => State::Halted,
+            _ => {
+                r.corrupt("unknown Ariane state tag");
+                State::Run
+            }
+        };
+        self.stall = r.u64();
+        self.next_token = r.u64();
+        self.console = r.bytes();
+        self.exit_code = Option::unpack(r);
+        self.retired_loads = r.u64();
+        self.branches = r.u64();
+        self.mispredicts = r.u64();
+    }
+
     fn label(&self) -> &str {
         &self.label
     }
@@ -543,6 +666,53 @@ mod tests {
             }
         }
         panic!("core never halted");
+    }
+
+    #[test]
+    fn snapshot_restore_reproduces_identical_bytes() {
+        use smappic_sim::{SnapReader, SnapWriter, Snapshot};
+
+        let src = r#"
+            li   t0, 0x2000
+            li   t1, 0
+            li   t2, 2000
+        loop:
+            sd   t1, 0(t0)
+            ld   t3, 0(t0)
+            addi t1, t1, 1
+            blt  t1, t2, loop
+            li   a7, 93
+            ecall
+        "#;
+        let (mut core, mut rig) = boot(src);
+        // Stop mid-loop: in-flight pipeline state, warm BHT and I-cache.
+        for now in 0..700 {
+            core.tick(now, &mut rig);
+            rig.pump(now);
+        }
+        assert!(!core.is_done(), "must snapshot mid-program");
+
+        let mut w = SnapWriter::new();
+        w.scoped("engine", |w| core.save_state(w));
+        let snap = Snapshot::new(1, 700, w);
+
+        let img = assemble(src, 0x1_0000).unwrap();
+        let _ = img;
+        let mut core2 = ArianeCore::new(ArianeConfig::new(0, 0x1_0000, AddrMap::new()));
+        let mut r = SnapReader::new(&snap);
+        r.scoped("engine", |r| core2.restore_state(r));
+        r.finish().expect("clean restore");
+
+        assert_eq!(core2.hart().pc(), core.hart().pc());
+        assert_eq!(core2.hart().csrs().minstret, core.hart().csrs().minstret);
+        assert_eq!(core2.branch_stats(), core.branch_stats());
+
+        // A re-save of the restored core must reproduce the exact bytes:
+        // restore consumed every field and lost nothing.
+        let mut w2 = SnapWriter::new();
+        w2.scoped("engine", |w| core2.save_state(w));
+        let snap2 = Snapshot::new(1, 700, w2);
+        assert_eq!(snap.to_bytes(), snap2.to_bytes(), "save/restore/save must be a fixed point");
     }
 
     #[test]

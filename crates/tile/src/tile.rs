@@ -2,7 +2,7 @@
 
 use smappic_coherence::{Bpc, CoreReq, CoreResp, LlcSlice};
 use smappic_noc::{Gid, Msg, Packet};
-use smappic_sim::{Cycle, MetricsRegistry, Port};
+use smappic_sim::{Cycle, MetricsRegistry, Port, SaveState, SnapReader, SnapWriter};
 
 use crate::tri::{Engine, MmioResp, Tri};
 
@@ -201,6 +201,28 @@ impl Tile {
     }
 }
 
+impl SaveState for Tile {
+    fn save(&self, w: &mut SnapWriter) {
+        w.scoped("bpc", |w| self.bpc.save(w));
+        w.scoped("llc", |w| self.llc.save(w));
+        w.scoped("engine", |w| self.engine.save_state(w));
+        self.pending_mmio.save(w);
+        for q in &self.out {
+            q.save(w);
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) {
+        r.scoped("bpc", |r| self.bpc.restore(r));
+        r.scoped("llc", |r| self.llc.restore(r));
+        r.scoped("engine", |r| self.engine.restore_state(r));
+        self.pending_mmio.restore(r);
+        for q in &mut self.out {
+            q.restore(r);
+        }
+    }
+}
+
 impl std::fmt::Debug for Tile {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Tile")
@@ -315,6 +337,99 @@ mod tests {
         let (t, data) = got.expect("mmio answered");
         assert_eq!(data, 99);
         assert!(t >= 9, "Pending must delay the answer, answered at {t}");
+    }
+
+    #[test]
+    fn snapshot_round_trip_mid_program_matches_uninterrupted_run() {
+        use smappic_sim::{SnapReader, SnapWriter, Snapshot};
+
+        let program = || {
+            vec![
+                TraceOp::StoreVal(0x40, 11),
+                TraceOp::Compute(5),
+                TraceOp::StoreVal(0x80, 22),
+                TraceOp::Checksum(0x40),
+                TraceOp::Checksum(0x80),
+                TraceOp::Compute(3),
+            ]
+        };
+        // Uninterrupted reference run.
+        let mut reference = tile_with(Box::new(TraceCore::new("t0", program())));
+        run_selfcontained(&mut reference, 50_000);
+
+        // Snapshot mid-program (the store has been issued but the checksums
+        // have not run), restore into a fresh tile, finish both.
+        let mut live = tile_with(Box::new(TraceCore::new("t0", program())));
+        for now in 0..40 {
+            live.tick(now);
+            let mut moved = Vec::new();
+            while let Some(p) = live.pop_noc() {
+                moved.push(p);
+            }
+            for p in moved {
+                match &p.msg {
+                    Msg::MemRd { line } => live.push_noc(
+                        now,
+                        Packet::on_canonical_vn(
+                            p.src,
+                            Gid::chipset(NodeId(0)),
+                            Msg::MemData { line: *line, data: LineData::zeroed() },
+                        ),
+                    ),
+                    Msg::MemWr { .. } => {}
+                    _ => live.push_noc(now, p),
+                }
+            }
+        }
+        let mut w = SnapWriter::new();
+        w.scoped("tile", |w| live.save(w));
+        let snap = Snapshot::new(1, 40, w);
+
+        let mut restored = tile_with(Box::new(TraceCore::new("t0", program())));
+        let mut r = SnapReader::new(&snap);
+        r.scoped("tile", |r| restored.restore(r));
+        r.finish().expect("clean restore");
+
+        // Drive both forward in lockstep from cycle 40; they must finish
+        // identically (and identically to the uninterrupted run).
+        for tile in [&mut live, &mut restored] {
+            for now in 40..50_000 {
+                tile.tick(now);
+                let mut moved = Vec::new();
+                while let Some(p) = tile.pop_noc() {
+                    moved.push(p);
+                }
+                for p in moved {
+                    match &p.msg {
+                        Msg::MemRd { line } => tile.push_noc(
+                            now,
+                            Packet::on_canonical_vn(
+                                p.src,
+                                Gid::chipset(NodeId(0)),
+                                Msg::MemData { line: *line, data: LineData::zeroed() },
+                            ),
+                        ),
+                        Msg::MemWr { .. } => {}
+                        _ => tile.push_noc(now, p),
+                    }
+                }
+                if tile.engine().is_done() {
+                    break;
+                }
+            }
+        }
+        let core = |t: &Tile| {
+            let c = t.engine().as_any().downcast_ref::<TraceCore>().unwrap();
+            (c.finished_at(), c.checksum(), c.mem_ops())
+        };
+        let (ref_f, ref_c, ref_m) = core(&reference);
+        assert_eq!(core(&live), (ref_f, ref_c, ref_m));
+        assert_eq!(core(&restored), (ref_f, ref_c, ref_m), "restored run must be bit-exact");
+        assert_eq!(
+            restored.bpc().stats().get("bpc.miss"),
+            live.bpc().stats().get("bpc.miss"),
+            "cache counters travel with the snapshot"
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use smappic_coherence::{CoreReq, CoreResp, MemOp};
 use smappic_noc::{Addr, AmoOp};
-use smappic_sim::Cycle;
+use smappic_sim::{Cycle, Pack, SnapReader, SnapWriter};
 
 use crate::addrmap::AddrMap;
 use crate::tri::{Engine, Tri};
@@ -45,6 +45,79 @@ pub enum TraceOp {
     /// uses to compare architectural state between runs whose cache/timing
     /// behaviour differs. Fences posted stores like other sync ops.
     Checksum(Addr),
+}
+
+// Snapshot tags for enums are part of the format: append-only, never
+// renumbered.
+impl Pack for TraceOp {
+    fn pack(&self, w: &mut SnapWriter) {
+        match self {
+            TraceOp::Compute(n) => {
+                w.u8(0);
+                w.u64(*n);
+            }
+            TraceOp::Load(a) => {
+                w.u8(1);
+                w.u64(*a);
+            }
+            TraceOp::Store(a) => {
+                w.u8(2);
+                w.u64(*a);
+            }
+            TraceOp::StoreVal(a, v) => {
+                w.u8(3);
+                w.u64(*a);
+                w.u64(*v);
+            }
+            TraceOp::AmoAdd(a, v) => {
+                w.u8(4);
+                w.u64(*a);
+                w.u64(*v);
+            }
+            TraceOp::SpinUntilEq(a, v) => {
+                w.u8(5);
+                w.u64(*a);
+                w.u64(*v);
+            }
+            TraceOp::SpinUntilGe(a, v) => {
+                w.u8(6);
+                w.u64(*a);
+                w.u64(*v);
+            }
+            TraceOp::NcLoad(a) => {
+                w.u8(7);
+                w.u64(*a);
+            }
+            TraceOp::NcStore(a, v) => {
+                w.u8(8);
+                w.u64(*a);
+                w.u64(*v);
+            }
+            TraceOp::Checksum(a) => {
+                w.u8(9);
+                w.u64(*a);
+            }
+        }
+    }
+
+    fn unpack(r: &mut SnapReader) -> Self {
+        match r.u8() {
+            0 => TraceOp::Compute(r.u64()),
+            1 => TraceOp::Load(r.u64()),
+            2 => TraceOp::Store(r.u64()),
+            3 => TraceOp::StoreVal(r.u64(), r.u64()),
+            4 => TraceOp::AmoAdd(r.u64(), r.u64()),
+            5 => TraceOp::SpinUntilEq(r.u64(), r.u64()),
+            6 => TraceOp::SpinUntilGe(r.u64(), r.u64()),
+            7 => TraceOp::NcLoad(r.u64()),
+            8 => TraceOp::NcStore(r.u64(), r.u64()),
+            9 => TraceOp::Checksum(r.u64()),
+            _ => {
+                r.corrupt("unknown TraceOp tag");
+                TraceOp::Compute(0)
+            }
+        }
+    }
 }
 
 /// State of the in-flight operation.
@@ -311,6 +384,65 @@ impl Engine for TraceCore {
 
     fn progress(&self) -> u64 {
         self.retired
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        // The program, label, and addr_map are configuration; everything a
+        // running core mutates is here. Wait tags: 0=None, 1=Mem, 2=Spin.
+        w.usize(self.pc);
+        match self.wait {
+            Wait::None => {
+                w.u8(0);
+                w.u64(0);
+            }
+            Wait::Mem(t) => {
+                w.u8(1);
+                w.u64(t);
+            }
+            Wait::Spin(t) => {
+                w.u8(2);
+                w.u64(t);
+            }
+        }
+        w.u64(self.compute_left);
+        w.u64(self.next_token);
+        self.spinning.pack(w);
+        self.posted.pack(w);
+        self.finished_at.pack(w);
+        w.u64(self.mem_ops);
+        w.u64(self.retired);
+        w.u64(self.last_load);
+        w.u64(self.checksum);
+        w.bool(self.checksum_pending);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader) {
+        self.pc = r.usize();
+        if self.pc > self.program.len() {
+            r.corrupt("trace pc beyond program end");
+            self.pc = self.program.len();
+        }
+        let tag = r.u8();
+        let token = r.u64();
+        self.wait = match tag {
+            0 => Wait::None,
+            1 => Wait::Mem(token),
+            2 => Wait::Spin(token),
+            _ => {
+                r.corrupt("unknown trace-core wait tag");
+                Wait::None
+            }
+        };
+        self.compute_left = r.u64();
+        self.next_token = r.u64();
+        self.spinning = Option::unpack(r);
+        self.posted = Vec::unpack(r);
+        self.finished_at = Option::unpack(r);
+        self.mem_ops = r.u64();
+        self.retired = r.u64();
+        self.last_load = r.u64();
+        self.checksum = r.u64();
+        self.checksum_pending = r.bool();
     }
 
     fn label(&self) -> &str {

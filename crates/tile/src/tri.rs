@@ -2,7 +2,7 @@
 
 use smappic_coherence::{CoreReq, CoreResp};
 use smappic_noc::Addr;
-use smappic_sim::Cycle;
+use smappic_sim::{Cycle, SnapReader, SnapWriter};
 
 /// The Transaction-Response Interface a compute element sees.
 ///
@@ -63,6 +63,17 @@ pub trait Engine: Send {
     fn mmio(&mut self, _now: Cycle, _store: bool, _addr: Addr, _size: u8, _data: u64) -> MmioResp {
         MmioResp::Data(0)
     }
+
+    /// Serializes the engine's mutable state into a snapshot section (the
+    /// tile opens an `engine` scope around this call). Stateless engines
+    /// keep the default no-op; stateful engines MUST override both this and
+    /// [`Engine::restore_state`] symmetrically, or restore fails the
+    /// scope-exit exact-consumption check.
+    fn save_state(&self, _w: &mut SnapWriter) {}
+
+    /// Restores state written by [`Engine::save_state`] into an engine of
+    /// the same configuration.
+    fn restore_state(&mut self, _r: &mut SnapReader) {}
 
     /// A short label for diagnostics.
     fn label(&self) -> &str;

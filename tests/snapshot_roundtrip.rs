@@ -1,0 +1,278 @@
+//! Snapshot round-trip property suite: a platform restored from a
+//! mid-workload snapshot must be indistinguishable from one that never
+//! stopped — same architectural state, same `stats()`, same
+//! `architectural()` metrics — under the serial stepper, the
+//! epoch-parallel stepper, and a (quiet) fault-injected run. Plus the
+//! format-evolution guards: unknown trailing fields, unknown sections,
+//! version skew, and config skew are typed errors, never UB.
+
+use std::sync::Arc;
+
+use smappic::platform::{Config, FaultSpec, Platform, DRAM_BASE};
+use smappic::sim::{FaultPlan, FaultProfile, SimRng, SnapError, Snapshot};
+use smappic::tile::{TraceCore, TraceOp};
+
+const COUNTER: u64 = DRAM_BASE + 0x9000;
+const DONE: u64 = DRAM_BASE + 0x9040;
+
+/// Deterministic cross-FPGA contention workload; two calls with the same
+/// arguments build identical twins.
+fn workload(
+    fpgas: usize,
+    tiles: usize,
+    incs: u64,
+    seed: u64,
+    fault: Option<FaultSpec>,
+) -> Platform {
+    let mut cfg = Config::new(fpgas, 1, tiles);
+    if let Some(spec) = fault {
+        cfg = cfg.with_faults(spec);
+    }
+    let total = cfg.total_tiles();
+    let mut p = Platform::new(cfg);
+    let mut rng = SimRng::new(seed);
+    for g in 0..total {
+        let (node, tile) = (g / tiles, (g % tiles) as u16);
+        let mut ops = Vec::new();
+        let private = DRAM_BASE + 0x20_0000 + g as u64 * 4096;
+        for i in 0..incs {
+            if rng.chance(0.4) {
+                ops.push(TraceOp::Compute(rng.gen_range(30) + 1));
+            }
+            ops.push(TraceOp::AmoAdd(COUNTER, 1));
+            if rng.chance(0.3) {
+                ops.push(TraceOp::StoreVal(private + (i % 8) * 64, g as u64 ^ i));
+            }
+            if rng.chance(0.25) {
+                ops.push(TraceOp::Checksum(private + (i % 8) * 64));
+            }
+        }
+        ops.push(TraceOp::AmoAdd(DONE, 1));
+        ops.push(TraceOp::SpinUntilGe(DONE, total as u64));
+        ops.push(TraceOp::Checksum(COUNTER));
+        p.set_engine(node, tile, Box::new(TraceCore::new(format!("c{g}"), ops)));
+    }
+    p
+}
+
+/// Everything observable about a finished run.
+fn observe(p: &Platform) -> (u64, String, Vec<u8>, String) {
+    (
+        p.now(),
+        p.stats().to_string(),
+        p.read_mem(COUNTER, 8),
+        p.metrics().architectural().snapshot_text(),
+    )
+}
+
+/// The core property: run `total` cycles straight vs snapshot at `cut`,
+/// restore into a *fresh* platform, and finish there. `step` drives every
+/// run segment (serial or epoch-parallel).
+fn assert_resume_transparent(
+    mk: impl Fn() -> Platform,
+    cut: u64,
+    total: u64,
+    step: impl Fn(&mut Platform, u64),
+    label: &str,
+) {
+    let mut reference = mk();
+    step(&mut reference, total);
+
+    let mut first = mk();
+    step(&mut first, cut);
+    let snap = first.snapshot();
+    assert_eq!(snap.cycle, cut, "{label}: snapshot cycle");
+
+    // Cross-process shape: the snapshot survives its wire form.
+    let wire = snap.to_bytes();
+    let snap = Snapshot::from_bytes(&wire).expect("wire round-trip");
+
+    let mut resumed = mk();
+    resumed.restore(&snap).unwrap_or_else(|e| panic!("{label}: restore failed: {e}"));
+    assert_eq!(resumed.now(), cut, "{label}: restored cycle");
+
+    // Restore must be a fixed point: re-snapshotting the restored
+    // platform reproduces the identical bytes.
+    let again = resumed.snapshot();
+    assert_eq!(again.to_bytes(), wire, "{label}: save/restore/save is not a fixed point");
+
+    step(&mut resumed, total - cut);
+    assert_eq!(observe(&reference), observe(&resumed), "{label}: resumed run diverged");
+}
+
+#[test]
+fn serial_roundtrip_at_random_mid_workload_cycles() {
+    let mk = || workload(2, 2, 10, 0x5EED, None);
+    // "Random" = drawn from the deterministic sim RNG, so failures replay.
+    let mut rng = SimRng::new(0xCAFE);
+    let total = 60_000;
+    for trial in 0..3 {
+        let cut = 1 + rng.gen_range(total - 1);
+        assert_resume_transparent(mk, cut, total, |p, n| p.run(n), &format!("serial#{trial}"));
+    }
+}
+
+#[test]
+fn epoch_parallel_roundtrip_at_random_mid_workload_cycles() {
+    let mk = || workload(2, 2, 10, 0xF00D, None);
+    let mut rng = SimRng::new(0xBEEF);
+    let total = 60_000;
+    for trial in 0..2 {
+        let cut = 1 + rng.gen_range(total - 1);
+        assert_resume_transparent(
+            mk,
+            cut,
+            total,
+            |p, n| p.run_parallel(n),
+            &format!("parallel#{trial}"),
+        );
+    }
+}
+
+#[test]
+fn quiet_fault_roundtrip_mid_workload() {
+    // Fault machinery threaded through every transport, quiet profile:
+    // the injectors and the shell sequence guard carry live state
+    // (sequence cursors, reorder windows) that the snapshot must cover.
+    let plan = Arc::new(FaultPlan::seeded(77, FaultProfile::quiet()));
+    let mk = || workload(2, 1, 8, 0xFA17, Some(FaultSpec::all(plan.clone())));
+    assert_resume_transparent(mk, 20_011, 50_000, |p, n| p.run(n), "quiet-fault");
+}
+
+#[test]
+fn light_fault_roundtrip_mid_workload() {
+    let plan = Arc::new(FaultPlan::seeded(3, FaultProfile::light()));
+    let mk = || workload(2, 1, 6, 0x1167, Some(FaultSpec::all(plan.clone())));
+    assert_resume_transparent(mk, 17_777, 60_000, |p, n| p.run(n), "light-fault");
+}
+
+#[test]
+fn snapshot_under_serial_resumes_under_parallel() {
+    // Cross-stepper resume: checkpoint a serial run, finish it
+    // epoch-parallel. Architectural equality must still hold.
+    let mk = || workload(2, 2, 8, 0xABCD, None);
+    let total = 50_000;
+    let cut = 23_456;
+
+    let mut reference = mk();
+    reference.run(total);
+
+    let mut first = mk();
+    first.run(cut);
+    let snap = first.snapshot();
+
+    let mut resumed = mk();
+    resumed.restore(&snap).expect("restore");
+    resumed.run_parallel(total - cut);
+
+    assert_eq!(reference.now(), resumed.now());
+    assert_eq!(reference.stats().to_string(), resumed.stats().to_string());
+    assert_eq!(
+        reference.metrics().architectural().snapshot_text(),
+        resumed.metrics().architectural().snapshot_text(),
+        "cross-stepper resume diverged"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Format evolution: every mismatch is a typed error.
+// ---------------------------------------------------------------------------
+
+/// Offset of the section table in the wire form: magic(8) + version(4) +
+/// digest(8) + cycle(8) + count(4).
+const WIRE_SECTIONS_AT: usize = 32;
+const WIRE_COUNT_AT: usize = 28;
+
+/// Appends one unknown trailing byte to the first section of a serialized
+/// snapshot (simulating a field written by a newer build).
+fn grow_first_section(wire: &[u8]) -> Vec<u8> {
+    let mut out = wire.to_vec();
+    let nlen = u32::from_le_bytes(out[WIRE_SECTIONS_AT..WIRE_SECTIONS_AT + 4].try_into().unwrap())
+        as usize;
+    let dlen_at = WIRE_SECTIONS_AT + 4 + nlen;
+    let dlen = u32::from_le_bytes(out[dlen_at..dlen_at + 4].try_into().unwrap()) as usize;
+    out[dlen_at..dlen_at + 4].copy_from_slice(&((dlen + 1) as u32).to_le_bytes());
+    out.insert(dlen_at + 4 + dlen, 0xA5);
+    out
+}
+
+/// Appends a whole unknown section (a component a newer build snapshots).
+fn append_unknown_section(wire: &[u8], name: &str) -> Vec<u8> {
+    let mut out = wire.to_vec();
+    let count = u32::from_le_bytes(out[WIRE_COUNT_AT..WIRE_COUNT_AT + 4].try_into().unwrap());
+    out[WIRE_COUNT_AT..WIRE_COUNT_AT + 4].copy_from_slice(&(count + 1).to_le_bytes());
+    out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+    out.extend_from_slice(name.as_bytes());
+    out.extend_from_slice(&4u32.to_le_bytes());
+    out.extend_from_slice(&[1, 2, 3, 4]);
+    out
+}
+
+#[test]
+fn unknown_trailing_fields_are_a_versioned_error_not_ub() {
+    let mut p = workload(1, 2, 4, 0x71, None);
+    p.run(5_000);
+    let wire = p.snapshot().to_bytes();
+    let grown = Snapshot::from_bytes(&grow_first_section(&wire)).expect("container still parses");
+    let mut fresh = workload(1, 2, 4, 0x71, None);
+    match fresh.restore(&grown) {
+        Err(SnapError::TrailingBytes(section)) => {
+            assert!(!section.is_empty(), "error must name the offending section");
+        }
+        other => panic!("expected TrailingBytes, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_sections_are_rejected_by_name() {
+    let mut p = workload(1, 1, 4, 0x72, None);
+    p.run(5_000);
+    let wire = p.snapshot().to_bytes();
+    let grown = Snapshot::from_bytes(&append_unknown_section(&wire, "fpga0.node0.l2_prefetcher"))
+        .expect("container still parses");
+    let mut fresh = workload(1, 1, 4, 0x72, None);
+    match fresh.restore(&grown) {
+        Err(SnapError::UnexpectedSection(s)) => assert_eq!(s, "fpga0.node0.l2_prefetcher"),
+        other => panic!("expected UnexpectedSection, got {other:?}"),
+    }
+}
+
+#[test]
+fn version_skew_is_rejected_at_the_container() {
+    let mut p = workload(1, 1, 4, 0x73, None);
+    p.run(1_000);
+    let mut wire = p.snapshot().to_bytes();
+    wire[8..12].copy_from_slice(&999u32.to_le_bytes());
+    match Snapshot::from_bytes(&wire) {
+        Err(SnapError::VersionMismatch { found: 999, .. }) => {}
+        other => panic!("expected VersionMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn config_skew_is_rejected_before_any_state_is_touched() {
+    let mut p = workload(2, 1, 4, 0x74, None);
+    p.run(1_000);
+    let snap = p.snapshot();
+    // Same shape, different Table 2 parameter: digest must differ.
+    let mut cfg = Config::new(2, 1, 4);
+    cfg.params.dram_latency += 1;
+    let mut other = Platform::new(cfg);
+    match other.restore(&snap) {
+        Err(SnapError::ConfigMismatch { .. }) => {}
+        other => panic!("expected ConfigMismatch, got {other:?}"),
+    }
+    // And a different shape entirely.
+    let mut different = Platform::new(Config::new(1, 1, 4));
+    assert!(matches!(different.restore(&snap), Err(SnapError::ConfigMismatch { .. })));
+}
+
+#[test]
+fn truncated_container_is_a_corrupt_error() {
+    let mut p = workload(1, 1, 2, 0x75, None);
+    p.run(500);
+    let wire = p.snapshot().to_bytes();
+    for cut in [7, 20, wire.len() / 2, wire.len() - 1] {
+        assert!(Snapshot::from_bytes(&wire[..cut]).is_err(), "truncation at {cut} must not parse");
+    }
+}
