@@ -142,6 +142,34 @@ impl Crossbar {
         &self.stats
     }
 
+    /// True when a [`Crossbar::tick`] would move nothing: every request
+    /// and response port is empty. Transactions may still be outstanding
+    /// at slaves (`inflight` non-empty) — the tick touches those only via
+    /// the ports. The round-robin pointer still advances every cycle; use
+    /// [`Crossbar::tick_quiet`] when eliding a tick under this predicate.
+    pub fn pump_is_noop(&self) -> bool {
+        self.m_req_in.iter().all(Port::is_empty)
+            && self.m_resp_out.iter().all(Port::is_empty)
+            && self.s_req_out.iter().all(Port::is_empty)
+            && self.s_resp_in.iter().all(Port::is_empty)
+    }
+
+    /// A [`Crossbar::tick`] reduced to its only state change when
+    /// [`Crossbar::pump_is_noop`] holds: the round-robin pointer advance
+    /// (kept so snapshot bytes match a reference run that ticks fully).
+    pub fn tick_quiet(&mut self) {
+        debug_assert!(self.pump_is_noop(), "tick_quiet requires empty ports");
+        self.rr_master = (self.rr_master + 1) % self.masters;
+    }
+
+    /// `delta` consecutive [`Crossbar::tick_quiet`]s in one step, keeping
+    /// the round-robin pointer bit-identical to a run that ticked through
+    /// the same window cycle by cycle.
+    pub fn advance_quiet(&mut self, delta: u64) {
+        debug_assert!(self.pump_is_noop(), "advance_quiet requires empty ports");
+        self.rr_master = (self.rr_master + (delta % self.masters as u64) as usize) % self.masters;
+    }
+
     /// True when no transaction is queued or outstanding.
     pub fn is_idle(&self) -> bool {
         self.inflight.is_empty()

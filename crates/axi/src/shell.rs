@@ -317,6 +317,27 @@ impl HardShell {
         self.inbound_resp.meter().merge_into(prefix, m);
     }
 
+    /// True when Custom Logic's per-cycle drain would move nothing: no
+    /// inbound request or response is queued for the CL side. Outbound
+    /// queues and the guard are irrelevant to the CL drain loops.
+    pub fn cl_quiet(&self) -> bool {
+        self.inbound_req.is_empty() && self.inbound_resp.is_empty()
+    }
+
+    /// True when neither the per-cycle CL drain, the platform's PCIe
+    /// outbound pump, nor the guard's retry pump would move anything —
+    /// and, since the shell holds no timed state of its own, would keep
+    /// moving nothing until external traffic arrives. Outstanding inbound
+    /// IDs are allowed: their responses arrive from the crossbar side.
+    pub fn warp_quiet_ok(&self) -> bool {
+        self.cl_quiet()
+            && self.outbound_req.is_empty()
+            && self.outbound_resp.is_empty()
+            && self.guard.as_ref().is_none_or(|g| {
+                g.streams.values().all(|s| s.pending.is_empty() && s.retry_at.is_none())
+            })
+    }
+
     /// True when all queues are empty, no inbound request awaits its
     /// response, and the fault guard holds no undelivered items.
     pub fn is_idle(&self) -> bool {

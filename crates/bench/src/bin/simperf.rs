@@ -1,33 +1,66 @@
-//! Simulator-throughput benchmark: serial reference vs epoch-parallel
-//! stepper, reported as simulated cycles per wall-clock second.
+//! Simulator-throughput benchmark: the plain reference interpreter vs the
+//! fast path (decoded basic-block ISS + per-component event scheduling),
+//! and the serial vs epoch-parallel steppers — reported as simulated
+//! cycles per wall-clock second.
 //!
-//! Two configurations are measured:
+//! Four configurations are measured:
 //!
-//! * a 2x2x2 prototype (2 FPGAs, 2 nodes each, 2 tiles per node) running a
-//!   GNG-style mixed compute/memory trace with cross-FPGA atomics, and
-//! * a 4-FPGA full-mesh prototype (4x1x2) under the same kind of load.
+//! * `gng_style_2x2x2` — the seed benchmark: a 2x2x2 prototype (2 FPGAs,
+//!   2 nodes each, 2 tiles per node) under a GNG-style trace that fires a
+//!   cross-FPGA atomic every ~10 cycles. Deliberately memory-saturated, so
+//!   it bounds the fast path's worst case (components rarely sleep).
+//! * `full_mesh_4x1x2` — the 4-FPGA full-mesh shape under the same load.
+//! * `bursty_2x2x2` — the same 2x2x2 shape with realistic compute bursts
+//!   (100-500 cycles) between synchronization atomics, the duty cycle of
+//!   an actual parallel kernel. This is where per-component scheduling
+//!   pays: tiles sleep through bursts, the mesh drains, the chipset idles.
+//! * `ariane_2x2x2` — every tile runs a real RV64 Ariane core in a tight
+//!   arithmetic loop, exercising the decoded basic-block cache.
+//!
+//! Every config is measured three ways, on fresh, identical platforms:
+//! reference serial (`set_fast_path(false)`: decode every instruction,
+//! tick every component every cycle), fast serial, and fast parallel. The
+//! benchmark doubles as a differential check — all three runs must agree
+//! on cycle count, statistics, and architectural metrics, or no number is
+//! produced at all.
 //!
 //! Results land in `BENCH_SIMPERF.json` (hand-rolled JSON; the workspace
-//! has no serde). When the host has at least 4 hardware threads the run
-//! asserts the 4-FPGA parallel config reaches a 2x speedup over serial —
-//! on smaller hosts (CI containers are often 1-2 threads) the numbers are
-//! still recorded but the assertion is skipped, and `speedup_asserted`
-//! says which happened.
+//! has no serde). `speedup_asserted` is true only when the host has at
+//! least 4 hardware threads — one per FPGA worker of the 4-FPGA config —
+//! and in that case the run refuses to complete unless the parallel
+//! stepper actually beats fast-serial there. On smaller hosts the numbers
+//! are still recorded but the claim is never asserted.
 //!
 //! Usage: `cargo run --release -p smappic-bench --bin simperf`
-//! (`--cycles N` overrides the per-run simulated cycle count).
+//! (`--cycles N` overrides the per-run simulated cycle count;
+//! `--floor FILE` additionally checks every measured fast-serial rate
+//! against the committed per-config floors in FILE, failing the run on a
+//! >20% regression — the CI perf-smoke gate).
 
 use std::time::Instant;
 
-use smappic_core::{Config, Platform, DRAM_BASE};
+use smappic_core::{Config, HostPerf, Platform, DRAM_BASE};
+use smappic_isa::assemble;
 use smappic_sim::{MetricsRegistry, SimRng};
-use smappic_tile::{TraceCore, TraceOp};
+use smappic_tile::{ArianeConfig, ArianeCore, TraceCore, TraceOp};
 
-/// Builds the measurement workload: every tile interleaves compute bursts
-/// with atomic increments on a shared counter homed on node 0 (so remote
-/// tiles generate sustained cross-FPGA PCIe traffic) plus private stores.
-/// Deterministic, so serial and parallel twins are identical.
-fn workload_platform(fpgas: usize, nodes: usize, tiles: usize) -> Platform {
+/// The workload each tile of a config runs.
+#[derive(Clone, Copy)]
+enum Load {
+    /// Atomic on a shared counter every ~10 cycles: memory-saturated.
+    AmoHeavy,
+    /// 100-500-cycle compute bursts between shared atomics: realistic
+    /// parallel-kernel duty cycle.
+    Bursty,
+    /// A real Ariane core running a taus88 arithmetic loop.
+    Ariane,
+}
+
+/// Builds a platform with the measurement workload installed. Trace
+/// programs are long enough that no engine finishes inside the measured
+/// window, keeping the load steady; everything is seeded deterministically
+/// so the reference, fast, and parallel platforms are identical twins.
+fn workload_platform(load: Load, fpgas: usize, nodes: usize, tiles: usize) -> Platform {
     let cfg = Config::new(fpgas, nodes, tiles);
     let total = cfg.total_tiles();
     let per_node = tiles;
@@ -36,28 +69,93 @@ fn workload_platform(fpgas: usize, nodes: usize, tiles: usize) -> Platform {
     let mut rng = SimRng::new(0x51AB);
     for g in 0..total {
         let (node, tile) = (g / per_node, (g % per_node) as u16);
-        let mut ops = Vec::new();
         let private = DRAM_BASE + 0x40_0000 + g as u64 * 4096;
-        // Long-running: enough work that no engine finishes inside the
-        // measured window, keeping the load steady.
-        for i in 0..50_000u64 {
-            ops.push(TraceOp::Compute(rng.gen_range(20) + 1));
-            ops.push(TraceOp::AmoAdd(counter, 1));
-            if rng.chance(0.5) {
-                ops.push(TraceOp::StoreVal(private + (i % 16) * 64, i));
+        match load {
+            Load::AmoHeavy => {
+                let mut ops = Vec::new();
+                for i in 0..50_000u64 {
+                    ops.push(TraceOp::Compute(rng.gen_range(20) + 1));
+                    ops.push(TraceOp::AmoAdd(counter, 1));
+                    if rng.chance(0.5) {
+                        ops.push(TraceOp::StoreVal(private + (i % 16) * 64, i));
+                    }
+                }
+                p.set_engine(node, tile, Box::new(TraceCore::new(format!("w{g}"), ops)));
+            }
+            Load::Bursty => {
+                let mut ops = Vec::new();
+                for i in 0..8_000u64 {
+                    ops.push(TraceOp::Compute(rng.gen_range(400) + 100));
+                    ops.push(TraceOp::AmoAdd(counter, 1));
+                    if rng.chance(0.25) {
+                        ops.push(TraceOp::StoreVal(private + (i % 16) * 64, i));
+                    }
+                }
+                p.set_engine(node, tile, Box::new(TraceCore::new(format!("w{g}"), ops)));
+            }
+            Load::Ariane => {
+                // Per-tile code so every core fetches from its own lines.
+                let base = DRAM_BASE + 0x100_0000 + g as u64 * 0x1_0000;
+                let img = assemble(&ariane_kernel(), base).expect("simperf kernel assembles");
+                p.load_image(&img);
+                let map = p.addr_map(node);
+                p.set_engine(
+                    node,
+                    tile,
+                    Box::new(ArianeCore::new(ArianeConfig::new(g as u64, base, map))),
+                );
             }
         }
-        p.set_engine(node, tile, Box::new(TraceCore::new(format!("w{g}"), ops)));
     }
     p
+}
+
+/// The Ariane measurement kernel: a taus88 generator stepped in a tight
+/// loop — straight-line ALU work between short backward branches, the
+/// shape the decoded basic-block cache is built for. The trip count is
+/// effectively infinite for the measured window.
+fn ariane_kernel() -> String {
+    r#"
+        li   s3, 0x12345678
+        li   s4, 0x9abcdef0
+        li   s5, 0x13579bdf
+        li   a1, 0x7fffffff
+    step:
+        slliw t0, s3, 13
+        xor   t0, t0, s3
+        srliw t0, t0, 19
+        andi  t1, s3, -2
+        slliw t1, t1, 12
+        xor   s3, t1, t0
+        slliw t0, s4, 2
+        xor   t0, t0, s4
+        srliw t0, t0, 25
+        andi  t1, s4, -8
+        slliw t1, t1, 4
+        xor   s4, t1, t0
+        slliw t0, s5, 3
+        xor   t0, t0, s5
+        srliw t0, t0, 11
+        andi  t1, s5, -16
+        slliw t1, t1, 17
+        xor   s5, t1, t0
+        addi  a1, a1, -1
+        bnez  a1, step
+        li   a7, 93
+        li   a0, 0
+        ecall
+    "#
+    .to_string()
 }
 
 struct Measurement {
     label: &'static str,
     config: String,
     cycles: u64,
+    reference_secs: f64,
     serial_secs: f64,
     parallel_secs: f64,
+    perf: HostPerf,
     metrics_text: String,
     ports: PortSummary,
 }
@@ -106,12 +204,20 @@ fn port_summary(m: &MetricsRegistry) -> PortSummary {
 }
 
 impl Measurement {
+    fn reference_rate(&self) -> f64 {
+        self.cycles as f64 / self.reference_secs
+    }
     fn serial_rate(&self) -> f64 {
         self.cycles as f64 / self.serial_secs
     }
     fn parallel_rate(&self) -> f64 {
         self.cycles as f64 / self.parallel_secs
     }
+    /// Fast serial over plain reference: what the tentpole bought.
+    fn fast_speedup(&self) -> f64 {
+        self.reference_secs / self.serial_secs
+    }
+    /// Fast parallel over fast serial: what the worker threads buy.
     fn speedup(&self) -> f64 {
         self.serial_secs / self.parallel_secs
     }
@@ -120,44 +226,65 @@ impl Measurement {
 /// Timing trials per stepper; the fastest wall time wins. Shared hosts
 /// jitter individual runs by 10-20%, and the minimum is the standard
 /// low-noise estimator for a deterministic workload.
-const TRIALS: usize = 5;
+const TRIALS: usize = 3;
 
 fn measure(
     label: &'static str,
+    load: Load,
     (fpgas, nodes, tiles): (usize, usize, usize),
     cycles: u64,
 ) -> Measurement {
+    let mut reference_secs = f64::INFINITY;
     let mut serial_secs = f64::INFINITY;
     let mut parallel_secs = f64::INFINITY;
-    let mut twins = None;
+    let mut triple = None;
     for _ in 0..TRIALS {
         // Fresh twin platforms per trial: a run mutates the platform, and
-        // the differential check below wants a matched pair. Every trial
-        // computes the same thing, so keeping any pair works.
-        let mut serial = workload_platform(fpgas, nodes, tiles);
-        let mut parallel = workload_platform(fpgas, nodes, tiles);
+        // the differential check below wants a matched set. Every trial
+        // computes the same thing, so keeping any set works.
+        let mut reference = workload_platform(load, fpgas, nodes, tiles);
+        reference.set_fast_path(false);
+        let mut fast = workload_platform(load, fpgas, nodes, tiles);
+        let mut parallel = workload_platform(load, fpgas, nodes, tiles);
 
         let t = Instant::now();
-        serial.run(cycles);
+        reference.run(cycles);
+        reference_secs = reference_secs.min(t.elapsed().as_secs_f64());
+
+        let t = Instant::now();
+        fast.run(cycles);
         serial_secs = serial_secs.min(t.elapsed().as_secs_f64());
 
         let t = Instant::now();
         parallel.run_parallel(cycles);
         parallel_secs = parallel_secs.min(t.elapsed().as_secs_f64());
 
-        twins = Some((serial, parallel));
+        triple = Some((reference, fast, parallel));
     }
-    let (serial, parallel) = twins.expect("at least one trial ran");
+    let (reference, fast, parallel) = triple.expect("at least one trial ran");
 
     // The benchmark doubles as a differential check: a fast-but-wrong
-    // parallel stepper must not produce a number at all.
-    assert_eq!(serial.now(), parallel.now(), "{label}: cycle counts diverged");
+    // stepper must not produce a number at all. Reference ≡ fast-serial ≡
+    // fast-parallel, on cycle count, statistics, and architectural
+    // metrics.
+    assert_eq!(fast.now(), reference.now(), "{label}: cycle counts diverged (fast vs reference)");
+    assert_eq!(fast.now(), parallel.now(), "{label}: cycle counts diverged (serial vs parallel)");
     assert_eq!(
-        serial.stats().to_string(),
+        fast.stats().to_string(),
+        reference.stats().to_string(),
+        "{label}: statistics diverged between fast path and reference"
+    );
+    assert_eq!(
+        fast.stats().to_string(),
         parallel.stats().to_string(),
         "{label}: statistics diverged between serial and parallel"
     );
-    let arch = serial.metrics().architectural();
+    let arch = fast.metrics().architectural();
+    assert_eq!(
+        arch,
+        reference.metrics().architectural(),
+        "{label}: architectural metrics diverged between fast path and reference"
+    );
     assert_eq!(
         arch,
         parallel.metrics().architectural(),
@@ -169,17 +296,29 @@ fn measure(
         label,
         config: format!("{fpgas}x{nodes}x{tiles}"),
         cycles,
+        reference_secs,
         serial_secs,
         parallel_secs,
+        perf: fast.host_perf(),
         metrics_text: arch.snapshot_text(),
         ports,
     };
     println!(
-        "{label:<18} {:>8} cycles | serial {:>12.0} cyc/s | parallel {:>12.0} cyc/s | speedup {:.2}x",
+        "{label:<18} {:>8} cycles | ref {:>10.0} cyc/s | fast {:>10.0} cyc/s ({:.2}x) | par {:>10.0} cyc/s ({:.2}x)",
         m.cycles,
+        m.reference_rate(),
         m.serial_rate(),
+        m.fast_speedup(),
         m.parallel_rate(),
         m.speedup()
+    );
+    println!(
+        "  fast path: block cache {:.1}% hit ({} hits / {} misses) | skipped ticks: {} tile, {} chipset",
+        m.perf.block_cache_hit_rate() * 100.0,
+        m.perf.block_cache_hits,
+        m.perf.block_cache_misses,
+        m.perf.skipped_tile_cycles,
+        m.perf.skipped_chipset_cycles,
     );
     println!(
         "  ports: {} active | {} pushes | {} stalls | deepest {} (peak {}) | most stalled {} ({})",
@@ -201,11 +340,19 @@ fn json_entry(m: &Measurement) -> String {
             "      \"label\": \"{}\",\n",
             "      \"config\": \"{}\",\n",
             "      \"simulated_cycles\": {},\n",
+            "      \"reference_secs\": {:.6},\n",
             "      \"serial_secs\": {:.6},\n",
             "      \"parallel_secs\": {:.6},\n",
+            "      \"reference_cycles_per_sec\": {:.1},\n",
             "      \"serial_cycles_per_sec\": {:.1},\n",
             "      \"parallel_cycles_per_sec\": {:.1},\n",
+            "      \"fast_speedup\": {:.4},\n",
             "      \"speedup\": {:.4},\n",
+            "      \"block_cache_hit_rate\": {:.6},\n",
+            "      \"block_cache_hits\": {},\n",
+            "      \"block_cache_misses\": {},\n",
+            "      \"skipped_tile_cycles\": {},\n",
+            "      \"skipped_chipset_cycles\": {},\n",
             "      \"port_layer\": {{\n",
             "        \"ports_active\": {},\n",
             "        \"pushes\": {},\n",
@@ -220,11 +367,19 @@ fn json_entry(m: &Measurement) -> String {
         m.label,
         m.config,
         m.cycles,
+        m.reference_secs,
         m.serial_secs,
         m.parallel_secs,
+        m.reference_rate(),
         m.serial_rate(),
         m.parallel_rate(),
+        m.fast_speedup(),
         m.speedup(),
+        m.perf.block_cache_hit_rate(),
+        m.perf.block_cache_hits,
+        m.perf.block_cache_misses,
+        m.perf.skipped_tile_cycles,
+        m.perf.skipped_chipset_cycles,
         m.ports.ports_active,
         m.ports.pushes,
         m.ports.stalls,
@@ -235,25 +390,89 @@ fn json_entry(m: &Measurement) -> String {
     )
 }
 
+/// Value of a `--flag value` string argument, if present.
+fn arg_str(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// Extracts `"label": <number>` from a floor file without a JSON parser
+/// (the workspace has none). The floor format keeps each config on its
+/// own line precisely so this scan is unambiguous.
+fn floor_for(text: &str, label: &str) -> Option<f64> {
+    let key = format!("\"{label}\":");
+    let rest = &text[text.find(&key)? + key.len()..];
+    let num: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == 'e' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+/// The CI perf-smoke gate: every measured config with a committed floor
+/// must reach at least 80% of it (a >20% serial-throughput regression
+/// fails the run). Floors are deliberately conservative — captured well
+/// below the reference machine's numbers — so host-speed variance does
+/// not trip the gate, while a real fast-path regression (5x is a lot of
+/// margin) still does.
+fn check_floor(path: &str, runs: &[Measurement]) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read floor file {path}: {e}"));
+    let mut checked = 0;
+    for m in runs {
+        let Some(floor) = floor_for(&text, m.label) else { continue };
+        let min = floor * 0.8;
+        let measured = m.serial_rate();
+        assert!(
+            measured >= min,
+            "perf regression: {} fast-serial {measured:.0} cyc/s fell below 80% of the committed \
+             floor {floor:.0} cyc/s (minimum {min:.0})",
+            m.label
+        );
+        println!("floor ok: {} {measured:.0} cyc/s >= 80% of {floor:.0}", m.label);
+        checked += 1;
+    }
+    assert!(checked > 0, "floor file {path} names none of the measured configs");
+}
+
 fn main() {
     let cycles = smappic_bench::arg_usize("--cycles", 400_000) as u64;
     let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!("simperf: {cycles} simulated cycles per run, {host_threads} host threads\n");
 
     let runs = [
-        measure("gng_style_2x2x2", (2, 2, 2), cycles),
-        measure("full_mesh_4x1x2", (4, 1, 2), cycles),
+        measure("gng_style_2x2x2", Load::AmoHeavy, (2, 2, 2), cycles),
+        measure("full_mesh_4x1x2", Load::AmoHeavy, (4, 1, 2), cycles),
+        measure("bursty_2x2x2", Load::Bursty, (2, 2, 2), cycles),
+        measure("ariane_2x2x2", Load::Ariane, (2, 2, 2), cycles),
     ];
 
-    // The speedup claim needs one hardware thread per FPGA worker; below
-    // that the parallel path is measured but can't beat serial.
+    // The parallel-speedup claim needs one hardware thread per FPGA worker
+    // of the 4-FPGA config; below that the parallel path is measured but
+    // the claim must never be asserted (or recorded as asserted).
     let speedup_asserted = host_threads >= 4;
     if speedup_asserted {
         let s = runs[1].speedup();
-        assert!(s >= 2.0, "expected >= 2x parallel speedup on the 4-FPGA config, measured {s:.2}x");
-        println!("\n4-FPGA speedup {s:.2}x meets the 2x floor");
+        assert!(
+            s > 1.0,
+            "expected a parallel speedup on the 4-FPGA config with {host_threads} host threads, \
+             measured {s:.2}x"
+        );
+        println!("\n4-FPGA parallel speedup {s:.2}x > 1.0x, asserted");
     } else {
-        println!("\nhost has {host_threads} thread(s) < 4: speedup floor not asserted");
+        println!(
+            "\nhost has {host_threads} thread(s) < 4: parallel speedup recorded, not asserted"
+        );
+    }
+
+    if let Some(floor_path) = arg_str("--floor") {
+        check_floor(&floor_path, &runs);
     }
 
     let entries: Vec<String> = runs.iter().map(json_entry).collect();
@@ -274,6 +493,6 @@ fn main() {
     println!("wrote BENCH_SIMPERF.json");
 
     // The observability layer's text exporter, on the first run's metrics
-    // (identical between the serial and parallel twins, asserted above).
+    // (identical across all three twins, asserted above).
     println!("\nmetrics ({}):\n{}", runs[0].config, runs[0].metrics_text);
 }

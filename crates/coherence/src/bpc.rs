@@ -281,6 +281,18 @@ impl Bpc {
         self.nc_pending.meter().merge_into(prefix, m);
     }
 
+    /// True when ticking this cache cannot do anything: no queued protocol
+    /// input and no responses maturing or waiting. Weaker than
+    /// [`Bpc::is_idle`] — outstanding MSHRs and NC operations are allowed,
+    /// because their completions arrive via [`Bpc::noc_push`], which is
+    /// exactly the event that wakes a sleeping tile.
+    pub fn is_quiet(&self) -> bool {
+        self.noc_in.is_empty()
+            && self.noc_out.is_empty()
+            && self.resp_delay.is_empty()
+            && self.resp_ready.is_empty()
+    }
+
     /// True when nothing is in flight (no MSHRs, queues empty).
     pub fn is_idle(&self) -> bool {
         self.mshrs.is_empty()

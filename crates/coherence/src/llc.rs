@@ -224,6 +224,22 @@ impl LlcSlice {
         self.noc_out.pop()
     }
 
+    /// True when ticking this slice cannot do anything: no delayed input
+    /// and no replays. Weaker than [`LlcSlice::is_idle`] — transient lines
+    /// are allowed, because they only resolve when a packet arrives via
+    /// [`LlcSlice::noc_push`], which wakes the sleeping tile.
+    pub fn is_quiet(&self) -> bool {
+        self.in_delay.is_empty() && self.replay.is_empty() && self.noc_out.is_empty()
+    }
+
+    /// Ages the slice clock to `now`, standing in for an elided tick. A
+    /// reference run executes `cur = cur.max(now)` every cycle; the clock
+    /// is serialized, so snapshots would otherwise expose the elision.
+    pub fn sync_quiet(&mut self, now: Cycle) {
+        debug_assert!(self.is_quiet(), "sync_quiet requires a quiet slice");
+        self.cur = self.cur.max(now);
+    }
+
     /// True when no transaction is in flight in this slice.
     pub fn is_idle(&self) -> bool {
         self.in_delay.is_empty()

@@ -245,6 +245,33 @@ impl InterNodeBridge {
         }
     }
 
+    /// True when decoded packets from remote nodes are waiting for the
+    /// chipset to collect via [`InterNodeBridge::recv`]. This is the only
+    /// bridge channel the chipset's own tick drains (the FPGA pumps the
+    /// AXI side every cycle regardless), so it is the exact per-cycle
+    /// probe of the chipset's component sleep.
+    pub fn has_incoming(&self) -> bool {
+        !self.incoming.is_empty()
+    }
+
+    /// True when the FPGA's per-cycle AXI pump would move nothing at this
+    /// bridge on cycle `now`: no queued egress request, no shaped request
+    /// matured, and no response owed to a peer. Exact — under this
+    /// predicate [`InterNodeBridge::axi_pop_req`] and
+    /// [`InterNodeBridge::axi_pop_resp_for_peer`] return `None` with no
+    /// side effects, so the pump may be skipped bit-identically.
+    pub fn axi_quiet(&self, now: Cycle) -> bool {
+        self.out_req.is_empty()
+            && self.resp_for_peer.is_empty()
+            && self.shaper.front_ready_at().is_none_or(|t| t > now)
+    }
+
+    /// When the next shaped request matures, if any — the cycle at which
+    /// [`InterNodeBridge::axi_quiet`] stops holding on its own.
+    pub fn next_axi_ready(&self) -> Option<Cycle> {
+        self.shaper.front_ready_at()
+    }
+
     /// True when nothing is queued or in flight at this bridge.
     pub fn is_idle(&self) -> bool {
         self.shaper.is_empty()

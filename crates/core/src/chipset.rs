@@ -98,6 +98,22 @@ impl Clint {
     pub fn harts(&self) -> usize {
         self.msip.len()
     }
+
+    /// The first cycle at or after `next` whose tick makes some hart's
+    /// timer wire rise, assuming mtime keeps counting one per cycle (and
+    /// has already counted the tick before `next`). Harts whose wire is
+    /// already high are excluded: a high level is stable until software
+    /// reprograms mtimecmp, and that write arrives as an MMIO packet which
+    /// wakes the chipset anyway.
+    pub fn next_timer_crossing(&self, next: Cycle) -> Option<Cycle> {
+        // The tick at cycle t reads mtime = M + (t - (next - 1)), so hart
+        // h first sees mtime >= cmp at t = (next - 1) + (cmp - M).
+        self.mtimecmp
+            .iter()
+            .filter(|&&cmp| cmp > self.mtime)
+            .map(|&cmp| (next - 1).saturating_add(cmp - self.mtime))
+            .min()
+    }
 }
 
 impl SaveState for Clint {
@@ -222,6 +238,19 @@ pub struct Chipset {
     to_mesh: [Port<Packet>; 3],
     memctl_retry: Port<Packet>,
     stats: Stats,
+    /// Component sleep (host-side, derived — never serialized): when
+    /// `Some(w)`, ticks before cycle `w` reduce to the CLINT's mtime
+    /// increment plus cheap wake probes, provided the bridge and UARTs
+    /// stay quiet. Set by `sleep_check` at the end of a full tick, cleared
+    /// by any external input or mutable access.
+    sleep_until: Option<Cycle>,
+    /// Host-side diagnostic: full ticks elided by the component sleep.
+    /// Never part of architectural stats or snapshots.
+    skipped_cycles: u64,
+    /// Host fast-path switch: when false the chipset never arms the
+    /// component sleep, reproducing the plain reference simulator's
+    /// tick-everything behaviour (bit-identical results either way).
+    fast_path: bool,
 }
 
 impl Chipset {
@@ -241,11 +270,22 @@ impl Chipset {
             to_mesh: std::array::from_fn(|vn| Port::elastic_with(format!("to_mesh.vn{vn}"), 8)),
             memctl_retry: Port::elastic_with("memctl_retry", 8),
             stats: Stats::new(),
+            sleep_until: None,
+            skipped_cycles: 0,
+            fast_path: true,
         }
+    }
+
+    /// Toggles the host-side fast path (component sleep). Off = plain
+    /// reference ticking. Cancels any armed sleep immediately.
+    pub fn set_fast_path(&mut self, on: bool) {
+        self.sleep_until = None;
+        self.fast_path = on;
     }
 
     /// The memory controller (host backdoor goes through here).
     pub fn memctl_mut(&mut self) -> &mut MemController {
+        self.sleep_until = None; // external mutation may create work
         &mut self.memctl
     }
 
@@ -254,24 +294,41 @@ impl Chipset {
         &self.memctl
     }
 
-    /// The inter-node bridge (the FPGA pumps its AXI side).
+    /// The inter-node bridge (the FPGA pumps its AXI side). Deliberately
+    /// does NOT clear the component sleep — the FPGA calls this every
+    /// cycle; deliveries the sleep must notice are caught by the per-cycle
+    /// [`InterNodeBridge::has_incoming`] probe instead.
     pub fn bridge_mut(&mut self) -> &mut InterNodeBridge {
         &mut self.bridge
     }
 
     /// The CLINT (tests drive timers directly).
     pub fn clint_mut(&mut self) -> &mut Clint {
+        self.sleep_until = None; // timer reprogramming moves the wake
         &mut self.clint
     }
 
     /// The PLIC (tests drive sources directly).
     pub fn plic_mut(&mut self) -> &mut Plic {
+        self.sleep_until = None; // source levels may change the wires
         &mut self.plic
     }
 
     /// The inter-node bridge's counters.
     pub fn bridge_stats(&self) -> &Stats {
         self.bridge.stats()
+    }
+
+    /// Read-only probe of the bridge's AXI side for the FPGA's quiet
+    /// path; see [`InterNodeBridge::axi_quiet`].
+    pub fn bridge_axi_quiet(&self, now: Cycle) -> bool {
+        self.bridge.axi_quiet(now)
+    }
+
+    /// When the bridge's next shaped AXI request matures, if any; see
+    /// [`InterNodeBridge::next_axi_ready`].
+    pub fn bridge_next_axi_ready(&self) -> Option<Cycle> {
+        self.bridge.next_axi_ready()
     }
 
     /// Counters.
@@ -299,6 +356,7 @@ impl Chipset {
 
     /// A packet arriving from the mesh edge.
     pub fn push_from_mesh(&mut self, now: Cycle, pkt: Packet) {
+        self.sleep_until = None; // external input: exactly what sleep waits for
         if pkt.dst.node != self.node {
             self.bridge.send(now, pkt);
             return;
@@ -427,7 +485,31 @@ impl Chipset {
     }
 
     /// Advances the chipset one cycle.
+    ///
+    /// When the component sleep is armed (`sleep_until`), a tick before
+    /// the wake cycle reduces to the CLINT's mtime increment — the only
+    /// architectural effect a quiescent chipset tick has — guarded by
+    /// exact per-cycle probes of the two channels that can receive work
+    /// without going through [`Chipset::push_from_mesh`]: bridge
+    /// deliveries (the FPGA pumps the AXI side independently) and UART
+    /// wire/host-input events. Everything else the full tick does is a
+    /// provable no-op while the sleep predicate holds, and the interrupt
+    /// wires are stable by construction (timer crossings are folded into
+    /// the wake cycle; MSIP/PLIC/mtimecmp changes arrive as MMIO packets
+    /// which clear the sleep).
     pub fn tick(&mut self, now: Cycle) {
+        if let Some(wake) = self.sleep_until {
+            if now < wake
+                && !self.bridge.has_incoming()
+                && self.uart0.tick_is_noop(now)
+                && self.uart1.tick_is_noop(now)
+            {
+                self.clint.advance(1);
+                self.skipped_cycles += 1;
+                return;
+            }
+            self.sleep_until = None;
+        }
         self.uart0.tick(now);
         self.uart1.tick(now);
         self.clint.tick();
@@ -460,6 +542,85 @@ impl Chipset {
 
         // Interrupt packetizer: diff wire levels, emit packets on change.
         self.packetize_irqs();
+
+        self.sleep_until = if self.fast_path { self.sleep_check(now + 1) } else { None };
+    }
+
+    /// Decides whether the next ticks can be elided, and until when.
+    ///
+    /// Sleep requires every queue the tick drains to be empty and every
+    /// state machine it advances to be at rest; the wake cycle is the
+    /// earliest scheduled event — a UART wire byte maturing or a CLINT
+    /// timer wire rising. `None` means the chipset is busy and must tick.
+    fn sleep_check(&self, next: Cycle) -> Option<Cycle> {
+        if !self.to_mesh.iter().all(Port::is_empty)
+            || !self.memctl_retry.is_empty()
+            || !self.memctl.is_idle()
+            || self.sd.progress.is_some()
+            || self.bridge.has_incoming()
+        {
+            return None;
+        }
+        let mut wake = Cycle::MAX;
+        if let Some(t) = self.uart0.next_event_after(next) {
+            wake = wake.min(t);
+        }
+        if let Some(t) = self.uart1.next_event_after(next) {
+            wake = wake.min(t);
+        }
+        if let Some(t) = self.clint.next_timer_crossing(next) {
+            wake = wake.min(t);
+        }
+        (wake > next).then_some(wake)
+    }
+
+    /// Host-side diagnostic: how many full ticks the component sleep has
+    /// elided so far. Not architectural — excluded from stats, metrics,
+    /// and snapshots.
+    pub fn skipped_cycles(&self) -> u64 {
+        self.skipped_cycles
+    }
+
+    /// True when the tick at `now` is guaranteed to take the skip path:
+    /// sleep armed, not yet due, and the per-cycle wake probes (bridge
+    /// deliveries, UART wire/host events) all quiet. While this holds the
+    /// chipset's mesh-egress queues are empty by the sleep predicate, so
+    /// the node may also skip the pumping around the tick.
+    pub fn tick_is_noop(&self, now: Cycle) -> bool {
+        self.sleep_until.is_some_and(|w| now < w)
+            && !self.bridge.has_incoming()
+            && self.uart0.tick_is_noop(now)
+            && self.uart1.tick_is_noop(now)
+    }
+
+    /// The first cycle after `now` at which a tick may do real work, when
+    /// every tick until then is provably a skip; `None` when the chipset
+    /// must tick at `now`. Unlike `sleep_until` alone, the UART event
+    /// horizon is re-derived here: host console input pushed after the
+    /// sleep was armed does not clear it (the per-cycle probes catch
+    /// that), so a multi-cycle warp must re-ask the UARTs directly.
+    pub fn quiet_bound(&self, now: Cycle) -> Option<Cycle> {
+        if !self.tick_is_noop(now) {
+            return None;
+        }
+        let mut bound = self.sleep_until.expect("tick_is_noop checked");
+        if let Some(t) = self.uart0.next_event_after(now) {
+            bound = bound.min(t);
+        }
+        if let Some(t) = self.uart1.next_event_after(now) {
+            bound = bound.min(t);
+        }
+        (bound > now).then_some(bound)
+    }
+
+    /// Applies `delta` skipped ticks in one step: exactly what `delta`
+    /// per-cycle skip paths would have done (the mtime increments plus the
+    /// host skip counter). Caller guarantees [`Chipset::quiet_bound`]
+    /// covers the whole window.
+    pub fn warp_quiet(&mut self, delta: u64) {
+        debug_assert!(self.sleep_until.is_some(), "warp_quiet requires an armed sleep");
+        self.clint.advance(delta);
+        self.skipped_cycles += delta;
     }
 
     /// The SD state machine: alternating 8-byte load (SD region) and store
@@ -596,6 +757,7 @@ impl SaveState for Chipset {
     }
 
     fn restore(&mut self, r: &mut SnapReader) {
+        self.sleep_until = None; // derived: rebuilt by the next full tick
         r.scoped("memctl", |r| self.memctl.restore(r));
         r.scoped("uart0", |r| self.uart0.restore(r));
         r.scoped("uart1", |r| self.uart1.restore(r));

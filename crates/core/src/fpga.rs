@@ -24,6 +24,9 @@ pub struct Fpga {
     shell: HardShell,
     first_global_node: usize,
     total_nodes: usize,
+    /// Host-side switch: allow the AXI quiet path in [`Fpga::tick`]. Not
+    /// architectural state — never serialized.
+    fast_path: bool,
 }
 
 impl Fpga {
@@ -46,7 +49,25 @@ impl Fpga {
             };
             xbar.map_range(base, NODE_WINDOW, slave);
         }
-        Self { index, nodes, xbar, shell: HardShell::new(index), first_global_node, total_nodes }
+        Self {
+            index,
+            nodes,
+            xbar,
+            shell: HardShell::new(index),
+            first_global_node,
+            total_nodes,
+            fast_path: true,
+        }
+    }
+
+    /// Toggles the whole FPGA's host fast path: every node's (engines,
+    /// component sleep, mesh elision) plus this FPGA's AXI quiet path.
+    /// Off reproduces the plain reference simulator, bit-identically.
+    pub fn set_fast_path(&mut self, on: bool) {
+        self.fast_path = on;
+        for n in &mut self.nodes {
+            n.set_fast_path(on);
+        }
     }
 
     /// Global FPGA index.
@@ -115,6 +136,46 @@ impl Fpga {
         (addr / NODE_WINDOW) as usize
     }
 
+    /// The first cycle after `now` at which ticking this FPGA may do real
+    /// work, when every tick until then is provably reducible to aging
+    /// (every node quiet, every bridge's AXI side silent, crossbar ports
+    /// empty, shell holding nothing); `None` when the FPGA must tick at
+    /// `now`. `Cycle::MAX` means only PCIe deliveries can create work.
+    /// Always `None` in reference mode so a warp never fires there.
+    pub fn quiet_bound(&self, now: Cycle) -> Option<Cycle> {
+        if !self.fast_path || !self.xbar.pump_is_noop() || !self.shell.warp_quiet_ok() {
+            return None;
+        }
+        let mut bound = Cycle::MAX;
+        for n in &self.nodes {
+            bound = bound.min(n.quiet_bound(now)?);
+            if !n.chipset().bridge_axi_quiet(now) {
+                return None;
+            }
+            // An in-flight shaped request bounds the window even though
+            // the bridge is quiet this cycle.
+            if let Some(t) = n.chipset().bridge_next_axi_ready() {
+                if t <= now {
+                    return None;
+                }
+                bound = bound.min(t);
+            }
+        }
+        Some(bound)
+    }
+
+    /// Applies the `delta` quiet ticks of `[now, now + delta)` in one
+    /// step: exactly what that many per-cycle quiet paths would have done
+    /// across the FPGA, including the crossbar's round-robin pointer
+    /// advance. Caller guarantees [`Fpga::quiet_bound`] covers the whole
+    /// window.
+    pub fn warp_quiet(&mut self, now: Cycle, delta: u64) {
+        for n in &mut self.nodes {
+            n.warp_quiet(now, delta);
+        }
+        self.xbar.advance_quiet(delta);
+    }
+
     /// Advances one cycle: nodes, then the AXI plumbing between bridges,
     /// the crossbar, and the shell.
     pub fn tick(&mut self, now: Cycle) {
@@ -127,6 +188,22 @@ impl Fpga {
             n.tick(now);
         }
         let b = self.nodes.len();
+
+        // AXI quiet path: when every bridge's AXI side is quiet at `now`,
+        // every crossbar port is empty, and the shell's CL side holds
+        // nothing, every pump loop below pops `None` immediately (each
+        // probe is exact, and pops on empty ports are meter-neutral). The
+        // tick's only state change is the crossbar's round-robin pointer
+        // advance, which `tick_quiet` preserves so snapshot bytes match a
+        // reference run bit for bit.
+        if self.fast_path
+            && self.xbar.pump_is_noop()
+            && self.shell.cl_quiet()
+            && self.nodes.iter().all(|n| n.chipset().bridge_axi_quiet(now))
+        {
+            self.xbar.tick_quiet();
+            return;
+        }
 
         // Node bridges → crossbar masters; responses back.
         for i in 0..b {

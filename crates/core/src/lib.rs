@@ -53,7 +53,7 @@ pub use config::{
 };
 pub use fpga::Fpga;
 pub use node::Node;
-pub use platform::Platform;
+pub use platform::{HostPerf, Platform};
 pub use plic::{Plic, PLIC_SRC_UART0, PLIC_SRC_UART1};
 pub use uart::{HostSerial, Uart16550};
 pub use watchdog::{FaultReport, Watchdog, WatchdogConfig};

@@ -119,6 +119,64 @@ impl Node {
         &mut self.chipset
     }
 
+    /// Toggles the node's entire host-side fast path: decoded-block
+    /// dispatch in every engine, per-component sleep in tiles and the
+    /// chipset, and the mesh's empty-tick elision. Off reproduces the
+    /// plain reference simulator, bit-identically.
+    pub fn set_fast_path(&mut self, on: bool) {
+        for t in &mut self.tiles {
+            t.set_fast_path(on);
+        }
+        self.chipset.set_fast_path(on);
+        self.mesh.set_fast_path(on);
+    }
+
+    /// Host-side scheduler diagnostics: component ticks elided across the
+    /// node's tiles and chipset, and decoded-block cache totals.
+    pub fn host_perf(&self) -> (u64, u64, u64, u64) {
+        let mut skipped = 0;
+        let mut hits = 0;
+        let mut misses = 0;
+        for t in &self.tiles {
+            skipped += t.skipped_cycles();
+            if let Some((h, m)) = t.engine().block_cache_stats() {
+                hits += h;
+                misses += m;
+            }
+        }
+        (skipped, self.chipset.skipped_cycles(), hits, misses)
+    }
+
+    /// The first cycle after `now` at which ticking this node may do real
+    /// work, when every tick until then is provably the quiet path (all
+    /// tiles sleeping, chipset skip guaranteed, mesh drained); `None` when
+    /// the node must tick at `now`. `Cycle::MAX` means only external input
+    /// (bridge AXI traffic) can create work.
+    pub fn quiet_bound(&self, now: Cycle) -> Option<Cycle> {
+        if !self.mesh.is_drained() {
+            return None;
+        }
+        let mut bound = self.chipset.quiet_bound(now)?;
+        for t in &self.tiles {
+            let wake = t.wake_at()?;
+            if wake <= now {
+                return None;
+            }
+            bound = bound.min(wake);
+        }
+        Some(bound)
+    }
+
+    /// Applies the `delta` quiet-path ticks of `[now, now + delta)` in one
+    /// step: exactly what that many per-cycle quiet paths would have done.
+    /// Caller guarantees [`Node::quiet_bound`] covers the whole window.
+    pub fn warp_quiet(&mut self, now: Cycle, delta: u64) {
+        for t in &mut self.tiles {
+            t.warp_quiet(now, delta);
+        }
+        self.chipset.warp_quiet(delta);
+    }
+
     /// All tiles' engines finished and every queue in the node drained.
     pub fn is_idle(&self) -> bool {
         self.tiles.iter().all(Tile::is_idle) && self.mesh.is_idle() && self.chipset.is_idle()
@@ -142,6 +200,24 @@ impl Node {
 
     /// Advances the node one cycle.
     pub fn tick(&mut self, now: Cycle) {
+        // Quiet path: when every tile and the chipset are provably taking
+        // their skip paths and the mesh holds no packet, all the pumping
+        // below moves nothing — the sleep predicates guarantee every queue
+        // it drains is empty. Reduce the cycle to the skip ticks themselves
+        // (engine aging, mtime increment). Any wake condition — external
+        // push, probe firing, sleep expiry — falls through to the full
+        // path, so behaviour is bit-identical.
+        if self.mesh.is_drained()
+            && self.chipset.tick_is_noop(now)
+            && self.tiles.iter().all(|t| t.is_sleeping(now))
+        {
+            for t in &mut self.tiles {
+                t.tick(now);
+            }
+            self.chipset.tick(now);
+            return;
+        }
+
         for t in &mut self.tiles {
             t.tick(now);
         }

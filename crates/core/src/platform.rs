@@ -5,7 +5,15 @@
 //! The platform offers two equivalent steppers:
 //!
 //! - **Serial** ([`Platform::step`]/[`Platform::run`]): every cycle ticks
-//!   all FPGAs in index order, then pumps the PCIe fabric.
+//!   all FPGAs in index order, then pumps the PCIe fabric. With the host
+//!   fast path on (the default), [`Platform::run`] dispatches multi-FPGA
+//!   prototypes to a *serial epoch driver* that follows the exact epoch
+//!   schedule of the parallel stepper but advances the FPGAs one after
+//!   another on the calling thread — within an epoch no FPGA can observe
+//!   a peer, so each may warp its own quiet stretches independently
+//!   instead of being pinned by the busiest FPGA in a cycle-interleaved
+//!   loop. [`Platform::set_fast_path`]`(false)` restores the plain
+//!   cycle-by-cycle reference loop, bit-identically.
 //! - **Epoch-parallel** ([`Platform::run_parallel`]/[`Platform::step_epoch`]):
 //!   a conservative parallel-discrete-event scheme that exploits the PCIe
 //!   one-way latency `L` as *lookahead*. Anything an FPGA sends at cycle
@@ -39,6 +47,33 @@ use crate::node::Node;
 use crate::uart::HostSerial;
 use crate::watchdog::{FaultReport, Watchdog, WatchdogConfig};
 
+/// Host-side fast-path diagnostics aggregated by [`Platform::host_perf`]:
+/// how much work the decoded-block ISS and the per-component scheduler
+/// elided. Purely observational — never architectural state.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct HostPerf {
+    /// Tile ticks elided by the per-component scheduler.
+    pub skipped_tile_cycles: u64,
+    /// Chipset ticks elided by the per-component scheduler.
+    pub skipped_chipset_cycles: u64,
+    /// Decoded basic-block cache hits across all cores.
+    pub block_cache_hits: u64,
+    /// Decoded basic-block cache misses (fresh decodes) across all cores.
+    pub block_cache_misses: u64,
+}
+
+impl HostPerf {
+    /// Block-cache hit rate in `[0, 1]`; 0 when no lookups happened.
+    pub fn block_cache_hit_rate(&self) -> f64 {
+        let total = self.block_cache_hits + self.block_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.block_cache_hits as f64 / total as f64
+        }
+    }
+}
+
 /// The assembled SMAPPIC prototype plus its host machine.
 ///
 /// The host side models what the paper's host programs do: create virtual
@@ -65,6 +100,10 @@ pub struct Platform {
     host_trace: TraceBuf,
     /// Epochs executed so far (trace-event index).
     epoch_count: u64,
+    /// Host-side switch mirroring [`Platform::set_fast_path`]: the serial
+    /// [`Platform::run`] epoch-steps multi-FPGA prototypes only while the
+    /// fast path is on, so reference mode stays strictly per-cycle.
+    fast_path: bool,
 }
 
 /// One epoch's worth of work handed to an FPGA worker thread.
@@ -182,43 +221,79 @@ fn epoch_worker(
 ) {
     let mut idle_now = fpga.is_idle();
     while let Ok(job) = jobs.recv() {
-        let mut inbound = job.inbound;
-        // Oldest-first lists, consumed from the front: flip them once so
-        // each delivery is an O(1) pop from the back.
-        for q in &mut inbound {
-            q.reverse();
-        }
-        let mut sends: Vec<(Cycle, usize, PcieItem)> = Vec::new();
-        let mut last_active = None;
-        for t in job.start..job.start + job.len {
-            fpga.tick(t);
-            let sent_before = sends.len();
-            drain_shell_outbound(fpga, |to, item| sends.push((t, to, item)));
-            let mut delivered = false;
-            // Ascending peer order matches the serial pump's lexicographic
-            // link order as seen by this receiver.
-            for (peer, q) in inbound.iter_mut().enumerate() {
-                while q.last().is_some_and(|(ready, _)| *ready <= t) {
-                    let (_, flight) = q.pop().expect("last checked");
-                    deliver_flight(fpga, t, peer, flight);
-                    delivered = true;
-                }
-            }
-            if job.track {
-                // A cycle is active if the FPGA had work before or after
-                // the tick, or traffic moved. Quiescence is the cycle
-                // after the last active one.
-                let idle_after = fpga.is_idle();
-                if !idle_now || !idle_after || delivered || sends.len() > sent_before {
-                    last_active = Some(t);
-                }
-                idle_now = idle_after;
-            }
-        }
-        if out.send(EpochOut { worker: w, sends, last_active, idle_at_end: idle_now }).is_err() {
+        let o = fpga_epoch(w, fpga, job, &mut idle_now);
+        if out.send(o).is_err() {
             break;
         }
     }
+}
+
+/// One FPGA's epoch: advance through `job` cycle by cycle (or in quiet
+/// warps), delivering the pre-extracted inbound flights at their exact
+/// cycles and buffering outbound sends for the barrier to replay. Shared
+/// by the parallel workers and the serial epoch driver — same code, same
+/// results.
+fn fpga_epoch(w: usize, fpga: &mut Fpga, job: EpochJob, idle_now: &mut bool) -> EpochOut {
+    let mut inbound = job.inbound;
+    // Oldest-first lists, consumed from the front: flip them once so
+    // each delivery is an O(1) pop from the back.
+    for q in &mut inbound {
+        q.reverse();
+    }
+    let mut sends: Vec<(Cycle, usize, PcieItem)> = Vec::new();
+    let mut last_active = None;
+    let end = job.start + job.len;
+    let mut t = job.start;
+    while t < end {
+        // Quiet warp, per FPGA: within an epoch no external input can
+        // arrive except the pre-extracted deliveries below, so when
+        // the FPGA is provably quiet the skip ticks up to the earliest
+        // of (component wake, next delivery, epoch end) batch into one
+        // warp — bit-identical to ticking through them.
+        if let Some(bound) = fpga.quiet_bound(t) {
+            let mut stop = bound.min(end);
+            for q in &inbound {
+                if let Some(&(ready, _)) = q.last() {
+                    stop = stop.min(ready);
+                }
+            }
+            if stop > t {
+                fpga.warp_quiet(t, stop - t);
+                if job.track && !*idle_now {
+                    // A quiet-but-not-idle FPGA counts every cycle as
+                    // active, exactly as the per-cycle loop would.
+                    last_active = Some(stop - 1);
+                }
+                t = stop;
+                continue;
+            }
+        }
+        fpga.tick(t);
+        let sent_before = sends.len();
+        drain_shell_outbound(fpga, |to, item| sends.push((t, to, item)));
+        let mut delivered = false;
+        // Ascending peer order matches the serial pump's lexicographic
+        // link order as seen by this receiver.
+        for (peer, q) in inbound.iter_mut().enumerate() {
+            while q.last().is_some_and(|(ready, _)| *ready <= t) {
+                let (_, flight) = q.pop().expect("last checked");
+                deliver_flight(fpga, t, peer, flight);
+                delivered = true;
+            }
+        }
+        if job.track {
+            // A cycle is active if the FPGA had work before or after
+            // the tick, or traffic moved. Quiescence is the cycle
+            // after the last active one.
+            let idle_after = fpga.is_idle();
+            if !*idle_now || !idle_after || delivered || sends.len() > sent_before {
+                last_active = Some(t);
+            }
+            *idle_now = idle_after;
+        }
+        t += 1;
+    }
+    EpochOut { worker: w, sends, last_active, idle_at_end: *idle_now }
 }
 
 impl Platform {
@@ -293,6 +368,7 @@ impl Platform {
             host_epochs: Histogram::new(),
             host_trace: TraceBuf::new(4096),
             epoch_count: 0,
+            fast_path: true,
         }
     }
 
@@ -347,6 +423,37 @@ impl Platform {
     /// Installs an engine into tile `t` of node `g`.
     pub fn set_engine(&mut self, g: usize, t: TileId, engine: Box<dyn Engine>) {
         self.node_mut(g).set_engine(t, engine);
+    }
+
+    /// Toggles every engine's host-side fast path (decoded basic-block
+    /// dispatch). On by default; turning it off yields the plain
+    /// decode-every-instruction reference interpreter. Purely a host
+    /// switch — runs must be bit-identical either way (the differential
+    /// suites assert exactly that), so this is NOT part of [`Config`] and
+    /// does not enter the config digest.
+    pub fn set_fast_path(&mut self, on: bool) {
+        self.fast_path = on;
+        for f in &mut self.fpgas {
+            f.set_fast_path(on);
+        }
+    }
+
+    /// Host-side performance diagnostics of the fast path: ticks elided by
+    /// the per-component scheduler and decoded-block cache totals. Never
+    /// part of architectural stats, metrics, or snapshots — serial and
+    /// parallel steppers may legitimately differ here.
+    pub fn host_perf(&self) -> HostPerf {
+        let mut p = HostPerf::default();
+        for f in &self.fpgas {
+            for n in f.nodes() {
+                let (tiles, chipset, hits, misses) = n.host_perf();
+                p.skipped_tile_cycles += tiles;
+                p.skipped_chipset_cycles += chipset;
+                p.block_cache_hits += hits;
+                p.block_cache_misses += misses;
+            }
+        }
+        p
     }
 
     /// The standard address map for a core on node `g`: UARTs, CLINT, and
@@ -436,10 +543,112 @@ impl Platform {
     }
 
     /// Runs for `cycles` cycles.
+    ///
+    /// Globally quiet stretches are warped: while every FPGA reports a
+    /// [`Fpga::quiet_bound`] (all components provably on their skip paths)
+    /// and no PCIe delivery matures, the per-cycle skip ticks are batched
+    /// into one [`Fpga::warp_quiet`] — bit-identical to stepping, just
+    /// without touching every component every cycle. Reference mode
+    /// (fast path off) never warps.
     pub fn run(&mut self, cycles: u64) {
-        for _ in 0..cycles {
-            self.step();
+        // Multi-FPGA fast path: drive the same epoch schedule the parallel
+        // stepper uses (bit-identical by construction), on this thread.
+        // Inside an epoch each FPGA warps its own quiet stretches
+        // independently — the cycle-interleaved loop below can only warp
+        // when *every* FPGA is quiet at once, so one busy FPGA pins all of
+        // its peers to per-cycle stepping.
+        if self.fast_path && cycles > 0 && self.lookahead() > 0 {
+            self.run_epochs_serial(cycles);
+            return;
         }
+        let mut spent = 0u64;
+        while spent < cycles {
+            if let Some(delta) = self.quiet_delta(cycles - spent) {
+                let now = self.now;
+                for f in &mut self.fpgas {
+                    f.warp_quiet(now, delta);
+                }
+                self.now += delta;
+                spent += delta;
+                continue;
+            }
+            self.step();
+            spent += 1;
+        }
+    }
+
+    /// The serial epoch driver: identical epoch schedule, pre-extraction,
+    /// and barrier replay order to [`Platform::run_epochs`], with the
+    /// FPGAs advanced one after another on this thread instead of on
+    /// workers. Within an epoch no FPGA can observe a peer (that is what
+    /// the lookahead guarantees), so sequential execution order is
+    /// immaterial and the result is bit-identical to both the threaded
+    /// epoch stepper and the cycle-interleaved serial stepper.
+    fn run_epochs_serial(&mut self, max_cycles: u64) {
+        let nf = self.fpgas.len();
+        let lookahead =
+            self.links.iter().map(|(_, l)| l.one_way_latency()).min().expect("links exist");
+        let start_now = self.now;
+        let mut idle_flags: Vec<bool> = self.fpgas.iter().map(|f| f.is_idle()).collect();
+        let mut spent = 0u64;
+        while spent < max_cycles {
+            let len = lookahead.min(max_cycles - spent);
+            let epoch_start = start_now + spent;
+            let horizon = epoch_start + len;
+            self.host_epochs.record(len);
+            let idx = self.epoch_count;
+            self.epoch_count += 1;
+            self.host_trace
+                .record(epoch_start, || TraceEventKind::Epoch { index: idx, width: len });
+            let mut schedules: Vec<Vec<Vec<(Cycle, Flight)>>> =
+                (0..nf).map(|_| (0..nf).map(|_| Vec::new()).collect()).collect();
+            for ((a, b), link) in self.links.iter_mut() {
+                schedules[*b][*a] = link.take_flights_to_b_before(horizon);
+                schedules[*a][*b] = link.take_flights_to_a_before(horizon);
+            }
+            let mut outs = Vec::with_capacity(nf);
+            for (w, fpga) in self.fpgas.iter_mut().enumerate() {
+                let job = EpochJob {
+                    start: epoch_start,
+                    len,
+                    inbound: std::mem::take(&mut schedules[w]),
+                    track: false,
+                };
+                outs.push(fpga_epoch(w, fpga, job, &mut idle_flags[w]));
+            }
+            // Barrier: replay sends in the same fixed (from, to) order the
+            // threaded stepper uses.
+            for o in &mut outs {
+                for (t, to, item) in o.sends.drain(..) {
+                    link_send_indexed(&mut self.links, &self.link_idx, nf, t, o.worker, to, item);
+                }
+            }
+            spent += len;
+        }
+        self.now = start_now + spent;
+    }
+
+    /// How many upcoming cycles are provably skippable from the current
+    /// cycle (capped at `budget`), or `None` when the next cycle must be
+    /// stepped. Skippable means: every FPGA quiet through the window and
+    /// no PCIe link delivery maturing inside it.
+    fn quiet_delta(&self, budget: u64) -> Option<u64> {
+        let now = self.now;
+        let mut bound = Cycle::MAX;
+        for f in &self.fpgas {
+            bound = bound.min(f.quiet_bound(now)?);
+        }
+        for (_, l) in &self.links {
+            if let Some(t) = l.next_delivery_at() {
+                if t <= now {
+                    return None;
+                }
+                bound = bound.min(t);
+            }
+        }
+        // `bound` is the first cycle that may do real work; everything
+        // strictly before it is a skip.
+        Some((bound - now).min(budget)).filter(|&d| d > 0)
     }
 
     /// Runs until `pred` returns true, up to `max` cycles. Returns true

@@ -72,18 +72,20 @@ impl Plic {
 
     /// Best pending source for `hart`: enabled, priority above threshold,
     /// highest priority wins (lowest ID breaks ties).
+    ///
+    /// Walks only the set bits of `pending & enable` — the packetizer calls
+    /// this for every hart every cycle, and the common case (no pending
+    /// enabled source) must cost one AND. Ascending bit order plus the
+    /// strict `>` keeps the lowest-ID tie-break of the scalar loop; bit 0
+    /// can never be set because source 0's enable is masked on write.
     fn best(&self, hart: usize) -> Option<u32> {
+        let mut cand = self.pending & self.enable[hart];
         let mut best: Option<(u32, u32)> = None;
-        for src in 1..PLIC_SOURCES as u32 {
-            let bit = 1u32 << src;
-            if self.pending & bit == 0 || self.enable[hart] & bit == 0 {
-                continue;
-            }
+        while cand != 0 {
+            let src = cand.trailing_zeros();
+            cand &= cand - 1;
             let prio = self.priority[src as usize];
-            if prio <= self.threshold[hart] {
-                continue;
-            }
-            if best.is_none_or(|(bp, _)| prio > bp) {
+            if prio > self.threshold[hart] && best.is_none_or(|(bp, _)| prio > bp) {
                 best = Some((prio, src));
             }
         }

@@ -152,6 +152,18 @@ impl Uart16550 {
         self.bytes_tx
     }
 
+    /// True when a tick at `now` would be a pure no-op: no host input is
+    /// waiting to enter the RX shaper and no wire byte in either direction
+    /// has matured. This is the exact per-cycle probe of the chipset's
+    /// component sleep — unlike [`Uart16550::next_event_after`], which
+    /// reports events strictly *after* `now`, this answers for `now`
+    /// itself (a byte that matured at or before `now` makes the tick pop).
+    pub fn tick_is_noop(&self, now: Cycle) -> bool {
+        self.host.input.is_empty()
+            && self.tx.front_ready_at().is_none_or(|r| r > now)
+            && self.rx.front_ready_at().is_none_or(|r| r > now)
+    }
+
     /// The next cycle after `now` at which ticking this UART would do
     /// anything: a wire byte maturing in either direction, or — when the
     /// host has input queued — the very next cycle (one byte enters the RX

@@ -537,7 +537,10 @@ fn encode_stmt(
         "ebreak" => push32(&mut out, 0x0010_0073),
         "mret" => push32(&mut out, 0x3020_0073),
         "wfi" => push32(&mut out, 0x1050_0073),
-        "fence" | "fence.i" => push32(&mut out, 0x0000_000F),
+        "fence" => push32(&mut out, 0x0000_000F),
+        // funct3=1 distinguishes fence.i; the decoder keys the i-stream
+        // flush (and the block-cache invalidation) on exactly that bit.
+        "fence.i" => push32(&mut out, 0x0000_100F),
 
         // ---- U/J-type ----
         "lui" => push32(&mut out, enc_u(ctx.imm(arg(1)?)? << 12, ctx.reg(arg(0)?)?, 0x37)),

@@ -224,64 +224,44 @@ impl Hart {
 
     /// Decodes and executes one instruction. The pc advances for
     /// everything except exceptions, ECALL, EBREAK, and WFI.
+    ///
+    /// This is exactly `execute_decoded(&Hart::decode(instr))` — the plain
+    /// interpreter and the decoded-block fast path share one semantic
+    /// implementation, so they cannot drift apart.
     pub fn execute(&mut self, instr: u32) -> Outcome {
-        let op = instr & 0x7F;
+        self.execute_decoded(&Self::decode(instr))
+    }
+
+    /// Pre-decodes one instruction into its semantic form.
+    ///
+    /// Pure function of the 32 raw bits: register reads, pc arithmetic,
+    /// alignment checks, and reservation state all stay dynamic in
+    /// [`Hart::execute_decoded`], so a [`DecodedOp`] can be cached and
+    /// replayed any number of times.
+    pub fn decode(instr: u32) -> DecodedOp {
         let rd = ((instr >> 7) & 0x1F) as u8;
-        let rs1 = ((instr >> 15) & 0x1F) as usize;
-        let rs2 = ((instr >> 20) & 0x1F) as usize;
+        let rs1 = ((instr >> 15) & 0x1F) as u8;
+        let rs2 = ((instr >> 20) & 0x1F) as u8;
         let f3 = (instr >> 12) & 0x7;
         let f7 = instr >> 25;
-        let x1 = self.regs[rs1];
-        let x2 = self.regs[rs2];
-
-        macro_rules! retire {
-            ($e:expr) => {{
-                self.set_reg(rd as usize, $e);
-                self.pc += 4;
-                self.csrs.minstret += 1;
-                Outcome::Retired
-            }};
-        }
-
-        match op {
-            0x37 => retire!(imm_u(instr)),                       // LUI
-            0x17 => retire!(self.pc.wrapping_add(imm_u(instr))), // AUIPC
-            0x6F => {
-                // JAL
-                let target = self.pc.wrapping_add(imm_j(instr));
-                let link = self.pc + 4;
-                self.set_reg(rd as usize, link);
-                self.pc = target;
-                self.csrs.minstret += 1;
-                Outcome::Retired
-            }
-            0x67 => {
-                // JALR
-                let target = x1.wrapping_add(imm_i(instr)) & !1;
-                let link = self.pc + 4;
-                self.set_reg(rd as usize, link);
-                self.pc = target;
-                self.csrs.minstret += 1;
-                Outcome::Retired
-            }
+        match instr & 0x7F {
+            0x37 => DecodedOp::Lui { rd, imm: imm_u(instr) },
+            0x17 => DecodedOp::Auipc { rd, imm: imm_u(instr) },
+            0x6F => DecodedOp::Jal { rd, off: imm_j(instr) },
+            0x67 => DecodedOp::Jalr { rd, rs1, imm: imm_i(instr) },
             0x63 => {
-                // Branches
-                let taken = match f3 {
-                    0 => x1 == x2,
-                    1 => x1 != x2,
-                    4 => (x1 as i64) < (x2 as i64),
-                    5 => (x1 as i64) >= (x2 as i64),
-                    6 => x1 < x2,
-                    7 => x1 >= x2,
-                    _ => return Outcome::Exception(Trap::IllegalInstruction(instr)),
+                let cond = match f3 {
+                    0 => BranchCond::Eq,
+                    1 => BranchCond::Ne,
+                    4 => BranchCond::Lt,
+                    5 => BranchCond::Ge,
+                    6 => BranchCond::Ltu,
+                    7 => BranchCond::Geu,
+                    _ => return DecodedOp::Illegal(instr),
                 };
-                self.pc = if taken { self.pc.wrapping_add(imm_b(instr)) } else { self.pc + 4 };
-                self.csrs.minstret += 1;
-                Outcome::Retired
+                DecodedOp::Branch { cond, rs1, rs2, off: imm_b(instr) }
             }
             0x03 => {
-                // Loads
-                let addr = x1.wrapping_add(imm_i(instr));
                 let (size, signed) = match f3 {
                     0 => (1, true),
                     1 => (2, true),
@@ -290,150 +270,282 @@ impl Hart {
                     4 => (1, false),
                     5 => (2, false),
                     6 => (4, false),
-                    _ => return Outcome::Exception(Trap::IllegalInstruction(instr)),
+                    _ => return DecodedOp::Illegal(instr),
                 };
+                DecodedOp::Load { rd, rs1, imm: imm_i(instr), size, signed }
+            }
+            0x23 => {
+                let size = match f3 {
+                    0 => 1,
+                    1 => 2,
+                    2 => 4,
+                    3 => 8,
+                    _ => return DecodedOp::Illegal(instr),
+                };
+                DecodedOp::Store { rs1, rs2, imm: imm_s(instr), size }
+            }
+            0x13 => {
+                let shamt = u64::from((instr >> 20) & 0x3F);
+                let (f, imm) = match f3 {
+                    0 => (AluImmOp::Add, imm_i(instr)),
+                    1 if f7 >> 1 == 0 => (AluImmOp::Sll, shamt),
+                    2 => (AluImmOp::Slt, imm_i(instr)),
+                    3 => (AluImmOp::Sltu, imm_i(instr)),
+                    4 => (AluImmOp::Xor, imm_i(instr)),
+                    5 if instr >> 26 == 0 => (AluImmOp::Srl, shamt),
+                    5 if instr >> 26 == 0x10 => (AluImmOp::Sra, shamt),
+                    6 => (AluImmOp::Or, imm_i(instr)),
+                    7 => (AluImmOp::And, imm_i(instr)),
+                    _ => return DecodedOp::Illegal(instr),
+                };
+                DecodedOp::AluImm { f, rd, rs1, imm }
+            }
+            0x1B => {
+                let shamt = u64::from((instr >> 20) & 0x1F);
+                let (f, imm) = match (f3, f7) {
+                    (0, _) => (AluImmOp::AddW, imm_i(instr)),
+                    (1, 0) => (AluImmOp::SllW, shamt),
+                    (5, 0) => (AluImmOp::SrlW, shamt),
+                    (5, 0x20) => (AluImmOp::SraW, shamt),
+                    _ => return DecodedOp::Illegal(instr),
+                };
+                DecodedOp::AluImm { f, rd, rs1, imm }
+            }
+            0x33 => {
+                let f = match (f3, f7) {
+                    (0, 0x00) => AluOp::Add,
+                    (0, 0x20) => AluOp::Sub,
+                    (0, 0x01) => AluOp::Mul,
+                    (1, 0x00) => AluOp::Sll,
+                    (1, 0x01) => AluOp::Mulh,
+                    (2, 0x00) => AluOp::Slt,
+                    (2, 0x01) => AluOp::Mulhsu,
+                    (3, 0x00) => AluOp::Sltu,
+                    (3, 0x01) => AluOp::Mulhu,
+                    (4, 0x00) => AluOp::Xor,
+                    (4, 0x01) => AluOp::Div,
+                    (5, 0x00) => AluOp::Srl,
+                    (5, 0x20) => AluOp::Sra,
+                    (5, 0x01) => AluOp::Divu,
+                    (6, 0x00) => AluOp::Or,
+                    (6, 0x01) => AluOp::Rem,
+                    (7, 0x00) => AluOp::And,
+                    (7, 0x01) => AluOp::Remu,
+                    _ => return DecodedOp::Illegal(instr),
+                };
+                DecodedOp::Alu { f, rd, rs1, rs2 }
+            }
+            0x3B => {
+                let f = match (f3, f7) {
+                    (0, 0x00) => AluOp::AddW,
+                    (0, 0x20) => AluOp::SubW,
+                    (0, 0x01) => AluOp::MulW,
+                    (1, 0x00) => AluOp::SllW,
+                    (4, 0x01) => AluOp::DivW,
+                    (5, 0x00) => AluOp::SrlW,
+                    (5, 0x20) => AluOp::SraW,
+                    (5, 0x01) => AluOp::DivuW,
+                    (6, 0x01) => AluOp::RemW,
+                    (7, 0x01) => AluOp::RemuW,
+                    _ => return DecodedOp::Illegal(instr),
+                };
+                DecodedOp::Alu { f, rd, rs1, rs2 }
+            }
+            // FENCE / FENCE.I: our per-hart memory pipeline is in-order and
+            // blocking, so fences retire as architectural no-ops (FENCE.I
+            // additionally flushes the wrapper's instruction caches).
+            0x0F => DecodedOp::Fence { fencei: f3 == 1 },
+            0x2F => {
+                let size = match f3 {
+                    2 => 4u8,
+                    3 => 8u8,
+                    _ => return DecodedOp::Illegal(instr),
+                };
+                match f7 >> 2 {
+                    0x02 => DecodedOp::Lr { rd, rs1, size },
+                    0x03 => DecodedOp::Sc { rd, rs1, rs2, size },
+                    funct5 => {
+                        let op = match funct5 {
+                            0x01 => MemAmoOp::Swap,
+                            0x00 => MemAmoOp::Add,
+                            0x04 => MemAmoOp::Xor,
+                            0x0C => MemAmoOp::And,
+                            0x08 => MemAmoOp::Or,
+                            0x10 => MemAmoOp::Min,
+                            0x14 => MemAmoOp::Max,
+                            0x18 => MemAmoOp::MinU,
+                            0x1C => MemAmoOp::MaxU,
+                            // The alignment check still precedes the
+                            // illegal-funct5 trap, matching hardware
+                            // priority — this needs a dedicated variant.
+                            _ => return DecodedOp::AmoIllegal { raw: instr, rs1, size },
+                        };
+                        DecodedOp::Amo { op, rd, rs1, rs2, size }
+                    }
+                }
+            }
+            0x73 => match f3 {
+                0 => match instr {
+                    0x0000_0073 => DecodedOp::Ecall,
+                    0x0010_0073 => DecodedOp::Ebreak,
+                    0x3020_0073 => DecodedOp::Mret,
+                    0x1050_0073 => DecodedOp::Wfi,
+                    _ => DecodedOp::Illegal(instr),
+                },
+                1..=3 | 5..=7 => {
+                    let Some(csr) = Csr::from_addr(instr >> 20) else {
+                        return DecodedOp::Illegal(instr);
+                    };
+                    DecodedOp::Csr { csr, rd, rs1, kind: (f3 & 3) as u8, uimm: f3 >= 5 }
+                }
+                _ => DecodedOp::Illegal(instr),
+            },
+            _ => DecodedOp::Illegal(instr),
+        }
+    }
+
+    /// Executes one pre-decoded instruction (see [`Hart::decode`]).
+    pub fn execute_decoded(&mut self, d: &DecodedOp) -> Outcome {
+        macro_rules! retire {
+            ($rd:expr, $e:expr) => {{
+                self.set_reg($rd as usize, $e);
+                self.pc += 4;
+                self.csrs.minstret += 1;
+                Outcome::Retired
+            }};
+        }
+
+        match *d {
+            DecodedOp::Lui { rd, imm } => retire!(rd, imm),
+            DecodedOp::Auipc { rd, imm } => retire!(rd, self.pc.wrapping_add(imm)),
+            DecodedOp::Jal { rd, off } => {
+                let target = self.pc.wrapping_add(off);
+                let link = self.pc + 4;
+                self.set_reg(rd as usize, link);
+                self.pc = target;
+                self.csrs.minstret += 1;
+                Outcome::Retired
+            }
+            DecodedOp::Jalr { rd, rs1, imm } => {
+                let target = self.regs[rs1 as usize].wrapping_add(imm) & !1;
+                let link = self.pc + 4;
+                self.set_reg(rd as usize, link);
+                self.pc = target;
+                self.csrs.minstret += 1;
+                Outcome::Retired
+            }
+            DecodedOp::Branch { cond, rs1, rs2, off } => {
+                let (x1, x2) = (self.regs[rs1 as usize], self.regs[rs2 as usize]);
+                let taken = match cond {
+                    BranchCond::Eq => x1 == x2,
+                    BranchCond::Ne => x1 != x2,
+                    BranchCond::Lt => (x1 as i64) < (x2 as i64),
+                    BranchCond::Ge => (x1 as i64) >= (x2 as i64),
+                    BranchCond::Ltu => x1 < x2,
+                    BranchCond::Geu => x1 >= x2,
+                };
+                self.pc = if taken { self.pc.wrapping_add(off) } else { self.pc + 4 };
+                self.csrs.minstret += 1;
+                Outcome::Retired
+            }
+            DecodedOp::Load { rd, rs1, imm, size, signed } => {
+                let addr = self.regs[rs1 as usize].wrapping_add(imm);
                 if !addr.is_multiple_of(u64::from(size)) {
                     return Outcome::Exception(Trap::LoadMisaligned(addr));
                 }
                 self.pc += 4;
                 Outcome::Load { addr, size, signed, rd, reserve: false }
             }
-            0x23 => {
-                // Stores
-                let addr = x1.wrapping_add(imm_s(instr));
-                let size = match f3 {
-                    0 => 1,
-                    1 => 2,
-                    2 => 4,
-                    3 => 8,
-                    _ => return Outcome::Exception(Trap::IllegalInstruction(instr)),
-                };
+            DecodedOp::Store { rs1, rs2, imm, size } => {
+                let addr = self.regs[rs1 as usize].wrapping_add(imm);
                 if !addr.is_multiple_of(u64::from(size)) {
                     return Outcome::Exception(Trap::StoreMisaligned(addr));
                 }
                 self.pc += 4;
-                Outcome::Store { addr, size, data: x2 & mask(size) }
+                Outcome::Store { addr, size, data: self.regs[rs2 as usize] & mask(size) }
             }
-            0x13 => {
-                // OP-IMM
-                let imm = imm_i(instr);
-                let shamt = (instr >> 20) & 0x3F;
-                let v = match f3 {
-                    0 => x1.wrapping_add(imm),
-                    1 if f7 >> 1 == 0 => x1 << shamt,
-                    2 => u64::from((x1 as i64) < (imm as i64)),
-                    3 => u64::from(x1 < imm),
-                    4 => x1 ^ imm,
-                    5 if instr >> 26 == 0 => x1 >> shamt,
-                    5 if instr >> 26 == 0x10 => ((x1 as i64) >> shamt) as u64,
-                    6 => x1 | imm,
-                    7 => x1 & imm,
-                    _ => return Outcome::Exception(Trap::IllegalInstruction(instr)),
+            DecodedOp::AluImm { f, rd, rs1, imm } => {
+                let x1 = self.regs[rs1 as usize];
+                let v = match f {
+                    AluImmOp::Add => x1.wrapping_add(imm),
+                    AluImmOp::Sll => x1 << imm,
+                    AluImmOp::Slt => u64::from((x1 as i64) < (imm as i64)),
+                    AluImmOp::Sltu => u64::from(x1 < imm),
+                    AluImmOp::Xor => x1 ^ imm,
+                    AluImmOp::Srl => x1 >> imm,
+                    AluImmOp::Sra => ((x1 as i64) >> imm) as u64,
+                    AluImmOp::Or => x1 | imm,
+                    AluImmOp::And => x1 & imm,
+                    AluImmOp::AddW => ((x1 as u32).wrapping_add(imm as u32) as i32 as i64) as u64,
+                    AluImmOp::SllW => (((x1 as u32) << imm) as i32 as i64) as u64,
+                    AluImmOp::SrlW => (((x1 as u32) >> imm) as i32 as i64) as u64,
+                    AluImmOp::SraW => ((((x1 as u32) as i32) >> imm) as i64) as u64,
                 };
-                retire!(v)
+                retire!(rd, v)
             }
-            0x1B => {
-                // OP-IMM-32
-                let imm = imm_i(instr);
-                let shamt = (instr >> 20) & 0x1F;
-                let w = x1 as u32;
-                let v32 = match (f3, f7) {
-                    (0, _) => w.wrapping_add(imm as u32),
-                    (1, 0) => w << shamt,
-                    (5, 0) => w >> shamt,
-                    (5, 0x20) => ((w as i32) >> shamt) as u32,
-                    _ => return Outcome::Exception(Trap::IllegalInstruction(instr)),
-                };
-                retire!(v32 as i32 as i64 as u64)
-            }
-            0x33 => {
-                // OP
-                let v = match (f3, f7) {
-                    (0, 0x00) => x1.wrapping_add(x2),
-                    (0, 0x20) => x1.wrapping_sub(x2),
-                    (0, 0x01) => x1.wrapping_mul(x2), // MUL
-                    (1, 0x00) => x1 << (x2 & 0x3F),
-                    (1, 0x01) => (((x1 as i64 as i128) * (x2 as i64 as i128)) >> 64) as u64, // MULH
-                    (2, 0x00) => u64::from((x1 as i64) < (x2 as i64)),
-                    (2, 0x01) => (((x1 as i64 as i128) * (x2 as i128)) >> 64) as u64, // MULHSU
-                    (3, 0x00) => u64::from(x1 < x2),
-                    (3, 0x01) => ((u128::from(x1) * u128::from(x2)) >> 64) as u64, // MULHU
-                    (4, 0x00) => x1 ^ x2,
-                    (4, 0x01) => div_s(x1 as i64, x2 as i64) as u64, // DIV
-                    (5, 0x00) => x1 >> (x2 & 0x3F),
-                    (5, 0x20) => ((x1 as i64) >> (x2 & 0x3F)) as u64,
-                    (5, 0x01) => x1.checked_div(x2).unwrap_or(u64::MAX), // DIVU
-                    (6, 0x00) => x1 | x2,
-                    (6, 0x01) => rem_s(x1 as i64, x2 as i64) as u64, // REM
-                    (7, 0x00) => x1 & x2,
-                    (7, 0x01) => {
+            DecodedOp::Alu { f, rd, rs1, rs2 } => {
+                let (x1, x2) = (self.regs[rs1 as usize], self.regs[rs2 as usize]);
+                let (w1, w2) = (x1 as u32, x2 as u32);
+                let v = match f {
+                    AluOp::Add => x1.wrapping_add(x2),
+                    AluOp::Sub => x1.wrapping_sub(x2),
+                    AluOp::Mul => x1.wrapping_mul(x2),
+                    AluOp::Sll => x1 << (x2 & 0x3F),
+                    AluOp::Mulh => (((x1 as i64 as i128) * (x2 as i64 as i128)) >> 64) as u64,
+                    AluOp::Slt => u64::from((x1 as i64) < (x2 as i64)),
+                    AluOp::Mulhsu => (((x1 as i64 as i128) * (x2 as i128)) >> 64) as u64,
+                    AluOp::Sltu => u64::from(x1 < x2),
+                    AluOp::Mulhu => ((u128::from(x1) * u128::from(x2)) >> 64) as u64,
+                    AluOp::Xor => x1 ^ x2,
+                    AluOp::Div => div_s(x1 as i64, x2 as i64) as u64,
+                    AluOp::Srl => x1 >> (x2 & 0x3F),
+                    AluOp::Sra => ((x1 as i64) >> (x2 & 0x3F)) as u64,
+                    AluOp::Divu => x1.checked_div(x2).unwrap_or(u64::MAX),
+                    AluOp::Or => x1 | x2,
+                    AluOp::Rem => rem_s(x1 as i64, x2 as i64) as u64,
+                    AluOp::And => x1 & x2,
+                    AluOp::Remu => {
                         if x2 == 0 {
                             x1
                         } else {
                             x1 % x2
                         }
-                    } // REMU
-                    _ => return Outcome::Exception(Trap::IllegalInstruction(instr)),
+                    }
+                    AluOp::AddW => (w1.wrapping_add(w2) as i32 as i64) as u64,
+                    AluOp::SubW => (w1.wrapping_sub(w2) as i32 as i64) as u64,
+                    AluOp::MulW => (w1.wrapping_mul(w2) as i32 as i64) as u64,
+                    AluOp::SllW => ((w1 << (w2 & 0x1F)) as i32 as i64) as u64,
+                    AluOp::DivW => (div_s32(w1 as i32, w2 as i32) as i64) as u64,
+                    AluOp::SrlW => ((w1 >> (w2 & 0x1F)) as i32 as i64) as u64,
+                    AluOp::SraW => (((w1 as i32) >> (w2 & 0x1F)) as i64) as u64,
+                    AluOp::DivuW => (w1.checked_div(w2).unwrap_or(u32::MAX) as i32 as i64) as u64,
+                    AluOp::RemW => (rem_s32(w1 as i32, w2 as i32) as i64) as u64,
+                    AluOp::RemuW => {
+                        let r = if w2 == 0 { w1 } else { w1 % w2 };
+                        (r as i32 as i64) as u64
+                    }
                 };
-                retire!(v)
+                retire!(rd, v)
             }
-            0x3B => {
-                // OP-32
-                let w1 = x1 as u32;
-                let w2 = x2 as u32;
-                let v32: u32 = match (f3, f7) {
-                    (0, 0x00) => w1.wrapping_add(w2),
-                    (0, 0x20) => w1.wrapping_sub(w2),
-                    (0, 0x01) => w1.wrapping_mul(w2), // MULW
-                    (1, 0x00) => w1 << (w2 & 0x1F),
-                    (4, 0x01) => div_s32(w1 as i32, w2 as i32) as u32, // DIVW
-                    (5, 0x00) => w1 >> (w2 & 0x1F),
-                    (5, 0x20) => ((w1 as i32) >> (w2 & 0x1F)) as u32,
-                    (5, 0x01) => w1.checked_div(w2).unwrap_or(u32::MAX), // DIVUW
-                    (6, 0x01) => rem_s32(w1 as i32, w2 as i32) as u32,   // REMW
-                    (7, 0x01) => {
-                        if w2 == 0 {
-                            w1
-                        } else {
-                            w1 % w2
-                        }
-                    } // REMUW
-                    _ => return Outcome::Exception(Trap::IllegalInstruction(instr)),
-                };
-                retire!(v32 as i32 as i64 as u64)
-            }
-            0x0F => {
-                // FENCE / FENCE.I: our per-hart memory pipeline is in-order
-                // and blocking, so fences are architectural no-ops.
+            DecodedOp::Fence { .. } => {
                 self.pc += 4;
                 self.csrs.minstret += 1;
                 Outcome::Retired
             }
-            0x2F => self.amo(instr, rd, x1, x2, f3, f7),
-            0x73 => self.system(instr, rd, rs1, x1, f3),
-            _ => Outcome::Exception(Trap::IllegalInstruction(instr)),
-        }
-    }
-
-    fn amo(&mut self, instr: u32, rd: u8, x1: u64, x2: u64, f3: u32, f7: u32) -> Outcome {
-        let size = match f3 {
-            2 => 4u8,
-            3 => 8u8,
-            _ => return Outcome::Exception(Trap::IllegalInstruction(instr)),
-        };
-        let addr = x1;
-        if !addr.is_multiple_of(u64::from(size)) {
-            return Outcome::Exception(Trap::StoreMisaligned(addr));
-        }
-        let funct5 = f7 >> 2;
-        match funct5 {
-            0x02 => {
-                // LR
+            DecodedOp::Lr { rd, rs1, size } => {
+                let addr = self.regs[rs1 as usize];
+                if !addr.is_multiple_of(u64::from(size)) {
+                    return Outcome::Exception(Trap::StoreMisaligned(addr));
+                }
                 self.pc += 4;
                 Outcome::Load { addr, size, signed: true, rd, reserve: true }
             }
-            0x03 => {
-                // SC
+            DecodedOp::Sc { rd, rs1, rs2, size } => {
+                let addr = self.regs[rs1 as usize];
+                if !addr.is_multiple_of(u64::from(size)) {
+                    return Outcome::Exception(Trap::StoreMisaligned(addr));
+                }
+                let x2 = self.regs[rs2 as usize];
                 self.pc += 4;
                 match self.reservation.take() {
                     Some((raddr, rval)) if raddr == addr => Outcome::Amo {
@@ -453,52 +565,39 @@ impl Hart {
                     }
                 }
             }
-            _ => {
-                let op = match funct5 {
-                    0x01 => MemAmoOp::Swap,
-                    0x00 => MemAmoOp::Add,
-                    0x04 => MemAmoOp::Xor,
-                    0x0C => MemAmoOp::And,
-                    0x08 => MemAmoOp::Or,
-                    0x10 => MemAmoOp::Min,
-                    0x14 => MemAmoOp::Max,
-                    0x18 => MemAmoOp::MinU,
-                    0x1C => MemAmoOp::MaxU,
-                    _ => return Outcome::Exception(Trap::IllegalInstruction(instr)),
-                };
+            DecodedOp::Amo { op, rd, rs1, rs2, size } => {
+                let addr = self.regs[rs1 as usize];
+                if !addr.is_multiple_of(u64::from(size)) {
+                    return Outcome::Exception(Trap::StoreMisaligned(addr));
+                }
+                let x2 = self.regs[rs2 as usize];
                 self.pc += 4;
                 Outcome::Amo { addr, size, op, val: x2 & mask(size), expected: 0, rd, is_sc: false }
             }
-        }
-    }
-
-    fn system(&mut self, instr: u32, rd: u8, rs1: usize, x1: u64, f3: u32) -> Outcome {
-        match f3 {
-            0 => match instr {
-                0x0000_0073 => Outcome::Ecall,
-                0x0010_0073 => Outcome::Ebreak,
-                0x3020_0073 => {
-                    // MRET
-                    self.pc = self.csrs.mret();
-                    self.csrs.minstret += 1;
-                    Outcome::Retired
+            DecodedOp::AmoIllegal { raw, rs1, size } => {
+                let addr = self.regs[rs1 as usize];
+                if !addr.is_multiple_of(u64::from(size)) {
+                    return Outcome::Exception(Trap::StoreMisaligned(addr));
                 }
-                0x1050_0073 => {
-                    // WFI: pc advances; the wrapper idles.
-                    self.pc += 4;
-                    self.csrs.minstret += 1;
-                    Outcome::Wfi
-                }
-                _ => Outcome::Exception(Trap::IllegalInstruction(instr)),
-            },
-            1..=3 | 5..=7 => {
-                // Zicsr
-                let Some(csr) = Csr::from_addr(instr >> 20) else {
-                    return Outcome::Exception(Trap::IllegalInstruction(instr));
-                };
+                Outcome::Exception(Trap::IllegalInstruction(raw))
+            }
+            DecodedOp::Ecall => Outcome::Ecall,
+            DecodedOp::Ebreak => Outcome::Ebreak,
+            DecodedOp::Mret => {
+                self.pc = self.csrs.mret();
+                self.csrs.minstret += 1;
+                Outcome::Retired
+            }
+            DecodedOp::Wfi => {
+                // WFI: pc advances; the wrapper idles.
+                self.pc += 4;
+                self.csrs.minstret += 1;
+                Outcome::Wfi
+            }
+            DecodedOp::Csr { csr, rd, rs1, kind, uimm } => {
                 let old = self.csrs.read(csr);
-                let src = if f3 >= 5 { rs1 as u64 } else { x1 };
-                let new = match f3 & 3 {
+                let src = if uimm { u64::from(rs1) } else { self.regs[rs1 as usize] };
+                let new = match kind {
                     1 => Some(src),                        // CSRRW(I)
                     2 => (src != 0).then_some(old | src),  // CSRRS(I)
                     3 => (src != 0).then_some(old & !src), // CSRRC(I)
@@ -512,8 +611,195 @@ impl Hart {
                 self.csrs.minstret += 1;
                 Outcome::Retired
             }
-            _ => Outcome::Exception(Trap::IllegalInstruction(instr)),
+            DecodedOp::Illegal(raw) => Outcome::Exception(Trap::IllegalInstruction(raw)),
         }
+    }
+}
+
+/// Branch comparison selector for [`DecodedOp::Branch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BranchCond {
+    Eq,
+    Ne,
+    Lt,
+    Ge,
+    Ltu,
+    Geu,
+}
+
+/// Register-register ALU function selector (RV64 OP and OP-32 spaces,
+/// including the M extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Mul,
+    Sll,
+    Mulh,
+    Slt,
+    Mulhsu,
+    Sltu,
+    Mulhu,
+    Xor,
+    Div,
+    Srl,
+    Sra,
+    Divu,
+    Or,
+    Rem,
+    And,
+    Remu,
+    AddW,
+    SubW,
+    MulW,
+    SllW,
+    DivW,
+    SrlW,
+    SraW,
+    DivuW,
+    RemW,
+    RemuW,
+}
+
+/// Immediate ALU function selector (OP-IMM and OP-IMM-32 spaces). Shift
+/// variants carry the shamt in the `imm` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum AluImmOp {
+    Add,
+    Sll,
+    Slt,
+    Sltu,
+    Xor,
+    Srl,
+    Sra,
+    Or,
+    And,
+    AddW,
+    SllW,
+    SrlW,
+    SraW,
+}
+
+/// One pre-decoded instruction: everything the interpreter can learn from
+/// the raw bits alone, with register reads and dynamic checks deferred to
+/// [`Hart::execute_decoded`].
+///
+/// `Copy` and small by design — decoded basic blocks store these by value
+/// and replay them straight-line without re-matching encodings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum DecodedOp {
+    Lui {
+        rd: u8,
+        imm: u64,
+    },
+    Auipc {
+        rd: u8,
+        imm: u64,
+    },
+    Jal {
+        rd: u8,
+        off: u64,
+    },
+    Jalr {
+        rd: u8,
+        rs1: u8,
+        imm: u64,
+    },
+    Branch {
+        cond: BranchCond,
+        rs1: u8,
+        rs2: u8,
+        off: u64,
+    },
+    Load {
+        rd: u8,
+        rs1: u8,
+        imm: u64,
+        size: u8,
+        signed: bool,
+    },
+    Store {
+        rs1: u8,
+        rs2: u8,
+        imm: u64,
+        size: u8,
+    },
+    Alu {
+        f: AluOp,
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+    },
+    AluImm {
+        f: AluImmOp,
+        rd: u8,
+        rs1: u8,
+        imm: u64,
+    },
+    Fence {
+        fencei: bool,
+    },
+    Lr {
+        rd: u8,
+        rs1: u8,
+        size: u8,
+    },
+    Sc {
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+        size: u8,
+    },
+    Amo {
+        op: MemAmoOp,
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+        size: u8,
+    },
+    /// Reserved AMO funct5 with a valid width: alignment still traps first.
+    AmoIllegal {
+        raw: u32,
+        rs1: u8,
+        size: u8,
+    },
+    Ecall,
+    Ebreak,
+    Mret,
+    Wfi,
+    Csr {
+        csr: Csr,
+        rd: u8,
+        rs1: u8,
+        kind: u8,
+        uimm: bool,
+    },
+    Illegal(u32),
+}
+
+impl DecodedOp {
+    /// True when this op ends a decoded basic block: anything that can
+    /// redirect the pc or change instruction memory semantics (branches,
+    /// jumps, traps, system ops, fences). Straight-line ALU and memory ops
+    /// continue the block.
+    pub fn ends_block(&self) -> bool {
+        matches!(
+            self,
+            DecodedOp::Jal { .. }
+                | DecodedOp::Jalr { .. }
+                | DecodedOp::Branch { .. }
+                | DecodedOp::Fence { .. }
+                | DecodedOp::AmoIllegal { .. }
+                | DecodedOp::Ecall
+                | DecodedOp::Ebreak
+                | DecodedOp::Mret
+                | DecodedOp::Wfi
+                | DecodedOp::Illegal(_)
+        )
     }
 }
 

@@ -34,11 +34,13 @@
 #![warn(missing_docs)]
 
 mod asm;
+mod block;
 mod csr;
 mod hart;
 mod runner;
 
 pub use asm::{assemble, AsmError, Image};
+pub use block::{BlockCache, MAX_BLOCK_OPS};
 pub use csr::{Csr, CsrFile};
-pub use hart::{Hart, MemAmoOp, Outcome, Trap};
+pub use hart::{AluImmOp, AluOp, BranchCond, DecodedOp, Hart, MemAmoOp, Outcome, Trap};
 pub use runner::{run_functional, Bus, RunError, VecBus};

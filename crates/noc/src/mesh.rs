@@ -128,6 +128,21 @@ pub struct Mesh {
     eject_q: Vec<[FlowPort<Packet>; 3]>,
     eject_rr: Vec<usize>,
     edge_out: FlowPort<Packet>,
+    /// Packets buffered across the whole mesh (sum of router occupancies);
+    /// lets [`Mesh::tick`] return in O(1) when the mesh is fully drained —
+    /// the dominant case once components sleep between bursts. Derived
+    /// state: recomputed on restore, never serialized.
+    total_occupancy: usize,
+    /// Packets sitting in the output queues (per-tile eject queues and the
+    /// edge-out port), which `total_occupancy` does not count. Together
+    /// they make [`Mesh::is_drained`] O(1). Derived state, like
+    /// `total_occupancy`.
+    output_occupancy: usize,
+    /// Host fast-path switch: when false the tick always performs the full
+    /// router scan, reproducing the plain reference simulator's work (the
+    /// scan is a no-op on an empty mesh either way, so results are
+    /// bit-identical).
+    fast_path: bool,
     counters: CounterSet,
     faults: Option<FaultInjector>,
     /// Manhattan hop count of every packet leaving the mesh (tile
@@ -159,6 +174,9 @@ impl Mesh {
                 .collect(),
             eject_rr: vec![0; n],
             edge_out: FlowPort::bounded("edge_out", cfg.edge_capacity),
+            total_occupancy: 0,
+            output_occupancy: 0,
+            fast_path: true,
             cfg,
             counters: CounterSet::new(NOC_KEYS),
             faults: None,
@@ -225,6 +243,7 @@ impl Mesh {
         match buf.q.try_push((0, pkt)) {
             Ok(()) => {
                 r.occupancy += 1;
+                self.total_occupancy += 1;
                 self.counters.bump(K_INJECTED);
                 Ok(())
             }
@@ -245,6 +264,7 @@ impl Mesh {
             let vn = (self.eject_rr[t] + i) % 3;
             if let Some(p) = self.eject_q[t][vn].pop() {
                 self.eject_rr[t] = (vn + 1) % 3;
+                self.output_occupancy -= 1;
                 return Some(p);
             }
         }
@@ -259,6 +279,7 @@ impl Mesh {
         match buf.q.try_push((0, pkt)) {
             Ok(()) => {
                 r.occupancy += 1;
+                self.total_occupancy += 1;
                 self.counters.bump(K_EDGE_IN);
                 Ok(())
             }
@@ -273,7 +294,18 @@ impl Mesh {
 
     /// Removes the next packet leaving the node through the edge port.
     pub fn eject_edge(&mut self) -> Option<Packet> {
-        self.edge_out.pop()
+        let p = self.edge_out.pop();
+        if p.is_some() {
+            self.output_occupancy -= 1;
+        }
+        p
+    }
+
+    /// True when no packet is buffered anywhere — router inputs, eject
+    /// queues, or the edge port — in O(1). Equivalent to [`Mesh::is_idle`]
+    /// but cheap enough to probe every cycle.
+    pub fn is_drained(&self) -> bool {
+        self.total_occupancy == 0 && self.output_occupancy == 0
     }
 
     /// Counters collected so far (`noc.injected`, `noc.delivered`,
@@ -334,10 +366,19 @@ impl Mesh {
         }
     }
 
+    /// Toggles the host fast path (the empty-mesh tick elision). Purely a
+    /// host-side switch; the simulated behaviour is identical either way.
+    pub fn set_fast_path(&mut self, on: bool) {
+        self.fast_path = on;
+    }
+
     /// Advances the mesh by one cycle: every router moves at most one packet
     /// per output port, subject to link occupancy (flit serialization) and
     /// downstream buffer space.
     pub fn tick(&mut self, now: Cycle) {
+        if self.fast_path && self.total_occupancy == 0 {
+            return; // nothing buffered anywhere: the whole scan is a no-op
+        }
         let n = self.cfg.tiles;
         for r in 0..n {
             if self.routers[r].occupancy == 0 {
@@ -403,6 +444,7 @@ impl Mesh {
             }
             let (_, pkt) = self.routers[r].bufs[inp][vn].q.pop().expect("head checked");
             self.routers[r].occupancy -= 1;
+            self.total_occupancy -= 1;
             let flits = pkt.flits();
             self.routers[r].busy_until[oi] = now + Cycle::from(flits);
             self.routers[r].rr[oi] = (c + 1) % 15;
@@ -417,6 +459,7 @@ impl Mesh {
                     edge: true,
                 });
                 self.edge_out.push(pkt); // space checked above
+                self.output_occupancy += 1;
                 self.counters.bump(K_EDGE_OUT);
             } else if out == Port::Local {
                 let h = self.manhattan(self.entry_router(&pkt), r);
@@ -428,6 +471,7 @@ impl Mesh {
                     edge: false,
                 });
                 self.eject_q[r][vn].push(pkt);
+                self.output_occupancy += 1;
                 self.counters.bump(K_DELIVERED);
             } else {
                 let nb = neigh.expect("checked above");
@@ -435,6 +479,7 @@ impl Mesh {
                 // Space checked above.
                 self.routers[nb].bufs[inport][vn].q.push((now + self.cfg.hop_latency, pkt));
                 self.routers[nb].occupancy += 1;
+                self.total_occupancy += 1;
             }
             return;
         }
@@ -487,6 +532,7 @@ impl SaveState for Mesh {
                 }
             });
         }
+        let mut total = 0;
         for (ri, rt) in self.routers.iter_mut().enumerate() {
             r.scoped(&format!("r{ri}"), |r| {
                 let mut occupancy = 0;
@@ -505,8 +551,16 @@ impl SaveState for Mesh {
                 // Occupancy is the buffered-packet total, derivable from the
                 // restored queues.
                 rt.occupancy = occupancy;
+                total += occupancy;
             });
         }
+        self.total_occupancy = total;
+        self.output_occupancy = self.edge_out.len()
+            + self
+                .eject_q
+                .iter()
+                .map(|qs| qs.iter().map(|q| q.len()).sum::<usize>())
+                .sum::<usize>();
     }
 }
 

@@ -1,7 +1,7 @@
 //! The Ariane core model: the RV64 interpreter behind a timing pipeline.
 
 use smappic_coherence::{CoreReq, CoreResp, MemOp};
-use smappic_isa::{Hart, MemAmoOp, Outcome};
+use smappic_isa::{BlockCache, DecodedOp, Hart, MemAmoOp, Outcome};
 use smappic_noc::{Addr, AmoOp};
 use smappic_sim::{Cycle, Pack, SaveState, SnapReader, SnapWriter};
 
@@ -137,6 +137,13 @@ pub struct ArianeCore {
     icache: Vec<Option<(Addr, u64)>>,
     /// 2-bit saturating counters, indexed by pc (Table 2's 128-entry BHT).
     bht: Vec<u8>,
+    /// Decoded-block cache. Host-side *derived* state: it mirrors the
+    /// I-cache's pc→bits mapping, is never serialized, and is rebuilt from
+    /// scratch after restore — see `smappic_isa::BlockCache`.
+    blocks: BlockCache,
+    /// Dispatch decoded blocks instead of re-decoding every fetch. Purely a
+    /// host-speed switch; architectural behavior is identical either way.
+    fast_decode: bool,
     state: State,
     stall: u64,
     next_token: u64,
@@ -159,6 +166,8 @@ impl ArianeCore {
             hart,
             icache,
             bht,
+            blocks: BlockCache::new(),
+            fast_decode: true,
             state: State::Run,
             stall: 0,
             next_token: 0,
@@ -198,6 +207,33 @@ impl ArianeCore {
     /// (conditional branches retired, mispredictions) — BHT diagnostics.
     pub fn branch_stats(&self) -> (u64, u64) {
         (self.branches, self.mispredicts)
+    }
+
+    /// (hits, misses) of the decoded-block cache — host-side diagnostics
+    /// for `simperf`; never part of architectural stats or snapshots.
+    pub fn block_cache_stats(&self) -> (u64, u64) {
+        (self.blocks.hits(), self.blocks.misses())
+    }
+
+    /// Drops any instruction-cache doublewords and decoded blocks covering
+    /// `[addr, addr + len)`. Called on every retired store so self-modifying
+    /// code observes its own writes on the next fetch (store → fetch through
+    /// the same BPC returns the new bytes once the stale L1I line is gone).
+    fn invalidate_code(&mut self, addr: Addr, len: u64) {
+        let first = addr & !7;
+        let last = (addr.saturating_add(len.max(1)) - 1) & !7;
+        let mut dword = first;
+        loop {
+            let slot = self.icache_slot(dword);
+            if matches!(self.icache[slot], Some((a, _)) if a == dword) {
+                self.icache[slot] = None;
+            }
+            if dword == last {
+                break;
+            }
+            dword += 8;
+        }
+        self.blocks.invalidate_range(addr, len.max(1));
     }
 
     fn token(&mut self) -> u64 {
@@ -262,6 +298,10 @@ impl ArianeCore {
     fn complete(&mut self, pend: Pend, data: u64) {
         match pend {
             Pend::IFetch { dword } => {
+                // The pc→bits mapping for this doubleword may change on a
+                // refill (e.g. code written by another hart); decoded blocks
+                // mirror the I-cache, so they go first.
+                self.blocks.invalidate_range(dword, 8);
                 let slot = self.icache_slot(dword);
                 self.icache[slot] = Some((dword, data));
             }
@@ -295,7 +335,18 @@ impl ArianeCore {
             return;
         };
         let instr = if pc & 4 == 0 { bits as u32 } else { (bits >> 32) as u32 };
-        let outcome = self.hart.execute(instr);
+        let d = if self.fast_decode { self.blocks.lookup(pc, instr) } else { Hart::decode(instr) };
+        let outcome = self.hart.execute_decoded(&d);
+        if matches!(d, DecodedOp::Fence { fencei: true }) {
+            // fence.i: the guest demands a coherent instruction stream.
+            // Flush the L1I and every decoded block (both decode modes, so
+            // fast and reference timing stay bit-identical).
+            self.icache.iter_mut().for_each(|slot| *slot = None);
+            self.blocks.invalidate_all();
+        }
+        if let Outcome::Store { addr, size, .. } = outcome {
+            self.invalidate_code(addr, u64::from(size));
+        }
         match outcome {
             Outcome::Retired => {
                 let op = instr & 0x7F;
@@ -424,6 +475,42 @@ impl Engine for ArianeCore {
         self.hart.csrs_mut().set_mip_bit(u32::from(line), level);
     }
 
+    fn next_event_after(&self, now: Cycle) -> Option<Cycle> {
+        match self.state {
+            // Halted ticks return before touching anything: pure no-ops.
+            State::Halted => None,
+            // Waiting for a memory response: every tick until the tile
+            // delivers one only ages mcycle (and drains any residual stall).
+            State::Wait(..) => None,
+            // WFI with no deliverable interrupt: woken by set_irq only.
+            State::Wfi if self.hart.csrs().pending_interrupt().is_none() => None,
+            // Run/Issue (and WFI with a pending interrupt) dispatch as soon
+            // as the stall counter drains.
+            _ => Some(now + self.stall),
+        }
+    }
+
+    fn advance_idle(&mut self, delta: u64) {
+        if matches!(self.state, State::Halted) {
+            return;
+        }
+        // What `delta` skipped ticks would have done: count the cycles,
+        // drain the stall counter.
+        self.hart.csrs_mut().mcycle += delta;
+        self.stall -= self.stall.min(delta);
+    }
+
+    fn set_fast_path(&mut self, on: bool) {
+        self.fast_decode = on;
+        if !on {
+            self.blocks.invalidate_all();
+        }
+    }
+
+    fn block_cache_stats(&self) -> Option<(u64, u64)> {
+        Some(ArianeCore::block_cache_stats(self))
+    }
+
     fn save_state(&self, w: &mut SnapWriter) {
         self.hart.save(w);
         self.icache.pack(w);
@@ -497,6 +584,9 @@ impl Engine for ArianeCore {
         self.retired_loads = r.u64();
         self.branches = r.u64();
         self.mispredicts = r.u64();
+        // The block cache is derived state: rebuild it from the restored
+        // machine rather than trusting blocks decoded from pre-restore code.
+        self.blocks.invalidate_all();
     }
 
     fn label(&self) -> &str {

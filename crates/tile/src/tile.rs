@@ -39,13 +39,39 @@ pub struct Tile {
     /// must never stall the responses queued behind them (protocol
     /// deadlock freedom depends on it).
     out: [Port<Packet>; 3],
+    /// Per-component event scheduling: `Some(wake_at)` while ticks are
+    /// being skipped because every queue is drained and the engine declared
+    /// itself event-free until `wake_at` (see [`Engine::next_event_after`]).
+    /// Host-side *derived* state — never serialized, cleared by any
+    /// [`Tile::push_noc`] and on restore. Skipped ticks still age the
+    /// engine ([`Engine::advance_idle`]), so architectural counters are
+    /// never stale.
+    sleep_until: Option<Cycle>,
+    /// Host-side count of ticks skipped by the scheduler (diagnostics for
+    /// `simperf`; not an architectural stat).
+    skipped_cycles: u64,
+    /// Host fast-path switch. When false the tile never sleeps (every tick
+    /// runs the full component pipeline) and the engine decodes every
+    /// instruction — the plain reference simulator. Bit-identical either
+    /// way; this only changes how much host work each cycle costs.
+    fast_path: bool,
 }
 
 impl Tile {
     /// Assembles a tile.
     pub fn new(id: Gid, bpc: Bpc, llc: LlcSlice, engine: Box<dyn Engine>) -> Self {
         let out = std::array::from_fn(|vn| Port::elastic_with(format!("out.vn{vn}"), 8));
-        Self { id, bpc, llc, engine, pending_mmio: Port::elastic_with("pending_mmio", 4), out }
+        Self {
+            id,
+            bpc,
+            llc,
+            engine,
+            pending_mmio: Port::elastic_with("pending_mmio", 4),
+            out,
+            sleep_until: None,
+            skipped_cycles: 0,
+            fast_path: true,
+        }
     }
 
     /// The tile's NoC identity.
@@ -58,14 +84,18 @@ impl Tile {
         self.engine.as_ref()
     }
 
-    /// Mutable engine access (program loading, IRQ wires in tests).
+    /// Mutable engine access (program loading, IRQ wires in tests). The
+    /// caller may change engine state the scheduler reasoned about, so any
+    /// sleep is cancelled.
     pub fn engine_mut(&mut self) -> &mut dyn Engine {
+        self.sleep_until = None;
         self.engine.as_mut()
     }
 
     /// Replaces the compute engine (cores and accelerators are installed
     /// into freshly-built nodes before the run starts).
     pub fn set_engine(&mut self, engine: Box<dyn Engine>) {
+        self.sleep_until = None;
         self.engine = engine;
     }
 
@@ -74,8 +104,11 @@ impl Tile {
         &self.bpc
     }
 
-    /// Mutable private-cache access (trace enablement and harvest).
+    /// Mutable private-cache access (trace enablement and harvest). Cancels
+    /// any sleep, since the caller may change state the scheduler assumed
+    /// quiescent (waking early is always safe; staying asleep is not).
     pub fn bpc_mut(&mut self) -> &mut Bpc {
+        self.sleep_until = None;
         &mut self.bpc
     }
 
@@ -84,8 +117,10 @@ impl Tile {
         &self.llc
     }
 
-    /// Mutable LLC-slice access (trace enablement and harvest).
+    /// Mutable LLC-slice access (trace enablement and harvest). Cancels any
+    /// sleep, like [`Tile::bpc_mut`].
     pub fn llc_mut(&mut self) -> &mut LlcSlice {
+        self.sleep_until = None;
         &mut self.llc
     }
 
@@ -110,8 +145,82 @@ impl Tile {
         self.llc.merge_port_metrics(&format!("{prefix}.llc"), m);
     }
 
+    /// Ticks skipped by the per-component scheduler (host diagnostics).
+    pub fn skipped_cycles(&self) -> u64 {
+        self.skipped_cycles
+    }
+
+    /// True when the tick at `now` is guaranteed to take the skip path
+    /// (sleep armed and not yet due). Lets the node elide the surrounding
+    /// queue pumping too: a sleeping tile's egress queues are empty by the
+    /// sleep predicate.
+    pub fn is_sleeping(&self, now: Cycle) -> bool {
+        self.sleep_until.is_some_and(|w| now < w)
+    }
+
+    /// The armed wake cycle, if the tile is sleeping. While armed, every
+    /// tick strictly before it takes the skip path, so a caller may batch
+    /// those ticks with [`Tile::warp_quiet`]. `Cycle::MAX` encodes "only
+    /// external input wakes this tile".
+    pub fn wake_at(&self) -> Option<Cycle> {
+        self.sleep_until
+    }
+
+    /// Applies the `delta` skipped ticks of `[now, now + delta)` in one
+    /// step: exactly what that many per-cycle skip paths would have done
+    /// (engine aging, the LLC slice clock, the host skip counter). Caller
+    /// guarantees the sleep covers the whole window.
+    pub fn warp_quiet(&mut self, now: Cycle, delta: u64) {
+        debug_assert!(self.sleep_until.is_some(), "warp_quiet requires an armed sleep");
+        self.engine.advance_idle(delta);
+        self.llc.sync_quiet(now + delta - 1);
+        self.skipped_cycles += delta;
+    }
+
+    /// Toggles the tile's host-side fast path: the engine's decoded-block
+    /// dispatch *and* the per-component sleep scheduling. Off yields the
+    /// plain reference simulator (decode every instruction, tick every
+    /// component every cycle). Cancels any sleep immediately.
+    pub fn set_fast_path(&mut self, on: bool) {
+        self.sleep_until = None;
+        self.fast_path = on;
+        self.engine.set_fast_path(on);
+    }
+
+    /// Decides whether the tick at `next` (and ticks after it, until the
+    /// returned cycle) can be skipped: every queue must be drained — so a
+    /// tick provably moves nothing — and the engine must schedule no event
+    /// before then. `Cycle::MAX` encodes "only external input matters".
+    fn sleep_check(&self, next: Cycle) -> Option<Cycle> {
+        if !self.bpc.is_quiet()
+            || !self.llc.is_quiet()
+            || !self.pending_mmio.is_empty()
+            || self.out.iter().any(|q| !q.is_empty())
+        {
+            return None;
+        }
+        match self.engine.next_event_after(next) {
+            None => Some(Cycle::MAX),
+            Some(t) if t > next => Some(t),
+            Some(_) => None,
+        }
+    }
+
     /// Advances one cycle.
     pub fn tick(&mut self, now: Cycle) {
+        if let Some(wake) = self.sleep_until {
+            if now < wake {
+                // Skipped tick: provably a no-op except for engine aging
+                // and the LLC slice clock, which are applied eagerly so
+                // architectural state (mcycle, compute budgets, the
+                // serialized `cur`) is never stale.
+                self.engine.advance_idle(1);
+                self.llc.sync_quiet(now);
+                self.skipped_cycles += 1;
+                return;
+            }
+            self.sleep_until = None;
+        }
         self.engine.tick(now, &mut BpcTri(&mut self.bpc));
         self.bpc.tick(now);
         self.llc.tick(now);
@@ -131,6 +240,8 @@ impl Tile {
         while let Some(p) = self.llc.noc_pop() {
             self.out[p.vn.index()].push(p);
         }
+
+        self.sleep_until = if self.fast_path { self.sleep_check(now + 1) } else { None };
     }
 
     fn answer_mmio(&mut self, src: Gid, store: bool, addr: u64, resp: MmioResp) {
@@ -146,6 +257,8 @@ impl Tile {
 
     /// Delivers a packet from the mesh.
     pub fn push_noc(&mut self, now: Cycle, pkt: Packet) {
+        // External input is exactly what a sleeping tile waits for.
+        self.sleep_until = None;
         match &pkt.msg {
             // Responses and probes for the private cache.
             Msg::Data { .. }
@@ -213,6 +326,9 @@ impl SaveState for Tile {
     }
 
     fn restore(&mut self, r: &mut SnapReader) {
+        // Scheduler state is derived, never serialized: wake up and let the
+        // restored machine re-establish its own sleep schedule.
+        self.sleep_until = None;
         r.scoped("bpc", |r| self.bpc.restore(r));
         r.scoped("llc", |r| self.llc.restore(r));
         r.scoped("engine", |r| self.engine.restore_state(r));

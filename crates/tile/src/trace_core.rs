@@ -223,6 +223,17 @@ impl TraceCore {
         self.next_token
     }
 
+    /// True when `op` cannot issue until posted stores complete:
+    /// synchronization ops fence the whole store buffer, and posted stores
+    /// themselves block once the 3-entry window is full.
+    fn blocked_on_posted(&self, op: &TraceOp) -> bool {
+        match op {
+            TraceOp::Compute(_) | TraceOp::Load(_) => false,
+            TraceOp::Store(_) => self.posted.len() >= 3,
+            _ => !self.posted.is_empty(),
+        }
+    }
+
     fn issue(&mut self, now: Cycle, tri: &mut dyn Tri, op: &TraceOp) -> bool {
         let token = self.token();
         let (req, spin) = match *op {
@@ -322,19 +333,10 @@ impl Engine for TraceCore {
             }
             return;
         };
-        // Synchronization ops fence all posted stores first.
-        let is_sync = matches!(
-            op,
-            TraceOp::StoreVal(..)
-                | TraceOp::AmoAdd(..)
-                | TraceOp::SpinUntilEq(..)
-                | TraceOp::SpinUntilGe(..)
-                | TraceOp::NcLoad(..)
-                | TraceOp::NcStore(..)
-                | TraceOp::Checksum(..)
-        );
-        if is_sync && !self.posted.is_empty() {
-            return; // fence: wait for the store buffer to drain
+        // Synchronization ops fence all posted stores first; a posted store
+        // itself waits for a free store-buffer slot.
+        if self.blocked_on_posted(&op) {
+            return;
         }
         match op {
             TraceOp::Compute(n) => {
@@ -354,10 +356,7 @@ impl Engine for TraceCore {
             }
             TraceOp::Store(addr) => {
                 // Posted store: issue and continue (store-buffer model,
-                // bounded by a small window).
-                if self.posted.len() >= 3 {
-                    return;
-                }
+                // bounded by the window blocked_on_posted enforces).
                 let token = self.token();
                 let req = CoreReq { token, op: MemOp::Store { addr, size: 8, data: 0xD1CE } };
                 if tri.try_request(now, req).is_ok() {
@@ -384,6 +383,42 @@ impl Engine for TraceCore {
 
     fn progress(&self) -> u64 {
         self.retired
+    }
+
+    fn next_event_after(&self, now: Cycle) -> Option<Cycle> {
+        if self.finished_at.is_some() {
+            // Finished ticks drain nothing and set nothing: pure no-ops.
+            return None;
+        }
+        if self.wait != Wait::None {
+            // Blocked on a response; ticks until the tile delivers one do
+            // nothing (the drain loop pops from an empty queue).
+            return None;
+        }
+        if self.compute_left > 0 {
+            // Busy compute: ticks in the burst only decrement the counter;
+            // the next program op issues when it reaches zero.
+            return Some(now + self.compute_left);
+        }
+        if self.spinning.is_some() {
+            return Some(now); // re-polls every cycle
+        }
+        match self.program.get(self.pc) {
+            // Fenced behind posted stores: progress resumes only when their
+            // completions arrive through the tile.
+            Some(op) if self.blocked_on_posted(op) => None,
+            // Program done but posted stores outstanding: finished_at is
+            // recorded only after they complete.
+            None if !self.posted.is_empty() => None,
+            // An op is ready to issue (or finished_at is due to be set).
+            _ => Some(now),
+        }
+    }
+
+    fn advance_idle(&mut self, delta: u64) {
+        // The only aging a skippable stretch performs is draining the
+        // compute burst.
+        self.compute_left -= self.compute_left.min(delta);
     }
 
     fn save_state(&self, w: &mut SnapWriter) {

@@ -57,6 +57,44 @@ pub trait Engine: Send {
     /// Drives an interrupt wire (from the interrupt depacketizer, §3.3).
     fn set_irq(&mut self, _line: u16, _level: bool) {}
 
+    /// The engine's contribution to per-component event scheduling: the
+    /// first cycle at or after `now` at which ticking it could do more than
+    /// *age* (the bookkeeping [`Engine::advance_idle`] reproduces), assuming
+    /// no external input arrives in between.
+    ///
+    /// - `Some(t)` with `t == now`: busy — the engine must be ticked now.
+    /// - `Some(t)` with `t > now`: every tick in `[now, t)` is a no-op
+    ///   modulo aging; a sleeping container may skip them and compensate
+    ///   with [`Engine::advance_idle`] before the tick at `t`.
+    /// - `None`: the engine schedules no event of its own; only external
+    ///   input ([`Engine::set_irq`], a memory response pushed into its
+    ///   tile) can make future ticks matter.
+    ///
+    /// The default is conservatively busy, so engines that don't opt in are
+    /// never skipped.
+    fn next_event_after(&self, now: Cycle) -> Option<Cycle> {
+        Some(now)
+    }
+
+    /// Applies the aging effect of `delta` skipped ticks in one step —
+    /// exactly what `delta` consecutive calls of [`Engine::tick`] would
+    /// have done in a stretch [`Engine::next_event_after`] declared
+    /// skippable (e.g. `mcycle` advancing, stall/compute counters draining).
+    /// Must leave the engine bit-identical to having been ticked.
+    fn advance_idle(&mut self, _delta: u64) {}
+
+    /// Enables or disables host-side fast paths (decoded-block dispatch).
+    /// Purely a host-performance switch: architectural behavior must be
+    /// identical either way. Engines without a fast path ignore it.
+    fn set_fast_path(&mut self, _on: bool) {}
+
+    /// Host-side fast-path statistics: `(hits, misses)` of the decoded
+    /// basic-block cache, for engines that have one. Diagnostics only —
+    /// never part of architectural stats or snapshots.
+    fn block_cache_stats(&self) -> Option<(u64, u64)> {
+        None
+    }
+
     /// Handles a non-cacheable access addressed to this tile (accelerator
     /// register files, queues). Core tiles have no device registers and
     /// answer zero.
@@ -96,6 +134,9 @@ impl Engine for IdleEngine {
     fn tick(&mut self, _now: Cycle, _tri: &mut dyn Tri) {}
     fn is_done(&self) -> bool {
         true
+    }
+    fn next_event_after(&self, _now: Cycle) -> Option<Cycle> {
+        None // ticks are no-ops; nothing ever happens here
     }
     fn label(&self) -> &str {
         "idle"

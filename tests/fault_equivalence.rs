@@ -221,6 +221,64 @@ fn faulted_serial_matches_faulted_parallel_bit_for_bit() {
 }
 
 #[test]
+fn faulted_fast_path_matches_faulted_reference_bit_for_bit() {
+    // The host scheduler's skip/warp machinery must stay invisible even
+    // while faults are firing. A faulted run with the fast path enabled
+    // (the default) is the same simulation as one ticking every component
+    // naively: fault decisions key on simulated cycles and packet
+    // identity, never on which host loop reached them, so elided ticks
+    // cannot change what fires — or what any fired fault corrupts.
+    for seed in [1u64, 3] {
+        let plan = Arc::new(FaultPlan::seeded(seed, FaultProfile::light()));
+        let mut fast = chaos_platform(2, 2, 3, seed, Some(FaultSpec::all(plan.clone())));
+        let mut fast_par = chaos_platform(2, 2, 3, seed, Some(FaultSpec::all(plan.clone())));
+        let mut reference = chaos_platform(2, 2, 3, seed, Some(FaultSpec::all(plan)));
+        reference.set_fast_path(false);
+        run_to_idle(&mut fast, false, "fast-serial");
+        run_to_idle(&mut fast_par, true, "fast-parallel");
+        run_to_idle(&mut reference, false, "reference-serial");
+        assert_eq!(
+            snapshot(&fast),
+            snapshot(&reference),
+            "fast path diverged from reference under faults: seed {seed}"
+        );
+        assert_eq!(
+            snapshot(&fast),
+            snapshot(&fast_par),
+            "fast steppers diverged under faults: seed {seed}"
+        );
+        let want = arch_state(&mut reference);
+        assert_eq!(want, arch_state(&mut fast), "fast-serial arch divergence: seed {seed}");
+        assert_eq!(want, arch_state(&mut fast_par), "fast-parallel arch divergence: seed {seed}");
+        // Architectural metrics agree; the fast run must actually have
+        // elided work, or this equivalence is vacuous.
+        assert_eq!(
+            fast.metrics().architectural(),
+            reference.metrics().architectural(),
+            "faulted fast-vs-reference metrics diverged: seed {seed}"
+        );
+        assert!(fast.host_perf().skipped_tile_cycles > 0, "fast faulted run never skipped");
+        assert_eq!(reference.host_perf().skipped_tile_cycles, 0, "reference run skipped ticks");
+    }
+}
+
+#[test]
+fn quiet_plan_stays_transparent_without_the_fast_path() {
+    // Same clean ≡ quiet-fault contract as above, but with the host fast
+    // path disabled on both sides: the fault plumbing must be inert in
+    // the reference simulator too, not just when skips hide its cost.
+    let quiet = Arc::new(FaultPlan::seeded(7, FaultProfile::quiet()));
+    let mut clean = chaos_platform(2, 2, 4, 11, None);
+    let mut faulted = chaos_platform(2, 2, 4, 11, Some(FaultSpec::all(quiet)));
+    clean.set_fast_path(false);
+    faulted.set_fast_path(false);
+    run_to_idle(&mut clean, false, "clean-reference");
+    run_to_idle(&mut faulted, false, "quiet-faulted-reference");
+    assert_eq!(clean.now(), faulted.now(), "quiet plan changed reference cycle count");
+    assert_eq!(arch_state(&mut clean), arch_state(&mut faulted));
+}
+
+#[test]
 fn faulted_runs_preserve_architectural_state_vs_clean() {
     // Timing faults may change *when*; never *what*. Across seeds and
     // topologies the faulted run's architectural observables must equal

@@ -165,13 +165,22 @@ fn metrics_histograms_are_populated_and_host_lane_is_stepper_specific() {
         assert!(h.count() > 0, "{name} recorded no samples");
     }
 
-    // The epoch-width histogram is a host-side diagnostic: present only
-    // under the parallel stepper, and stripped by `architectural()`.
-    assert_eq!(serial.metrics().histogram("host.epoch_width").map_or(0, |h| h.count()), 0);
+    // The epoch-width histogram is a host-side diagnostic: populated by
+    // both epoch drivers (the fast serial path epoch-steps multi-FPGA
+    // prototypes too), absent in reference mode, and always stripped by
+    // `architectural()`.
+    let mut reference = contention_platform(2, 2, 8, 0x3E7A);
+    reference.set_fast_path(false);
+    reference.run(120_000);
+    assert_eq!(reference.metrics().histogram("host.epoch_width").map_or(0, |h| h.count()), 0);
+    let sw = serial.metrics().histogram("host.epoch_width").map_or(0, |h| h.count());
+    assert!(sw > 0, "fast serial run must epoch-step a multi-FPGA prototype");
     let pw = parallel.metrics().histogram("host.epoch_width").map_or(0, |h| h.count());
     assert!(pw > 0, "parallel stepper must record epoch widths");
     assert!(parallel.metrics().architectural().histogram("host.epoch_width").is_none());
     assert_eq!(serial.metrics().architectural(), parallel.metrics().architectural());
+    assert_eq!(serial.metrics().architectural(), reference.metrics().architectural());
+    assert_eq!(serial.stats().to_string(), reference.stats().to_string());
 }
 
 #[test]
