@@ -58,9 +58,15 @@ count_fields() { # count_fields <file> <struct>
         END { print count + 0 }' "$1"
 }
 
+# The Ethernet fabric lives in the substrate crate (its queues *are* the
+# flow-control layer), but its frames-in-flight are architectural state, so
+# its structs join the SaveState manifest. Generic impls
+# (`impl<T: Pack> SaveState for ...`) are matched too.
+SAVESTATE_SCAN="$AUDITED crates/sim/src/eth.rs"
+
 fail=0
-for file in $(grep -rloE "impl (smappic_sim::)?SaveState for" $AUDITED); do
-    for name in $(grep -hoE "impl (smappic_sim::)?SaveState for [A-Za-z0-9_]+" "$file" \
+for file in $(grep -rloE "impl(<[^>]*>)? (smappic_sim::)?SaveState for" $SAVESTATE_SCAN); do
+    for name in $(grep -hoE "impl(<[^>]*>)? (smappic_sim::)?SaveState for [A-Za-z0-9_]+" "$file" \
                   | awk '{print $NF}' | sort -u); do
         actual=$(count_fields "$file" "$name")
         recorded=$(awk -v f="$file" -v s="$name" '$1 == f && $2 == s { print $3 }' "$MANIFEST")
@@ -80,7 +86,7 @@ done
 # impl (or moved) is stale and must be updated.
 while read -r file name recorded; do
     [[ -z "$file" || "$file" == \#* ]] && continue
-    if ! grep -qE "impl (smappic_sim::)?SaveState for $name\b" "$file" 2>/dev/null; then
+    if ! grep -qE "impl(<[^>]*>)? (smappic_sim::)?SaveState for $name\b" "$file" 2>/dev/null; then
         echo "savestate audit FAILED: $MANIFEST lists $file $name but no SaveState impl is there."
         fail=1
     fi

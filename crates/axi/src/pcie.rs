@@ -23,7 +23,10 @@ pub enum PcieItem {
 }
 
 impl PcieItem {
-    fn wire_bytes(&self) -> u64 {
+    /// Bytes this item occupies on a serialized transport (TLP-style
+    /// header overhead plus payload) — the size both the PCIe shaper and
+    /// the Ethernet frame builder charge for it.
+    pub fn wire_bytes(&self) -> u64 {
         // TLP header overhead (~24 bytes for PCIe Gen3) plus payload.
         24 + match self {
             PcieItem::Req(r) => r.wire_bytes(),

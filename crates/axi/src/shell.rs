@@ -74,6 +74,11 @@ struct Guard {
 #[derive(Debug)]
 pub struct HardShell {
     fpga_index: usize,
+    /// Number of FPGAs on the platform: the routable peer-window range.
+    /// Configuration, not state (set at construction, never serialized).
+    /// Defaults to 8 — the pre-rack hardcoded cap, kept as the default so
+    /// shells built outside a `Platform` behave as before.
+    fpga_count: usize,
     outbound_req: Port<AxiReq>,
     outbound_resp: Port<(usize, AxiResp)>,
     inbound_req: Port<AxiReq>,
@@ -98,6 +103,7 @@ impl HardShell {
     pub fn new(fpga_index: usize) -> Self {
         Self {
             fpga_index,
+            fpga_count: 8,
             outbound_req: Port::bounded("outbound_req", 32),
             outbound_resp: Port::bounded("outbound_resp", 32),
             inbound_req: Port::bounded("inbound_req", 32),
@@ -211,11 +217,19 @@ impl HardShell {
         (addr >= base && addr < base + FPGA_WINDOW_SIZE).then(|| addr - base)
     }
 
+    /// Sets the platform's FPGA count, widening (or narrowing) the range
+    /// of peer windows [`HardShell::route`] resolves. The pre-rack shell
+    /// hardcoded `f < 8` here, silently routing peers ≥ 8 to the host on
+    /// larger platforms.
+    pub fn set_fpga_count(&mut self, count: usize) {
+        self.fpga_count = count;
+    }
+
     /// Routing decision for an outbound address.
     pub fn route(&self, addr: u64) -> ShellRoute {
         if addr >= FPGA_WINDOW_BASE {
             let f = ((addr - FPGA_WINDOW_BASE) / FPGA_WINDOW_SIZE) as usize;
-            if f < 8 && f != self.fpga_index {
+            if f < self.fpga_count && f != self.fpga_index {
                 return ShellRoute::Fpga(f);
             }
         }
@@ -466,6 +480,24 @@ mod tests {
         // The shell's own window also resolves to Host (loopback is not a
         // thing on F1; a request to yourself is a software bug surfaced to
         // the host).
+        assert_eq!(shell.route(HardShell::fpga_window(1)), ShellRoute::Host);
+    }
+
+    #[test]
+    fn routes_every_peer_window_at_rack_scale() {
+        // Pinned regression: route() hardcoded `f < 8`, so on a 64-FPGA
+        // platform every request to peers 8..63 silently went to the host.
+        let mut shell = HardShell::new(1);
+        assert_eq!(
+            shell.route(HardShell::fpga_window(63)),
+            ShellRoute::Host,
+            "default shells keep the pre-rack 8-window range"
+        );
+        shell.set_fpga_count(64);
+        assert_eq!(shell.route(HardShell::fpga_window(8)), ShellRoute::Fpga(8));
+        assert_eq!(shell.route(HardShell::fpga_window(63) + 0x40), ShellRoute::Fpga(63));
+        // One past the platform still resolves to the host.
+        assert_eq!(shell.route(HardShell::fpga_window(64)), ShellRoute::Host);
         assert_eq!(shell.route(HardShell::fpga_window(1)), ShellRoute::Host);
     }
 

@@ -36,12 +36,25 @@
 //! `--floor FILE` additionally checks every measured fast-serial rate
 //! against the committed per-config floors in FILE, failing the run on a
 //! >20% regression — the CI perf-smoke gate).
+//!
+//! # Scale mode
+//!
+//! `simperf --scale [--cycles N]` measures rack-scale throughput and host
+//! memory instead: a PCIe star at 4 FPGAs, then switched-Ethernet racks at
+//! 16 and 64 FPGAs with sparse guest DRAM, and the same 64-FPGA rack with
+//! dense (eagerly committed) DRAM as the memory baseline. Peak RSS must be
+//! measured per configuration, so each one runs in a fresh child process
+//! (`--scale-child`, re-exec'd from the parent) that reports its own
+//! `VmHWM` from `/proc/self/status`. Results merge into
+//! `BENCH_SIMPERF.json` under a `scale` key (the perf runs are preserved),
+//! and the run fails unless the sparse 64-FPGA rack peaks below 25% of the
+//! dense one — the acceptance bar for page-granular guest DRAM.
 
 use std::time::Instant;
 
-use smappic_core::{Config, HostPerf, Platform, DRAM_BASE};
+use smappic_core::{Config, HostPerf, Platform, Topology, DRAM_BASE};
 use smappic_isa::assemble;
-use smappic_sim::{MetricsRegistry, SimRng};
+use smappic_sim::{EthParams, MetricsRegistry, SimRng};
 use smappic_tile::{ArianeConfig, ArianeCore, TraceCore, TraceOp};
 
 /// The workload each tile of a config runs.
@@ -441,7 +454,297 @@ fn check_floor(path: &str, runs: &[Measurement]) {
     assert!(checked > 0, "floor file {path} names none of the measured configs");
 }
 
+// ---------------------------------------------------------------------------
+// Scale mode: rack-scale throughput and peak-RSS measurements.
+// ---------------------------------------------------------------------------
+
+/// One rack configuration of the scale sweep.
+struct ScaleConfig {
+    label: &'static str,
+    fpgas: usize,
+    /// `"star"` (PCIe, `Config::new`) or `"eth"` (`Config::rack`).
+    topo: &'static str,
+    dense: bool,
+}
+
+const SCALE_CONFIGS: &[ScaleConfig] = &[
+    ScaleConfig { label: "pcie_star_4", fpgas: 4, topo: "star", dense: false },
+    ScaleConfig { label: "eth_16_sparse", fpgas: 16, topo: "eth", dense: false },
+    ScaleConfig { label: "eth_64_sparse", fpgas: 64, topo: "eth", dense: false },
+    ScaleConfig { label: "eth_64_dense", fpgas: 64, topo: "eth", dense: true },
+];
+
+/// Keep the dense baseline affordable: 16 MiB of guest DRAM per node puts
+/// the 64-FPGA dense rack at a 1 GiB committed floor, while the sparse
+/// rack touches a handful of pages per node.
+const SCALE_BYTES_PER_NODE: u64 = 16 << 20;
+
+/// Builds the scale workload: one core per FPGA hammering a shared
+/// counter homed on node 0 (all traffic crosses the interconnect) with
+/// private stores confined to a few pages, so sparse backing stays small.
+fn scale_workload(sc: &ScaleConfig) -> Platform {
+    let mut cfg = match sc.topo {
+        "star" => Config::new(sc.fpgas, 1, 1),
+        _ => Config::rack(sc.fpgas, 1, 1, Topology::Ethernet(EthParams::default())),
+    };
+    cfg.params.bytes_per_node = SCALE_BYTES_PER_NODE;
+    cfg.params.dram_dense = sc.dense;
+    let total = cfg.total_tiles();
+    let counter = DRAM_BASE + 0xA000;
+    let mut p = Platform::new(cfg);
+    let mut rng = SimRng::new(0x5CA1E);
+    for g in 0..total {
+        let private = DRAM_BASE + g as u64 * SCALE_BYTES_PER_NODE + 0x4_0000;
+        let mut ops = Vec::new();
+        for i in 0..20_000u64 {
+            ops.push(TraceOp::Compute(rng.gen_range(20) + 1));
+            ops.push(TraceOp::AmoAdd(counter, 1));
+            if rng.chance(0.5) {
+                ops.push(TraceOp::StoreVal(private + (i % 16) * 64, i));
+            }
+        }
+        let map = p.addr_map(g);
+        p.set_engine(g, 0, Box::new(TraceCore::with_addr_map(format!("s{g}"), ops, map)));
+    }
+    p
+}
+
+/// Peak resident set of this process in KiB (`VmHWM` from
+/// `/proc/self/status`); 0 where procfs is unavailable.
+fn peak_rss_kb() -> u64 {
+    let Ok(text) = std::fs::read_to_string("/proc/self/status") else { return 0 };
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest.trim().trim_end_matches("kB").trim().parse().unwrap_or(0);
+        }
+    }
+    0
+}
+
+/// `--scale-child <label>`: runs one configuration in this process and
+/// prints a single machine-readable result line for the parent. A fresh
+/// process per measurement is what makes `VmHWM` attributable to one
+/// configuration.
+fn scale_child(label: &str, cycles: u64) {
+    let sc = SCALE_CONFIGS
+        .iter()
+        .find(|c| c.label == label)
+        .unwrap_or_else(|| panic!("unknown scale config {label}"));
+    let mut p = scale_workload(sc);
+    let t = Instant::now();
+    p.run(cycles);
+    let secs = t.elapsed().as_secs_f64();
+    assert_eq!(p.now(), cycles, "{label}: run fell short");
+    let frames = p.stats().get("eth.frames");
+    if sc.topo == "eth" {
+        assert!(frames > 0, "{label}: rack never used its fabric");
+    }
+    let pages: usize = (0..p.config().total_nodes())
+        .map(|n| p.node(n).chipset().memctl().dram().resident_pages())
+        .sum();
+    println!(
+        "SCALE {label} fpgas={} cycles={cycles} secs={secs:.6} rss_kb={} dram_pages={pages} eth_frames={frames}",
+        sc.fpgas,
+        peak_rss_kb(),
+    );
+}
+
+struct ScaleResult {
+    label: String,
+    fpgas: u64,
+    cycles: u64,
+    secs: f64,
+    rss_kb: u64,
+    dram_pages: u64,
+    eth_frames: u64,
+}
+
+/// `--scale`: re-exec one child per configuration, collect the result
+/// lines, enforce the sparse-vs-dense RSS bar, and merge a `scale`
+/// section into `BENCH_SIMPERF.json`.
+fn scale_main(cycles: u64) {
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut results = Vec::new();
+    for sc in SCALE_CONFIGS {
+        let out = std::process::Command::new(&exe)
+            .args(["--scale-child", sc.label, "--cycles", &cycles.to_string()])
+            .output()
+            .unwrap_or_else(|e| panic!("spawn scale child {}: {e}", sc.label));
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            out.status.success(),
+            "scale child {} failed:\n{stdout}\n{}",
+            sc.label,
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let line = stdout
+            .lines()
+            .find(|l| l.starts_with("SCALE "))
+            .unwrap_or_else(|| panic!("no result line from {}:\n{stdout}", sc.label));
+        let mut r = ScaleResult {
+            label: sc.label.to_string(),
+            fpgas: 0,
+            cycles: 0,
+            secs: 0.0,
+            rss_kb: 0,
+            dram_pages: 0,
+            eth_frames: 0,
+        };
+        for field in line.split_whitespace().skip(2) {
+            let (k, v) = field.split_once('=').expect("k=v field");
+            match k {
+                "fpgas" => r.fpgas = v.parse().unwrap(),
+                "cycles" => r.cycles = v.parse().unwrap(),
+                "secs" => r.secs = v.parse().unwrap(),
+                "rss_kb" => r.rss_kb = v.parse().unwrap(),
+                "dram_pages" => r.dram_pages = v.parse().unwrap(),
+                "eth_frames" => r.eth_frames = v.parse().unwrap(),
+                other => panic!("unknown field {other}"),
+            }
+        }
+        println!(
+            "{:<14} {:>3} FPGAs | {:>9.0} cyc/s | peak RSS {:>8} KiB | {:>7} DRAM pages | {:>8} frames",
+            r.label,
+            r.fpgas,
+            r.cycles as f64 / r.secs,
+            r.rss_kb,
+            r.dram_pages,
+            r.eth_frames
+        );
+        results.push(r);
+    }
+
+    let sparse = results.iter().find(|r| r.label == "eth_64_sparse").expect("sparse result");
+    let dense = results.iter().find(|r| r.label == "eth_64_dense").expect("dense result");
+    let ratio = sparse.rss_kb as f64 / dense.rss_kb.max(1) as f64;
+    let rss_measured = sparse.rss_kb > 0 && dense.rss_kb > 0;
+    if rss_measured {
+        println!(
+            "\n64-FPGA sparse peaks at {:.1}% of dense ({} vs {} KiB)",
+            ratio * 100.0,
+            sparse.rss_kb,
+            dense.rss_kb
+        );
+        assert!(
+            ratio < 0.25,
+            "sparse DRAM must keep the 64-FPGA rack below 25% of the dense baseline's peak RSS, \
+             measured {:.1}%",
+            ratio * 100.0
+        );
+    } else {
+        println!("\nno /proc/self/status: RSS recorded as 0, ratio not asserted");
+    }
+
+    let entries: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "      {{\n",
+                    "        \"label\": \"{}\",\n",
+                    "        \"fpgas\": {},\n",
+                    "        \"simulated_cycles\": {},\n",
+                    "        \"secs\": {:.6},\n",
+                    "        \"cycles_per_sec\": {:.1},\n",
+                    "        \"peak_rss_kb\": {},\n",
+                    "        \"resident_dram_pages\": {},\n",
+                    "        \"eth_frames\": {}\n",
+                    "      }}"
+                ),
+                r.label,
+                r.fpgas,
+                r.cycles,
+                r.secs,
+                r.cycles as f64 / r.secs,
+                r.rss_kb,
+                r.dram_pages,
+                r.eth_frames
+            )
+        })
+        .collect();
+    let scale_value = format!(
+        concat!(
+            "{{\n",
+            "    \"bytes_per_node\": {},\n",
+            "    \"sparse_over_dense_rss\": {:.4},\n",
+            "    \"rss_asserted\": {},\n",
+            "    \"configs\": [\n{}\n    ]\n",
+            "  }}"
+        ),
+        SCALE_BYTES_PER_NODE,
+        ratio,
+        rss_measured,
+        entries.join(",\n")
+    );
+
+    let existing = std::fs::read_to_string("BENCH_SIMPERF.json")
+        .unwrap_or_else(|_| "{\n  \"bench\": \"simperf\"\n}\n".to_string());
+    let merged = splice_key(&existing, "scale", &scale_value);
+    std::fs::write("BENCH_SIMPERF.json", merged).expect("write BENCH_SIMPERF.json");
+    println!("merged scale section into BENCH_SIMPERF.json");
+}
+
+/// Index of the brace/bracket closing the one opening at `open` (the
+/// hand-rolled JSON here never puts braces inside strings).
+fn match_brace(text: &str, open: usize) -> usize {
+    let bytes = text.as_bytes();
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'{' | b'[' => depth += 1,
+            b'}' | b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+    }
+    panic!("unbalanced JSON");
+}
+
+/// The raw value text of top-level `key` in `text`, if present.
+fn extract_key(text: &str, key: &str) -> Option<String> {
+    let k = text.find(&format!("\"{key}\":"))?;
+    let open = k + text[k..].find(['{', '['])?;
+    Some(text[open..=match_brace(text, open)].to_string())
+}
+
+/// Returns `text` with top-level `key` replaced by (or appended as)
+/// `value`, keeping every other key intact — how the perf and scale modes
+/// share one BENCH_SIMPERF.json without a JSON library.
+fn splice_key(text: &str, key: &str, value: &str) -> String {
+    let mut base = text.trim_end().to_string();
+    if let Some(k) = base.find(&format!("\"{key}\":")) {
+        let open = k + base[k..].find(['{', '[']).expect("value");
+        let end = match_brace(&base, open);
+        // Consume the comma separating the old entry from its neighbor —
+        // the preceding one, or (for a first entry) any trailing one.
+        let start = match base[..k].rfind(',') {
+            Some(c) => c,
+            None => base[..k].rfind('{').expect("object") + 1,
+        };
+        base.replace_range(start..=end, "");
+        while base[start..].starts_with(',') {
+            base.remove(start);
+        }
+    }
+    let close = base.rfind('}').expect("top-level object");
+    base.replace_range(close.., &format!(",\n  \"{key}\": {value}\n}}\n"));
+    base
+}
+
 fn main() {
+    if let Some(label) = arg_str("--scale-child") {
+        scale_child(&label, smappic_bench::arg_usize("--cycles", 20_000) as u64);
+        return;
+    }
+    if std::env::args().any(|a| a == "--scale") {
+        scale_main(smappic_bench::arg_usize("--cycles", 20_000) as u64);
+        return;
+    }
+
     let cycles = smappic_bench::arg_usize("--cycles", 400_000) as u64;
     let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!("simperf: {cycles} simulated cycles per run, {host_threads} host threads\n");
@@ -476,7 +779,7 @@ fn main() {
     }
 
     let entries: Vec<String> = runs.iter().map(json_entry).collect();
-    let json = format!(
+    let mut json = format!(
         concat!(
             "{{\n",
             "  \"bench\": \"simperf\",\n",
@@ -489,6 +792,14 @@ fn main() {
         speedup_asserted,
         entries.join(",\n")
     );
+    // A previous `--scale` run's section survives the perf rewrite.
+    if let Some(scale) = std::fs::read_to_string("BENCH_SIMPERF.json")
+        .ok()
+        .as_deref()
+        .and_then(|t| extract_key(t, "scale"))
+    {
+        json = splice_key(&json, "scale", &scale);
+    }
     std::fs::write("BENCH_SIMPERF.json", &json).expect("write BENCH_SIMPERF.json");
     println!("wrote BENCH_SIMPERF.json");
 

@@ -32,9 +32,12 @@ pub fn addr_dst(addr: u64) -> NodeId {
     NodeId((addr / NODE_WINDOW) as u16)
 }
 
-/// Source node encoded in a bridge address.
+/// Source node encoded in a bridge address. The source field spans bits
+/// 8..24 — the full `u16` node-id space — so rack-scale prototypes with
+/// more than 256 nodes encode losslessly (the old 8-bit mask aliased node
+/// 256 onto node 0 and broke credit returns).
 pub fn addr_src(addr: u64) -> NodeId {
-    NodeId(((addr >> 8) & 0xFF) as u16)
+    NodeId(((addr >> 8) & 0xFFFF) as u16)
 }
 
 /// Initial send credits per destination node (receive-buffer slots the
@@ -419,6 +422,18 @@ mod tests {
         assert_eq!(a & CREDIT_FLAG, 0);
         let c = bridge_addr(NodeId(2), NodeId(0), true);
         assert_ne!(c & CREDIT_FLAG, 0);
+    }
+
+    #[test]
+    fn address_encoding_survives_wide_node_ids() {
+        // Pinned regression: the source mask was 8 bits, so node 300's
+        // credit-return requests looked like node 44's at rack scale.
+        let a = bridge_addr(NodeId(4000), NodeId(300), true);
+        assert_eq!(addr_dst(a), NodeId(4000));
+        assert_eq!(addr_src(a), NodeId(300));
+        assert_ne!(a & CREDIT_FLAG, 0);
+        let b = bridge_addr(NodeId(1), NodeId(u16::MAX), false);
+        assert_eq!(addr_src(b), NodeId(u16::MAX));
     }
 
     #[test]

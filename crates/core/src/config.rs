@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use smappic_coherence::HomingMode;
-use smappic_sim::{Cycle, FaultPlan};
+use smappic_sim::{Cycle, EthParams, FaultPlan};
 
 /// Base of cacheable DRAM in the guest physical address space.
 pub const DRAM_BASE: u64 = 0x8000_0000;
@@ -71,6 +71,11 @@ pub struct SystemParams {
     pub llc_latency: Cycle,
     /// Mesh hop latency (cycles).
     pub hop_latency: Cycle,
+    /// When true, every node's DRAM eagerly allocates a dense byte buffer
+    /// for its homed window instead of the default sparse copy-on-write
+    /// pages — the memory-hungry baseline the scale benchmark compares
+    /// peak RSS against. Guest-visible behaviour is identical.
+    pub dram_dense: bool,
 }
 
 impl Default for SystemParams {
@@ -97,6 +102,51 @@ impl Default for SystemParams {
             bpc_hit_latency: 2,
             llc_latency: 4,
             hop_latency: 1,
+            dram_dense: false,
+        }
+    }
+}
+
+/// How the prototype's FPGAs are interconnected.
+///
+/// An F1 instance gives at most four FPGAs low-latency PCIe peer links
+/// (§4.8); past that, SMAPPIC scales out over the datacenter network. The
+/// switched-Ethernet fabric models that path: higher latency, serialized
+/// frames, store-and-forward switches — but the same deterministic,
+/// snapshottable, fault-injectable contract as the PCIe links, so every
+/// differential suite runs unchanged at rack scale.
+#[derive(Debug, Clone)]
+pub enum Topology {
+    /// Full-mesh PCIe peer links between all FPGAs (the classic ≤4-FPGA
+    /// F1 instance).
+    PcieStar,
+    /// Every FPGA attaches to a switched-Ethernet fabric: one switch per
+    /// group of [`EthParams::group_size`] FPGAs, switches joined by a
+    /// spine. No PCIe links exist.
+    Ethernet(EthParams),
+    /// F1 instances joined by Ethernet: FPGAs within one instance (one
+    /// group) keep their PCIe full mesh; cross-group traffic rides the
+    /// Ethernet fabric. `group_size` must be ≤ 4 (an instance's PCIe
+    /// reach).
+    Hybrid(EthParams),
+}
+
+impl Topology {
+    /// The Ethernet fabric parameters, when the topology has a fabric.
+    pub fn eth_params(&self) -> Option<&EthParams> {
+        match self {
+            Topology::PcieStar => None,
+            Topology::Ethernet(p) | Topology::Hybrid(p) => Some(p),
+        }
+    }
+
+    /// True when a pair of distinct FPGAs is joined by a direct PCIe link
+    /// under this topology.
+    pub fn pcie_linked(&self, a: usize, b: usize) -> bool {
+        match self {
+            Topology::PcieStar => true,
+            Topology::Ethernet(_) => false,
+            Topology::Hybrid(p) => a / p.group_size == b / p.group_size,
         }
     }
 }
@@ -163,6 +213,10 @@ pub struct Config {
     /// Deterministic timing-fault injection; `None` (the default) builds a
     /// clean platform with zero fault machinery on any hot path.
     pub fault: Option<FaultSpec>,
+    /// How the FPGAs are interconnected. [`Config::new`] always selects
+    /// [`Topology::PcieStar`]; rack-scale shapes come from
+    /// [`Config::rack`].
+    pub topology: Topology,
 }
 
 impl Config {
@@ -187,6 +241,56 @@ impl Config {
             homing: None,
             unified_memory: true,
             fault: None,
+            topology: Topology::PcieStar,
+        }
+    }
+
+    /// Creates a rack-scale configuration: `fpgas` FPGAs joined by the
+    /// given network topology instead of (or in addition to) PCIe. This is
+    /// the only constructor that lifts the 4-FPGA F1 ceiling — the
+    /// network, not PCIe peer windows, is what carries cross-instance
+    /// traffic, exactly as §4.8 sketches scaling beyond one instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `fpgas` exceeds 256 (PCIe link endpoints are `u8`),
+    /// when total nodes exceed `u16` node-id space, when the topology is
+    /// [`Topology::PcieStar`] (use [`Config::new`]), or — for
+    /// [`Topology::Hybrid`] — when the Ethernet group size exceeds the
+    /// 4-FPGA PCIe reach of one instance.
+    pub fn rack(
+        fpgas: usize,
+        nodes_per_fpga: usize,
+        tiles_per_node: usize,
+        topology: Topology,
+    ) -> Self {
+        assert!((1..=256).contains(&fpgas), "rack configurations span 1..=256 FPGAs");
+        assert!(
+            (1..=4).contains(&nodes_per_fpga),
+            "at most four nodes per FPGA (four DDR4 controllers)"
+        );
+        assert!(tiles_per_node >= 1, "a node needs at least one tile");
+        assert!(fpgas * nodes_per_fpga <= usize::from(u16::MAX), "node ids are u16");
+        match &topology {
+            Topology::PcieStar => panic!("PCIe-star racks are plain Config::new platforms"),
+            Topology::Ethernet(p) => p.validate(),
+            Topology::Hybrid(p) => {
+                p.validate();
+                assert!(
+                    p.group_size <= 4,
+                    "hybrid groups are F1 instances: at most 4 PCIe-linked FPGAs"
+                );
+            }
+        }
+        Self {
+            fpgas,
+            nodes_per_fpga,
+            tiles_per_node,
+            params: SystemParams::default(),
+            homing: None,
+            unified_memory: true,
+            fault: None,
+            topology,
         }
     }
 
@@ -253,6 +357,33 @@ mod tests {
     #[should_panic(expected = "DDR4")]
     fn more_than_four_nodes_per_fpga_rejected() {
         Config::new(1, 5, 1);
+    }
+
+    #[test]
+    fn rack_configs_span_beyond_one_instance() {
+        let eth = Config::rack(64, 1, 1, Topology::Ethernet(EthParams::default()));
+        assert_eq!(eth.total_nodes(), 64);
+        assert!(!eth.topology.pcie_linked(0, 1), "pure Ethernet has no PCIe links");
+        let hy = Config::rack(
+            16,
+            1,
+            1,
+            Topology::Hybrid(EthParams { group_size: 4, ..Default::default() }),
+        );
+        assert!(hy.topology.pcie_linked(0, 3), "same instance keeps PCIe");
+        assert!(!hy.topology.pcie_linked(3, 4), "cross-instance rides Ethernet");
+    }
+
+    #[test]
+    #[should_panic(expected = "PCIe-linked")]
+    fn hybrid_groups_cannot_exceed_pcie_reach() {
+        Config::rack(16, 1, 1, Topology::Hybrid(EthParams { group_size: 8, ..Default::default() }));
+    }
+
+    #[test]
+    #[should_panic(expected = "256 FPGAs")]
+    fn racks_cap_at_pcie_endpoint_width() {
+        Config::rack(257, 1, 1, Topology::Ethernet(EthParams::default()));
     }
 
     #[test]

@@ -49,15 +49,9 @@ impl Fpga {
             };
             xbar.map_range(base, NODE_WINDOW, slave);
         }
-        Self {
-            index,
-            nodes,
-            xbar,
-            shell: HardShell::new(index),
-            first_global_node,
-            total_nodes,
-            fast_path: true,
-        }
+        let mut shell = HardShell::new(index);
+        shell.set_fpga_count(cfg.fpgas);
+        Self { index, nodes, xbar, shell, first_global_node, total_nodes, fast_path: true }
     }
 
     /// Toggles the whole FPGA's host fast path: every node's (engines,

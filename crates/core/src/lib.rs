@@ -48,8 +48,8 @@ pub use bridge::{addr_dst, addr_src, bridge_addr, InterNodeBridge, NODE_WINDOW};
 pub use chipset::{Chipset, Clint};
 pub use codec::{decode_packet, encode_packet};
 pub use config::{
-    Config, FaultSpec, SystemParams, CLINT_BASE, DRAM_BASE, GNG_MMIO_BASE, MAPLE_MMIO_BASE,
-    PLIC_BASE, SD_CTL_BASE, SD_DATA_BASE, UART0_BASE, UART1_BASE,
+    Config, FaultSpec, SystemParams, Topology, CLINT_BASE, DRAM_BASE, GNG_MMIO_BASE,
+    MAPLE_MMIO_BASE, PLIC_BASE, SD_CTL_BASE, SD_DATA_BASE, UART0_BASE, UART1_BASE,
 };
 pub use fpga::Fpga;
 pub use node::Node;

@@ -1,7 +1,7 @@
 //! One node: a BYOC instance — tiles, mesh, and chipset.
 
 use smappic_coherence::{Bpc, BpcConfig, Geometry, Homing, LlcConfig, LlcSlice};
-use smappic_mem::{Dram, DramConfig, MemController, MemControllerConfig};
+use smappic_mem::{Dram, DramBacking, DramConfig, MemController, MemControllerConfig};
 use smappic_noc::{Gid, Mesh, MeshConfig, NodeId, TileId};
 use smappic_sim::{Cycle, MetricsRegistry, SaveState, SnapReader, SnapWriter};
 use smappic_tile::{Engine, IdleEngine, Tile};
@@ -39,13 +39,28 @@ impl Node {
                 Tile::new(gid, Bpc::new(bpc_cfg), LlcSlice::new(llc_cfg), Box::new(IdleEngine))
             })
             .collect();
+        // Partitioned homing places node g's window at
+        // DRAM_BASE + g * bytes_per_node, so rack-scale node counts push
+        // the top of guest DRAM past the classic 16 GiB — size the
+        // capacity to cover every homed window or far accesses would trip
+        // the out-of-bounds fault counter.
+        let homed_top = crate::config::DRAM_BASE + cfg.total_nodes() as u64 * p.bytes_per_node;
+        let backing = if p.dram_dense {
+            DramBacking::Dense {
+                base: crate::config::DRAM_BASE + u64::from(id.0) * p.bytes_per_node,
+                bytes: p.bytes_per_node,
+            }
+        } else {
+            DramBacking::Sparse
+        };
         let dram = Dram::new(DramConfig {
             latency: p.dram_latency,
             // DDR4-2133 behind a 100 MHz fabric: ~17 GB/s ≈ 170 B/cycle;
             // 128 keeps the channel from becoming a false bottleneck when
             // many threads share one node (Fig 9's single-node case).
             bytes_per_cycle: 128,
-            capacity: 16 << 30,
+            capacity: (16u64 << 30).max(homed_top),
+            backing,
         });
         let memctl = MemController::new(MemControllerConfig::new(Gid::chipset(id)), dram);
         let bridge = InterNodeBridge::new(id, p.bridge_extra_latency, p.bridge_bytes_per_cycle);

@@ -24,10 +24,26 @@
 //!   bit-identical to the serial stepper — same cycle count, same stats,
 //!   same console output.
 //!
+//! # Topologies and grouped barriers
+//!
+//! [`Topology::PcieStar`] joins every FPGA pair with a PCIe link — the
+//! paper's single-instance shape, capped by how many endpoints one host
+//! bridge fans out to. [`Topology::Ethernet`] attaches every FPGA to a
+//! switched-Ethernet fabric instead, and [`Topology::Hybrid`] mixes the
+//! two: PCIe inside each instance-sized group, Ethernet across groups.
+//! Network-attached platforms replace the flat epoch barrier with a
+//! *grouped* one ([`Platform::grouped_lookaheads`]): members of a switch
+//! group rendezvous every NIC-link latency, while groups synchronize with
+//! each other only at spine-latency boundaries — global coordination cost
+//! scales with the number of groups, not the number of FPGAs. Both the
+//! serial and the parallel grouped drivers are bit-identical to the
+//! per-cycle reference, exactly as for the PCIe-star steppers.
+//!
 //! Idle stretches are warped over: when every FPGA is quiescent, the
-//! platform jumps straight to the next scheduled event (PCIe delivery or
-//! UART wire edge), aging the guest-visible CLINT clock by the skipped
-//! cycle count so software still observes one mtime tick per cycle.
+//! platform jumps straight to the next scheduled event (PCIe delivery,
+//! Ethernet fabric event, or UART wire edge), aging the guest-visible
+//! CLINT clock by the skipped cycle count so software still observes one
+//! mtime tick per cycle.
 
 use std::sync::mpsc;
 
@@ -36,12 +52,13 @@ use smappic_coherence::Homing;
 use smappic_isa::Image;
 use smappic_noc::{line_of, Gid, NodeId, TileId};
 use smappic_sim::{
-    fault_streams, fnv1a, Cycle, FaultInjector, Histogram, MetricsRegistry, SaveState, SnapError,
-    SnapReader, SnapWriter, Snapshot, Stats, TraceBuf, TraceEventKind, TraceSink,
+    fault_streams, fnv1a, Cycle, EthFabric, EthSwitch, FaultInjector, Histogram, MetricsRegistry,
+    SaveState, SnapError, SnapReader, SnapWriter, Snapshot, Stats, TraceBuf, TraceEventKind,
+    TraceSink,
 };
 use smappic_tile::{AddrMap, Engine};
 
-use crate::config::{Config, CLINT_BASE, PLIC_BASE, SD_CTL_BASE, UART0_BASE, UART1_BASE};
+use crate::config::{Config, Topology, CLINT_BASE, PLIC_BASE, SD_CTL_BASE, UART0_BASE, UART1_BASE};
 use crate::fpga::Fpga;
 use crate::node::Node;
 use crate::uart::HostSerial;
@@ -86,12 +103,17 @@ pub struct Platform {
     cfg: Config,
     homing: Homing,
     fpgas: Vec<Fpga>,
-    /// links[i][j] for i < j.
+    /// links[i][j] for i < j — the pairs [`Topology::pcie_linked`] joins
+    /// (every pair under [`Topology::PcieStar`], intra-group pairs under
+    /// [`Topology::Hybrid`], none under [`Topology::Ethernet`]).
     links: Vec<((usize, usize), PcieLink)>,
     /// `(from, to) → index into links`, row-major over `fpgas × fpgas`,
-    /// `usize::MAX` on the diagonal. Keeps the per-item send path O(1)
-    /// instead of scanning the link list.
+    /// `usize::MAX` on the diagonal and on unlinked pairs. Keeps the
+    /// per-item send path O(1) instead of scanning the link list.
     link_idx: Vec<usize>,
+    /// The switched-Ethernet fabric, for network-attached topologies. Every
+    /// FPGA not reachable over a PCIe link exchanges traffic through it.
+    eth: Option<EthFabric<PcieItem>>,
     now: Cycle,
     /// Epoch widths chosen by the parallel stepper (host-side metric; not
     /// part of the architectural state — see [`MetricsRegistry::architectural`]).
@@ -112,11 +134,17 @@ struct EpochJob {
     start: Cycle,
     /// Epoch length in cycles (at most the PCIe lookahead).
     len: u64,
-    /// Pre-extracted inbound deliveries, indexed by sending FPGA: flights
-    /// with their exact arrival cycles, oldest first. The worker consumes
-    /// each list front-to-back exactly once per epoch, so plain `Vec`s
-    /// (reversed, popped from the back) beat a deque here.
-    inbound: Vec<Vec<(Cycle, Flight)>>,
+    /// Pre-extracted PCIe deliveries as `(arrival, sending fpga, flight)`,
+    /// sorted by `(arrival, from)` — the per-receiver order the serial
+    /// pump produces. One flat list instead of a `Vec` per peer: at rack
+    /// scale a per-peer layout cost `nf` allocations per job and an
+    /// `O(nf)` scan per quiet-warp probe.
+    inbound: Vec<(Cycle, usize, Flight)>,
+    /// Pre-extracted Ethernet deliveries as `(release, src, seq, item)`,
+    /// oldest first (the fabric's `(release, src, seq, copy)` order).
+    /// Delivered after any same-cycle PCIe flights, matching the serial
+    /// pump.
+    eth_inbound: Vec<(Cycle, u32, u64, PcieItem)>,
     /// Record idle/activity bookkeeping (for `run_until_idle_parallel`).
     track: bool,
 }
@@ -234,12 +262,12 @@ fn epoch_worker(
 /// by the parallel workers and the serial epoch driver — same code, same
 /// results.
 fn fpga_epoch(w: usize, fpga: &mut Fpga, job: EpochJob, idle_now: &mut bool) -> EpochOut {
-    let mut inbound = job.inbound;
     // Oldest-first lists, consumed from the front: flip them once so
     // each delivery is an O(1) pop from the back.
-    for q in &mut inbound {
-        q.reverse();
-    }
+    let mut inbound = job.inbound;
+    inbound.reverse();
+    let mut eth_inbound = job.eth_inbound;
+    eth_inbound.reverse();
     let mut sends: Vec<(Cycle, usize, PcieItem)> = Vec::new();
     let mut last_active = None;
     let end = job.start + job.len;
@@ -252,10 +280,11 @@ fn fpga_epoch(w: usize, fpga: &mut Fpga, job: EpochJob, idle_now: &mut bool) -> 
         // warp — bit-identical to ticking through them.
         if let Some(bound) = fpga.quiet_bound(t) {
             let mut stop = bound.min(end);
-            for q in &inbound {
-                if let Some(&(ready, _)) = q.last() {
-                    stop = stop.min(ready);
-                }
+            if let Some(&(ready, _, _)) = inbound.last() {
+                stop = stop.min(ready);
+            }
+            if let Some(&(ready, _, _, _)) = eth_inbound.last() {
+                stop = stop.min(ready);
             }
             if stop > t {
                 fpga.warp_quiet(t, stop - t);
@@ -272,14 +301,18 @@ fn fpga_epoch(w: usize, fpga: &mut Fpga, job: EpochJob, idle_now: &mut bool) -> 
         let sent_before = sends.len();
         drain_shell_outbound(fpga, |to, item| sends.push((t, to, item)));
         let mut delivered = false;
-        // Ascending peer order matches the serial pump's lexicographic
-        // link order as seen by this receiver.
-        for (peer, q) in inbound.iter_mut().enumerate() {
-            while q.last().is_some_and(|(ready, _)| *ready <= t) {
-                let (_, flight) = q.pop().expect("last checked");
-                deliver_flight(fpga, t, peer, flight);
-                delivered = true;
-            }
+        // `(arrival, from)` sort order reproduces the serial pump's
+        // ascending-peer order at each cycle; Ethernet releases follow
+        // same-cycle PCIe flights, as in the serial fabric pump.
+        while inbound.last().is_some_and(|&(ready, _, _)| ready <= t) {
+            let (_, from, flight) = inbound.pop().expect("last checked");
+            deliver_flight(fpga, t, from, flight);
+            delivered = true;
+        }
+        while eth_inbound.last().is_some_and(|&(ready, _, _, _)| ready <= t) {
+            let (_, src, seq, item) = eth_inbound.pop().expect("last checked");
+            deliver_flight(fpga, t, src as usize, Flight { seq, item });
+            delivered = true;
         }
         if job.track {
             // A cycle is active if the FPGA had work before or after
@@ -296,6 +329,100 @@ fn fpga_epoch(w: usize, fpga: &mut Fpga, job: EpochJob, idle_now: &mut bool) -> 
     EpochOut { worker: w, sends, last_active, idle_at_end: *idle_now }
 }
 
+/// Sends `item` over the intra-group link joining `from` and `to`, found by
+/// scanning `links` (a group's links number at most `C(4,2) = 6`, so a
+/// linear scan beats carrying the global index table onto worker threads).
+fn link_send_local(
+    links: &mut [((usize, usize), PcieLink)],
+    now: Cycle,
+    from: usize,
+    to: usize,
+    item: PcieItem,
+) {
+    let key = (from.min(to), from.max(to));
+    for ((a, b), link) in links.iter_mut() {
+        if (*a, *b) == key {
+            if from == *a {
+                link.send_from_a(now, item);
+            } else {
+                link.send_from_b(now, item);
+            }
+            return;
+        }
+    }
+    panic!("no intra-group PCIe link for {from} -> {to}");
+}
+
+/// Advances one switch group over the global epoch `[tg, tg + glen)`: local
+/// windows of at most `local` cycles, each pre-extracting per-member PCIe
+/// and Ethernet deliveries, advancing every member via [`fpga_epoch`],
+/// replaying its sends (intra-group pairs onto their PCIe link, everything
+/// else into the switch), and forwarding the switch at the window boundary.
+///
+/// `fpgas[i]` is global member `first + i`; `links` holds (at least) the
+/// group's internal PCIe links — members of other groups never match the
+/// scan, so the serial driver passes the full platform list while the
+/// parallel driver passes a per-group partition. Shared by both drivers:
+/// same code, same results. Within a local window no member can observe a
+/// peer (the PCIe and NIC-link latencies both bound it), and groups only
+/// interact through the spine, whose latency bounds the global epoch — so
+/// this schedule is bit-identical to the per-cycle reference.
+#[allow(clippy::too_many_arguments)]
+fn group_epoch(
+    first: usize,
+    fpgas: &mut [Fpga],
+    links: &mut [((usize, usize), PcieLink)],
+    sw: &mut EthSwitch<PcieItem>,
+    topology: &Topology,
+    idle_flags: &mut [bool],
+    tg: Cycle,
+    glen: u64,
+    local: u64,
+) {
+    let mut t = tg;
+    while t < tg + glen {
+        let step = local.min(tg + glen - t);
+        let horizon = t + step;
+        for lm in 0..fpgas.len() {
+            let m = first + lm;
+            // Pre-extract this member's PCIe flights from its group links.
+            // A send replayed below matures at or after `horizon` (link
+            // latency >= step), so interleaving extraction with member
+            // advancement changes nothing.
+            let mut inbound: Vec<(Cycle, usize, Flight)> = Vec::new();
+            for ((a, b), link) in links.iter_mut() {
+                if *a == m {
+                    for (c, fl) in link.take_flights_to_a_before(horizon) {
+                        inbound.push((c, *b, fl));
+                    }
+                } else if *b == m {
+                    for (c, fl) in link.take_flights_to_b_before(horizon) {
+                        inbound.push((c, *a, fl));
+                    }
+                }
+            }
+            inbound.sort_by_key(|&(c, f, _)| (c, f));
+            let job = EpochJob {
+                start: t,
+                len: step,
+                inbound,
+                eth_inbound: sw.take_delivered(m, horizon),
+                track: false,
+            };
+            let out = fpga_epoch(m, &mut fpgas[lm], job, &mut idle_flags[lm]);
+            for (u, to, item) in out.sends {
+                if topology.pcie_linked(m, to) {
+                    link_send_local(links, u, m, to, item);
+                } else {
+                    sw.send(u, m, to, item.wire_bytes(), item);
+                }
+            }
+        }
+        sw.process(horizon);
+        t += step;
+    }
+}
+
 impl Platform {
     /// Builds the prototype described by `cfg`, with idle engines in every
     /// tile; install cores with [`Platform::set_engine`] (the workload
@@ -308,11 +435,16 @@ impl Platform {
         let mut links = Vec::new();
         for i in 0..cfg.fpgas {
             for j in (i + 1)..cfg.fpgas {
+                if !cfg.topology.pcie_linked(i, j) {
+                    continue;
+                }
                 let mut link = PcieLink::new(p.pcie_one_way_latency, p.pcie_bytes_per_cycle);
                 link.set_endpoints(i as u8, j as u8);
                 links.push(((i, j), link));
             }
         }
+        let eth_plan = cfg.fault.as_ref().filter(|s| s.links).map(|s| s.plan.clone());
+        let eth = cfg.topology.eth_params().map(|p| EthFabric::new(cfg.fpgas, p.clone(), eth_plan));
         let mut link_idx = vec![usize::MAX; cfg.fpgas * cfg.fpgas];
         for (li, ((i, j), _)) in links.iter().enumerate() {
             link_idx[i * cfg.fpgas + j] = li;
@@ -364,6 +496,7 @@ impl Platform {
             fpgas,
             links,
             link_idx,
+            eth,
             now: 0,
             host_epochs: Histogram::new(),
             host_trace: TraceBuf::new(4096),
@@ -557,9 +690,16 @@ impl Platform {
         // independently — the cycle-interleaved loop below can only warp
         // when *every* FPGA is quiet at once, so one busy FPGA pins all of
         // its peers to per-cycle stepping.
-        if self.fast_path && cycles > 0 && self.lookahead() > 0 {
-            self.run_epochs_serial(cycles);
-            return;
+        if self.fast_path && cycles > 0 {
+            if self.eth.is_some() {
+                if self.grouped_lookaheads().0 > 0 {
+                    self.run_groups_serial(cycles);
+                    return;
+                }
+            } else if self.lookahead() > 0 {
+                self.run_epochs_serial(cycles);
+                return;
+            }
         }
         let mut spent = 0u64;
         while spent < cycles {
@@ -600,11 +740,19 @@ impl Platform {
             self.epoch_count += 1;
             self.host_trace
                 .record(epoch_start, || TraceEventKind::Epoch { index: idx, width: len });
-            let mut schedules: Vec<Vec<Vec<(Cycle, Flight)>>> =
-                (0..nf).map(|_| (0..nf).map(|_| Vec::new()).collect()).collect();
+            let mut schedules: Vec<Vec<(Cycle, usize, Flight)>> =
+                (0..nf).map(|_| Vec::new()).collect();
             for ((a, b), link) in self.links.iter_mut() {
-                schedules[*b][*a] = link.take_flights_to_b_before(horizon);
-                schedules[*a][*b] = link.take_flights_to_a_before(horizon);
+                for (c, fl) in link.take_flights_to_b_before(horizon) {
+                    schedules[*b].push((c, *a, fl));
+                }
+                for (c, fl) in link.take_flights_to_a_before(horizon) {
+                    schedules[*a].push((c, *b, fl));
+                }
+            }
+            for q in &mut schedules {
+                // Stable: same-(cycle, from) flights keep their send order.
+                q.sort_by_key(|&(c, f, _)| (c, f));
             }
             let mut outs = Vec::with_capacity(nf);
             for (w, fpga) in self.fpgas.iter_mut().enumerate() {
@@ -612,6 +760,7 @@ impl Platform {
                     start: epoch_start,
                     len,
                     inbound: std::mem::take(&mut schedules[w]),
+                    eth_inbound: Vec::new(),
                     track: false,
                 };
                 outs.push(fpga_epoch(w, fpga, job, &mut idle_flags[w]));
@@ -628,10 +777,134 @@ impl Platform {
         self.now = start_now + spent;
     }
 
+    /// The grouped lookaheads of a network-attached platform as
+    /// `(local, global)`: how far a switch group may advance between local
+    /// rendezvous (bounded by the NIC-to-switch link latency and by any
+    /// intra-group PCIe latency under [`Topology::Hybrid`]), and how far
+    /// all groups may advance between spine exchanges (the uplink
+    /// latency). `(0, 0)` without an Ethernet fabric.
+    pub fn grouped_lookaheads(&self) -> (u64, u64) {
+        let Some(eth) = &self.eth else { return (0, 0) };
+        let mut local = eth.local_lookahead();
+        if let Some(min_pcie) = self.links.iter().map(|(_, l)| l.one_way_latency()).min() {
+            local = local.min(min_pcie);
+        }
+        (local, eth.global_lookahead())
+    }
+
+    /// The serial grouped-epoch driver for network-attached topologies:
+    /// per global epoch (bounded by the spine latency), exchange the
+    /// spine, then advance each switch group through its local windows
+    /// with [`group_epoch`], one group after another on this thread.
+    /// Groups interact only through the spine, and the exchange horizon
+    /// covers the whole epoch, so group order is immaterial and the
+    /// result is bit-identical to the per-cycle reference and to
+    /// [`Platform::run_groups_parallel`].
+    fn run_groups_serial(&mut self, max_cycles: u64) {
+        let (local, global) = self.grouped_lookaheads();
+        let start_now = self.now;
+        let mut idle_flags: Vec<bool> = self.fpgas.iter().map(|f| f.is_idle()).collect();
+        let mut spent = 0u64;
+        while spent < max_cycles {
+            let glen = global.min(max_cycles - spent);
+            let tg = start_now + spent;
+            self.host_epochs.record(glen);
+            let idx = self.epoch_count;
+            self.epoch_count += 1;
+            self.host_trace.record(tg, || TraceEventKind::Epoch { index: idx, width: glen });
+            let eth = self.eth.as_mut().expect("grouped driver needs an Ethernet fabric");
+            // Complete even for a truncated epoch: a frame arriving before
+            // `tg + glen` left its source group an uplink latency earlier,
+            // i.e. before `tg` — already forwarded by the previous epoch.
+            eth.exchange(tg + glen);
+            for g in 0..eth.groups() {
+                let range = eth.group_members(g);
+                group_epoch(
+                    range.start,
+                    &mut self.fpgas[range.clone()],
+                    &mut self.links,
+                    eth.switch_mut(g),
+                    &self.cfg.topology,
+                    &mut idle_flags[range],
+                    tg,
+                    glen,
+                    local,
+                );
+            }
+            spent += glen;
+        }
+        self.now = start_now + spent;
+    }
+
+    /// The parallel grouped-epoch driver: one worker thread per switch
+    /// group. For each global epoch the platform state is partitioned —
+    /// every group's thread exclusively owns its FPGAs, its internal PCIe
+    /// links, and its switch — and the spine exchange at the epoch
+    /// boundary is the only cross-group synchronization, mirroring how a
+    /// rack deployment gives each chassis its own host process. Bit-
+    /// identical to [`Platform::run_groups_serial`] (same schedule, same
+    /// per-group code) and therefore to the per-cycle reference.
+    fn run_groups_parallel(&mut self, max_cycles: u64) {
+        let (local, global) = self.grouped_lookaheads();
+        let start_now = self.now;
+        let mut idle_flags: Vec<bool> = self.fpgas.iter().map(|f| f.is_idle()).collect();
+        let mut spent = 0u64;
+        while spent < max_cycles {
+            let glen = global.min(max_cycles - spent);
+            let tg = start_now + spent;
+            self.host_epochs.record(glen);
+            let idx = self.epoch_count;
+            self.epoch_count += 1;
+            self.host_trace.record(tg, || TraceEventKind::Epoch { index: idx, width: glen });
+            let eth = self.eth.as_mut().expect("grouped driver needs an Ethernet fabric");
+            eth.exchange(tg + glen);
+            let ranges: Vec<_> = (0..eth.groups()).map(|g| eth.group_members(g)).collect();
+            // Partition ownership: links by the group of their (lower)
+            // endpoint — both endpoints share a group, links only join
+            // `pcie_linked` pairs — and one switch per worker.
+            let all_links = std::mem::take(&mut self.links);
+            let mut group_links: Vec<Vec<((usize, usize), PcieLink)>> =
+                (0..ranges.len()).map(|_| Vec::new()).collect();
+            for ((a, b), link) in all_links {
+                group_links[eth.group_of(a)].push(((a, b), link));
+            }
+            let mut switches: Vec<EthSwitch<PcieItem>> =
+                (0..ranges.len()).map(|g| eth.take_switch(g)).collect();
+            let topology = &self.cfg.topology;
+            std::thread::scope(|s| {
+                let mut rest_f: &mut [Fpga] = &mut self.fpgas;
+                let mut rest_i: &mut [bool] = &mut idle_flags;
+                for ((range, lk), sw) in
+                    ranges.iter().zip(group_links.iter_mut()).zip(switches.iter_mut())
+                {
+                    let (chunk_f, rf) = rest_f.split_at_mut(range.len());
+                    rest_f = rf;
+                    let (chunk_i, ri) = rest_i.split_at_mut(range.len());
+                    rest_i = ri;
+                    let first = range.start;
+                    s.spawn(move || {
+                        group_epoch(first, chunk_f, lk, sw, topology, chunk_i, tg, glen, local);
+                    });
+                }
+            });
+            for (g, sw) in switches.into_iter().enumerate() {
+                eth.put_switch(g, sw);
+            }
+            let mut merged: Vec<((usize, usize), PcieLink)> =
+                group_links.into_iter().flatten().collect();
+            // Construction order is ascending (a, b); restoring it keeps
+            // `link_idx` valid.
+            merged.sort_by_key(|l| l.0);
+            self.links = merged;
+            spent += glen;
+        }
+        self.now = start_now + spent;
+    }
+
     /// How many upcoming cycles are provably skippable from the current
     /// cycle (capped at `budget`), or `None` when the next cycle must be
     /// stepped. Skippable means: every FPGA quiet through the window and
-    /// no PCIe link delivery maturing inside it.
+    /// no PCIe link or Ethernet fabric event maturing inside it.
     fn quiet_delta(&self, budget: u64) -> Option<u64> {
         let now = self.now;
         let mut bound = Cycle::MAX;
@@ -640,6 +913,18 @@ impl Platform {
         }
         for (_, l) in &self.links {
             if let Some(t) = l.next_delivery_at() {
+                if t <= now {
+                    return None;
+                }
+                bound = bound.min(t);
+            }
+        }
+        if let Some(eth) = &self.eth {
+            // Conservative: the earliest *fabric* event (an ingress frame
+            // maturing into the switch, not only a final delivery) bounds
+            // the warp, so every forwarding step happens on the cycle the
+            // per-cycle pump would perform it.
+            if let Some(t) = eth.earliest_event() {
                 if t <= now {
                     return None;
                 }
@@ -682,10 +967,8 @@ impl Platform {
                 let now = self.now;
                 let fpga_ev = self.fpgas.iter().filter_map(|f| f.next_event_after(now)).min();
                 let link_ev = self.links.iter().filter_map(|(_, l)| l.next_delivery_at()).min();
-                let target = match (fpga_ev, link_ev) {
-                    (Some(a), Some(b)) => Some(a.min(b)),
-                    (a, b) => a.or(b),
-                };
+                let eth_ev = self.eth.as_ref().and_then(EthFabric::earliest_event);
+                let target = [fpga_ev, link_ev, eth_ev].into_iter().flatten().min();
                 // Warp to the event cycle; the normal step below executes
                 // it. `target <= now` means a link item matured for this
                 // very cycle's pump — just step.
@@ -707,9 +990,11 @@ impl Platform {
         self.is_idle()
     }
 
-    /// True when every FPGA and link is quiescent.
+    /// True when every FPGA, link, and switch is quiescent.
     pub fn is_idle(&self) -> bool {
-        self.fpgas.iter().all(Fpga::is_idle) && self.links.iter().all(|(_, l)| l.is_idle())
+        self.fpgas.iter().all(Fpga::is_idle)
+            && self.links.iter().all(|(_, l)| l.is_idle())
+            && self.eth.as_ref().is_none_or(EthFabric::is_idle)
     }
 
     /// Advances the platform one cycle.
@@ -718,19 +1003,33 @@ impl Platform {
         for f in &mut self.fpgas {
             f.tick(now);
         }
-        self.pump_pcie(now);
+        self.pump_fabric(now);
         self.now += 1;
     }
 
-    /// Moves traffic between Hard Shells over the PCIe links.
-    fn pump_pcie(&mut self, now: Cycle) {
+    /// Moves traffic between Hard Shells: over the PCIe links and, on
+    /// network-attached topologies, through the Ethernet fabric.
+    fn pump_fabric(&mut self, now: Cycle) {
         let nf = self.fpgas.len();
-        // Outbound requests and responses onto links, FPGA by FPGA.
+        if let Some(eth) = &mut self.eth {
+            // Spine hand-off first: a cross-group frame delivered at this
+            // cycle crossed the uplink long ago, and anything sent below
+            // matures at `now + 2` or later, so ordering against the rest
+            // of the pump is immaterial.
+            eth.exchange(now + 1);
+        }
+        // Outbound requests and responses onto the fabric, FPGA by FPGA.
+        // PCIe-linked pairs use their link; everything else rides Ethernet.
         for fi in 0..nf {
-            let (fpgas, links) = (&mut self.fpgas, &mut self.links);
+            let (fpgas, links, eth) = (&mut self.fpgas, &mut self.links, &mut self.eth);
             let link_idx = &self.link_idx;
             drain_shell_outbound(&mut fpgas[fi], |to, item| {
-                link_send_indexed(links, link_idx, nf, now, fi, to, item);
+                if link_idx[fi * nf + to] != usize::MAX {
+                    link_send_indexed(links, link_idx, nf, now, fi, to, item);
+                } else {
+                    let eth = eth.as_mut().expect("unlinked pair implies an Ethernet fabric");
+                    eth.send(now, fi, to, item.wire_bytes(), item);
+                }
             });
         }
         // Deliveries off links, in lexicographic link order (which any
@@ -743,6 +1042,16 @@ impl Platform {
             while let Some(flight) = self.links[li].1.recv_flight_at_a(now) {
                 deliver_flight(&mut self.fpgas[a], now, b, flight);
             }
+        }
+        // Ethernet deliveries follow same-cycle PCIe flights at each
+        // receiver, then the switches forward one cycle's worth of events.
+        if let Some(eth) = &mut self.eth {
+            for (m, fpga) in self.fpgas.iter_mut().enumerate() {
+                for (_, src, seq, item) in eth.take_delivered(m, now + 1) {
+                    deliver_flight(fpga, now, src as usize, Flight { seq, item });
+                }
+            }
+            eth.process_all(now + 1);
         }
     }
 
@@ -764,6 +1073,14 @@ impl Platform {
     /// The execution is bit-identical to [`Platform::run`]: identical
     /// cycle count, statistics, memory, and console output.
     pub fn run_parallel(&mut self, cycles: u64) {
+        if self.eth.is_some() {
+            if self.grouped_lookaheads().0 > 0 && cycles > 0 {
+                self.run_groups_parallel(cycles);
+            } else {
+                self.run(cycles);
+            }
+            return;
+        }
         if self.lookahead() == 0 || cycles == 0 {
             self.run(cycles);
             return;
@@ -775,6 +1092,15 @@ impl Platform {
     /// worker thread per FPGA; returns the number of cycles advanced.
     /// Without lookahead this degenerates to a single serial step.
     pub fn step_epoch(&mut self) -> u64 {
+        if self.eth.is_some() {
+            let (local, global) = self.grouped_lookaheads();
+            if local == 0 {
+                self.step();
+                return 1;
+            }
+            self.run_groups_parallel(global);
+            return global;
+        }
         let l = self.lookahead();
         if l == 0 {
             self.step();
@@ -795,7 +1121,11 @@ impl Platform {
     /// path surfaces those bytes on the next run call instead). Guest-
     /// visible state is unaffected.
     pub fn run_until_idle_parallel(&mut self, max: u64) -> bool {
-        if self.lookahead() == 0 {
+        if self.eth.is_some() || self.lookahead() == 0 {
+            // Network-attached topologies use the serial idle loop: it
+            // warps dead stretches to the next fabric event and lands on
+            // the exact quiescent cycle, which the grouped drivers (built
+            // for fixed-cycle runs) do not track.
             return self.run_until_idle(max);
         }
         if self.is_idle() {
@@ -844,17 +1174,26 @@ impl Platform {
                 host_trace.record(epoch_start, || TraceEventKind::Epoch { index: idx, width: len });
                 // Pull everything the links deliver inside this epoch and
                 // schedule it at the receiving worker, keyed by sender.
-                let mut schedules: Vec<Vec<Vec<(Cycle, Flight)>>> =
-                    (0..nf).map(|_| (0..nf).map(|_| Vec::new()).collect()).collect();
+                let mut schedules: Vec<Vec<(Cycle, usize, Flight)>> =
+                    (0..nf).map(|_| Vec::new()).collect();
                 for ((a, b), link) in links.iter_mut() {
-                    schedules[*b][*a] = link.take_flights_to_b_before(horizon);
-                    schedules[*a][*b] = link.take_flights_to_a_before(horizon);
+                    for (c, fl) in link.take_flights_to_b_before(horizon) {
+                        schedules[*b].push((c, *a, fl));
+                    }
+                    for (c, fl) in link.take_flights_to_a_before(horizon) {
+                        schedules[*a].push((c, *b, fl));
+                    }
+                }
+                for q in &mut schedules {
+                    // Stable: same-(cycle, from) flights keep send order.
+                    q.sort_by_key(|&(c, f, _)| (c, f));
                 }
                 for (w, tx) in job_txs.iter().enumerate() {
                     let job = EpochJob {
                         start: epoch_start,
                         len,
                         inbound: std::mem::take(&mut schedules[w]),
+                        eth_inbound: Vec::new(),
                         track: stop_when_idle,
                     };
                     tx.send(job).expect("worker alive");
@@ -931,6 +1270,9 @@ impl Platform {
         for ((a, b), link) in &self.links {
             w.scoped(&format!("pcie{a}-{b}"), |w| link.save(w));
         }
+        if let Some(eth) = &self.eth {
+            w.scoped("eth", |w| eth.save(w));
+        }
         w.scoped("host.stepper", |w| {
             self.host_epochs.save(w);
             w.u64(self.epoch_count);
@@ -968,6 +1310,9 @@ impl Platform {
         for ((a, b), link) in &mut self.links {
             r.scoped(&format!("pcie{a}-{b}"), |r| link.restore(r));
         }
+        if let Some(eth) = &mut self.eth {
+            r.scoped("eth", |r| eth.restore(r));
+        }
         let (host_epochs, epoch_count) = (&mut self.host_epochs, &mut self.epoch_count);
         r.scoped("host.stepper", |r| {
             host_epochs.restore(r);
@@ -999,6 +1344,9 @@ impl Platform {
                 }
             }
         }
+        if let Some(eth) = &self.eth {
+            eth.merge_stats(&mut s);
+        }
         if self.cfg.fault.as_ref().is_some_and(|spec| spec.links) {
             let (delayed, duplicated) = self.links.iter().fold((0, 0), |(d, u), (_, l)| {
                 let (ld, lu) = l.fault_counts();
@@ -1006,6 +1354,11 @@ impl Platform {
             });
             s.add("fault.link_delayed", delayed);
             s.add("fault.link_duplicated", duplicated);
+            if let Some(eth) = &self.eth {
+                let (d, u) = eth.fault_counts();
+                s.add("fault.eth_delayed", d);
+                s.add("fault.eth_duplicated", u);
+            }
         }
         s
     }
@@ -1115,13 +1468,31 @@ impl Platform {
                 n.merge_port_metrics(&format!("node{g}"), &mut m);
             }
         }
+        if let Some(eth) = &self.eth {
+            // Fabric hop meters sample occupancy at pump-call time, which
+            // the grouped drivers batch differently from the per-cycle
+            // reference — stepper diagnostics, so they live under `host.`
+            // and are stripped by [`MetricsRegistry::architectural`]. The
+            // deterministic fabric counters (`eth.frames`, `eth.bytes`)
+            // come in through [`Platform::stats`] above.
+            let mut fabric = MetricsRegistry::new();
+            eth.merge_port_metrics("eth", &mut fabric);
+            for (name, v) in fabric.counters().iter() {
+                m.add_counter(&format!("host.{name}"), v);
+            }
+            for (name, h) in fabric.histograms() {
+                m.merge_histogram(&format!("host.{name}"), h);
+            }
+        }
         m
     }
 
-    /// Items currently in flight across all PCIe links (shapers plus
-    /// fault-stage jitter buffers).
+    /// Items currently in flight across the interconnect: PCIe links
+    /// (shapers plus fault-stage jitter buffers) and, when present, the
+    /// Ethernet fabric (NIC links, switch queues, spine, jitter).
     pub fn links_in_flight(&self) -> usize {
-        self.links.iter().map(|(_, l)| l.in_flight()).sum()
+        self.links.iter().map(|(_, l)| l.in_flight()).sum::<usize>()
+            + self.eth.as_ref().map_or(0, EthFabric::in_flight)
     }
 
     /// A hash of every monotone architectural-progress indicator: engine
@@ -1151,6 +1522,10 @@ impl Platform {
         for (_, l) in &self.links {
             h = fold(h, l.bytes_transferred());
             h = fold(h, l.in_flight() as u64);
+        }
+        if let Some(eth) = &self.eth {
+            h = fold(h, eth.bytes_transferred());
+            h = fold(h, eth.in_flight() as u64);
         }
         h
     }

@@ -474,9 +474,15 @@ impl FaultInjector {
 /// numbering here (rather than in the platform crate) lets plans be
 /// written and replayed without referencing platform internals.
 pub mod fault_streams {
-    /// The PCIe link direction from FPGA `from` to FPGA `to`.
+    /// The inter-FPGA link direction from FPGA `from` to FPGA `to` —
+    /// shared by the PCIe and switched-Ethernet transports (a pair of
+    /// FPGAs communicates over exactly one of them, so the stream space
+    /// needs no transport tag). The stride gives every ordered pair of a
+    /// 1024-FPGA platform a distinct stream; the old `0x100 + from*8 + to`
+    /// numbering collided as soon as a platform had 8 FPGAs
+    /// (`link(0,8) == link(1,0)`).
     pub fn link(from: usize, to: usize) -> u64 {
-        0x100 + (from as u64) * 8 + to as u64
+        0x1_0000 + (from as u64) * 0x400 + to as u64
     }
 
     /// The NoC mesh of global node `node`.
@@ -550,6 +556,32 @@ mod tests {
         assert_eq!(plan.action_for(5, 2).delay, 30);
         assert!(plan.action_for(5, 1).is_noop());
         assert!(plan.action_for(6, 0).is_noop());
+    }
+
+    #[test]
+    fn link_streams_are_unique_at_rack_scale() {
+        // Pinned regression: with the pre-rack numbering (stride 8),
+        // link(0, 8) aliased link(1, 0), so an 8+-FPGA platform fed two
+        // different links from one fault stream. Every ordered pair of a
+        // 64-FPGA platform must map to a distinct stream, disjoint from
+        // the noc/xbar/dram ranges.
+        let mut seen = std::collections::HashSet::new();
+        for from in 0..64 {
+            for to in 0..64 {
+                if from == to {
+                    continue;
+                }
+                let s = fault_streams::link(from, to);
+                assert!(seen.insert(s), "stream collision for link({from},{to})");
+                for node in 0..256 {
+                    assert_ne!(s, fault_streams::noc(node));
+                    assert_ne!(s, fault_streams::dram(node));
+                }
+                for fpga in 0..64 {
+                    assert_ne!(s, fault_streams::xbar(fpga));
+                }
+            }
+        }
     }
 
     #[test]

@@ -51,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod eth;
 mod fault;
 mod obs;
 mod port;
@@ -60,6 +61,7 @@ mod shaper;
 mod snap;
 mod stats;
 
+pub use eth::{EthFabric, EthLink, EthParams, EthSwitch, Frame};
 pub use fault::{
     fault_streams, FaultAction, FaultInjector, FaultPlan, FaultProfile, ScheduleEntry,
     BLACKHOLE_DELAY,

@@ -591,6 +591,20 @@ impl<T> DelayPort<T> {
         }
     }
 
+    /// Removes and returns the oldest element maturing *strictly before*
+    /// `horizon`, together with its ready cycle. The epoch-extraction
+    /// primitive: drivers drain everything below a lookahead horizon while
+    /// leaving later traffic in flight (mirrors
+    /// [`TrafficShaper::pop_before`](crate::TrafficShaper::pop_before)).
+    pub fn pop_before(&mut self, horizon: Cycle) -> Option<(Cycle, T)> {
+        if self.ring.front().is_some_and(|(ready, _)| *ready < horizon) {
+            self.meter.pops += 1;
+            self.ring.pop_front()
+        } else {
+            None
+        }
+    }
+
     /// The oldest matured element without removing it.
     pub fn peek_ready(&self, now: Cycle) -> Option<&T> {
         self.ring.front().filter(|(ready, _)| *ready <= now).map(|(_, item)| item)
@@ -614,6 +628,28 @@ impl<T> DelayPort<T> {
     /// The port's meter.
     pub fn meter(&self) -> &PortMeter {
         &self.meter
+    }
+
+    /// Saves only the in-flight ring, without the meter. For hops pumped
+    /// in batched horizons (the Ethernet fabric), where pop *call* times —
+    /// and with them the meter's occupancy samples — are artifacts of the
+    /// stepper schedule while the ring contents are bit-identical across
+    /// steppers. Restore with [`DelayPort::restore_ring_only`], which
+    /// leaves the meter untouched (zeroed on a fresh platform), keeping
+    /// save → restore → save a byte fixed point.
+    pub fn save_ring_only(&self, w: &mut SnapWriter)
+    where
+        T: Pack,
+    {
+        self.ring.save(w);
+    }
+
+    /// Restores a [`DelayPort::save_ring_only`] image.
+    pub fn restore_ring_only(&mut self, r: &mut SnapReader)
+    where
+        T: Pack,
+    {
+        self.ring.restore(r);
     }
 
     /// Cycle at which the oldest in-flight element matures, if any — the

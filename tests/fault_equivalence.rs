@@ -11,8 +11,10 @@
 
 use std::sync::Arc;
 
-use smappic::platform::{Config, FaultSpec, Platform, WatchdogConfig, DRAM_BASE, UART0_BASE};
-use smappic::sim::{FaultPlan, FaultProfile, SimRng};
+use smappic::platform::{
+    Config, FaultSpec, Platform, Topology, WatchdogConfig, DRAM_BASE, UART0_BASE,
+};
+use smappic::sim::{EthParams, FaultPlan, FaultProfile, SimRng};
 use smappic::tile::{Engine, TraceCore, TraceOp};
 
 const COUNTER: u64 = DRAM_BASE + 0xA000;
@@ -36,13 +38,53 @@ fn chaos_platform(
     seed: u64,
     fault: Option<FaultSpec>,
 ) -> Platform {
-    let mut cfg = Config::new(fpgas, 1, tiles);
+    chaos_on(Config::new(fpgas, 1, tiles), tiles, rounds, seed, fault)
+}
+
+/// The chaos workload on a network-attached rack: same traffic, but the
+/// FPGAs reach each other over a switched-Ethernet (or hybrid) fabric,
+/// so the injected link faults ride the Ethernet streams instead of (or
+/// alongside) the PCIe ones. Small-format latencies keep runs short.
+fn rack_chaos_platform(
+    fpgas: usize,
+    rounds: u64,
+    seed: u64,
+    topology: Topology,
+    fault: Option<FaultSpec>,
+) -> Platform {
+    chaos_on(Config::rack(fpgas, 1, 1, topology), 1, rounds, seed, fault)
+}
+
+fn rack_eth_params(group_size: usize) -> EthParams {
+    EthParams {
+        link_latency: 12,
+        link_bytes_per_cycle: 32,
+        switch_latency: 4,
+        uplink_latency: 40,
+        uplink_bytes_per_cycle: 128,
+        group_size,
+        frame_overhead_bytes: 38,
+    }
+}
+
+fn chaos_on(
+    mut cfg: Config,
+    tiles: usize,
+    rounds: u64,
+    seed: u64,
+    fault: Option<FaultSpec>,
+) -> Platform {
     if let Some(spec) = fault {
         cfg = cfg.with_faults(spec);
     }
     let total = cfg.total_tiles();
     let mut p = Platform::new(cfg);
     let mut rng = SimRng::new(seed ^ 0xC0FFEE);
+    build_chaos_cores(&mut p, tiles, total, rounds, &mut rng);
+    p
+}
+
+fn build_chaos_cores(p: &mut Platform, tiles: usize, total: usize, rounds: u64, rng: &mut SimRng) {
     for g in 0..total {
         let (node, tile) = (g / tiles, (g % tiles) as u16);
         let private = PRIVATE_BASE + g as u64 * 8192;
@@ -77,7 +119,6 @@ fn chaos_platform(
         let map = p.addr_map(node);
         p.set_engine(node, tile, Box::new(TraceCore::with_addr_map(format!("x{g}"), ops, map)));
     }
-    p
 }
 
 /// The architectural observables a faulted run must reproduce exactly:
@@ -388,6 +429,98 @@ fn stats_survive_a_stepper_switch_mid_run() {
     assert_eq!(s.get("shell.out_req"), r.get("shell.out_req"), "shell counters diverged");
     assert_eq!(s.get("shell.in_req"), r.get("shell.in_req"), "shell counters diverged");
     assert_eq!(s.to_string(), r.to_string(), "full statistics diverged across the switch");
+}
+
+#[test]
+fn ethernet_faults_preserve_architectural_state_and_the_guard_recovers() {
+    // Clean ≡ faulted over the switched fabric: delays and duplicates on
+    // the Ethernet streams are timing faults only, and the receiving
+    // shells' sequence guards absorb them — every ghost copy dropped,
+    // every reordered frame resequenced.
+    let mut delayed = 0u64;
+    let mut duplicated = 0u64;
+    for seed in 0..3u64 {
+        let plan = Arc::new(FaultPlan::seeded(seed, FaultProfile::heavy()));
+        let topo = || Topology::Ethernet(rack_eth_params(2));
+        let mut clean = rack_chaos_platform(4, 3, seed, topo(), None);
+        let mut faulted =
+            rack_chaos_platform(4, 3, seed, topo(), Some(FaultSpec::links_only(plan)));
+        run_to_idle(&mut clean, false, "eth-clean");
+        run_to_idle(&mut faulted, false, "eth-faulted");
+        assert_eq!(
+            arch_state(&mut clean),
+            arch_state(&mut faulted),
+            "Ethernet faults corrupted architectural state: seed {seed}"
+        );
+        let s = faulted.stats();
+        // A pure Ethernet topology has no PCIe links: every link fault is
+        // an Ethernet fault, and every duplicate the fabric minted must
+        // have died at a shell guard.
+        assert_eq!(s.get("fault.link_delayed"), 0, "no PCIe links exist to fault");
+        assert_eq!(
+            s.get("shell.guard_dup"),
+            s.get("fault.eth_duplicated"),
+            "a ghost frame was delivered twice: seed {seed}"
+        );
+        delayed += s.get("fault.eth_delayed");
+        duplicated += s.get("fault.eth_duplicated");
+    }
+    assert!(delayed > 0, "no Ethernet delays fired across the sweep");
+    assert!(duplicated > 0, "no Ethernet duplicates fired across the sweep");
+}
+
+#[test]
+fn faulted_ethernet_serial_matches_faulted_parallel_bit_for_bit() {
+    // The grouped drivers under fire: the same Ethernet fault plan
+    // replayed serial vs parallel (and against the per-cycle reference)
+    // is one simulation. Fault decisions key on frame identity and
+    // maturity cycles, so group-local windows cannot change what fires.
+    for seed in [2u64, 5] {
+        let plan = Arc::new(FaultPlan::seeded(seed, FaultProfile::light()));
+        let spec = || Some(FaultSpec::links_only(plan.clone()));
+        let topo = || Topology::Hybrid(rack_eth_params(2));
+        let mut reference = rack_chaos_platform(4, 3, seed, topo(), spec());
+        let mut serial = rack_chaos_platform(4, 3, seed, topo(), spec());
+        let mut parallel = rack_chaos_platform(4, 3, seed, topo(), spec());
+        reference.set_fast_path(false);
+        reference.run(30_000);
+        serial.run(30_000);
+        parallel.run_parallel(30_000);
+        assert_eq!(
+            snapshot(&reference),
+            snapshot(&serial),
+            "faulted grouped-serial diverged from reference: seed {seed}"
+        );
+        assert_eq!(
+            snapshot(&serial),
+            snapshot(&parallel),
+            "faulted grouped steppers diverged: seed {seed}"
+        );
+        assert_eq!(serial.stats().to_string(), parallel.stats().to_string());
+    }
+}
+
+#[test]
+fn watchdog_reports_a_blackholed_ethernet_fabric() {
+    // Every Ethernet stream goes dark at cycle 2000: frames park in the
+    // switches' jitter stages forever, spinning cores freeze, and the
+    // watchdog must convert the livelock into a report that counts the
+    // stranded frames.
+    let plan = Arc::new(FaultPlan::seeded(0, FaultProfile::blackhole(2_000)));
+    let mut p = rack_chaos_platform(
+        4,
+        4,
+        5,
+        Topology::Ethernet(rack_eth_params(2)),
+        Some(FaultSpec::links_only(plan)),
+    );
+    let wcfg = WatchdogConfig { stall_limit: 30_000, check_interval: 1_000 };
+    let report = p
+        .run_until_idle_watched(BUDGET, &wcfg, false)
+        .expect_err("a blackholed fabric must be reported as livelock, not quiescence");
+    assert!(report.links_in_flight > 0, "blackholed frames should be stuck in the fabric");
+    assert!(!report.fpga_idle.iter().all(|i| *i), "a livelocked rack is not idle");
+    assert!(report.to_string().contains("LIVELOCK"));
 }
 
 /// The full acceptance matrix — 8 seeds × {serial, parallel} × {1, 2, 4}

@@ -8,8 +8,8 @@
 
 use std::sync::Arc;
 
-use smappic::platform::{Config, FaultSpec, Platform, DRAM_BASE};
-use smappic::sim::{FaultPlan, FaultProfile, SimRng, SnapError, Snapshot};
+use smappic::platform::{Config, FaultSpec, Platform, Topology, DRAM_BASE};
+use smappic::sim::{EthParams, FaultPlan, FaultProfile, SimRng, SnapError, Snapshot};
 use smappic::tile::{TraceCore, TraceOp};
 
 const COUNTER: u64 = DRAM_BASE + 0x9000;
@@ -100,6 +100,60 @@ fn assert_resume_transparent(
     assert_eq!(observe(&reference), observe(&resumed), "{label}: resumed run diverged");
 }
 
+/// A rack twin of [`workload`]: the same contention pattern on an Ax1x1
+/// prototype whose FPGAs attach over a switched-Ethernet (or hybrid)
+/// fabric. Small-format latencies keep frames crossing the spine many
+/// times inside short runs.
+fn rack_workload(
+    fpgas: usize,
+    incs: u64,
+    seed: u64,
+    topology: Topology,
+    fault: Option<FaultSpec>,
+) -> Platform {
+    let mut cfg = Config::rack(fpgas, 1, 1, topology);
+    if let Some(spec) = fault {
+        cfg = cfg.with_faults(spec);
+    }
+    let total = cfg.total_tiles();
+    let mut p = Platform::new(cfg);
+    let mut rng = SimRng::new(seed);
+    for g in 0..total {
+        let mut ops = Vec::new();
+        let private = DRAM_BASE + 0x20_0000 + g as u64 * 4096;
+        for i in 0..incs {
+            if rng.chance(0.4) {
+                ops.push(TraceOp::Compute(rng.gen_range(30) + 1));
+            }
+            ops.push(TraceOp::AmoAdd(COUNTER, 1));
+            if rng.chance(0.3) {
+                ops.push(TraceOp::StoreVal(private + (i % 8) * 64, g as u64 ^ i));
+            }
+            if rng.chance(0.25) {
+                ops.push(TraceOp::Checksum(private + (i % 8) * 64));
+            }
+        }
+        ops.push(TraceOp::AmoAdd(DONE, 1));
+        ops.push(TraceOp::SpinUntilGe(DONE, total as u64));
+        ops.push(TraceOp::Checksum(COUNTER));
+        let map = p.addr_map(g);
+        p.set_engine(g, 0, Box::new(TraceCore::with_addr_map(format!("r{g}"), ops, map)));
+    }
+    p
+}
+
+fn rack_eth_params() -> EthParams {
+    EthParams {
+        link_latency: 12,
+        link_bytes_per_cycle: 32,
+        switch_latency: 4,
+        uplink_latency: 40,
+        uplink_bytes_per_cycle: 128,
+        group_size: 2,
+        frame_overhead_bytes: 38,
+    }
+}
+
 #[test]
 fn serial_roundtrip_at_random_mid_workload_cycles() {
     let mk = || workload(2, 2, 10, 0x5EED, None);
@@ -171,6 +225,93 @@ fn snapshot_under_serial_resumes_under_parallel() {
         reference.metrics().architectural().snapshot_text(),
         resumed.metrics().architectural().snapshot_text(),
         "cross-stepper resume diverged"
+    );
+}
+
+#[test]
+fn ethernet_serial_roundtrip_cuts_through_in_flight_switch_queues() {
+    // The cut must land while frames sit inside the fabric — switch
+    // ingress/egress hops, the spine, the remote queues — so the `eth.*`
+    // snapshot sections carry real in-flight state, not empty rings.
+    let mk = || rack_workload(4, 10, 0xE7A0, Topology::Ethernet(rack_eth_params()), None);
+    // Deterministic probe for a cut with traffic mid-fabric: identical
+    // twins replay the same schedule, so the cycle found here is stable.
+    let mut probe = mk();
+    let mut cut = 0;
+    while probe.links_in_flight() == 0 {
+        probe.run(50);
+        cut += 50;
+        assert!(cut < 40_000, "workload never put a frame in flight");
+    }
+    assert!(probe.links_in_flight() > 0, "cut must land with frames in flight");
+    let snap = probe.snapshot();
+    assert!(
+        snap.sections().iter().any(|(n, _)| n.starts_with("eth.sw")),
+        "snapshot must carry the fabric's switch sections"
+    );
+    assert_resume_transparent(mk, cut, 40_000, |p, n| p.run(n), "eth-serial");
+}
+
+#[test]
+fn ethernet_parallel_grouped_roundtrip_mid_workload() {
+    // Same property under the parallel grouped-epoch driver: snapshot a
+    // parallel run mid-flight, restore into a fresh platform, finish in
+    // parallel — indistinguishable from never having stopped.
+    let mk = || rack_workload(4, 10, 0x6E77, Topology::Ethernet(rack_eth_params()), None);
+    assert_resume_transparent(mk, 17_401, 40_000, |p, n| p.run_parallel(n), "eth-parallel");
+}
+
+#[test]
+fn hybrid_snapshot_under_serial_resumes_under_parallel() {
+    // Cross-stepper resume on a mixed fabric: PCIe links inside each
+    // group, Ethernet between them. The snapshot covers both transports;
+    // the grouped-parallel driver must pick up exactly where the serial
+    // one stopped.
+    let mk = || rack_workload(4, 8, 0x4B1D, Topology::Hybrid(rack_eth_params()), None);
+    let (total, cut) = (40_000, 21_111);
+
+    let mut reference = mk();
+    reference.run(total);
+
+    let mut first = mk();
+    first.run(cut);
+    let snap = first.snapshot();
+
+    let mut resumed = mk();
+    resumed.restore(&snap).expect("restore");
+    resumed.run_parallel(total - cut);
+
+    assert_eq!(reference.now(), resumed.now());
+    assert_eq!(reference.stats().to_string(), resumed.stats().to_string());
+    assert_eq!(
+        reference.metrics().architectural().snapshot_text(),
+        resumed.metrics().architectural().snapshot_text(),
+        "hybrid cross-stepper resume diverged"
+    );
+}
+
+#[test]
+fn ethernet_fault_roundtrip_covers_jitter_and_sequence_state() {
+    // With link faults on the Ethernet streams the switches carry live
+    // injector state — jitter buffers holding deferred/ghost frames and
+    // per-pair sequence counters — that the `eth.*` sections must
+    // round-trip, or the resumed run replays different faults.
+    let plan = Arc::new(FaultPlan::seeded(19, FaultProfile::light()));
+    let mk = || {
+        rack_workload(
+            4,
+            8,
+            0xFAB5,
+            Topology::Ethernet(rack_eth_params()),
+            Some(FaultSpec::links_only(plan.clone())),
+        )
+    };
+    assert_resume_transparent(mk, 15_973, 45_000, |p, n| p.run(n), "eth-fault");
+    let mut p = mk();
+    p.run(45_000);
+    assert!(
+        p.stats().get("fault.eth_delayed") + p.stats().get("fault.eth_duplicated") > 0,
+        "fault plan never fired on the Ethernet streams — round-trip was vacuous"
     );
 }
 
