@@ -61,8 +61,11 @@ count_fields() { # count_fields <file> <struct>
 # The Ethernet fabric lives in the substrate crate (its queues *are* the
 # flow-control layer), but its frames-in-flight are architectural state, so
 # its structs join the SaveState manifest. Generic impls
-# (`impl<T: Pack> SaveState for ...`) are matched too.
-SAVESTATE_SCAN="$AUDITED crates/sim/src/eth.rs"
+# (`impl<T: Pack> SaveState for ...`) are matched too. The service crate is
+# not queue-audited (its VecDeques are host-side scheduler queues), but any
+# SaveState component it plants inside a platform (e.g. the chaos harness's
+# PoisonEngine) migrates across workers in snapshots, so it is scanned here.
+SAVESTATE_SCAN="$AUDITED crates/sim/src/eth.rs crates/service/src"
 
 fail=0
 for file in $(grep -rloE "impl(<[^>]*>)? (smappic_sim::)?SaveState for" $SAVESTATE_SCAN); do

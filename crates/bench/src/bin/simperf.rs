@@ -684,56 +684,9 @@ fn scale_main(cycles: u64) {
     println!("merged scale section into BENCH_SIMPERF.json");
 }
 
-/// Index of the brace/bracket closing the one opening at `open` (the
-/// hand-rolled JSON here never puts braces inside strings).
-fn match_brace(text: &str, open: usize) -> usize {
-    let bytes = text.as_bytes();
-    let mut depth = 0usize;
-    for (i, &b) in bytes.iter().enumerate().skip(open) {
-        match b {
-            b'{' | b'[' => depth += 1,
-            b'}' | b']' => {
-                depth -= 1;
-                if depth == 0 {
-                    return i;
-                }
-            }
-            _ => {}
-        }
-    }
-    panic!("unbalanced JSON");
-}
-
-/// The raw value text of top-level `key` in `text`, if present.
-fn extract_key(text: &str, key: &str) -> Option<String> {
-    let k = text.find(&format!("\"{key}\":"))?;
-    let open = k + text[k..].find(['{', '['])?;
-    Some(text[open..=match_brace(text, open)].to_string())
-}
-
-/// Returns `text` with top-level `key` replaced by (or appended as)
-/// `value`, keeping every other key intact — how the perf and scale modes
-/// share one BENCH_SIMPERF.json without a JSON library.
-fn splice_key(text: &str, key: &str, value: &str) -> String {
-    let mut base = text.trim_end().to_string();
-    if let Some(k) = base.find(&format!("\"{key}\":")) {
-        let open = k + base[k..].find(['{', '[']).expect("value");
-        let end = match_brace(&base, open);
-        // Consume the comma separating the old entry from its neighbor —
-        // the preceding one, or (for a first entry) any trailing one.
-        let start = match base[..k].rfind(',') {
-            Some(c) => c,
-            None => base[..k].rfind('{').expect("object") + 1,
-        };
-        base.replace_range(start..=end, "");
-        while base[start..].starts_with(',') {
-            base.remove(start);
-        }
-    }
-    let close = base.rfind('}').expect("top-level object");
-    base.replace_range(close.., &format!(",\n  \"{key}\": {value}\n}}\n"));
-    base
-}
+// The JSON section-merge helpers (`match_brace`/`extract_key`/`splice_key`)
+// live in the bench lib now, shared with `servebench`.
+use smappic_bench::{extract_key, splice_key};
 
 fn main() {
     if let Some(label) = arg_str("--scale-child") {
@@ -792,13 +745,14 @@ fn main() {
         speedup_asserted,
         entries.join(",\n")
     );
-    // A previous `--scale` run's section survives the perf rewrite.
-    if let Some(scale) = std::fs::read_to_string("BENCH_SIMPERF.json")
-        .ok()
-        .as_deref()
-        .and_then(|t| extract_key(t, "scale"))
-    {
-        json = splice_key(&json, "scale", &scale);
+    // Previous `--scale` and `servebench` sections survive the perf
+    // rewrite.
+    if let Ok(existing) = std::fs::read_to_string("BENCH_SIMPERF.json") {
+        for key in ["scale", "service"] {
+            if let Some(section) = extract_key(&existing, key) {
+                json = splice_key(&json, key, &section);
+            }
+        }
     }
     std::fs::write("BENCH_SIMPERF.json", &json).expect("write BENCH_SIMPERF.json");
     println!("wrote BENCH_SIMPERF.json");

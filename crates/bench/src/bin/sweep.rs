@@ -1,41 +1,12 @@
-//! Design-space sweep: ties the Table 4 synthesis model to the cost model —
-//! for every feasible BxC arrangement of one FPGA, the modeled throughput
-//! per dollar (the §4.5 cost-efficiency argument, generalized).
-//!
-//! Throughput proxy: nodes/FPGA × tiles/node × frequency — independent
-//! prototypes scale linearly and frequency scales each one.
-
-use smappic_core::resources::synthesize;
+//! DEPRECATED shim: the design-space sweep moved into the service batch
+//! front end. Run `servebench --sweep` instead — this bin prints the same
+//! table (via [`smappic_bench::design_sweep`]) and will be removed once
+//! EXPERIMENTS.md consumers have migrated.
 
 fn main() {
-    println!("Design-space sweep over one F1 FPGA ($1.65/hr):");
-    println!(
-        "{:<8} {:>6} {:>7} {:>12} {:>16}",
-        "Config", "MHz", "LUT%", "core-MHz", "core-MHz per $/hr"
+    eprintln!(
+        "sweep is deprecated: use `cargo run --release -p smappic-bench --bin servebench -- --sweep`"
     );
-    let mut best: Option<(String, f64)> = None;
-    for nodes in 1..=4usize {
-        for tiles in 1..=12usize {
-            let s = synthesize(nodes, tiles);
-            if !s.feasible {
-                continue;
-            }
-            let core_mhz = (nodes * tiles) as f64 * f64::from(s.frequency_mhz);
-            let per_dollar = core_mhz / 1.65;
-            println!(
-                "{:<8} {:>6} {:>6.0}% {:>12.0} {:>16.0}",
-                format!("{nodes}x{tiles}"),
-                s.frequency_mhz,
-                s.lut_utilization,
-                core_mhz,
-                per_dollar
-            );
-            if best.as_ref().is_none_or(|(_, b)| per_dollar > *b) {
-                best = Some((format!("{nodes}x{tiles}"), per_dollar));
-            }
-        }
-    }
-    let (cfg, v) = best.expect("at least one feasible config");
-    println!("\nbest core-MHz per dollar: {cfg} ({v:.0})");
-    println!("(the paper's 1x4x2 packing argument: more independent nodes per FPGA\n amortize the rental; big single nodes trade frequency for tiles)");
+    eprintln!("(same table, one batch front end; this shim will be removed)\n");
+    print!("{}", smappic_bench::design_sweep());
 }

@@ -277,6 +277,99 @@ pub fn fig13_hello() -> String {
     )
 }
 
+/// Renders the design-space sweep over one F1 FPGA: every feasible BxC
+/// arrangement scored by core-MHz per rental dollar (the §4.5
+/// cost-efficiency argument, generalized). Shared by `servebench --sweep`
+/// (the batch front end) and the deprecated `sweep` shim bin.
+pub fn design_sweep() -> String {
+    let mut out = String::from("Design-space sweep over one F1 FPGA ($1.65/hr):\n");
+    out.push_str(&format!(
+        "{:<8} {:>6} {:>7} {:>12} {:>16}\n",
+        "Config", "MHz", "LUT%", "core-MHz", "core-MHz per $/hr"
+    ));
+    let mut best: Option<(String, f64)> = None;
+    for nodes in 1..=4usize {
+        for tiles in 1..=12usize {
+            let s = resources::synthesize(nodes, tiles);
+            if !s.feasible {
+                continue;
+            }
+            let core_mhz = (nodes * tiles) as f64 * f64::from(s.frequency_mhz);
+            let per_dollar = core_mhz / 1.65;
+            out.push_str(&format!(
+                "{:<8} {:>6} {:>6.0}% {:>12.0} {:>16.0}\n",
+                format!("{nodes}x{tiles}"),
+                s.frequency_mhz,
+                s.lut_utilization,
+                core_mhz,
+                per_dollar
+            ));
+            if best.as_ref().is_none_or(|(_, b)| per_dollar > *b) {
+                best = Some((format!("{nodes}x{tiles}"), per_dollar));
+            }
+        }
+    }
+    let (cfg, v) = best.expect("at least one feasible config");
+    out.push_str(&format!("\nbest core-MHz per dollar: {cfg} ({v:.0})\n"));
+    out.push_str(
+        "(the paper's 1x4x2 packing argument: more independent nodes per FPGA\n \
+         amortize the rental; big single nodes trade frequency for tiles)\n",
+    );
+    out
+}
+
+/// Index of the brace/bracket closing the one opening at `open` (the
+/// hand-rolled JSON in this workspace never puts braces inside strings).
+pub fn match_brace(text: &str, open: usize) -> usize {
+    let bytes = text.as_bytes();
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'{' | b'[' => depth += 1,
+            b'}' | b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+    }
+    panic!("unbalanced JSON");
+}
+
+/// The raw value text of top-level `key` in `text`, if present.
+pub fn extract_key(text: &str, key: &str) -> Option<String> {
+    let k = text.find(&format!("\"{key}\":"))?;
+    let open = k + text[k..].find(['{', '['])?;
+    Some(text[open..=match_brace(text, open)].to_string())
+}
+
+/// Returns `text` with top-level `key` replaced by (or appended as)
+/// `value`, keeping every other key intact — how `simperf` (perf + scale
+/// sections) and `servebench` (service section) share one
+/// `BENCH_SIMPERF.json` without a JSON library.
+pub fn splice_key(text: &str, key: &str, value: &str) -> String {
+    let mut base = text.trim_end().to_string();
+    if let Some(k) = base.find(&format!("\"{key}\":")) {
+        let open = k + base[k..].find(['{', '[']).expect("value");
+        let end = match_brace(&base, open);
+        // Consume the comma separating the old entry from its neighbor —
+        // the preceding one, or (for a first entry) any trailing one.
+        let start = match base[..k].rfind(',') {
+            Some(c) => c,
+            None => base[..k].rfind('{').expect("object") + 1,
+        };
+        base.replace_range(start..=end, "");
+        while base[start..].starts_with(',') {
+            base.remove(start);
+        }
+    }
+    let close = base.rfind('}').expect("top-level object");
+    base.replace_range(close.., &format!(",\n  \"{key}\": {value}\n}}\n"));
+    base
+}
+
 /// Renders the Fig 14 series.
 pub fn fig14_render() -> String {
     let mut out = String::from(

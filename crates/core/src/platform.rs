@@ -91,6 +91,19 @@ impl HostPerf {
     }
 }
 
+impl std::ops::AddAssign for HostPerf {
+    /// Accumulates counters across platform incarnations. The service
+    /// layer rebuilds a `Platform` on every resume (host state is derived,
+    /// never serialized), so a migrated job sums the per-segment
+    /// diagnostics instead of losing them at each preemption.
+    fn add_assign(&mut self, rhs: Self) {
+        self.skipped_tile_cycles += rhs.skipped_tile_cycles;
+        self.skipped_chipset_cycles += rhs.skipped_chipset_cycles;
+        self.block_cache_hits += rhs.block_cache_hits;
+        self.block_cache_misses += rhs.block_cache_misses;
+    }
+}
+
 /// The assembled SMAPPIC prototype plus its host machine.
 ///
 /// The host side models what the paper's host programs do: create virtual
@@ -1086,6 +1099,70 @@ impl Platform {
             return;
         }
         self.run_epochs(cycles, false);
+    }
+
+    /// The cooperative preemption grain: the smallest run-length multiple
+    /// at which the platform may be cut, snapshotted, and later resumed
+    /// with the *same* snapshot bytes an uninterrupted run would produce.
+    ///
+    /// The epoch drivers record each epoch's width as
+    /// `lookahead.min(remaining_budget)`, so a run sliced at arbitrary
+    /// points would log truncated epochs at every slice boundary and the
+    /// `host.stepper` snapshot section would diverge from the unsliced
+    /// run. Cutting only at multiples of the natural epoch width (the
+    /// global lookahead for network-attached topologies, the PCIe
+    /// lookahead for star/hybrid, one cycle for a single FPGA) keeps the
+    /// epoch schedule — and therefore every snapshot byte — identical.
+    ///
+    /// Tiny natural grains (1-cycle single-FPGA, 62-cycle PCIe) are
+    /// batched up to at least [`Platform::PREEMPT_GRAIN_FLOOR`] cycles,
+    /// in whole-epoch multiples, so yield/idle checks stay off the hot
+    /// path.
+    pub fn preemption_grain(&self) -> u64 {
+        let natural =
+            if self.eth.is_some() { self.grouped_lookaheads().1 } else { self.lookahead() }.max(1);
+        natural * Self::PREEMPT_GRAIN_FLOOR.div_ceil(natural)
+    }
+
+    /// Minimum cycles between cooperative preemption checkpoints; see
+    /// [`Platform::preemption_grain`].
+    pub const PREEMPT_GRAIN_FLOOR: u64 = 512;
+
+    /// Runs up to `budget` cycles in [`Platform::preemption_grain`]-sized
+    /// chunks, checking for quiescence and asking `should_yield` between
+    /// chunks; returns the cycles actually advanced. `parallel` selects
+    /// the epoch-parallel stepper ([`Platform::run_parallel`]) over the
+    /// serial one ([`Platform::run`]).
+    ///
+    /// This is the service layer's execution primitive: a job advanced by
+    /// any sequence of `run_preemptible` calls whose budgets are
+    /// grain-multiples (plus one final remainder) produces snapshots
+    /// bit-identical to a single uninterrupted call — the property
+    /// `tests/service_equivalence.rs` proves. `should_yield` receives the
+    /// platform and the cycles spent so far in this call; returning
+    /// `true` stops after the current chunk without consuming the rest of
+    /// the budget.
+    pub fn run_preemptible(
+        &mut self,
+        budget: u64,
+        parallel: bool,
+        mut should_yield: impl FnMut(&Platform, u64) -> bool,
+    ) -> u64 {
+        let grain = self.preemption_grain();
+        let mut spent = 0u64;
+        while spent < budget {
+            let step = grain.min(budget - spent);
+            if parallel {
+                self.run_parallel(step);
+            } else {
+                self.run(step);
+            }
+            spent += step;
+            if self.is_idle() || (spent < budget && should_yield(self, spent)) {
+                break;
+            }
+        }
+        spent
     }
 
     /// Advances one epoch (up to [`Platform::lookahead`] cycles) with one

@@ -86,6 +86,23 @@ impl Watchdog {
         &self.cfg
     }
 
+    /// The current stall-tracking state as `(last_signature,
+    /// last_change_at)`. Together with [`Watchdog::resume`] this lets a
+    /// scheduler park a watched job and re-arm an equivalent watchdog on
+    /// another worker without resetting the stall clock — a job frozen
+    /// across a migration stays frozen, it does not get a fresh
+    /// `stall_limit` per resume.
+    pub fn state(&self) -> (Option<u64>, Cycle) {
+        (self.last_sig, self.last_change_at)
+    }
+
+    /// Reconstructs a watchdog from a parked [`Watchdog::state`], so
+    /// detection behaves as if the same watchdog had observed the whole
+    /// run.
+    pub fn resume(cfg: WatchdogConfig, last_sig: Option<u64>, last_change_at: Cycle) -> Self {
+        Self { cfg, last_sig, last_change_at }
+    }
+
     /// Records a sample. Returns `Some(stalled_since)` when the signature
     /// has not changed for at least `stall_limit` cycles.
     pub fn observe(&mut self, now: Cycle, signature: u64) -> Option<Cycle> {

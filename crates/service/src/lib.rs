@@ -1,0 +1,51 @@
+//! # smappic-service — the multi-tenant prototyping service
+//!
+//! SMAPPIC's pitch is architecture prototyping *as a cloud service*: many
+//! tenants submit prototype jobs, a resource manager rents out platforms
+//! on demand (cloudFPGA's cFRM is the shape), and throughput is measured
+//! in jobs/hour, not in the latency of any one platform. This crate is
+//! that service layer over the simulated platform:
+//!
+//! - [`JobSpec`] — a declarative job description: topology (star /
+//!   Ethernet rack / hybrid via [`smappic_core::Config`]), workload,
+//!   optional deterministic fault plan, stepper choice, and a cycle
+//!   budget. Round-trips losslessly through a line-oriented text format
+//!   ([`JobSpec::to_text`] / [`JobSpec::from_text`]) so any job can be
+//!   replayed from its report.
+//! - [`Scheduler`] — runs N jobs across a fixed pool of OS worker
+//!   threads with per-worker run queues and work stealing. Jobs are
+//!   preempted cooperatively at epoch-grain boundaries
+//!   ([`smappic_core::Platform::run_preemptible`]), parked as snapshot
+//!   wire bytes ([`smappic_core::Platform::snapshot`]), and may resume on
+//!   a *different* worker — bit-identically, proven by
+//!   `tests/service_equivalence.rs` at the repo root. A per-job
+//!   [`smappic_core::Watchdog`] converts livelocks into structured exits,
+//!   and a panicking job (see [`PoisonEngine`]) is isolated into its own
+//!   error report while sibling jobs complete untouched.
+//! - [`JobReport`] — the per-job artifact: exit status, cycles, cyc/s,
+//!   [`smappic_core::HostPerf`] accumulated across migrations, an
+//!   architectural digest (identical for identical specs regardless of
+//!   worker count or steal order), and optionally the final snapshot
+//!   bytes and a Perfetto trace path.
+//!
+//! ## Determinism contract
+//!
+//! A job's architectural results depend only on its [`JobSpec`] — never
+//! on the worker pool size, preemption pattern, or steal order. The
+//! scheduler guarantees this by (1) cutting jobs only at multiples of
+//! [`smappic_core::Platform::preemption_grain`], so the epoch schedule of
+//! a sliced run matches an unsliced one byte-for-byte, and (2) parking
+//! jobs as full snapshots, which PR 5 proved restore bit-exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod report;
+mod scheduler;
+mod spec;
+mod workload;
+
+pub use report::{JobExit, JobReport};
+pub use scheduler::{digest_platform, PreemptMode, Scheduler, SchedulerConfig};
+pub use spec::{FaultProfileSpec, JobFaults, JobSpec, StepperSpec, TopoSpec, WorkloadSpec};
+pub use workload::PoisonEngine;

@@ -1,0 +1,158 @@
+//! Per-job result artifacts.
+
+use smappic_core::HostPerf;
+
+/// How a job ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobExit {
+    /// The job ran to architectural quiescence (`idle == true`) or
+    /// exhausted its cycle budget (`idle == false`).
+    Completed {
+        /// True when the platform quiesced before the budget ran out.
+        idle: bool,
+    },
+    /// The job panicked; the scheduler isolated the failure to this
+    /// report and the worker kept serving other jobs.
+    Panicked {
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// The per-job Watchdog saw the progress signature freeze past its
+    /// stall limit.
+    Livelocked {
+        /// Last cycle at which the job made architectural progress.
+        stalled_since: u64,
+        /// Cycle at which the watchdog declared livelock.
+        detected_at: u64,
+    },
+}
+
+/// The artifact a tenant gets back for one job.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// Submission index (stable across runs of the same fleet).
+    pub job: usize,
+    /// The spec's name.
+    pub name: String,
+    /// Terminal status.
+    pub exit: JobExit,
+    /// Simulated cycles actually executed.
+    pub cycles: u64,
+    /// Host wall-clock seconds spent executing (summed across segments,
+    /// excluding time parked in queues).
+    pub wall_secs: f64,
+    /// Times the job was preempted and parked as a snapshot.
+    pub preemptions: u64,
+    /// Resumes that landed on a different worker than the one that
+    /// parked the job.
+    pub migrations: u64,
+    /// Worker ids that executed segments of this job, in order (repeats
+    /// collapsed).
+    pub workers: Vec<usize>,
+    /// Host fast-path diagnostics accumulated across all segments.
+    pub host_perf: HostPerf,
+    /// Fingerprint of the job's architectural outcome (final cycle +
+    /// platform statistics + architectural metrics). A pure function of
+    /// the [`crate::JobSpec`]: identical regardless of worker count,
+    /// preemption pattern, or steal order. Zero for panicked jobs (the
+    /// platform unwound with the panic).
+    pub digest: u64,
+    /// Final snapshot wire bytes, when the scheduler was asked to keep
+    /// them ([`crate::SchedulerConfig::capture_final_snapshots`]).
+    pub final_snapshot: Option<Vec<u8>>,
+    /// Perfetto trace path, when the spec asked for a trace and the
+    /// scheduler was given an artifact directory.
+    pub trace_path: Option<String>,
+}
+
+impl JobReport {
+    /// True for [`JobExit::Completed`].
+    pub fn is_completed(&self) -> bool {
+        matches!(self.exit, JobExit::Completed { .. })
+    }
+
+    /// Simulated cycles per host wall-clock second; 0 when no time was
+    /// measured.
+    pub fn cyc_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.cycles as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Renders the report as a JSON object (hand-rolled — the workspace
+    /// carries no serde). Snapshot bytes are summarized by length, not
+    /// inlined.
+    pub fn to_json(&self) -> String {
+        let exit = match &self.exit {
+            JobExit::Completed { idle } => {
+                format!("{{\"kind\": \"completed\", \"idle\": {idle}}}")
+            }
+            JobExit::Panicked { message } => {
+                format!("{{\"kind\": \"panicked\", \"message\": \"{}\"}}", escape(message))
+            }
+            JobExit::Livelocked { stalled_since, detected_at } => format!(
+                "{{\"kind\": \"livelocked\", \"stalled_since\": {stalled_since}, \
+                 \"detected_at\": {detected_at}}}"
+            ),
+        };
+        let workers: Vec<String> = self.workers.iter().map(usize::to_string).collect();
+        let trace = match &self.trace_path {
+            Some(p) => format!("\"{}\"", escape(p)),
+            None => "null".into(),
+        };
+        format!(
+            "{{\n  \"job\": {},\n  \"name\": \"{}\",\n  \"exit\": {},\n  \"cycles\": {},\n  \
+             \"wall_secs\": {:.6},\n  \"cyc_per_sec\": {:.1},\n  \"preemptions\": {},\n  \
+             \"migrations\": {},\n  \"workers\": [{}],\n  \"digest\": \"{:#018x}\",\n  \
+             \"block_cache_hit_rate\": {:.4},\n  \"snapshot_bytes\": {},\n  \"trace\": {}\n}}",
+            self.job,
+            escape(&self.name),
+            exit,
+            self.cycles,
+            self.wall_secs,
+            self.cyc_per_sec(),
+            self.preemptions,
+            self.migrations,
+            workers.join(", "),
+            self.digest,
+            self.host_perf.block_cache_hit_rate(),
+            self.final_snapshot.as_ref().map_or(0, Vec::len),
+            trace,
+        )
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_renders_every_exit_kind() {
+        let mut r = JobReport {
+            job: 3,
+            name: "t".into(),
+            exit: JobExit::Completed { idle: true },
+            cycles: 1000,
+            wall_secs: 0.5,
+            preemptions: 2,
+            migrations: 1,
+            workers: vec![0, 1],
+            host_perf: HostPerf::default(),
+            digest: 0xABCD,
+            final_snapshot: None,
+            trace_path: None,
+        };
+        assert!(r.to_json().contains("\"completed\""));
+        assert!((r.cyc_per_sec() - 2000.0).abs() < 1e-9);
+        r.exit = JobExit::Panicked { message: "boom \"quote\"".into() };
+        assert!(r.to_json().contains("\\\"quote\\\""));
+        r.exit = JobExit::Livelocked { stalled_since: 5, detected_at: 9 };
+        assert!(r.to_json().contains("\"livelocked\""));
+    }
+}

@@ -1,0 +1,481 @@
+//! The job scheduler: a fixed pool of OS worker threads, per-worker run
+//! queues with work stealing, and cooperative epoch-boundary preemption.
+//!
+//! ## Execution model
+//!
+//! Each submitted [`JobSpec`] becomes a task. Tasks are dealt round-robin
+//! onto per-worker queues; an idle worker drains its own queue front,
+//! then the global injector, then steals from the back of its peers'
+//! queues. A worker executes a job in *segments*: it builds the platform
+//! from the spec (or restores the parked snapshot), then advances in
+//! quantum slices aligned to [`Platform::preemption_grain`] until the job
+//! quiesces, exhausts its budget, livelocks (per-job [`Watchdog`]), or a
+//! preemption point decides to yield — at which point the platform is
+//! snapshotted to wire bytes, the task re-queued, and the worker moves
+//! on. A resumed task may land on any worker: host state (fast-path
+//! caches, sleep schedules) is derived, never serialized, so rebuilding
+//! the platform elsewhere and restoring the snapshot is a *complete*
+//! migration.
+//!
+//! ## Determinism
+//!
+//! Quantum slices are rounded up to grain multiples, so every cut lands
+//! on an epoch boundary and the epoch schedule — and with it every
+//! snapshot byte — matches an uninterrupted run (proven in
+//! `tests/service_equivalence.rs`). Watchdog stall state rides in the
+//! parked task, so livelock detection is independent of where segments
+//! execute.
+//!
+//! ## Failure isolation
+//!
+//! The whole segment (build, restore, run) executes under
+//! `catch_unwind`; a panicking job — a [`crate::PoisonEngine`], a bug in
+//! an engine — becomes a [`JobExit::Panicked`] report and the worker
+//! keeps serving the remaining jobs.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use smappic_core::{HostPerf, Platform, Watchdog, WatchdogConfig};
+use smappic_sim::{fnv1a, Cycle, Snapshot};
+
+use crate::report::{JobExit, JobReport};
+use crate::spec::JobSpec;
+
+/// When a running job offers its preemption points to the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PreemptMode {
+    /// Run every segment to completion (serial batch semantics).
+    Never,
+    /// Yield only while other tasks are waiting in a queue — the
+    /// fair-sharing default.
+    WhenContended,
+    /// Yield at every quantum boundary (maximum churn; what the
+    /// determinism suites use to stress migration).
+    Always,
+}
+
+/// Scheduler tuning.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// OS worker threads in the pool.
+    pub workers: usize,
+    /// Target cycles per scheduling quantum; rounded up to the job's
+    /// [`Platform::preemption_grain`] so cuts stay on epoch boundaries.
+    pub quantum: u64,
+    /// Per-job livelock detection (state persists across migrations).
+    pub watchdog: WatchdogConfig,
+    /// Preemption policy.
+    pub preempt: PreemptMode,
+    /// Forbid the worker that parked a job from resuming it while peers
+    /// exist — guarantees every preemption is a migration. Test knob.
+    pub force_migrate: bool,
+    /// Keep each completed job's final snapshot bytes in its report (the
+    /// equivalence suite compares them; costs memory on big platforms).
+    pub capture_final_snapshots: bool,
+    /// Directory for per-job Perfetto traces (jobs with `trace: true`).
+    pub trace_dir: Option<PathBuf>,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            quantum: 50_000,
+            watchdog: WatchdogConfig::default(),
+            preempt: PreemptMode::WhenContended,
+            force_migrate: false,
+            capture_final_snapshots: false,
+            trace_dir: None,
+        }
+    }
+}
+
+/// Fingerprint of a platform's architectural outcome: final cycle,
+/// aggregated statistics, and the architectural metrics registry. Host
+/// diagnostics (wall time, fast-path counters) are deliberately excluded,
+/// so the digest is a pure function of the job spec — identical across
+/// worker counts, steal orders, and preemption patterns.
+pub fn digest_platform(p: &Platform) -> u64 {
+    let text =
+        format!("{}\n{}\n{}", p.now(), p.stats(), p.metrics().architectural().snapshot_text());
+    fnv1a(text.as_bytes())
+}
+
+/// A job in flight: the spec plus everything a resume needs.
+#[derive(Debug)]
+struct Task {
+    id: usize,
+    spec: JobSpec,
+    /// Parked snapshot wire bytes; `None` before the first segment.
+    state: Option<Vec<u8>>,
+    /// Cycles executed so far.
+    spent: u64,
+    preemptions: u64,
+    migrations: u64,
+    /// Workers that executed segments, repeats collapsed.
+    workers: Vec<usize>,
+    /// Worker that parked the last segment (migration accounting).
+    last_worker: Option<usize>,
+    /// Worker forbidden from resuming this task (`force_migrate`).
+    banned: Option<usize>,
+    /// Watchdog stall state carried across segments.
+    wd_sig: Option<u64>,
+    wd_change_at: Cycle,
+    wall_secs: f64,
+    perf: HostPerf,
+}
+
+/// How one execution segment ended.
+enum Segment {
+    Done { p: Box<Platform>, idle: bool, spent: u64 },
+    Livelocked { p: Box<Platform>, since: Cycle, spent: u64 },
+    Parked { bytes: Vec<u8>, spent: u64, wd: (Option<u64>, Cycle), perf: HostPerf },
+}
+
+struct Shared {
+    locals: Vec<Mutex<VecDeque<Task>>>,
+    injector: Mutex<VecDeque<Task>>,
+    /// Tasks currently sitting in any queue (drives `WhenContended`).
+    queued: AtomicUsize,
+    /// Jobs not yet reported; workers exit when it reaches zero.
+    outstanding: AtomicUsize,
+    reports: Mutex<Vec<JobReport>>,
+}
+
+/// The multi-tenant job scheduler. See the module docs for the execution
+/// model; construct with a [`SchedulerConfig`] and call
+/// [`Scheduler::run`].
+#[derive(Debug)]
+pub struct Scheduler {
+    cfg: SchedulerConfig,
+}
+
+impl Scheduler {
+    /// A scheduler with the given tuning.
+    pub fn new(cfg: SchedulerConfig) -> Self {
+        assert!(cfg.workers >= 1, "the pool needs at least one worker");
+        assert!(cfg.quantum >= 1, "the quantum must be positive");
+        Self { cfg }
+    }
+
+    /// A one-worker, never-preempting scheduler: the serial
+    /// job-at-a-time baseline `servebench` measures the pool against.
+    pub fn serial() -> Self {
+        Self::new(SchedulerConfig {
+            workers: 1,
+            preempt: PreemptMode::Never,
+            ..SchedulerConfig::default()
+        })
+    }
+
+    /// The configured tuning.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.cfg
+    }
+
+    /// Runs every job to a terminal state and returns one report per
+    /// spec, in submission order. Panicking jobs are isolated into
+    /// [`JobExit::Panicked`] reports; the pool shuts down gracefully
+    /// once every job has reported.
+    pub fn run(&self, specs: &[JobSpec]) -> Vec<JobReport> {
+        for (i, s) in specs.iter().enumerate() {
+            if let Err(e) = s.validate() {
+                panic!("job {i} ({:?}) is invalid: {e}", s.name);
+            }
+        }
+        let workers = self.cfg.workers;
+        let shared = Shared {
+            locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            queued: AtomicUsize::new(specs.len()),
+            outstanding: AtomicUsize::new(specs.len()),
+            reports: Mutex::new(Vec::with_capacity(specs.len())),
+        };
+        for (id, spec) in specs.iter().enumerate() {
+            let task = Task {
+                id,
+                spec: spec.clone(),
+                state: None,
+                spent: 0,
+                preemptions: 0,
+                migrations: 0,
+                workers: Vec::new(),
+                last_worker: None,
+                banned: None,
+                wd_sig: None,
+                wd_change_at: 0,
+                wall_secs: 0.0,
+                perf: HostPerf::default(),
+            };
+            shared.locals[id % workers].lock().expect("queue lock").push_back(task);
+        }
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let shared = &shared;
+                let cfg = &self.cfg;
+                scope.spawn(move || worker_loop(w, shared, cfg));
+            }
+        });
+        let mut reports = shared.reports.into_inner().expect("report lock");
+        reports.sort_by_key(|r| r.job);
+        reports
+    }
+}
+
+fn worker_loop(w: usize, sh: &Shared, cfg: &SchedulerConfig) {
+    loop {
+        match next_task(w, sh) {
+            Some(task) => run_segment(w, task, sh, cfg),
+            None => {
+                if sh.outstanding.load(Ordering::SeqCst) == 0 {
+                    return; // graceful shutdown: every job reported
+                }
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        }
+    }
+}
+
+/// Own queue front → injector → steal peers' backs. Tasks banned for
+/// this worker (force-migrate) are left for a peer; with a single worker
+/// the ban is void (nobody else could ever run them).
+fn next_task(w: usize, sh: &Shared) -> Option<Task> {
+    let many = sh.locals.len() > 1;
+    if let Some(t) = sh.locals[w].lock().expect("queue lock").pop_front() {
+        sh.queued.fetch_sub(1, Ordering::SeqCst);
+        return Some(t);
+    }
+    {
+        let mut inj = sh.injector.lock().expect("queue lock");
+        for _ in 0..inj.len() {
+            let t = inj.pop_front().expect("length checked");
+            if many && t.banned == Some(w) {
+                inj.push_back(t);
+            } else {
+                sh.queued.fetch_sub(1, Ordering::SeqCst);
+                return Some(t);
+            }
+        }
+    }
+    for o in 0..sh.locals.len() {
+        if o == w {
+            continue;
+        }
+        let mut q = sh.locals[o].lock().expect("queue lock");
+        if let Some(pos) = q.iter().rposition(|t| !(many && t.banned == Some(w))) {
+            let t = q.remove(pos).expect("position just found");
+            sh.queued.fetch_sub(1, Ordering::SeqCst);
+            return Some(t);
+        }
+    }
+    None
+}
+
+/// Executes one segment of `task` on worker `w` and either files its
+/// report or parks it back into the injector.
+fn run_segment(w: usize, mut task: Task, sh: &Shared, cfg: &SchedulerConfig) {
+    if task.workers.last() != Some(&w) {
+        task.workers.push(w);
+    }
+    if let Some(prev) = task.last_worker {
+        if prev != w {
+            task.migrations += 1;
+        }
+    }
+    task.banned = None;
+    let spec = task.spec.clone();
+    let budget = spec.budget;
+    let resumed_from = task.state.take();
+    let spent0 = task.spent;
+    let wd_state = (task.wd_sig, task.wd_change_at);
+    let t0 = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let mut p = Box::new(spec.build());
+        if let Some(bytes) = &resumed_from {
+            let snap = Snapshot::from_bytes(bytes).expect("parked snapshot parses");
+            p.restore(&snap).expect("parked snapshot restores");
+        }
+        let parallel = spec.parallel();
+        let mut wd = Watchdog::resume(cfg.watchdog.clone(), wd_state.0, wd_state.1);
+        if resumed_from.is_none() {
+            // Baseline sample so `stalled_since` is exact from cycle 0.
+            let sig = p.progress_signature();
+            let _ = wd.observe(p.now(), sig);
+        }
+        // Align the quantum to the grain: every cut lands on an epoch
+        // boundary, keeping sliced and unsliced runs byte-identical.
+        let grain = p.preemption_grain();
+        let quantum = grain * cfg.quantum.div_ceil(grain).max(1);
+        let mut spent = spent0;
+        loop {
+            let slice = quantum.min(budget - spent);
+            spent += p.run_preemptible(slice, parallel, |_, _| false);
+            if p.is_idle() {
+                return Segment::Done { p, idle: true, spent };
+            }
+            if spent >= budget {
+                return Segment::Done { p, idle: false, spent };
+            }
+            if let Some(since) = wd.observe(p.now(), p.progress_signature()) {
+                return Segment::Livelocked { p, since, spent };
+            }
+            let yield_now = match cfg.preempt {
+                PreemptMode::Never => false,
+                PreemptMode::Always => true,
+                PreemptMode::WhenContended => sh.queued.load(Ordering::SeqCst) > 0,
+            };
+            if yield_now {
+                let bytes = p.snapshot().to_bytes();
+                return Segment::Parked { bytes, spent, wd: wd.state(), perf: p.host_perf() };
+            }
+        }
+    }));
+    task.wall_secs += t0.elapsed().as_secs_f64();
+    match result {
+        Err(payload) => {
+            let message = payload_message(payload.as_ref());
+            file_report(
+                sh,
+                JobReport {
+                    job: task.id,
+                    name: task.spec.name.clone(),
+                    exit: JobExit::Panicked { message },
+                    cycles: task.spent,
+                    wall_secs: task.wall_secs,
+                    preemptions: task.preemptions,
+                    migrations: task.migrations,
+                    workers: task.workers,
+                    host_perf: task.perf,
+                    digest: 0,
+                    final_snapshot: None,
+                    trace_path: None,
+                },
+            );
+        }
+        Ok(Segment::Done { mut p, idle, spent }) => {
+            let digest = digest_platform(&p);
+            let final_snapshot = cfg.capture_final_snapshots.then(|| p.snapshot().to_bytes());
+            let trace_path = if task.spec.trace {
+                cfg.trace_dir.as_deref().and_then(|d| write_trace(&mut p, d, task.id, &spec.name))
+            } else {
+                None
+            };
+            let mut perf = task.perf;
+            perf += p.host_perf();
+            file_report(
+                sh,
+                JobReport {
+                    job: task.id,
+                    name: task.spec.name.clone(),
+                    exit: JobExit::Completed { idle },
+                    cycles: spent,
+                    wall_secs: task.wall_secs,
+                    preemptions: task.preemptions,
+                    migrations: task.migrations,
+                    workers: task.workers,
+                    host_perf: perf,
+                    digest,
+                    final_snapshot,
+                    trace_path,
+                },
+            );
+        }
+        Ok(Segment::Livelocked { p, since, spent }) => {
+            let mut perf = task.perf;
+            perf += p.host_perf();
+            file_report(
+                sh,
+                JobReport {
+                    job: task.id,
+                    name: task.spec.name.clone(),
+                    exit: JobExit::Livelocked { stalled_since: since, detected_at: p.now() },
+                    cycles: spent,
+                    wall_secs: task.wall_secs,
+                    preemptions: task.preemptions,
+                    migrations: task.migrations,
+                    workers: task.workers,
+                    host_perf: perf,
+                    digest: digest_platform(&p),
+                    final_snapshot: cfg.capture_final_snapshots.then(|| p.snapshot().to_bytes()),
+                    trace_path: None,
+                },
+            );
+        }
+        Ok(Segment::Parked { bytes, spent, wd, perf }) => {
+            task.state = Some(bytes);
+            task.spent = spent;
+            task.preemptions += 1;
+            (task.wd_sig, task.wd_change_at) = wd;
+            task.perf += perf;
+            task.last_worker = Some(w);
+            task.banned = cfg.force_migrate.then_some(w);
+            sh.queued.fetch_add(1, Ordering::SeqCst);
+            sh.injector.lock().expect("queue lock").push_back(task);
+        }
+    }
+}
+
+fn file_report(sh: &Shared, report: JobReport) {
+    sh.reports.lock().expect("report lock").push(report);
+    sh.outstanding.fetch_sub(1, Ordering::SeqCst);
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "non-string panic payload".into())
+}
+
+fn write_trace(p: &mut Platform, dir: &Path, job: usize, name: &str) -> Option<String> {
+    std::fs::create_dir_all(dir).ok()?;
+    let json = p.take_trace().to_perfetto_json(100);
+    let path = dir.join(format!("job{job}-{name}.trace.json"));
+    std::fs::write(&path, json).ok()?;
+    Some(path.to_string_lossy().into_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::WorkloadSpec;
+
+    #[test]
+    fn a_single_job_completes_and_digests_deterministically() {
+        let spec = JobSpec::small("solo", WorkloadSpec::AmoHeavy { ops: 30, seed: 3 });
+        let a = Scheduler::serial().run(std::slice::from_ref(&spec));
+        let b = Scheduler::serial().run(std::slice::from_ref(&spec));
+        assert_eq!(a.len(), 1);
+        assert!(a[0].is_completed());
+        assert!(matches!(a[0].exit, JobExit::Completed { idle: true }));
+        assert_eq!(a[0].digest, b[0].digest);
+        assert_eq!(a[0].cycles, b[0].cycles);
+        assert_eq!(a[0].preemptions, 0);
+    }
+
+    #[test]
+    fn preemption_re_queues_and_still_completes() {
+        let mut spec = JobSpec::small("churn", WorkloadSpec::AmoHeavy { ops: 60, seed: 5 });
+        spec.budget = 4_000_000;
+        let cfg = SchedulerConfig {
+            workers: 2,
+            quantum: 2_000,
+            preempt: PreemptMode::Always,
+            force_migrate: true,
+            ..SchedulerConfig::default()
+        };
+        let reports = Scheduler::new(cfg).run(&[spec.clone()]);
+        assert!(reports[0].is_completed());
+        assert!(reports[0].preemptions > 0, "Always must preempt a long job");
+        assert!(reports[0].migrations > 0, "force_migrate must move it across workers");
+        let baseline = Scheduler::serial().run(&[spec]);
+        assert_eq!(reports[0].digest, baseline[0].digest);
+        assert_eq!(reports[0].cycles, baseline[0].cycles);
+    }
+}

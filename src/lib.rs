@@ -46,3 +46,6 @@ pub use smappic_workloads as workloads;
 
 /// Cloud cost and FPGA resource models.
 pub use smappic_costmodel as costmodel;
+
+/// Multi-tenant prototyping service: job specs, scheduler, reports.
+pub use smappic_service as service;
