@@ -86,9 +86,21 @@ for file in $(grep -rloE "impl(<[^>]*>)? (smappic_sim::)?SaveState for" $SAVESTA
 done
 
 # The reverse direction: a manifest entry whose struct lost its SaveState
-# impl (or moved) is stale and must be updated.
-while read -r file name recorded; do
+# impl (or moved) is stale and must be updated. Entries with kind `wire`
+# are the snapshot containers / streaming sinks — no SaveState impl, but
+# their byte layouts are frozen or versioned, so a field drifting from the
+# manifest fails the same way.
+while read -r file name recorded kind; do
     [[ -z "$file" || "$file" == \#* ]] && continue
+    if [[ "$kind" == "wire" ]]; then
+        actual=$(count_fields "$file" "$name")
+        if [[ "$actual" != "$recorded" ]]; then
+            echo "savestate audit FAILED: wire struct $file $name has $actual fields, manifest says $recorded."
+            echo "Wire layouts are frozen/versioned: evolve the format (version, digest) with the field, then update $MANIFEST."
+            fail=1
+        fi
+        continue
+    fi
     if ! grep -qE "impl(<[^>]*>)? (smappic_sim::)?SaveState for $name\b" "$file" 2>/dev/null; then
         echo "savestate audit FAILED: $MANIFEST lists $file $name but no SaveState impl is there."
         fail=1

@@ -20,13 +20,22 @@
 //! - default: the fleet bench described above
 //!   (`--jobs N --workers N --quantum C --report PATH`)
 //! - `--sweep`: print the design-space sweep table (subsumes the old
-//!   `sweep` bin)
+//!   `sweep` bin, now retired)
+//! - `--pool-only`: skip the serial baseline and the BENCH json merge —
+//!   just run the pool and write reports (what the CI crash-recovery
+//!   step kills and resumes)
+//! - `--ckpt-dir PATH [--ckpt-every N]`: spill every job's state to
+//!   per-job directories under PATH every N quanta (crash recovery)
+//! - `--resume`: recover the fleet from `--ckpt-dir` instead of starting
+//!   from scratch — terminal jobs return from their disk markers,
+//!   mid-flight jobs restore their spilled images
 
 use std::time::Instant;
 
 use smappic_bench::{arg_usize, design_sweep, extract_key, splice_key};
 use smappic_service::{
-    JobSpec, PreemptMode, Scheduler, SchedulerConfig, StepperSpec, TopoSpec, WorkloadSpec,
+    CheckpointPolicy, JobSpec, PreemptMode, Scheduler, SchedulerConfig, StepperSpec, TopoSpec,
+    WorkloadSpec,
 };
 
 fn arg_str(name: &str) -> Option<String> {
@@ -37,41 +46,52 @@ fn arg_str(name: &str) -> Option<String> {
 /// A deterministic mixed-tenant fleet: contention-heavy and bursty trace
 /// jobs on star and Ethernet topologies plus bucket sorts — every spec a
 /// pure function of its index, so two servebench runs build identical
-/// fleets.
-fn fleet(jobs: usize) -> Vec<JobSpec> {
+/// fleets. `scale` multiplies the workload sizes (the crash-recovery
+/// harness uses it to keep a killable run in flight for a few seconds).
+fn fleet(jobs: usize, scale: usize) -> Vec<JobSpec> {
+    let ops_scale = scale as u64;
     (0..jobs)
         .map(|i| {
             let mut spec = match i % 4 {
                 0 => JobSpec {
                     fpgas: 2,
                     tiles: 2,
-                    workload: WorkloadSpec::AmoHeavy { ops: 700, seed: 0x5E_00 + i as u64 },
+                    workload: WorkloadSpec::AmoHeavy {
+                        ops: 700 * ops_scale,
+                        seed: 0x5E_00 + i as u64,
+                    },
                     ..JobSpec::small("fleet", WorkloadSpec::AmoHeavy { ops: 0, seed: 0 })
                 },
                 1 => JobSpec {
                     fpgas: 2,
                     nodes: 2,
                     tiles: 2,
-                    workload: WorkloadSpec::Bursty { ops: 350, seed: 0x5E_10 + i as u64 },
+                    workload: WorkloadSpec::Bursty {
+                        ops: 350 * ops_scale,
+                        seed: 0x5E_10 + i as u64,
+                    },
                     ..JobSpec::small("fleet", WorkloadSpec::AmoHeavy { ops: 0, seed: 0 })
                 },
                 2 => JobSpec {
                     fpgas: 4,
                     tiles: 2,
                     topology: TopoSpec::Ethernet { group_size: 2 },
-                    workload: WorkloadSpec::Bursty { ops: 250, seed: 0x5E_20 + i as u64 },
+                    workload: WorkloadSpec::Bursty {
+                        ops: 250 * ops_scale,
+                        seed: 0x5E_20 + i as u64,
+                    },
                     ..JobSpec::small("fleet", WorkloadSpec::AmoHeavy { ops: 0, seed: 0 })
                 },
                 _ => JobSpec {
                     fpgas: 2,
                     tiles: 4,
-                    workload: WorkloadSpec::Sort { keys: 2_048, threads: 4 },
+                    workload: WorkloadSpec::Sort { keys: 2_048 * scale, threads: 4 },
                     ..JobSpec::small("fleet", WorkloadSpec::AmoHeavy { ops: 0, seed: 0 })
                 },
             };
             spec.name = format!("fleet-{i}");
             spec.stepper = StepperSpec::Serial;
-            spec.budget = 20_000_000;
+            spec.budget = 20_000_000u64.saturating_mul(scale as u64);
             spec
         })
         .collect()
@@ -87,21 +107,45 @@ fn main() {
     let jobs = arg_usize("--jobs", 8);
     let workers = arg_usize("--workers", host_threads.min(jobs.max(1)));
     let quantum = arg_usize("--quantum", 200_000) as u64;
-    let specs = fleet(jobs);
+    let pool_only = std::env::args().any(|a| a == "--pool-only");
+    let resume = std::env::args().any(|a| a == "--resume");
+    let checkpoint = arg_str("--ckpt-dir").map(|dir| CheckpointPolicy {
+        every_quanta: arg_usize("--ckpt-every", 1) as u64,
+        dir: dir.into(),
+    });
+    assert!(checkpoint.is_some() || !resume, "--resume requires --ckpt-dir");
+    let specs = fleet(jobs, arg_usize("--fleet-scale", 1));
     println!("servebench: {jobs} jobs, pool of {workers} workers, {host_threads} host threads");
-
-    let t0 = Instant::now();
-    let serial_reports = Scheduler::serial().run(&specs);
-    let serial_wall = t0.elapsed().as_secs_f64();
 
     let pool = Scheduler::new(SchedulerConfig {
         workers,
         quantum,
         preempt: PreemptMode::WhenContended,
+        checkpoint,
         ..SchedulerConfig::default()
     });
+
+    if pool_only {
+        // The crash-recovery harness runs this mode twice: once killed
+        // mid-flight, once with --resume. No baseline, no BENCH merge —
+        // the reports (and their digests) are the whole output.
+        let t0 = Instant::now();
+        let reports = if resume { pool.resume(&specs) } else { pool.run(&specs) };
+        let wall = t0.elapsed().as_secs_f64();
+        for r in &reports {
+            assert!(r.is_completed(), "fleet job {} must complete: {:?}", r.name, r.exit);
+        }
+        println!("  pool-only: {} jobs reported in {wall:.2}s", reports.len());
+        write_reports(&reports);
+        return;
+    }
+
+    let t0 = Instant::now();
+    let serial_reports = Scheduler::serial().run(&specs);
+    let serial_wall = t0.elapsed().as_secs_f64();
+
     let t1 = Instant::now();
-    let pool_reports = pool.run(&specs);
+    let pool_reports = if resume { pool.resume(&specs) } else { pool.run(&specs) };
     let pool_wall = t1.elapsed().as_secs_f64();
 
     // Determinism cross-check: scheduling must never leak into results.
@@ -199,11 +243,16 @@ fn main() {
     std::fs::write("BENCH_SIMPERF.json", merged).expect("write BENCH_SIMPERF.json");
     println!("merged service section into BENCH_SIMPERF.json");
 
+    write_reports(&pool_reports);
+}
+
+/// Writes the per-job JSON reports to `--report PATH`, when given.
+fn write_reports(reports: &[smappic_service::JobReport]) {
     if let Some(path) = arg_str("--report") {
         if let Some(dir) = std::path::Path::new(&path).parent() {
             std::fs::create_dir_all(dir).expect("create report dir");
         }
-        let entries: Vec<String> = pool_reports.iter().map(|r| r.to_json()).collect();
+        let entries: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
         std::fs::write(&path, format!("[\n{}\n]\n", entries.join(",\n")))
             .expect("write job reports");
         println!("wrote per-job reports to {path}");

@@ -745,10 +745,10 @@ fn main() {
         speedup_asserted,
         entries.join(",\n")
     );
-    // Previous `--scale` and `servebench` sections survive the perf
-    // rewrite.
+    // Previous `--scale`, `servebench`, and `checkpoint scale64`
+    // sections survive the perf rewrite.
     if let Ok(existing) = std::fs::read_to_string("BENCH_SIMPERF.json") {
-        for key in ["scale", "service"] {
+        for key in ["scale", "service", "snapshot"] {
             if let Some(section) = extract_key(&existing, key) {
                 json = splice_key(&json, key, &section);
             }

@@ -279,8 +279,8 @@ pub fn fig13_hello() -> String {
 
 /// Renders the design-space sweep over one F1 FPGA: every feasible BxC
 /// arrangement scored by core-MHz per rental dollar (the §4.5
-/// cost-efficiency argument, generalized). Shared by `servebench --sweep`
-/// (the batch front end) and the deprecated `sweep` shim bin.
+/// cost-efficiency argument, generalized). Printed by `servebench
+/// --sweep`, the batch front end.
 pub fn design_sweep() -> String {
     let mut out = String::from("Design-space sweep over one F1 FPGA ($1.65/hr):\n");
     out.push_str(&format!(

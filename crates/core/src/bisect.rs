@@ -8,7 +8,10 @@
 //! says *that* they diverged; this module says *where*:
 //!
 //! 1. **Checkpoint pass.** Both platforms advance in `interval`-cycle
-//!    strides, snapshotting at every boundary ([`Platform::snapshot`]).
+//!    strides, checkpointing every boundary as a base snapshot plus a
+//!    [`SnapDelta`] chain ([`Platform::snapshot_delta`]) — only dirty
+//!    sections are retained per boundary, so long forward passes no
+//!    longer hold one full platform image per stride.
 //! 2. **Binary search.** Simulation is deterministic, so bit-equal states
 //!    have bit-equal futures: "boundary `i` diverged" is monotone in `i`,
 //!    and the first divergent boundary is found in `O(log n)` snapshot
@@ -22,9 +25,45 @@
 //! Host-side stepper diagnostics (`host.*` sections) are excluded from
 //! every comparison — the two steppers legitimately disagree there.
 
-use smappic_sim::{Cycle, SnapError, Snapshot};
+use smappic_sim::{Cycle, SnapDelta, SnapError, Snapshot};
 
 use crate::platform::Platform;
+
+/// Interval checkpoints as a base snapshot plus a delta chain: boundary
+/// `i` is `base + deltas[..i]`. Only dirty sections are retained per
+/// boundary; the running tip is kept so appending stays `O(sections)`.
+struct Chain {
+    base: Snapshot,
+    deltas: Vec<SnapDelta>,
+    tip: Snapshot,
+}
+
+impl Chain {
+    fn new(base: Snapshot) -> Self {
+        Self { tip: base.clone(), base, deltas: Vec::new() }
+    }
+
+    /// Appends the next boundary state as a delta against the tip.
+    fn push(&mut self, snap: Snapshot) -> Result<(), SnapError> {
+        self.deltas.push(SnapDelta::between(&self.tip, &snap)?);
+        self.tip = snap;
+        Ok(())
+    }
+
+    /// Number of boundaries (the base counts as boundary 0).
+    fn len(&self) -> usize {
+        self.deltas.len() + 1
+    }
+
+    /// Materializes boundary `i` by replaying the chain prefix.
+    fn materialize(&self, i: usize) -> Result<Snapshot, SnapError> {
+        let mut s = self.base.clone();
+        for d in &self.deltas[..i] {
+            s = s.apply_delta(d)?;
+        }
+        Ok(s)
+    }
+}
 
 /// Which stepper drives a platform through the bisection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,31 +150,32 @@ pub fn bisect_first_divergence(
     let interval = interval.max(1);
     let mut probes: u64 = 0;
 
-    // Checkpoint pass: boundary snapshots, index 0 = the starting state.
-    let mut snaps_a = vec![a.snapshot()];
-    let mut snaps_b = vec![b.snapshot()];
+    // Checkpoint pass: boundary 0 is the starting state; every further
+    // boundary is a delta against its predecessor.
+    let mut chain_a = Chain::new(a.snapshot());
+    let mut chain_b = Chain::new(b.snapshot());
     let mut remaining = max_cycles;
     while remaining > 0 {
         let len = interval.min(remaining);
         sa.advance(a, len);
         sb.advance(b, len);
-        snaps_a.push(a.snapshot());
-        snaps_b.push(b.snapshot());
+        chain_a.push(a.snapshot())?;
+        chain_b.push(b.snapshot())?;
         remaining -= len;
     }
-    let last = snaps_a.len() - 1;
+    let last = chain_a.len() - 1;
 
     probes += 1;
-    if !differs(&snaps_a[last], &snaps_b[last]) {
+    if !differs(&chain_a.tip, &chain_b.tip) {
         return Ok(None);
     }
     probes += 1;
-    if differs(&snaps_a[0], &snaps_b[0]) {
+    if differs(&chain_a.base, &chain_b.base) {
         // The starting states already disagree; no stride to refine.
-        let component = snaps_a[0].first_divergence(&snaps_b[0]).expect("probed divergent");
-        a.restore(&snaps_a[0])?;
-        b.restore(&snaps_b[0])?;
-        return Ok(Some(BisectReport { epoch: 0, cycle: snaps_a[0].cycle, component, probes }));
+        let component = chain_a.base.first_divergence(&chain_b.base).expect("probed divergent");
+        a.restore(&chain_a.base)?;
+        b.restore(&chain_b.base)?;
+        return Ok(Some(BisectReport { epoch: 0, cycle: chain_a.base.cycle, component, probes }));
     }
 
     // Invariant: boundary `lo` equal, boundary `hi` divergent.
@@ -143,17 +183,20 @@ pub fn bisect_first_divergence(
     while hi - lo > 1 {
         let mid = lo + (hi - lo) / 2;
         probes += 1;
-        if differs(&snaps_a[mid], &snaps_b[mid]) {
+        if differs(&chain_a.materialize(mid)?, &chain_b.materialize(mid)?) {
             hi = mid;
         } else {
             lo = mid;
         }
     }
 
-    // Lockstep refinement inside the divergent stride.
-    a.restore(&snaps_a[lo])?;
-    b.restore(&snaps_b[lo])?;
-    let stride = snaps_a[hi].cycle - snaps_a[lo].cycle;
+    // Lockstep refinement inside the divergent stride, restoring each
+    // platform through its delta chain (the incremental-restore path).
+    a.restore_chain(&chain_a.base, &chain_a.deltas[..lo])?;
+    b.restore_chain(&chain_b.base, &chain_b.deltas[..lo])?;
+    let (snap_a_hi, snap_b_hi) = (chain_a.materialize(hi)?, chain_b.materialize(hi)?);
+    let lo_cycle = if lo == 0 { chain_a.base.cycle } else { chain_a.deltas[lo - 1].cycle };
+    let stride = snap_a_hi.cycle - lo_cycle;
     for _ in 0..stride {
         sa.advance(a, 1);
         sb.advance(b, 1);
@@ -165,6 +208,6 @@ pub fn bisect_first_divergence(
     // The boundary disagreed but no cycle inside the stride did — only
     // reachable if save/restore is not a fixed point. Fall back to the
     // boundary-level report rather than papering over it.
-    let component = snaps_a[hi].first_divergence(&snaps_b[hi]).expect("boundary probed divergent");
-    Ok(Some(BisectReport { epoch: lo as u64, cycle: snaps_a[hi].cycle, component, probes }))
+    let component = snap_a_hi.first_divergence(&snap_b_hi).expect("boundary probed divergent");
+    Ok(Some(BisectReport { epoch: lo as u64, cycle: snap_a_hi.cycle, component, probes }))
 }

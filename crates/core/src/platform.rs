@@ -53,8 +53,8 @@ use smappic_isa::Image;
 use smappic_noc::{line_of, Gid, NodeId, TileId};
 use smappic_sim::{
     fault_streams, fnv1a, Cycle, EthFabric, EthSwitch, FaultInjector, Histogram, MetricsRegistry,
-    SaveState, SnapError, SnapReader, SnapWriter, Snapshot, Stats, TraceBuf, TraceEventKind,
-    TraceSink,
+    SaveState, SnapDelta, SnapError, SnapReader, SnapSink, SnapWriter, Snapshot, Stats,
+    StreamSource, TraceBuf, TraceEventKind, TraceSink,
 };
 use smappic_tile::{AddrMap, Engine};
 
@@ -1341,6 +1341,14 @@ impl Platform {
     /// live under the `host.` prefix, which that comparison skips.
     pub fn snapshot(&self) -> Snapshot {
         let mut w = SnapWriter::new();
+        self.save_walk(&mut w);
+        Snapshot::new(self.config_digest(), self.now, w)
+    }
+
+    /// The deterministic save walk shared by [`Platform::snapshot`] and
+    /// [`Platform::snapshot_to`]: every FPGA, every PCIe link, the
+    /// optional Ethernet fabric, then host stepper state.
+    fn save_walk(&self, w: &mut SnapWriter) {
         for (fi, f) in self.fpgas.iter().enumerate() {
             w.scoped(&format!("fpga{fi}"), |w| f.save(w));
         }
@@ -1354,7 +1362,38 @@ impl Platform {
             self.host_epochs.save(w);
             w.u64(self.epoch_count);
         });
-        Snapshot::new(self.config_digest(), self.now, w)
+    }
+
+    /// Streams the platform's state into `sink` section-by-section —
+    /// same walk, same sections, same bytes as [`Platform::snapshot`],
+    /// but at most one top-level component's sections are resident at a
+    /// time, so a 64-FPGA rack checkpoints to a file (or a
+    /// [`smappic_sim::CountingSink`]) in bounded memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first sink error (e.g. I/O failure of a file-backed
+    /// [`smappic_sim::StreamSink`]).
+    pub fn snapshot_to(&self, sink: &mut dyn SnapSink) -> Result<(), SnapError> {
+        sink.begin(smappic_sim::SNAP_VERSION, self.config_digest(), self.now)?;
+        let mut w = SnapWriter::streaming(sink);
+        self.save_walk(&mut w);
+        w.finish()?;
+        sink.finish()
+    }
+
+    /// The incremental snapshot: only the sections that changed since
+    /// `base`, pinned to `base` by state digest so chains apply in order
+    /// or not at all. `base.apply_delta(..)` (or
+    /// [`Platform::restore_chain`]) reproduces the full snapshot
+    /// byte-for-byte.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::ConfigMismatch`] when `base` came from a different
+    /// config (delegated to [`SnapDelta::between`]).
+    pub fn snapshot_delta(&self, base: &Snapshot) -> Result<SnapDelta, SnapError> {
+        SnapDelta::between(base, &self.snapshot())
     }
 
     /// Restores a snapshot taken from a platform with the same [`Config`],
@@ -1381,6 +1420,15 @@ impl Platform {
             return Err(SnapError::ConfigMismatch { found: snap.config_digest, expected });
         }
         let mut r = SnapReader::new(snap);
+        self.restore_walk(&mut r);
+        r.finish()?;
+        self.now = snap.cycle;
+        Ok(())
+    }
+
+    /// The restore walk shared by [`Platform::restore`] and
+    /// [`Platform::restore_from`]; mirrors [`Platform::save_walk`].
+    fn restore_walk(&mut self, r: &mut SnapReader) {
         for (fi, f) in self.fpgas.iter_mut().enumerate() {
             r.scoped(&format!("fpga{fi}"), |r| f.restore(r));
         }
@@ -1395,9 +1443,59 @@ impl Platform {
             host_epochs.restore(r);
             *epoch_count = r.u64();
         });
+    }
+
+    /// Restores from a `SMAPSTRM` checkpoint stream (the
+    /// [`smappic_sim::StreamSink`] wire form) without materializing the
+    /// whole snapshot: sections are pulled, validated, and freed as the
+    /// restore walk consumes them, so memory stays bounded just like the
+    /// [`Platform::snapshot_to`] capture path.
+    ///
+    /// # Errors
+    ///
+    /// Any [`StreamSource`] validation failure (magic/version/flags,
+    /// truncation, codec corruption, count/digest trailer mismatch),
+    /// config digest skew, or the usual restore-walk format errors. On
+    /// error the platform's state is unspecified, as with
+    /// [`Platform::restore`].
+    pub fn restore_from(&mut self, reader: impl std::io::Read) -> Result<(), SnapError> {
+        let mut src = StreamSource::open(reader)?;
+        let expected = self.config_digest();
+        if src.config_digest() != expected {
+            return Err(SnapError::ConfigMismatch { found: src.config_digest(), expected });
+        }
+        let cycle = src.cycle();
+        let mut r = SnapReader::from_source(Box::new(move || src.next_section()));
+        self.restore_walk(&mut r);
         r.finish()?;
-        self.now = snap.cycle;
+        self.now = cycle;
         Ok(())
+    }
+
+    /// Restores a base snapshot plus an in-order delta chain — the
+    /// incremental-checkpoint path. Equivalent to materializing the final
+    /// snapshot with [`Snapshot::apply_delta`] and restoring it, and
+    /// proven byte-for-byte identical to a full-snapshot restore by the
+    /// round-trip suites.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Snapshot::apply_delta`] failure — including
+    /// [`SnapError::DeltaBaseMismatch`] for out-of-order chains — or any
+    /// [`Platform::restore`] failure on the materialized snapshot.
+    pub fn restore_chain(
+        &mut self,
+        base: &Snapshot,
+        deltas: &[SnapDelta],
+    ) -> Result<(), SnapError> {
+        if deltas.is_empty() {
+            return self.restore(base);
+        }
+        let mut snap = base.apply_delta(&deltas[0])?;
+        for d in &deltas[1..] {
+            snap = snap.apply_delta(d)?;
+        }
+        self.restore(&snap)
     }
 
     /// Aggregated statistics across the whole platform.

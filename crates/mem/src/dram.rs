@@ -391,7 +391,9 @@ impl SaveState for Dram {
                 break;
             }
             let idx = r.u64();
-            let raw = r.bytes();
+            // Borrowed read: pages go straight from the section buffer
+            // into the backing store without an intermediate Vec.
+            let raw = r.byte_slice();
             if raw.len() > PAGE_SIZE {
                 r.corrupt("DRAM page exceeds 4 KiB");
                 break;
@@ -399,7 +401,7 @@ impl SaveState for Dram {
             // Dense pages may be saved short (the window need not be
             // page-aligned at its end); write_bytes handles both backings
             // and re-elides all-zero sparse pages.
-            self.write_bytes(idx << PAGE_SHIFT, &raw);
+            self.write_bytes(idx << PAGE_SHIFT, raw);
         }
         self.pending.restore(r);
         self.responses = Vec::unpack(r);

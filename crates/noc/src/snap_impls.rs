@@ -74,8 +74,10 @@ impl Pack for LineData {
         w.bytes(&self.0);
     }
     fn unpack(r: &mut SnapReader) -> Self {
-        let raw = r.bytes();
-        match <[u8; LINE_BYTES]>::try_from(raw.as_slice()) {
+        // Borrowed read: cache lines copy straight out of the section
+        // buffer, no intermediate Vec.
+        let raw = r.byte_slice();
+        match <[u8; LINE_BYTES]>::try_from(raw) {
             Ok(bytes) => LineData(bytes),
             Err(_) => {
                 r.corrupt("cache line is not 64 bytes");

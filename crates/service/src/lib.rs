@@ -15,18 +15,22 @@
 //! - [`Scheduler`] — runs N jobs across a fixed pool of OS worker
 //!   threads with per-worker run queues and work stealing. Jobs are
 //!   preempted cooperatively at epoch-grain boundaries
-//!   ([`smappic_core::Platform::run_preemptible`]), parked as snapshot
-//!   wire bytes ([`smappic_core::Platform::snapshot`]), and may resume on
-//!   a *different* worker — bit-identically, proven by
+//!   ([`smappic_core::Platform::run_preemptible`]), parked as a
+//!   compressed stream image plus a delta of the dirty sections, and may
+//!   resume on a *different* worker — bit-identically, proven by
 //!   `tests/service_equivalence.rs` at the repo root. A per-job
 //!   [`smappic_core::Watchdog`] converts livelocks into structured exits,
 //!   and a panicking job (see [`PoisonEngine`]) is isolated into its own
-//!   error report while sibling jobs complete untouched.
+//!   error report while sibling jobs complete untouched. With a
+//!   [`CheckpointPolicy`], jobs spill their state to disk every N quanta
+//!   and a killed fleet resumes from those directories via
+//!   [`Scheduler::resume`].
 //! - [`JobReport`] — the per-job artifact: exit status, cycles, cyc/s,
 //!   [`smappic_core::HostPerf`] accumulated across migrations, an
 //!   architectural digest (identical for identical specs regardless of
-//!   worker count or steal order), and optionally the final snapshot
-//!   bytes and a Perfetto trace path.
+//!   worker count or steal order), snapshot size accounting (raw vs
+//!   compressed), and optionally the final image and a Perfetto trace
+//!   path.
 //!
 //! ## Determinism contract
 //!
@@ -46,6 +50,6 @@ mod spec;
 mod workload;
 
 pub use report::{JobExit, JobReport};
-pub use scheduler::{digest_platform, PreemptMode, Scheduler, SchedulerConfig};
+pub use scheduler::{digest_platform, CheckpointPolicy, PreemptMode, Scheduler, SchedulerConfig};
 pub use spec::{FaultProfileSpec, JobFaults, JobSpec, StepperSpec, TopoSpec, WorkloadSpec};
 pub use workload::PoisonEngine;

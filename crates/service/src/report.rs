@@ -1,6 +1,7 @@
 //! Per-job result artifacts.
 
 use smappic_core::HostPerf;
+use smappic_sim::Snapshot;
 
 /// How a job ended.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,9 +58,22 @@ pub struct JobReport {
     /// preemption pattern, or steal order. Zero for panicked jobs (the
     /// platform unwound with the panic).
     pub digest: u64,
-    /// Final snapshot wire bytes, when the scheduler was asked to keep
-    /// them ([`crate::SchedulerConfig::capture_final_snapshots`]).
-    pub final_snapshot: Option<Vec<u8>>,
+    /// Raw (`SMAPSNAP`) wire size of the final image; 0 when neither
+    /// snapshots nor checkpoints were requested (measuring costs a full
+    /// serialization walk).
+    pub snapshot_bytes: u64,
+    /// Compressed (`SMAPSTRM`) size of the same image; 0 when not
+    /// measured.
+    pub compressed_bytes: u64,
+    /// Cumulative raw wire bytes a full snapshot would have cost at each
+    /// preemption park.
+    pub park_raw_bytes: u64,
+    /// Cumulative bytes the scheduler actually held for this job while
+    /// parked (compressed base image + compressed delta).
+    pub park_stored_bytes: u64,
+    /// Final image as compressed stream bytes, when the scheduler was
+    /// asked to keep it ([`crate::SchedulerConfig::capture_final_snapshots`]).
+    pub(crate) final_snapshot_z: Option<Vec<u8>>,
     /// Perfetto trace path, when the spec asked for a trace and the
     /// scheduler was given an artifact directory.
     pub trace_path: Option<String>,
@@ -69,6 +83,25 @@ impl JobReport {
     /// True for [`JobExit::Completed`].
     pub fn is_completed(&self) -> bool {
         matches!(self.exit, JobExit::Completed { .. })
+    }
+
+    /// The final snapshot as raw `SMAPSNAP` wire bytes, decompressed
+    /// from the stream form the scheduler stores. `None` when the
+    /// scheduler was not asked to keep final snapshots.
+    pub fn final_snapshot(&self) -> Option<Vec<u8>> {
+        let z = self.final_snapshot_z.as_ref()?;
+        let snap = Snapshot::from_stream_bytes(z).expect("stored final snapshot parses");
+        Some(snap.to_bytes())
+    }
+
+    /// Compressed size of the final image over its raw size; 1.0 when
+    /// sizes were not measured.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.snapshot_bytes > 0 {
+            self.compressed_bytes as f64 / self.snapshot_bytes as f64
+        } else {
+            1.0
+        }
     }
 
     /// Simulated cycles per host wall-clock second; 0 when no time was
@@ -82,7 +115,7 @@ impl JobReport {
     }
 
     /// Renders the report as a JSON object (hand-rolled — the workspace
-    /// carries no serde). Snapshot bytes are summarized by length, not
+    /// carries no serde). Snapshot bytes are summarized by size, not
     /// inlined.
     pub fn to_json(&self) -> String {
         let exit = match &self.exit {
@@ -106,7 +139,9 @@ impl JobReport {
             "{{\n  \"job\": {},\n  \"name\": \"{}\",\n  \"exit\": {},\n  \"cycles\": {},\n  \
              \"wall_secs\": {:.6},\n  \"cyc_per_sec\": {:.1},\n  \"preemptions\": {},\n  \
              \"migrations\": {},\n  \"workers\": [{}],\n  \"digest\": \"{:#018x}\",\n  \
-             \"block_cache_hit_rate\": {:.4},\n  \"snapshot_bytes\": {},\n  \"trace\": {}\n}}",
+             \"block_cache_hit_rate\": {:.4},\n  \"snapshot_bytes\": {},\n  \
+             \"compressed_bytes\": {},\n  \"compression_ratio\": {:.4},\n  \
+             \"park_raw_bytes\": {},\n  \"park_stored_bytes\": {},\n  \"trace\": {}\n}}",
             self.job,
             escape(&self.name),
             exit,
@@ -118,7 +153,11 @@ impl JobReport {
             workers.join(", "),
             self.digest,
             self.host_perf.block_cache_hit_rate(),
-            self.final_snapshot.as_ref().map_or(0, Vec::len),
+            self.snapshot_bytes,
+            self.compressed_bytes,
+            self.compression_ratio(),
+            self.park_raw_bytes,
+            self.park_stored_bytes,
             trace,
         )
     }
@@ -145,11 +184,17 @@ mod tests {
             workers: vec![0, 1],
             host_perf: HostPerf::default(),
             digest: 0xABCD,
-            final_snapshot: None,
+            snapshot_bytes: 4000,
+            compressed_bytes: 1000,
+            park_raw_bytes: 0,
+            park_stored_bytes: 0,
+            final_snapshot_z: None,
             trace_path: None,
         };
         assert!(r.to_json().contains("\"completed\""));
+        assert!(r.to_json().contains("\"compression_ratio\": 0.2500"));
         assert!((r.cyc_per_sec() - 2000.0).abs() < 1e-9);
+        assert!(r.final_snapshot().is_none());
         r.exit = JobExit::Panicked { message: "boom \"quote\"".into() };
         assert!(r.to_json().contains("\\\"quote\\\""));
         r.exit = JobExit::Livelocked { stalled_since: 5, detected_at: 9 };

@@ -7,15 +7,34 @@
 //! onto per-worker queues; an idle worker drains its own queue front,
 //! then the global injector, then steals from the back of its peers'
 //! queues. A worker executes a job in *segments*: it builds the platform
-//! from the spec (or restores the parked snapshot), then advances in
+//! from the spec (or restores the parked image), then advances in
 //! quantum slices aligned to [`Platform::preemption_grain`] until the job
 //! quiesces, exhausts its budget, livelocks (per-job [`Watchdog`]), or a
 //! preemption point decides to yield — at which point the platform is
-//! snapshotted to wire bytes, the task re-queued, and the worker moves
-//! on. A resumed task may land on any worker: host state (fast-path
-//! caches, sleep schedules) is derived, never serialized, so rebuilding
-//! the platform elsewhere and restoring the snapshot is a *complete*
-//! migration.
+//! parked, the task re-queued, and the worker moves on. A resumed task
+//! may land on any worker: host state (fast-path caches, sleep
+//! schedules) is derived, never serialized, so rebuilding the platform
+//! elsewhere and restoring the image is a *complete* migration.
+//!
+//! ## Parked images
+//!
+//! A parked task holds a compressed `SMAPSTRM` full image plus, when it
+//! pays, a compressed [`SnapDelta`] against that image: after the first
+//! park only the sections the segment actually dirtied are re-stored.
+//! When the delta grows past half the base's size the park rebases to a
+//! fresh full image. The base uses the same wire format the checkpoint
+//! policy spills to disk, so parking and crash recovery share one path.
+//!
+//! ## Crash-recoverable checkpoints
+//!
+//! With a [`CheckpointPolicy`], every job spills its state to a private
+//! directory every N executed quanta — streamed straight to disk
+//! (bounded memory) and published with an atomic rename, metadata last,
+//! so a torn write is always detectable. [`Scheduler::resume`] rebuilds
+//! a fleet from those directories after a crash: terminal jobs are
+//! returned from their `report.txt` markers without re-execution, validly
+//! spilled jobs restore mid-flight, and anything torn or missing restarts
+//! from cycle 0 — correct because jobs are deterministic.
 //!
 //! ## Determinism
 //!
@@ -23,8 +42,8 @@
 //! on an epoch boundary and the epoch schedule — and with it every
 //! snapshot byte — matches an uninterrupted run (proven in
 //! `tests/service_equivalence.rs`). Watchdog stall state rides in the
-//! parked task, so livelock detection is independent of where segments
-//! execute.
+//! parked task and the on-disk metadata, so livelock detection is
+//! independent of where segments execute.
 //!
 //! ## Failure isolation
 //!
@@ -36,12 +55,12 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use smappic_core::{HostPerf, Platform, Watchdog, WatchdogConfig};
-use smappic_sim::{fnv1a, Cycle, Snapshot};
+use smappic_sim::{codec, fnv1a, Cycle, SnapDelta, Snapshot, StreamSink};
 
 use crate::report::{JobExit, JobReport};
 use crate::spec::JobSpec;
@@ -59,6 +78,19 @@ pub enum PreemptMode {
     Always,
 }
 
+/// Periodic spill-to-disk of every running job's state, for crash
+/// recovery via [`Scheduler::resume`].
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Write a disk checkpoint every this many executed quanta (0
+    /// disables periodic spills; terminal `report.txt` markers are still
+    /// written).
+    pub every_quanta: u64,
+    /// Root directory; each job gets `job{id:04}-{spec digest:016x}/`
+    /// beneath it.
+    pub dir: PathBuf,
+}
+
 /// Scheduler tuning.
 #[derive(Debug, Clone)]
 pub struct SchedulerConfig {
@@ -74,11 +106,19 @@ pub struct SchedulerConfig {
     /// Forbid the worker that parked a job from resuming it while peers
     /// exist — guarantees every preemption is a migration. Test knob.
     pub force_migrate: bool,
-    /// Keep each completed job's final snapshot bytes in its report (the
-    /// equivalence suite compares them; costs memory on big platforms).
+    /// Keep each completed job's final image (compressed) in its report
+    /// (the equivalence suite compares them; costs memory on big
+    /// platforms).
     pub capture_final_snapshots: bool,
+    /// Spill job state to disk for crash recovery.
+    pub checkpoint: Option<CheckpointPolicy>,
     /// Directory for per-job Perfetto traces (jobs with `trace: true`).
     pub trace_dir: Option<PathBuf>,
+    /// Simulate a crash: after this many disk checkpoints have been
+    /// written fleet-wide, every worker stops dead — no parks, no
+    /// reports — as if the process had been killed. Recovery-test knob.
+    #[doc(hidden)]
+    pub abandon_after_checkpoints: Option<u64>,
 }
 
 impl Default for SchedulerConfig {
@@ -90,7 +130,9 @@ impl Default for SchedulerConfig {
             preempt: PreemptMode::WhenContended,
             force_migrate: false,
             capture_final_snapshots: false,
+            checkpoint: None,
             trace_dir: None,
+            abandon_after_checkpoints: None,
         }
     }
 }
@@ -106,13 +148,30 @@ pub fn digest_platform(p: &Platform) -> u64 {
     fnv1a(text.as_bytes())
 }
 
+/// A parked job's state: a compressed full image (the same `SMAPSTRM`
+/// wire form the checkpoint policy spills) plus, when it pays, a
+/// compressed delta against it holding only the dirty sections.
+#[derive(Debug)]
+struct ParkState {
+    /// Compressed stream bytes of the last full image.
+    base: Vec<u8>,
+    /// Codec-compressed `SMAPDLTA` wire bytes against `base`.
+    delta: Option<Vec<u8>>,
+}
+
+impl ParkState {
+    fn stored_bytes(&self) -> u64 {
+        (self.base.len() + self.delta.as_ref().map_or(0, Vec::len)) as u64
+    }
+}
+
 /// A job in flight: the spec plus everything a resume needs.
 #[derive(Debug)]
 struct Task {
     id: usize,
     spec: JobSpec,
-    /// Parked snapshot wire bytes; `None` before the first segment.
-    state: Option<Vec<u8>>,
+    /// Parked image; `None` before the first segment.
+    state: Option<ParkState>,
     /// Cycles executed so far.
     spent: u64,
     preemptions: u64,
@@ -128,13 +187,57 @@ struct Task {
     wd_change_at: Cycle,
     wall_secs: f64,
     perf: HostPerf,
+    /// Cumulative raw wire bytes a full snapshot would have cost at each
+    /// park (the baseline the compression ratio is measured against).
+    park_raw_bytes: u64,
+    /// Cumulative bytes actually held while parked (base + delta).
+    park_stored_bytes: u64,
+}
+
+impl Task {
+    fn fresh(id: usize, spec: JobSpec) -> Self {
+        Self {
+            id,
+            spec,
+            state: None,
+            spent: 0,
+            preemptions: 0,
+            migrations: 0,
+            workers: Vec::new(),
+            last_worker: None,
+            banned: None,
+            wd_sig: None,
+            wd_change_at: 0,
+            wall_secs: 0.0,
+            perf: HostPerf::default(),
+            park_raw_bytes: 0,
+            park_stored_bytes: 0,
+        }
+    }
 }
 
 /// How one execution segment ended.
 enum Segment {
-    Done { p: Box<Platform>, idle: bool, spent: u64 },
-    Livelocked { p: Box<Platform>, since: Cycle, spent: u64 },
-    Parked { bytes: Vec<u8>, spent: u64, wd: (Option<u64>, Cycle), perf: HostPerf },
+    Done {
+        p: Box<Platform>,
+        idle: bool,
+        spent: u64,
+    },
+    Livelocked {
+        p: Box<Platform>,
+        since: Cycle,
+        spent: u64,
+    },
+    Parked {
+        park: ParkState,
+        raw: u64,
+        spent: u64,
+        wd: (Option<u64>, Cycle),
+        perf: HostPerf,
+    },
+    /// The abandon knob fired mid-segment: drop the task without a
+    /// report, simulating a killed process.
+    Abandoned,
 }
 
 struct Shared {
@@ -144,6 +247,10 @@ struct Shared {
     queued: AtomicUsize,
     /// Jobs not yet reported; workers exit when it reaches zero.
     outstanding: AtomicUsize,
+    /// Disk checkpoints written fleet-wide (feeds the abandon knob).
+    ckpts: AtomicU64,
+    /// Simulated-crash flag: when set, workers stop dead.
+    abandoned: AtomicBool,
     reports: Mutex<Vec<JobReport>>,
 }
 
@@ -183,36 +290,66 @@ impl Scheduler {
     /// [`JobExit::Panicked`] reports; the pool shuts down gracefully
     /// once every job has reported.
     pub fn run(&self, specs: &[JobSpec]) -> Vec<JobReport> {
+        self.launch(specs, false)
+    }
+
+    /// Like [`Scheduler::run`], but first scans the checkpoint directory
+    /// for prior progress: jobs with a terminal `report.txt` marker are
+    /// returned without re-execution, jobs with a valid
+    /// `state.bin`/`meta.txt` pair resume from the spilled image, and
+    /// everything else — missing, truncated, or digest-mismatched
+    /// artifacts, or a directory whose `spec.txt` no longer matches the
+    /// submitted spec — restarts from cycle 0, which is always correct
+    /// because jobs are deterministic functions of their specs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no [`SchedulerConfig::checkpoint`] policy is
+    /// configured — resuming without a directory to resume from is a
+    /// caller bug.
+    pub fn resume(&self, specs: &[JobSpec]) -> Vec<JobReport> {
+        assert!(self.cfg.checkpoint.is_some(), "resume requires a checkpoint policy");
+        self.launch(specs, true)
+    }
+
+    fn launch(&self, specs: &[JobSpec], resume: bool) -> Vec<JobReport> {
         for (i, s) in specs.iter().enumerate() {
             if let Err(e) = s.validate() {
                 panic!("job {i} ({:?}) is invalid: {e}", s.name);
             }
         }
         let workers = self.cfg.workers;
+        let mut preloaded: Vec<JobReport> = Vec::new();
+        let mut tasks: Vec<Task> = Vec::new();
+        for (id, spec) in specs.iter().enumerate() {
+            if resume {
+                let policy = self.cfg.checkpoint.as_ref().expect("checked in resume");
+                match recover_job(&policy.dir, id, spec) {
+                    Recovered::Terminal(r) => {
+                        preloaded.push(*r);
+                        continue;
+                    }
+                    Recovered::Parked(t) => {
+                        tasks.push(*t);
+                        continue;
+                    }
+                    Recovered::Fresh => {}
+                }
+            }
+            tasks.push(Task::fresh(id, spec.clone()));
+        }
         let shared = Shared {
             locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             injector: Mutex::new(VecDeque::new()),
-            queued: AtomicUsize::new(specs.len()),
-            outstanding: AtomicUsize::new(specs.len()),
+            queued: AtomicUsize::new(tasks.len()),
+            outstanding: AtomicUsize::new(tasks.len()),
+            ckpts: AtomicU64::new(0),
+            abandoned: AtomicBool::new(false),
             reports: Mutex::new(Vec::with_capacity(specs.len())),
         };
-        for (id, spec) in specs.iter().enumerate() {
-            let task = Task {
-                id,
-                spec: spec.clone(),
-                state: None,
-                spent: 0,
-                preemptions: 0,
-                migrations: 0,
-                workers: Vec::new(),
-                last_worker: None,
-                banned: None,
-                wd_sig: None,
-                wd_change_at: 0,
-                wall_secs: 0.0,
-                perf: HostPerf::default(),
-            };
-            shared.locals[id % workers].lock().expect("queue lock").push_back(task);
+        for task in tasks {
+            let q = task.id % workers;
+            shared.locals[q].lock().expect("queue lock").push_back(task);
         }
         std::thread::scope(|scope| {
             for w in 0..workers {
@@ -222,6 +359,7 @@ impl Scheduler {
             }
         });
         let mut reports = shared.reports.into_inner().expect("report lock");
+        reports.extend(preloaded);
         reports.sort_by_key(|r| r.job);
         reports
     }
@@ -229,6 +367,9 @@ impl Scheduler {
 
 fn worker_loop(w: usize, sh: &Shared, cfg: &SchedulerConfig) {
     loop {
+        if sh.abandoned.load(Ordering::SeqCst) {
+            return; // simulated crash: stop serving immediately
+        }
         match next_task(w, sh) {
             Some(task) => run_segment(w, task, sh, cfg),
             None => {
@@ -276,6 +417,38 @@ fn next_task(w: usize, sh: &Shared) -> Option<Task> {
     None
 }
 
+/// Parks `snap`, preferring a compressed delta against the previous
+/// park's full image; rebases to a fresh compressed stream when there is
+/// no base or the delta stops paying (more than half the base's size).
+fn park_state(prev: Option<&ParkState>, snap: &Snapshot) -> ParkState {
+    if let Some(prev) = prev {
+        if let Ok(base) = Snapshot::from_stream_bytes(&prev.base) {
+            if let Ok(d) = SnapDelta::between(&base, snap) {
+                let dz = codec::compress(&d.to_bytes());
+                if dz.len().saturating_mul(2) <= prev.base.len() {
+                    return ParkState { base: prev.base.clone(), delta: Some(dz) };
+                }
+            }
+        }
+    }
+    ParkState { base: snap.to_stream_bytes(true), delta: None }
+}
+
+/// Final-image capture and size accounting: the compressed bytes (when
+/// the scheduler keeps them), the raw wire size, and the compressed
+/// size. All zero/absent when neither snapshots nor checkpoints were
+/// requested — measuring would cost a full serialization walk.
+fn final_sizes(p: &Platform, cfg: &SchedulerConfig) -> (Option<Vec<u8>>, u64, u64) {
+    if !cfg.capture_final_snapshots && cfg.checkpoint.is_none() {
+        return (None, 0, 0);
+    }
+    let snap = p.snapshot();
+    let raw = snap.to_bytes().len() as u64;
+    let z = snap.to_stream_bytes(true);
+    let zlen = z.len() as u64;
+    (cfg.capture_final_snapshots.then_some(z), raw, zlen)
+}
+
 /// Executes one segment of `task` on worker `w` and either files its
 /// report or parks it back into the injector.
 fn run_segment(w: usize, mut task: Task, sh: &Shared, cfg: &SchedulerConfig) {
@@ -293,11 +466,22 @@ fn run_segment(w: usize, mut task: Task, sh: &Shared, cfg: &SchedulerConfig) {
     let resumed_from = task.state.take();
     let spent0 = task.spent;
     let wd_state = (task.wd_sig, task.wd_change_at);
+    // Frozen copies for checkpoint metadata written mid-segment.
+    let (job_id, ck_preempt, ck_migr, ck_wall) =
+        (task.id, task.preemptions, task.migrations, task.wall_secs);
     let t0 = Instant::now();
     let result = catch_unwind(AssertUnwindSafe(|| {
         let mut p = Box::new(spec.build());
-        if let Some(bytes) = &resumed_from {
-            let snap = Snapshot::from_bytes(bytes).expect("parked snapshot parses");
+        if let Some(park) = &resumed_from {
+            let base = Snapshot::from_stream_bytes(&park.base).expect("parked stream parses");
+            let snap = match &park.delta {
+                Some(dz) => {
+                    let raw = codec::decompress(dz).expect("parked delta decompresses");
+                    let d = SnapDelta::from_bytes(&raw).expect("parked delta parses");
+                    base.apply_delta(&d).expect("parked delta applies to its base")
+                }
+                None => base,
+            };
             p.restore(&snap).expect("parked snapshot restores");
         }
         let parallel = spec.parallel();
@@ -312,9 +496,11 @@ fn run_segment(w: usize, mut task: Task, sh: &Shared, cfg: &SchedulerConfig) {
         let grain = p.preemption_grain();
         let quantum = grain * cfg.quantum.div_ceil(grain).max(1);
         let mut spent = spent0;
+        let mut quanta: u64 = 0;
         loop {
             let slice = quantum.min(budget - spent);
             spent += p.run_preemptible(slice, parallel, |_, _| false);
+            quanta += 1;
             if p.is_idle() {
                 return Segment::Done { p, idle: true, spent };
             }
@@ -324,14 +510,36 @@ fn run_segment(w: usize, mut task: Task, sh: &Shared, cfg: &SchedulerConfig) {
             if let Some(since) = wd.observe(p.now(), p.progress_signature()) {
                 return Segment::Livelocked { p, since, spent };
             }
+            if let Some(policy) = &cfg.checkpoint {
+                if policy.every_quanta > 0 && quanta.is_multiple_of(policy.every_quanta) {
+                    let meta = CkptMeta {
+                        spent,
+                        preemptions: ck_preempt,
+                        migrations: ck_migr,
+                        wall_secs: ck_wall + t0.elapsed().as_secs_f64(),
+                        wd: wd.state(),
+                    };
+                    if write_checkpoint(&policy.dir, job_id, &spec, &p, &meta).is_ok() {
+                        let n = sh.ckpts.fetch_add(1, Ordering::SeqCst) + 1;
+                        if cfg.abandon_after_checkpoints.is_some_and(|k| n >= k) {
+                            sh.abandoned.store(true, Ordering::SeqCst);
+                        }
+                    }
+                }
+            }
+            if sh.abandoned.load(Ordering::SeqCst) {
+                return Segment::Abandoned;
+            }
             let yield_now = match cfg.preempt {
                 PreemptMode::Never => false,
                 PreemptMode::Always => true,
                 PreemptMode::WhenContended => sh.queued.load(Ordering::SeqCst) > 0,
             };
             if yield_now {
-                let bytes = p.snapshot().to_bytes();
-                return Segment::Parked { bytes, spent, wd: wd.state(), perf: p.host_perf() };
+                let snap = p.snapshot();
+                let raw = snap.to_bytes().len() as u64;
+                let park = park_state(resumed_from.as_ref(), &snap);
+                return Segment::Parked { park, raw, spent, wd: wd.state(), perf: p.host_perf() };
             }
         }
     }));
@@ -339,27 +547,30 @@ fn run_segment(w: usize, mut task: Task, sh: &Shared, cfg: &SchedulerConfig) {
     match result {
         Err(payload) => {
             let message = payload_message(payload.as_ref());
-            file_report(
-                sh,
-                JobReport {
-                    job: task.id,
-                    name: task.spec.name.clone(),
-                    exit: JobExit::Panicked { message },
-                    cycles: task.spent,
-                    wall_secs: task.wall_secs,
-                    preemptions: task.preemptions,
-                    migrations: task.migrations,
-                    workers: task.workers,
-                    host_perf: task.perf,
-                    digest: 0,
-                    final_snapshot: None,
-                    trace_path: None,
-                },
-            );
+            let report = JobReport {
+                job: task.id,
+                name: task.spec.name.clone(),
+                exit: JobExit::Panicked { message },
+                cycles: task.spent,
+                wall_secs: task.wall_secs,
+                preemptions: task.preemptions,
+                migrations: task.migrations,
+                workers: task.workers,
+                host_perf: task.perf,
+                digest: 0,
+                snapshot_bytes: 0,
+                compressed_bytes: 0,
+                park_raw_bytes: task.park_raw_bytes,
+                park_stored_bytes: task.park_stored_bytes,
+                final_snapshot_z: None,
+                trace_path: None,
+            };
+            persist_terminal(cfg, &spec, &report);
+            file_report(sh, report);
         }
         Ok(Segment::Done { mut p, idle, spent }) => {
             let digest = digest_platform(&p);
-            let final_snapshot = cfg.capture_final_snapshots.then(|| p.snapshot().to_bytes());
+            let (final_snapshot_z, snapshot_bytes, compressed_bytes) = final_sizes(&p, cfg);
             let trace_path = if task.spec.trace {
                 cfg.trace_dir.as_deref().and_then(|d| write_trace(&mut p, d, task.id, &spec.name))
             } else {
@@ -367,47 +578,56 @@ fn run_segment(w: usize, mut task: Task, sh: &Shared, cfg: &SchedulerConfig) {
             };
             let mut perf = task.perf;
             perf += p.host_perf();
-            file_report(
-                sh,
-                JobReport {
-                    job: task.id,
-                    name: task.spec.name.clone(),
-                    exit: JobExit::Completed { idle },
-                    cycles: spent,
-                    wall_secs: task.wall_secs,
-                    preemptions: task.preemptions,
-                    migrations: task.migrations,
-                    workers: task.workers,
-                    host_perf: perf,
-                    digest,
-                    final_snapshot,
-                    trace_path,
-                },
-            );
+            let report = JobReport {
+                job: task.id,
+                name: task.spec.name.clone(),
+                exit: JobExit::Completed { idle },
+                cycles: spent,
+                wall_secs: task.wall_secs,
+                preemptions: task.preemptions,
+                migrations: task.migrations,
+                workers: task.workers,
+                host_perf: perf,
+                digest,
+                snapshot_bytes,
+                compressed_bytes,
+                park_raw_bytes: task.park_raw_bytes,
+                park_stored_bytes: task.park_stored_bytes,
+                final_snapshot_z,
+                trace_path,
+            };
+            persist_terminal(cfg, &spec, &report);
+            file_report(sh, report);
         }
         Ok(Segment::Livelocked { p, since, spent }) => {
+            let (final_snapshot_z, snapshot_bytes, compressed_bytes) = final_sizes(&p, cfg);
             let mut perf = task.perf;
             perf += p.host_perf();
-            file_report(
-                sh,
-                JobReport {
-                    job: task.id,
-                    name: task.spec.name.clone(),
-                    exit: JobExit::Livelocked { stalled_since: since, detected_at: p.now() },
-                    cycles: spent,
-                    wall_secs: task.wall_secs,
-                    preemptions: task.preemptions,
-                    migrations: task.migrations,
-                    workers: task.workers,
-                    host_perf: perf,
-                    digest: digest_platform(&p),
-                    final_snapshot: cfg.capture_final_snapshots.then(|| p.snapshot().to_bytes()),
-                    trace_path: None,
-                },
-            );
+            let report = JobReport {
+                job: task.id,
+                name: task.spec.name.clone(),
+                exit: JobExit::Livelocked { stalled_since: since, detected_at: p.now() },
+                cycles: spent,
+                wall_secs: task.wall_secs,
+                preemptions: task.preemptions,
+                migrations: task.migrations,
+                workers: task.workers,
+                host_perf: perf,
+                digest: digest_platform(&p),
+                snapshot_bytes,
+                compressed_bytes,
+                park_raw_bytes: task.park_raw_bytes,
+                park_stored_bytes: task.park_stored_bytes,
+                final_snapshot_z,
+                trace_path: None,
+            };
+            persist_terminal(cfg, &spec, &report);
+            file_report(sh, report);
         }
-        Ok(Segment::Parked { bytes, spent, wd, perf }) => {
-            task.state = Some(bytes);
+        Ok(Segment::Parked { park, raw, spent, wd, perf }) => {
+            task.park_raw_bytes += raw;
+            task.park_stored_bytes += park.stored_bytes();
+            task.state = Some(park);
             task.spent = spent;
             task.preemptions += 1;
             (task.wd_sig, task.wd_change_at) = wd;
@@ -416,6 +636,11 @@ fn run_segment(w: usize, mut task: Task, sh: &Shared, cfg: &SchedulerConfig) {
             task.banned = cfg.force_migrate.then_some(w);
             sh.queued.fetch_add(1, Ordering::SeqCst);
             sh.injector.lock().expect("queue lock").push_back(task);
+        }
+        Ok(Segment::Abandoned) => {
+            // Simulated crash: the task vanishes unreported, exactly as
+            // if the process had been killed. `outstanding` never
+            // reaches zero; workers exit via the abandoned flag.
         }
     }
 }
@@ -439,6 +664,217 @@ fn write_trace(p: &mut Platform, dir: &Path, job: usize, name: &str) -> Option<S
     let path = dir.join(format!("job{job}-{name}.trace.json"));
     std::fs::write(&path, json).ok()?;
     Some(path.to_string_lossy().into_owned())
+}
+
+// ---------------------------------------------------------------------
+// Disk checkpoints
+// ---------------------------------------------------------------------
+
+/// Progress metadata spilled alongside `state.bin`.
+struct CkptMeta {
+    spent: u64,
+    preemptions: u64,
+    migrations: u64,
+    wall_secs: f64,
+    wd: (Option<u64>, Cycle),
+}
+
+/// The per-job checkpoint directory: id for human navigation, spec
+/// digest so a stale directory from a different fleet can never be
+/// mistaken for this job's.
+fn job_dir(root: &Path, id: usize, spec: &JobSpec) -> PathBuf {
+    root.join(format!("job{id:04}-{:016x}", spec.digest()))
+}
+
+/// Streams the platform to `state.bin` (compressed, bounded memory) and
+/// then writes `meta.txt`, each published with an atomic rename. Meta
+/// goes second: a crash between the two renames leaves a stale meta
+/// whose state digest no longer matches the stream, which recovery
+/// rejects in favor of a fresh deterministic run.
+fn write_checkpoint(
+    root: &Path,
+    id: usize,
+    spec: &JobSpec,
+    p: &Platform,
+    meta: &CkptMeta,
+) -> Result<(), String> {
+    let io = |e: std::io::Error| e.to_string();
+    let dir = job_dir(root, id, spec);
+    std::fs::create_dir_all(&dir).map_err(io)?;
+    let spec_path = dir.join("spec.txt");
+    if !spec_path.exists() {
+        std::fs::write(&spec_path, spec.to_text()).map_err(io)?;
+    }
+    let tmp = dir.join("state.bin.tmp");
+    let digest = {
+        let file = std::fs::File::create(&tmp).map_err(io)?;
+        let mut sink = StreamSink::new(std::io::BufWriter::new(file), true);
+        p.snapshot_to(&mut sink).map_err(|e| e.to_string())?;
+        sink.state_digest()
+    };
+    std::fs::rename(&tmp, dir.join("state.bin")).map_err(io)?;
+    let wd_sig = meta.wd.0.map_or_else(|| "-".to_string(), |s| format!("{s:#x}"));
+    let text = format!(
+        "smappic-ckpt v1\nstate_digest {digest:#018x}\nspent {}\npreemptions {}\n\
+         migrations {}\nwall_secs {:.6}\nwd {wd_sig} {}\n",
+        meta.spent, meta.preemptions, meta.migrations, meta.wall_secs, meta.wd.1
+    );
+    let mtmp = dir.join("meta.txt.tmp");
+    std::fs::write(&mtmp, text).map_err(io)?;
+    std::fs::rename(&mtmp, dir.join("meta.txt")).map_err(io)
+}
+
+/// Writes the terminal `report.txt` marker so a later
+/// [`Scheduler::resume`] returns this job without re-executing it.
+fn persist_terminal(cfg: &SchedulerConfig, spec: &JobSpec, r: &JobReport) {
+    let Some(policy) = &cfg.checkpoint else { return };
+    let _ = write_report_marker(&job_dir(&policy.dir, r.job, spec), spec, r);
+}
+
+fn write_report_marker(dir: &Path, spec: &JobSpec, r: &JobReport) -> Result<(), String> {
+    let io = |e: std::io::Error| e.to_string();
+    std::fs::create_dir_all(dir).map_err(io)?;
+    let spec_path = dir.join("spec.txt");
+    if !spec_path.exists() {
+        std::fs::write(&spec_path, spec.to_text()).map_err(io)?;
+    }
+    let exit = match &r.exit {
+        JobExit::Completed { idle } => format!("completed {idle}"),
+        JobExit::Livelocked { stalled_since, detected_at } => {
+            format!("livelocked {stalled_since} {detected_at}")
+        }
+        JobExit::Panicked { message } => format!("panicked {}", message.replace('\n', " ")),
+    };
+    let text = format!(
+        "smappic-report v1\nexit {exit}\ncycles {}\ndigest {:#018x}\nwall_secs {:.6}\n\
+         preemptions {}\nmigrations {}\nsnapshot_bytes {}\ncompressed_bytes {}\n",
+        r.cycles,
+        r.digest,
+        r.wall_secs,
+        r.preemptions,
+        r.migrations,
+        r.snapshot_bytes,
+        r.compressed_bytes
+    );
+    let tmp = dir.join("report.txt.tmp");
+    std::fs::write(&tmp, text).map_err(io)?;
+    std::fs::rename(&tmp, dir.join("report.txt")).map_err(io)
+}
+
+/// What recovery found in one job's checkpoint directory.
+enum Recovered {
+    /// The job already reached a terminal state; its report was rebuilt
+    /// from the `report.txt` marker.
+    Terminal(Box<JobReport>),
+    /// A valid mid-flight spill; the task resumes from it.
+    Parked(Box<Task>),
+    /// Nothing usable; the job restarts from cycle 0.
+    Fresh,
+}
+
+/// Inspects one job's checkpoint directory. Accepts only artifacts that
+/// fully validate — the spec text matches the submitted spec, the
+/// spilled stream parses (its trailer digest rejects truncation), and
+/// the meta's state digest matches the stream — and falls back to a
+/// fresh run otherwise, which is always correct because jobs are
+/// deterministic.
+fn recover_job(root: &Path, id: usize, spec: &JobSpec) -> Recovered {
+    let dir = job_dir(root, id, spec);
+    match std::fs::read_to_string(dir.join("spec.txt")) {
+        Ok(text) if text == spec.to_text() => {}
+        _ => return Recovered::Fresh,
+    }
+    if let Ok(text) = std::fs::read_to_string(dir.join("report.txt")) {
+        if let Some(r) = parse_report_marker(id, &spec.name, &text) {
+            return Recovered::Terminal(Box::new(r));
+        }
+    }
+    let Ok(state) = std::fs::read(dir.join("state.bin")) else { return Recovered::Fresh };
+    let Ok(meta_text) = std::fs::read_to_string(dir.join("meta.txt")) else {
+        return Recovered::Fresh;
+    };
+    let Some((digest, meta)) = parse_meta(&meta_text) else { return Recovered::Fresh };
+    let Ok(snap) = Snapshot::from_stream_bytes(&state) else { return Recovered::Fresh };
+    if snap.state_digest() != digest {
+        return Recovered::Fresh;
+    }
+    let mut task = Task::fresh(id, spec.clone());
+    task.state = Some(ParkState { base: state, delta: None });
+    task.spent = meta.spent;
+    task.preemptions = meta.preemptions;
+    task.migrations = meta.migrations;
+    task.wall_secs = meta.wall_secs;
+    (task.wd_sig, task.wd_change_at) = meta.wd;
+    Recovered::Parked(Box::new(task))
+}
+
+/// `key value...` lookup over the line-oriented checkpoint text formats.
+fn kv<'a>(lines: &[&'a str], key: &str) -> Option<&'a str> {
+    lines.iter().find_map(|l| l.strip_prefix(key)?.strip_prefix(' ').map(str::trim))
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn parse_meta(text: &str) -> Option<(u64, CkptMeta)> {
+    let lines: Vec<&str> = text.lines().collect();
+    if lines.first() != Some(&"smappic-ckpt v1") {
+        return None;
+    }
+    let digest = parse_u64(kv(&lines, "state_digest")?)?;
+    let spent = parse_u64(kv(&lines, "spent")?)?;
+    let preemptions = parse_u64(kv(&lines, "preemptions")?)?;
+    let migrations = parse_u64(kv(&lines, "migrations")?)?;
+    let wall_secs: f64 = kv(&lines, "wall_secs")?.parse().ok()?;
+    let mut wd_parts = kv(&lines, "wd")?.split_whitespace();
+    let sig = wd_parts.next()?;
+    let wd_sig = if sig == "-" { None } else { Some(parse_u64(sig)?) };
+    let wd_at = parse_u64(wd_parts.next()?)?;
+    Some((digest, CkptMeta { spent, preemptions, migrations, wall_secs, wd: (wd_sig, wd_at) }))
+}
+
+fn parse_report_marker(job: usize, name: &str, text: &str) -> Option<JobReport> {
+    let lines: Vec<&str> = text.lines().collect();
+    if lines.first() != Some(&"smappic-report v1") {
+        return None;
+    }
+    let exit_line = kv(&lines, "exit")?;
+    let exit = if let Some(rest) = exit_line.strip_prefix("completed ") {
+        JobExit::Completed { idle: rest.trim() == "true" }
+    } else if let Some(rest) = exit_line.strip_prefix("livelocked ") {
+        let mut it = rest.split_whitespace();
+        JobExit::Livelocked {
+            stalled_since: parse_u64(it.next()?)?,
+            detected_at: parse_u64(it.next()?)?,
+        }
+    } else if let Some(rest) = exit_line.strip_prefix("panicked ") {
+        JobExit::Panicked { message: rest.to_string() }
+    } else {
+        return None;
+    };
+    Some(JobReport {
+        job,
+        name: name.to_string(),
+        exit,
+        cycles: parse_u64(kv(&lines, "cycles")?)?,
+        wall_secs: kv(&lines, "wall_secs")?.parse().ok()?,
+        preemptions: parse_u64(kv(&lines, "preemptions")?)?,
+        migrations: parse_u64(kv(&lines, "migrations")?)?,
+        workers: Vec::new(),
+        host_perf: HostPerf::default(),
+        digest: parse_u64(kv(&lines, "digest")?)?,
+        snapshot_bytes: parse_u64(kv(&lines, "snapshot_bytes")?)?,
+        compressed_bytes: parse_u64(kv(&lines, "compressed_bytes")?)?,
+        park_raw_bytes: 0,
+        park_stored_bytes: 0,
+        final_snapshot_z: None,
+        trace_path: None,
+    })
 }
 
 #[cfg(test)]
@@ -477,5 +913,30 @@ mod tests {
         let baseline = Scheduler::serial().run(&[spec]);
         assert_eq!(reports[0].digest, baseline[0].digest);
         assert_eq!(reports[0].cycles, baseline[0].cycles);
+    }
+
+    #[test]
+    fn parked_tasks_store_compressed_state() {
+        let mut spec = JobSpec::small("parked", WorkloadSpec::AmoHeavy { ops: 60, seed: 7 });
+        spec.budget = 4_000_000;
+        let cfg = SchedulerConfig {
+            workers: 2,
+            quantum: 2_000,
+            preempt: PreemptMode::Always,
+            force_migrate: true,
+            ..SchedulerConfig::default()
+        };
+        let reports = Scheduler::new(cfg).run(&[spec]);
+        let r = &reports[0];
+        assert!(r.is_completed());
+        assert!(r.preemptions > 0);
+        assert!(r.park_raw_bytes > 0, "parks must account their raw baseline");
+        assert!(
+            r.park_stored_bytes < r.park_raw_bytes,
+            "parked images (compressed stream + deltas, {} B) must undercut \
+             the raw wire baseline ({} B)",
+            r.park_stored_bytes,
+            r.park_raw_bytes
+        );
     }
 }

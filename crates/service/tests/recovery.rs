@@ -1,0 +1,129 @@
+//! Crash-recoverable checkpoints: a fleet that dies mid-run resumes from
+//! its per-job checkpoint directories and finishes with digests
+//! identical to an uninterrupted run.
+//!
+//! The "crash" is the scheduler's hidden abandon knob: after N disk
+//! checkpoints have been written fleet-wide, every worker stops dead —
+//! no parks, no reports — which is exactly what SIGKILL leaves behind.
+//! (The CI checkpoint job additionally kills a real `servebench` process
+//! and recovers it across processes.)
+
+use std::path::PathBuf;
+
+use smappic_service::{
+    CheckpointPolicy, JobSpec, PreemptMode, Scheduler, SchedulerConfig, WorkloadSpec,
+};
+
+fn fleet() -> Vec<JobSpec> {
+    (0..4)
+        .map(|i| {
+            let mut s = JobSpec::small(
+                &format!("ckpt{i}"),
+                WorkloadSpec::AmoHeavy { ops: 60, seed: 0xC0 + i },
+            );
+            s.budget = 4_000_000;
+            s
+        })
+        .collect()
+}
+
+fn ckpt_config(dir: PathBuf) -> SchedulerConfig {
+    SchedulerConfig {
+        workers: 2,
+        quantum: 2_000,
+        preempt: PreemptMode::Always,
+        checkpoint: Some(CheckpointPolicy { every_quanta: 1, dir }),
+        ..SchedulerConfig::default()
+    }
+}
+
+/// A scratch directory unique to this test run.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("smappic-recovery-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn a_crashed_fleet_resumes_from_disk_with_identical_digests() {
+    let specs = fleet();
+    let baseline = Scheduler::serial().run(&specs);
+    assert!(baseline.iter().all(|r| r.is_completed()));
+
+    let dir = scratch("crash");
+    let crashed = Scheduler::new(SchedulerConfig {
+        abandon_after_checkpoints: Some(3),
+        ..ckpt_config(dir.clone())
+    })
+    .run(&specs);
+    assert!(
+        crashed.len() < specs.len(),
+        "the simulated crash must leave jobs unreported ({} of {} reported)",
+        crashed.len(),
+        specs.len()
+    );
+
+    let resumed = Scheduler::new(ckpt_config(dir.clone())).resume(&specs);
+    assert_eq!(resumed.len(), specs.len(), "every job must report after recovery");
+    for (r, b) in resumed.iter().zip(&baseline) {
+        assert_eq!(r.job, b.job);
+        assert!(r.is_completed(), "job {} must complete after recovery: {:?}", r.job, r.exit);
+        assert_eq!(r.digest, b.digest, "job {} digest must match the uninterrupted run", r.job);
+        assert_eq!(r.cycles, b.cycles, "job {} cycle count must match", r.job);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn terminal_markers_short_circuit_a_second_resume() {
+    let specs = fleet();
+    let dir = scratch("markers");
+    let first = Scheduler::new(ckpt_config(dir.clone())).run(&specs);
+    assert!(first.iter().all(|r| r.is_completed()));
+
+    // Every job left a report.txt marker; resuming must return all of
+    // them from disk without executing a single segment.
+    let resumed = Scheduler::new(ckpt_config(dir.clone())).resume(&specs);
+    assert_eq!(resumed.len(), specs.len());
+    for (r, f) in resumed.iter().zip(&first) {
+        assert_eq!(r.digest, f.digest);
+        assert_eq!(r.cycles, f.cycles);
+        assert_eq!(r.exit, f.exit);
+        assert!(r.workers.is_empty(), "a marker-recovered report never touched a worker");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_checkpoints_fall_back_to_a_fresh_deterministic_run() {
+    let specs = fleet();
+    let baseline = Scheduler::serial().run(&specs);
+
+    let dir = scratch("torn");
+    let _ = Scheduler::new(SchedulerConfig {
+        abandon_after_checkpoints: Some(4),
+        ..ckpt_config(dir.clone())
+    })
+    .run(&specs);
+
+    // Tear every spilled image: truncate state.bin to half its size. The
+    // stream trailer (count + state digest) never arrives, so recovery
+    // must reject each of them and restart the jobs from cycle 0.
+    let mut torn = 0;
+    for entry in std::fs::read_dir(&dir).expect("checkpoint root exists") {
+        let state = entry.expect("dir entry").path().join("state.bin");
+        if let Ok(bytes) = std::fs::read(&state) {
+            std::fs::write(&state, &bytes[..bytes.len() / 2]).expect("truncate");
+            torn += 1;
+        }
+    }
+    assert!(torn > 0, "the crashed run must have spilled at least one image");
+
+    let resumed = Scheduler::new(ckpt_config(dir.clone())).resume(&specs);
+    assert_eq!(resumed.len(), specs.len());
+    for (r, b) in resumed.iter().zip(&baseline) {
+        assert!(r.is_completed());
+        assert_eq!(r.digest, b.digest, "job {} must rerun to the same digest", r.job);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -51,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 mod eth;
 mod fault;
 mod obs;
@@ -72,8 +73,9 @@ pub use queue::{DelayLine, Fifo};
 pub use rng::SimRng;
 pub use shaper::TrafficShaper;
 pub use snap::{
-    fnv1a, Pack, SaveState, SnapError, SnapReader, SnapWriter, Snapshot, HOST_SECTION_PREFIX,
-    SNAP_VERSION,
+    fnv1a, read_stream, CountingSink, MemorySink, Pack, SaveState, SectionSource, SnapDelta,
+    SnapError, SnapReader, SnapSink, SnapWriter, Snapshot, StreamSink, StreamSource,
+    HOST_SECTION_PREFIX, SNAP_VERSION,
 };
 pub use stats::{CounterSet, Histogram, Stats};
 

@@ -35,8 +35,12 @@
 //! epoch-parallel steppers legitimately differ there while agreeing on
 //! every architectural bit.
 
-use std::collections::HashMap;
+use std::borrow::Cow;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::io::{Read, Write};
+
+use crate::codec;
 
 /// Current snapshot container format version.
 pub const SNAP_VERSION: u32 = 1;
@@ -82,6 +86,16 @@ pub enum SnapError {
     UnexpectedSection(String),
     /// The byte stream is structurally malformed.
     Corrupt(String),
+    /// A delta was applied to a base snapshot other than the one it was
+    /// computed against (out-of-order chain application).
+    DeltaBaseMismatch {
+        /// State digest of the snapshot the delta was applied to.
+        found: u64,
+        /// State digest of the base the delta was computed against.
+        expected: u64,
+    },
+    /// An underlying I/O operation failed while streaming.
+    Io(String),
 }
 
 impl fmt::Display for SnapError {
@@ -103,6 +117,11 @@ impl fmt::Display for SnapError {
                 write!(f, "snapshot has unexpected section '{s}'")
             }
             SnapError::Corrupt(s) => write!(f, "snapshot is corrupt: {s}"),
+            SnapError::DeltaBaseMismatch { found, expected } => write!(
+                f,
+                "delta expects base state digest {expected:#018x}, snapshot has {found:#018x}"
+            ),
+            SnapError::Io(s) => write!(f, "snapshot i/o error: {s}"),
         }
     }
 }
@@ -147,25 +166,69 @@ pub trait Pack: Sized {
 /// first-open order, which is the platform's deterministic walk order.
 /// Opening a scope registers its section even when nothing is written —
 /// empty sections keep two snapshots structurally comparable.
-#[derive(Debug, Default)]
-pub struct SnapWriter {
+///
+/// A writer built with [`SnapWriter::streaming`] additionally hands every
+/// section to a [`SnapSink`] as soon as its *top-level* scope closes, so a
+/// full-platform walk holds at most one top-level component's sections in
+/// memory at a time — the bounded-memory checkpoint path. Streamed
+/// sections cannot be reopened; doing so is recorded as a
+/// [`SnapError::Corrupt`] surfaced by [`SnapWriter::finish`].
+#[derive(Default)]
+pub struct SnapWriter<'s> {
     path: Vec<String>,
     order: Vec<String>,
+    next_flush: usize,
     bufs: HashMap<String, Vec<u8>>,
+    flushed: HashSet<String>,
+    sink: Option<&'s mut dyn SnapSink>,
+    error: Option<SnapError>,
 }
 
-impl SnapWriter {
-    /// Creates an empty writer.
+impl fmt::Debug for SnapWriter<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SnapWriter")
+            .field("path", &self.path)
+            .field("order", &self.order)
+            .field("streaming", &self.sink.is_some())
+            .field("error", &self.error)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'s> SnapWriter<'s> {
+    /// Creates an empty (accumulating) writer.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a writer that flushes each completed top-level scope to
+    /// `sink` instead of accumulating the whole snapshot. The caller must
+    /// drive `sink.begin(..)` before the walk and check
+    /// [`SnapWriter::finish`] after it.
+    pub fn streaming(sink: &'s mut dyn SnapSink) -> Self {
+        Self { sink: Some(sink), ..Self::default() }
     }
 
     fn joined(&self) -> String {
         self.path.join(".")
     }
 
+    fn fail(&mut self, e: SnapError) {
+        if self.error.is_none() {
+            self.error = Some(e);
+        }
+    }
+
     fn ensure_section(&mut self) -> &mut Vec<u8> {
         let key = self.joined();
+        if self.flushed.contains(&key) {
+            self.fail(SnapError::Corrupt(format!(
+                "section '{key}' reopened after it was streamed"
+            )));
+            // Post-error writes land in a scratch buffer that is never
+            // flushed; the recorded error surfaces at `finish`.
+            return self.bufs.entry(key).or_default();
+        }
         if !self.bufs.contains_key(&key) {
             self.order.push(key.clone());
             self.bufs.insert(key.clone(), Vec::new());
@@ -173,13 +236,49 @@ impl SnapWriter {
         self.bufs.get_mut(&key).expect("section just ensured")
     }
 
+    /// Hands every section opened so far (and not yet flushed) to the
+    /// sink, in first-open order, freeing its buffer.
+    fn flush_pending(&mut self) {
+        while self.next_flush < self.order.len() {
+            let key = self.order[self.next_flush].clone();
+            self.next_flush += 1;
+            let Some(buf) = self.bufs.remove(&key) else { continue };
+            self.flushed.insert(key.clone());
+            if self.error.is_some() {
+                continue;
+            }
+            if let Some(sink) = self.sink.as_deref_mut() {
+                if let Err(e) = sink.section(&key, &buf) {
+                    self.fail(e);
+                }
+            }
+        }
+    }
+
     /// Runs `f` with `name` pushed onto the scope path. The section for the
-    /// new path is created immediately so it exists even when empty.
+    /// new path is created immediately so it exists even when empty. When
+    /// streaming, closing a top-level scope flushes its sections.
     pub fn scoped(&mut self, name: &str, f: impl FnOnce(&mut Self)) {
         self.path.push(name.to_owned());
         self.ensure_section();
         f(self);
         self.path.pop();
+        if self.path.is_empty() && self.sink.is_some() {
+            self.flush_pending();
+        }
+    }
+
+    /// Finishes a streaming writer: flushes any remaining sections and
+    /// surfaces the first recorded error (sink failure or a section
+    /// reopened after streaming). Accumulating writers always succeed.
+    pub fn finish(mut self) -> Result<(), SnapError> {
+        if self.sink.is_some() {
+            self.flush_pending();
+        }
+        match self.error.take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Writes one byte.
@@ -251,12 +350,37 @@ impl SnapWriter {
 /// exit the section must be *exactly* consumed — trailing bytes are a
 /// [`SnapError::TrailingBytes`], which is how unknown future fields are
 /// rejected instead of silently misread.
-#[derive(Debug)]
+///
+/// A reader built with [`SnapReader::from_source`] pulls sections on
+/// demand from a [`SectionSource`] (e.g. a [`StreamSource`] over a
+/// checkpoint file) and drops each one as its scope closes — the
+/// bounded-memory restore path. Because the restore walk visits sections
+/// in the same order the platform wrote them, at most a handful of
+/// sections are resident at once.
 pub struct SnapReader<'a> {
     path: Vec<String>,
-    sections: HashMap<&'a str, &'a [u8]>,
-    cursors: HashMap<String, usize>,
+    sections: HashMap<String, (Cow<'a, [u8]>, usize)>,
+    visited: HashSet<String>,
+    source: Option<SectionSource<'a>>,
     error: Option<SnapError>,
+}
+
+/// A pull source of `(name, bytes)` sections for a streaming restore.
+///
+/// Returns `Ok(None)` once the stream is exhausted — *after* validating
+/// any trailer it carries, so truncation surfaces as an error here rather
+/// than as a silent short restore.
+pub type SectionSource<'a> = Box<dyn FnMut() -> Result<Option<(String, Vec<u8>)>, SnapError> + 'a>;
+
+impl fmt::Debug for SnapReader<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SnapReader")
+            .field("path", &self.path)
+            .field("resident_sections", &self.sections.len())
+            .field("streaming", &self.source.is_some())
+            .field("error", &self.error)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a> SnapReader<'a> {
@@ -264,13 +388,43 @@ impl<'a> SnapReader<'a> {
     pub fn new(snapshot: &'a Snapshot) -> Self {
         let mut sections = HashMap::new();
         for (name, bytes) in &snapshot.sections {
-            sections.insert(name.as_str(), bytes.as_slice());
+            sections.insert(name.clone(), (Cow::Borrowed(bytes.as_slice()), 0));
         }
-        Self { path: Vec::new(), sections, cursors: HashMap::new(), error: None }
+        Self { path: Vec::new(), sections, visited: HashSet::new(), source: None, error: None }
+    }
+
+    /// Creates a streaming reader that pulls sections on demand from
+    /// `source` and frees each one when its scope closes.
+    pub fn from_source(source: SectionSource<'a>) -> Self {
+        Self {
+            path: Vec::new(),
+            sections: HashMap::new(),
+            visited: HashSet::new(),
+            source: Some(source),
+            error: None,
+        }
     }
 
     fn joined(&self) -> String {
         self.path.join(".")
+    }
+
+    /// Pulls from the source until `key` is resident or the source ends.
+    fn pull_until(&mut self, key: &str) -> bool {
+        while !self.sections.contains_key(key) {
+            let Some(source) = self.source.as_mut() else { return false };
+            match source() {
+                Ok(Some((name, data))) => {
+                    self.sections.insert(name, (Cow::Owned(data), 0));
+                }
+                Ok(None) => return false,
+                Err(e) => {
+                    self.fail(e);
+                    return false;
+                }
+            }
+        }
+        true
     }
 
     fn fail(&mut self, e: SnapError) {
@@ -294,45 +448,51 @@ impl<'a> SnapReader<'a> {
     }
 
     /// Runs `f` with `name` pushed onto the scope path, then verifies the
-    /// section was consumed exactly.
+    /// section was consumed exactly. In streaming mode the section is
+    /// freed on scope exit.
     pub fn scoped(&mut self, name: &str, f: impl FnOnce(&mut Self)) {
         self.path.push(name.to_owned());
         let key = self.joined();
-        match self.sections.get(key.as_str()) {
-            Some(_) => {
-                self.cursors.entry(key.clone()).or_insert(0);
-            }
-            None => self.fail(SnapError::MissingSection(key.clone())),
+        if self.pull_until(&key) {
+            self.visited.insert(key.clone());
+        } else {
+            self.fail(SnapError::MissingSection(key.clone()));
         }
         f(self);
         if self.error.is_none() {
-            if let (Some(data), Some(cur)) =
-                (self.sections.get(key.as_str()), self.cursors.get(&key))
-            {
+            if let Some((data, cur)) = self.sections.get(&key) {
                 if *cur != data.len() {
                     self.fail(SnapError::TrailingBytes(key.clone()));
                 }
             }
         }
+        if self.source.is_some() {
+            self.sections.remove(&key);
+        }
         self.path.pop();
     }
 
-    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+    fn take(&mut self, n: usize) -> Option<&[u8]> {
         if self.error.is_some() {
             return None;
         }
         let key = self.joined();
-        let Some(data) = self.sections.get(key.as_str()).copied() else {
+        if !self.sections.contains_key(&key) {
             self.fail(SnapError::MissingSection(key));
             return None;
-        };
-        let cur = *self.cursors.entry(key.clone()).or_insert(0);
-        if cur + n > data.len() {
+        }
+        self.visited.insert(key.clone());
+        let (data, cur) = self.sections.get_mut(&key).expect("section is resident");
+        if *cur + n > data.len() {
             self.fail(SnapError::Truncated(key));
             return None;
         }
-        *self.cursors.get_mut(&key).expect("cursor just ensured") = cur + n;
-        Some(&data[cur..cur + n])
+        let at = *cur;
+        *cur += n;
+        // Re-borrow immutably for the returned slice (the mutable borrow
+        // above must end before `self` can be borrowed for the return).
+        let (data, _) = self.sections.get(&key).expect("section is resident");
+        Some(&data[at..at + n])
     }
 
     /// Reads one byte (0 after an error).
@@ -380,10 +540,19 @@ impl<'a> SnapReader<'a> {
         }
     }
 
-    /// Reads a length-prefixed byte string (empty after an error).
-    pub fn bytes(&mut self) -> Vec<u8> {
+    /// Reads a length-prefixed byte string as a borrowed slice of the
+    /// section buffer — no allocation. This is the restore hot path for
+    /// DRAM pages and cache lines (empty after an error).
+    pub fn byte_slice(&mut self) -> &[u8] {
         let len = self.u32() as usize;
-        self.take(len).map_or_else(Vec::new, <[u8]>::to_vec)
+        self.take(len).unwrap_or(&[])
+    }
+
+    /// Reads a length-prefixed byte string into an owned vector (empty
+    /// after an error). Prefer [`SnapReader::byte_slice`] when the caller
+    /// copies the bytes anyway.
+    pub fn bytes(&mut self) -> Vec<u8> {
+        self.byte_slice().to_vec()
     }
 
     /// Reads a length-prefixed UTF-8 string (empty after an error).
@@ -399,12 +568,30 @@ impl<'a> SnapReader<'a> {
     /// [`SnapError::UnexpectedSection`] if the snapshot held a section no
     /// component visited (a structural mismatch the per-scope checks
     /// cannot see).
-    pub fn finish(self) -> Result<(), SnapError> {
+    pub fn finish(mut self) -> Result<(), SnapError> {
         if let Some(e) = self.error {
             return Err(e);
         }
-        let mut unvisited: Vec<&str> =
-            self.sections.keys().copied().filter(|k| !self.cursors.contains_key(*k)).collect();
+        // Drain a streaming source so its trailer (count/digest) is
+        // verified even when the walk consumed every section early; any
+        // section it still yields was never visited by a component.
+        if let Some(mut source) = self.source.take() {
+            loop {
+                match source() {
+                    Ok(Some((name, data))) => {
+                        self.sections.insert(name, (Cow::Owned(data), 0));
+                    }
+                    Ok(None) => break,
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        let mut unvisited: Vec<&str> = self
+            .sections
+            .keys()
+            .map(String::as_str)
+            .filter(|k| !self.visited.contains(*k))
+            .collect();
         unvisited.sort_unstable();
         if let Some(first) = unvisited.first() {
             return Err(SnapError::UnexpectedSection((*first).to_owned()));
@@ -508,26 +695,6 @@ impl Snapshot {
 
     /// Parses a snapshot from its wire form, validating magic and version.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapError> {
-        struct Cur<'a> {
-            b: &'a [u8],
-            at: usize,
-        }
-        impl<'a> Cur<'a> {
-            fn take(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
-                if self.at + n > self.b.len() {
-                    return Err(SnapError::Corrupt("container truncated".into()));
-                }
-                let s = &self.b[self.at..self.at + n];
-                self.at += n;
-                Ok(s)
-            }
-            fn u32(&mut self) -> Result<u32, SnapError> {
-                Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
-            }
-            fn u64(&mut self) -> Result<u64, SnapError> {
-                Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
-            }
-        }
         let mut c = Cur { b: bytes, at: 0 };
         if c.take(8)? != SNAP_MAGIC {
             return Err(SnapError::BadMagic);
@@ -553,6 +720,766 @@ impl Snapshot {
         }
         Ok(Self { version, config_digest, cycle, sections })
     }
+
+    /// FNV-1a digest of each section's payload, in walk order — the basis
+    /// for dirty-section detection in [`SnapDelta::between`].
+    pub fn section_digests(&self) -> Vec<(String, u64)> {
+        self.sections.iter().map(|(n, b)| (n.clone(), fnv1a(b))).collect()
+    }
+
+    /// A digest over the full captured state: config digest, cycle, and
+    /// every named section (name and payload, in order). The format
+    /// version is excluded, so the digest is comparable across the
+    /// in-memory container and the streamed wire forms. A delta records
+    /// its base's state digest, which is how out-of-order chain
+    /// application is rejected.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        digest_header(&mut h, self.config_digest, self.cycle);
+        for (n, b) in &self.sections {
+            digest_section(&mut h, n, b);
+        }
+        h.finish()
+    }
+
+    /// Applies a delta, producing the successor snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::VersionMismatch`]/[`SnapError::ConfigMismatch`] when
+    /// the delta is from a different build or platform config,
+    /// [`SnapError::DeltaBaseMismatch`] when `self` is not the exact base
+    /// the delta was computed against (chains must apply in order), and
+    /// [`SnapError::Corrupt`] when the delta names a section the base does
+    /// not have.
+    pub fn apply_delta(&self, d: &SnapDelta) -> Result<Snapshot, SnapError> {
+        if d.version != self.version {
+            return Err(SnapError::VersionMismatch { found: d.version, expected: self.version });
+        }
+        if d.config_digest != self.config_digest {
+            return Err(SnapError::ConfigMismatch {
+                found: d.config_digest,
+                expected: self.config_digest,
+            });
+        }
+        let base_digest = self.state_digest();
+        if d.base_digest != base_digest {
+            return Err(SnapError::DeltaBaseMismatch {
+                found: base_digest,
+                expected: d.base_digest,
+            });
+        }
+        let mut next = self.clone();
+        next.cycle = d.cycle;
+        for (name, data) in &d.sections {
+            match next.sections.iter_mut().find(|(n, _)| n == name) {
+                Some((_, slot)) => *slot = data.clone(),
+                None => {
+                    return Err(SnapError::Corrupt(format!(
+                        "delta section '{name}' not present in base"
+                    )));
+                }
+            }
+        }
+        Ok(next)
+    }
+
+    /// Replays this snapshot into a sink: `begin`, every section in walk
+    /// order, `finish`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first sink error.
+    pub fn write_to(&self, sink: &mut dyn SnapSink) -> Result<(), SnapError> {
+        sink.begin(self.version, self.config_digest, self.cycle)?;
+        for (name, data) in &self.sections {
+            sink.section(name, data)?;
+        }
+        sink.finish()
+    }
+
+    /// Serializes to the [`StreamSink`] wire form in memory — the compact
+    /// format the service layer parks and spills jobs in.
+    pub fn to_stream_bytes(&self, compress: bool) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let mut sink = StreamSink::new(&mut buf, compress);
+        self.write_to(&mut sink).expect("in-memory stream sink cannot fail");
+        buf
+    }
+
+    /// Parses a [`StreamSink`]-written byte stream back into a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Any [`StreamSource`] validation failure: bad magic/version, unknown
+    /// flags, truncation, codec corruption, or a count/digest trailer
+    /// mismatch.
+    pub fn from_stream_bytes(bytes: &[u8]) -> Result<Self, SnapError> {
+        read_stream(bytes)
+    }
+}
+
+/// Little-endian cursor over a wire container, shared by
+/// [`Snapshot::from_bytes`] and [`SnapDelta::from_bytes`].
+struct Cur<'a> {
+    b: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        if self.at + n > self.b.len() {
+            return Err(SnapError::Corrupt("container truncated".into()));
+        }
+        let s = &self.b[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+    fn u32(&mut self) -> Result<u32, SnapError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+    fn u64(&mut self) -> Result<u64, SnapError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+}
+
+/// Delta container magic: the first eight bytes of a serialized
+/// [`SnapDelta`].
+const DELTA_MAGIC: [u8; 8] = *b"SMAPDLTA";
+
+/// The dirty sections between two snapshots of the same platform: a
+/// compact increment that [`Snapshot::apply_delta`] replays onto the base
+/// to reproduce the successor byte-for-byte.
+///
+/// A delta pins its base by **state digest**, so a chain applies in order
+/// or not at all; the config digest and format version travel along
+/// exactly as in the full container, and wire parsing reuses the same
+/// validation discipline ([`SnapDelta::to_bytes`]/[`SnapDelta::from_bytes`]
+/// with magic `SMAPDLTA`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapDelta {
+    /// Snapshot format version ([`SNAP_VERSION`] when written by this build).
+    pub version: u32,
+    /// Config digest shared by the base and successor snapshots.
+    pub config_digest: u64,
+    /// State digest of the base snapshot this delta applies to.
+    pub base_digest: u64,
+    /// Cycle of the successor snapshot.
+    pub cycle: u64,
+    sections: Vec<(String, Vec<u8>)>,
+}
+
+impl SnapDelta {
+    /// Computes the delta that turns `base` into `next`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::VersionMismatch`]/[`SnapError::ConfigMismatch`] when
+    /// the two snapshots are not from the same platform build and config,
+    /// and [`SnapError::Corrupt`] when their section structure differs —
+    /// deltas cover content changes between checkpoints of one platform,
+    /// never topology changes.
+    pub fn between(base: &Snapshot, next: &Snapshot) -> Result<Self, SnapError> {
+        if next.version != base.version {
+            return Err(SnapError::VersionMismatch { found: next.version, expected: base.version });
+        }
+        if next.config_digest != base.config_digest {
+            return Err(SnapError::ConfigMismatch {
+                found: next.config_digest,
+                expected: base.config_digest,
+            });
+        }
+        if base.sections.len() != next.sections.len()
+            || base.sections.iter().zip(&next.sections).any(|((a, _), (b, _))| a != b)
+        {
+            return Err(SnapError::Corrupt(
+                "delta between structurally different snapshots".into(),
+            ));
+        }
+        let sections = base
+            .sections
+            .iter()
+            .zip(&next.sections)
+            .filter(|((_, a), (_, b))| a != b)
+            .map(|(_, (n, b))| (n.clone(), b.clone()))
+            .collect();
+        Ok(Self {
+            version: next.version,
+            config_digest: next.config_digest,
+            base_digest: base.state_digest(),
+            cycle: next.cycle,
+            sections,
+        })
+    }
+
+    /// The dirty sections, in walk order.
+    pub fn sections(&self) -> &[(String, Vec<u8>)] {
+        &self.sections
+    }
+
+    /// Total payload bytes across the dirty sections.
+    pub fn payload_bytes(&self) -> usize {
+        self.sections.iter().map(|(_, b)| b.len()).sum()
+    }
+
+    /// Serializes the delta to its wire form.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.payload_bytes());
+        out.extend_from_slice(&DELTA_MAGIC);
+        out.extend_from_slice(&self.version.to_le_bytes());
+        out.extend_from_slice(&self.config_digest.to_le_bytes());
+        out.extend_from_slice(&self.base_digest.to_le_bytes());
+        out.extend_from_slice(&self.cycle.to_le_bytes());
+        let count = u32::try_from(self.sections.len()).expect("section count exceeds u32");
+        out.extend_from_slice(&count.to_le_bytes());
+        for (name, data) in &self.sections {
+            let nlen = u32::try_from(name.len()).expect("section name exceeds u32");
+            out.extend_from_slice(&nlen.to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            let dlen = u32::try_from(data.len()).expect("section data exceeds u32");
+            out.extend_from_slice(&dlen.to_le_bytes());
+            out.extend_from_slice(data);
+        }
+        out
+    }
+
+    /// Parses a delta from its wire form, validating magic and version.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::BadMagic`], [`SnapError::VersionMismatch`], or
+    /// [`SnapError::Corrupt`] on truncation / trailing bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapError> {
+        let mut c = Cur { b: bytes, at: 0 };
+        if c.take(8)? != DELTA_MAGIC {
+            return Err(SnapError::BadMagic);
+        }
+        let version = c.u32()?;
+        if version != SNAP_VERSION {
+            return Err(SnapError::VersionMismatch { found: version, expected: SNAP_VERSION });
+        }
+        let config_digest = c.u64()?;
+        let base_digest = c.u64()?;
+        let cycle = c.u64()?;
+        let count = c.u32()? as usize;
+        let mut sections = Vec::with_capacity(count.min(4096));
+        for _ in 0..count {
+            let nlen = c.u32()? as usize;
+            let name = String::from_utf8(c.take(nlen)?.to_vec())
+                .map_err(|_| SnapError::Corrupt("non-UTF-8 section name".into()))?;
+            let dlen = c.u32()? as usize;
+            let data = c.take(dlen)?.to_vec();
+            sections.push((name, data));
+        }
+        if c.at != bytes.len() {
+            return Err(SnapError::Corrupt("trailing container bytes".into()));
+        }
+        Ok(Self { version, config_digest, base_digest, cycle, sections })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming sinks and sources.
+// ---------------------------------------------------------------------------
+
+/// Stream magic: the first eight bytes of the section-framed checkpoint
+/// stream written by [`StreamSink`].
+const STREAM_MAGIC: [u8; 8] = *b"SMAPSTRM";
+
+/// Stream header flag: section payloads may be codec-compressed.
+const STREAM_FLAG_COMPRESS: u8 = 1;
+/// Stream record tag: a named section follows.
+const REC_SECTION: u8 = 1;
+/// Stream record tag: end of stream; count and digest trailer follow.
+const REC_END: u8 = 0;
+
+/// A destination for a snapshot emitted section-by-section.
+///
+/// This is the streaming half of the checkpoint layer: a
+/// [`SnapWriter::streaming`] walk (or [`Snapshot::write_to`]) drives
+/// `begin` once, `section` per named section in walk order, and `finish`
+/// once — so a sink never needs the whole snapshot in memory.
+pub trait SnapSink {
+    /// Starts a snapshot: format version, config digest, capture cycle.
+    ///
+    /// # Errors
+    ///
+    /// Sink-specific; a [`StreamSink`] surfaces I/O failures.
+    fn begin(&mut self, version: u32, config_digest: u64, cycle: u64) -> Result<(), SnapError>;
+    /// Emits one named section, in walk order.
+    ///
+    /// # Errors
+    ///
+    /// Sink-specific; a [`StreamSink`] surfaces I/O failures.
+    fn section(&mut self, name: &str, data: &[u8]) -> Result<(), SnapError>;
+    /// Ends the snapshot: trailers are written and buffers flushed.
+    ///
+    /// # Errors
+    ///
+    /// Sink-specific; a [`StreamSink`] surfaces I/O failures.
+    fn finish(&mut self) -> Result<(), SnapError>;
+}
+
+/// Collects a streamed snapshot back into an in-memory [`Snapshot`] — the
+/// compatibility sink behind full captures, so the streaming walk and the
+/// owned container produce identical sections.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    version: u32,
+    config_digest: u64,
+    cycle: u64,
+    sections: Vec<(String, Vec<u8>)>,
+}
+
+impl MemorySink {
+    /// Creates an empty memory sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The assembled snapshot.
+    pub fn into_snapshot(self) -> Snapshot {
+        Snapshot {
+            version: self.version,
+            config_digest: self.config_digest,
+            cycle: self.cycle,
+            sections: self.sections,
+        }
+    }
+}
+
+impl SnapSink for MemorySink {
+    fn begin(&mut self, version: u32, config_digest: u64, cycle: u64) -> Result<(), SnapError> {
+        self.version = version;
+        self.config_digest = config_digest;
+        self.cycle = cycle;
+        Ok(())
+    }
+    fn section(&mut self, name: &str, data: &[u8]) -> Result<(), SnapError> {
+        self.sections.push((name.to_owned(), data.to_vec()));
+        Ok(())
+    }
+    fn finish(&mut self) -> Result<(), SnapError> {
+        Ok(())
+    }
+}
+
+/// Measures a streamed snapshot without storing it: section count, raw
+/// payload bytes, and the running state digest — everything a full
+/// capture would report, at O(1) memory.
+#[derive(Debug)]
+pub struct CountingSink {
+    sections: usize,
+    raw_bytes: u64,
+    digest: Fnv,
+}
+
+impl Default for CountingSink {
+    fn default() -> Self {
+        Self { sections: 0, raw_bytes: 0, digest: Fnv::new() }
+    }
+}
+
+impl CountingSink {
+    /// Creates a zeroed counting sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of sections seen.
+    pub fn sections(&self) -> usize {
+        self.sections
+    }
+
+    /// Total raw payload bytes across all sections.
+    pub fn raw_bytes(&self) -> u64 {
+        self.raw_bytes
+    }
+
+    /// The state digest so far — equal to [`Snapshot::state_digest`] of
+    /// the equivalent in-memory capture once the walk has finished.
+    pub fn state_digest(&self) -> u64 {
+        self.digest.finish()
+    }
+}
+
+impl SnapSink for CountingSink {
+    fn begin(&mut self, _version: u32, config_digest: u64, cycle: u64) -> Result<(), SnapError> {
+        self.sections = 0;
+        self.raw_bytes = 0;
+        self.digest = Fnv::new();
+        digest_header(&mut self.digest, config_digest, cycle);
+        Ok(())
+    }
+    fn section(&mut self, name: &str, data: &[u8]) -> Result<(), SnapError> {
+        self.sections += 1;
+        self.raw_bytes += data.len() as u64;
+        digest_section(&mut self.digest, name, data);
+        Ok(())
+    }
+    fn finish(&mut self) -> Result<(), SnapError> {
+        Ok(())
+    }
+}
+
+fn io_err(e: std::io::Error) -> SnapError {
+    SnapError::Io(e.to_string())
+}
+
+/// Writes the `SMAPSTRM` wire form to any [`Write`] — the file-backed,
+/// bounded-memory checkpoint path.
+///
+/// ## Format
+///
+/// ```text
+/// "SMAPSTRM" | version: u32 | config_digest: u64 | cycle: u64 | flags: u8
+/// per section: tag=1 | nlen: u32 | name | raw_len: u32 | stored_len: u32 | payload
+/// trailer:     tag=0 | count: u32 | state_digest: u64
+/// ```
+///
+/// With the compress flag set, a section payload is the
+/// [`codec`]-compressed bytes when that is strictly smaller, raw
+/// otherwise — `stored_len == raw_len` marks a raw payload, so the two
+/// cases are never ambiguous. The trailer carries the section count and
+/// the state digest over the *raw* section contents, which is how
+/// [`StreamSource`] rejects truncated or corrupted streams.
+pub struct StreamSink<W: Write> {
+    w: W,
+    compress: bool,
+    count: u32,
+    digest: Fnv,
+    raw_bytes: u64,
+    stored_bytes: u64,
+}
+
+impl<W: Write> fmt::Debug for StreamSink<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StreamSink")
+            .field("compress", &self.compress)
+            .field("count", &self.count)
+            .field("raw_bytes", &self.raw_bytes)
+            .field("stored_bytes", &self.stored_bytes)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<W: Write> StreamSink<W> {
+    /// Creates a sink over `w`; with `compress`, section payloads go
+    /// through the in-tree codec when that shrinks them.
+    pub fn new(w: W, compress: bool) -> Self {
+        Self { w, compress, count: 0, digest: Fnv::new(), raw_bytes: 0, stored_bytes: 0 }
+    }
+
+    /// Raw (uncompressed) payload bytes seen so far.
+    pub fn raw_bytes(&self) -> u64 {
+        self.raw_bytes
+    }
+
+    /// Payload bytes actually written (post-compression).
+    pub fn stored_bytes(&self) -> u64 {
+        self.stored_bytes
+    }
+
+    /// The state digest accumulated so far — after the final section,
+    /// equal to [`Snapshot::state_digest`] of the captured state (also
+    /// what the trailer carries). Checkpoint metadata records it to
+    /// reject mismatched state/meta pairs.
+    pub fn state_digest(&self) -> u64 {
+        self.digest.finish()
+    }
+}
+
+impl<W: Write> SnapSink for StreamSink<W> {
+    fn begin(&mut self, version: u32, config_digest: u64, cycle: u64) -> Result<(), SnapError> {
+        self.count = 0;
+        self.digest = Fnv::new();
+        self.raw_bytes = 0;
+        self.stored_bytes = 0;
+        self.w.write_all(&STREAM_MAGIC).map_err(io_err)?;
+        self.w.write_all(&version.to_le_bytes()).map_err(io_err)?;
+        self.w.write_all(&config_digest.to_le_bytes()).map_err(io_err)?;
+        self.w.write_all(&cycle.to_le_bytes()).map_err(io_err)?;
+        let flags = if self.compress { STREAM_FLAG_COMPRESS } else { 0 };
+        self.w.write_all(&[flags]).map_err(io_err)?;
+        digest_header(&mut self.digest, config_digest, cycle);
+        Ok(())
+    }
+
+    fn section(&mut self, name: &str, data: &[u8]) -> Result<(), SnapError> {
+        let nlen = u32::try_from(name.len()).expect("section name exceeds u32");
+        let raw_len = u32::try_from(data.len()).expect("section data exceeds u32");
+        let z;
+        let stored: &[u8] = if self.compress {
+            z = codec::compress(data);
+            if z.len() < data.len() {
+                &z
+            } else {
+                data
+            }
+        } else {
+            data
+        };
+        self.w.write_all(&[REC_SECTION]).map_err(io_err)?;
+        self.w.write_all(&nlen.to_le_bytes()).map_err(io_err)?;
+        self.w.write_all(name.as_bytes()).map_err(io_err)?;
+        self.w.write_all(&raw_len.to_le_bytes()).map_err(io_err)?;
+        let stored_len = u32::try_from(stored.len()).expect("stored payload exceeds u32");
+        self.w.write_all(&stored_len.to_le_bytes()).map_err(io_err)?;
+        self.w.write_all(stored).map_err(io_err)?;
+        digest_section(&mut self.digest, name, data);
+        self.count += 1;
+        self.raw_bytes += data.len() as u64;
+        self.stored_bytes += stored.len() as u64;
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<(), SnapError> {
+        self.w.write_all(&[REC_END]).map_err(io_err)?;
+        self.w.write_all(&self.count.to_le_bytes()).map_err(io_err)?;
+        self.w.write_all(&self.digest.finish().to_le_bytes()).map_err(io_err)?;
+        self.w.flush().map_err(io_err)
+    }
+}
+
+fn read_exact_snap(r: &mut impl Read, buf: &mut [u8]) -> Result<(), SnapError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            SnapError::Corrupt("stream truncated".into())
+        } else {
+            io_err(e)
+        }
+    })
+}
+
+fn read_u8_snap(r: &mut impl Read) -> Result<u8, SnapError> {
+    let mut b = [0u8; 1];
+    read_exact_snap(r, &mut b)?;
+    Ok(b[0])
+}
+
+fn read_u32_snap(r: &mut impl Read) -> Result<u32, SnapError> {
+    let mut b = [0u8; 4];
+    read_exact_snap(r, &mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64_snap(r: &mut impl Read) -> Result<u64, SnapError> {
+    let mut b = [0u8; 8];
+    read_exact_snap(r, &mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Reads `len` bytes with bounded preallocation, so a corrupt length
+/// cannot force a huge allocation before truncation is detected.
+fn read_vec_snap(r: &mut impl Read, len: usize) -> Result<Vec<u8>, SnapError> {
+    let mut buf = Vec::with_capacity(len.min(1 << 20));
+    let got = (&mut *r).take(len as u64).read_to_end(&mut buf).map_err(io_err)?;
+    if got != len {
+        return Err(SnapError::Corrupt("stream truncated".into()));
+    }
+    Ok(buf)
+}
+
+/// Reads the `SMAPSTRM` wire form from any [`Read`], yielding sections
+/// one at a time.
+///
+/// Magic, version, and flags are validated up front; each compressed
+/// payload is decoded and length-checked as it arrives; and the
+/// count/digest trailer is verified when the end record is reached — so
+/// truncation and corruption are typed errors, never silent partial
+/// restores.
+pub struct StreamSource<R: Read> {
+    r: R,
+    version: u32,
+    config_digest: u64,
+    cycle: u64,
+    compressed: bool,
+    count: u32,
+    digest: Fnv,
+    done: bool,
+}
+
+impl<R: Read> fmt::Debug for StreamSource<R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StreamSource")
+            .field("version", &self.version)
+            .field("config_digest", &self.config_digest)
+            .field("cycle", &self.cycle)
+            .field("compressed", &self.compressed)
+            .field("count", &self.count)
+            .field("done", &self.done)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<R: Read> StreamSource<R> {
+    /// Opens a stream, validating magic, version, and flags.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::BadMagic`], [`SnapError::VersionMismatch`],
+    /// [`SnapError::Corrupt`] on unknown flags or truncation, or
+    /// [`SnapError::Io`].
+    pub fn open(mut r: R) -> Result<Self, SnapError> {
+        let mut magic = [0u8; 8];
+        read_exact_snap(&mut r, &mut magic)?;
+        if magic != STREAM_MAGIC {
+            return Err(SnapError::BadMagic);
+        }
+        let version = read_u32_snap(&mut r)?;
+        if version != SNAP_VERSION {
+            return Err(SnapError::VersionMismatch { found: version, expected: SNAP_VERSION });
+        }
+        let config_digest = read_u64_snap(&mut r)?;
+        let cycle = read_u64_snap(&mut r)?;
+        let flags = read_u8_snap(&mut r)?;
+        if flags & !STREAM_FLAG_COMPRESS != 0 {
+            return Err(SnapError::Corrupt(format!("unknown stream flags {flags:#04x}")));
+        }
+        let mut digest = Fnv::new();
+        digest_header(&mut digest, config_digest, cycle);
+        Ok(Self {
+            r,
+            version,
+            config_digest,
+            cycle,
+            compressed: flags & STREAM_FLAG_COMPRESS != 0,
+            count: 0,
+            digest,
+            done: false,
+        })
+    }
+
+    /// Stream format version.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Config digest of the captured platform.
+    pub fn config_digest(&self) -> u64 {
+        self.config_digest
+    }
+
+    /// Cycle at which the stream was captured.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The next `(name, raw bytes)` section, or `Ok(None)` once the end
+    /// record has been reached and its trailer verified.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Corrupt`] on truncation, an unknown record tag, a
+    /// codec failure, a decompressed-length mismatch, or a count/digest
+    /// trailer mismatch; [`SnapError::Io`] on underlying read failures.
+    pub fn next_section(&mut self) -> Result<Option<(String, Vec<u8>)>, SnapError> {
+        if self.done {
+            return Ok(None);
+        }
+        let tag = read_u8_snap(&mut self.r)?;
+        match tag {
+            REC_END => {
+                let count = read_u32_snap(&mut self.r)?;
+                let digest = read_u64_snap(&mut self.r)?;
+                if count != self.count {
+                    return Err(SnapError::Corrupt(format!(
+                        "stream yielded {} sections, trailer says {count}",
+                        self.count
+                    )));
+                }
+                if digest != self.digest.finish() {
+                    return Err(SnapError::Corrupt("stream state digest mismatch".into()));
+                }
+                self.done = true;
+                Ok(None)
+            }
+            REC_SECTION => {
+                let nlen = read_u32_snap(&mut self.r)? as usize;
+                if nlen > 4096 {
+                    return Err(SnapError::Corrupt("section name length implausible".into()));
+                }
+                let name = String::from_utf8(read_vec_snap(&mut self.r, nlen)?)
+                    .map_err(|_| SnapError::Corrupt("non-UTF-8 section name".into()))?;
+                let raw_len = read_u32_snap(&mut self.r)? as usize;
+                let stored_len = read_u32_snap(&mut self.r)? as usize;
+                let stored = read_vec_snap(&mut self.r, stored_len)?;
+                let data = if stored_len == raw_len {
+                    stored
+                } else {
+                    if !self.compressed {
+                        return Err(SnapError::Corrupt(
+                            "compressed section in an uncompressed stream".into(),
+                        ));
+                    }
+                    let raw = codec::decompress(&stored)
+                        .map_err(|e| SnapError::Corrupt(format!("section '{name}': {e}")))?;
+                    if raw.len() != raw_len {
+                        return Err(SnapError::Corrupt(format!(
+                            "section '{name}' decompressed to the wrong length"
+                        )));
+                    }
+                    raw
+                };
+                digest_section(&mut self.digest, &name, &data);
+                self.count = self.count.wrapping_add(1);
+                Ok(Some((name, data)))
+            }
+            t => Err(SnapError::Corrupt(format!("unknown stream record tag {t:#04x}"))),
+        }
+    }
+}
+
+/// Reads an entire [`StreamSink`] stream into an in-memory [`Snapshot`].
+///
+/// # Errors
+///
+/// Any [`StreamSource`] validation failure.
+pub fn read_stream(r: impl Read) -> Result<Snapshot, SnapError> {
+    let mut src = StreamSource::open(r)?;
+    let mut sections = Vec::new();
+    while let Some((name, data)) = src.next_section()? {
+        sections.push((name, data));
+    }
+    Ok(Snapshot {
+        version: src.version(),
+        config_digest: src.config_digest(),
+        cycle: src.cycle(),
+        sections,
+    })
+}
+
+/// Incremental FNV-1a, the streaming counterpart of [`fnv1a`].
+#[derive(Debug, Clone)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Feeds the (config digest, cycle) header into a state digest.
+fn digest_header(h: &mut Fnv, config_digest: u64, cycle: u64) {
+    h.write(&config_digest.to_le_bytes());
+    h.write(&cycle.to_le_bytes());
+}
+
+/// Feeds one named section into a state digest.
+fn digest_section(h: &mut Fnv, name: &str, data: &[u8]) {
+    h.write(&(name.len() as u32).to_le_bytes());
+    h.write(name.as_bytes());
+    h.write(&(data.len() as u32).to_le_bytes());
+    h.write(data);
 }
 
 /// FNV-1a over a byte string; used for the snapshot config digest.
@@ -935,5 +1862,224 @@ mod tests {
     fn fnv1a_is_stable() {
         assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
         assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+
+    /// A small three-section snapshot with tweakable content.
+    fn sample(x: u8, cycle: u64) -> Snapshot {
+        let mut w = SnapWriter::new();
+        w.scoped("alpha", |w| {
+            w.u64(7);
+            w.bytes(&vec![x; 4096]);
+        });
+        w.scoped("beta", |w| w.u8(x));
+        w.scoped("host", |w| w.scoped("stepper", |w| w.u64(9)));
+        Snapshot::new(42, cycle, w)
+    }
+
+    #[test]
+    fn byte_slice_borrows_without_allocating() {
+        let snap = sample(3, 0);
+        let mut r = SnapReader::new(&snap);
+        r.scoped("alpha", |r| {
+            assert_eq!(r.u64(), 7);
+            assert_eq!(r.byte_slice(), &[3u8; 4096][..]);
+        });
+        r.scoped("beta", |r| {
+            assert_eq!(r.u8(), 3);
+        });
+        r.scoped("host", |r| r.scoped("stepper", |r| assert_eq!(r.u64(), 9)));
+        r.finish().expect("clean restore");
+    }
+
+    #[test]
+    fn streaming_writer_matches_accumulating_writer() {
+        let walk = |w: &mut SnapWriter| {
+            w.scoped("fpga0", |w| {
+                w.u64(1);
+                w.scoped("node0", |w| w.bytes(&[1, 2, 3]));
+            });
+            w.scoped("fpga1", |w| w.u64(2));
+        };
+        let mut w = SnapWriter::new();
+        walk(&mut w);
+        let direct = Snapshot::new(5, 10, w);
+
+        let mut sink = MemorySink::new();
+        sink.begin(SNAP_VERSION, 5, 10).expect("begin");
+        let mut w = SnapWriter::streaming(&mut sink);
+        walk(&mut w);
+        w.finish().expect("streamed walk");
+        sink.finish().expect("finish");
+        let streamed = sink.into_snapshot();
+        assert_eq!(direct, streamed);
+        assert_eq!(direct.to_bytes(), streamed.to_bytes());
+    }
+
+    #[test]
+    fn streaming_writer_rejects_reopened_sections() {
+        let mut sink = CountingSink::new();
+        sink.begin(SNAP_VERSION, 0, 0).expect("begin");
+        let mut w = SnapWriter::streaming(&mut sink);
+        w.scoped("a", |w| w.u8(1));
+        w.scoped("a", |w| w.u8(2)); // already flushed to the sink
+        assert!(matches!(w.finish(), Err(SnapError::Corrupt(_))));
+    }
+
+    #[test]
+    fn counting_sink_agrees_with_state_digest() {
+        let snap = sample(9, 77);
+        let mut sink = CountingSink::new();
+        snap.write_to(&mut sink).expect("count");
+        assert_eq!(sink.sections(), snap.sections().len());
+        assert_eq!(sink.raw_bytes(), snap.payload_bytes() as u64);
+        assert_eq!(sink.state_digest(), snap.state_digest());
+    }
+
+    #[test]
+    fn stream_round_trips_compressed_and_raw() {
+        let snap = sample(0, 123);
+        for compress in [false, true] {
+            let wire = snap.to_stream_bytes(compress);
+            let back = Snapshot::from_stream_bytes(&wire).expect("stream round-trip");
+            assert_eq!(back, snap);
+        }
+        // Zero-heavy payloads must actually shrink under compression.
+        assert!(snap.to_stream_bytes(true).len() * 2 < snap.to_stream_bytes(false).len());
+    }
+
+    #[test]
+    fn stream_rejects_truncation_and_corruption() {
+        let snap = sample(1, 5);
+        let wire = snap.to_stream_bytes(true);
+        for cut in [0, 7, 8, 20, wire.len() / 2, wire.len() - 1] {
+            assert!(
+                Snapshot::from_stream_bytes(&wire[..cut]).is_err(),
+                "truncation at {cut} must not parse"
+            );
+        }
+        let mut bad = wire.clone();
+        bad[0] = b'X';
+        assert_eq!(Snapshot::from_stream_bytes(&bad), Err(SnapError::BadMagic));
+        let mut bad = wire.clone();
+        *bad.last_mut().expect("non-empty") ^= 0xFF; // trailer digest
+        assert!(matches!(Snapshot::from_stream_bytes(&bad), Err(SnapError::Corrupt(_))));
+        let mut bad = wire;
+        bad[28] ^= 0x40; // flags byte: unknown flag bit
+        assert!(matches!(Snapshot::from_stream_bytes(&bad), Err(SnapError::Corrupt(_))));
+    }
+
+    #[test]
+    fn streaming_reader_restores_from_a_source() {
+        let snap = sample(4, 50);
+        let wire = snap.to_stream_bytes(true);
+        let mut src = StreamSource::open(&wire[..]).expect("open");
+        let mut r = SnapReader::from_source(Box::new(move || src.next_section()));
+        r.scoped("alpha", |r| {
+            assert_eq!(r.u64(), 7);
+            assert_eq!(r.byte_slice(), &[4u8; 4096][..]);
+        });
+        r.scoped("beta", |r| assert_eq!(r.u8(), 4));
+        r.scoped("host", |r| r.scoped("stepper", |r| assert_eq!(r.u64(), 9)));
+        r.finish().expect("streamed restore");
+    }
+
+    #[test]
+    fn streaming_reader_reports_unvisited_sections() {
+        let snap = sample(4, 50);
+        let wire = snap.to_stream_bytes(false);
+        let mut src = StreamSource::open(&wire[..]).expect("open");
+        let mut r = SnapReader::from_source(Box::new(move || src.next_section()));
+        r.scoped("alpha", |r| {
+            assert_eq!(r.u64(), 7);
+            let _ = r.bytes();
+        });
+        // "beta" and "host.stepper" never visited.
+        assert!(matches!(r.finish(), Err(SnapError::UnexpectedSection(_))));
+    }
+
+    #[test]
+    fn delta_covers_only_dirty_sections_and_applies() {
+        let base = sample(1, 100);
+        let next = sample(2, 200);
+        let d = SnapDelta::between(&base, &next).expect("delta");
+        // "host.stepper" is identical; "alpha" and "beta" changed.
+        let dirty: Vec<&str> = d.sections().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(dirty, ["alpha", "beta"]);
+        let rebuilt = base.apply_delta(&d).expect("apply");
+        assert_eq!(rebuilt, next);
+        assert_eq!(rebuilt.to_bytes(), next.to_bytes());
+    }
+
+    #[test]
+    fn empty_delta_still_advances_the_cycle() {
+        let base = sample(1, 100);
+        let next = sample(1, 150);
+        let d = SnapDelta::between(&base, &next).expect("delta");
+        assert!(d.sections().is_empty());
+        assert_eq!(base.apply_delta(&d).expect("apply"), next);
+    }
+
+    #[test]
+    fn delta_chain_applies_in_order_only() {
+        let s0 = sample(1, 10);
+        let s1 = sample(2, 20);
+        let s2 = sample(3, 30);
+        let d01 = SnapDelta::between(&s0, &s1).expect("d01");
+        let d12 = SnapDelta::between(&s1, &s2).expect("d12");
+        // In order: s0 + d01 + d12 == s2.
+        let got = s0.apply_delta(&d01).and_then(|s| s.apply_delta(&d12)).expect("chain");
+        assert_eq!(got, s2);
+        // Out of order: applying d12 to s0 is rejected by base digest.
+        assert!(matches!(s0.apply_delta(&d12), Err(SnapError::DeltaBaseMismatch { .. })));
+        // Re-applying an already-applied delta is likewise rejected.
+        let s1_again = s0.apply_delta(&d01).expect("first apply");
+        assert!(matches!(s1_again.apply_delta(&d01), Err(SnapError::DeltaBaseMismatch { .. })));
+    }
+
+    #[test]
+    fn delta_rejects_config_skew_and_structural_drift() {
+        let base = sample(1, 10);
+        let mut w = SnapWriter::new();
+        w.scoped("alpha", |w| w.u8(1));
+        let skewed = Snapshot::new(43, 20, w); // different config digest
+        assert!(matches!(
+            SnapDelta::between(&base, &skewed),
+            Err(SnapError::ConfigMismatch { .. })
+        ));
+        let mut w = SnapWriter::new();
+        w.scoped("alpha", |w| w.u8(1));
+        w.scoped("gamma", |w| w.u8(2));
+        let reshaped = Snapshot::new(42, 20, w); // same config, new sections
+        assert!(matches!(SnapDelta::between(&base, &reshaped), Err(SnapError::Corrupt(_))));
+    }
+
+    #[test]
+    fn delta_wire_round_trips_and_rejects_damage() {
+        let base = sample(1, 10);
+        let next = sample(2, 20);
+        let d = SnapDelta::between(&base, &next).expect("delta");
+        let wire = d.to_bytes();
+        assert_eq!(SnapDelta::from_bytes(&wire).expect("round-trip"), d);
+        let mut bad = wire.clone();
+        bad[0] = b'X';
+        assert_eq!(SnapDelta::from_bytes(&bad), Err(SnapError::BadMagic));
+        let mut bad = wire.clone();
+        bad[8] = 0xFF;
+        assert!(matches!(SnapDelta::from_bytes(&bad), Err(SnapError::VersionMismatch { .. })));
+        assert!(SnapDelta::from_bytes(&wire[..wire.len() - 1]).is_err());
+        let mut longer = wire;
+        longer.push(0);
+        assert!(SnapDelta::from_bytes(&longer).is_err());
+    }
+
+    #[test]
+    fn state_digest_tracks_content_cycle_and_config() {
+        let a = sample(1, 10);
+        assert_eq!(a.state_digest(), sample(1, 10).state_digest());
+        assert_ne!(a.state_digest(), sample(2, 10).state_digest());
+        assert_ne!(a.state_digest(), sample(1, 11).state_digest());
+        let digests = a.section_digests();
+        assert_eq!(digests.len(), a.sections().len());
+        assert_eq!(digests[0].0, "alpha");
     }
 }

@@ -75,12 +75,12 @@ fn assert_migrated_equals_uninterrupted(spec: JobSpec, label: &str) {
 
     // Bit-exact: the full snapshot wire bytes, architectural and
     // host-stepper sections alike.
-    let cs = c.final_snapshot.as_ref().expect("churned snapshot captured");
-    let bs = b.final_snapshot.as_ref().expect("baseline snapshot captured");
+    let cs = c.final_snapshot().expect("churned snapshot captured");
+    let bs = b.final_snapshot().expect("baseline snapshot captured");
     if cs != bs {
         let (csnap, bsnap) = (
-            Snapshot::from_bytes(cs).expect("churned bytes parse"),
-            Snapshot::from_bytes(bs).expect("baseline bytes parse"),
+            Snapshot::from_bytes(&cs).expect("churned bytes parse"),
+            Snapshot::from_bytes(&bs).expect("baseline bytes parse"),
         );
         panic!(
             "[{label}] migrated run diverged from uninterrupted run; first divergent \
@@ -96,7 +96,7 @@ fn assert_migrated_equals_uninterrupted(spec: JobSpec, label: &str) {
     let mut p = spec.build();
     p.run_preemptible(spec.budget, spec.parallel(), |_, _| false);
     let direct = p.snapshot().to_bytes();
-    assert_eq!(&direct, bs, "[{label}] scheduler must match a directly-driven platform");
+    assert_eq!(direct, bs, "[{label}] scheduler must match a directly-driven platform");
     assert_eq!(digest_platform(&p), b.digest, "[{label}] direct digest must agree");
 }
 
@@ -163,7 +163,7 @@ fn parked_wire_bytes_resume_in_a_fresh_process_image() {
     assert_eq!(digest_platform(&second), baseline[0].digest);
     assert_eq!(
         second.snapshot().to_bytes(),
-        *baseline[0].final_snapshot.as_ref().expect("captured"),
+        baseline[0].final_snapshot().expect("captured"),
         "resumed-from-bytes run must be bit-identical to the uninterrupted one"
     );
     assert!(already > 0, "the parked snapshot must carry real progress");

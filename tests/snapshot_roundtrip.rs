@@ -9,7 +9,9 @@
 use std::sync::Arc;
 
 use smappic::platform::{Config, FaultSpec, Platform, Topology, DRAM_BASE};
-use smappic::sim::{EthParams, FaultPlan, FaultProfile, SimRng, SnapError, Snapshot};
+use smappic::sim::{
+    EthParams, FaultPlan, FaultProfile, SimRng, SnapDelta, SnapError, Snapshot, StreamSink,
+};
 use smappic::tile::{TraceCore, TraceOp};
 
 const COUNTER: u64 = DRAM_BASE + 0x9000;
@@ -416,4 +418,198 @@ fn truncated_container_is_a_corrupt_error() {
     for cut in [7, 20, wire.len() / 2, wire.len() - 1] {
         assert!(Snapshot::from_bytes(&wire[..cut]).is_err(), "truncation at {cut} must not parse");
     }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental snapshots: base + delta chain ≡ full snapshot, byte for byte.
+// ---------------------------------------------------------------------------
+
+/// The incremental-checkpoint property: drive `mk()` in `strides`
+/// segments, emitting a delta at each boundary; applying the chain must
+/// reproduce the full snapshot *byte-for-byte* at every boundary, and a
+/// fresh platform restored through [`Platform::restore_chain`] must
+/// finish the run indistinguishably from the uninterrupted twin.
+fn assert_delta_chain_equals_full(
+    mk: impl Fn() -> Platform,
+    stride: u64,
+    strides: u64,
+    tail: u64,
+    step: impl Fn(&mut Platform, u64),
+    label: &str,
+) {
+    let mut p = mk();
+    let base = p.snapshot();
+    let mut prev = base.clone();
+    let mut deltas = Vec::new();
+    let mut fulls = Vec::new();
+    for _ in 0..strides {
+        step(&mut p, stride);
+        let full = p.snapshot();
+        deltas.push(p.snapshot_delta(&prev).expect("delta between consecutive boundaries"));
+        fulls.push(full.clone());
+        prev = full;
+    }
+
+    // Deltas survive their wire form, like full snapshots do.
+    let deltas: Vec<SnapDelta> = deltas
+        .iter()
+        .map(|d| SnapDelta::from_bytes(&d.to_bytes()).expect("delta wire round-trip"))
+        .collect();
+
+    // Byte-for-byte equivalence at every chain boundary.
+    let mut acc = base.clone();
+    for (i, (d, full)) in deltas.iter().zip(&fulls).enumerate() {
+        acc = acc.apply_delta(d).unwrap_or_else(|e| panic!("{label}: delta {i} applies: {e}"));
+        assert_eq!(
+            acc.to_bytes(),
+            full.to_bytes(),
+            "{label}: base+chain differs from the full snapshot at boundary {i}"
+        );
+    }
+
+    // Restore a fresh platform through the chain and finish the run.
+    let mut resumed = mk();
+    resumed
+        .restore_chain(&base, &deltas)
+        .unwrap_or_else(|e| panic!("{label}: restore_chain failed: {e}"));
+    assert_eq!(resumed.now(), stride * strides, "{label}: chain-restored cycle");
+    step(&mut resumed, tail);
+    step(&mut p, tail);
+    assert_eq!(observe(&p), observe(&resumed), "{label}: chain-restored run diverged");
+}
+
+#[test]
+fn delta_chain_equals_full_at_16_fpgas_with_light_faults() {
+    // Serial stepper, switched-Ethernet rack, link faults live: the
+    // deltas must carry dirty injector/sequence state, not just DRAM.
+    let plan = Arc::new(FaultPlan::seeded(11, FaultProfile::light()));
+    let mk = || {
+        rack_workload(
+            16,
+            6,
+            0xD317,
+            Topology::Ethernet(rack_eth_params()),
+            Some(FaultSpec::links_only(plan.clone())),
+        )
+    };
+    assert_delta_chain_equals_full(mk, 2_000, 4, 6_000, |p, n| p.run(n), "delta-16");
+}
+
+#[test]
+fn delta_chain_equals_full_at_64_fpgas_under_the_parallel_stepper() {
+    // The scale point the checkpoint layer was rebuilt for, driven by the
+    // grouped-epoch parallel stepper.
+    let plan = Arc::new(FaultPlan::seeded(29, FaultProfile::light()));
+    let mk = || {
+        rack_workload(
+            64,
+            3,
+            0xD364,
+            Topology::Ethernet(rack_eth_params()),
+            Some(FaultSpec::links_only(plan.clone())),
+        )
+    };
+    assert_delta_chain_equals_full(mk, 1_000, 3, 4_000, |p, n| p.run_parallel(n), "delta-64");
+}
+
+#[test]
+fn out_of_order_deltas_are_rejected_by_base_digest() {
+    let mk = || workload(2, 2, 8, 0xD0, None);
+    let mut p = mk();
+    let s0 = p.snapshot();
+    p.run(4_000);
+    let s1 = p.snapshot();
+    let d01 = p.snapshot_delta(&s0).expect("first delta");
+    p.run(4_000);
+    let d12 = p.snapshot_delta(&s1).expect("second delta");
+
+    // Skipping a link in the chain must fail, not silently mis-apply.
+    match s0.apply_delta(&d12) {
+        Err(SnapError::DeltaBaseMismatch { .. }) => {}
+        other => panic!("expected DeltaBaseMismatch, got {other:?}"),
+    }
+    let mut fresh = mk();
+    assert!(
+        matches!(
+            fresh.restore_chain(&s0, &[d12.clone(), d01.clone()]),
+            Err(SnapError::DeltaBaseMismatch { .. })
+        ),
+        "restore_chain must reject a misordered chain"
+    );
+    // The same links in order restore cleanly.
+    let mut fresh = mk();
+    fresh.restore_chain(&s0, &[d01, d12]).expect("in-order chain restores");
+    assert_eq!(fresh.now(), 8_000);
+}
+
+#[test]
+fn config_skewed_deltas_are_rejected() {
+    let mut p = workload(2, 1, 6, 0xD1, None);
+    let s0 = p.snapshot();
+    p.run(3_000);
+    let wire = p.snapshot_delta(&s0).expect("delta").to_bytes();
+    let d = SnapDelta::from_bytes(&wire).expect("delta wire round-trip");
+
+    // A base from a twin with one Table 2 parameter changed digests
+    // differently; the delta must refuse it before touching any section.
+    let mut cfg = Config::new(2, 1, 6);
+    cfg.params.dram_latency += 1;
+    let skewed = Platform::new(cfg).snapshot();
+    match skewed.apply_delta(&d) {
+        Err(SnapError::ConfigMismatch { .. }) => {}
+        other => panic!("expected ConfigMismatch, got {other:?}"),
+    }
+
+    // And a truncated delta wire never parses.
+    for cut in [7, 20, wire.len() / 2, wire.len() - 1] {
+        assert!(
+            SnapDelta::from_bytes(&wire[..cut]).is_err(),
+            "delta truncation at {cut} must not parse"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming sinks: checkpoint through a file, restore from it.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn streaming_sink_round_trips_through_a_file_and_rejects_truncation() {
+    let mk = || workload(2, 2, 8, 0x57E4, None);
+    let mut p = mk();
+    p.run(12_000);
+
+    let path =
+        std::env::temp_dir().join(format!("smappic-roundtrip-{}.smapstrm", std::process::id()));
+    {
+        let file = std::fs::File::create(&path).expect("create stream file");
+        let mut sink = StreamSink::new(std::io::BufWriter::new(file), true);
+        p.snapshot_to(&mut sink).expect("streaming snapshot");
+        assert!(
+            sink.stored_bytes() < sink.raw_bytes(),
+            "compression must pay on this image ({} stored vs {} raw)",
+            sink.stored_bytes(),
+            sink.raw_bytes()
+        );
+    }
+
+    let bytes = std::fs::read(&path).expect("read stream back");
+    let mut resumed = mk();
+    resumed.restore_from(&bytes[..]).expect("streaming restore");
+    assert_eq!(
+        resumed.snapshot().to_bytes(),
+        p.snapshot().to_bytes(),
+        "a streamed image must restore bit-identically"
+    );
+
+    // A truncated stream never validates: the count/digest trailer is
+    // gone, so restore fails instead of resuming half a platform.
+    for cut in [7, 20, bytes.len() / 2, bytes.len() - 1] {
+        let mut victim = mk();
+        assert!(
+            victim.restore_from(&bytes[..cut]).is_err(),
+            "stream truncation at {cut} must not restore"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
 }
