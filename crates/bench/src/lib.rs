@@ -318,6 +318,18 @@ pub fn design_sweep() -> String {
     out
 }
 
+/// Throughput in jobs/hour, guarded against a sub-resolution wall time:
+/// a zero (or negative, on a clock hiccup) denominator yields 0.0
+/// instead of `inf`/`NaN`, which the hand-rolled JSON in
+/// `BENCH_SIMPERF.json` could not legally carry.
+pub fn jobs_per_hour(jobs: usize, wall_secs: f64) -> f64 {
+    if wall_secs > 0.0 {
+        jobs as f64 / (wall_secs / 3600.0)
+    } else {
+        0.0
+    }
+}
+
 /// Index of the brace/bracket closing the one opening at `open` (the
 /// hand-rolled JSON in this workspace never puts braces inside strings).
 pub fn match_brace(text: &str, open: usize) -> usize {
@@ -384,4 +396,25 @@ pub fn fig14_render() -> String {
         fig14_crossover_days()
     ));
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jobs_per_hour_is_finite_for_degenerate_wall_times() {
+        // The servebench regression: a fleet so small the wall clock
+        // reads 0.0 must emit a spliceable 0.0, never `inf`.
+        assert_eq!(jobs_per_hour(8, 0.0), 0.0);
+        assert_eq!(jobs_per_hour(8, -1.0), 0.0);
+        assert!(jobs_per_hour(0, 0.0).is_finite());
+        assert!((jobs_per_hour(8, 3600.0) - 8.0).abs() < 1e-9);
+        assert!((jobs_per_hour(2, 1.0) - 7200.0).abs() < 1e-9);
+        // And the spliced document stays parseable by its own tools.
+        let json = "{\n  \"x\": 1\n}\n";
+        let merged = splice_key(json, "jph", &format!("{{\"v\": {:.1}}}", jobs_per_hour(8, 0.0)));
+        assert!(extract_key(&merged, "jph").is_some());
+        assert!(extract_key(&merged, "x").is_some());
+    }
 }

@@ -8,29 +8,37 @@
 //!
 //! - [`JobSpec`] — a declarative job description: topology (star /
 //!   Ethernet rack / hybrid via [`smappic_core::Config`]), workload,
-//!   optional deterministic fault plan, stepper choice, and a cycle
-//!   budget. Round-trips losslessly through a line-oriented text format
+//!   optional deterministic fault plan, stepper choice, a cycle budget,
+//!   and the multi-tenancy fields (tenant, priority, optional deadline).
+//!   Round-trips losslessly through a line-oriented text format
 //!   ([`JobSpec::to_text`] / [`JobSpec::from_text`]) so any job can be
 //!   replayed from its report.
-//! - [`Scheduler`] — runs N jobs across a fixed pool of OS worker
-//!   threads with per-worker run queues and work stealing. Jobs are
-//!   preempted cooperatively at epoch-grain boundaries
-//!   ([`smappic_core::Platform::run_preemptible`]), parked as a
-//!   compressed stream image plus a delta of the dirty sections, and may
-//!   resume on a *different* worker — bit-identically, proven by
-//!   `tests/service_equivalence.rs` at the repo root. A per-job
-//!   [`smappic_core::Watchdog`] converts livelocks into structured exits,
-//!   and a panicking job (see [`PoisonEngine`]) is isolated into its own
-//!   error report while sibling jobs complete untouched. With a
-//!   [`CheckpointPolicy`], jobs spill their state to disk every N quanta
-//!   and a killed fleet resumes from those directories via
-//!   [`Scheduler::resume`].
+//! - [`Scheduler`] — a multi-tenant resource manager over a pool of OS
+//!   worker threads. Fleets pass *admission control* (a bounded pending
+//!   queue plus per-tenant [`TenantQuota`]s; refused jobs get typed
+//!   [`JobExit::Rejected`] reports), then dispatch from one central
+//!   ready queue ordered by effective priority (base priority + aging)
+//!   and deadline. Jobs are preempted cooperatively at epoch-grain
+//!   boundaries ([`smappic_core::Platform::run_preemptible`]) — under
+//!   [`PreemptMode::WhenOutranked`], as soon as a higher-priority task
+//!   waits — parked as a compressed stream image plus a delta of the
+//!   dirty sections, and may resume on a *different* worker —
+//!   bit-identically, proven by `tests/service_equivalence.rs` at the
+//!   repo root. An [`ElasticPolicy`] grows and shrinks the active pool
+//!   against a live cost model. A per-job [`smappic_core::Watchdog`]
+//!   converts livelocks into structured exits, and a panicking job (see
+//!   [`PoisonEngine`]) is isolated into its own error report while
+//!   sibling jobs complete untouched. With a [`CheckpointPolicy`], jobs
+//!   spill their state to disk every N quanta and a killed fleet resumes
+//!   from those directories via [`Scheduler::resume`].
 //! - [`JobReport`] — the per-job artifact: exit status, cycles, cyc/s,
 //!   [`smappic_core::HostPerf`] accumulated across migrations, an
 //!   architectural digest (identical for identical specs regardless of
 //!   worker count or steal order), snapshot size accounting (raw vs
 //!   compressed), and optionally the final image and a Perfetto trace
-//!   path.
+//!   path. [`Scheduler::run_fleet`] additionally returns a
+//!   [`FleetResult`] carrying the scheduler's own metrics registry
+//!   (queue depth, per-tenant wait/run histograms, admission counters).
 //!
 //! ## Determinism contract
 //!
@@ -49,7 +57,10 @@ mod scheduler;
 mod spec;
 mod workload;
 
-pub use report::{JobExit, JobReport};
-pub use scheduler::{digest_platform, CheckpointPolicy, PreemptMode, Scheduler, SchedulerConfig};
+pub use report::{JobExit, JobReport, RejectReason};
+pub use scheduler::{
+    digest_platform, CheckpointPolicy, ElasticPolicy, FleetResult, PreemptMode, Scheduler,
+    SchedulerConfig, TenantQuota,
+};
 pub use spec::{FaultProfileSpec, JobFaults, JobSpec, StepperSpec, TopoSpec, WorkloadSpec};
 pub use workload::PoisonEngine;

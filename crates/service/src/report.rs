@@ -1,7 +1,45 @@
 //! Per-job result artifacts.
 
 use smappic_core::HostPerf;
-use smappic_sim::Snapshot;
+use smappic_sim::{SnapError, Snapshot};
+
+/// Why the scheduler's admission control refused a job. Admission is a
+/// pure function of the submitted fleet and the [`crate::SchedulerConfig`]
+/// in submission order, so the same fleet is rejected identically on
+/// every run (including [`crate::Scheduler::resume`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The bounded pending queue was already holding `limit` admitted
+    /// jobs ([`crate::SchedulerConfig::max_pending`]).
+    QueueFull {
+        /// The configured queue bound.
+        limit: usize,
+    },
+    /// Admitting the job would overcommit its tenant's aggregate cycle
+    /// budget ([`crate::TenantQuota::cycle_budget`]). The full spec
+    /// budget is reserved up front, so the quota can never be exceeded
+    /// mid-flight.
+    CycleQuota {
+        /// The tenant whose quota ran out.
+        tenant: String,
+        /// Cycles the job asked for (its spec budget).
+        needed: u64,
+        /// Cycles the tenant had left before this job.
+        remaining: u64,
+    },
+}
+
+impl RejectReason {
+    /// One-line human-readable rendering (used in report markers).
+    pub fn describe(&self) -> String {
+        match self {
+            RejectReason::QueueFull { limit } => format!("pending queue full ({limit} jobs)"),
+            RejectReason::CycleQuota { tenant, needed, remaining } => {
+                format!("tenant {tenant} cycle quota exhausted ({needed} needed, {remaining} left)")
+            }
+        }
+    }
+}
 
 /// How a job ended.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,6 +64,11 @@ pub enum JobExit {
         /// Cycle at which the watchdog declared livelock.
         detected_at: u64,
     },
+    /// Admission control refused the job before it ran a single cycle.
+    Rejected {
+        /// The structured reason the tenant can act on.
+        reason: RejectReason,
+    },
 }
 
 /// The artifact a tenant gets back for one job.
@@ -35,10 +78,18 @@ pub struct JobReport {
     pub job: usize,
     /// The spec's name.
     pub name: String,
+    /// The tenant the job was accounted to.
+    pub tenant: String,
+    /// The spec's submitted (base) priority.
+    pub priority: u8,
     /// Terminal status.
     pub exit: JobExit,
     /// Simulated cycles actually executed.
     pub cycles: u64,
+    /// True when the spec carried a `deadline_cycles` and the job's
+    /// terminal cycle count overran it (never set for rejected jobs —
+    /// they executed nothing).
+    pub deadline_missed: bool,
     /// Host wall-clock seconds spent executing (summed across segments,
     /// excluding time parked in queues).
     pub wall_secs: f64,
@@ -55,8 +106,8 @@ pub struct JobReport {
     /// Fingerprint of the job's architectural outcome (final cycle +
     /// platform statistics + architectural metrics). A pure function of
     /// the [`crate::JobSpec`]: identical regardless of worker count,
-    /// preemption pattern, or steal order. Zero for panicked jobs (the
-    /// platform unwound with the panic).
+    /// preemption pattern, or steal order. Zero for panicked and
+    /// rejected jobs (no platform outcome exists).
     pub digest: u64,
     /// Raw (`SMAPSNAP`) wire size of the final image; 0 when neither
     /// snapshots nor checkpoints were requested (measuring costs a full
@@ -85,13 +136,19 @@ impl JobReport {
         matches!(self.exit, JobExit::Completed { .. })
     }
 
+    /// True for [`JobExit::Rejected`].
+    pub fn is_rejected(&self) -> bool {
+        matches!(self.exit, JobExit::Rejected { .. })
+    }
+
     /// The final snapshot as raw `SMAPSNAP` wire bytes, decompressed
-    /// from the stream form the scheduler stores. `None` when the
-    /// scheduler was not asked to keep final snapshots.
-    pub fn final_snapshot(&self) -> Option<Vec<u8>> {
-        let z = self.final_snapshot_z.as_ref()?;
-        let snap = Snapshot::from_stream_bytes(z).expect("stored final snapshot parses");
-        Some(snap.to_bytes())
+    /// from the stream form the scheduler stores. `Ok(None)` when the
+    /// scheduler was not asked to keep final snapshots; `Err` when the
+    /// stored stream is corrupted (a torn artifact degrades into a typed
+    /// error instead of panicking the reader).
+    pub fn final_snapshot(&self) -> Result<Option<Vec<u8>>, SnapError> {
+        let Some(z) = self.final_snapshot_z.as_ref() else { return Ok(None) };
+        Ok(Some(Snapshot::from_stream_bytes(z)?.to_bytes()))
     }
 
     /// Compressed size of the final image over its raw size; 1.0 when
@@ -129,6 +186,12 @@ impl JobReport {
                 "{{\"kind\": \"livelocked\", \"stalled_since\": {stalled_since}, \
                  \"detected_at\": {detected_at}}}"
             ),
+            JobExit::Rejected { reason } => {
+                format!(
+                    "{{\"kind\": \"rejected\", \"reason\": \"{}\"}}",
+                    escape(&reason.describe())
+                )
+            }
         };
         let workers: Vec<String> = self.workers.iter().map(usize::to_string).collect();
         let trace = match &self.trace_path {
@@ -136,7 +199,9 @@ impl JobReport {
             None => "null".into(),
         };
         format!(
-            "{{\n  \"job\": {},\n  \"name\": \"{}\",\n  \"exit\": {},\n  \"cycles\": {},\n  \
+            "{{\n  \"job\": {},\n  \"name\": \"{}\",\n  \"tenant\": \"{}\",\n  \
+             \"priority\": {},\n  \"exit\": {},\n  \"cycles\": {},\n  \
+             \"deadline_missed\": {},\n  \
              \"wall_secs\": {:.6},\n  \"cyc_per_sec\": {:.1},\n  \"preemptions\": {},\n  \
              \"migrations\": {},\n  \"workers\": [{}],\n  \"digest\": \"{:#018x}\",\n  \
              \"block_cache_hit_rate\": {:.4},\n  \"snapshot_bytes\": {},\n  \
@@ -144,8 +209,11 @@ impl JobReport {
              \"park_raw_bytes\": {},\n  \"park_stored_bytes\": {},\n  \"trace\": {}\n}}",
             self.job,
             escape(&self.name),
+            escape(&self.tenant),
+            self.priority,
             exit,
             self.cycles,
+            self.deadline_missed,
             self.wall_secs,
             self.cyc_per_sec(),
             self.preemptions,
@@ -163,21 +231,41 @@ impl JobReport {
     }
 }
 
+/// JSON string escaping. Backslash and quote get their two-character
+/// forms; every other control character below 0x20 (tab, CR, NUL, ANSI
+/// escapes in panic payloads, ...) becomes a `\u00XX` sequence — JSON
+/// forbids them raw, so anything less renders an invalid document.
 fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn json_renders_every_exit_kind() {
-        let mut r = JobReport {
+    fn report() -> JobReport {
+        JobReport {
             job: 3,
             name: "t".into(),
+            tenant: "acme".into(),
+            priority: 5,
             exit: JobExit::Completed { idle: true },
             cycles: 1000,
+            deadline_missed: false,
             wall_secs: 0.5,
             preemptions: 2,
             migrations: 1,
@@ -190,14 +278,49 @@ mod tests {
             park_stored_bytes: 0,
             final_snapshot_z: None,
             trace_path: None,
-        };
+        }
+    }
+
+    #[test]
+    fn json_renders_every_exit_kind() {
+        let mut r = report();
         assert!(r.to_json().contains("\"completed\""));
+        assert!(r.to_json().contains("\"tenant\": \"acme\""));
         assert!(r.to_json().contains("\"compression_ratio\": 0.2500"));
         assert!((r.cyc_per_sec() - 2000.0).abs() < 1e-9);
-        assert!(r.final_snapshot().is_none());
+        assert!(r.final_snapshot().expect("no stored snapshot is fine").is_none());
         r.exit = JobExit::Panicked { message: "boom \"quote\"".into() };
         assert!(r.to_json().contains("\\\"quote\\\""));
         r.exit = JobExit::Livelocked { stalled_since: 5, detected_at: 9 };
         assert!(r.to_json().contains("\"livelocked\""));
+        r.exit = JobExit::Rejected { reason: RejectReason::QueueFull { limit: 8 } };
+        assert!(r.to_json().contains("\"rejected\""));
+        assert!(r.to_json().contains("pending queue full (8 jobs)"));
+    }
+
+    #[test]
+    fn escape_handles_all_control_characters() {
+        // The exact payload class the old escape() mangled: a panic
+        // message carrying tab + CR (plus an exotic control char).
+        let mut r = report();
+        r.exit = JobExit::Panicked { message: "tab\there\rcr \x07bell \x1besc".into() };
+        let json = r.to_json();
+        assert!(json.contains("tab\\there\\rcr \\u0007bell \\u001besc"));
+        for c in json.chars() {
+            assert!(
+                c as u32 >= 0x20 || c == '\n',
+                "rendered JSON must not contain raw control char {:#04x}",
+                c as u32
+            );
+        }
+        r.name = "a\tb".into();
+        assert!(r.to_json().contains("\"a\\tb\""));
+    }
+
+    #[test]
+    fn corrupted_final_snapshot_is_a_typed_error_not_a_panic() {
+        let mut r = report();
+        r.final_snapshot_z = Some(vec![0xDE, 0xAD, 0xBE, 0xEF]);
+        assert!(r.final_snapshot().is_err(), "garbage stream bytes must surface as Err");
     }
 }

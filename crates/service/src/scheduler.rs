@@ -1,20 +1,67 @@
-//! The job scheduler: a fixed pool of OS worker threads, per-worker run
-//! queues with work stealing, and cooperative epoch-boundary preemption.
+//! The job scheduler: a multi-tenant resource manager over a pool of OS
+//! worker threads, with admission control, per-tenant quotas, priority
+//! scheduling with aging, cooperative epoch-boundary preemption, and an
+//! elastic pool sized against a live cost model.
 //!
 //! ## Execution model
 //!
-//! Each submitted [`JobSpec`] becomes a task. Tasks are dealt round-robin
-//! onto per-worker queues; an idle worker drains its own queue front,
-//! then the global injector, then steals from the back of its peers'
-//! queues. A worker executes a job in *segments*: it builds the platform
-//! from the spec (or restores the parked image), then advances in
-//! quantum slices aligned to [`Platform::preemption_grain`] until the job
-//! quiesces, exhausts its budget, livelocks (per-job [`Watchdog`]), or a
-//! preemption point decides to yield — at which point the platform is
-//! parked, the task re-queued, and the worker moves on. A resumed task
-//! may land on any worker: host state (fast-path caches, sleep
-//! schedules) is derived, never serialized, so rebuilding the platform
-//! elsewhere and restoring the image is a *complete* migration.
+//! Each submitted [`JobSpec`] first passes *admission control*: a pure
+//! function of the fleet and the [`SchedulerConfig`], evaluated in
+//! submission order, that reserves each job's full cycle budget against
+//! its tenant's quota and bounds the pending queue. A refused job gets a
+//! [`JobExit::Rejected`] report with a typed [`RejectReason`] — it never
+//! executes a cycle, and the same fleet is refused identically on every
+//! run (including [`Scheduler::resume`]).
+//!
+//! Admitted jobs become tasks in one central ready queue ordered by
+//! *effective priority* (base priority plus an aging boost, see below),
+//! then earliest deadline, then submission order. An idle worker
+//! dispatches the best runnable task — skipping tasks whose tenant is
+//! already at its in-flight cap — and executes it in *segments*: it
+//! builds the platform from the spec (or restores the parked image),
+//! then advances in quantum slices aligned to
+//! [`Platform::preemption_grain`] until the job quiesces, exhausts its
+//! budget, livelocks (per-job [`Watchdog`]), or a preemption point
+//! decides to yield — at which point the platform is parked, the task
+//! re-queued, and the worker moves on. A resumed task may land on any
+//! worker: host state (fast-path caches, sleep schedules) is derived,
+//! never serialized, so rebuilding the platform elsewhere and restoring
+//! the image is a *complete* migration.
+//!
+//! ## Priorities, aging, preemption
+//!
+//! Priorities span `0..=`[`JobSpec::MAX_PRIORITY`]; higher dispatches
+//! first. Every [`SchedulerConfig::aging_quanta`] fleet-wide executed
+//! quanta a waiting task's effective priority rises one step (saturating
+//! at the maximum), so low priority means *later*, never *never* — the
+//! no-starvation property test pins this. Under
+//! [`PreemptMode::WhenOutranked`] a running job parks as soon as a
+//! strictly higher-effective-priority task is waiting, freeing its
+//! worker (and its tenant's in-flight slot) for the outranking job via
+//! the ordinary snapshot/park path.
+//!
+//! ## Tenant quotas
+//!
+//! A [`TenantQuota`] caps a tenant two ways: `max_in_flight` bounds how
+//! many of its jobs execute concurrently (enforced at dispatch), and
+//! `cycle_budget` bounds its aggregate simulated cycles (enforced at
+//! admission by reserving each job's full budget up front — a job can
+//! never out-spend its own budget, so the quota can never be exceeded
+//! mid-flight; per-quantum epoch-grain spend accounting feeds the
+//! metrics that prove it).
+//!
+//! ## Elastic pool
+//!
+//! With an [`ElasticPolicy`] the pool spans `min_workers..=max_workers`
+//! OS threads; surplus workers sleep. Between quanta the scheduler
+//! re-evaluates a simple live cost model: demand is the queue depth plus
+//! the jobs in flight, and capacity beyond the floor is kept only while
+//! the marginal worker's measured throughput (an EWMA of simulated
+//! cyc/s, fed by segment wall times and [`HostPerf`]-informed cycle
+//! counts) values above `worker_cost`. Resizing moves one worker per
+//! evaluation to damp oscillation. Because parking is deterministic and
+//! jobs are pure functions of their specs, elasticity never leaks into
+//! results — only into wall time.
 //!
 //! ## Parked images
 //!
@@ -43,7 +90,9 @@
 //! snapshot byte — matches an uninterrupted run (proven in
 //! `tests/service_equivalence.rs`). Watchdog stall state rides in the
 //! parked task and the on-disk metadata, so livelock detection is
-//! independent of where segments execute.
+//! independent of where segments execute. Admission and quota decisions
+//! are pure functions of `(specs, config)`, so rejection is as
+//! deterministic as execution.
 //!
 //! ## Failure isolation
 //!
@@ -52,7 +101,6 @@
 //! an engine — becomes a [`JobExit::Panicked`] report and the worker
 //! keeps serving the remaining jobs.
 
-use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -60,9 +108,11 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use smappic_core::{HostPerf, Platform, Watchdog, WatchdogConfig};
-use smappic_sim::{codec, fnv1a, Cycle, SnapDelta, Snapshot, StreamSink};
+use smappic_sim::{
+    codec, fnv1a, Cycle, Histogram, MetricsRegistry, SnapDelta, Snapshot, StreamSink,
+};
 
-use crate::report::{JobExit, JobReport};
+use crate::report::{JobExit, JobReport, RejectReason};
 use crate::spec::JobSpec;
 
 /// When a running job offers its preemption points to the scheduler.
@@ -73,9 +123,64 @@ pub enum PreemptMode {
     /// Yield only while other tasks are waiting in a queue — the
     /// fair-sharing default.
     WhenContended,
+    /// Yield only while a *strictly higher* effective-priority task is
+    /// waiting — the multi-tenant priority-preemption policy. Equal
+    /// priorities run to quantum exhaustion without churn.
+    WhenOutranked,
     /// Yield at every quantum boundary (maximum churn; what the
     /// determinism suites use to stress migration).
     Always,
+}
+
+/// Per-tenant resource limits, keyed by [`JobSpec::tenant`]. Tenants
+/// without a quota entry are unlimited.
+#[derive(Debug, Clone)]
+pub struct TenantQuota {
+    /// The tenant this quota binds.
+    pub tenant: String,
+    /// Maximum jobs of this tenant executing concurrently (0 =
+    /// unlimited). Enforced at dispatch.
+    pub max_in_flight: usize,
+    /// Aggregate simulated-cycle budget across the tenant's admitted
+    /// jobs. Each job's full spec budget is reserved at admission, so
+    /// the cap is never exceeded mid-flight.
+    pub cycle_budget: Option<u64>,
+}
+
+impl TenantQuota {
+    /// A quota with only an in-flight cap.
+    pub fn in_flight(tenant: &str, max_in_flight: usize) -> Self {
+        Self { tenant: tenant.to_string(), max_in_flight, cycle_budget: None }
+    }
+}
+
+/// Elastic worker-pool policy: the pool spans `min_workers..=max_workers`
+/// threads and resizes between quanta against a live cost model (queue
+/// depth + measured throughput). See the module docs.
+#[derive(Debug, Clone)]
+pub struct ElasticPolicy {
+    /// Pool floor (always-on workers).
+    pub min_workers: usize,
+    /// Pool ceiling (OS threads actually spawned).
+    pub max_workers: usize,
+    /// Milliseconds between cost-model evaluations.
+    pub eval_ms: u64,
+    /// Cost of keeping one worker active, in abstract value units per
+    /// second.
+    pub worker_cost: f64,
+    /// Value of one million simulated cycles, in the same units. Growth
+    /// beyond the floor happens only while the marginal worker's EWMA
+    /// throughput times this value covers `worker_cost`.
+    pub mcycle_value: f64,
+}
+
+impl ElasticPolicy {
+    /// A policy spanning `min..=max` workers with the default cost model
+    /// (growth is worthwhile whenever measured throughput clears one
+    /// worker-cost per million cycles per second).
+    pub fn range(min_workers: usize, max_workers: usize) -> Self {
+        Self { min_workers, max_workers, eval_ms: 2, worker_cost: 1.0, mcycle_value: 1.0 }
+    }
 }
 
 /// Periodic spill-to-disk of every running job's state, for crash
@@ -94,7 +199,8 @@ pub struct CheckpointPolicy {
 /// Scheduler tuning.
 #[derive(Debug, Clone)]
 pub struct SchedulerConfig {
-    /// OS worker threads in the pool.
+    /// OS worker threads in the pool. Ignored when `elastic` is set (the
+    /// policy's `max_workers` is spawned instead).
     pub workers: usize,
     /// Target cycles per scheduling quantum; rounded up to the job's
     /// [`Platform::preemption_grain`] so cuts stay on epoch boundaries.
@@ -103,6 +209,18 @@ pub struct SchedulerConfig {
     pub watchdog: WatchdogConfig,
     /// Preemption policy.
     pub preempt: PreemptMode,
+    /// Admission bound on the pending queue: at most this many jobs are
+    /// admitted per fleet; the rest get [`JobExit::Rejected`] reports
+    /// with [`RejectReason::QueueFull`]. 0 = unbounded.
+    pub max_pending: usize,
+    /// Per-tenant quotas. Tenants without an entry are unlimited.
+    pub quotas: Vec<TenantQuota>,
+    /// Aging rate: a waiting task's effective priority rises one step
+    /// every this many fleet-wide executed quanta (0 disables aging).
+    pub aging_quanta: u64,
+    /// Elastic worker-pool policy; `None` keeps a fixed pool of
+    /// `workers` threads.
+    pub elastic: Option<ElasticPolicy>,
     /// Forbid the worker that parked a job from resuming it while peers
     /// exist — guarantees every preemption is a migration. Test knob.
     pub force_migrate: bool,
@@ -128,6 +246,10 @@ impl Default for SchedulerConfig {
             quantum: 50_000,
             watchdog: WatchdogConfig::default(),
             preempt: PreemptMode::WhenContended,
+            max_pending: 0,
+            quotas: Vec::new(),
+            aging_quanta: 64,
+            elastic: None,
             force_migrate: false,
             capture_final_snapshots: false,
             checkpoint: None,
@@ -135,6 +257,19 @@ impl Default for SchedulerConfig {
             abandon_after_checkpoints: None,
         }
     }
+}
+
+/// A fleet's full outcome: one report per submitted spec (in submission
+/// order) plus the scheduler's own observability registry — queue-depth
+/// and per-tenant wait/run histograms, admission and preemption
+/// counters, elastic-pool sizing — in the same [`MetricsRegistry`] idiom
+/// the platform uses for architectural metrics.
+#[derive(Debug)]
+pub struct FleetResult {
+    /// One report per submitted spec, in submission order.
+    pub reports: Vec<JobReport>,
+    /// Scheduler metrics (`sched.*` namespace).
+    pub metrics: MetricsRegistry,
 }
 
 /// Fingerprint of a platform's architectural outcome: final cycle,
@@ -170,6 +305,8 @@ impl ParkState {
 struct Task {
     id: usize,
     spec: JobSpec,
+    /// Interned index into [`Shared::tenants`].
+    tenant: usize,
     /// Parked image; `None` before the first segment.
     state: Option<ParkState>,
     /// Cycles executed so far.
@@ -199,6 +336,7 @@ impl Task {
         Self {
             id,
             spec,
+            tenant: 0,
             state: None,
             spent: 0,
             preemptions: 0,
@@ -240,23 +378,85 @@ enum Segment {
     Abandoned,
 }
 
+/// One tenant's immutable limits plus its epoch-grain spend accounting.
+struct TenantState {
+    name: String,
+    max_in_flight: usize,
+    /// Cycles reserved at admission across this tenant's admitted jobs.
+    reserved: u64,
+    /// Cycles actually executed so far, bumped once per quantum slice
+    /// (epoch grain). Always <= `reserved` <= the quota's cycle budget.
+    spent: AtomicU64,
+}
+
+/// A task waiting in the ready queue.
+struct Queued {
+    task: Task,
+    /// Submission-order tiebreak (monotonic enqueue sequence).
+    seq: u64,
+    /// Fleet-wide quanta clock at enqueue; drives the aging boost.
+    enq_quanta: u64,
+    since: Instant,
+}
+
+/// The central priority ready queue plus the dispatch-side accounting
+/// that must move atomically with it (per-tenant in-flight counts,
+/// queue-depth and latency histograms).
+struct ReadyQueue {
+    items: Vec<Queued>,
+    seq: u64,
+    /// In-flight jobs per tenant (indexes [`Shared::tenants`]).
+    running: Vec<usize>,
+    /// High-water in-flight mark per tenant (proves caps held).
+    running_peak: Vec<usize>,
+    depth: Histogram,
+    depth_peak: u64,
+    wait_us: Vec<Histogram>,
+    run_us: Vec<Histogram>,
+    dispatches: u64,
+}
+
+/// Elastic-pool state behind its own lock (touched at eval cadence, not
+/// per dispatch).
+struct ElasticState {
+    last_eval: Option<Instant>,
+    /// EWMA of fleet-aggregate simulated cycles per wall second.
+    ewma_cps: f64,
+    grow: u64,
+    shrink: u64,
+    sizes: Histogram,
+}
+
 struct Shared {
-    locals: Vec<Mutex<VecDeque<Task>>>,
-    injector: Mutex<VecDeque<Task>>,
-    /// Tasks currently sitting in any queue (drives `WhenContended`).
+    ready: Mutex<ReadyQueue>,
+    tenants: Vec<TenantState>,
+    /// OS threads actually spawned (the elastic ceiling, or `workers`).
+    pool: usize,
+    /// Workers currently allowed to dispatch; indexes >= this sleep.
+    active: AtomicUsize,
+    /// Tasks currently sitting in the ready queue (drives `WhenContended`).
     queued: AtomicUsize,
+    /// Best waiting effective priority + 1; 0 when the queue is empty
+    /// (drives `WhenOutranked` without taking the queue lock).
+    top_waiting: AtomicU64,
+    /// Segments executing right now (demand signal for the cost model).
+    running: AtomicUsize,
+    /// Fleet-wide executed quanta: the aging clock.
+    quanta: AtomicU64,
     /// Jobs not yet reported; workers exit when it reaches zero.
     outstanding: AtomicUsize,
     /// Disk checkpoints written fleet-wide (feeds the abandon knob).
     ckpts: AtomicU64,
     /// Simulated-crash flag: when set, workers stop dead.
     abandoned: AtomicBool,
+    elastic: Mutex<ElasticState>,
     reports: Mutex<Vec<JobReport>>,
 }
 
 /// The multi-tenant job scheduler. See the module docs for the execution
 /// model; construct with a [`SchedulerConfig`] and call
-/// [`Scheduler::run`].
+/// [`Scheduler::run`] (or [`Scheduler::run_fleet`] for the reports plus
+/// the scheduler's own metrics).
 #[derive(Debug)]
 pub struct Scheduler {
     cfg: SchedulerConfig,
@@ -267,6 +467,10 @@ impl Scheduler {
     pub fn new(cfg: SchedulerConfig) -> Self {
         assert!(cfg.workers >= 1, "the pool needs at least one worker");
         assert!(cfg.quantum >= 1, "the quantum must be positive");
+        if let Some(e) = &cfg.elastic {
+            assert!(e.min_workers >= 1, "the elastic pool needs at least one worker");
+            assert!(e.max_workers >= e.min_workers, "elastic max_workers must be >= min_workers");
+        }
         Self { cfg }
     }
 
@@ -287,9 +491,17 @@ impl Scheduler {
 
     /// Runs every job to a terminal state and returns one report per
     /// spec, in submission order. Panicking jobs are isolated into
-    /// [`JobExit::Panicked`] reports; the pool shuts down gracefully
-    /// once every job has reported.
+    /// [`JobExit::Panicked`] reports, refused jobs into
+    /// [`JobExit::Rejected`]; the pool shuts down gracefully once every
+    /// job has reported.
     pub fn run(&self, specs: &[JobSpec]) -> Vec<JobReport> {
+        self.run_fleet(specs).reports
+    }
+
+    /// Like [`Scheduler::run`], but also returns the scheduler's own
+    /// [`MetricsRegistry`] (queue depth, per-tenant wait/run histograms,
+    /// admission/preemption counters, elastic sizing).
+    pub fn run_fleet(&self, specs: &[JobSpec]) -> FleetResult {
         self.launch(specs, false)
     }
 
@@ -301,6 +513,8 @@ impl Scheduler {
     /// artifacts, or a directory whose `spec.txt` no longer matches the
     /// submitted spec — restarts from cycle 0, which is always correct
     /// because jobs are deterministic functions of their specs.
+    /// Admission is re-evaluated over the full fleet, so a job rejected
+    /// in the original run is rejected identically on resume.
     ///
     /// # Panics
     ///
@@ -308,51 +522,107 @@ impl Scheduler {
     /// configured — resuming without a directory to resume from is a
     /// caller bug.
     pub fn resume(&self, specs: &[JobSpec]) -> Vec<JobReport> {
+        self.resume_fleet(specs).reports
+    }
+
+    /// [`Scheduler::resume`] with the scheduler metrics included.
+    pub fn resume_fleet(&self, specs: &[JobSpec]) -> FleetResult {
         assert!(self.cfg.checkpoint.is_some(), "resume requires a checkpoint policy");
         self.launch(specs, true)
     }
 
-    fn launch(&self, specs: &[JobSpec], resume: bool) -> Vec<JobReport> {
+    fn launch(&self, specs: &[JobSpec], resume: bool) -> FleetResult {
         for (i, s) in specs.iter().enumerate() {
             if let Err(e) = s.validate() {
                 panic!("job {i} ({:?}) is invalid: {e}", s.name);
             }
         }
-        let workers = self.cfg.workers;
+        let (tenants, tenant_of) = intern_tenants(specs, &self.cfg.quotas);
+        let rejections = admit(specs, &tenant_of, &tenants, &self.cfg);
+        let mut tenants: Vec<TenantState> = tenants;
         let mut preloaded: Vec<JobReport> = Vec::new();
         let mut tasks: Vec<Task> = Vec::new();
+        let mut rejected_queue_full = 0u64;
+        let mut rejected_quota = 0u64;
+        let mut tenant_admitted = vec![0u64; tenants.len()];
+        let mut tenant_rejected = vec![0u64; tenants.len()];
         for (id, spec) in specs.iter().enumerate() {
+            let tid = tenant_of[id];
+            if let Some(reason) = &rejections[id] {
+                match reason {
+                    RejectReason::QueueFull { .. } => rejected_queue_full += 1,
+                    RejectReason::CycleQuota { .. } => rejected_quota += 1,
+                }
+                tenant_rejected[tid] += 1;
+                let report = rejected_report(id, spec, reason.clone());
+                persist_terminal(&self.cfg, spec, &report);
+                preloaded.push(report);
+                continue;
+            }
+            tenant_admitted[tid] += 1;
+            tenants[tid].reserved += spec.budget;
             if resume {
                 let policy = self.cfg.checkpoint.as_ref().expect("checked in resume");
                 match recover_job(&policy.dir, id, spec) {
                     Recovered::Terminal(r) => {
+                        // Cycles already executed in the prior run count
+                        // against the tenant's epoch-grain spend.
+                        tenants[tid].spent.fetch_add(r.cycles, Ordering::SeqCst);
                         preloaded.push(*r);
                         continue;
                     }
-                    Recovered::Parked(t) => {
+                    Recovered::Parked(mut t) => {
+                        tenants[tid].spent.fetch_add(t.spent, Ordering::SeqCst);
+                        t.tenant = tid;
                         tasks.push(*t);
                         continue;
                     }
                     Recovered::Fresh => {}
                 }
             }
-            tasks.push(Task::fresh(id, spec.clone()));
+            let mut t = Task::fresh(id, spec.clone());
+            t.tenant = tid;
+            tasks.push(t);
         }
+        let pool = self.cfg.elastic.as_ref().map_or(self.cfg.workers, |e| e.max_workers);
+        let active0 = self.cfg.elastic.as_ref().map_or(pool, |e| e.min_workers);
+        let n_tenants = tenants.len();
         let shared = Shared {
-            locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
-            injector: Mutex::new(VecDeque::new()),
-            queued: AtomicUsize::new(tasks.len()),
+            ready: Mutex::new(ReadyQueue {
+                items: Vec::with_capacity(tasks.len()),
+                seq: 0,
+                running: vec![0; n_tenants],
+                running_peak: vec![0; n_tenants],
+                depth: Histogram::new(),
+                depth_peak: 0,
+                wait_us: (0..n_tenants).map(|_| Histogram::new()).collect(),
+                run_us: (0..n_tenants).map(|_| Histogram::new()).collect(),
+                dispatches: 0,
+            }),
+            tenants,
+            pool,
+            active: AtomicUsize::new(active0),
+            queued: AtomicUsize::new(0),
+            top_waiting: AtomicU64::new(0),
+            running: AtomicUsize::new(0),
+            quanta: AtomicU64::new(0),
             outstanding: AtomicUsize::new(tasks.len()),
             ckpts: AtomicU64::new(0),
             abandoned: AtomicBool::new(false),
+            elastic: Mutex::new(ElasticState {
+                last_eval: None,
+                ewma_cps: 0.0,
+                grow: 0,
+                shrink: 0,
+                sizes: Histogram::new(),
+            }),
             reports: Mutex::new(Vec::with_capacity(specs.len())),
         };
         for task in tasks {
-            let q = task.id % workers;
-            shared.locals[q].lock().expect("queue lock").push_back(task);
+            enqueue(&shared, &self.cfg, task);
         }
         std::thread::scope(|scope| {
-            for w in 0..workers {
+            for w in 0..pool {
                 let shared = &shared;
                 let cfg = &self.cfg;
                 scope.spawn(move || worker_loop(w, shared, cfg));
@@ -361,7 +631,287 @@ impl Scheduler {
         let mut reports = shared.reports.into_inner().expect("report lock");
         reports.extend(preloaded);
         reports.sort_by_key(|r| r.job);
-        reports
+
+        // Scheduler observability, in the platform's MetricsRegistry
+        // idiom. Counters are architectural-determinism-free by nature
+        // (they describe the host-side schedule), so everything lives
+        // under the `sched.` namespace.
+        let rq = shared.ready.into_inner().expect("queue lock");
+        let es = shared.elastic.into_inner().expect("elastic lock");
+        let mut m = MetricsRegistry::new();
+        m.add_counter("sched.jobs", specs.len() as u64);
+        m.add_counter("sched.admitted", (specs.len() - rejections.iter().flatten().count()) as u64);
+        m.add_counter("sched.rejected", rejections.iter().flatten().count() as u64);
+        m.add_counter("sched.rejected.queue_full", rejected_queue_full);
+        m.add_counter("sched.rejected.cycle_quota", rejected_quota);
+        m.add_counter("sched.dispatches", rq.dispatches);
+        m.add_counter("sched.queue.peak_depth", rq.depth_peak);
+        m.add_counter("sched.quanta", shared.quanta.load(Ordering::SeqCst));
+        m.add_counter("sched.workers.pool", pool as u64);
+        m.merge_histogram("sched.queue.depth", &rq.depth);
+        m.add_counter("sched.preemptions", reports.iter().map(|r| r.preemptions).sum());
+        m.add_counter("sched.migrations", reports.iter().map(|r| r.migrations).sum());
+        if self.cfg.elastic.is_some() {
+            m.add_counter("sched.elastic.grow", es.grow);
+            m.add_counter("sched.elastic.shrink", es.shrink);
+            m.merge_histogram("sched.workers.active", &es.sizes);
+        }
+        for (tid, t) in shared.tenants.iter().enumerate() {
+            let k = |suffix: &str| format!("sched.tenant.{}.{suffix}", t.name);
+            m.add_counter(&k("admitted"), tenant_admitted[tid]);
+            m.add_counter(&k("rejected"), tenant_rejected[tid]);
+            m.add_counter(&k("reserved_cycles"), t.reserved);
+            m.add_counter(&k("spent_cycles"), t.spent.load(Ordering::SeqCst));
+            m.add_counter(&k("peak_in_flight"), rq.running_peak[tid] as u64);
+            m.merge_histogram(&k("wait_us"), &rq.wait_us[tid]);
+            m.merge_histogram(&k("run_us"), &rq.run_us[tid]);
+        }
+        FleetResult { reports, metrics: m }
+    }
+}
+
+/// Interns every tenant named by the fleet or by a quota (so quota'd
+/// tenants report metrics even when the fleet never references them).
+/// Returns the tenant table plus each spec's tenant index.
+fn intern_tenants(specs: &[JobSpec], quotas: &[TenantQuota]) -> (Vec<TenantState>, Vec<usize>) {
+    let mut tenants: Vec<TenantState> = Vec::new();
+    let mut index = |name: &str| -> usize {
+        if let Some(i) = tenants.iter().position(|t| t.name == name) {
+            return i;
+        }
+        let quota = quotas.iter().find(|q| q.tenant == name);
+        tenants.push(TenantState {
+            name: name.to_string(),
+            max_in_flight: quota.map_or(0, |q| q.max_in_flight),
+            reserved: 0,
+            spent: AtomicU64::new(0),
+        });
+        tenants.len() - 1
+    };
+    for q in quotas {
+        index(&q.tenant);
+    }
+    let tenant_of = specs.iter().map(|s| index(&s.tenant)).collect();
+    (tenants, tenant_of)
+}
+
+/// Admission control: a pure function of `(specs, config)` evaluated in
+/// submission order. Per job: first the tenant cycle quota (the full
+/// spec budget must fit in what the tenant has left — reserved only if
+/// the job is actually admitted), then the pending-queue bound. Pure and
+/// order-deterministic, so original and resumed runs refuse identically.
+fn admit(
+    specs: &[JobSpec],
+    tenant_of: &[usize],
+    tenants: &[TenantState],
+    cfg: &SchedulerConfig,
+) -> Vec<Option<RejectReason>> {
+    let mut remaining: Vec<Option<u64>> = tenants
+        .iter()
+        .map(|t| cfg.quotas.iter().find(|q| q.tenant == t.name).and_then(|q| q.cycle_budget))
+        .collect();
+    let mut admitted = 0usize;
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let tid = tenant_of[i];
+            if let Some(rem) = remaining[tid] {
+                if spec.budget > rem {
+                    return Some(RejectReason::CycleQuota {
+                        tenant: spec.tenant.clone(),
+                        needed: spec.budget,
+                        remaining: rem,
+                    });
+                }
+            }
+            if cfg.max_pending > 0 && admitted >= cfg.max_pending {
+                return Some(RejectReason::QueueFull { limit: cfg.max_pending });
+            }
+            if let Some(rem) = &mut remaining[tid] {
+                *rem -= spec.budget;
+            }
+            admitted += 1;
+            None
+        })
+        .collect()
+}
+
+/// The terminal report for a job admission refused: zero cycles, zero
+/// digest, a typed reason.
+fn rejected_report(id: usize, spec: &JobSpec, reason: RejectReason) -> JobReport {
+    JobReport {
+        job: id,
+        name: spec.name.clone(),
+        tenant: spec.tenant.clone(),
+        priority: spec.priority,
+        exit: JobExit::Rejected { reason },
+        cycles: 0,
+        deadline_missed: false,
+        wall_secs: 0.0,
+        preemptions: 0,
+        migrations: 0,
+        workers: Vec::new(),
+        host_perf: HostPerf::default(),
+        digest: 0,
+        snapshot_bytes: 0,
+        compressed_bytes: 0,
+        park_raw_bytes: 0,
+        park_stored_bytes: 0,
+        final_snapshot_z: None,
+        trace_path: None,
+    }
+}
+
+/// Effective priority: the base boosted one step per `aging` fleet-wide
+/// quanta spent waiting, saturating at the maximum — the no-starvation
+/// rule.
+fn effective_priority(base: u8, enq_quanta: u64, now_quanta: u64, aging: u64) -> u8 {
+    if aging == 0 {
+        return base;
+    }
+    let boost = now_quanta.saturating_sub(enq_quanta) / aging;
+    (base as u64 + boost).min(JobSpec::MAX_PRIORITY as u64) as u8
+}
+
+/// Recomputes [`Shared::top_waiting`] from the queue contents.
+fn refresh_top(rq: &ReadyQueue, sh: &Shared, cfg: &SchedulerConfig) {
+    let now_q = sh.quanta.load(Ordering::SeqCst);
+    let best = rq
+        .items
+        .iter()
+        .map(|q| effective_priority(q.task.spec.priority, q.enq_quanta, now_q, cfg.aging_quanta))
+        .max();
+    sh.top_waiting.store(best.map_or(0, |b| b as u64 + 1), Ordering::SeqCst);
+}
+
+/// Parks a task into the ready queue (initial submission and preemption
+/// share this path).
+fn enqueue(sh: &Shared, cfg: &SchedulerConfig, task: Task) {
+    let mut rq = sh.ready.lock().expect("queue lock");
+    rq.seq += 1;
+    let q = Queued {
+        seq: rq.seq,
+        enq_quanta: sh.quanta.load(Ordering::SeqCst),
+        since: Instant::now(),
+        task,
+    };
+    rq.items.push(q);
+    let depth = rq.items.len() as u64;
+    rq.depth.record(depth);
+    rq.depth_peak = rq.depth_peak.max(depth);
+    sh.queued.fetch_add(1, Ordering::SeqCst);
+    refresh_top(&rq, sh, cfg);
+}
+
+/// Dispatches the best runnable task for worker `w`: highest effective
+/// priority, then earliest deadline, then submission order — skipping
+/// tasks whose tenant is at its in-flight cap and tasks banned for this
+/// worker (force-migrate; void when only one worker could ever run them).
+fn next_task(w: usize, sh: &Shared, cfg: &SchedulerConfig) -> Option<Task> {
+    /// Dispatch order: effective priority, then EDF, then submission.
+    type DispatchKey = (u8, std::cmp::Reverse<u64>, std::cmp::Reverse<u64>);
+    let mut rq = sh.ready.lock().expect("queue lock");
+    if rq.items.is_empty() {
+        return None;
+    }
+    let now_q = sh.quanta.load(Ordering::SeqCst);
+    let many = sh.pool > 1 && sh.active.load(Ordering::SeqCst) > 1;
+    let mut best: Option<(usize, DispatchKey)> = None;
+    for (i, q) in rq.items.iter().enumerate() {
+        let t = &q.task;
+        if many && t.banned == Some(w) {
+            continue;
+        }
+        let ts = &sh.tenants[t.tenant];
+        if ts.max_in_flight > 0 && rq.running[t.tenant] >= ts.max_in_flight {
+            continue;
+        }
+        let eff = effective_priority(t.spec.priority, q.enq_quanta, now_q, cfg.aging_quanta);
+        let key = (
+            eff,
+            std::cmp::Reverse(t.spec.deadline_cycles.unwrap_or(u64::MAX)),
+            std::cmp::Reverse(q.seq),
+        );
+        if best.as_ref().is_none_or(|(_, bk)| key > *bk) {
+            best = Some((i, key));
+        }
+    }
+    let (i, _) = best?;
+    let q = rq.items.swap_remove(i);
+    let tid = q.task.tenant;
+    rq.running[tid] += 1;
+    rq.running_peak[tid] = rq.running_peak[tid].max(rq.running[tid]);
+    rq.dispatches += 1;
+    let wait = q.since.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    rq.wait_us[tid].record(wait);
+    sh.queued.fetch_sub(1, Ordering::SeqCst);
+    sh.running.fetch_add(1, Ordering::SeqCst);
+    refresh_top(&rq, sh, cfg);
+    Some(q.task)
+}
+
+/// Dispatch-side bookkeeping when a segment ends for any reason: the
+/// tenant's in-flight slot frees and the segment wall time is recorded.
+fn segment_finished(sh: &Shared, tid: usize, wall_secs: f64) {
+    sh.running.fetch_sub(1, Ordering::SeqCst);
+    let mut rq = sh.ready.lock().expect("queue lock");
+    rq.running[tid] = rq.running[tid].saturating_sub(1);
+    rq.run_us[tid].record((wall_secs * 1e6) as u64);
+}
+
+/// One cost-model evaluation: resize the active pool toward demand,
+/// gated on the marginal worker paying for itself. Cheap enough to call
+/// every loop iteration — the time gate and `try_lock` make it a no-op
+/// almost always.
+fn elastic_tick(sh: &Shared, pol: &ElasticPolicy) {
+    let Ok(mut st) = sh.elastic.try_lock() else { return };
+    let now = Instant::now();
+    if let Some(last) = st.last_eval {
+        if now.duration_since(last) < Duration::from_millis(pol.eval_ms) {
+            return;
+        }
+    }
+    st.last_eval = Some(now);
+    let demand = sh.queued.load(Ordering::SeqCst) + sh.running.load(Ordering::SeqCst);
+    let active = sh.active.load(Ordering::SeqCst);
+    let mut desired = demand.clamp(pol.min_workers, pol.max_workers);
+    if desired > active && st.ewma_cps > 0.0 {
+        // The live cost model: growth is worthwhile only while the
+        // marginal worker's expected throughput share values above its
+        // cost. Before any measurement exists the model is optimistic
+        // (a fleet that never runs can never measure).
+        let per_worker_value = st.ewma_cps / active.max(1) as f64 / 1e6 * pol.mcycle_value;
+        if per_worker_value < pol.worker_cost {
+            desired = active;
+        }
+    }
+    // One step per evaluation damps oscillation.
+    let next = match desired.cmp(&active) {
+        std::cmp::Ordering::Greater => active + 1,
+        std::cmp::Ordering::Less => active - 1,
+        std::cmp::Ordering::Equal => active,
+    }
+    .clamp(pol.min_workers, pol.max_workers);
+    match next.cmp(&active) {
+        std::cmp::Ordering::Greater => st.grow += 1,
+        std::cmp::Ordering::Less => st.shrink += 1,
+        std::cmp::Ordering::Equal => {}
+    }
+    if next != active {
+        sh.active.store(next, Ordering::SeqCst);
+    }
+    st.sizes.record(next as u64);
+}
+
+/// Feeds the cost model one finished segment's measured throughput.
+fn note_throughput(sh: &Shared, cycles: u64, wall: f64) {
+    if cycles == 0 || wall <= 0.0 {
+        return;
+    }
+    if let Ok(mut st) = sh.elastic.lock() {
+        let cps = cycles as f64 / wall;
+        st.ewma_cps = if st.ewma_cps > 0.0 { 0.7 * st.ewma_cps + 0.3 * cps } else { cps };
     }
 }
 
@@ -370,51 +920,22 @@ fn worker_loop(w: usize, sh: &Shared, cfg: &SchedulerConfig) {
         if sh.abandoned.load(Ordering::SeqCst) {
             return; // simulated crash: stop serving immediately
         }
-        match next_task(w, sh) {
+        if sh.outstanding.load(Ordering::SeqCst) == 0 {
+            return; // graceful shutdown: every job reported
+        }
+        if let Some(pol) = &cfg.elastic {
+            elastic_tick(sh, pol);
+            if w >= sh.active.load(Ordering::SeqCst) {
+                // Deactivated by the cost model: sleep until re-grown.
+                std::thread::sleep(Duration::from_micros(200));
+                continue;
+            }
+        }
+        match next_task(w, sh, cfg) {
             Some(task) => run_segment(w, task, sh, cfg),
-            None => {
-                if sh.outstanding.load(Ordering::SeqCst) == 0 {
-                    return; // graceful shutdown: every job reported
-                }
-                std::thread::sleep(Duration::from_micros(50));
-            }
+            None => std::thread::sleep(Duration::from_micros(50)),
         }
     }
-}
-
-/// Own queue front → injector → steal peers' backs. Tasks banned for
-/// this worker (force-migrate) are left for a peer; with a single worker
-/// the ban is void (nobody else could ever run them).
-fn next_task(w: usize, sh: &Shared) -> Option<Task> {
-    let many = sh.locals.len() > 1;
-    if let Some(t) = sh.locals[w].lock().expect("queue lock").pop_front() {
-        sh.queued.fetch_sub(1, Ordering::SeqCst);
-        return Some(t);
-    }
-    {
-        let mut inj = sh.injector.lock().expect("queue lock");
-        for _ in 0..inj.len() {
-            let t = inj.pop_front().expect("length checked");
-            if many && t.banned == Some(w) {
-                inj.push_back(t);
-            } else {
-                sh.queued.fetch_sub(1, Ordering::SeqCst);
-                return Some(t);
-            }
-        }
-    }
-    for o in 0..sh.locals.len() {
-        if o == w {
-            continue;
-        }
-        let mut q = sh.locals[o].lock().expect("queue lock");
-        if let Some(pos) = q.iter().rposition(|t| !(many && t.banned == Some(w))) {
-            let t = q.remove(pos).expect("position just found");
-            sh.queued.fetch_sub(1, Ordering::SeqCst);
-            return Some(t);
-        }
-    }
-    None
 }
 
 /// Parks `snap`, preferring a compressed delta against the previous
@@ -450,7 +971,7 @@ fn final_sizes(p: &Platform, cfg: &SchedulerConfig) -> (Option<Vec<u8>>, u64, u6
 }
 
 /// Executes one segment of `task` on worker `w` and either files its
-/// report or parks it back into the injector.
+/// report or parks it back into the ready queue.
 fn run_segment(w: usize, mut task: Task, sh: &Shared, cfg: &SchedulerConfig) {
     if task.workers.last() != Some(&w) {
         task.workers.push(w);
@@ -463,6 +984,7 @@ fn run_segment(w: usize, mut task: Task, sh: &Shared, cfg: &SchedulerConfig) {
     task.banned = None;
     let spec = task.spec.clone();
     let budget = spec.budget;
+    let tid = task.tenant;
     let resumed_from = task.state.take();
     let spent0 = task.spent;
     let wd_state = (task.wd_sig, task.wd_change_at);
@@ -499,8 +1021,20 @@ fn run_segment(w: usize, mut task: Task, sh: &Shared, cfg: &SchedulerConfig) {
         let mut quanta: u64 = 0;
         loop {
             let slice = quantum.min(budget - spent);
+            let before = spent;
             spent += p.run_preemptible(slice, parallel, |_, _| false);
             quanta += 1;
+            // Epoch-grain accounting: the aging clock ticks and the
+            // tenant's spend advances once per quantum slice.
+            sh.quanta.fetch_add(1, Ordering::SeqCst);
+            sh.tenants[tid].spent.fetch_add(spent - before, Ordering::SeqCst);
+            if cfg.aging_quanta > 0 {
+                // Keep `top_waiting` fresh as waiting tasks age, without
+                // blocking on the queue lock in the hot loop.
+                if let Ok(rq) = sh.ready.try_lock() {
+                    refresh_top(&rq, sh, cfg);
+                }
+            }
             if p.is_idle() {
                 return Segment::Done { p, idle: true, spent };
             }
@@ -534,6 +1068,10 @@ fn run_segment(w: usize, mut task: Task, sh: &Shared, cfg: &SchedulerConfig) {
                 PreemptMode::Never => false,
                 PreemptMode::Always => true,
                 PreemptMode::WhenContended => sh.queued.load(Ordering::SeqCst) > 0,
+                PreemptMode::WhenOutranked => {
+                    let top = sh.top_waiting.load(Ordering::SeqCst);
+                    top > 0 && top - 1 > spec.priority as u64
+                }
             };
             if yield_now {
                 let snap = p.snapshot();
@@ -543,15 +1081,21 @@ fn run_segment(w: usize, mut task: Task, sh: &Shared, cfg: &SchedulerConfig) {
             }
         }
     }));
-    task.wall_secs += t0.elapsed().as_secs_f64();
+    let seg_wall = t0.elapsed().as_secs_f64();
+    task.wall_secs += seg_wall;
+    segment_finished(sh, tid, seg_wall);
+    let deadline_missed = |cycles: u64| spec.deadline_cycles.is_some_and(|d| cycles > d);
     match result {
         Err(payload) => {
             let message = payload_message(payload.as_ref());
             let report = JobReport {
                 job: task.id,
                 name: task.spec.name.clone(),
+                tenant: task.spec.tenant.clone(),
+                priority: task.spec.priority,
                 exit: JobExit::Panicked { message },
                 cycles: task.spent,
+                deadline_missed: deadline_missed(task.spent),
                 wall_secs: task.wall_secs,
                 preemptions: task.preemptions,
                 migrations: task.migrations,
@@ -569,6 +1113,9 @@ fn run_segment(w: usize, mut task: Task, sh: &Shared, cfg: &SchedulerConfig) {
             file_report(sh, report);
         }
         Ok(Segment::Done { mut p, idle, spent }) => {
+            if cfg.elastic.is_some() {
+                note_throughput(sh, spent - spent0, seg_wall);
+            }
             let digest = digest_platform(&p);
             let (final_snapshot_z, snapshot_bytes, compressed_bytes) = final_sizes(&p, cfg);
             let trace_path = if task.spec.trace {
@@ -581,8 +1128,11 @@ fn run_segment(w: usize, mut task: Task, sh: &Shared, cfg: &SchedulerConfig) {
             let report = JobReport {
                 job: task.id,
                 name: task.spec.name.clone(),
+                tenant: task.spec.tenant.clone(),
+                priority: task.spec.priority,
                 exit: JobExit::Completed { idle },
                 cycles: spent,
+                deadline_missed: deadline_missed(spent),
                 wall_secs: task.wall_secs,
                 preemptions: task.preemptions,
                 migrations: task.migrations,
@@ -606,8 +1156,11 @@ fn run_segment(w: usize, mut task: Task, sh: &Shared, cfg: &SchedulerConfig) {
             let report = JobReport {
                 job: task.id,
                 name: task.spec.name.clone(),
+                tenant: task.spec.tenant.clone(),
+                priority: task.spec.priority,
                 exit: JobExit::Livelocked { stalled_since: since, detected_at: p.now() },
                 cycles: spent,
+                deadline_missed: deadline_missed(spent),
                 wall_secs: task.wall_secs,
                 preemptions: task.preemptions,
                 migrations: task.migrations,
@@ -625,6 +1178,9 @@ fn run_segment(w: usize, mut task: Task, sh: &Shared, cfg: &SchedulerConfig) {
             file_report(sh, report);
         }
         Ok(Segment::Parked { park, raw, spent, wd, perf }) => {
+            if cfg.elastic.is_some() {
+                note_throughput(sh, spent - spent0, seg_wall);
+            }
             task.park_raw_bytes += raw;
             task.park_stored_bytes += park.stored_bytes();
             task.state = Some(park);
@@ -634,8 +1190,7 @@ fn run_segment(w: usize, mut task: Task, sh: &Shared, cfg: &SchedulerConfig) {
             task.perf += perf;
             task.last_worker = Some(w);
             task.banned = cfg.force_migrate.then_some(w);
-            sh.queued.fetch_add(1, Ordering::SeqCst);
-            sh.injector.lock().expect("queue lock").push_back(task);
+            enqueue(sh, cfg, task);
         }
         Ok(Segment::Abandoned) => {
             // Simulated crash: the task vanishes unreported, exactly as
@@ -744,6 +1299,12 @@ fn write_report_marker(dir: &Path, spec: &JobSpec, r: &JobReport) -> Result<(), 
             format!("livelocked {stalled_since} {detected_at}")
         }
         JobExit::Panicked { message } => format!("panicked {}", message.replace('\n', " ")),
+        JobExit::Rejected { reason } => match reason {
+            RejectReason::QueueFull { limit } => format!("rejected queue_full {limit}"),
+            RejectReason::CycleQuota { tenant, needed, remaining } => {
+                format!("rejected cycle_quota {tenant} {needed} {remaining}")
+            }
+        },
     };
     let text = format!(
         "smappic-report v1\nexit {exit}\ncycles {}\ndigest {:#018x}\nwall_secs {:.6}\n\
@@ -785,7 +1346,7 @@ fn recover_job(root: &Path, id: usize, spec: &JobSpec) -> Recovered {
         _ => return Recovered::Fresh,
     }
     if let Ok(text) = std::fs::read_to_string(dir.join("report.txt")) {
-        if let Some(r) = parse_report_marker(id, &spec.name, &text) {
+        if let Some(r) = parse_report_marker(id, spec, &text) {
             return Recovered::Terminal(Box::new(r));
         }
     }
@@ -838,7 +1399,7 @@ fn parse_meta(text: &str) -> Option<(u64, CkptMeta)> {
     Some((digest, CkptMeta { spent, preemptions, migrations, wall_secs, wd: (wd_sig, wd_at) }))
 }
 
-fn parse_report_marker(job: usize, name: &str, text: &str) -> Option<JobReport> {
+fn parse_report_marker(job: usize, spec: &JobSpec, text: &str) -> Option<JobReport> {
     let lines: Vec<&str> = text.lines().collect();
     if lines.first() != Some(&"smappic-report v1") {
         return None;
@@ -854,14 +1415,33 @@ fn parse_report_marker(job: usize, name: &str, text: &str) -> Option<JobReport> 
         }
     } else if let Some(rest) = exit_line.strip_prefix("panicked ") {
         JobExit::Panicked { message: rest.to_string() }
+    } else if let Some(rest) = exit_line.strip_prefix("rejected ") {
+        let mut it = rest.split_whitespace();
+        match it.next()? {
+            "queue_full" => JobExit::Rejected {
+                reason: RejectReason::QueueFull { limit: parse_u64(it.next()?)? as usize },
+            },
+            "cycle_quota" => JobExit::Rejected {
+                reason: RejectReason::CycleQuota {
+                    tenant: it.next()?.to_string(),
+                    needed: parse_u64(it.next()?)?,
+                    remaining: parse_u64(it.next()?)?,
+                },
+            },
+            _ => return None,
+        }
     } else {
         return None;
     };
+    let cycles = parse_u64(kv(&lines, "cycles")?)?;
     Some(JobReport {
         job,
-        name: name.to_string(),
+        name: spec.name.clone(),
+        tenant: spec.tenant.clone(),
+        priority: spec.priority,
         exit,
-        cycles: parse_u64(kv(&lines, "cycles")?)?,
+        cycles,
+        deadline_missed: spec.deadline_cycles.is_some_and(|d| cycles > d),
         wall_secs: kv(&lines, "wall_secs")?.parse().ok()?,
         preemptions: parse_u64(kv(&lines, "preemptions")?)?,
         migrations: parse_u64(kv(&lines, "migrations")?)?,
@@ -938,5 +1518,80 @@ mod tests {
             r.park_stored_bytes,
             r.park_raw_bytes
         );
+    }
+
+    #[test]
+    fn admission_bounds_the_queue_and_quotas_reserve_cycles() {
+        let mk = |name: &str, tenant: &str| {
+            let mut s = JobSpec::small(name, WorkloadSpec::AmoHeavy { ops: 10, seed: 1 });
+            s.tenant = tenant.into();
+            s.budget = 1_000_000;
+            s
+        };
+        let specs = vec![mk("a0", "a"), mk("a1", "a"), mk("b0", "b"), mk("b1", "b")];
+        let cfg = SchedulerConfig {
+            workers: 2,
+            max_pending: 3,
+            quotas: vec![TenantQuota {
+                tenant: "a".into(),
+                max_in_flight: 1,
+                cycle_budget: Some(1_500_000),
+            }],
+            ..SchedulerConfig::default()
+        };
+        let fleet = Scheduler::new(cfg).run_fleet(&specs);
+        // a1 falls to tenant a's cycle quota (1.5M budget, 1M reserved by
+        // a0); b1 falls off the bounded queue (a0, b0, b1 would be the
+        // 3 admitted... a1 is quota-rejected first so b1 is admitted).
+        assert!(fleet.reports[0].is_completed());
+        assert!(matches!(
+            &fleet.reports[1].exit,
+            JobExit::Rejected { reason: RejectReason::CycleQuota { tenant, needed, remaining } }
+                if tenant == "a" && *needed == 1_000_000 && *remaining == 500_000
+        ));
+        assert!(fleet.reports[2].is_completed());
+        assert!(fleet.reports[3].is_completed());
+        assert_eq!(fleet.metrics.counter("sched.admitted"), 3);
+        assert_eq!(fleet.metrics.counter("sched.rejected.cycle_quota"), 1);
+        assert_eq!(fleet.metrics.counter("sched.tenant.a.peak_in_flight"), 1);
+        assert!(fleet.metrics.counter("sched.tenant.a.spent_cycles") <= 1_500_000);
+    }
+
+    #[test]
+    fn aging_boosts_effective_priority_monotonically() {
+        assert_eq!(effective_priority(0, 0, 0, 64), 0);
+        assert_eq!(effective_priority(0, 0, 64, 64), 1);
+        assert_eq!(effective_priority(0, 0, 64 * 99, 64), JobSpec::MAX_PRIORITY);
+        assert_eq!(effective_priority(0, 0, u64::MAX, 0), 0, "aging 0 disables the boost");
+        assert_eq!(effective_priority(6, 100, 164, 64), 7);
+    }
+
+    #[test]
+    fn elastic_pool_completes_the_fleet_with_identical_digests() {
+        let specs: Vec<JobSpec> = (0..4)
+            .map(|i| {
+                let mut s = JobSpec::small(
+                    &format!("e{i}"),
+                    WorkloadSpec::AmoHeavy { ops: 40, seed: 10 + i },
+                );
+                s.budget = 3_000_000;
+                s
+            })
+            .collect();
+        let cfg = SchedulerConfig {
+            workers: 1, // ignored: elastic policy wins
+            quantum: 5_000,
+            preempt: PreemptMode::Always,
+            elastic: Some(ElasticPolicy { eval_ms: 0, ..ElasticPolicy::range(1, 3) }),
+            ..SchedulerConfig::default()
+        };
+        let fleet = Scheduler::new(cfg).run_fleet(&specs);
+        let baseline = Scheduler::serial().run(&specs);
+        for (e, b) in fleet.reports.iter().zip(&baseline) {
+            assert!(e.is_completed());
+            assert_eq!(e.digest, b.digest, "elastic resizing must not leak into results");
+            assert_eq!(e.cycles, b.cycles);
+        }
+        assert!(fleet.metrics.counter("sched.elastic.grow") > 0, "demand of 4 must grow the pool");
     }
 }

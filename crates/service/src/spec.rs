@@ -134,9 +134,31 @@ pub struct JobSpec {
     pub budget: u64,
     /// Collect a Perfetto trace of the job's final segment.
     pub trace: bool,
+    /// Tenant this job is accounted to (one whitespace-free token). The
+    /// scheduler's quotas ([`crate::TenantQuota`]) key on it. Old v1 spec
+    /// texts without a `tenant` line parse as [`JobSpec::DEFAULT_TENANT`].
+    pub tenant: String,
+    /// Scheduling priority, `0..=`[`JobSpec::MAX_PRIORITY`]; higher runs
+    /// first and may preempt lower. Defaults to
+    /// [`JobSpec::DEFAULT_PRIORITY`]; the scheduler's aging rule boosts a
+    /// waiting job's *effective* priority, so low means later, never never.
+    pub priority: u8,
+    /// Optional completion deadline in simulated cycles. Used as the
+    /// earliest-deadline-first tiebreak within a priority class; a
+    /// terminal report whose cycle count exceeds it is flagged
+    /// `deadline_missed`.
+    pub deadline_cycles: Option<u64>,
 }
 
 impl JobSpec {
+    /// Tenant a spec belongs to when no `tenant` line names one.
+    pub const DEFAULT_TENANT: &'static str = "default";
+    /// Priority assigned when no `priority` line names one (mid-scale,
+    /// so tenants can go both above and below the default).
+    pub const DEFAULT_PRIORITY: u8 = 4;
+    /// Highest (most urgent) priority; aging saturates here.
+    pub const MAX_PRIORITY: u8 = 7;
+
     /// A small single-FPGA default: handy starting point for builders.
     pub fn small(name: &str, workload: WorkloadSpec) -> Self {
         Self {
@@ -150,6 +172,9 @@ impl JobSpec {
             faults: None,
             budget: 2_000_000,
             trace: false,
+            tenant: Self::DEFAULT_TENANT.to_string(),
+            priority: Self::DEFAULT_PRIORITY,
+            deadline_cycles: None,
         }
     }
 
@@ -200,6 +225,19 @@ impl JobSpec {
         }
         if self.budget == 0 {
             return Err("cycle budget must be positive".into());
+        }
+        if self.tenant.is_empty() || self.tenant.split_whitespace().count() != 1 {
+            return Err(format!("tenant must be one non-empty token, got {:?}", self.tenant));
+        }
+        if self.priority > Self::MAX_PRIORITY {
+            return Err(format!(
+                "priority must be 0..={}, got {}",
+                Self::MAX_PRIORITY,
+                self.priority
+            ));
+        }
+        if self.deadline_cycles == Some(0) {
+            return Err("deadline_cycles must be positive when set".into());
         }
         Ok(())
     }
@@ -319,6 +357,19 @@ impl JobSpec {
         }
         out.push_str(&format!("budget {}\n", self.budget));
         out.push_str(&format!("trace {}\n", if self.trace { "on" } else { "off" }));
+        // Multi-tenancy fields are emitted only when non-default, so a
+        // default spec's text (and digest) is byte-identical to the
+        // pre-tenancy v1 format and old readers keep parsing new specs
+        // that never opted in.
+        if self.tenant != Self::DEFAULT_TENANT {
+            out.push_str(&format!("tenant {}\n", self.tenant));
+        }
+        if self.priority != Self::DEFAULT_PRIORITY {
+            out.push_str(&format!("priority {}\n", self.priority));
+        }
+        if let Some(d) = self.deadline_cycles {
+            out.push_str(&format!("deadline {d}\n"));
+        }
         out
     }
 
@@ -424,8 +475,30 @@ impl JobSpec {
             ["off"] => false,
             _ => return Err(format!("bad trace flag {tr:?}")),
         };
-        if let Some(extra) = lines.next() {
-            return Err(format!("trailing line {extra:?}"));
+        // Optional multi-tenancy trailer: absent in old v1 texts, which
+        // therefore parse with the defaults. Each key appears at most
+        // once, in canonical order.
+        let mut tenant = Self::DEFAULT_TENANT.to_string();
+        let mut priority = Self::DEFAULT_PRIORITY;
+        let mut deadline_cycles = None;
+        let mut seen = 0u8;
+        for line in lines {
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            match toks.as_slice() {
+                ["tenant", t] if seen < 1 => {
+                    tenant = t.to_string();
+                    seen = 1;
+                }
+                ["priority", p] if seen < 2 => {
+                    priority = p.parse().map_err(|e| format!("bad priority {p:?}: {e}"))?;
+                    seen = 2;
+                }
+                ["deadline", d] if seen < 3 => {
+                    deadline_cycles = Some(parse_u64(d)?);
+                    seen = 3;
+                }
+                _ => return Err(format!("trailing line {line:?}")),
+            }
         }
         let spec = Self {
             name: name.clone(),
@@ -438,6 +511,9 @@ impl JobSpec {
             faults,
             budget: parse_u64(budget)?,
             trace,
+            tenant,
+            priority,
+            deadline_cycles,
         };
         spec.validate()?;
         Ok(spec)
@@ -465,10 +541,34 @@ mod tests {
             }),
             budget: 1_000_000,
             trace: true,
+            tenant: "acme".into(),
+            priority: 6,
+            deadline_cycles: Some(750_000),
         };
         let parsed = JobSpec::from_text(&spec.to_text()).expect("round-trips");
         assert_eq!(parsed, spec);
         assert_eq!(parsed.digest(), spec.digest());
+    }
+
+    #[test]
+    fn old_v1_text_parses_with_tenancy_defaults() {
+        // A default spec's text carries no tenancy trailer at all, so it
+        // is exactly what a pre-tenancy writer produced.
+        let spec = JobSpec::small("legacy", WorkloadSpec::Bursty { ops: 9, seed: 3 });
+        let text = spec.to_text();
+        assert!(!text.contains("tenant") && !text.contains("priority"));
+        let parsed = JobSpec::from_text(&text).expect("old v1 text parses");
+        assert_eq!(parsed.tenant, JobSpec::DEFAULT_TENANT);
+        assert_eq!(parsed.priority, JobSpec::DEFAULT_PRIORITY);
+        assert_eq!(parsed.deadline_cycles, None);
+        assert_eq!(parsed, spec);
+        // Non-default tenancy extends the digest.
+        let mut pri = spec.clone();
+        pri.priority = 7;
+        assert_ne!(pri.digest(), spec.digest());
+        // Duplicate or out-of-order trailer keys are rejected.
+        assert!(JobSpec::from_text(&(text.clone() + "tenant a\ntenant b\n")).is_err());
+        assert!(JobSpec::from_text(&(text + "deadline 5\npriority 1\n")).is_err());
     }
 
     #[test]
@@ -492,6 +592,15 @@ mod tests {
         assert!(s.validate().is_err());
         s.name = "ok".into();
         s.topology = TopoSpec::Hybrid { group_size: 9 };
+        assert!(s.validate().is_err());
+        s.topology = TopoSpec::Star;
+        s.priority = JobSpec::MAX_PRIORITY + 1;
+        assert!(s.validate().is_err());
+        s.priority = JobSpec::DEFAULT_PRIORITY;
+        s.tenant = "two words".into();
+        assert!(s.validate().is_err());
+        s.tenant = "ok".into();
+        s.deadline_cycles = Some(0);
         assert!(s.validate().is_err());
     }
 }

@@ -86,6 +86,9 @@ fn a_livelocked_job_reports_structured_error_while_the_pool_drains() {
         }),
         budget: 10_000_000,
         trace: false,
+        tenant: JobSpec::DEFAULT_TENANT.into(),
+        priority: JobSpec::DEFAULT_PRIORITY,
+        deadline_cycles: None,
     };
     let fleet = vec![good_job(0), stuck, good_job(1)];
     let reports = Scheduler::new(SchedulerConfig {

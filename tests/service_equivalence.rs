@@ -36,6 +36,9 @@ fn job(stepper: StepperSpec, topology: TopoSpec, fpgas: usize) -> JobSpec {
         }),
         budget: 3_000_000,
         trace: false,
+        tenant: JobSpec::DEFAULT_TENANT.into(),
+        priority: JobSpec::DEFAULT_PRIORITY,
+        deadline_cycles: None,
     }
 }
 
@@ -75,8 +78,8 @@ fn assert_migrated_equals_uninterrupted(spec: JobSpec, label: &str) {
 
     // Bit-exact: the full snapshot wire bytes, architectural and
     // host-stepper sections alike.
-    let cs = c.final_snapshot().expect("churned snapshot captured");
-    let bs = b.final_snapshot().expect("baseline snapshot captured");
+    let cs = c.final_snapshot().expect("stored stream parses").expect("churned captured");
+    let bs = b.final_snapshot().expect("stored stream parses").expect("baseline captured");
     if cs != bs {
         let (csnap, bsnap) = (
             Snapshot::from_bytes(&cs).expect("churned bytes parse"),
@@ -163,7 +166,7 @@ fn parked_wire_bytes_resume_in_a_fresh_process_image() {
     assert_eq!(digest_platform(&second), baseline[0].digest);
     assert_eq!(
         second.snapshot().to_bytes(),
-        baseline[0].final_snapshot().expect("captured"),
+        baseline[0].final_snapshot().expect("stored stream parses").expect("captured"),
         "resumed-from-bytes run must be bit-identical to the uninterrupted one"
     );
     assert!(already > 0, "the parked snapshot must carry real progress");
